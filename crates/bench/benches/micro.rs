@@ -1,0 +1,170 @@
+//! Criterion micro-benchmarks for the hot kernels under the experiments:
+//! Smith–Waterman alignment (full + banded), DTBA forward pass, docking
+//! pose scoring, dictionary interning, hash join, vector top-k, and cache
+//! get/put.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ids_cache::{BackingStore, CacheConfig, CacheManager};
+use ids_chem::sequence::ProteinSequence;
+use ids_chem::smiles::parse_smiles;
+use ids_graph::{ops, Dictionary, SolutionSet, Term, TermId};
+use ids_models::{DockingEngine, DtbaModel, MoleculeGenerator, SmithWaterman};
+use ids_simrt::rng::SplitMix64;
+use ids_simrt::{NetworkModel, RankId, Topology};
+use ids_vector::store::{Metric, VectorStore};
+use std::hint::black_box;
+
+fn bench_smith_waterman(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(1, 1);
+    let a = ProteinSequence::random(412, &mut rng); // P29274-sized
+    let b = a.mutate(0.1, &mut rng);
+    let sw = SmithWaterman::default_model();
+
+    let mut g = c.benchmark_group("smith_waterman");
+    g.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+    g.bench_function("full_412x412", |bench| {
+        bench.iter(|| black_box(sw.align(black_box(&a), black_box(&b))))
+    });
+    g.bench_function("banded_412x412_w32", |bench| {
+        bench.iter(|| black_box(sw.align_banded(black_box(&a), black_box(&b), 32)))
+    });
+    g.finish();
+}
+
+fn bench_dtba(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(2, 1);
+    let target = ProteinSequence::random(412, &mut rng);
+    let model = DtbaModel::pretrained();
+    c.bench_function("dtba_forward_412aa", |bench| {
+        bench.iter(|| black_box(model.predict(black_box(&target), "CC(=O)Oc1ccccc1C(=O)O")))
+    });
+}
+
+fn bench_docking_score(c: &mut Criterion) {
+    let mut receptor = ids_chem::Structure3D::new();
+    let mut rng = SplitMix64::new(3, 1);
+    for _ in 0..400 {
+        receptor.push(
+            ids_chem::Element::C,
+            ids_chem::Vec3::new(
+                rng.next_range(-30.0, 30.0),
+                rng.next_range(-30.0, 30.0),
+                rng.next_range(-30.0, 30.0),
+            ),
+        );
+    }
+    let lig = parse_smiles("CC(=O)Oc1ccccc1C(=O)O").unwrap();
+    let pose = DockingEngine::embed_ligand(&lig, 7);
+    let engine = DockingEngine::test_engine();
+    c.bench_function("docking_score_400x13", |bench| {
+        bench.iter(|| black_box(engine.score_pose(black_box(&receptor), black_box(&pose), 3)))
+    });
+}
+
+fn bench_dictionary(c: &mut Criterion) {
+    c.bench_function("dict_encode_1k_new", |bench| {
+        let mut n = 0u64;
+        bench.iter_batched(
+            Dictionary::new,
+            |dict| {
+                for i in 0..1000 {
+                    n = n.wrapping_add(dict.encode(&Term::iri(format!("e:{i}"))).raw());
+                }
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let dict = Dictionary::new();
+    for i in 0..1000 {
+        dict.iri(&format!("e:{i}"));
+    }
+    c.bench_function("dict_encode_1k_hit", |bench| {
+        bench.iter(|| {
+            let mut n = 0u64;
+            for i in 0..1000 {
+                n = n.wrapping_add(dict.encode(&Term::iri(format!("e:{i}"))).raw());
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let left = SolutionSet::new(
+        vec!["k".into(), "l".into()],
+        (0..10_000u64).map(|i| vec![TermId(i % 1000), TermId(i)]).collect(),
+    );
+    let right = SolutionSet::new(
+        vec!["k".into(), "r".into()],
+        (0..1000u64).map(|i| vec![TermId(i), TermId(i + 50_000)]).collect(),
+    );
+    let mut g = c.benchmark_group("join");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("hash_join_10k_x_1k", |bench| {
+        bench.iter(|| black_box(ops::hash_join(black_box(&left), black_box(&right))))
+    });
+    g.finish();
+}
+
+fn bench_vector_search(c: &mut Criterion) {
+    let mut store = VectorStore::new(64);
+    let mut rng = SplitMix64::new(4, 1);
+    for i in 0..50_000u64 {
+        let v: Vec<f32> = (0..64).map(|_| rng.next_f64() as f32).collect();
+        store.insert(i, &v);
+    }
+    let q: Vec<f32> = (0..64).map(|_| rng.next_f64() as f32).collect();
+    let mut g = c.benchmark_group("vector");
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("topk10_cosine_50k_d64", |bench| {
+        bench.iter(|| black_box(store.search(black_box(&q), 10, Metric::Cosine)))
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let topo = Topology::new(4, 8);
+    let cache = CacheManager::new(
+        topo,
+        NetworkModel::slingshot(),
+        CacheConfig::new(2, 256 << 20, 1 << 30),
+        BackingStore::default_store(),
+    );
+    let payload = bytes::Bytes::from(vec![1u8; 64 << 10]);
+    cache.put(RankId(0), "hot", payload.clone());
+    c.bench_function("cache_get_local_dram_64k", |bench| {
+        bench.iter(|| black_box(cache.get(RankId(0), "hot")))
+    });
+    c.bench_function("cache_put_64k", |bench| {
+        let mut i = 0u64;
+        bench.iter(|| {
+            i += 1;
+            black_box(cache.put(RankId(0), &format!("obj{}", i % 512), payload.clone()))
+        })
+    });
+}
+
+fn bench_molgen(c: &mut Criterion) {
+    let gen = MoleculeGenerator::default_model(5);
+    c.bench_function("molgen_generate", |bench| {
+        let mut i = 0u64;
+        bench.iter(|| {
+            i += 1;
+            black_box(gen.generate(i))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_smith_waterman,
+    bench_dtba,
+    bench_docking_score,
+    bench_dictionary,
+    bench_hash_join,
+    bench_vector_search,
+    bench_cache,
+    bench_molgen
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! # ids-bench — experiment harness
+//!
+//! One binary per paper table/figure (see `src/bin/`) plus Criterion
+//! micro-benchmarks (see `benches/`). Shared helpers live here.
+
+pub mod ncnpr_setup;
+pub mod reporting;

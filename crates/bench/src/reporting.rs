@@ -1,0 +1,56 @@
+//! Table/figure rendering helpers shared by the experiment binaries.
+
+/// Print a boxed section header so experiment output is easy to scan.
+pub fn section(title: &str) {
+    let bar = "=".repeat(title.len() + 4);
+    println!("\n{bar}\n| {title} |\n{bar}");
+}
+
+/// Render a simple aligned table: a header row plus data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format seconds with sensible precision for table cells.
+pub fn secs(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.1}")
+    } else if t >= 1.0 {
+        format!("{t:.2}")
+    } else {
+        format!("{t:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_formats_by_magnitude() {
+        assert_eq!(secs(123.456), "123.5");
+        assert_eq!(secs(8.5), "8.50");
+        assert_eq!(secs(0.01234), "0.0123");
+    }
+}

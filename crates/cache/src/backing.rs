@@ -1,0 +1,133 @@
+//! The authoritative persistent backing store (DAOS/Lustre stand-in).
+//!
+//! "Authoritative copies remain in persistent backing storage (e.g.,
+//! DAOS); if a cache node fails its in-memory/SSD contents are lost but
+//! can be re-populated from the backing store" (§3.2). The store is a
+//! durable key-value map with a parallel-filesystem-like cost model:
+//! high per-op latency (metadata RPC) plus modest streaming bandwidth.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Cost parameters for the backing store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackingCosts {
+    /// Per-operation latency (metadata + RPC), seconds.
+    pub op_latency: f64,
+    /// Streaming bandwidth, bytes/second.
+    pub bandwidth: f64,
+}
+
+impl Default for BackingCosts {
+    fn default() -> Self {
+        // Lustre-class: ~1 ms per op, 2 GB/s per client stream.
+        Self { op_latency: 1.0e-3, bandwidth: 2.0e9 }
+    }
+}
+
+/// An access result: payload (for reads) plus virtual cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackingAccess<T> {
+    pub value: T,
+    pub virtual_secs: f64,
+}
+
+/// The persistent object store.
+pub struct BackingStore {
+    costs: BackingCosts,
+    objects: RwLock<HashMap<String, Bytes>>,
+}
+
+impl BackingStore {
+    /// A store with the given cost model.
+    pub fn new(costs: BackingCosts) -> Self {
+        Self { costs, objects: RwLock::new(HashMap::new()) }
+    }
+
+    /// Lustre-like defaults.
+    pub fn default_store() -> Self {
+        Self::new(BackingCosts::default())
+    }
+
+    /// Persist an object (overwrites).
+    pub fn put(&self, name: &str, data: Bytes) -> BackingAccess<()> {
+        let cost = self.costs.op_latency + data.len() as f64 / self.costs.bandwidth;
+        self.objects.write().insert(name.to_string(), data);
+        BackingAccess { value: (), virtual_secs: cost }
+    }
+
+    /// Fetch an object; `None` (with the metadata-lookup cost) if absent.
+    pub fn get(&self, name: &str) -> BackingAccess<Option<Bytes>> {
+        let objects = self.objects.read();
+        match objects.get(name) {
+            Some(data) => BackingAccess {
+                virtual_secs: self.costs.op_latency + data.len() as f64 / self.costs.bandwidth,
+                value: Some(data.clone()),
+            },
+            None => BackingAccess { value: None, virtual_secs: self.costs.op_latency },
+        }
+    }
+
+    /// Whether an object exists (metadata-only cost).
+    pub fn contains(&self, name: &str) -> BackingAccess<bool> {
+        BackingAccess {
+            value: self.objects.read().contains_key(name),
+            virtual_secs: self.costs.op_latency,
+        }
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let bs = BackingStore::default_store();
+        bs.put("vina/a", Bytes::from_static(b"pose-data"));
+        let got = bs.get("vina/a");
+        assert_eq!(got.value.as_deref(), Some(&b"pose-data"[..]));
+        assert_eq!(bs.get("vina/missing").value, None);
+    }
+
+    #[test]
+    fn costs_scale_with_size() {
+        let bs = BackingStore::default_store();
+        bs.put("small", Bytes::from(vec![0u8; 1 << 10]));
+        bs.put("large", Bytes::from(vec![0u8; 1 << 26]));
+        let small = bs.get("small").virtual_secs;
+        let large = bs.get("large").virtual_secs;
+        assert!(large > small * 10.0, "large {large} vs small {small}");
+        // Both dominated by at least the op latency.
+        assert!(small >= 1.0e-3);
+    }
+
+    #[test]
+    fn contains_is_metadata_only() {
+        let bs = BackingStore::default_store();
+        bs.put("x", Bytes::from(vec![0u8; 1 << 26]));
+        let c = bs.contains("x");
+        assert!(c.value);
+        assert!(c.virtual_secs < bs.get("x").virtual_secs);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let bs = BackingStore::default_store();
+        bs.put("k", Bytes::from_static(b"v1"));
+        bs.put("k", Bytes::from_static(b"v2"));
+        assert_eq!(bs.get("k").value.as_deref(), Some(&b"v2"[..]));
+        assert_eq!(bs.len(), 1);
+    }
+}

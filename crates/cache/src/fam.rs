@@ -1,0 +1,270 @@
+//! OpenFAM-style remote-memory access layer.
+//!
+//! "The global cache leverages ... OpenFAM, which provides a programming
+//! interface for building applications that leverage large-scale
+//! disaggregated memory ... memory management and lightweight data
+//! operations, modelled after OpenSHMEM" (§3.3). This module reproduces
+//! that API shape over simulated fabric-attached memory:
+//!
+//! * regions are allocated on a (memory-server) node with a fixed size;
+//! * `put`/`get` move bytes between a client rank and a region, charging
+//!   the RDMA cost model (one-sided: latency + bytes/bandwidth, cheaper
+//!   intra-node);
+//! * 64-bit atomics (`compare_and_swap`, `fetch_add`) operate on region
+//!   words, as OpenFAM's atomics do.
+//!
+//! Data actually lives in host memory (`bytes::Bytes` buffers), so
+//! correctness is real; only the *timing* is modelled.
+
+use bytes::{Bytes, BytesMut};
+use ids_simrt::net::NetworkModel;
+use ids_simrt::topology::{NodeId, RankId, Topology};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Identifier of an allocated FAM region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FamRegionId(pub u64);
+
+struct Region {
+    node: NodeId,
+    data: BytesMut,
+}
+
+/// A FAM access: the value read (for gets) and the virtual cost charged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamAccess<T> {
+    pub value: T,
+    pub virtual_secs: f64,
+}
+
+/// Errors from FAM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FamError {
+    UnknownRegion(FamRegionId),
+    OutOfBounds { region: FamRegionId, offset: u64, len: u64, size: u64 },
+}
+
+impl std::fmt::Display for FamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FamError::UnknownRegion(r) => write!(f, "unknown FAM region {r:?}"),
+            FamError::OutOfBounds { region, offset, len, size } => {
+                write!(f, "access [{offset}, {}) out of bounds for region {region:?} of size {size}", offset + len)
+            }
+        }
+    }
+}
+
+impl std::error::Error for FamError {}
+
+/// The FAM layer: allocated regions plus the fabric cost model.
+pub struct FamLayer {
+    topo: Topology,
+    net: NetworkModel,
+    /// NVMe-class penalty multiplier applied by callers for spilled tiers
+    /// (exposed so the cache manager shares one cost source).
+    regions: Mutex<HashMap<FamRegionId, Region>>,
+    next_id: Mutex<u64>,
+}
+
+impl FamLayer {
+    /// Create a FAM layer over a topology and network model.
+    pub fn new(topo: Topology, net: NetworkModel) -> Self {
+        Self { topo, net, regions: Mutex::new(HashMap::new()), next_id: Mutex::new(0) }
+    }
+
+    /// Allocate a zeroed region of `size` bytes on `node`.
+    pub fn allocate(&self, node: NodeId, size: u64) -> FamRegionId {
+        let mut next = self.next_id.lock();
+        let id = FamRegionId(*next);
+        *next += 1;
+        let mut data = BytesMut::with_capacity(size as usize);
+        data.resize(size as usize, 0);
+        self.regions.lock().insert(id, Region { node, data });
+        id
+    }
+
+    /// Deallocate a region.
+    pub fn deallocate(&self, id: FamRegionId) -> Result<(), FamError> {
+        self.regions.lock().remove(&id).map(|_| ()).ok_or(FamError::UnknownRegion(id))
+    }
+
+    /// The node hosting a region.
+    pub fn node_of(&self, id: FamRegionId) -> Result<NodeId, FamError> {
+        self.regions.lock().get(&id).map(|r| r.node).ok_or(FamError::UnknownRegion(id))
+    }
+
+    fn transfer_cost(&self, from: RankId, region_node: NodeId, bytes: u64) -> f64 {
+        // Cost of a one-sided RDMA between the client rank's node and the
+        // region's node; same-node access goes through shared memory.
+        let client_node = self.topo.node_of(from);
+        if client_node == region_node {
+            self.net.intra_latency + bytes as f64 / self.net.intra_bandwidth
+        } else {
+            self.net.inter_latency + bytes as f64 / self.net.inter_bandwidth
+        }
+    }
+
+    fn check_bounds(region: &Region, id: FamRegionId, offset: u64, len: u64) -> Result<(), FamError> {
+        let size = region.data.len() as u64;
+        if offset + len > size {
+            return Err(FamError::OutOfBounds { region: id, offset, len, size });
+        }
+        Ok(())
+    }
+
+    /// Write `data` into a region at `offset` from rank `from`.
+    pub fn put(
+        &self,
+        from: RankId,
+        id: FamRegionId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<FamAccess<()>, FamError> {
+        let mut regions = self.regions.lock();
+        let region = regions.get_mut(&id).ok_or(FamError::UnknownRegion(id))?;
+        Self::check_bounds(region, id, offset, data.len() as u64)?;
+        region.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        let cost = self.transfer_cost(from, region.node, data.len() as u64);
+        Ok(FamAccess { value: (), virtual_secs: cost })
+    }
+
+    /// Read `len` bytes from a region at `offset` into rank `from`.
+    pub fn get(
+        &self,
+        from: RankId,
+        id: FamRegionId,
+        offset: u64,
+        len: u64,
+    ) -> Result<FamAccess<Bytes>, FamError> {
+        let regions = self.regions.lock();
+        let region = regions.get(&id).ok_or(FamError::UnknownRegion(id))?;
+        Self::check_bounds(region, id, offset, len)?;
+        let bytes = Bytes::copy_from_slice(&region.data[offset as usize..(offset + len) as usize]);
+        let cost = self.transfer_cost(from, region.node, len);
+        Ok(FamAccess { value: bytes, virtual_secs: cost })
+    }
+
+    /// Atomic compare-and-swap on an aligned u64 word (little-endian).
+    /// Returns the previous value; the swap happened iff it equals
+    /// `expected`.
+    pub fn compare_and_swap(
+        &self,
+        from: RankId,
+        id: FamRegionId,
+        offset: u64,
+        expected: u64,
+        desired: u64,
+    ) -> Result<FamAccess<u64>, FamError> {
+        let mut regions = self.regions.lock();
+        let region = regions.get_mut(&id).ok_or(FamError::UnknownRegion(id))?;
+        Self::check_bounds(region, id, offset, 8)?;
+        let slot = &mut region.data[offset as usize..offset as usize + 8];
+        let current = u64::from_le_bytes(slot.try_into().expect("8-byte slice"));
+        if current == expected {
+            slot.copy_from_slice(&desired.to_le_bytes());
+        }
+        // Atomics are latency-bound (8 bytes is below any bandwidth term).
+        let cost = self.transfer_cost(from, region.node, 8);
+        Ok(FamAccess { value: current, virtual_secs: cost })
+    }
+
+    /// Atomic fetch-add on an aligned u64 word. Returns the previous value.
+    pub fn fetch_add(
+        &self,
+        from: RankId,
+        id: FamRegionId,
+        offset: u64,
+        delta: u64,
+    ) -> Result<FamAccess<u64>, FamError> {
+        let mut regions = self.regions.lock();
+        let region = regions.get_mut(&id).ok_or(FamError::UnknownRegion(id))?;
+        Self::check_bounds(region, id, offset, 8)?;
+        let slot = &mut region.data[offset as usize..offset as usize + 8];
+        let current = u64::from_le_bytes(slot.try_into().expect("8-byte slice"));
+        slot.copy_from_slice(&current.wrapping_add(delta).to_le_bytes());
+        let cost = self.transfer_cost(from, region.node, 8);
+        Ok(FamAccess { value: current, virtual_secs: cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> FamLayer {
+        FamLayer::new(Topology::new(4, 2), NetworkModel::slingshot())
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let fam = layer();
+        let region = fam.allocate(NodeId(1), 1024);
+        fam.put(RankId(0), region, 100, b"docking-result").unwrap();
+        let got = fam.get(RankId(5), region, 100, 14).unwrap();
+        assert_eq!(&got.value[..], b"docking-result");
+    }
+
+    #[test]
+    fn local_access_is_cheaper_than_remote() {
+        let fam = layer();
+        let region = fam.allocate(NodeId(1), 1 << 20);
+        // Ranks 2,3 live on node 1; rank 0 on node 0.
+        let local = fam.get(RankId(2), region, 0, 1 << 20).unwrap().virtual_secs;
+        let remote = fam.get(RankId(0), region, 0, 1 << 20).unwrap().virtual_secs;
+        assert!(local < remote, "local {local} vs remote {remote}");
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let fam = layer();
+        let region = fam.allocate(NodeId(0), 16);
+        assert!(matches!(
+            fam.put(RankId(0), region, 10, b"0123456789"),
+            Err(FamError::OutOfBounds { .. })
+        ));
+        assert!(fam.get(RankId(0), region, 16, 1).is_err());
+    }
+
+    #[test]
+    fn unknown_and_deallocated_regions_error() {
+        let fam = layer();
+        assert!(fam.get(RankId(0), FamRegionId(99), 0, 1).is_err());
+        let region = fam.allocate(NodeId(0), 8);
+        fam.deallocate(region).unwrap();
+        assert!(fam.get(RankId(0), region, 0, 1).is_err());
+        assert!(fam.deallocate(region).is_err());
+    }
+
+    #[test]
+    fn cas_swaps_only_on_match() {
+        let fam = layer();
+        let region = fam.allocate(NodeId(0), 8);
+        // Initial word is zero.
+        let prev = fam.compare_and_swap(RankId(0), region, 0, 0, 42).unwrap();
+        assert_eq!(prev.value, 0, "swap succeeded");
+        let prev = fam.compare_and_swap(RankId(0), region, 0, 0, 99).unwrap();
+        assert_eq!(prev.value, 42, "swap failed, word unchanged");
+        let now = fam.get(RankId(0), region, 0, 8).unwrap().value;
+        assert_eq!(u64::from_le_bytes(now[..].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let fam = layer();
+        let region = fam.allocate(NodeId(0), 8);
+        assert_eq!(fam.fetch_add(RankId(0), region, 0, 5).unwrap().value, 0);
+        assert_eq!(fam.fetch_add(RankId(1), region, 0, 7).unwrap().value, 5);
+        let now = fam.get(RankId(0), region, 0, 8).unwrap().value;
+        assert_eq!(u64::from_le_bytes(now[..].try_into().unwrap()), 12);
+    }
+
+    #[test]
+    fn regions_are_zero_initialized() {
+        let fam = layer();
+        let region = fam.allocate(NodeId(2), 64);
+        let got = fam.get(RankId(0), region, 0, 64).unwrap();
+        assert!(got.value.iter().all(|&b| b == 0));
+    }
+}

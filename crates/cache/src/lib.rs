@@ -1,0 +1,34 @@
+//! # ids-cache — the globally shared, multi-tier, client-side cache
+//!
+//! Section 3 of the paper introduces a cluster-wide cache that fronts
+//! persistent storage (DAOS/Lustre) with node-local DRAM and NVMe,
+//! accessed over RDMA via OpenFAM, and used to stash molecular-docking
+//! outputs so repeated queries skip re-simulation (Table 2: 5–15×
+//! end-to-end improvement). This crate implements that design:
+//!
+//! * [`fam`] — an OpenFAM-style remote-memory layer: regions allocated on
+//!   memory servers, descriptors, `get`/`put`/compare-and-swap, with an
+//!   RDMA cost model (local DRAM ≪ remote DRAM ≪ NVMe ≪ backing store).
+//! * [`backing`] — the authoritative persistent object store standing in
+//!   for DAOS/Lustre; cache nodes can always re-populate from it after a
+//!   failure, so losing a cache node loses no data.
+//! * [`manager`] — the Cache Manager (§3.2): per-node DRAM tiers with NVMe
+//!   spill, LRU eviction, policy-driven placement, locality queries that
+//!   let schedulers co-locate computation with data, per-tier hit/miss
+//!   statistics, and node-failure handling.
+//! * [`object`] — named cache objects addressed by name and content hash
+//!   (the TR-Cache object-ID scheme the paper describes).
+//! * [`policy`] — placement policies (local-first, round-robin,
+//!   capacity-weighted) exercised by the ablation benches.
+
+pub mod backing;
+pub mod fam;
+pub mod manager;
+pub mod object;
+pub mod policy;
+
+pub use backing::BackingStore;
+pub use fam::{FamLayer, FamRegionId};
+pub use manager::{CacheConfig, CacheManager, CacheOutcome, CacheStats, Tier};
+pub use object::{object_id, ObjectMeta};
+pub use policy::PlacementPolicy;

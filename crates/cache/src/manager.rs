@@ -1,0 +1,675 @@
+//! The Cache Manager (§3.2): tiered placement, eviction, locality, and
+//! failure handling for the globally shared client-side cache.
+//!
+//! Tier order on access, cheapest first: local DRAM → remote DRAM (via
+//! FAM/RDMA) → local NVMe → remote NVMe → backing store. When DRAM
+//! capacity is exceeded the LRU entry *spills* to the same node's NVMe
+//! ("when DRAM capacity is exceeded, the cache seamlessly spills data to
+//! locally connected SSDs"); NVMe evictions drop the cached copy entirely —
+//! safe because authoritative copies live in the backing store. A fetched
+//! backing-store object is re-cached near the requester (re-population).
+
+use crate::backing::BackingStore;
+use crate::object::{object_id, ObjectMeta};
+use crate::policy::PlacementPolicy;
+use bytes::Bytes;
+use ids_simrt::net::NetworkModel;
+use ids_simrt::topology::{NodeId, RankId, Topology};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which tier served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    LocalDram,
+    RemoteDram,
+    LocalNvme,
+    RemoteNvme,
+    Backing,
+}
+
+/// Result of a cache read: where it was served from and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheOutcome {
+    pub tier: Tier,
+    pub virtual_secs: f64,
+}
+
+/// Aggregate hit/miss statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub local_dram_hits: u64,
+    pub remote_dram_hits: u64,
+    pub local_nvme_hits: u64,
+    pub remote_nvme_hits: u64,
+    pub backing_fetches: u64,
+    pub total_misses: u64,
+    pub evictions_to_nvme: u64,
+    pub evictions_dropped: u64,
+}
+
+impl CacheStats {
+    /// All cache-tier hits (everything short of the backing store).
+    pub fn cache_hits(&self) -> u64 {
+        self.local_dram_hits + self.remote_dram_hits + self.local_nvme_hits + self.remote_nvme_hits
+    }
+
+    /// Hit rate over all accesses that found the object somewhere.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits() + self.backing_fetches;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits() as f64 / total as f64
+        }
+    }
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of nodes contributing DRAM/NVMe to the cache (the first
+    /// `cache_nodes` node ids of the topology).
+    pub cache_nodes: usize,
+    /// DRAM bytes contributed per node.
+    pub dram_capacity: u64,
+    /// NVMe bytes contributed per node.
+    pub nvme_capacity: u64,
+    /// Placement policy for new objects.
+    pub policy: PlacementPolicy,
+    /// NVMe access latency (seconds).
+    pub nvme_latency: f64,
+    /// NVMe bandwidth (bytes/second).
+    pub nvme_bandwidth: f64,
+}
+
+impl CacheConfig {
+    /// Testbed-like defaults: local-first placement, NVMe at 100 µs / 3 GB/s.
+    pub fn new(cache_nodes: usize, dram_capacity: u64, nvme_capacity: u64) -> Self {
+        Self {
+            cache_nodes,
+            dram_capacity,
+            nvme_capacity,
+            policy: PlacementPolicy::LocalFirst,
+            nvme_latency: 1.0e-4,
+            nvme_bandwidth: 3.0e9,
+        }
+    }
+}
+
+struct Entry {
+    data: Bytes,
+    last_access: u64,
+}
+
+struct TierState {
+    entries: HashMap<String, Entry>,
+    used: u64,
+}
+
+impl TierState {
+    fn new() -> Self {
+        Self { entries: HashMap::new(), used: 0 }
+    }
+
+    fn lru_victim(&self) -> Option<String> {
+        self.entries
+            .iter()
+            .min_by_key(|(name, e)| (e.last_access, (*name).clone()))
+            .map(|(name, _)| name.clone())
+    }
+}
+
+struct State {
+    dram: Vec<TierState>,
+    nvme: Vec<TierState>,
+    clock: u64,
+    placement_counter: u64,
+}
+
+/// The distributed cache manager.
+pub struct CacheManager {
+    cfg: CacheConfig,
+    topo: Topology,
+    net: NetworkModel,
+    backing: BackingStore,
+    state: Mutex<State>,
+    stats: Mutex<CacheStats>,
+}
+
+impl CacheManager {
+    /// Build a cache over `topo` with the given config; the backing store
+    /// starts empty.
+    pub fn new(topo: Topology, net: NetworkModel, cfg: CacheConfig, backing: BackingStore) -> Self {
+        assert!(cfg.cache_nodes > 0, "need at least one cache node");
+        assert!(cfg.cache_nodes as u32 <= topo.nodes(), "more cache nodes than nodes");
+        let state = State {
+            dram: (0..cfg.cache_nodes).map(|_| TierState::new()).collect(),
+            nvme: (0..cfg.cache_nodes).map(|_| TierState::new()).collect(),
+            clock: 0,
+            placement_counter: 0,
+        };
+        Self { cfg, topo, net, backing, state: Mutex::new(state), stats: Mutex::new(CacheStats::default()) }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.lock().clone()
+    }
+
+    /// Reset statistics (not contents).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = CacheStats::default();
+    }
+
+    fn dram_transfer(&self, from: RankId, node: NodeId, bytes: u64) -> f64 {
+        if self.topo.node_of(from) == node {
+            self.net.intra_latency + bytes as f64 / self.net.intra_bandwidth
+        } else {
+            self.net.inter_latency + bytes as f64 / self.net.inter_bandwidth
+        }
+    }
+
+    fn nvme_transfer(&self, from: RankId, node: NodeId, bytes: u64) -> f64 {
+        let device = self.cfg.nvme_latency + bytes as f64 / self.cfg.nvme_bandwidth;
+        if self.topo.node_of(from) == node {
+            device
+        } else {
+            device + self.net.inter_latency + bytes as f64 / self.net.inter_bandwidth
+        }
+    }
+
+    /// Store an object: persists to the backing store (authoritative) and
+    /// caches it per the placement policy. Returns the virtual cost.
+    pub fn put(&self, from: RankId, name: &str, data: Bytes) -> f64 {
+        let size = data.len() as u64;
+        let mut cost = self.backing.put(name, data.clone()).virtual_secs;
+
+        let mut st = self.state.lock();
+        st.clock += 1;
+        st.placement_counter += 1;
+        // Coherence on overwrite: drop every cached copy of this name first
+        // (the new placement may land on a different node than a previous
+        // put's, and a stale copy must never win the tier search).
+        for ni in 0..self.cfg.cache_nodes {
+            if let Some(e) = st.dram[ni].entries.remove(name) {
+                st.dram[ni].used -= e.data.len() as u64;
+            }
+            if let Some(e) = st.nvme[ni].entries.remove(name) {
+                st.nvme[ni].used -= e.data.len() as u64;
+            }
+        }
+        let free: Vec<u64> = st
+            .dram
+            .iter()
+            .map(|t| self.cfg.dram_capacity.saturating_sub(t.used))
+            .collect();
+        let node = self.cfg.policy.place(self.topo.node_of(from), &free, st.placement_counter - 1);
+        cost += self.dram_transfer(from, node, size);
+        self.insert_dram(&mut st, node, name, data);
+        cost
+    }
+
+    fn insert_dram(&self, st: &mut State, node: NodeId, name: &str, data: Bytes) {
+        let size = data.len() as u64;
+        if size > self.cfg.dram_capacity {
+            // Too big for DRAM entirely; go straight to NVMe if it fits.
+            if size <= self.cfg.nvme_capacity {
+                self.insert_nvme(st, node, name, data);
+            }
+            return;
+        }
+        let clock = st.clock;
+        let ni = node.index();
+        // Remove any stale copy first (overwrite semantics).
+        if let Some(old) = st.dram[ni].entries.remove(name) {
+            st.dram[ni].used -= old.data.len() as u64;
+        }
+        // Evict LRU to NVMe until the object fits.
+        while st.dram[ni].used + size > self.cfg.dram_capacity {
+            let victim = st.dram[ni].lru_victim().expect("used > 0 implies an entry");
+            let e = st.dram[ni].entries.remove(&victim).expect("victim present");
+            st.dram[ni].used -= e.data.len() as u64;
+            self.stats.lock().evictions_to_nvme += 1;
+            self.insert_nvme(st, node, &victim, e.data);
+        }
+        st.dram[ni].used += size;
+        st.dram[ni].entries.insert(name.to_string(), Entry { data, last_access: clock });
+    }
+
+    fn insert_nvme(&self, st: &mut State, node: NodeId, name: &str, data: Bytes) {
+        let size = data.len() as u64;
+        if size > self.cfg.nvme_capacity {
+            return; // only the backing store holds it
+        }
+        let clock = st.clock;
+        let ni = node.index();
+        if let Some(old) = st.nvme[ni].entries.remove(name) {
+            st.nvme[ni].used -= old.data.len() as u64;
+        }
+        while st.nvme[ni].used + size > self.cfg.nvme_capacity {
+            let victim = st.nvme[ni].lru_victim().expect("used > 0 implies an entry");
+            let e = st.nvme[ni].entries.remove(&victim).expect("victim present");
+            st.nvme[ni].used -= e.data.len() as u64;
+            self.stats.lock().evictions_dropped += 1;
+        }
+        st.nvme[ni].used += size;
+        st.nvme[ni].entries.insert(name.to_string(), Entry { data, last_access: clock });
+    }
+
+    /// Store an object with a user-provided placement hint (§3.2: the
+    /// manager moves data "based on user-provided hints or
+    /// operator-defined policies"). The hinted node overrides the policy;
+    /// out-of-range hints fall back to [`Self::put`].
+    pub fn put_with_hint(&self, from: RankId, name: &str, data: Bytes, hint: NodeId) -> f64 {
+        if hint.index() >= self.cfg.cache_nodes {
+            return self.put(from, name, data);
+        }
+        let size = data.len() as u64;
+        let mut cost = self.backing.put(name, data.clone()).virtual_secs;
+        let mut st = self.state.lock();
+        st.clock += 1;
+        st.placement_counter += 1;
+        for ni in 0..self.cfg.cache_nodes {
+            if let Some(e) = st.dram[ni].entries.remove(name) {
+                st.dram[ni].used -= e.data.len() as u64;
+            }
+            if let Some(e) = st.nvme[ni].entries.remove(name) {
+                st.nvme[ni].used -= e.data.len() as u64;
+            }
+        }
+        cost += self.dram_transfer(from, hint, size);
+        self.insert_dram(&mut st, hint, name, data);
+        cost
+    }
+
+    /// Dynamically relocate a cached object to another node's DRAM
+    /// ("the cache manager dynamically relocates data within the caching
+    /// layer to optimize proximity to computation"). Returns the transfer
+    /// cost, or `None` if the object is not cached anywhere or the target
+    /// is not a cache node.
+    pub fn relocate(&self, name: &str, to: NodeId) -> Option<f64> {
+        if to.index() >= self.cfg.cache_nodes {
+            return None;
+        }
+        let mut st = self.state.lock();
+        st.clock += 1;
+        // Find and remove the current copy.
+        let mut found: Option<(usize, Bytes)> = None;
+        for ni in 0..self.cfg.cache_nodes {
+            if let Some(e) = st.dram[ni].entries.remove(name) {
+                st.dram[ni].used -= e.data.len() as u64;
+                found = Some((ni, e.data));
+                break;
+            }
+            if let Some(e) = st.nvme[ni].entries.remove(name) {
+                st.nvme[ni].used -= e.data.len() as u64;
+                found = Some((ni, e.data));
+                break;
+            }
+        }
+        let (from_node, data) = found?;
+        let size = data.len() as u64;
+        // Node-to-node transfer cost (inter-node unless already there).
+        let cost = if from_node == to.index() {
+            0.0
+        } else {
+            self.net.inter_latency + size as f64 / self.net.inter_bandwidth
+        };
+        self.insert_dram(&mut st, to, name, data);
+        Some(cost)
+    }
+
+    /// Fetch an object. Searches tiers cheapest-first, falls back to the
+    /// backing store (re-populating the cache near the requester), and
+    /// returns `None` only on a total miss.
+    pub fn get(&self, from: RankId, name: &str) -> Option<(Bytes, CacheOutcome)> {
+        let my_node = self.topo.node_of(from);
+        let mut st = self.state.lock();
+        st.clock += 1;
+        let clock = st.clock;
+
+        // Tier search order: local DRAM, remote DRAM, local NVMe, remote NVMe.
+        let my = my_node.index();
+        let node_order: Vec<usize> = std::iter::once(my)
+            .chain((0..self.cfg.cache_nodes).filter(|&n| n != my))
+            .filter(|&n| n < self.cfg.cache_nodes)
+            .collect();
+
+        for &ni in &node_order {
+            if let Some(e) = st.dram[ni].entries.get_mut(name) {
+                e.last_access = clock;
+                let data = e.data.clone();
+                let local = ni == my;
+                let tier = if local { Tier::LocalDram } else { Tier::RemoteDram };
+                let cost = self.dram_transfer(from, NodeId(ni as u32), data.len() as u64);
+                let mut stats = self.stats.lock();
+                if local {
+                    stats.local_dram_hits += 1;
+                } else {
+                    stats.remote_dram_hits += 1;
+                }
+                return Some((data, CacheOutcome { tier, virtual_secs: cost }));
+            }
+        }
+        for &ni in &node_order {
+            if let Some(e) = st.nvme[ni].entries.get_mut(name) {
+                e.last_access = clock;
+                let data = e.data.clone();
+                let local = ni == my;
+                let tier = if local { Tier::LocalNvme } else { Tier::RemoteNvme };
+                let cost = self.nvme_transfer(from, NodeId(ni as u32), data.len() as u64);
+                {
+                    // Scope the stats guard: insert_dram below may need it
+                    // for eviction accounting.
+                    let mut stats = self.stats.lock();
+                    if local {
+                        stats.local_nvme_hits += 1;
+                    } else {
+                        stats.remote_nvme_hits += 1;
+                    }
+                }
+                // Promote hot NVMe objects back to DRAM on the serving node.
+                let promoted = data.clone();
+                self.insert_dram(&mut st, NodeId(ni as u32), name, promoted);
+                return Some((data, CacheOutcome { tier, virtual_secs: cost }));
+            }
+        }
+
+        // Backing store: authoritative fallback + re-population.
+        let fetched = self.backing.get(name);
+        match fetched.value {
+            Some(data) => {
+                self.stats.lock().backing_fetches += 1;
+                let free: Vec<u64> = st
+                    .dram
+                    .iter()
+                    .map(|t| self.cfg.dram_capacity.saturating_sub(t.used))
+                    .collect();
+                st.placement_counter += 1;
+                let counter = st.placement_counter - 1;
+                let node = self.cfg.policy.place(my_node, &free, counter);
+                self.insert_dram(&mut st, node, name, data.clone());
+                Some((
+                    data,
+                    CacheOutcome { tier: Tier::Backing, virtual_secs: fetched.virtual_secs },
+                ))
+            }
+            None => {
+                self.stats.lock().total_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Locality query: which cache nodes hold the object, and in which
+    /// tier. Schedulers use this to co-locate computation with data (§3.2).
+    pub fn locality(&self, name: &str) -> Vec<(NodeId, Tier)> {
+        let st = self.state.lock();
+        let mut out = Vec::new();
+        for ni in 0..self.cfg.cache_nodes {
+            if st.dram[ni].entries.contains_key(name) {
+                out.push((NodeId(ni as u32), Tier::LocalDram));
+            }
+            if st.nvme[ni].entries.contains_key(name) {
+                out.push((NodeId(ni as u32), Tier::LocalNvme));
+            }
+        }
+        out
+    }
+
+    /// Metadata for a cached object, if cached anywhere.
+    pub fn meta(&self, name: &str) -> Option<ObjectMeta> {
+        let st = self.state.lock();
+        for ni in 0..self.cfg.cache_nodes {
+            if let Some(e) = st.dram[ni].entries.get(name).or_else(|| st.nvme[ni].entries.get(name)) {
+                return Some(ObjectMeta {
+                    name: name.to_string(),
+                    id: object_id(name),
+                    size: e.data.len() as u64,
+                    node: NodeId(ni as u32),
+                });
+            }
+        }
+        None
+    }
+
+    /// Simulate a cache-node failure: its DRAM and NVMe contents vanish.
+    /// Authoritative copies in the backing store survive, so subsequent
+    /// gets re-populate.
+    pub fn fail_node(&self, node: NodeId) {
+        let mut st = self.state.lock();
+        let ni = node.index();
+        if ni < self.cfg.cache_nodes {
+            st.dram[ni] = TierState::new();
+            st.nvme[ni] = TierState::new();
+        }
+    }
+
+    /// Drop an object from every cache tier (backing copy untouched).
+    pub fn invalidate(&self, name: &str) {
+        let mut st = self.state.lock();
+        for ni in 0..self.cfg.cache_nodes {
+            if let Some(e) = st.dram[ni].entries.remove(name) {
+                st.dram[ni].used -= e.data.len() as u64;
+            }
+            if let Some(e) = st.nvme[ni].entries.remove(name) {
+                st.nvme[ni].used -= e.data.len() as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(dram: u64, nvme: u64) -> CacheManager {
+        CacheManager::new(
+            Topology::new(4, 2),
+            NetworkModel::slingshot(),
+            CacheConfig::new(2, dram, nvme),
+            BackingStore::default_store(),
+        )
+    }
+
+    fn payload(n: usize, tag: u8) -> Bytes {
+        Bytes::from(vec![tag; n])
+    }
+
+    #[test]
+    fn put_then_local_get_hits_dram() {
+        let c = cache(1 << 20, 1 << 22);
+        // Rank 0 lives on node 0, which is a cache node.
+        c.put(RankId(0), "vina/c1", payload(1000, 1));
+        let (data, out) = c.get(RankId(0), "vina/c1").unwrap();
+        assert_eq!(data.len(), 1000);
+        assert_eq!(out.tier, Tier::LocalDram);
+        assert_eq!(c.stats().local_dram_hits, 1);
+    }
+
+    #[test]
+    fn remote_rank_hits_remote_dram() {
+        let c = cache(1 << 20, 1 << 22);
+        c.put(RankId(0), "obj", payload(1000, 2));
+        // Rank 6 is on node 3 (not a cache node) → remote DRAM.
+        let (_, out) = c.get(RankId(6), "obj").unwrap();
+        assert_eq!(out.tier, Tier::RemoteDram);
+        // Remote access costs more than local.
+        let (_, local) = c.get(RankId(0), "obj").unwrap();
+        assert!(out.virtual_secs > local.virtual_secs);
+    }
+
+    #[test]
+    fn dram_pressure_spills_to_nvme() {
+        // DRAM holds 2 objects of 1000; the third put evicts the LRU.
+        let c = cache(2048, 1 << 20);
+        c.put(RankId(0), "a", payload(1000, 1));
+        c.put(RankId(0), "b", payload(1000, 2));
+        c.put(RankId(0), "c", payload(1000, 3));
+        assert!(c.stats().evictions_to_nvme >= 1);
+        // "a" (LRU) now serves from NVMe.
+        let (_, out) = c.get(RankId(0), "a").unwrap();
+        assert_eq!(out.tier, Tier::LocalNvme);
+    }
+
+    #[test]
+    fn nvme_hit_promotes_back_to_dram() {
+        let c = cache(2048, 1 << 20);
+        c.put(RankId(0), "a", payload(1000, 1));
+        c.put(RankId(0), "b", payload(1000, 2));
+        c.put(RankId(0), "c", payload(1000, 3)); // spills a
+        let (_, first) = c.get(RankId(0), "a").unwrap();
+        assert_eq!(first.tier, Tier::LocalNvme);
+        let (_, second) = c.get(RankId(0), "a").unwrap();
+        assert_eq!(second.tier, Tier::LocalDram, "promoted on first NVMe hit");
+    }
+
+    #[test]
+    fn total_eviction_falls_back_to_backing_and_repopulates() {
+        // Tiny tiers: everything cascades out.
+        let c = cache(1000, 1000);
+        c.put(RankId(0), "a", payload(900, 1));
+        c.put(RankId(0), "b", payload(900, 2)); // a → nvme
+        c.put(RankId(0), "c", payload(900, 3)); // b → nvme, a dropped
+        let (data, out) = c.get(RankId(0), "a").unwrap();
+        assert_eq!(out.tier, Tier::Backing);
+        assert_eq!(data.len(), 900);
+        // Re-populated: next access is a cache hit.
+        let (_, again) = c.get(RankId(0), "a").unwrap();
+        assert_ne!(again.tier, Tier::Backing);
+    }
+
+    #[test]
+    fn tier_costs_are_ordered() {
+        let big = 1 << 22; // 4 MiB so bandwidth terms dominate latency noise
+        let c = cache(1 << 23, 1 << 24);
+        c.put(RankId(0), "x", payload(big, 7));
+        let (_, local_dram) = c.get(RankId(0), "x").unwrap();
+        let (_, remote_dram) = c.get(RankId(7), "x").unwrap();
+        assert!(local_dram.virtual_secs < remote_dram.virtual_secs);
+        // Force NVMe service.
+        let c2 = cache(1, 1 << 24);
+        c2.put(RankId(0), "x", payload(big, 7));
+        let (_, nvme) = c2.get(RankId(0), "x").unwrap();
+        assert_eq!(nvme.tier, Tier::LocalNvme);
+        assert!(remote_dram.virtual_secs < nvme.virtual_secs, "{} < {}", remote_dram.virtual_secs, nvme.virtual_secs);
+        // Backing slowest.
+        let c3 = cache(1, 1);
+        c3.put(RankId(0), "x", payload(big, 7));
+        let (_, back) = c3.get(RankId(0), "x").unwrap();
+        assert_eq!(back.tier, Tier::Backing);
+        assert!(nvme.virtual_secs < back.virtual_secs);
+    }
+
+    #[test]
+    fn locality_reports_holders() {
+        let c = cache(1 << 20, 1 << 22);
+        c.put(RankId(0), "obj", payload(100, 1));
+        let loc = c.locality("obj");
+        assert_eq!(loc, vec![(NodeId(0), Tier::LocalDram)]);
+        assert!(c.locality("ghost").is_empty());
+        let meta = c.meta("obj").unwrap();
+        assert_eq!(meta.size, 100);
+        assert_eq!(meta.node, NodeId(0));
+        assert_eq!(meta.id, object_id("obj"));
+    }
+
+    #[test]
+    fn node_failure_loses_cache_not_data() {
+        let c = cache(1 << 20, 1 << 22);
+        c.put(RankId(0), "obj", payload(100, 1));
+        c.fail_node(NodeId(0));
+        assert!(c.locality("obj").is_empty());
+        // Still retrievable via the backing store, then re-cached.
+        let (_, out) = c.get(RankId(0), "obj").unwrap();
+        assert_eq!(out.tier, Tier::Backing);
+        assert!(!c.locality("obj").is_empty(), "re-populated");
+    }
+
+    #[test]
+    fn total_miss_returns_none() {
+        let c = cache(1 << 20, 1 << 22);
+        assert!(c.get(RankId(0), "never-stored").is_none());
+        assert_eq!(c.stats().total_misses, 1);
+    }
+
+    #[test]
+    fn invalidate_drops_cached_copy_only() {
+        let c = cache(1 << 20, 1 << 22);
+        c.put(RankId(0), "obj", payload(100, 1));
+        c.invalidate("obj");
+        assert!(c.locality("obj").is_empty());
+        let (_, out) = c.get(RankId(0), "obj").unwrap();
+        assert_eq!(out.tier, Tier::Backing);
+    }
+
+    #[test]
+    fn oversized_object_skips_dram() {
+        let c = cache(100, 1 << 20);
+        c.put(RankId(0), "big", payload(5000, 1));
+        let (_, out) = c.get(RankId(0), "big").unwrap();
+        assert_eq!(out.tier, Tier::LocalNvme);
+    }
+
+    #[test]
+    fn hit_rate_reflects_reuse() {
+        let c = cache(1 << 20, 1 << 22);
+        c.put(RankId(0), "a", payload(10, 1));
+        c.get(RankId(0), "a").unwrap();
+        c.get(RankId(0), "a").unwrap();
+        c.invalidate("a");
+        c.get(RankId(0), "a").unwrap(); // backing fetch
+        let s = c.stats();
+        assert_eq!(s.cache_hits(), 2);
+        assert_eq!(s.backing_fetches, 1);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn put_with_hint_overrides_policy() {
+        let c = cache(1 << 20, 1 << 22);
+        // Rank 0 is on node 0, but the user hints node 1.
+        c.put_with_hint(RankId(0), "obj", payload(100, 1), NodeId(1));
+        assert_eq!(c.locality("obj"), vec![(NodeId(1), Tier::LocalDram)]);
+        // Out-of-range hints degrade to policy placement.
+        c.put_with_hint(RankId(0), "obj2", payload(100, 2), NodeId(9));
+        assert_eq!(c.locality("obj2"), vec![(NodeId(0), Tier::LocalDram)]);
+    }
+
+    #[test]
+    fn relocate_moves_the_cached_copy() {
+        let c = cache(1 << 20, 1 << 22);
+        c.put(RankId(0), "obj", payload(1000, 3));
+        assert_eq!(c.locality("obj"), vec![(NodeId(0), Tier::LocalDram)]);
+        let cost = c.relocate("obj", NodeId(1)).expect("cached object relocates");
+        assert!(cost > 0.0);
+        assert_eq!(c.locality("obj"), vec![(NodeId(1), Tier::LocalDram)]);
+        // Data unchanged after the move.
+        let (data, out) = c.get(RankId(2), "obj").unwrap(); // rank 2 = node 1
+        assert_eq!(out.tier, Tier::LocalDram);
+        assert_eq!(data.len(), 1000);
+        // Relocating to the same node is free; unknown objects are None.
+        assert_eq!(c.relocate("obj", NodeId(1)), Some(0.0));
+        assert_eq!(c.relocate("ghost", NodeId(0)), None);
+        assert_eq!(c.relocate("obj", NodeId(9)), None);
+    }
+
+    #[test]
+    fn overwrite_updates_value_and_accounting() {
+        let c = cache(1 << 20, 1 << 22);
+        c.put(RankId(0), "k", payload(100, 1));
+        c.put(RankId(0), "k", payload(200, 2));
+        let (data, _) = c.get(RankId(0), "k").unwrap();
+        assert_eq!(data.len(), 200);
+        assert_eq!(data[0], 2);
+        let meta = c.meta("k").unwrap();
+        assert_eq!(meta.size, 200);
+    }
+}

@@ -1,0 +1,39 @@
+//! Named cache objects.
+//!
+//! "Each cached object is addressed by its object name/path and a computed
+//! object hash (object ID)" (§3.2). The id is a stable content-independent
+//! hash of the *name*; the value bytes live in the tiers and the backing
+//! store.
+
+use ids_simrt::rng::fnv1a;
+use ids_simrt::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Compute the object ID for a name/path (the TR-Cache hash helper).
+pub fn object_id(name: &str) -> u64 {
+    fnv1a(name.as_bytes())
+}
+
+/// Metadata the Cache Manager tracks per cached object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectMeta {
+    /// Object name/path, e.g. `"vina/P29274/CHEMBL112"`.
+    pub name: String,
+    /// Object ID (name hash).
+    pub id: u64,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Node whose tier currently holds the cached copy.
+    pub node: NodeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_distinct() {
+        assert_eq!(object_id("vina/P29274/c1"), object_id("vina/P29274/c1"));
+        assert_ne!(object_id("vina/P29274/c1"), object_id("vina/P29274/c2"));
+    }
+}

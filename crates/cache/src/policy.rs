@@ -1,0 +1,88 @@
+//! Placement policies: which node's tier should cache a new object.
+//!
+//! "The cache manager dynamically relocates data within the caching layer
+//! to optimize proximity to computation, leveraging user-defined hints or
+//! operator-defined policies" (§3.2). Three policies are provided; the
+//! ablation bench compares them.
+
+use ids_simrt::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Placement policy for newly cached objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Cache on the node that produced/requested the object — maximizes
+    /// the chance the next access is local (the paper's default:
+    /// "data is cached locally to the nodes where there is a higher
+    /// probability of it being accessed").
+    LocalFirst,
+    /// Rotate placements across cache nodes — spreads capacity use.
+    RoundRobin,
+    /// Weight placements by remaining capacity — avoids hot-node evictions.
+    CapacityWeighted,
+}
+
+impl PlacementPolicy {
+    /// Choose a node for a new object.
+    ///
+    /// * `requester` — node asking to cache the object.
+    /// * `free_bytes[i]` — remaining DRAM capacity of cache node `i`.
+    /// * `counter` — monotonically increasing placement counter (for
+    ///   round-robin).
+    pub fn place(self, requester: NodeId, free_bytes: &[u64], counter: u64) -> NodeId {
+        assert!(!free_bytes.is_empty(), "no cache nodes configured");
+        match self {
+            PlacementPolicy::LocalFirst => {
+                if requester.index() < free_bytes.len() {
+                    requester
+                } else {
+                    // Requester is not a cache node (e.g. compute-only):
+                    // fall back to the emptiest cache node.
+                    PlacementPolicy::CapacityWeighted.place(requester, free_bytes, counter)
+                }
+            }
+            PlacementPolicy::RoundRobin => NodeId((counter % free_bytes.len() as u64) as u32),
+            PlacementPolicy::CapacityWeighted => {
+                let best = free_bytes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, &b)| (b, std::cmp::Reverse(i)))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                NodeId(best as u32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_first_prefers_requester() {
+        let p = PlacementPolicy::LocalFirst;
+        assert_eq!(p.place(NodeId(2), &[100, 100, 100, 100], 0), NodeId(2));
+    }
+
+    #[test]
+    fn local_first_falls_back_for_non_cache_nodes() {
+        let p = PlacementPolicy::LocalFirst;
+        // Requester node 9 doesn't host a cache tier; choose emptiest.
+        assert_eq!(p.place(NodeId(9), &[10, 500, 100], 0), NodeId(1));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = PlacementPolicy::RoundRobin;
+        let picks: Vec<u32> = (0..6).map(|c| p.place(NodeId(0), &[1, 1, 1], c).0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn capacity_weighted_picks_emptiest_deterministically() {
+        let p = PlacementPolicy::CapacityWeighted;
+        assert_eq!(p.place(NodeId(0), &[5, 50, 50], 0), NodeId(1), "ties break to lower index");
+        assert_eq!(p.place(NodeId(0), &[100, 50, 50], 0), NodeId(0));
+    }
+}

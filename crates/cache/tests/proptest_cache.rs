@@ -1,0 +1,110 @@
+//! Model-based property tests for the cache: random operation sequences
+//! (put / get / invalidate / fail-node) checked against a reference
+//! HashMap model. The invariant under test is the paper's §3.2 durability
+//! contract: the cache may lose *cached copies* at any time, but a `get`
+//! after a `put` always returns the last value put (served from some tier
+//! or re-populated from the backing store).
+
+use bytes::Bytes;
+use ids_cache::{BackingStore, CacheConfig, CacheManager};
+use ids_simrt::{NetworkModel, NodeId, RankId, Topology};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, len: u16, tag: u8, rank: u8 },
+    Get { key: u8, rank: u8 },
+    Invalidate { key: u8 },
+    FailNode { node: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12, 1u16..2048, any::<u8>(), 0u8..16)
+            .prop_map(|(key, len, tag, rank)| Op::Put { key, len, tag, rank }),
+        (0u8..12, 0u8..16).prop_map(|(key, rank)| Op::Get { key, rank }),
+        (0u8..12).prop_map(|key| Op::Invalidate { key }),
+        (0u8..2).prop_map(|node| Op::FailNode { node }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_linearizes_against_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let topo = Topology::new(4, 4);
+        // Small tiers force constant eviction/spill traffic.
+        let cache = CacheManager::new(
+            topo,
+            NetworkModel::slingshot(),
+            CacheConfig::new(2, 4096, 8192),
+            BackingStore::default_store(),
+        );
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Put { key, len, tag, rank } => {
+                    let data = vec![tag; len as usize];
+                    cache.put(RankId(rank as u32), &format!("k{key}"), Bytes::from(data.clone()));
+                    model.insert(key, data);
+                }
+                Op::Get { key, rank } => {
+                    let got = cache.get(RankId(rank as u32), &format!("k{key}"));
+                    match model.get(&key) {
+                        Some(expect) => {
+                            let (bytes, outcome) = got.expect("model says present");
+                            prop_assert_eq!(&bytes[..], &expect[..], "value mismatch at {:?}", op);
+                            prop_assert!(outcome.virtual_secs >= 0.0);
+                        }
+                        None => prop_assert!(got.is_none(), "phantom object at {:?}", op),
+                    }
+                }
+                Op::Invalidate { key } => {
+                    // Drops cached copies only; the backing store keeps the
+                    // object, so the model is unchanged.
+                    cache.invalidate(&format!("k{key}"));
+                }
+                Op::FailNode { node } => {
+                    cache.fail_node(NodeId(node as u32));
+                }
+            }
+        }
+
+        // Post-run: every object in the model is still retrievable.
+        for (key, expect) in &model {
+            let (bytes, _) = cache.get(RankId(3), &format!("k{key}")).expect("durable");
+            prop_assert_eq!(&bytes[..], &expect[..]);
+        }
+    }
+
+    /// Locality reports are sound: any reported holder actually serves the
+    /// object, and meta sizes match.
+    #[test]
+    fn locality_reports_are_sound(keys in proptest::collection::vec((0u8..6, 16u16..512), 1..30)) {
+        let topo = Topology::new(4, 4);
+        let cache = CacheManager::new(
+            topo,
+            NetworkModel::slingshot(),
+            CacheConfig::new(2, 2048, 1 << 20),
+            BackingStore::default_store(),
+        );
+        let mut sizes: HashMap<u8, usize> = HashMap::new();
+        for (key, len) in &keys {
+            cache.put(RankId(0), &format!("k{key}"), Bytes::from(vec![1u8; *len as usize]));
+            sizes.insert(*key, *len as usize);
+        }
+        for (key, len) in &sizes {
+            let name = format!("k{key}");
+            if let Some(meta) = cache.meta(&name) {
+                prop_assert_eq!(meta.size as usize, *len);
+                prop_assert!(!cache.locality(&name).is_empty());
+            }
+            // Whether cached or evicted, the object itself must be readable.
+            let (bytes, _) = cache.get(RankId(5), &name).expect("durable");
+            prop_assert_eq!(bytes.len(), *len);
+        }
+    }
+}

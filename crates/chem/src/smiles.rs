@@ -1,0 +1,708 @@
+//! A SMILES parser and writer.
+//!
+//! Covers the subset of the SMILES grammar that drug-like molecules in
+//! ChEMBL-style datasets actually use:
+//!
+//! * organic-subset atoms written bare: `B C N O P S F Cl Br I`
+//! * aromatic atoms written lowercase: `b c n o p s`
+//! * bracket atoms with optional isotope, explicit H count and charge:
+//!   `[NH4+]`, `[O-]`, `[13C]`, `[nH]`
+//! * bonds `-`, `=`, `#`, `:` (default single / aromatic)
+//! * branches `( … )` to arbitrary depth
+//! * ring-closure digits `1`–`9` and `%nn` two-digit closures
+//! * the disconnect dot `.` is rejected (compounds in the NCNPR pipeline
+//!   are single-component ligands)
+//!
+//! The parser produces a [`Molecule`] graph; [`write_smiles`] re-emits a
+//! SMILES string via depth-first traversal. The round trip is stable:
+//! `parse(write(m))` is graph-isomorphic to `m` (same atoms in order, same
+//! bonds).
+
+use crate::element::Element;
+use crate::molecule::{Atom, BondOrder, Molecule};
+
+/// Error raised while parsing a SMILES string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmilesError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte position in the input where the problem was detected.
+    pub pos: usize,
+}
+
+impl SmilesError {
+    fn new(message: impl Into<String>, pos: usize) -> Self {
+        Self { message: message.into(), pos }
+    }
+}
+
+impl std::fmt::Display for SmilesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SMILES error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for SmilesError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    mol: Molecule,
+    /// Stack of "previous atom" indices; `(` pushes, `)` pops.
+    stack: Vec<usize>,
+    /// Last atom emitted on the current chain, if any.
+    prev: Option<usize>,
+    /// Pending explicit bond symbol to apply to the next atom/ring bond.
+    pending_bond: Option<BondOrder>,
+    /// Open ring closures: digit → (atom index, bond order at open site).
+    rings: Vec<Option<(usize, Option<BondOrder>)>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            bytes: input.as_bytes(),
+            pos: 0,
+            mol: Molecule::new(),
+            stack: Vec::new(),
+            prev: None,
+            pending_bond: None,
+            rings: vec![None; 100],
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SmilesError {
+        SmilesError::new(msg, self.pos)
+    }
+
+    fn attach(&mut self, atom_idx: usize) -> Result<(), SmilesError> {
+        if let Some(prev) = self.prev {
+            let aromatic_pair = self.mol.atom(prev).aromatic && self.mol.atom(atom_idx).aromatic;
+            let order = match self.pending_bond.take() {
+                Some(o) => o,
+                None if aromatic_pair => BondOrder::Aromatic,
+                None => BondOrder::Single,
+            };
+            self.mol.add_bond(prev, atom_idx, order);
+        } else if self.pending_bond.is_some() {
+            return Err(self.err("bond symbol with no preceding atom"));
+        }
+        self.prev = Some(atom_idx);
+        Ok(())
+    }
+
+    fn parse_organic_atom(&mut self) -> Result<Option<Atom>, SmilesError> {
+        let b = match self.peek() {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        // Two-letter symbols first.
+        if b == b'C' && self.bytes.get(self.pos + 1) == Some(&b'l') {
+            self.pos += 2;
+            return Ok(Some(Atom::new(Element::Cl)));
+        }
+        if b == b'B' && self.bytes.get(self.pos + 1) == Some(&b'r') {
+            self.pos += 2;
+            return Ok(Some(Atom::new(Element::Br)));
+        }
+        let (elem, aromatic) = match b {
+            b'B' => (Element::B, false),
+            b'C' => (Element::C, false),
+            b'N' => (Element::N, false),
+            b'O' => (Element::O, false),
+            b'P' => (Element::P, false),
+            b'S' => (Element::S, false),
+            b'F' => (Element::F, false),
+            b'I' => (Element::I, false),
+            b'b' => (Element::B, true),
+            b'c' => (Element::C, true),
+            b'n' => (Element::N, true),
+            b'o' => (Element::O, true),
+            b'p' => (Element::P, true),
+            b's' => (Element::S, true),
+            _ => return Ok(None),
+        };
+        self.pos += 1;
+        let mut atom = Atom::new(elem);
+        atom.aromatic = aromatic;
+        Ok(Some(atom))
+    }
+
+    fn parse_bracket_atom(&mut self) -> Result<Atom, SmilesError> {
+        let open = self.pos;
+        self.bump(); // consume '['
+        // Optional isotope.
+        let mut isotope: u16 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            isotope = isotope * 10 + (b - b'0') as u16;
+            self.pos += 1;
+        }
+        // Element symbol: uppercase + optional lowercase, or aromatic lowercase.
+        let b = self.peek().ok_or_else(|| self.err("unterminated bracket atom"))?;
+        let (elem, aromatic) = if b.is_ascii_uppercase() {
+            let mut sym = String::new();
+            sym.push(b as char);
+            self.pos += 1;
+            if let Some(l) = self.peek() {
+                if l.is_ascii_lowercase() && l != b'h' {
+                    let two: String = format!("{}{}", b as char, l as char);
+                    if Element::from_symbol(&two).is_some() {
+                        sym = two;
+                        self.pos += 1;
+                    }
+                }
+            }
+            let e = Element::from_symbol(&sym)
+                .ok_or_else(|| SmilesError::new(format!("unknown element {sym:?}"), open))?;
+            (e, false)
+        } else if b.is_ascii_lowercase() {
+            let e = match b {
+                b'b' => Element::B,
+                b'c' => Element::C,
+                b'n' => Element::N,
+                b'o' => Element::O,
+                b'p' => Element::P,
+                b's' => Element::S,
+                _ => return Err(self.err(format!("invalid aromatic symbol {:?}", b as char))),
+            };
+            self.pos += 1;
+            (e, true)
+        } else {
+            return Err(self.err("expected element symbol in bracket atom"));
+        };
+
+        let mut atom = Atom::new(elem);
+        atom.aromatic = aromatic;
+        atom.isotope = isotope;
+
+        // Optional explicit hydrogens: H or Hn.
+        if self.peek() == Some(b'H') {
+            self.pos += 1;
+            let mut h: u8 = 1;
+            if let Some(d @ b'0'..=b'9') = self.peek() {
+                h = d - b'0';
+                self.pos += 1;
+            }
+            atom.explicit_h = h;
+        }
+
+        // Optional charge: +, -, ++, --, +n, -n.
+        match self.peek() {
+            Some(b'+') => {
+                self.pos += 1;
+                let mut q: i8 = 1;
+                if let Some(d @ b'0'..=b'9') = self.peek() {
+                    q = (d - b'0') as i8;
+                    self.pos += 1;
+                } else {
+                    while self.peek() == Some(b'+') {
+                        q += 1;
+                        self.pos += 1;
+                    }
+                }
+                atom.charge = q;
+            }
+            Some(b'-') => {
+                self.pos += 1;
+                let mut q: i8 = -1;
+                if let Some(d @ b'0'..=b'9') = self.peek() {
+                    q = -((d - b'0') as i8);
+                    self.pos += 1;
+                } else {
+                    while self.peek() == Some(b'-') {
+                        q -= 1;
+                        self.pos += 1;
+                    }
+                }
+                atom.charge = q;
+            }
+            _ => {}
+        }
+
+        if self.bump() != Some(b']') {
+            return Err(SmilesError::new("unterminated bracket atom", open));
+        }
+        Ok(atom)
+    }
+
+    fn handle_ring(&mut self, digit: usize) -> Result<(), SmilesError> {
+        let here = self.prev.ok_or_else(|| self.err("ring closure before any atom"))?;
+        match self.rings[digit].take() {
+            None => {
+                self.rings[digit] = Some((here, self.pending_bond.take()));
+            }
+            Some((other, open_bond)) => {
+                if other == here {
+                    return Err(self.err("ring closure bonds atom to itself"));
+                }
+                if self.mol.neighbors(other).any(|(n, _)| n == here) {
+                    // e.g. "C1C1": the closure would duplicate the chain bond.
+                    return Err(self.err("ring closure duplicates an existing bond"));
+                }
+                let close_bond = self.pending_bond.take();
+                let aromatic_pair = self.mol.atom(other).aromatic && self.mol.atom(here).aromatic;
+                let order = match (open_bond, close_bond) {
+                    (Some(a), Some(b)) if a != b => {
+                        return Err(self.err("conflicting ring-closure bond orders"))
+                    }
+                    (Some(a), _) => a,
+                    (None, Some(b)) => b,
+                    (None, None) if aromatic_pair => BondOrder::Aromatic,
+                    (None, None) => BondOrder::Single,
+                };
+                self.mol.add_bond(other, here, order);
+            }
+        }
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<Molecule, SmilesError> {
+        while let Some(b) = self.peek() {
+            match b {
+                b'(' => {
+                    let prev = self.prev.ok_or_else(|| self.err("branch before any atom"))?;
+                    self.stack.push(prev);
+                    self.pos += 1;
+                }
+                b')' => {
+                    let prev = self.stack.pop().ok_or_else(|| self.err("unmatched ')'"))?;
+                    self.prev = Some(prev);
+                    self.pos += 1;
+                }
+                b'-' => {
+                    self.pending_bond = Some(BondOrder::Single);
+                    self.pos += 1;
+                }
+                b'=' => {
+                    self.pending_bond = Some(BondOrder::Double);
+                    self.pos += 1;
+                }
+                b'#' => {
+                    self.pending_bond = Some(BondOrder::Triple);
+                    self.pos += 1;
+                }
+                b':' => {
+                    self.pending_bond = Some(BondOrder::Aromatic);
+                    self.pos += 1;
+                }
+                b'/' | b'\\' => {
+                    // Cis/trans markers degrade to single bonds; geometry is
+                    // handled by the 3-D embedder, not the graph.
+                    self.pending_bond = Some(BondOrder::Single);
+                    self.pos += 1;
+                }
+                b'0'..=b'9' => {
+                    let d = (b - b'0') as usize;
+                    self.pos += 1;
+                    self.handle_ring(d)?;
+                }
+                b'%' => {
+                    self.pos += 1;
+                    let d1 = self.bump().filter(u8::is_ascii_digit).ok_or_else(|| self.err("'%' needs two digits"))?;
+                    let d2 = self.bump().filter(u8::is_ascii_digit).ok_or_else(|| self.err("'%' needs two digits"))?;
+                    let d = ((d1 - b'0') * 10 + (d2 - b'0')) as usize;
+                    self.handle_ring(d)?;
+                }
+                b'[' => {
+                    let atom = self.parse_bracket_atom()?;
+                    let idx = self.mol.add_atom(atom);
+                    self.attach(idx)?;
+                }
+                b'.' => {
+                    return Err(self.err("multi-component SMILES ('.') not supported"));
+                }
+                _ => {
+                    match self.parse_organic_atom()? {
+                        Some(atom) => {
+                            let idx = self.mol.add_atom(atom);
+                            self.attach(idx)?;
+                        }
+                        None => {
+                            return Err(self.err(format!("unexpected character {:?}", b as char)))
+                        }
+                    };
+                }
+            }
+        }
+        if !self.stack.is_empty() {
+            return Err(self.err("unmatched '('"));
+        }
+        if self.pending_bond.is_some() {
+            return Err(self.err("dangling bond symbol at end of input"));
+        }
+        if let Some(d) = self.rings.iter().position(Option::is_some) {
+            return Err(self.err(format!("unclosed ring bond {d}")));
+        }
+        if self.mol.atom_count() == 0 {
+            return Err(self.err("empty SMILES"));
+        }
+        Ok(self.mol)
+    }
+}
+
+/// Parse a SMILES string into a molecular graph.
+pub fn parse_smiles(input: &str) -> Result<Molecule, SmilesError> {
+    Parser::new(input.trim()).run()
+}
+
+/// Serialize a molecule back to SMILES via DFS from atom 0.
+///
+/// Emits bracket atoms whenever charge / isotope / explicit-H data is
+/// present, ring-closure digits for cycle edges, and parenthesized branches.
+pub fn write_smiles(mol: &Molecule) -> String {
+    if mol.atom_count() == 0 {
+        return String::new();
+    }
+    // Identify ring-closure edges: edges not in the DFS tree.
+    let n = mol.atom_count();
+    let mut visited = vec![false; n];
+    let mut tree_edge = vec![false; mol.bond_count()];
+    let mut order = Vec::with_capacity(n);
+    // Iterative DFS recording tree edges.
+    for root in 0..n {
+        if visited[root] {
+            continue;
+        }
+        let mut stack = vec![root];
+        visited[root] = true;
+        while let Some(a) = stack.pop() {
+            order.push(a);
+            for (bi, bond) in mol.bonds().iter().enumerate() {
+                let other = if bond.a == a {
+                    bond.b
+                } else if bond.b == a {
+                    bond.a
+                } else {
+                    continue;
+                };
+                if !visited[other] {
+                    visited[other] = true;
+                    tree_edge[bi] = true;
+                    stack.push(other);
+                }
+            }
+        }
+    }
+
+    // Assign ring-closure numbers to non-tree edges.
+    let mut ring_labels: Vec<Vec<(usize, usize, BondOrder)>> = vec![Vec::new(); n];
+    for (bi, bond) in mol.bonds().iter().enumerate() {
+        if !tree_edge[bi] {
+            let label = bi + 1; // unique per closure in this writer
+            ring_labels[bond.a].push((label, bond.b, bond.order));
+            ring_labels[bond.b].push((label, bond.a, bond.order));
+        }
+    }
+
+    let mut out = String::new();
+    let mut emitted = vec![false; n];
+    emit_dfs(mol, 0, usize::MAX, &tree_edge, &ring_labels, &mut emitted, &mut out);
+    out
+}
+
+fn bond_symbol(order: BondOrder, a_arom: bool, b_arom: bool) -> &'static str {
+    match order {
+        BondOrder::Single => "",
+        BondOrder::Double => "=",
+        BondOrder::Triple => "#",
+        BondOrder::Aromatic => {
+            if a_arom && b_arom {
+                ""
+            } else {
+                ":"
+            }
+        }
+    }
+}
+
+fn atom_token(atom: &Atom) -> String {
+    let needs_bracket = atom.charge != 0 || atom.isotope != 0 || atom.explicit_h > 0;
+    let sym = if atom.aromatic && atom.element.can_be_aromatic() {
+        atom.element.symbol().to_ascii_lowercase()
+    } else {
+        atom.element.symbol().to_string()
+    };
+    if !needs_bracket {
+        return sym;
+    }
+    let mut t = String::from("[");
+    if atom.isotope != 0 {
+        t.push_str(&atom.isotope.to_string());
+    }
+    t.push_str(&sym);
+    if atom.explicit_h == 1 {
+        t.push('H');
+    } else if atom.explicit_h > 1 {
+        t.push('H');
+        t.push_str(&atom.explicit_h.to_string());
+    }
+    match atom.charge {
+        0 => {}
+        1 => t.push('+'),
+        -1 => t.push('-'),
+        q if q > 1 => t.push_str(&format!("+{q}")),
+        q => t.push_str(&format!("-{}", -q)),
+    }
+    t.push(']');
+    t
+}
+
+fn ring_token(label: usize) -> String {
+    // Map arbitrary labels into SMILES digit space; %nn for two digits.
+    let d = (label % 90) + 1;
+    if d < 10 {
+        d.to_string()
+    } else {
+        format!("%{d:02}")
+    }
+}
+
+fn emit_dfs(
+    mol: &Molecule,
+    at: usize,
+    parent: usize,
+    tree_edge: &[bool],
+    ring_labels: &[Vec<(usize, usize, BondOrder)>],
+    emitted: &mut [bool],
+    out: &mut String,
+) {
+    emitted[at] = true;
+    out.push_str(&atom_token(mol.atom(at)));
+    // Ring closure digits at this atom.
+    for &(label, other, order) in &ring_labels[at] {
+        let sym = bond_symbol(order, mol.atom(at).aromatic, mol.atom(other).aromatic);
+        // Emit the bond symbol only at the opening site to avoid duplication.
+        if !emitted[other] {
+            out.push_str(sym);
+        }
+        out.push_str(&ring_token(label));
+    }
+    // Children are reached through spanning-tree edges only; ring (non-tree)
+    // edges were already rendered as closure digits above.
+    let children: Vec<(usize, BondOrder)> = mol
+        .neighbors_with_bonds(at)
+        .filter(|&(o, b)| tree_edge[b] && o != parent && !emitted[o])
+        .map(|(o, b)| (o, mol.bonds()[b].order))
+        .collect();
+    for (i, &(child, order)) in children.iter().enumerate() {
+        let last = i == children.len() - 1;
+        let sym = bond_symbol(order, mol.atom(at).aromatic, mol.atom(child).aromatic);
+        if !last {
+            out.push('(');
+            out.push_str(sym);
+            emit_dfs(mol, child, at, tree_edge, ring_labels, emitted, out);
+            out.push(')');
+        } else {
+            out.push_str(sym);
+            emit_dfs(mol, child, at, tree_edge, ring_labels, emitted, out);
+        }
+    }
+}
+
+/// Quick validity check: parses and verifies valence limits are respected.
+pub fn validate_smiles(input: &str) -> Result<(), SmilesError> {
+    let mol = parse_smiles(input)?;
+    for (i, atom) in mol.atoms().iter().enumerate() {
+        let used: f64 = mol
+            .neighbors(i)
+            .map(|(_, o)| match o {
+                BondOrder::Single => 1.0,
+                BondOrder::Double => 2.0,
+                BondOrder::Triple => 3.0,
+                BondOrder::Aromatic => 1.5,
+            })
+            .sum::<f64>()
+            + atom.explicit_h as f64;
+        // Charged atoms gain capacity; aromatic systems get one unit of
+        // slack for the 1.5-order rounding (e.g. pyrrole's [nH]).
+        let aromatic_slack = if atom.aromatic { 1.0 } else { 0.0 };
+        let max = atom.element.default_valence() as f64 + atom.charge.unsigned_abs() as f64 + aromatic_slack;
+        if used > max {
+            return Err(SmilesError::new(
+                format!("atom {} ({}) exceeds valence: {used} > {max}", i, atom.element),
+                0,
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecule::BondOrder;
+
+    #[test]
+    fn parse_ethanol() {
+        let m = parse_smiles("CCO").unwrap();
+        assert_eq!(m.atom_count(), 3);
+        assert_eq!(m.bond_count(), 2);
+        assert_eq!(m.atom(2).element, Element::O);
+    }
+
+    #[test]
+    fn parse_branches() {
+        // Isobutane: central carbon with three methyl neighbors.
+        let m = parse_smiles("CC(C)C").unwrap();
+        assert_eq!(m.atom_count(), 4);
+        assert_eq!(m.degree(1), 3);
+    }
+
+    #[test]
+    fn parse_nested_branches() {
+        let m = parse_smiles("CC(C(C)C)C").unwrap();
+        assert_eq!(m.atom_count(), 6);
+        assert_eq!(m.degree(1), 3);
+        assert_eq!(m.degree(2), 3);
+    }
+
+    #[test]
+    fn parse_benzene_ring() {
+        let m = parse_smiles("c1ccccc1").unwrap();
+        assert_eq!(m.atom_count(), 6);
+        assert_eq!(m.bond_count(), 6);
+        assert!(m.atoms().iter().all(|a| a.aromatic));
+        assert!(m.bonds().iter().all(|b| b.order == BondOrder::Aromatic));
+        assert_eq!(m.ring_count(), 1);
+    }
+
+    #[test]
+    fn parse_double_and_triple_bonds() {
+        let m = parse_smiles("C=C").unwrap();
+        assert_eq!(m.bonds()[0].order, BondOrder::Double);
+        let m = parse_smiles("C#N").unwrap();
+        assert_eq!(m.bonds()[0].order, BondOrder::Triple);
+    }
+
+    #[test]
+    fn parse_bracket_atoms() {
+        let m = parse_smiles("[NH4+]").unwrap();
+        let a = m.atom(0);
+        assert_eq!(a.element, Element::N);
+        assert_eq!(a.explicit_h, 4);
+        assert_eq!(a.charge, 1);
+
+        let m = parse_smiles("C[O-]").unwrap();
+        assert_eq!(m.atom(1).charge, -1);
+
+        let m = parse_smiles("[13C]").unwrap();
+        assert_eq!(m.atom(0).isotope, 13);
+
+        let m = parse_smiles("c1cc[nH]c1").unwrap(); // pyrrole
+        assert_eq!(m.atom_count(), 5);
+        assert!(m.atoms().iter().any(|a| a.element == Element::N && a.explicit_h == 1));
+    }
+
+    #[test]
+    fn parse_two_letter_elements() {
+        let m = parse_smiles("ClCBr").unwrap();
+        assert_eq!(m.atom(0).element, Element::Cl);
+        assert_eq!(m.atom(2).element, Element::Br);
+    }
+
+    #[test]
+    fn parse_caffeine() {
+        // Caffeine: two fused rings, three methyls, two carbonyls.
+        let m = parse_smiles("Cn1cnc2c1c(=O)n(C)c(=O)n2C").unwrap();
+        assert_eq!(m.atom_count(), 14);
+        assert_eq!(m.ring_count(), 2);
+        let n_count = m.atoms().iter().filter(|a| a.element == Element::N).count();
+        assert_eq!(n_count, 4);
+        let o_count = m.atoms().iter().filter(|a| a.element == Element::O).count();
+        assert_eq!(o_count, 2);
+    }
+
+    #[test]
+    fn parse_percent_ring_closure() {
+        let a = parse_smiles("C1CCCCC1").unwrap();
+        let b = parse_smiles("C%12CCCCC%12").unwrap();
+        assert_eq!(a.atom_count(), b.atom_count());
+        assert_eq!(a.bond_count(), b.bond_count());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_smiles("").is_err());
+        assert!(parse_smiles("C(").is_err());
+        assert!(parse_smiles("C)").is_err());
+        assert!(parse_smiles("C1CC").is_err(), "unclosed ring");
+        assert!(parse_smiles("C=").is_err(), "dangling bond");
+        assert!(parse_smiles("CC.CC").is_err(), "dot disconnect");
+        assert!(parse_smiles("[Xx]").is_err(), "unknown element");
+        assert!(parse_smiles("C=1CC=1C=").is_err());
+        assert!(parse_smiles("?").is_err());
+    }
+
+    #[test]
+    fn conflicting_ring_bond_orders_rejected() {
+        assert!(parse_smiles("C=1CCCCC#1").is_err());
+    }
+
+    #[test]
+    fn duplicate_ring_bond_rejected_not_panicking() {
+        // Fuzz-found: a 2-cycle closure duplicating the chain bond must be
+        // a parse error, not a panic.
+        assert!(parse_smiles("C1C1").is_err());
+        assert!(parse_smiles("C1=C1").is_err());
+    }
+
+    #[test]
+    fn ring_bond_order_from_either_site() {
+        let m = parse_smiles("C=1CCCCC1").unwrap();
+        assert!(m.bonds().iter().any(|b| b.order == BondOrder::Double));
+        let m = parse_smiles("C1CCCCC=1").unwrap();
+        assert!(m.bonds().iter().any(|b| b.order == BondOrder::Double));
+    }
+
+    #[test]
+    fn write_round_trip_preserves_graph() {
+        for smi in [
+            "CCO",
+            "CC(C)C",
+            "c1ccccc1",
+            "Cn1cnc2c1c(=O)n(C)c(=O)n2C",
+            "CC(=O)Oc1ccccc1C(=O)O", // aspirin
+            "C[O-]",
+            "[NH4+]",
+            "C1CC1C2CC2", // two separate rings
+            "ClC(Br)I",
+        ] {
+            let m1 = parse_smiles(smi).unwrap_or_else(|e| panic!("parse {smi}: {e}"));
+            let out = write_smiles(&m1);
+            let m2 = parse_smiles(&out).unwrap_or_else(|e| panic!("reparse {out} (from {smi}): {e}"));
+            assert_eq!(m1.atom_count(), m2.atom_count(), "{smi} -> {out}");
+            assert_eq!(m1.bond_count(), m2.bond_count(), "{smi} -> {out}");
+            assert_eq!(m1.ring_count(), m2.ring_count(), "{smi} -> {out}");
+            // Element multiset must be preserved.
+            let mut e1: Vec<&str> = m1.atoms().iter().map(|a| a.element.symbol()).collect();
+            let mut e2: Vec<&str> = m2.atoms().iter().map(|a| a.element.symbol()).collect();
+            e1.sort_unstable();
+            e2.sort_unstable();
+            assert_eq!(e1, e2, "{smi} -> {out}");
+        }
+    }
+
+    #[test]
+    fn validate_accepts_drugs_rejects_hypervalent() {
+        assert!(validate_smiles("CC(=O)Oc1ccccc1C(=O)O").is_ok());
+        assert!(validate_smiles("C(C)(C)(C)(C)C").is_err(), "5-valent carbon");
+    }
+
+    #[test]
+    fn cis_trans_markers_are_tolerated() {
+        let m = parse_smiles("C/C=C/C").unwrap();
+        assert_eq!(m.atom_count(), 4);
+    }
+}

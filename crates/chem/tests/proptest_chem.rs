@@ -1,0 +1,100 @@
+//! Property-based tests for the chemistry substrate.
+
+use ids_chem::sequence::ProteinSequence;
+use ids_chem::smiles::{parse_smiles, validate_smiles, write_smiles};
+use ids_chem::structure::{Structure3D, Vec3};
+use ids_chem::Element;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The SMILES parser must never panic, whatever bytes arrive — it
+    /// either parses or returns a structured error.
+    #[test]
+    fn smiles_parser_total_on_arbitrary_ascii(input in "[ -~]{0,40}") {
+        let _ = parse_smiles(&input); // must not panic
+    }
+
+    /// ...including inputs built from SMILES-ish vocabulary, which reach
+    /// deeper parser states than raw ASCII noise.
+    #[test]
+    fn smiles_parser_total_on_smileslike(input in "[CNOSPcnos0-9()\\[\\]=#+\\-%]{0,30}") {
+        if let Ok(mol) = parse_smiles(&input) {
+            // Anything that parses must re-emit and re-parse.
+            let out = write_smiles(&mol);
+            let back = parse_smiles(&out).expect("writer output parses");
+            prop_assert_eq!(back.atom_count(), mol.atom_count());
+            prop_assert_eq!(back.bond_count(), mol.bond_count());
+        }
+        let _ = validate_smiles(&input); // also total
+    }
+
+    /// Sequence parsing round-trips for valid alphabets and flags the
+    /// first invalid character otherwise.
+    #[test]
+    fn sequence_parse_round_trip(s in "[ARNDCQEGHILKMFPSTWYV]{0,200}") {
+        let seq = ProteinSequence::parse(&s).unwrap();
+        prop_assert_eq!(seq.to_string_code(), s);
+    }
+
+    #[test]
+    fn sequence_parse_rejects_invalid(prefix in "[ARNDCQEGHILKMFPSTWYV]{0,20}", bad in "[BJOUXZ]") {
+        let text = format!("{prefix}{bad}");
+        let err = ProteinSequence::parse(&text).unwrap_err();
+        prop_assert_eq!(err.pos, prefix.len());
+    }
+
+    /// Rigid motions preserve internal geometry.
+    #[test]
+    fn rigid_motion_preserves_distances(
+        coords in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0), 2..20),
+        dx in -10.0f64..10.0,
+        angle in -3.0f64..3.0,
+    ) {
+        let mut s = Structure3D::new();
+        for (x, y, z) in &coords {
+            s.push(Element::C, Vec3::new(*x, *y, *z));
+        }
+        let moved = s
+            .translated(Vec3::new(dx, -dx, 0.5 * dx))
+            .rotated_about_centroid(Vec3::new(0.3, 0.8, -0.5), angle);
+        for i in 0..s.len() {
+            for j in (i + 1)..s.len() {
+                let before = s.atoms()[i].pos.distance(s.atoms()[j].pos);
+                let after = moved.atoms()[i].pos.distance(moved.atoms()[j].pos);
+                prop_assert!((before - after).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// PDB round trip holds for any coordinate set within format range.
+    #[test]
+    fn pdb_round_trip(
+        coords in proptest::collection::vec((-999.0f64..999.0, -999.0f64..999.0, -999.0f64..999.0), 1..30),
+    ) {
+        let mut s = Structure3D::new();
+        for (x, y, z) in &coords {
+            s.push(Element::N, Vec3::new(*x, *y, *z));
+        }
+        let back = Structure3D::from_pdb(&s.to_pdb("T")).unwrap();
+        prop_assert_eq!(back.len(), s.len());
+        prop_assert!(s.rmsd(&back) < 2e-3, "3-decimal PDB precision");
+    }
+
+    /// Mutation at rate 0 is identity; at rate 1 it rewrites nearly
+    /// everything; rates in between land in between (monotone in
+    /// expectation, checked loosely).
+    #[test]
+    fn mutation_rate_monotonicity(seed in 0u64..1_000) {
+        let mut rng = ids_simrt::rng::SplitMix64::new(seed, 0);
+        let base = ProteinSequence::random(500, &mut rng);
+        let diff = |a: &ProteinSequence, b: &ProteinSequence| {
+            a.residues().iter().zip(b.residues()).filter(|(x, y)| x != y).count()
+        };
+        let low = diff(&base, &base.mutate(0.1, &mut rng));
+        let high = diff(&base, &base.mutate(0.8, &mut rng));
+        prop_assert!(low < high, "low {low} vs high {high}");
+        prop_assert_eq!(diff(&base, &base.mutate(0.0, &mut rng)), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Bridging solution rows to UDF bindings.
+//!
+//! Query processing is all dictionary ids; UDFs want typed values
+//! (sequences as strings, thresholds as floats). [`RowBindings`] decodes
+//! lazily at the UDF boundary: literals decode to their typed value, IRIs
+//! stay opaque (`UdfValue::Id`) so UDFs that only route entities don't pay
+//! for string materialization.
+
+use ids_graph::{Dictionary, Term, TermId};
+use ids_udf::{Bindings, UdfValue};
+
+/// Bindings view over one solution row.
+pub struct RowBindings<'a> {
+    vars: &'a [String],
+    row: &'a [TermId],
+    dict: &'a Dictionary,
+}
+
+impl<'a> RowBindings<'a> {
+    /// Wrap a row with its schema and dictionary.
+    pub fn new(vars: &'a [String], row: &'a [TermId], dict: &'a Dictionary) -> Self {
+        debug_assert_eq!(vars.len(), row.len());
+        Self { vars, row, dict }
+    }
+}
+
+/// Convert a decoded term into a UDF value. IRIs keep their id (entities
+/// are opaque to UDFs); literals decode to typed values.
+pub fn term_to_value(term: &Term, id: TermId) -> UdfValue {
+    match term {
+        Term::Iri(_) => UdfValue::Id(id.raw()),
+        Term::Str(s) => UdfValue::Str(s.clone()),
+        Term::Int(i) => UdfValue::I64(*i),
+        Term::FloatBits(b) => UdfValue::F64(f64::from_bits(*b)),
+    }
+}
+
+impl Bindings for RowBindings<'_> {
+    fn get(&self, var: &str) -> Option<UdfValue> {
+        let idx = self.vars.iter().position(|v| v == var)?;
+        let id = self.row[idx];
+        let term = self.dict.decode(id)?;
+        Some(term_to_value(&term, id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_literals_keeps_iris_opaque() {
+        let dict = Dictionary::new();
+        let p = dict.iri("protein:1");
+        let seq = dict.str("MSGS");
+        let score = dict.float(0.92);
+        let count = dict.int(42);
+        let vars = vec!["p".to_string(), "seq".to_string(), "score".to_string(), "n".to_string()];
+        let row = vec![p, seq, score, count];
+        let b = RowBindings::new(&vars, &row, &dict);
+        assert_eq!(b.get("p"), Some(UdfValue::Id(p.raw())));
+        assert_eq!(b.get("seq"), Some(UdfValue::Str("MSGS".into())));
+        assert_eq!(b.get("score"), Some(UdfValue::F64(0.92)));
+        assert_eq!(b.get("n"), Some(UdfValue::I64(42)));
+        assert_eq!(b.get("missing"), None);
+    }
+}

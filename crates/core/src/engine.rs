@@ -1,0 +1,758 @@
+//! The distributed query executor.
+//!
+//! Executes a [`PhysicalPlan`] as BSP phases over the simulated cluster,
+//! mirroring CGE's operator pipeline:
+//!
+//! 1. **scan** — every rank scans its shard for the current pattern;
+//! 2. **exchange** — solutions are hash-partitioned on the join variables
+//!    and exchanged (all-to-all, charged with the α–β model);
+//! 3. **join** — rank-local hash joins;
+//! 4. **re-balance** — before UDF-bearing FILTER/APPLY stages, solutions
+//!    move between ranks per §2.4.2 (count-based or throughput-based);
+//! 5. **filter / apply** — per-rank expression evaluation with §2.4.3
+//!    conjunct reordering, charging each UDF's virtual cost to the rank
+//!    that ran it;
+//! 6. **gather** — results concatenate to the client.
+//!
+//! The per-stage virtual-time breakdown (scan/join vs FILTER vs docking)
+//! recorded here is exactly what Figures 4(a), 4(b), and 5 plot.
+
+use crate::binding::RowBindings;
+use crate::datastore::Datastore;
+use crate::planner::{PhysicalPlan, PhysicalStage};
+use ids_graph::ops as gops;
+use ids_graph::{SolutionSet, TermId};
+use ids_simrt::rng::{fnv1a, hash_combine};
+use ids_simrt::{Cluster, RankId};
+use ids_udf::expr::EvalCtx;
+use ids_udf::{
+    order_conjuncts, plan_count_based, plan_throughput_based, Expr, RebalancePlan, UdfProfiler,
+    UdfRegistry,
+};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+thread_local! {
+    static CURRENT_RANK: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The rank whose solutions the current thread is evaluating. Cache-aware
+/// UDFs use this to attribute cache traffic to the right node.
+pub fn current_rank() -> RankId {
+    RankId(CURRENT_RANK.with(|c| c.get()))
+}
+
+fn set_current_rank(r: RankId) {
+    CURRENT_RANK.with(|c| c.set(r.0));
+}
+
+/// Re-balancing strategy knob (ablation X1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceMode {
+    /// Never move solutions before FILTER/APPLY.
+    None,
+    /// Paper's baseline: split by solution count.
+    CountBased,
+    /// Paper's contribution: split by measured per-rank throughput.
+    ThroughputBased,
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Re-balancing strategy before UDF stages.
+    pub rebalance: RebalanceMode,
+    /// Enable §2.4.3 conjunct reordering.
+    pub reorder_conjuncts: bool,
+    /// Virtual cost per triple produced by a scan (CGE-scale throughput).
+    pub scan_secs_per_triple: f64,
+    /// Virtual cost per row flowing through a join.
+    pub join_secs_per_row: f64,
+    /// Fixed virtual cost per expression evaluation (non-UDF part).
+    pub eval_secs_per_row: f64,
+    /// Cost prior for UDFs with no profile yet.
+    pub udf_cost_prior: f64,
+    /// Rejection prior for UDFs with no profile yet.
+    pub udf_rejection_prior: f64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            rebalance: RebalanceMode::ThroughputBased,
+            reorder_conjuncts: true,
+            scan_secs_per_triple: 2.0e-8,
+            join_secs_per_row: 2.0e-8,
+            eval_secs_per_row: 1.0e-7,
+            udf_cost_prior: 0.5,
+            udf_rejection_prior: 0.5,
+        }
+    }
+}
+
+/// Virtual-time breakdown by operator stage (Figure 4(b) / Figure 5).
+#[derive(Debug, Clone, Default)]
+pub struct StageBreakdown {
+    /// Scan phases (pattern index → critical-path seconds folded in).
+    pub scan_secs: f64,
+    /// Exchange + join phases.
+    pub join_secs: f64,
+    /// Re-balance exchanges before UDF stages.
+    pub rebalance_secs: f64,
+    /// WHERE-filter evaluation (the paper's "inner FILTER").
+    pub filter_secs: f64,
+    /// Per-UDF APPLY stage time (e.g. `"vina_docking" → 40.2`).
+    pub apply_secs: HashMap<String, f64>,
+    /// Result gather.
+    pub gather_secs: f64,
+}
+
+impl StageBreakdown {
+    /// Total accounted virtual time.
+    pub fn total(&self) -> f64 {
+        self.scan_secs
+            + self.join_secs
+            + self.rebalance_secs
+            + self.filter_secs
+            + self.apply_secs.values().sum::<f64>()
+            + self.gather_secs
+    }
+
+    /// Everything except the named APPLY stage — the paper's
+    /// "excluding docking" decomposition.
+    pub fn total_excluding(&self, udf: &str) -> f64 {
+        self.total() - self.apply_secs.get(udf).copied().unwrap_or(0.0)
+    }
+}
+
+/// A completed query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Final (gathered, projected, limited) solutions.
+    pub solutions: SolutionSet,
+    /// End-to-end virtual latency.
+    pub elapsed_secs: f64,
+    /// Per-stage breakdown.
+    pub breakdown: StageBreakdown,
+    /// Per-rank solution counts entering the first UDF stage (for
+    /// re-balancing analysis).
+    pub pre_filter_counts: Vec<u64>,
+}
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecError {
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "execution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execute a plan on the cluster. `profilers[r]` is rank r's UDF profile
+/// store, updated in place (it persists across queries, §2.4.1).
+pub fn execute_plan(
+    cluster: &mut Cluster,
+    ds: &Datastore,
+    registry: &UdfRegistry,
+    profilers: &mut [UdfProfiler],
+    plan: &PhysicalPlan,
+    opts: &ExecOptions,
+) -> Result<QueryOutcome, ExecError> {
+    let ranks = cluster.topology().total_ranks() as usize;
+    assert_eq!(profilers.len(), ranks, "one profiler per rank");
+    assert_eq!(ds.num_shards(), ranks, "datastore sharding must match the cluster");
+
+    let t0 = cluster.elapsed();
+    let mut breakdown = StageBreakdown::default();
+
+    // ---- BGP: scan + exchange + join per pattern -------------------------
+    let mut current: Option<Vec<SolutionSet>> = None;
+    for pat in &plan.patterns {
+        if pat.impossible {
+            let vars: Vec<String> = pat.variables().iter().map(|s| s.to_string()).collect();
+            current = Some(vec![SolutionSet::empty(vars); ranks]);
+            continue;
+        }
+        // Scan phase.
+        let scan_start = cluster.elapsed();
+        let scanned: Vec<SolutionSet> = cluster.execute("scan", |ctx| {
+            let shard = ctx.rank().index();
+            let triples = ds.scan_shard(shard, &pat.pattern);
+            ctx.charge(1.0e-5 + triples.len() as f64 * opts.scan_secs_per_triple);
+            ctx.count("triples_scanned", triples.len() as u64);
+            gops::scan_to_solutions(
+                &pat.pattern,
+                pat.var_s.as_deref(),
+                pat.var_p.as_deref(),
+                pat.var_o.as_deref(),
+                &triples,
+            )
+        });
+        cluster.barrier();
+        breakdown.scan_secs += cluster.elapsed() - scan_start;
+
+        current = Some(match current.take() {
+            None => scanned,
+            Some(existing) => {
+                let join_start = cluster.elapsed();
+                let joined = distributed_join(cluster, existing, scanned, opts);
+                breakdown.join_secs += cluster.elapsed() - join_start;
+                joined
+            }
+        });
+    }
+
+    let mut solutions = match current {
+        Some(s) => s,
+        None => {
+            // No patterns: a single empty-schema row on rank 0 lets
+            // constant filters and APPLY stages still run once.
+            let mut v = vec![SolutionSet::empty(vec![]); ranks];
+            v[0].push(vec![]);
+            v
+        }
+    };
+
+    let pre_filter_counts: Vec<u64> = solutions.iter().map(|s| s.len() as u64).collect();
+
+    // ---- WHERE filter -----------------------------------------------------
+    if let Some(filter) = &plan.where_filter {
+        let t = cluster.elapsed();
+        solutions = run_filter_stage(
+            cluster, ds, registry, profilers, solutions, filter, opts, &mut breakdown, "filter",
+        )?;
+        breakdown.filter_secs += cluster.elapsed() - t - take_rebalance_delta(&mut breakdown);
+    }
+
+    // ---- Post-WHERE stages -------------------------------------------------
+    for stage in &plan.stages {
+        match stage {
+            PhysicalStage::Filter(expr) => {
+                let t = cluster.elapsed();
+                solutions = run_filter_stage(
+                    cluster, ds, registry, profilers, solutions, expr, opts, &mut breakdown,
+                    "stage-filter",
+                )?;
+                breakdown.filter_secs += cluster.elapsed() - t - take_rebalance_delta(&mut breakdown);
+            }
+            PhysicalStage::Apply { udf, args, bind_as } => {
+                let t = cluster.elapsed();
+                solutions = run_apply_stage(
+                    cluster, ds, registry, profilers, solutions, udf, args, bind_as, opts,
+                    &mut breakdown,
+                )?;
+                let spent = cluster.elapsed() - t - take_rebalance_delta(&mut breakdown);
+                *breakdown.apply_secs.entry(udf.clone()).or_insert(0.0) += spent;
+            }
+        }
+    }
+
+    // ---- Gather ------------------------------------------------------------
+    let gather_start = cluster.elapsed();
+    let total_bytes: u64 = solutions.iter().map(SolutionSet::byte_size).sum();
+    cluster.allgather_cost(total_bytes / ranks.max(1) as u64);
+    breakdown.gather_secs = cluster.elapsed() - gather_start;
+
+    let mut gathered = gops::merge(solutions);
+    // ORDER BY runs before projection so the sort variable need not be
+    // projected; DISTINCT and LIMIT run after, on the final shape.
+    if let Some((var, descending)) = &plan.order_by {
+        let idx = gathered
+            .var_index(var)
+            .ok_or_else(|| ExecError { message: format!("ORDER BY variable ?{var} is never bound") })?;
+        let dict = ds.dictionary();
+        let mut rows = gathered.take_rows();
+        rows.sort_by(|a, b| {
+            let ta = dict.decode(a[idx]);
+            let tb = dict.decode(b[idx]);
+            let ord = compare_terms(ta.as_ref(), tb.as_ref());
+            if *descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        let vars = gathered.vars().to_vec();
+        gathered = SolutionSet::new(vars, rows);
+    }
+    if !plan.select.is_empty() {
+        let cols: Vec<&str> = plan.select.iter().map(String::as_str).collect();
+        for c in &cols {
+            if gathered.var_index(c).is_none() {
+                return Err(ExecError { message: format!("projected variable ?{c} is never bound") });
+            }
+        }
+        gathered = gops::project(&gathered, &cols);
+    }
+    if plan.distinct {
+        gathered = gops::distinct(&gathered);
+    }
+    if let Some(limit) = plan.limit {
+        let vars = gathered.vars().to_vec();
+        let rows: Vec<Vec<TermId>> = gathered.rows().iter().take(limit).cloned().collect();
+        gathered = SolutionSet::new(vars, rows);
+    }
+
+    Ok(QueryOutcome {
+        solutions: gathered,
+        elapsed_secs: cluster.elapsed() - t0,
+        breakdown,
+        pre_filter_counts,
+    })
+}
+
+/// Total order over decoded terms for ORDER BY: numerics sort numerically
+/// and before everything else; strings/IRIs sort lexically; unbound
+/// (undecodable) terms sort last.
+fn compare_terms(a: Option<&ids_graph::Term>, b: Option<&ids_graph::Term>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let key = |t: Option<&ids_graph::Term>| -> (u8, f64, String) {
+        match t {
+            Some(t) => match t.as_f64() {
+                Some(v) => (0, v, String::new()),
+                None => (1, 0.0, t.to_string()),
+            },
+            None => (2, 0.0, String::new()),
+        }
+    };
+    let (ka, va, sa) = key(a);
+    let (kb, vb, sb) = key(b);
+    ka.cmp(&kb)
+        .then(va.partial_cmp(&vb).unwrap_or(Ordering::Equal))
+        .then(sa.cmp(&sb))
+}
+
+// Rebalance time is recorded inside run_*_stage via this side channel so the
+// caller can subtract it from the stage's own bucket.
+thread_local! {
+    static REBALANCE_DELTA: Cell<f64> = const { Cell::new(0.0) };
+}
+
+fn add_rebalance_delta(secs: f64) {
+    REBALANCE_DELTA.with(|c| c.set(c.get() + secs));
+}
+
+fn take_rebalance_delta(breakdown: &mut StageBreakdown) -> f64 {
+    let d = REBALANCE_DELTA.with(|c| c.replace(0.0));
+    breakdown.rebalance_secs += d;
+    d
+}
+
+/// Hash-partition both sides on their shared variables, exchange, and join
+/// rank-locally.
+fn distributed_join(
+    cluster: &mut Cluster,
+    left: Vec<SolutionSet>,
+    right: Vec<SolutionSet>,
+    opts: &ExecOptions,
+) -> Vec<SolutionSet> {
+    let ranks = left.len();
+    let left_vars = left[0].vars().to_vec();
+    let right_vars = right[0].vars().to_vec();
+    let shared: Vec<String> = left_vars
+        .iter()
+        .filter(|v| right_vars.contains(v))
+        .cloned()
+        .collect();
+
+    let (left, right, exchanged_bytes) = if shared.is_empty() {
+        // Cross product: broadcast the smaller side to every rank.
+        let (small, big, small_is_left) = {
+            let l: usize = left.iter().map(SolutionSet::len).sum();
+            let r: usize = right.iter().map(SolutionSet::len).sum();
+            if l <= r {
+                (left, right, true)
+            } else {
+                (right, left, false)
+            }
+        };
+        let merged_small = gops::merge(small);
+        let bytes = merged_small.byte_size() * ranks as u64;
+        let replicated: Vec<SolutionSet> = (0..ranks).map(|_| merged_small.clone()).collect();
+        if small_is_left {
+            (replicated, big, bytes)
+        } else {
+            (big, replicated, bytes)
+        }
+    } else {
+        let l = repartition_by_vars(left, &shared, ranks);
+        let r = repartition_by_vars(right, &shared, ranks);
+        let bytes: u64 = l.iter().chain(&r).map(SolutionSet::byte_size).sum();
+        (l, r, bytes)
+    };
+
+    // Charge the exchange.
+    let per_rank = exchanged_bytes / ranks.max(1) as u64;
+    cluster.alltoallv_cost(&vec![per_rank; ranks]);
+
+    // Rank-local joins.
+    let joined: Vec<SolutionSet> = cluster.execute("join", |ctx| {
+        let r = ctx.rank().index();
+        let out = gops::hash_join(&left[r], &right[r]);
+        let rows = left[r].len() + right[r].len() + out.len();
+        ctx.charge(rows as f64 * opts.join_secs_per_row);
+        ctx.count("joined_rows", out.len() as u64);
+        out
+    });
+    cluster.barrier();
+    joined
+}
+
+/// Redistribute rows so equal join keys land on equal ranks.
+fn repartition_by_vars(sets: Vec<SolutionSet>, vars: &[String], ranks: usize) -> Vec<SolutionSet> {
+    let schema = sets[0].vars().to_vec();
+    let key_idx: Vec<usize> = vars
+        .iter()
+        .map(|v| sets[0].var_index(v).expect("shared var present"))
+        .collect();
+    let mut out: Vec<SolutionSet> = (0..ranks).map(|_| SolutionSet::empty(schema.clone())).collect();
+    for mut set in sets {
+        for row in set.take_rows() {
+            let mut h = 0xA17C_E55Eu64;
+            for &i in &key_idx {
+                h = hash_combine(h, fnv1a(&row[i].raw().to_le_bytes()));
+            }
+            out[(h % ranks as u64) as usize].push(row);
+        }
+    }
+    out
+}
+
+/// Move rows between ranks to match a re-balancing plan (round-robin from
+/// surplus ranks to deficit ranks) and charge the exchange.
+fn apply_rebalance_plan(
+    cluster: &mut Cluster,
+    mut solutions: Vec<SolutionSet>,
+    plan: &RebalancePlan,
+) -> Vec<SolutionSet> {
+    let t0 = cluster.elapsed();
+    let schema = solutions[0].vars().to_vec();
+    let mut surplus: Vec<Vec<TermId>> = Vec::new();
+    let mut moved_bytes = vec![0u64; solutions.len()];
+    for (r, set) in solutions.iter_mut().enumerate() {
+        let target = plan.targets[r] as usize;
+        if set.len() > target {
+            let rows = set.take_rows();
+            let (keep, give) = rows.split_at(target);
+            moved_bytes[r] = (give.len() * schema.len() * 8) as u64;
+            let mut kept = SolutionSet::empty(schema.clone());
+            for row in keep {
+                kept.push(row.clone());
+            }
+            surplus.extend(give.iter().cloned());
+            *set = kept;
+        }
+    }
+    // Scatter surplus rows round-robin over deficit ranks: consecutive
+    // surplus rows are often correlated (they came off the same source
+    // rank, e.g. one similarity band), and stacking them on one deficit
+    // rank would recreate the very straggler the plan is removing.
+    let deficits: Vec<usize> = (0..solutions.len())
+        .filter(|&r| solutions[r].len() < plan.targets[r] as usize)
+        .collect();
+    if !deficits.is_empty() {
+        let mut di = 0usize;
+        'scatter: for row in surplus {
+            // Find the next deficit rank with remaining room.
+            let mut tried = 0;
+            while solutions[deficits[di]].len() >= plan.targets[deficits[di]] as usize {
+                di = (di + 1) % deficits.len();
+                tried += 1;
+                if tried > deficits.len() {
+                    break 'scatter; // plan satisfied; drop-through is a bug upstream
+                }
+            }
+            solutions[deficits[di]].push(row);
+            di = (di + 1) % deficits.len();
+        }
+    }
+    cluster.alltoallv_cost(&moved_bytes);
+    add_rebalance_delta(cluster.elapsed() - t0);
+    solutions
+}
+
+/// Estimate each rank's throughput (solutions/second) through `expr` from
+/// its own profiling data — the per-rank estimates §2.4.2 exchanges.
+fn estimate_rates(
+    expr: &Expr,
+    profilers: &[UdfProfiler],
+    opts: &ExecOptions,
+) -> Vec<f64> {
+    profilers
+        .iter()
+        .map(|p| {
+            let udfs = expr.udf_names();
+            let mut per_solution = opts.eval_secs_per_row;
+            // Expected cost honoring short-circuit: conjuncts in profiled
+            // cost order with their rejection rates.
+            if let Expr::And(conjuncts) = expr {
+                let order = order_conjuncts(conjuncts, p, |_| opts.udf_cost_prior, opts.udf_rejection_prior);
+                let mut survive = 1.0;
+                for &i in &order {
+                    let names = conjuncts[i].udf_names();
+                    let c: f64 = names
+                        .iter()
+                        .map(|n| p.estimated_cost(n, opts.udf_cost_prior))
+                        .sum();
+                    let rej: f64 = names
+                        .iter()
+                        .map(|n| p.estimated_rejection(n, opts.udf_rejection_prior))
+                        .fold(0.0, f64::max);
+                    per_solution += survive * c;
+                    survive *= 1.0 - rej;
+                }
+            } else {
+                per_solution += udfs
+                    .iter()
+                    .map(|n| p.estimated_cost(n, opts.udf_cost_prior))
+                    .sum::<f64>();
+            }
+            1.0 / per_solution.max(1.0e-12)
+        })
+        .collect()
+}
+
+fn maybe_rebalance(
+    cluster: &mut Cluster,
+    solutions: Vec<SolutionSet>,
+    expr: &Expr,
+    profilers: &[UdfProfiler],
+    opts: &ExecOptions,
+) -> Vec<SolutionSet> {
+    let total: u64 = solutions.iter().map(|s| s.len() as u64).sum();
+    if total == 0 {
+        return solutions;
+    }
+    match opts.rebalance {
+        RebalanceMode::None => solutions,
+        RebalanceMode::CountBased => {
+            let plan = plan_count_based(total, solutions.len());
+            apply_rebalance_plan(cluster, solutions, &plan)
+        }
+        RebalanceMode::ThroughputBased => {
+            let rates = estimate_rates(expr, profilers, opts);
+            // Exchanging the per-rank estimates is an allreduce-sized
+            // collective.
+            cluster.allgather_cost(8);
+            let plan = plan_throughput_based(total, &rates);
+            apply_rebalance_plan(cluster, solutions, &plan)
+        }
+    }
+}
+
+/// Run a FILTER stage: re-balance, per-rank reorder, evaluate, retain.
+#[allow(clippy::too_many_arguments)]
+fn run_filter_stage(
+    cluster: &mut Cluster,
+    ds: &Datastore,
+    registry: &UdfRegistry,
+    profilers: &mut [UdfProfiler],
+    solutions: Vec<SolutionSet>,
+    expr: &Expr,
+    opts: &ExecOptions,
+    _breakdown: &mut StageBreakdown,
+    phase_name: &str,
+) -> Result<Vec<SolutionSet>, ExecError> {
+    let solutions = maybe_rebalance(cluster, solutions, expr, profilers, opts);
+    let dict = ds.dictionary().clone();
+
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let results: Vec<(SolutionSet, UdfProfiler, u64)> = cluster.execute(phase_name, |ctx| {
+        let r = ctx.rank().index();
+        set_current_rank(ctx.rank());
+        let input = &solutions[r];
+        let mut profiler = profilers[r].clone();
+
+        // §2.4.3: per-rank conjunct reordering.
+        let local_expr = if opts.reorder_conjuncts {
+            if let Expr::And(conjuncts) = expr {
+                let order = order_conjuncts(
+                    conjuncts,
+                    &profiler,
+                    |_| opts.udf_cost_prior,
+                    opts.udf_rejection_prior,
+                );
+                ids_udf::reorder::reorder_and(conjuncts.clone(), &order)
+            } else {
+                expr.clone()
+            }
+        } else {
+            expr.clone()
+        };
+
+        let mut kept = SolutionSet::empty(input.vars().to_vec());
+        let mut evals = 0u64;
+        for row in input.rows() {
+            let bindings = RowBindings::new(input.vars(), row, &dict);
+            let mut cx = EvalCtx::new(registry, &mut profiler);
+            match local_expr.eval_bool(&bindings, &mut cx) {
+                Ok(pass) => {
+                    ctx.charge(cx.charged_secs + opts.eval_secs_per_row);
+                    evals += 1;
+                    if pass {
+                        kept.push(row.clone());
+                    }
+                }
+                Err(e) => {
+                    errors.lock().unwrap().push(e.to_string());
+                    ctx.charge(cx.charged_secs);
+                }
+            }
+        }
+        ctx.count("filter_evals", evals);
+        ctx.count("filter_kept", kept.len() as u64);
+        (kept, profiler, evals)
+    });
+    cluster.barrier();
+
+    let errs = errors.into_inner().unwrap();
+    if let Some(first) = errs.first() {
+        return Err(ExecError { message: format!("{} ({} total failures)", first, errs.len()) });
+    }
+
+    let mut out = Vec::with_capacity(results.len());
+    for (r, (kept, profiler, _)) in results.into_iter().enumerate() {
+        profilers[r] = profiler;
+        out.push(kept);
+    }
+    Ok(out)
+}
+
+/// Run an APPLY stage: re-balance, invoke the UDF per row, bind the output.
+#[allow(clippy::too_many_arguments)]
+fn run_apply_stage(
+    cluster: &mut Cluster,
+    ds: &Datastore,
+    registry: &UdfRegistry,
+    profilers: &mut [UdfProfiler],
+    solutions: Vec<SolutionSet>,
+    udf: &str,
+    args: &[Expr],
+    bind_as: &str,
+    opts: &ExecOptions,
+    _breakdown: &mut StageBreakdown,
+) -> Result<Vec<SolutionSet>, ExecError> {
+    // Re-balance using the UDF itself as the cost driver.
+    let probe_expr = Expr::udf(udf.to_string(), vec![]);
+    let solutions = maybe_rebalance(cluster, solutions, &probe_expr, profilers, opts);
+    let dict = ds.dictionary().clone();
+
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let results: Vec<(SolutionSet, UdfProfiler)> = cluster.execute(&format!("apply:{udf}"), |ctx| {
+        let r = ctx.rank().index();
+        set_current_rank(ctx.rank());
+        let input = &solutions[r];
+        let mut profiler = profilers[r].clone();
+
+        let mut vars = input.vars().to_vec();
+        vars.push(bind_as.to_string());
+        let mut out = SolutionSet::empty(vars);
+        for row in input.rows() {
+            let bindings = RowBindings::new(input.vars(), row, &dict);
+            let mut cx = EvalCtx::new(registry, &mut profiler);
+            let call = Expr::udf(udf.to_string(), args.to_vec());
+            match call.eval(&bindings, &mut cx) {
+                Ok(value) => {
+                    ctx.charge(cx.charged_secs + opts.eval_secs_per_row);
+                    // Bind the output: encode into the dictionary so it
+                    // flows like any other term.
+                    let term = match value {
+                        ids_udf::UdfValue::F64(v) => ids_graph::Term::float(v),
+                        ids_udf::UdfValue::I64(v) => ids_graph::Term::Int(v),
+                        ids_udf::UdfValue::Str(s) => ids_graph::Term::str(s),
+                        ids_udf::UdfValue::Bool(b) => ids_graph::Term::Int(b as i64),
+                        ids_udf::UdfValue::Id(id) => {
+                            let mut new_row = row.clone();
+                            new_row.push(TermId(id));
+                            out.push(new_row);
+                            continue;
+                        }
+                        ids_udf::UdfValue::Null => {
+                            // Nulls drop the row (SPARQL error semantics).
+                            continue;
+                        }
+                    };
+                    let id = dict.encode(&term);
+                    let mut new_row = row.clone();
+                    new_row.push(id);
+                    out.push(new_row);
+                }
+                Err(e) => {
+                    errors.lock().unwrap().push(e.to_string());
+                    ctx.charge(cx.charged_secs);
+                }
+            }
+        }
+        ctx.count("apply_rows", out.len() as u64);
+        (out, profiler)
+    });
+    cluster.barrier();
+
+    let errs = errors.into_inner().unwrap();
+    if let Some(first) = errs.first() {
+        return Err(ExecError { message: format!("{} ({} total failures)", first, errs.len()) });
+    }
+
+    let mut out = Vec::with_capacity(results.len());
+    for (r, (set, profiler)) in results.into_iter().enumerate() {
+        profilers[r] = profiler;
+        out.push(set);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_graph::Term;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn compare_terms_orders_numbers_before_strings() {
+        let a = Term::Int(5);
+        let b = Term::float(5.5);
+        let s = Term::str("abc");
+        assert_eq!(compare_terms(Some(&a), Some(&b)), Ordering::Less);
+        assert_eq!(compare_terms(Some(&b), Some(&a)), Ordering::Greater);
+        assert_eq!(compare_terms(Some(&a), Some(&a)), Ordering::Equal);
+        // Numbers sort before strings; strings before unbound.
+        assert_eq!(compare_terms(Some(&b), Some(&s)), Ordering::Less);
+        assert_eq!(compare_terms(Some(&s), None), Ordering::Less);
+        assert_eq!(compare_terms(None, None), Ordering::Equal);
+        // Strings compare lexically through their display form.
+        let t = Term::str("abd");
+        assert_eq!(compare_terms(Some(&s), Some(&t)), Ordering::Less);
+    }
+
+    #[test]
+    fn stage_breakdown_totals() {
+        let mut b = StageBreakdown::default();
+        b.scan_secs = 1.0;
+        b.join_secs = 2.0;
+        b.filter_secs = 3.0;
+        b.apply_secs.insert("vina_docking".into(), 40.0);
+        b.apply_secs.insert("dtba".into(), 4.0);
+        b.gather_secs = 0.5;
+        assert!((b.total() - 50.5).abs() < 1e-12);
+        assert!((b.total_excluding("vina_docking") - 10.5).abs() < 1e-12);
+        assert!((b.total_excluding("never-ran") - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_rank_defaults_to_zero_off_engine_threads() {
+        assert_eq!(current_rank(), RankId(0));
+    }
+
+    #[test]
+    fn exec_options_defaults_match_paper_posture() {
+        let o = ExecOptions::default();
+        assert_eq!(o.rebalance, RebalanceMode::ThroughputBased);
+        assert!(o.reorder_conjuncts);
+    }
+}

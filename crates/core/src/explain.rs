@@ -1,0 +1,135 @@
+//! Query plan explanation.
+//!
+//! Renders a [`PhysicalPlan`] the way `EXPLAIN` does in mature engines:
+//! join order with cardinality estimates, the FILTER conjunction in the
+//! order the *aggregate* profile would evaluate it (each rank may still
+//! deviate per its own profile, §2.4.3), per-conjunct cost/selectivity
+//! estimates, and the post-WHERE stages.
+
+use crate::planner::{PhysicalPlan, PhysicalStage};
+use ids_udf::expr::CmpOp;
+use ids_udf::reorder::estimate_conjunct;
+use ids_udf::{order_conjuncts, Expr, UdfProfiler, UdfValue};
+
+fn render_value(v: &UdfValue) -> String {
+    format!("{v}")
+}
+
+/// Render an expression in IQL-ish surface syntax.
+pub fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => render_value(v),
+        Expr::Var(v) => format!("?{v}"),
+        Expr::Cmp(op, a, b) => {
+            let sym = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+            };
+            format!("{} {sym} {}", render_expr(a), render_expr(b))
+        }
+        Expr::And(es) => es.iter().map(render_expr).collect::<Vec<_>>().join(" && "),
+        Expr::Or(es) => {
+            format!("({})", es.iter().map(render_expr).collect::<Vec<_>>().join(" || "))
+        }
+        Expr::Not(inner) => format!("!({})", render_expr(inner)),
+        Expr::Udf { name, args } => {
+            format!("{name}({})", args.iter().map(render_expr).collect::<Vec<_>>().join(", "))
+        }
+    }
+}
+
+/// Produce the EXPLAIN text for a plan, using `profiler` (typically the
+/// merge of all ranks' profiles) for cost/selectivity annotations.
+pub fn explain(plan: &PhysicalPlan, profiler: &UdfProfiler) -> String {
+    let mut out = String::new();
+    out.push_str("QUERY PLAN\n");
+
+    out.push_str("  patterns (join order, est. cardinality):\n");
+    for (i, p) in plan.patterns.iter().enumerate() {
+        let pos = |v: &Option<String>, bound: Option<ids_graph::TermId>| match (v, bound) {
+            (Some(var), _) => format!("?{var}"),
+            (None, Some(id)) => format!("{id}"),
+            (None, None) => "?".into(),
+        };
+        out.push_str(&format!(
+            "    {i}. [{} {} {}]  ~{} rows{}\n",
+            pos(&p.var_s, p.pattern.s),
+            pos(&p.var_p, p.pattern.p),
+            pos(&p.var_o, p.pattern.o),
+            p.est_cardinality,
+            if p.impossible { "  (IMPOSSIBLE: unknown ground term)" } else { "" }
+        ));
+    }
+
+    if let Some(Expr::And(conjuncts)) = &plan.where_filter {
+        out.push_str("  filter (profile-ordered conjuncts):\n");
+        let order = order_conjuncts(conjuncts, profiler, |_| 0.5, 0.5);
+        for &i in &order {
+            let est = estimate_conjunct(&conjuncts[i], profiler, |_| 0.5, 0.5);
+            out.push_str(&format!(
+                "    - {}   (est {:.4}s/eval, rejects {:.0}%)\n",
+                render_expr(&conjuncts[i]),
+                est.cost,
+                est.rejection * 100.0
+            ));
+        }
+    } else if let Some(f) = &plan.where_filter {
+        out.push_str(&format!("  filter: {}\n", render_expr(f)));
+    }
+
+    for stage in &plan.stages {
+        match stage {
+            PhysicalStage::Apply { udf, args, bind_as } => {
+                let cost = profiler.estimated_cost(udf, 0.5);
+                out.push_str(&format!(
+                    "  apply: {udf}({}) AS ?{bind_as}   (est {cost:.3}s/row)\n",
+                    args.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+                ));
+            }
+            PhysicalStage::Filter(e) => {
+                out.push_str(&format!("  stage-filter: {}\n", render_expr(e)));
+            }
+        }
+    }
+
+    if let Some((var, desc)) = &plan.order_by {
+        out.push_str(&format!("  order by: ?{var} {}\n", if *desc { "DESC" } else { "ASC" }));
+    }
+    if plan.distinct {
+        out.push_str("  distinct\n");
+    }
+    if plan.select.is_empty() {
+        out.push_str("  project: *\n");
+    } else {
+        out.push_str(&format!(
+            "  project: {}\n",
+            plan.select.iter().map(|v| format!("?{v}")).collect::<Vec<_>>().join(" ")
+        ));
+    }
+    if let Some(l) = plan.limit {
+        out.push_str(&format!("  limit: {l}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expressions() {
+        let e = Expr::And(vec![
+            Expr::cmp(
+                CmpOp::Ge,
+                Expr::udf("sw_similarity", vec![Expr::var("seq")]),
+                Expr::Const(UdfValue::F64(0.9)),
+            ),
+            Expr::Not(Box::new(Expr::Or(vec![Expr::var("a"), Expr::var("b")]))),
+        ]);
+        assert_eq!(render_expr(&e), "sw_similarity(?seq) >= 0.9 && !((?a || ?b))");
+    }
+}

@@ -1,0 +1,387 @@
+//! The IDS instance: launcher / client / agent facade.
+//!
+//! §2.2's components — Datastore Launcher (launch, open the query
+//! endpoint, tear down), Datastore Client (submit queries, add user
+//! codes), and Datastore Agent (per-node runtime) — collapse in the
+//! simulator to one façade owning the cluster, the 3-in-1 datastore, the
+//! model repository, the UDF registry, per-rank profilers, and an optional
+//! *shared* global cache (multiple instances on one cluster can hand each
+//! other the same `Arc<CacheManager>`, the cross-instance reuse §8
+//! envisions).
+
+use crate::datastore::Datastore;
+use crate::engine::{self, ExecOptions, QueryOutcome};
+use crate::iql;
+use crate::planner;
+use ids_cache::CacheManager;
+use ids_models::ModelRepository;
+use ids_simrt::{Cluster, NetworkModel, Topology};
+use ids_udf::{UdfProfiler, UdfRegistry};
+use std::sync::Arc;
+
+/// Instance configuration.
+#[derive(Debug, Clone)]
+pub struct IdsConfig {
+    /// Cluster shape (nodes × ranks-per-node).
+    pub topology: Topology,
+    /// Network cost model.
+    pub network: NetworkModel,
+    /// Root random seed.
+    pub seed: u64,
+    /// Execution options (re-balancing, reordering, cost priors).
+    pub exec: ExecOptions,
+}
+
+impl IdsConfig {
+    /// The paper's Cray EX scaling configuration at `nodes` nodes.
+    pub fn cray_ex(nodes: u32, seed: u64) -> Self {
+        Self {
+            topology: Topology::cray_ex(nodes),
+            network: NetworkModel::slingshot(),
+            seed,
+            exec: ExecOptions::default(),
+        }
+    }
+
+    /// A laptop-scale instance (`ranks` ranks on one node) — the paper's
+    /// "launch IDS on their laptop" container story.
+    pub fn laptop(ranks: u32, seed: u64) -> Self {
+        Self {
+            topology: Topology::laptop(ranks),
+            network: NetworkModel::slingshot(),
+            seed,
+            exec: ExecOptions::default(),
+        }
+    }
+}
+
+/// A running IDS instance.
+pub struct IdsInstance {
+    config: IdsConfig,
+    cluster: Cluster,
+    datastore: Arc<Datastore>,
+    registry: UdfRegistry,
+    models: ModelRepository,
+    profilers: Vec<UdfProfiler>,
+    cache: Option<Arc<CacheManager>>,
+}
+
+impl IdsInstance {
+    /// Launch an instance (the Datastore Launcher's `launch` operation).
+    pub fn launch(config: IdsConfig) -> Self {
+        let ranks = config.topology.total_ranks() as usize;
+        let cluster = Cluster::new(config.topology, config.network, config.seed);
+        Self {
+            config,
+            cluster,
+            datastore: Arc::new(Datastore::new(ranks)),
+            registry: UdfRegistry::new(),
+            models: ModelRepository::with_builtin_models(),
+            profilers: vec![UdfProfiler::new(); ranks],
+            cache: None,
+        }
+    }
+
+    /// Attach a (possibly shared) global cache.
+    pub fn attach_cache(&mut self, cache: Arc<CacheManager>) {
+        self.cache = Some(cache);
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<CacheManager>> {
+        self.cache.as_ref()
+    }
+
+    /// The datastore (ingest surface).
+    pub fn datastore(&self) -> &Arc<Datastore> {
+        &self.datastore
+    }
+
+    /// The UDF registry (the Client's "add new user codes" surface).
+    pub fn registry(&self) -> &UdfRegistry {
+        &self.registry
+    }
+
+    /// The model repository.
+    pub fn models(&self) -> &ModelRepository {
+        &self.models
+    }
+
+    /// Mutable model repository (for registering new models).
+    pub fn models_mut(&mut self) -> &mut ModelRepository {
+        &mut self.models
+    }
+
+    /// The simulated cluster (benches read phase history from here).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Per-rank profilers (read-only view).
+    pub fn profilers(&self) -> &[UdfProfiler] {
+        &self.profilers
+    }
+
+    /// Execution options (mutable so benches can flip ablation knobs).
+    pub fn exec_options_mut(&mut self) -> &mut ExecOptions {
+        &mut self.config.exec
+    }
+
+    /// Reset virtual clocks between measured queries (data, caches, and
+    /// profilers persist — matching a long-running instance serving
+    /// successive queries).
+    pub fn reset_clocks(&mut self) {
+        self.cluster.reset_clocks();
+    }
+
+    /// EXPLAIN: parse and plan a query, rendering the physical plan with
+    /// cost annotations from the instance's aggregated profiles (no
+    /// execution happens).
+    pub fn explain(&self, iql_text: &str) -> Result<String, QueryError> {
+        let parsed = iql::parse_query(iql_text).map_err(|e| QueryError::Parse(e.to_string()))?;
+        let plan = planner::lower(&parsed, &self.datastore).map_err(|e| QueryError::Plan(e.to_string()))?;
+        let mut merged = UdfProfiler::new();
+        for p in &self.profilers {
+            merged.merge(p);
+        }
+        Ok(crate::explain::explain(&plan, &merged))
+    }
+
+    /// Parse, plan, and execute an IQL query.
+    pub fn query(&mut self, iql_text: &str) -> Result<QueryOutcome, QueryError> {
+        let parsed = iql::parse_query(iql_text).map_err(|e| QueryError::Parse(e.to_string()))?;
+        self.query_parsed(&parsed)
+    }
+
+    /// Execute an already-parsed query.
+    pub fn query_parsed(&mut self, parsed: &iql::ast::Query) -> Result<QueryOutcome, QueryError> {
+        let plan = planner::lower(parsed, &self.datastore).map_err(|e| QueryError::Plan(e.to_string()))?;
+        engine::execute_plan(
+            &mut self.cluster,
+            &self.datastore,
+            &self.registry,
+            &mut self.profilers,
+            &plan,
+            &self.config.exec,
+        )
+        .map_err(|e| QueryError::Exec(e.to_string()))
+    }
+}
+
+/// Any failure between IQL text and results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    Parse(String),
+    Plan(String),
+    Exec(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(m) => write!(f, "parse: {m}"),
+            QueryError::Plan(m) => write!(f, "plan: {m}"),
+            QueryError::Exec(m) => write!(f, "exec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_graph::Term;
+    use ids_udf::{UdfOutput, UdfValue};
+    use std::sync::Arc as StdArc;
+
+    fn demo_instance() -> IdsInstance {
+        let inst = IdsInstance::launch(IdsConfig::laptop(4, 42));
+        let ds = inst.datastore();
+        for i in 0..20 {
+            ds.add_fact(&Term::iri(format!("p:{i}")), &Term::iri("rdf:type"), &Term::iri("up:Protein"));
+            ds.add_fact(&Term::iri(format!("p:{i}")), &Term::iri("up:len"), &Term::Int(i * 10));
+        }
+        for c in 0..40 {
+            ds.add_fact(
+                &Term::iri(format!("c:{c}")),
+                &Term::iri("inhibits"),
+                &Term::iri(format!("p:{}", c % 20)),
+            );
+        }
+        ds.build_indexes();
+        inst
+    }
+
+    #[test]
+    fn simple_select_returns_all_matches() {
+        let mut inst = demo_instance();
+        let out = inst
+            .query("SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }")
+            .unwrap();
+        assert_eq!(out.solutions.len(), 20);
+        assert!(out.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn join_across_patterns() {
+        let mut inst = demo_instance();
+        let out = inst
+            .query("SELECT ?c ?p WHERE { ?c <inhibits> ?p . ?p <rdf:type> <up:Protein> . }")
+            .unwrap();
+        assert_eq!(out.solutions.len(), 40);
+        assert!(out.breakdown.join_secs > 0.0);
+        assert!(out.breakdown.scan_secs > 0.0);
+    }
+
+    #[test]
+    fn filter_on_literal_values() {
+        let mut inst = demo_instance();
+        let out = inst
+            .query("SELECT ?p WHERE { ?p <up:len> ?l . FILTER(?l >= 100) }")
+            .unwrap();
+        // len = 0,10,…,190; >= 100 → 10 rows.
+        assert_eq!(out.solutions.len(), 10);
+    }
+
+    #[test]
+    fn udf_in_filter_and_apply() {
+        let mut inst = demo_instance();
+        inst.registry()
+            .register_static(
+                "long_enough",
+                StdArc::new(|args: &[UdfValue]| {
+                    let l = args[0].as_f64().unwrap_or(0.0);
+                    UdfOutput::new(UdfValue::Bool(l >= 50.0), 0.01)
+                }),
+            )
+            .unwrap();
+        inst.registry()
+            .register_static(
+                "scale",
+                StdArc::new(|args: &[UdfValue]| {
+                    let l = args[0].as_f64().unwrap_or(0.0);
+                    UdfOutput::new(UdfValue::F64(l / 10.0), 0.02)
+                }),
+            )
+            .unwrap();
+        let out = inst
+            .query(
+                "SELECT ?p ?s WHERE { ?p <up:len> ?l . FILTER(long_enough(?l)) } \
+                 APPLY scale(?l) AS ?s FILTER(?s < 15.0) LIMIT 5",
+            )
+            .unwrap();
+        // len 50..190 passes (15 rows), s=len/10 < 15 → len < 150 → 10 rows, limit 5.
+        assert_eq!(out.solutions.len(), 5);
+        assert_eq!(out.solutions.vars(), &["p".to_string(), "s".to_string()]);
+        // Profilers saw the UDFs.
+        let total_calls: u64 = inst.profilers().iter().filter_map(|p| p.get("long_enough")).map(|p| p.calls).sum();
+        assert_eq!(total_calls, 20);
+        // Apply stage is on the breakdown.
+        assert!(out.breakdown.apply_secs.contains_key("scale"));
+    }
+
+    #[test]
+    fn unknown_projection_errors() {
+        let mut inst = demo_instance();
+        let err = inst.query("SELECT ?ghost WHERE { ?p <rdf:type> <up:Protein> . }").unwrap_err();
+        assert!(matches!(err, QueryError::Exec(_)));
+    }
+
+    #[test]
+    fn impossible_pattern_yields_empty() {
+        let mut inst = demo_instance();
+        let out = inst.query("SELECT ?p WHERE { ?p <rdf:type> <up:Unicorn> . }").unwrap();
+        assert!(out.solutions.is_empty());
+    }
+
+    #[test]
+    fn parse_error_surfaces() {
+        let mut inst = demo_instance();
+        assert!(matches!(inst.query("SELECT"), Err(QueryError::Parse(_))));
+    }
+
+    #[test]
+    fn clock_reset_between_queries() {
+        let mut inst = demo_instance();
+        inst.query("SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }").unwrap();
+        let t1 = inst.cluster().elapsed();
+        assert!(t1 > 0.0);
+        inst.reset_clocks();
+        assert_eq!(inst.cluster().elapsed(), 0.0);
+    }
+
+    #[test]
+    fn explain_shows_plan_without_executing() {
+        let inst = demo_instance();
+        let text = inst
+            .explain(
+                "SELECT ?p WHERE { ?c <inhibits> ?p . ?p <rdf:type> <up:Protein> . \
+                 FILTER(?p != <p:0>) } ORDER BY ?p LIMIT 5",
+            )
+            .unwrap();
+        assert!(text.contains("QUERY PLAN"), "{text}");
+        assert!(text.contains("~20 rows"), "type pattern cardinality: {text}");
+        assert!(text.contains("~40 rows"), "inhibits cardinality: {text}");
+        assert!(text.contains("order by: ?p ASC"), "{text}");
+        assert!(text.contains("limit: 5"), "{text}");
+        // No execution happened: clocks untouched.
+        assert_eq!(inst.cluster().elapsed(), 0.0);
+    }
+
+    #[test]
+    fn order_by_sorts_before_limit() {
+        let mut inst = demo_instance();
+        // Top-3 longest proteins.
+        let out = inst
+            .query("SELECT ?p ?l WHERE { ?p <up:len> ?l . } ORDER BY ?l DESC LIMIT 3")
+            .unwrap();
+        let lens: Vec<i64> = out
+            .solutions
+            .rows()
+            .iter()
+            .map(|r| inst.datastore().decode(r[1]).unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(lens, vec![190, 180, 170]);
+        // Ascending variant.
+        let out = inst
+            .query("SELECT ?l WHERE { ?p <up:len> ?l . } ORDER BY ?l LIMIT 2")
+            .unwrap();
+        let lens: Vec<i64> = out
+            .solutions
+            .rows()
+            .iter()
+            .map(|r| inst.datastore().decode(r[0]).unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(lens, vec![0, 10]);
+    }
+
+    #[test]
+    fn order_by_unbound_variable_errors() {
+        let mut inst = demo_instance();
+        assert!(inst
+            .query("SELECT ?p WHERE { ?p <up:len> ?l . } ORDER BY ?ghost")
+            .is_err());
+    }
+
+    #[test]
+    fn distinct_deduplicates_projection() {
+        let mut inst = demo_instance();
+        // 40 inhibits-edges over 20 proteins: DISTINCT projects 20.
+        let all = inst.query("SELECT ?p WHERE { ?c <inhibits> ?p . }").unwrap();
+        assert_eq!(all.solutions.len(), 40);
+        let distinct = inst.query("SELECT DISTINCT ?p WHERE { ?c <inhibits> ?p . }").unwrap();
+        assert_eq!(distinct.solutions.len(), 20);
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_vars() {
+        let mut inst = demo_instance();
+        let out = inst
+            .query(
+                "SELECT ?a ?b WHERE { ?a <rdf:type> <up:Protein> . ?b <inhibits> ?x . } LIMIT 1000",
+            )
+            .unwrap();
+        assert_eq!(out.solutions.len(), 20 * 40);
+    }
+}

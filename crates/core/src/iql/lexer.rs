@@ -1,0 +1,381 @@
+//! IQL lexer.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Keywords (case-insensitive in the surface syntax).
+    Select,
+    Where,
+    Filter,
+    Apply,
+    As,
+    Limit,
+    Distinct,
+    Order,
+    By,
+    Asc,
+    Desc,
+    // Punctuation.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Dot,
+    Comma,
+    // Operators.
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    // Values.
+    Var(String),
+    Iri(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    Eof,
+}
+
+/// A token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub pos: usize,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub pos: usize,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize an IQL query. `#` starts a comment to end of line.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => {
+                out.push(Spanned { token: Token::LBrace, pos: i });
+                i += 1;
+            }
+            b'}' => {
+                out.push(Spanned { token: Token::RBrace, pos: i });
+                i += 1;
+            }
+            b'(' => {
+                out.push(Spanned { token: Token::LParen, pos: i });
+                i += 1;
+            }
+            b')' => {
+                out.push(Spanned { token: Token::RParen, pos: i });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Spanned { token: Token::Dot, pos: i });
+                i += 1;
+            }
+            b',' => {
+                out.push(Spanned { token: Token::Comma, pos: i });
+                i += 1;
+            }
+            b'<' => {
+                // Either an IRI <...> or the < / <= operator.
+                if let Some(end) = iri_end(b, i) {
+                    let iri = std::str::from_utf8(&b[i + 1..end]).map_err(|_| LexError {
+                        message: "non-UTF8 IRI".into(),
+                        pos: i,
+                    })?;
+                    out.push(Spanned { token: Token::Iri(iri.to_string()), pos: i });
+                    i = end + 1;
+                } else if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Le, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Lt, pos: i });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Ge, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, pos: i });
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::EqEq, pos: i });
+                    i += 2;
+                } else {
+                    // Single '=' also accepted as equality.
+                    out.push(Spanned { token: Token::EqEq, pos: i });
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Ne, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Bang, pos: i });
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    out.push(Spanned { token: Token::AndAnd, pos: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected '&&'".into(), pos: i });
+                }
+            }
+            b'|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    out.push(Spanned { token: Token::OrOr, pos: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected '||'".into(), pos: i });
+                }
+            }
+            b'?' => {
+                let start = i + 1;
+                let end = ident_end(b, start);
+                if end == start {
+                    return Err(LexError { message: "empty variable name".into(), pos: i });
+                }
+                let name = std::str::from_utf8(&b[start..end]).expect("ASCII ident");
+                out.push(Spanned { token: Token::Var(name.to_string()), pos: i });
+                i = end;
+            }
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    match b.get(j) {
+                        None => return Err(LexError { message: "unterminated string".into(), pos: i }),
+                        Some(b'"') => break,
+                        Some(b'\\') => {
+                            match b.get(j + 1) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                other => {
+                                    return Err(LexError {
+                                        message: format!("bad escape {:?}", other.map(|&c| c as char)),
+                                        pos: j,
+                                    })
+                                }
+                            }
+                            j += 2;
+                        }
+                        Some(&c) => {
+                            s.push(c as char);
+                            j += 1;
+                        }
+                    }
+                }
+                out.push(Spanned { token: Token::Str(s), pos: i });
+                i = j + 1;
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = i;
+                let mut j = i + usize::from(c == b'-');
+                if j >= b.len() || !b[j].is_ascii_digit() {
+                    return Err(LexError { message: "expected digits after '-'".into(), pos: i });
+                }
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_float = false;
+                if j < b.len() && b[j] == b'.' && b.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                    is_float = true;
+                    j += 1;
+                    while j < b.len() && b[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..j]).expect("ASCII number");
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|e| LexError {
+                        message: format!("bad float: {e}"),
+                        pos: start,
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|e| LexError {
+                        message: format!("bad int: {e}"),
+                        pos: start,
+                    })?)
+                };
+                out.push(Spanned { token, pos: start });
+                i = j;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let end = ident_end(b, i);
+                let word = std::str::from_utf8(&b[i..end]).expect("ASCII ident");
+                let token = match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Token::Select,
+                    "WHERE" => Token::Where,
+                    "FILTER" => Token::Filter,
+                    "APPLY" => Token::Apply,
+                    "AS" => Token::As,
+                    "LIMIT" => Token::Limit,
+                    "DISTINCT" => Token::Distinct,
+                    "ORDER" => Token::Order,
+                    "BY" => Token::By,
+                    "ASC" => Token::Asc,
+                    "DESC" => Token::Desc,
+                    _ => Token::Ident(word.to_string()),
+                };
+                out.push(Spanned { token, pos: i });
+                i = end;
+            }
+            _ => {
+                return Err(LexError { message: format!("unexpected character {:?}", c as char), pos: i })
+            }
+        }
+    }
+    out.push(Spanned { token: Token::Eof, pos: b.len() });
+    Ok(out)
+}
+
+fn ident_end(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    i
+}
+
+/// If position `i` (at '<') starts an IRI `<…>`, return the index of the
+/// closing '>'. IRIs must not contain whitespace; `<` followed by space or
+/// digit is an operator.
+fn iri_end(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'>' => return if j > i + 1 { Some(j) } else { None },
+            c if c.is_ascii_whitespace() => return None,
+            b'=' if j == i + 1 => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_punctuation() {
+        assert_eq!(
+            toks("SELECT ?x WHERE { }"),
+            vec![
+                Token::Select,
+                Token::Var("x".into()),
+                Token::Where,
+                Token::LBrace,
+                Token::RBrace,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(toks("select")[0], Token::Select);
+        assert_eq!(toks("Filter")[0], Token::Filter);
+        assert_eq!(toks("apply")[0], Token::Apply);
+    }
+
+    #[test]
+    fn iris_vs_comparison() {
+        assert_eq!(toks("<up:Protein>")[0], Token::Iri("up:Protein".into()));
+        assert_eq!(toks("?x < 5"), vec![Token::Var("x".into()), Token::Lt, Token::Int(5), Token::Eof]);
+        assert_eq!(toks("?x <= 5")[1], Token::Le);
+        assert_eq!(toks("?x >= 0.9")[1], Token::Ge);
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(toks("42")[0], Token::Int(42));
+        assert_eq!(toks("-7")[0], Token::Int(-7));
+        assert_eq!(toks("0.95")[0], Token::Float(0.95));
+        assert_eq!(toks("-1.5")[0], Token::Float(-1.5));
+        assert_eq!(toks(r#""hello \"world\"""#)[0], Token::Str("hello \"world\"".into()));
+    }
+
+    #[test]
+    fn logical_operators() {
+        assert_eq!(
+            toks("?a && ?b || !?c"),
+            vec![
+                Token::Var("a".into()),
+                Token::AndAnd,
+                Token::Var("b".into()),
+                Token::OrOr,
+                Token::Bang,
+                Token::Var("c".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("SELECT # the projection\n?x"), vec![Token::Select, Token::Var("x".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn udf_call_shape() {
+        assert_eq!(
+            toks("sw_similarity(?seq)"),
+            vec![
+                Token::Ident("sw_similarity".into()),
+                Token::LParen,
+                Token::Var("seq".into()),
+                Token::RParen,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("SELECT @").unwrap_err();
+        assert_eq!(err.pos, 7);
+        assert!(lex(r#""unterminated"#).is_err());
+        assert!(lex("? ").is_err());
+        assert!(lex("a & b").is_err());
+    }
+}

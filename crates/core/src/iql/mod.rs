@@ -1,0 +1,29 @@
+//! IQL — the IDS Query Language.
+//!
+//! A SPARQL-flavoured surface extended with the paper's model-invocation
+//! constructs: UDF calls inside `FILTER` expressions and an
+//! `APPLY udf(args…) AS ?var` stage that binds a model's output as a new
+//! variable. The NCNPR re-purposing query (§5.1) renders as:
+//!
+//! ```text
+//! SELECT ?compound ?smiles
+//! WHERE {
+//!   ?protein  <rdf:type>         <up:Protein> .
+//!   ?protein  <up:reviewed>      1 .
+//!   ?protein  <up:sequence>      ?seq .
+//!   ?compound <chembl:inhibits>  ?protein .
+//!   ?compound <chembl:smiles>    ?smiles .
+//!   FILTER(sw_similarity(?seq) >= 0.9)
+//!   FILTER(pic50(?compound, ?protein) > 6.0)
+//!   FILTER(dtba(?seq, ?smiles) >= 6.5)
+//! }
+//! APPLY vina_docking(?smiles) AS ?energy
+//! LIMIT 100
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Query, TermAst, TriplePatternAst};
+pub use parser::{parse_query, ParseError};

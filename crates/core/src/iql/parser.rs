@@ -1,0 +1,434 @@
+//! IQL recursive-descent parser.
+
+use super::ast::*;
+use super::lexer::{lex, LexError, Spanned, Token};
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub pos: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, pos: e.pos }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.i].token
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens[self.i].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.i].token.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { message, pos: self.pos() }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect(&Token::Select, "SELECT")?;
+        let distinct = if self.peek() == &Token::Distinct {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut select = Vec::new();
+        while let Token::Var(v) = self.peek() {
+            select.push(v.clone());
+            self.bump();
+        }
+        self.expect(&Token::Where, "WHERE")?;
+        self.expect(&Token::LBrace, "'{'")?;
+
+        let mut patterns = Vec::new();
+        let mut filters = Vec::new();
+        loop {
+            match self.peek() {
+                Token::RBrace => {
+                    self.bump();
+                    break;
+                }
+                Token::Filter => {
+                    self.bump();
+                    self.expect(&Token::LParen, "'(' after FILTER")?;
+                    let e = self.expr()?;
+                    self.expect(&Token::RParen, "')'")?;
+                    filters.push(e);
+                }
+                Token::Eof => return Err(self.err("unterminated WHERE block".into())),
+                _ => {
+                    let s = self.term()?;
+                    let p = self.term()?;
+                    let o = self.term()?;
+                    self.expect(&Token::Dot, "'.' after triple pattern")?;
+                    patterns.push(TriplePatternAst { s, p, o });
+                }
+            }
+        }
+
+        let mut stages = Vec::new();
+        let mut limit = None;
+        let mut order_by = None;
+        loop {
+            match self.peek() {
+                Token::Order => {
+                    self.bump();
+                    self.expect(&Token::By, "BY after ORDER")?;
+                    // Accept both `ORDER BY ?v [ASC|DESC]` and the SPARQL
+                    // function forms `ASC(?v)` / `DESC(?v)`.
+                    let (var, descending) = match self.bump() {
+                        Token::Var(v) => {
+                            let desc = match self.peek() {
+                                Token::Desc => {
+                                    self.bump();
+                                    true
+                                }
+                                Token::Asc => {
+                                    self.bump();
+                                    false
+                                }
+                                _ => false,
+                            };
+                            (v, desc)
+                        }
+                        t @ (Token::Asc | Token::Desc) => {
+                            let desc = t == Token::Desc;
+                            self.expect(&Token::LParen, "'('")?;
+                            let v = match self.bump() {
+                                Token::Var(v) => v,
+                                other => return Err(self.err(format!("expected ?var, found {other:?}"))),
+                            };
+                            self.expect(&Token::RParen, "')'")?;
+                            (v, desc)
+                        }
+                        other => return Err(self.err(format!("expected ?var after ORDER BY, found {other:?}"))),
+                    };
+                    if order_by.is_some() {
+                        return Err(self.err("duplicate ORDER BY".into()));
+                    }
+                    order_by = Some(crate::iql::ast::OrderByAst { var, descending });
+                }
+                Token::Apply => {
+                    self.bump();
+                    let name = match self.bump() {
+                        Token::Ident(n) => self.dotted_name(n)?,
+                        other => return Err(self.err(format!("expected UDF name after APPLY, found {other:?}"))),
+                    };
+                    self.expect(&Token::LParen, "'('")?;
+                    let mut args = Vec::new();
+                    if self.peek() != &Token::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == &Token::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen, "')'")?;
+                    self.expect(&Token::As, "AS")?;
+                    let bind_as = match self.bump() {
+                        Token::Var(v) => v,
+                        other => return Err(self.err(format!("expected ?var after AS, found {other:?}"))),
+                    };
+                    stages.push(StageAst::Apply(ApplyAst { udf: name, args, bind_as }));
+                }
+                Token::Filter => {
+                    self.bump();
+                    self.expect(&Token::LParen, "'(' after FILTER")?;
+                    let e = self.expr()?;
+                    self.expect(&Token::RParen, "')'")?;
+                    stages.push(StageAst::Filter(e));
+                }
+                Token::Limit => {
+                    self.bump();
+                    match self.bump() {
+                        Token::Int(n) if n >= 0 => limit = Some(n as usize),
+                        other => return Err(self.err(format!("expected non-negative LIMIT, found {other:?}"))),
+                    }
+                }
+                Token::Eof => break,
+                other => return Err(self.err(format!("unexpected {other:?} after WHERE block"))),
+            }
+        }
+
+        Ok(Query { distinct, select, patterns, filters, stages, order_by, limit })
+    }
+
+    /// Extend a UDF name with `.method` segments (dynamic UDFs are tracked
+    /// as `module.method`).
+    fn dotted_name(&mut self, first: String) -> Result<String, ParseError> {
+        let mut name = first;
+        while self.peek() == &Token::Dot {
+            self.bump();
+            match self.bump() {
+                Token::Ident(seg) => {
+                    name.push('.');
+                    name.push_str(&seg);
+                }
+                other => return Err(self.err(format!("expected identifier after '.', found {other:?}"))),
+            }
+        }
+        Ok(name)
+    }
+
+    fn term(&mut self) -> Result<TermAst, ParseError> {
+        match self.bump() {
+            Token::Var(v) => Ok(TermAst::Var(v)),
+            Token::Iri(s) => Ok(TermAst::Iri(s)),
+            Token::Str(s) => Ok(TermAst::Str(s)),
+            Token::Int(n) => Ok(TermAst::Int(n)),
+            Token::Float(x) => Ok(TermAst::Float(x)),
+            other => Err(self.err(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    // expr := or_expr
+    fn expr(&mut self) -> Result<ExprAst, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let first = self.and_expr()?;
+        if self.peek() != &Token::OrOr {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.peek() == &Token::OrOr {
+            self.bump();
+            parts.push(self.and_expr()?);
+        }
+        Ok(ExprAst::Or(parts))
+    }
+
+    fn and_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let first = self.cmp_expr()?;
+        if self.peek() != &Token::AndAnd {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.peek() == &Token::AndAnd {
+            self.bump();
+            parts.push(self.cmp_expr()?);
+        }
+        Ok(ExprAst::And(parts))
+    }
+
+    fn cmp_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let lhs = self.unary_expr()?;
+        let op = match self.peek() {
+            Token::Lt => CmpOpAst::Lt,
+            Token::Le => CmpOpAst::Le,
+            Token::Gt => CmpOpAst::Gt,
+            Token::Ge => CmpOpAst::Ge,
+            Token::EqEq => CmpOpAst::Eq,
+            Token::Ne => CmpOpAst::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.unary_expr()?;
+        Ok(ExprAst::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn unary_expr(&mut self) -> Result<ExprAst, ParseError> {
+        if self.peek() == &Token::Bang {
+            self.bump();
+            return Ok(ExprAst::Not(Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<ExprAst, ParseError> {
+        match self.bump() {
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Token::Var(v) => Ok(ExprAst::Term(TermAst::Var(v))),
+            Token::Iri(s) => Ok(ExprAst::Term(TermAst::Iri(s))),
+            Token::Str(s) => Ok(ExprAst::Term(TermAst::Str(s))),
+            Token::Int(n) => Ok(ExprAst::Term(TermAst::Int(n))),
+            Token::Float(x) => Ok(ExprAst::Term(TermAst::Float(x))),
+            Token::Ident(name) => {
+                // A bare identifier must be a UDF call. Dynamic UDFs are
+                // addressed as `module.method` (§2.4.1).
+                let name = self.dotted_name(name)?;
+                self.expect(&Token::LParen, "'(' after UDF name")?;
+                let mut args = Vec::new();
+                if self.peek() != &Token::RParen {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.peek() == &Token::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen, "')'")?;
+                Ok(ExprAst::Call { name, args })
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse an IQL query string.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, i: 0 };
+    let q = p.query()?;
+    if p.peek() != &Token::Eof {
+        return Err(p.err(format!("trailing input: {:?}", p.peek())));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NCNPR: &str = r#"
+        SELECT ?compound ?smiles
+        WHERE {
+            ?protein  <rdf:type>        <up:Protein> .
+            ?protein  <up:reviewed>     1 .
+            ?protein  <up:sequence>     ?seq .
+            ?compound <chembl:inhibits> ?protein .
+            ?compound <chembl:smiles>   ?smiles .
+            FILTER(sw_similarity(?seq) >= 0.9)
+            FILTER(pic50(?compound, ?protein) > 6.0)
+            FILTER(dtba(?seq, ?smiles) >= 6.5)
+        }
+        APPLY vina_docking(?smiles) AS ?energy
+        LIMIT 100
+    "#;
+
+    #[test]
+    fn parses_the_ncnpr_query() {
+        let q = parse_query(NCNPR).unwrap();
+        assert_eq!(q.select, vec!["compound", "smiles"]);
+        assert_eq!(q.patterns.len(), 5);
+        assert_eq!(q.filters.len(), 3);
+        assert_eq!(q.stages.len(), 1);
+        assert_eq!(q.limit, Some(100));
+        match &q.stages[0] {
+            StageAst::Apply(a) => {
+                assert_eq!(a.udf, "vina_docking");
+                assert_eq!(a.bind_as, "energy");
+                assert_eq!(a.args.len(), 1);
+            }
+            other => panic!("expected APPLY, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn triple_pattern_positions() {
+        let q = parse_query("SELECT ?s WHERE { ?s <p> 42 . }").unwrap();
+        assert_eq!(q.patterns[0].s, TermAst::Var("s".into()));
+        assert_eq!(q.patterns[0].p, TermAst::Iri("p".into()));
+        assert_eq!(q.patterns[0].o, TermAst::Int(42));
+    }
+
+    #[test]
+    fn filter_precedence_and_over_or() {
+        let q = parse_query("SELECT ?x WHERE { FILTER(?a > 1 && ?b < 2 || ?c == 3) }").unwrap();
+        match &q.filters[0] {
+            ExprAst::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], ExprAst::And(_)));
+                assert!(matches!(parts[1], ExprAst::Cmp(CmpOpAst::Eq, _, _)));
+            }
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let q = parse_query("SELECT ?x WHERE { FILTER((?a > 1 || ?b < 2) && ?c == 3) }").unwrap();
+        assert!(matches!(&q.filters[0], ExprAst::And(_)));
+    }
+
+    #[test]
+    fn not_and_nested_calls() {
+        let q = parse_query("SELECT ?x WHERE { FILTER(!contains(upper(?name), \"KINASE\")) }").unwrap();
+        match &q.filters[0] {
+            ExprAst::Not(inner) => match inner.as_ref() {
+                ExprAst::Call { name, args } => {
+                    assert_eq!(name, "contains");
+                    assert_eq!(args.len(), 2);
+                    assert!(matches!(&args[0], ExprAst::Call { name, .. } if name == "upper"));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn post_where_filter_stage() {
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x <a> <b> . } APPLY m(?x) AS ?y FILTER(?y < 0.0) LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(q.stages.len(), 2);
+        assert!(matches!(&q.stages[1], StageAst::Filter(_)));
+    }
+
+    #[test]
+    fn zero_arg_udf() {
+        let q = parse_query("SELECT ?x WHERE { FILTER(now() > 0) }").unwrap();
+        assert!(matches!(&q.filters[0], ExprAst::Cmp(_, lhs, _)
+            if matches!(lhs.as_ref(), ExprAst::Call { args, .. } if args.is_empty())));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_query("WHERE { }").is_err(), "missing SELECT");
+        assert!(parse_query("SELECT ?x { }").is_err(), "missing WHERE");
+        assert!(parse_query("SELECT ?x WHERE { ?s <p> }").is_err(), "incomplete triple");
+        assert!(parse_query("SELECT ?x WHERE { ?s <p> ?o }").is_err(), "missing dot");
+        assert!(parse_query("SELECT ?x WHERE { FILTER(?a >) }").is_err(), "bad expr");
+        assert!(parse_query("SELECT ?x WHERE { } LIMIT -3").is_err(), "negative limit");
+        assert!(parse_query("SELECT ?x WHERE { } APPLY m(?x) ?y").is_err(), "missing AS");
+        assert!(parse_query("SELECT ?x WHERE { } garbage").is_err(), "trailing tokens");
+        assert!(parse_query("SELECT ?x WHERE {").is_err(), "unterminated block");
+    }
+}

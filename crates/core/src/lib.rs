@@ -1,0 +1,42 @@
+//! # ids-core — the Intelligent Data Search framework
+//!
+//! The paper's primary contribution: a unified engine that lets scientists
+//! "compose expressive queries that both retrieve massive, multi-modal
+//! datasets and invoke complex computational models" (§1). This crate ties
+//! every substrate together:
+//!
+//! * [`datastore`] — the 3-in-1 datastore: knowledge graph
+//!   (`ids-graph`), vector store (`ids-vector`), and feature store
+//!   (`ids-feature`) behind one ingest/query surface.
+//! * [`iql`] — the IDS Query Language: a SPARQL-flavoured surface with
+//!   UDF calls in FILTER expressions and an `APPLY … AS ?var` stage for
+//!   model invocation (lexer, recursive-descent parser, AST).
+//! * [`binding`] — bridges solution rows to UDF bindings, decoding
+//!   dictionary ids to typed values at the UDF boundary.
+//! * [`engine`] — the distributed executor: BSP phases over the simulated
+//!   cluster (scan → exchange → join → re-balance → filter → apply),
+//!   charging virtual cost per rank and recording the per-stage breakdown
+//!   Figures 4–5 are built from.
+//! * [`planner`] — pattern ordering by cardinality estimates plus the
+//!   §2.4 adaptive pieces (conjunct reordering, throughput re-balancing)
+//!   delegated to `ids-udf`.
+//! * [`instance`] — [`instance::IdsInstance`]: the launcher/client facade
+//!   that owns the cluster, datastore, model repository, UDF registry,
+//!   profilers, and (optionally shared) global cache.
+//! * [`workflow`] — the NCNPR drug-re-purposing workflow and the cached
+//!   model-invocation helpers (docking results stashed in the global
+//!   cache, §4).
+
+pub mod binding;
+pub mod datastore;
+pub mod explain;
+pub mod engine;
+pub mod instance;
+pub mod iql;
+pub mod planner;
+pub mod workflow;
+
+pub use datastore::Datastore;
+pub use engine::{QueryOutcome, StageBreakdown};
+pub use instance::{IdsConfig, IdsInstance};
+pub use iql::ast::Query;

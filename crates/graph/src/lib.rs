@@ -1,0 +1,37 @@
+//! # ids-graph — the partitioned in-memory triple store
+//!
+//! IDS is "built upon the Cray Graph Engine (CGE), a well-established
+//! semantic graph database" (§2.1). CGE is closed source; this crate
+//! implements its published architecture from scratch:
+//!
+//! * [`term`] / [`dict`] — RDF-style terms (IRIs, typed literals) and the
+//!   dictionary encoder mapping every term to a dense 64-bit id. All query
+//!   processing happens on ids; strings only exist at the boundary.
+//! * [`triple`] — encoded (subject, predicate, object) facts.
+//! * [`store`] — the partitioned store: triples are sharded across the
+//!   simulated cluster's ranks by subject hash, each shard keeping
+//!   sorted indexes for pattern scans.
+//! * [`solution`] — columnar binding tables ("solutions" in CGE
+//!   terminology) flowing between operators.
+//! * [`ops`] — shard-local relational operators: pattern scan, hash join,
+//!   merge (union), project, distinct — the "set-theoretic" operators of
+//!   the paper's unified query engine.
+
+pub mod algo;
+pub mod dict;
+pub mod ntriples;
+pub mod ops;
+pub mod solution;
+pub mod store;
+pub mod term;
+pub mod text;
+pub mod triple;
+
+pub use algo::{connected_components, pagerank};
+pub use dict::Dictionary;
+pub use ntriples::{parse_ntriples, write_ntriples};
+pub use solution::SolutionSet;
+pub use store::{PartitionedStore, ShardStats, TriplePattern};
+pub use term::{Term, TermId};
+pub use text::KeywordIndex;
+pub use triple::Triple;

@@ -1,0 +1,254 @@
+//! Shard-local relational operators.
+//!
+//! The paper's query engine "commonly re-balances solutions across ranks
+//! between operations (e.g., scans, joins, merges)" (§2.4.2) — these are
+//! those operations, executed per rank on local solution sets. Cross-rank
+//! movement is the engine's job (ids-core); everything here is pure.
+
+use crate::solution::SolutionSet;
+use crate::store::TriplePattern;
+use crate::term::TermId;
+use crate::triple::Triple;
+use std::collections::{HashMap, HashSet};
+
+/// Bind a scanned pattern's wildcards to variables, producing solutions.
+///
+/// `var_s` / `var_p` / `var_o` name the variables for unbound positions
+/// (`None` for bound positions, which produce no column). A position that
+/// is bound in the pattern must not carry a variable name.
+///
+/// # Panics
+/// Panics if a variable is supplied for a bound position.
+pub fn scan_to_solutions(
+    pattern: &TriplePattern,
+    var_s: Option<&str>,
+    var_p: Option<&str>,
+    var_o: Option<&str>,
+    triples: &[Triple],
+) -> SolutionSet {
+    assert!(!(pattern.s.is_some() && var_s.is_some()), "subject is bound; no variable allowed");
+    assert!(!(pattern.p.is_some() && var_p.is_some()), "predicate is bound; no variable allowed");
+    assert!(!(pattern.o.is_some() && var_o.is_some()), "object is bound; no variable allowed");
+    let mut vars = Vec::new();
+    if let Some(v) = var_s {
+        vars.push(v.to_string());
+    }
+    if let Some(v) = var_p {
+        vars.push(v.to_string());
+    }
+    if let Some(v) = var_o {
+        vars.push(v.to_string());
+    }
+    let mut out = SolutionSet::empty(vars);
+    for t in triples {
+        debug_assert!(pattern.matches(t));
+        let mut row = Vec::new();
+        if var_s.is_some() {
+            row.push(t.s);
+        }
+        if var_p.is_some() {
+            row.push(t.p);
+        }
+        if var_o.is_some() {
+            row.push(t.o);
+        }
+        out.push(row);
+    }
+    out
+}
+
+/// Hash join on all shared variables. The output schema is the left schema
+/// followed by the right's non-shared variables, matching SPARQL BGP
+/// semantics. If there are no shared variables this is a cross product.
+pub fn hash_join(left: &SolutionSet, right: &SolutionSet) -> SolutionSet {
+    let shared: Vec<(usize, usize)> = left
+        .vars()
+        .iter()
+        .enumerate()
+        .filter_map(|(li, v)| right.var_index(v).map(|ri| (li, ri)))
+        .collect();
+    let right_extra: Vec<usize> = (0..right.vars().len())
+        .filter(|ri| !shared.iter().any(|&(_, sri)| sri == *ri))
+        .collect();
+
+    let mut vars: Vec<String> = left.vars().to_vec();
+    vars.extend(right_extra.iter().map(|&ri| right.vars()[ri].clone()));
+    let mut out = SolutionSet::empty(vars);
+
+    // Build side: hash the smaller input on the shared-key tuple.
+    let mut table: HashMap<Vec<TermId>, Vec<usize>> = HashMap::new();
+    for (idx, row) in right.rows().iter().enumerate() {
+        let key: Vec<TermId> = shared.iter().map(|&(_, ri)| row[ri]).collect();
+        table.entry(key).or_default().push(idx);
+    }
+
+    for lrow in left.rows() {
+        let key: Vec<TermId> = shared.iter().map(|&(li, _)| lrow[li]).collect();
+        if let Some(matches) = table.get(&key) {
+            for &ridx in matches {
+                let rrow = &right.rows()[ridx];
+                let mut row = lrow.clone();
+                row.extend(right_extra.iter().map(|&ri| rrow[ri]));
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+/// Union of solution sets with identical schemas ("merge" in CGE terms).
+///
+/// # Panics
+/// Panics if schemas differ.
+pub fn merge(sets: Vec<SolutionSet>) -> SolutionSet {
+    let mut it = sets.into_iter();
+    let mut first = it.next().expect("merge needs at least one input");
+    for s in it {
+        first.append(s);
+    }
+    first
+}
+
+/// Project onto a subset of variables (preserving requested order).
+///
+/// # Panics
+/// Panics if a requested variable is absent.
+pub fn project(input: &SolutionSet, vars: &[&str]) -> SolutionSet {
+    let idx: Vec<usize> = vars
+        .iter()
+        .map(|v| input.var_index(v).unwrap_or_else(|| panic!("unknown variable ?{v}")))
+        .collect();
+    let mut out = SolutionSet::empty(vars.iter().map(|s| s.to_string()).collect());
+    for row in input.rows() {
+        out.push(idx.iter().map(|&i| row[i]).collect());
+    }
+    out
+}
+
+/// Remove duplicate rows (first occurrence wins, order preserved).
+pub fn distinct(input: &SolutionSet) -> SolutionSet {
+    let mut seen: HashSet<&[TermId]> = HashSet::with_capacity(input.len());
+    let mut out = SolutionSet::empty(input.vars().to_vec());
+    for row in input.rows() {
+        if seen.insert(row.as_slice()) {
+            out.push(row.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Triple;
+
+    fn id(v: u64) -> TermId {
+        TermId(v)
+    }
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::new(id(s), id(p), id(o))
+    }
+
+    #[test]
+    fn scan_binds_wildcards_only() {
+        let pat = TriplePattern::new(None, Some(id(9)), None);
+        let triples = vec![t(1, 9, 11), t(2, 9, 12)];
+        let sols = scan_to_solutions(&pat, Some("s"), None, Some("o"), &triples);
+        assert_eq!(sols.vars(), &["s".to_string(), "o".to_string()]);
+        assert_eq!(sols.rows(), &[vec![id(1), id(11)], vec![id(2), id(12)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "predicate is bound")]
+    fn scan_rejects_var_on_bound_position() {
+        let pat = TriplePattern::new(None, Some(id(9)), None);
+        scan_to_solutions(&pat, Some("s"), Some("p"), None, &[]);
+    }
+
+    #[test]
+    fn join_on_shared_var() {
+        // proteins: (?p, ?seq)   inhibitors: (?p, ?c)
+        let left = SolutionSet::new(
+            vec!["p".into(), "seq".into()],
+            vec![vec![id(1), id(21)], vec![id(2), id(22)], vec![id(3), id(23)]],
+        );
+        let right = SolutionSet::new(
+            vec!["p".into(), "c".into()],
+            vec![vec![id(1), id(31)], vec![id(1), id(32)], vec![id(3), id(33)], vec![id(9), id(39)]],
+        );
+        let joined = hash_join(&left, &right);
+        assert_eq!(joined.vars(), &["p".to_string(), "seq".to_string(), "c".to_string()]);
+        assert_eq!(joined.len(), 3, "p=1 matches twice, p=3 once, p=2/9 drop");
+        assert!(joined.rows().contains(&vec![id(1), id(21), id(32)]));
+        assert!(joined.rows().contains(&vec![id(3), id(23), id(33)]));
+    }
+
+    #[test]
+    fn join_without_shared_vars_is_cross_product() {
+        let left = SolutionSet::new(vec!["a".into()], vec![vec![id(1)], vec![id(2)]]);
+        let right = SolutionSet::new(vec!["b".into()], vec![vec![id(10)], vec![id(20)], vec![id(30)]]);
+        assert_eq!(hash_join(&left, &right).len(), 6);
+    }
+
+    #[test]
+    fn join_on_multiple_shared_vars() {
+        let left = SolutionSet::new(
+            vec!["x".into(), "y".into()],
+            vec![vec![id(1), id(2)], vec![id(1), id(3)]],
+        );
+        let right = SolutionSet::new(
+            vec!["y".into(), "x".into()],
+            vec![vec![id(2), id(1)], vec![id(3), id(9)]],
+        );
+        let joined = hash_join(&left, &right);
+        assert_eq!(joined.len(), 1, "both x and y must agree");
+        assert_eq!(joined.rows()[0], vec![id(1), id(2)]);
+    }
+
+    #[test]
+    fn join_with_empty_side_is_empty() {
+        let left = SolutionSet::new(vec!["a".into()], vec![vec![id(1)]]);
+        let right = SolutionSet::empty(vec!["a".into()]);
+        assert!(hash_join(&left, &right).is_empty());
+        assert!(hash_join(&right, &left).is_empty());
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = SolutionSet::new(vec!["x".into()], vec![vec![id(1)]]);
+        let b = SolutionSet::new(vec!["x".into()], vec![vec![id(2)], vec![id(3)]]);
+        assert_eq!(merge(vec![a, b]).len(), 3);
+    }
+
+    #[test]
+    fn project_reorders_and_drops() {
+        let s = SolutionSet::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![vec![id(1), id(2), id(3)]],
+        );
+        let p = project(&s, &["c", "a"]);
+        assert_eq!(p.vars(), &["c".to_string(), "a".to_string()]);
+        assert_eq!(p.rows()[0], vec![id(3), id(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn project_unknown_var_panics() {
+        let s = SolutionSet::empty(vec!["a".into()]);
+        project(&s, &["zzz"]);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_stably() {
+        let s = SolutionSet::new(
+            vec!["x".into()],
+            vec![vec![id(2)], vec![id(1)], vec![id(2)], vec![id(3)], vec![id(1)]],
+        );
+        let d = distinct(&s);
+        assert_eq!(
+            d.rows().iter().map(|r| r[0].0).collect::<Vec<_>>(),
+            vec![2, 1, 3]
+        );
+    }
+}

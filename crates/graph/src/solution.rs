@@ -1,0 +1,194 @@
+//! Solution sets — the binding tables flowing between operators.
+//!
+//! CGE calls intermediate results "solutions"; the paper's re-balancing
+//! section (§2.4.2) is entirely about moving these between ranks. A
+//! [`SolutionSet`] is a small relational table: named variables (columns)
+//! over dictionary-encoded values. Rows are the unit of redistribution.
+
+use crate::term::TermId;
+use serde::{Deserialize, Serialize};
+
+/// A table of variable bindings.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolutionSet {
+    vars: Vec<String>,
+    rows: Vec<Vec<TermId>>,
+}
+
+impl SolutionSet {
+    /// An empty set with the given schema.
+    pub fn empty(vars: Vec<String>) -> Self {
+        Self { vars, rows: Vec::new() }
+    }
+
+    /// Build from a schema and rows.
+    ///
+    /// # Panics
+    /// Panics if any row's width differs from the schema.
+    pub fn new(vars: Vec<String>, rows: Vec<Vec<TermId>>) -> Self {
+        for r in &rows {
+            assert_eq!(r.len(), vars.len(), "row width must match schema");
+        }
+        Self { vars, rows }
+    }
+
+    /// Variable names (column order).
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> &[Vec<TermId>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a variable in the schema.
+    pub fn var_index(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// The column of values bound to `var`.
+    pub fn column(&self, var: &str) -> Option<Vec<TermId>> {
+        let i = self.var_index(var)?;
+        Some(self.rows.iter().map(|r| r[i]).collect())
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn push(&mut self, row: Vec<TermId>) {
+        assert_eq!(row.len(), self.vars.len(), "row width must match schema");
+        self.rows.push(row);
+    }
+
+    /// Append all rows of `other` (schemas must match exactly).
+    ///
+    /// # Panics
+    /// Panics if schemas differ.
+    pub fn append(&mut self, other: SolutionSet) {
+        assert_eq!(self.vars, other.vars, "merge requires identical schemas");
+        self.rows.extend(other.rows);
+    }
+
+    /// Drain rows out (used when redistributing to other ranks).
+    pub fn take_rows(&mut self) -> Vec<Vec<TermId>> {
+        std::mem::take(&mut self.rows)
+    }
+
+    /// Retain only rows satisfying `pred`.
+    pub fn retain(&mut self, mut pred: impl FnMut(&[TermId]) -> bool) {
+        self.rows.retain(|r| pred(r));
+    }
+
+    /// Serialized size estimate in bytes (for network cost accounting):
+    /// 8 bytes per binding.
+    pub fn byte_size(&self) -> u64 {
+        (self.rows.len() * self.vars.len() * 8) as u64
+    }
+
+    /// Split into `n` near-equal chunks preserving order (chunk i gets rows
+    /// `[i*⌈len/n⌉, …)`). Used by count-based re-balancing.
+    pub fn split_even(mut self, n: usize) -> Vec<SolutionSet> {
+        assert!(n > 0);
+        let total = self.rows.len();
+        let base = total / n;
+        let extra = total % n;
+        let mut out = Vec::with_capacity(n);
+        let mut rows = std::mem::take(&mut self.rows).into_iter();
+        for i in 0..n {
+            let take = base + usize::from(i < extra);
+            out.push(SolutionSet { vars: self.vars.clone(), rows: rows.by_ref().take(take).collect() });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u64) -> TermId {
+        TermId(v)
+    }
+
+    fn demo() -> SolutionSet {
+        SolutionSet::new(
+            vec!["protein".into(), "compound".into()],
+            (0..10).map(|i| vec![id(i), id(100 + i)]).collect(),
+        )
+    }
+
+    #[test]
+    fn schema_and_access() {
+        let s = demo();
+        assert_eq!(s.vars(), &["protein".to_string(), "compound".to_string()]);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.var_index("compound"), Some(1));
+        assert_eq!(s.var_index("missing"), None);
+        assert_eq!(s.column("protein").unwrap()[3], id(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut s = demo();
+        s.push(vec![id(1)]);
+    }
+
+    #[test]
+    fn append_requires_same_schema() {
+        let mut a = demo();
+        let b = demo();
+        a.append(b);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical schemas")]
+    fn append_rejects_schema_mismatch() {
+        let mut a = demo();
+        a.append(SolutionSet::empty(vec!["x".into()]));
+    }
+
+    #[test]
+    fn retain_filters_rows() {
+        let mut s = demo();
+        s.retain(|r| r[0].0 % 2 == 0);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn split_even_covers_all_rows() {
+        let s = demo();
+        let parts = s.split_even(3);
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn split_more_parts_than_rows_pads_empties() {
+        let s = SolutionSet::new(vec!["x".into()], vec![vec![id(1)], vec![id(2)]]);
+        let parts = s.split_even(5);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn byte_size_counts_bindings() {
+        assert_eq!(demo().byte_size(), 10 * 2 * 8);
+    }
+}

@@ -1,0 +1,360 @@
+//! The partitioned triple store.
+//!
+//! Triples are distributed across the cluster's ranks by a hash of the
+//! subject id, as CGE shards its graph. Each shard keeps three sorted
+//! indexes (SPO, POS, OSP) so any triple pattern scans in
+//! O(log n + answers): subject-bound lookups use SPO, predicate scans use
+//! POS, object lookups use OSP. Index builds are parallel (rayon) and
+//! ingest is buffered, mirroring CGE's bulk-load-then-query lifecycle.
+
+use crate::term::TermId;
+use crate::triple::Triple;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A triple pattern: `None` positions are wildcards ("variables").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TriplePattern {
+    pub s: Option<TermId>,
+    pub p: Option<TermId>,
+    pub o: Option<TermId>,
+}
+
+impl TriplePattern {
+    /// Pattern with every position bound/unbound as given.
+    pub fn new(s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Self {
+        Self { s, p, o }
+    }
+
+    /// Whether `t` matches this pattern.
+    #[inline]
+    pub fn matches(&self, t: &Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+}
+
+/// One rank's shard: the same triples in three sort orders.
+#[derive(Debug, Default)]
+struct Shard {
+    spo: Vec<Triple>,
+    pos: Vec<Triple>,
+    osp: Vec<Triple>,
+    pending: Vec<Triple>,
+}
+
+fn pos_key(t: &Triple) -> (TermId, TermId, TermId) {
+    (t.p, t.o, t.s)
+}
+
+fn osp_key(t: &Triple) -> (TermId, TermId, TermId) {
+    (t.o, t.s, t.p)
+}
+
+impl Shard {
+    fn build(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.spo.append(&mut self.pending.clone());
+        self.pos.append(&mut self.pending.clone());
+        self.osp.append(&mut self.pending);
+        self.spo.sort_unstable();
+        self.spo.dedup();
+        self.pos.sort_unstable_by_key(pos_key);
+        self.pos.dedup();
+        self.osp.sort_unstable_by_key(osp_key);
+        self.osp.dedup();
+    }
+
+    fn scan(&self, pat: &TriplePattern) -> Vec<Triple> {
+        debug_assert!(self.pending.is_empty(), "scan before build_indexes()");
+        match (pat.s, pat.p, pat.o) {
+            // Subject bound: SPO prefix range.
+            (Some(s), _, _) => {
+                let lo = self.spo.partition_point(|t| t.s < s);
+                self.spo[lo..]
+                    .iter()
+                    .take_while(|t| t.s == s)
+                    .filter(|t| pat.matches(t))
+                    .copied()
+                    .collect()
+            }
+            // Predicate bound: POS prefix range.
+            (None, Some(p), o) => {
+                let lo = self.pos.partition_point(|t| t.p < p);
+                self.pos[lo..]
+                    .iter()
+                    .take_while(|t| t.p == p)
+                    .filter(|t| o.is_none_or(|o| o == t.o))
+                    .copied()
+                    .collect()
+            }
+            // Object bound only: OSP prefix range.
+            (None, None, Some(o)) => {
+                let lo = self.osp.partition_point(|t| t.o < o);
+                self.osp[lo..].iter().take_while(|t| t.o == o).copied().collect()
+            }
+            // Fully unbound: full scan.
+            (None, None, None) => self.spo.clone(),
+        }
+    }
+
+    fn count(&self, pat: &TriplePattern) -> usize {
+        // Same ranges as scan, but without materializing (used by the
+        // planner for cardinality estimates).
+        match (pat.s, pat.p, pat.o) {
+            (Some(s), _, _) => {
+                let lo = self.spo.partition_point(|t| t.s < s);
+                self.spo[lo..].iter().take_while(|t| t.s == s).filter(|t| pat.matches(t)).count()
+            }
+            (None, Some(p), o) => {
+                let lo = self.pos.partition_point(|t| t.p < p);
+                self.pos[lo..]
+                    .iter()
+                    .take_while(|t| t.p == p)
+                    .filter(|t| o.is_none_or(|ov| ov == t.o))
+                    .count()
+            }
+            (None, None, Some(o)) => {
+                let lo = self.osp.partition_point(|t| t.o < o);
+                self.osp[lo..].iter().take_while(|t| t.o == o).count()
+            }
+            (None, None, None) => self.spo.len(),
+        }
+    }
+}
+
+/// Per-shard sizing statistics for load-balance analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Triples per shard, indexed by shard (= rank) id.
+    pub triples: Vec<usize>,
+}
+
+impl ShardStats {
+    /// Max/mean shard imbalance (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.triples.iter().copied().max().unwrap_or(0) as f64;
+        let mean = self.triples.iter().sum::<usize>() as f64 / self.triples.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Total triples across shards.
+    pub fn total(&self) -> usize {
+        self.triples.iter().sum()
+    }
+}
+
+/// The store: one shard per rank, subject-hash partitioned.
+pub struct PartitionedStore {
+    shards: Vec<Shard>,
+}
+
+/// Mix a term id into a well-distributed placement hash. Dense sequential
+/// ids would otherwise stripe subjects across shards in lockstep with
+/// insertion order.
+#[inline]
+fn placement_hash(id: TermId) -> u64 {
+    let mut z = id.0.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl PartitionedStore {
+    /// A store sharded `num_shards` ways (one shard per rank).
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        Self { shards: (0..num_shards).map(|_| Shard::default()).collect() }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning a subject.
+    #[inline]
+    pub fn shard_of(&self, subject: TermId) -> usize {
+        (placement_hash(subject) % self.shards.len() as u64) as usize
+    }
+
+    /// Buffer a triple for insertion (call [`Self::build_indexes`] before
+    /// scanning).
+    pub fn insert(&mut self, t: Triple) {
+        let shard = self.shard_of(t.s);
+        self.shards[shard].pending.push(t);
+    }
+
+    /// Buffer a batch.
+    pub fn insert_all(&mut self, triples: impl IntoIterator<Item = Triple>) {
+        for t in triples {
+            self.insert(t);
+        }
+    }
+
+    /// Sort and deduplicate all shard indexes (parallel).
+    pub fn build_indexes(&mut self) {
+        self.shards.par_iter_mut().for_each(Shard::build);
+    }
+
+    /// Scan one shard for a pattern. Ranks call this on their own shard.
+    pub fn scan_shard(&self, shard: usize, pat: &TriplePattern) -> Vec<Triple> {
+        self.shards[shard].scan(pat)
+    }
+
+    /// Count matches in one shard without materializing.
+    pub fn count_shard(&self, shard: usize, pat: &TriplePattern) -> usize {
+        self.shards[shard].count(pat)
+    }
+
+    /// Scan every shard (single-node convenience / tests).
+    pub fn scan_all(&self, pat: &TriplePattern) -> Vec<Triple> {
+        (0..self.shards.len()).flat_map(|i| self.scan_shard(i, pat)).collect()
+    }
+
+    /// Global match count for a pattern.
+    pub fn count_all(&self, pat: &TriplePattern) -> usize {
+        self.shards.iter().map(|s| s.count(pat)).sum()
+    }
+
+    /// Total triples stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.spo.len() + s.pending.len()).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard statistics.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats { triples: self.shards.iter().map(|s| s.spo.len() + s.pending.len()).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    fn demo_store(shards: usize) -> PartitionedStore {
+        let mut st = PartitionedStore::new(shards);
+        // 100 subjects × 3 predicates.
+        for s in 0..100 {
+            st.insert(t(s, 1000, 2000 + s % 10)); // type
+            st.insert(t(s, 1001, 3000 + s)); // name
+            st.insert(t(s, 1002, s + 1)); // linked-to next subject
+        }
+        st.build_indexes();
+        st
+    }
+
+    #[test]
+    fn subject_scan_finds_all_facts() {
+        let st = demo_store(4);
+        let got = st.scan_all(&TriplePattern::new(Some(TermId(5)), None, None));
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|tr| tr.s == TermId(5)));
+    }
+
+    #[test]
+    fn predicate_scan_spans_shards() {
+        let st = demo_store(4);
+        let got = st.scan_all(&TriplePattern::new(None, Some(TermId(1001)), None));
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn object_scan_uses_osp() {
+        let st = demo_store(4);
+        let got = st.scan_all(&TriplePattern::new(None, None, Some(TermId(2003))));
+        assert_eq!(got.len(), 10, "subjects with s%10==3");
+        assert!(got.iter().all(|tr| tr.o == TermId(2003)));
+    }
+
+    #[test]
+    fn bound_spo_point_lookup() {
+        let st = demo_store(4);
+        let got = st.scan_all(&TriplePattern::new(Some(TermId(7)), Some(TermId(1002)), Some(TermId(8))));
+        assert_eq!(got.len(), 1);
+        let missing = st.scan_all(&TriplePattern::new(Some(TermId(7)), Some(TermId(1002)), Some(TermId(9))));
+        assert!(missing.is_empty());
+    }
+
+    #[test]
+    fn full_scan_returns_everything() {
+        let st = demo_store(4);
+        assert_eq!(st.scan_all(&TriplePattern::default()).len(), 300);
+        assert_eq!(st.len(), 300);
+    }
+
+    #[test]
+    fn counts_agree_with_scans() {
+        let st = demo_store(4);
+        for pat in [
+            TriplePattern::default(),
+            TriplePattern::new(Some(TermId(3)), None, None),
+            TriplePattern::new(None, Some(TermId(1000)), None),
+            TriplePattern::new(None, None, Some(TermId(2001))),
+            TriplePattern::new(None, Some(TermId(1000)), Some(TermId(2001))),
+        ] {
+            assert_eq!(st.count_all(&pat), st.scan_all(&pat).len(), "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_removed_at_build() {
+        let mut st = PartitionedStore::new(2);
+        st.insert(t(1, 2, 3));
+        st.insert(t(1, 2, 3));
+        st.build_indexes();
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn same_subject_lands_on_one_shard() {
+        let st = demo_store(8);
+        for s in 0..100u64 {
+            let shard = st.shard_of(TermId(s));
+            // All of subject s's facts must be in that shard.
+            let local = st.scan_shard(shard, &TriplePattern::new(Some(TermId(s)), None, None));
+            assert_eq!(local.len(), 3, "subject {s}");
+        }
+    }
+
+    #[test]
+    fn placement_is_reasonably_balanced() {
+        let mut st = PartitionedStore::new(16);
+        for s in 0..16_000 {
+            st.insert(t(s, 1, 2));
+        }
+        st.build_indexes();
+        let stats = st.stats();
+        assert!(stats.imbalance() < 1.2, "imbalance {}", stats.imbalance());
+        assert_eq!(stats.total(), 16_000);
+    }
+
+    #[test]
+    fn incremental_ingest_after_build() {
+        let mut st = demo_store(4);
+        st.insert(t(500, 1000, 2000));
+        st.build_indexes();
+        assert_eq!(
+            st.scan_all(&TriplePattern::new(Some(TermId(500)), None, None)).len(),
+            1
+        );
+        // Earlier data still present.
+        assert_eq!(st.len(), 301);
+    }
+}

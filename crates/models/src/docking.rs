@@ -1,0 +1,476 @@
+//! Molecular docking — the AutoDock Vina substitute.
+//!
+//! What the paper needs from Vina: an expensive (31–44 s/ligand),
+//! per-ligand black box whose complete outputs are cacheable by
+//! (receptor, ligand) identity, performing "blind docking for 3-D docking
+//! energy calculations" (§5.1). This module reproduces that contract with a
+//! real (if simplified) docking engine:
+//!
+//! * **Conformer embedding** — the ligand's molecular graph is embedded
+//!   into 3-D by breadth-first placement with ideal bond lengths and
+//!   collision avoidance, seeded by the ligand's content hash.
+//! * **Vina-flavoured scoring function** — the weighted sum of two
+//!   attractive gaussians, a quadratic steric repulsion, a hydrophobic
+//!   contact term, and a hydrogen-bond term over ligand–receptor atom pairs
+//!   within an 8 Å cutoff, divided by the rotatable-bond penalty
+//!   `1 + w·N_rot` exactly as Vina's conformation-independent scaling does.
+//! * **Monte-Carlo pose search** — random rigid-body perturbations with
+//!   Metropolis acceptance, multiple restarts ("exhaustiveness"), best pose
+//!   kept.
+//!
+//! The search is fully deterministic in its inputs: the RNG is seeded from
+//! a content hash of (receptor coordinates, ligand graph), so a cache hit
+//! is indistinguishable from re-execution — the invariant the paper's
+//! distributed result cache depends on.
+
+use crate::cost::CostModel;
+use ids_chem::element::Element;
+use ids_chem::molecule::Molecule;
+use ids_chem::structure::{PlacedAtom, Structure3D, Vec3};
+use ids_simrt::rng::{fnv1a, hash_combine, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+/// Vina-like scoring-function weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoringWeights {
+    pub gauss1: f64,
+    pub gauss2: f64,
+    pub repulsion: f64,
+    pub hydrophobic: f64,
+    pub hbond: f64,
+    /// Rotatable-bond penalty weight in `1 + w·N_rot`.
+    pub rotor_penalty: f64,
+}
+
+impl Default for ScoringWeights {
+    fn default() -> Self {
+        // AutoDock Vina's published weights.
+        Self {
+            gauss1: -0.035579,
+            gauss2: -0.005156,
+            repulsion: 0.840245,
+            hydrophobic: -0.035069,
+            hbond: -0.587439,
+            rotor_penalty: 0.05846,
+        }
+    }
+}
+
+/// Docking search parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DockingParams {
+    /// Independent Monte-Carlo restarts (Vina's "exhaustiveness").
+    pub exhaustiveness: usize,
+    /// Monte-Carlo steps per restart.
+    pub steps: usize,
+    /// Metropolis temperature (kcal/mol).
+    pub temperature: f64,
+    /// Grid-box padding around the receptor (Å) — blind docking searches
+    /// the whole receptor surface.
+    pub box_margin: f64,
+    /// Pairwise interaction cutoff (Å).
+    pub cutoff: f64,
+}
+
+impl Default for DockingParams {
+    fn default() -> Self {
+        Self { exhaustiveness: 4, steps: 250, temperature: 1.2, box_margin: 4.0, cutoff: 8.0 }
+    }
+}
+
+/// The outcome of docking one ligand against one receptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DockingResult {
+    /// Best binding energy found (kcal/mol; more negative binds tighter).
+    pub energy: f64,
+    /// The best pose (ligand coordinates in the receptor frame).
+    pub pose: Structure3D,
+    /// Number of scoring-function evaluations performed.
+    pub evaluations: u64,
+    /// Virtual cost of the simulation (paper band: 31–44 s).
+    pub virtual_secs: f64,
+}
+
+/// The docking engine.
+#[derive(Debug, Clone)]
+pub struct DockingEngine {
+    weights: ScoringWeights,
+    params: DockingParams,
+    cost: CostModel,
+}
+
+impl DockingEngine {
+    /// Construct with explicit weights, search parameters, and calibration.
+    pub fn new(weights: ScoringWeights, params: DockingParams, cost: CostModel) -> Self {
+        Self { weights, params, cost }
+    }
+
+    /// Paper-calibrated defaults.
+    pub fn default_engine() -> Self {
+        Self::new(ScoringWeights::default(), DockingParams::default(), CostModel::paper_calibrated())
+    }
+
+    /// A fast engine for unit tests (fewer restarts/steps, zero cost).
+    pub fn test_engine() -> Self {
+        Self::new(
+            ScoringWeights::default(),
+            DockingParams { exhaustiveness: 2, steps: 60, ..DockingParams::default() },
+            CostModel::free(),
+        )
+    }
+
+    /// Content hash identifying a (receptor, ligand) docking job — the
+    /// cache key the distributed cache stores results under.
+    pub fn job_hash(receptor: &Structure3D, ligand: &Molecule) -> u64 {
+        let mut h = fnv1a(b"docking-job");
+        for a in receptor.atoms() {
+            h = hash_combine(h, fnv1a(a.element.symbol().as_bytes()));
+            h = hash_combine(h, a.pos.x.to_bits());
+            h = hash_combine(h, a.pos.y.to_bits());
+            h = hash_combine(h, a.pos.z.to_bits());
+        }
+        for a in ligand.atoms() {
+            h = hash_combine(h, fnv1a(a.element.symbol().as_bytes()));
+            h = hash_combine(h, a.charge as u64 as u64);
+        }
+        for b in ligand.bonds() {
+            h = hash_combine(h, (b.a as u64) << 32 | b.b as u64);
+        }
+        h
+    }
+
+    /// Embed a molecular graph into an initial 3-D conformer.
+    ///
+    /// Breadth-first placement: each atom sits at an ideal bond length from
+    /// its parent, in a direction chosen (from the seeded stream) to avoid
+    /// clashes with already-placed atoms.
+    pub fn embed_ligand(ligand: &Molecule, seed: u64) -> Structure3D {
+        let n = ligand.atom_count();
+        let mut rng = SplitMix64::new(seed, 0xe3bed);
+        let mut placed: Vec<Option<Vec3>> = vec![None; n];
+        let mut order = std::collections::VecDeque::new();
+        placed[0] = Some(Vec3::ZERO);
+        order.push_back(0usize);
+        while let Some(a) = order.pop_front() {
+            let base = placed[a].expect("BFS parent placed");
+            for (nb, _) in ligand.neighbors(a) {
+                if placed[nb].is_some() {
+                    continue;
+                }
+                // Try a few directions, keep the least-clashing one.
+                let mut best = Vec3::new(1.5, 0.0, 0.0) + base;
+                let mut best_clash = f64::NEG_INFINITY;
+                for _ in 0..8 {
+                    let dir = Vec3::new(
+                        rng.next_range(-1.0, 1.0),
+                        rng.next_range(-1.0, 1.0),
+                        rng.next_range(-1.0, 1.0),
+                    )
+                    .normalized();
+                    let cand = base + dir * 1.5;
+                    let nearest = placed
+                        .iter()
+                        .flatten()
+                        .map(|p| p.distance(cand))
+                        .fold(f64::INFINITY, f64::min);
+                    if nearest > best_clash {
+                        best_clash = nearest;
+                        best = cand;
+                    }
+                }
+                placed[nb] = Some(best);
+                order.push_back(nb);
+            }
+        }
+        let atoms: Vec<PlacedAtom> = (0..n)
+            .map(|i| PlacedAtom {
+                element: ligand.atom(i).element,
+                // Unreached atoms (disconnected graphs are rejected upstream,
+                // but stay total): park at origin.
+                pos: placed[i].unwrap_or(Vec3::ZERO),
+            })
+            .collect();
+        Structure3D::from_atoms(atoms)
+    }
+
+    /// Score a ligand pose against the receptor: Vina-flavoured
+    /// intermolecular terms with the rotor penalty applied.
+    pub fn score_pose(&self, receptor: &Structure3D, pose: &Structure3D, n_rotors: usize) -> f64 {
+        let w = &self.weights;
+        let cutoff = self.params.cutoff;
+        let mut raw = 0.0;
+        for la in pose.atoms() {
+            for ra in receptor.atoms() {
+                let r = la.pos.distance(ra.pos);
+                if r > cutoff {
+                    continue;
+                }
+                // Surface distance.
+                let d = r - (la.element.vdw_radius() + ra.element.vdw_radius());
+                let g1 = (-(d / 0.5) * (d / 0.5)).exp();
+                let g2 = {
+                    let t = (d - 3.0) / 2.0;
+                    (-t * t).exp()
+                };
+                raw += w.gauss1 * g1 + w.gauss2 * g2;
+                if d < 0.0 {
+                    raw += w.repulsion * d * d;
+                }
+                let both_carbon = la.element == Element::C && ra.element == Element::C;
+                if both_carbon {
+                    let h = if d < 0.5 {
+                        1.0
+                    } else if d < 1.5 {
+                        1.5 - d
+                    } else {
+                        0.0
+                    };
+                    raw += w.hydrophobic * h;
+                }
+                let polar_pair = la.element.is_hbond_acceptor() && ra.element.is_hbond_acceptor();
+                if polar_pair {
+                    let h = if d < -0.7 {
+                        1.0
+                    } else if d < 0.0 {
+                        -d / 0.7
+                    } else {
+                        0.0
+                    };
+                    raw += w.hbond * h;
+                }
+            }
+        }
+        raw / (1.0 + w.rotor_penalty * n_rotors as f64)
+    }
+
+    /// Blind-dock `ligand` against `receptor`. Deterministic in its inputs.
+    pub fn dock(&self, receptor: &Structure3D, ligand: &Molecule) -> DockingResult {
+        assert!(!receptor.is_empty(), "cannot dock against an empty receptor");
+        assert!(ligand.atom_count() > 0, "cannot dock an empty ligand");
+        let job = Self::job_hash(receptor, ligand);
+        let mut rng = SplitMix64::new(job, 0xd0c);
+        let n_rotors = ligand.rotatable_bonds();
+        let gbox = receptor
+            .bounding_box(self.params.box_margin)
+            .expect("non-empty receptor has a bounding box");
+
+        let conformer = Self::embed_ligand(ligand, job);
+        let mut best_energy = f64::INFINITY;
+        let mut best_pose = conformer.clone();
+        let mut evals: u64 = 0;
+
+        for _ in 0..self.params.exhaustiveness {
+            // Random starting placement inside the box.
+            let start = Vec3::new(
+                rng.next_range(gbox.min.x, gbox.max.x),
+                rng.next_range(gbox.min.y, gbox.max.y),
+                rng.next_range(gbox.min.z, gbox.max.z),
+            );
+            let mut pose = conformer.translated(start - conformer.centroid());
+            let mut energy = self.score_pose(receptor, &pose, n_rotors);
+            evals += 1;
+
+            for _ in 0..self.params.steps {
+                // Rigid-body perturbation: translate + rotate.
+                let delta = Vec3::new(
+                    rng.next_range(-2.0, 2.0),
+                    rng.next_range(-2.0, 2.0),
+                    rng.next_range(-2.0, 2.0),
+                );
+                let axis = Vec3::new(
+                    rng.next_range(-1.0, 1.0),
+                    rng.next_range(-1.0, 1.0),
+                    rng.next_range(-1.0, 1.0),
+                );
+                let angle = rng.next_range(-0.5, 0.5);
+                let cand = pose.translated(delta).rotated_about_centroid(axis, angle);
+                // Reject poses wandering out of the search box.
+                if !gbox.contains(cand.centroid()) {
+                    continue;
+                }
+                let cand_energy = self.score_pose(receptor, &cand, n_rotors);
+                evals += 1;
+                let accept = cand_energy < energy || {
+                    let boltzmann = ((energy - cand_energy) / self.params.temperature).exp();
+                    rng.next_f64() < boltzmann
+                };
+                if accept {
+                    pose = cand;
+                    energy = cand_energy;
+                }
+                if energy < best_energy {
+                    best_energy = energy;
+                    best_pose = pose.clone();
+                }
+            }
+        }
+
+        DockingResult {
+            energy: best_energy,
+            pose: best_pose,
+            evaluations: evals,
+            virtual_secs: self.cost.docking_cost(n_rotors, job),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_chem::smiles::parse_smiles;
+
+    /// A small synthetic receptor: a 60-atom spiral of carbons with a few
+    /// polar atoms sprinkled in — enough surface for poses to bind to.
+    fn receptor() -> Structure3D {
+        let mut s = Structure3D::new();
+        for i in 0..60 {
+            let t = i as f64 * 0.5;
+            let e = match i % 7 {
+                0 => Element::O,
+                3 => Element::N,
+                _ => Element::C,
+            };
+            s.push(e, Vec3::new(4.0 * t.cos(), 4.0 * t.sin(), 0.8 * t));
+        }
+        s
+    }
+
+    #[test]
+    fn docking_is_deterministic() {
+        let e = DockingEngine::test_engine();
+        let r = receptor();
+        let lig = parse_smiles("CC(=O)Oc1ccccc1C(=O)O").unwrap();
+        let a = e.dock(&r, &lig);
+        let b = e.dock(&r, &lig);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.pose, b.pose);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn best_energy_is_negative_for_reasonable_ligand() {
+        let e = DockingEngine::test_engine();
+        let r = receptor();
+        let lig = parse_smiles("c1ccccc1CCO").unwrap();
+        let res = e.dock(&r, &lig);
+        assert!(res.energy < 0.0, "found a favorable pose, got {}", res.energy);
+    }
+
+    #[test]
+    fn different_ligands_get_different_energies() {
+        let e = DockingEngine::test_engine();
+        let r = receptor();
+        let a = e.dock(&r, &parse_smiles("CCO").unwrap());
+        let b = e.dock(&r, &parse_smiles("c1ccccc1").unwrap());
+        assert_ne!(a.energy, b.energy);
+    }
+
+    #[test]
+    fn job_hash_distinguishes_inputs() {
+        let r1 = receptor();
+        let r2 = r1.translated(Vec3::new(0.1, 0.0, 0.0));
+        let l1 = parse_smiles("CCO").unwrap();
+        let l2 = parse_smiles("CCN").unwrap();
+        assert_ne!(DockingEngine::job_hash(&r1, &l1), DockingEngine::job_hash(&r1, &l2));
+        assert_ne!(DockingEngine::job_hash(&r1, &l1), DockingEngine::job_hash(&r2, &l1));
+    }
+
+    #[test]
+    fn embedding_respects_bond_lengths() {
+        let lig = parse_smiles("CCCCC").unwrap();
+        let emb = DockingEngine::embed_ligand(&lig, 42);
+        for b in lig.bonds() {
+            let d = emb.atoms()[b.a].pos.distance(emb.atoms()[b.b].pos);
+            assert!((d - 1.5).abs() < 1e-9, "bond length {d}");
+        }
+    }
+
+    #[test]
+    fn embedding_avoids_collapse() {
+        let lig = parse_smiles("CC(C)(C)CC(C)(C)C").unwrap();
+        let emb = DockingEngine::embed_ligand(&lig, 7);
+        // No two atoms within 0.5 Å.
+        for i in 0..emb.len() {
+            for j in (i + 1)..emb.len() {
+                assert!(emb.atoms()[i].pos.distance(emb.atoms()[j].pos) > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn clashing_pose_scores_worse_than_contact_pose() {
+        let e = DockingEngine::test_engine();
+        let r = receptor();
+        let lig = parse_smiles("CCO").unwrap();
+        let conf = DockingEngine::embed_ligand(&lig, 1);
+        // Pose jammed into a receptor atom (clash) vs at contact distance.
+        let clash = conf.translated(r.atoms()[10].pos - conf.centroid());
+        let contact = conf.translated(r.atoms()[10].pos + Vec3::new(3.4, 0.0, 0.0) - conf.centroid());
+        let e_clash = e.score_pose(&r, &clash, 0);
+        let e_contact = e.score_pose(&r, &contact, 0);
+        assert!(e_clash > e_contact, "clash {e_clash} vs contact {e_contact}");
+    }
+
+    #[test]
+    fn far_away_pose_scores_zero() {
+        let e = DockingEngine::test_engine();
+        let r = receptor();
+        let lig = parse_smiles("CCO").unwrap();
+        let conf = DockingEngine::embed_ligand(&lig, 1);
+        let far = conf.translated(Vec3::new(500.0, 0.0, 0.0));
+        assert_eq!(e.score_pose(&r, &far, 0), 0.0);
+    }
+
+    #[test]
+    fn rotor_penalty_scales_score_down() {
+        let e = DockingEngine::test_engine();
+        // Single-atom receptor: geometry is fully controlled.
+        let mut r = Structure3D::new();
+        r.push(Element::C, Vec3::ZERO);
+        let lig = parse_smiles("CCO").unwrap();
+        let conf = DockingEngine::embed_ligand(&lig, 1);
+        // Sweep the approach axis and keep the most favorable placement.
+        let e0 = (0..40)
+            .map(|i| {
+                let dist = 3.0 + 0.1 * i as f64;
+                let pose = conf.translated(Vec3::new(dist, 0.0, 0.0) - conf.centroid());
+                e.score_pose(&r, &pose, 0)
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(e0 < 0.0, "some contact distance must be favorable, best {e0}");
+        // The rotor penalty divides the raw score by 1 + w*N.
+        let best_pose_dist = 3.0; // recompute at a fixed pose for the ratio check
+        let pose = conf.translated(Vec3::new(best_pose_dist, 0.0, 0.0) - conf.centroid());
+        let s0 = e.score_pose(&r, &pose, 0);
+        let s9 = e.score_pose(&r, &pose, 9);
+        let expected = s0 / (1.0 + ScoringWeights::default().rotor_penalty * 9.0);
+        assert!((s9 - expected).abs() < 1e-12, "s9 {s9} vs expected {expected}");
+    }
+
+    #[test]
+    fn virtual_cost_in_paper_band() {
+        let e = DockingEngine::default_engine();
+        let r = receptor();
+        let res = e.dock(&r, &parse_smiles("CC(=O)Oc1ccccc1C(=O)O").unwrap());
+        assert!((31.0..=44.0).contains(&res.virtual_secs), "cost {}", res.virtual_secs);
+    }
+
+    #[test]
+    fn more_exhaustiveness_finds_equal_or_better_energy() {
+        let quick = DockingEngine::new(
+            ScoringWeights::default(),
+            DockingParams { exhaustiveness: 1, steps: 30, ..Default::default() },
+            CostModel::free(),
+        );
+        let thorough = DockingEngine::new(
+            ScoringWeights::default(),
+            DockingParams { exhaustiveness: 8, steps: 200, ..Default::default() },
+            CostModel::free(),
+        );
+        let r = receptor();
+        let lig = parse_smiles("c1ccccc1CCN").unwrap();
+        let eq = quick.dock(&r, &lig).energy;
+        let et = thorough.dock(&r, &lig).energy;
+        assert!(et <= eq, "thorough {et} vs quick {eq}");
+    }
+}

@@ -1,0 +1,326 @@
+//! Smith–Waterman local sequence alignment with affine gap penalties.
+//!
+//! The paper compares ~66 M UniProt sequences against the target P29274
+//! using the SSW SIMD library at < 1 ms per comparison. This module
+//! implements the same algorithm (Gotoh's affine-gap formulation over
+//! BLOSUM62) plus a banded variant for the common high-similarity case, and
+//! the normalized similarity score the workflow thresholds on
+//! (Table 2's "Selectivity" column: 0.99 → 0.20).
+
+use crate::cost::CostModel;
+use ids_chem::aminoacid::AminoAcid;
+use ids_chem::sequence::ProteinSequence;
+use serde::{Deserialize, Serialize};
+
+/// BLOSUM62 substitution matrix in `ARNDCQEGHILKMFPSTWYV` order.
+#[rustfmt::skip]
+pub const BLOSUM62: [[i32; 20]; 20] = [
+    // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    [  4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0], // A
+    [ -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3], // R
+    [ -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3], // N
+    [ -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3], // D
+    [  0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1], // C
+    [ -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2], // Q
+    [ -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2], // E
+    [  0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3], // G
+    [ -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3], // H
+    [ -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3], // I
+    [ -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1], // L
+    [ -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2], // K
+    [ -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1], // M
+    [ -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1], // F
+    [ -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2], // P
+    [  1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2], // S
+    [  0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0], // T
+    [ -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3], // W
+    [ -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1], // Y
+    [  0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4], // V
+];
+
+/// Alignment parameters: gap model over BLOSUM62.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwParams {
+    /// Cost of opening a gap (positive).
+    pub gap_open: i32,
+    /// Cost of extending a gap by one (positive).
+    pub gap_extend: i32,
+}
+
+impl Default for SwParams {
+    fn default() -> Self {
+        // The SSW library's defaults.
+        Self { gap_open: 11, gap_extend: 1 }
+    }
+}
+
+/// Result of a local alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwScore {
+    /// Raw Smith–Waterman score (≥ 0).
+    pub score: i32,
+    /// Normalized similarity in `[0, 1]`: `score / min(self_a, self_b)`,
+    /// so identical sequences score exactly 1.0. This is the quantity
+    /// Table 2's selectivity thresholds cut on.
+    pub similarity: f64,
+    /// Virtual seconds the alignment cost under the calibration.
+    pub virtual_secs: f64,
+}
+
+/// The Smith–Waterman model: parameters plus cost calibration.
+#[derive(Debug, Clone)]
+pub struct SmithWaterman {
+    params: SwParams,
+    cost: CostModel,
+}
+
+impl SmithWaterman {
+    /// Construct with the given gap parameters and cost calibration.
+    pub fn new(params: SwParams, cost: CostModel) -> Self {
+        Self { params, cost }
+    }
+
+    /// Paper-calibrated defaults.
+    pub fn default_model() -> Self {
+        Self::new(SwParams::default(), CostModel::paper_calibrated())
+    }
+
+    /// Substitution score for a residue pair.
+    #[inline]
+    pub fn substitution(a: AminoAcid, b: AminoAcid) -> i32 {
+        BLOSUM62[a.index()][b.index()]
+    }
+
+    /// Self-alignment score (sum of diagonal substitutions) — the
+    /// normalization denominator.
+    pub fn self_score(seq: &ProteinSequence) -> i32 {
+        seq.residues().iter().map(|&a| Self::substitution(a, a)).sum()
+    }
+
+    /// Full O(m·n) affine-gap local alignment (Gotoh).
+    pub fn align(&self, a: &ProteinSequence, b: &ProteinSequence) -> SwScore {
+        let m = a.len();
+        let n = b.len();
+        if m == 0 || n == 0 {
+            return SwScore { score: 0, similarity: 0.0, virtual_secs: 0.0 };
+        }
+        let (go, ge) = (self.params.gap_open, self.params.gap_extend);
+
+        // Rolling rows: H (match), E (gap in a), F (gap in b).
+        let mut h_prev = vec![0i32; n + 1];
+        let mut h_cur = vec![0i32; n + 1];
+        let mut e_row = vec![0i32; n + 1]; // E carries per column
+        let mut best = 0i32;
+
+        let ar = a.residues();
+        let br = b.residues();
+        for i in 1..=m {
+            let mut f = 0i32; // F carries along the row
+            let ai = ar[i - 1];
+            let blosum_row = &BLOSUM62[ai.index()];
+            for j in 1..=n {
+                let e = (e_row[j] - ge).max(h_prev[j] - go);
+                let fj = (f - ge).max(h_cur[j - 1] - go);
+                let diag = h_prev[j - 1] + blosum_row[br[j - 1].index()];
+                let h = diag.max(e).max(fj).max(0);
+                h_cur[j] = h;
+                e_row[j] = e;
+                f = fj;
+                if h > best {
+                    best = h;
+                }
+            }
+            std::mem::swap(&mut h_prev, &mut h_cur);
+            h_cur[0] = 0;
+        }
+
+        self.finish(a, b, best, m, n)
+    }
+
+    /// Banded alignment: restricts the DP to a diagonal band of half-width
+    /// `band`. Exact when the optimal alignment stays inside the band —
+    /// which similar sequences (the interesting ones above high selectivity
+    /// thresholds) do. Costs O(band · max(m,n)).
+    pub fn align_banded(&self, a: &ProteinSequence, b: &ProteinSequence, band: usize) -> SwScore {
+        let m = a.len();
+        let n = b.len();
+        if m == 0 || n == 0 {
+            return SwScore { score: 0, similarity: 0.0, virtual_secs: 0.0 };
+        }
+        let (go, ge) = (self.params.gap_open, self.params.gap_extend);
+        let ar = a.residues();
+        let br = b.residues();
+        let neg = i32::MIN / 4;
+
+        let mut h_prev = vec![0i32; n + 1];
+        let mut h_cur = vec![neg; n + 1];
+        let mut e_row = vec![0i32; n + 1];
+        let mut best = 0i32;
+
+        for i in 1..=m {
+            // Band follows the main diagonal scaled to the length ratio.
+            let center = (i * n) / m;
+            let lo = center.saturating_sub(band).max(1);
+            let hi = (center + band).min(n);
+            h_cur[lo - 1] = if lo > 1 { neg } else { 0 };
+            let mut f = neg;
+            let blosum_row = &BLOSUM62[ar[i - 1].index()];
+            for j in lo..=hi {
+                let e = (e_row[j] - ge).max(h_prev[j] - go);
+                let fj = (f - ge).max(h_cur[j - 1] - go);
+                let diag = h_prev[j - 1] + blosum_row[br[j - 1].index()];
+                let h = diag.max(e).max(fj).max(0);
+                h_cur[j] = h;
+                e_row[j] = e;
+                f = fj;
+                if h > best {
+                    best = h;
+                }
+            }
+            if hi < n {
+                h_cur[hi + 1] = neg;
+            }
+            std::mem::swap(&mut h_prev, &mut h_cur);
+            for v in h_cur.iter_mut() {
+                *v = neg;
+            }
+            h_cur[0] = 0;
+        }
+
+        // Banded cost: cells actually touched.
+        let cells = (2 * band + 1).min(n) * m;
+        let mut out = self.finish(a, b, best, 0, 0);
+        out.virtual_secs = cells as f64 / self.cost.sw_cells_per_sec;
+        out
+    }
+
+    fn finish(&self, a: &ProteinSequence, b: &ProteinSequence, best: i32, m: usize, n: usize) -> SwScore {
+        let denom = Self::self_score(a).min(Self::self_score(b)).max(1);
+        SwScore {
+            score: best,
+            similarity: (best as f64 / denom as f64).clamp(0.0, 1.0),
+            virtual_secs: self.cost.sw_cost(m, n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_simrt::rng::SplitMix64;
+
+    fn seq(s: &str) -> ProteinSequence {
+        ProteinSequence::parse(s).unwrap()
+    }
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        for i in 0..20 {
+            for j in 0..20 {
+                assert_eq!(BLOSUM62[i][j], BLOSUM62[j][i], "asymmetry at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn blosum62_diagonal_is_positive() {
+        for i in 0..20 {
+            assert!(BLOSUM62[i][i] > 0, "diagonal at {i}");
+        }
+        // Known values: W-W = 11, C-C = 9, A-A = 4.
+        assert_eq!(BLOSUM62[17][17], 11);
+        assert_eq!(BLOSUM62[4][4], 9);
+        assert_eq!(BLOSUM62[0][0], 4);
+    }
+
+    #[test]
+    fn identical_sequences_have_similarity_one() {
+        let sw = SmithWaterman::default_model();
+        let s = seq("MSGSSWLAAVKHTRWPLLLLWSAV");
+        let r = sw.align(&s, &s);
+        assert_eq!(r.similarity, 1.0);
+        assert_eq!(r.score, SmithWaterman::self_score(&s));
+    }
+
+    #[test]
+    fn unrelated_sequences_score_low() {
+        let sw = SmithWaterman::default_model();
+        let mut rng = SplitMix64::new(11, 0);
+        let a = ProteinSequence::random(200, &mut rng);
+        let b = ProteinSequence::random(200, &mut rng);
+        let r = sw.align(&a, &b);
+        assert!(r.similarity < 0.35, "random pair similarity {}", r.similarity);
+    }
+
+    #[test]
+    fn known_alignment_score() {
+        // "HEAGAWGHEE" vs "PAWHEAE" — classic textbook pair. With
+        // BLOSUM62/gap(11,1) the optimal local alignment is AW=15 or
+        // HEA=13... compute: best must be at least the AW match (4+11).
+        let sw = SmithWaterman::default_model();
+        let r = sw.align(&seq("HEAGAWGHEE"), &seq("PAWHEAE"));
+        assert!(r.score >= 15, "score {}", r.score);
+        assert!(r.score <= 30);
+    }
+
+    #[test]
+    fn alignment_is_symmetric() {
+        let sw = SmithWaterman::default_model();
+        let a = seq("MKWVTFISLLLLFSSAYS");
+        let b = seq("MKWVTFISLLFLFSSAYS");
+        assert_eq!(sw.align(&a, &b).score, sw.align(&b, &a).score);
+    }
+
+    #[test]
+    fn mutation_decreases_similarity_monotonically_in_expectation() {
+        let sw = SmithWaterman::default_model();
+        let mut rng = SplitMix64::new(3, 9);
+        let base = ProteinSequence::random(300, &mut rng);
+        let mild = base.mutate(0.05, &mut rng);
+        let heavy = base.mutate(0.5, &mut rng);
+        let s_mild = sw.align(&base, &mild).similarity;
+        let s_heavy = sw.align(&base, &heavy).similarity;
+        assert!(s_mild > 0.8, "mild {s_mild}");
+        assert!(s_heavy < s_mild, "heavy {s_heavy} vs mild {s_mild}");
+    }
+
+    #[test]
+    fn gaps_are_penalized_but_local_alignment_recovers() {
+        let sw = SmithWaterman::default_model();
+        let a = seq("MKWVTFISLLLLFSSAYSMKWVTFISLLLLFSSAYS");
+        // Same sequence with an insertion in the middle.
+        let b = seq("MKWVTFISLLLLFSSAYSGGGGGMKWVTFISLLLLFSSAYS");
+        let r = sw.align(&a, &b);
+        assert!(r.similarity > 0.7, "insertion-tolerant similarity {}", r.similarity);
+    }
+
+    #[test]
+    fn empty_sequence_scores_zero() {
+        let sw = SmithWaterman::default_model();
+        let r = sw.align(&ProteinSequence::new(vec![]), &seq("MKW"));
+        assert_eq!(r.score, 0);
+        assert_eq!(r.similarity, 0.0);
+    }
+
+    #[test]
+    fn banded_matches_full_for_similar_sequences() {
+        let sw = SmithWaterman::default_model();
+        let mut rng = SplitMix64::new(8, 1);
+        let a = ProteinSequence::random(250, &mut rng);
+        let b = a.mutate(0.05, &mut rng);
+        let full = sw.align(&a, &b);
+        let banded = sw.align_banded(&a, &b, 32);
+        assert_eq!(full.score, banded.score);
+        assert!(banded.virtual_secs < full.virtual_secs, "band must be cheaper");
+    }
+
+    #[test]
+    fn virtual_cost_is_sub_millisecond() {
+        let sw = SmithWaterman::default_model();
+        let mut rng = SplitMix64::new(4, 2);
+        let a = ProteinSequence::random(412, &mut rng); // P29274 length
+        let b = ProteinSequence::random(380, &mut rng);
+        let r = sw.align(&a, &b);
+        assert!(r.virtual_secs < 1.0e-3, "paper band: < 1 ms, got {}", r.virtual_secs);
+    }
+}

@@ -1,0 +1,350 @@
+//! The BSP cluster executor: run rank programs over virtual ranks, then
+//! synchronize with costed collectives.
+//!
+//! Execution alternates **compute phases** — every rank runs the same
+//! closure on its own state, in parallel on the host thread pool — and
+//! **collectives** that synchronize the per-rank virtual clocks. This is the
+//! structure of the Cray Graph Engine's query execution (scan → exchange →
+//! join → exchange → filter → …), and it makes thousands of virtual ranks
+//! cheap: a rank is just an index plus a clock, not an OS thread.
+
+use crate::clock::VirtualClock;
+use crate::collective::ReduceOp;
+use crate::net::NetworkModel;
+use crate::rng::SplitMix64;
+use crate::stats::{PhaseStats, RankStats, StatSummary};
+use crate::topology::{NodeId, RankId, Topology};
+use rayon::prelude::*;
+
+/// Execution context handed to a rank program during a compute phase.
+pub struct RankCtx {
+    rank: RankId,
+    topo: Topology,
+    clock: VirtualClock,
+    rng: SplitMix64,
+    stats: RankStats,
+}
+
+impl RankCtx {
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> RankId {
+        self.rank
+    }
+
+    /// The node hosting this rank.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.topo.node_of(self.rank)
+    }
+
+    /// The cluster topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        self.topo_ref()
+    }
+
+    #[inline]
+    fn topo_ref(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current virtual time on this rank.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Charge `secs` virtual seconds of compute to this rank.
+    #[inline]
+    pub fn charge(&mut self, secs: f64) {
+        self.clock.charge(secs);
+    }
+
+    /// Deterministic per-(phase, rank) random stream.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+
+    /// Bump a named counter.
+    #[inline]
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        self.stats.add(name, n);
+    }
+}
+
+/// A simulated cluster: topology + network model + per-rank clocks, plus a
+/// history of completed phases for post-hoc analysis.
+pub struct Cluster {
+    topo: Topology,
+    net: NetworkModel,
+    clocks: Vec<f64>,
+    phases: Vec<PhaseStats>,
+    seed: u64,
+    phase_counter: u64,
+}
+
+impl Cluster {
+    /// Create a cluster with the given topology and network model. `seed`
+    /// roots every random stream in the simulation.
+    pub fn new(topo: Topology, net: NetworkModel, seed: u64) -> Self {
+        let n = topo.total_ranks() as usize;
+        Self { topo, net, clocks: vec![0.0; n], phases: Vec::new(), seed, phase_counter: 0 }
+    }
+
+    /// Convenience: the paper's Cray EX scaling configuration at `nodes`
+    /// nodes (32 ranks/node) over a Slingshot-like network.
+    pub fn cray_ex(nodes: u32, seed: u64) -> Self {
+        Self::new(Topology::cray_ex(nodes), NetworkModel::slingshot(), seed)
+    }
+
+    /// The cluster's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The network cost model in force.
+    pub fn network(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Maximum virtual time across ranks — the job's elapsed virtual
+    /// wall-clock so far.
+    pub fn elapsed(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Per-rank virtual clocks (index = rank id).
+    pub fn clocks(&self) -> &[f64] {
+        &self.clocks
+    }
+
+    /// History of completed phases.
+    pub fn phases(&self) -> &[PhaseStats] {
+        &self.phases
+    }
+
+    /// Reset all clocks to zero and clear phase history (data structures
+    /// owned by higher layers are untouched). Used between repeated queries.
+    pub fn reset_clocks(&mut self) {
+        self.clocks.iter_mut().for_each(|c| *c = 0.0);
+        self.phases.clear();
+    }
+
+    /// Run a compute phase: every rank executes `f` with its own context,
+    /// in parallel. Returns per-rank results in rank order. No clock
+    /// synchronization happens here — follow with [`Self::barrier`] or
+    /// another collective to close the phase.
+    pub fn execute<T, F>(&mut self, name: &str, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        let phase_id = self.phase_counter;
+        self.phase_counter += 1;
+        let topo = self.topo;
+        let seed = self.seed;
+        let starts: Vec<f64> = self.clocks.clone();
+
+        let mut results: Vec<(f64, RankStats, T)> = Vec::with_capacity(starts.len());
+        starts
+            .par_iter()
+            .enumerate()
+            .map(|(r, &start)| {
+                let mut ctx = RankCtx {
+                    rank: RankId(r as u32),
+                    topo,
+                    clock: VirtualClock::at(start),
+                    rng: SplitMix64::new(seed, phase_id.wrapping_mul(0x1_0000_0001) ^ r as u64),
+                    stats: RankStats::default(),
+                };
+                let out = f(&mut ctx);
+                (ctx.clock.now(), ctx.stats, out)
+            })
+            .collect_into_vec(&mut results);
+
+        let mut busy = Vec::with_capacity(results.len());
+        let mut totals = RankStats::default();
+        let mut outs = Vec::with_capacity(results.len());
+        for (r, (end, stats, out)) in results.into_iter().enumerate() {
+            busy.push(end - starts[r]);
+            totals.merge(&stats);
+            self.clocks[r] = end;
+            outs.push(out);
+        }
+        self.phases.push(PhaseStats {
+            name: name.to_string(),
+            busy: StatSummary::of(&busy),
+            completed_at: self.elapsed(),
+            totals,
+        });
+        outs
+    }
+
+    /// Barrier: every rank advances to the release time
+    /// `max(clocks) + barrier_cost`. Returns the release time.
+    pub fn barrier(&mut self) -> f64 {
+        let t = self.elapsed() + self.net.barrier(self.topo.total_ranks());
+        self.clocks.iter_mut().for_each(|c| *c = t);
+        t
+    }
+
+    /// Allreduce one f64 per rank. All ranks receive the reduced value and
+    /// synchronize their clocks to the completion time.
+    ///
+    /// # Panics
+    /// Panics if `locals.len() != total_ranks`.
+    pub fn allreduce_f64(&mut self, locals: &[f64], op: ReduceOp) -> f64 {
+        assert_eq!(locals.len(), self.clocks.len(), "one contribution per rank required");
+        let result = op.reduce_f64(locals);
+        let t = self.elapsed() + self.net.allreduce(self.topo.total_ranks(), 8);
+        self.clocks.iter_mut().for_each(|c| *c = t);
+        result
+    }
+
+    /// Allreduce one u64 per rank.
+    pub fn allreduce_u64(&mut self, locals: &[u64], op: ReduceOp) -> u64 {
+        assert_eq!(locals.len(), self.clocks.len(), "one contribution per rank required");
+        let result = op.reduce_u64(locals);
+        let t = self.elapsed() + self.net.allreduce(self.topo.total_ranks(), 8);
+        self.clocks.iter_mut().for_each(|c| *c = t);
+        result
+    }
+
+    /// Allgather `bytes_per_rank` of payload from each rank; clocks
+    /// synchronize to completion. The caller moves the actual data (it is
+    /// already in shared host memory); this charges the virtual cost.
+    pub fn allgather_cost(&mut self, bytes_per_rank: u64) -> f64 {
+        let t = self.elapsed() + self.net.allgather(self.topo.total_ranks(), bytes_per_rank);
+        self.clocks.iter_mut().for_each(|c| *c = t);
+        t
+    }
+
+    /// Personalized all-to-all where rank `r` sends `send_bytes[r]` bytes in
+    /// total. Charges the exchange cost (bound by the heaviest sender) and
+    /// synchronizes clocks.
+    pub fn alltoallv_cost(&mut self, send_bytes: &[u64]) -> f64 {
+        assert_eq!(send_bytes.len(), self.clocks.len(), "one send size per rank required");
+        let max_send = send_bytes.iter().copied().max().unwrap_or(0);
+        let t = self.elapsed() + self.net.alltoallv(self.topo.total_ranks(), max_send);
+        self.clocks.iter_mut().for_each(|c| *c = t);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cluster {
+        Cluster::new(Topology::new(2, 4), NetworkModel::ideal(), 1)
+    }
+
+    #[test]
+    fn execute_runs_every_rank_in_order() {
+        let mut c = small();
+        let ids = c.execute("ids", |ctx| ctx.rank().0);
+        assert_eq!(ids, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn charges_advance_only_the_charging_rank() {
+        let mut c = small();
+        c.execute("work", |ctx| {
+            if ctx.rank().0 == 3 {
+                ctx.charge(5.0);
+            }
+        });
+        assert_eq!(c.clocks()[3], 5.0);
+        assert_eq!(c.clocks()[0], 0.0);
+        assert_eq!(c.elapsed(), 5.0);
+    }
+
+    #[test]
+    fn barrier_syncs_to_slowest_rank() {
+        let mut c = small();
+        c.execute("work", |ctx| ctx.charge(ctx.rank().0 as f64));
+        c.barrier();
+        assert!(c.clocks().iter().all(|&t| t == 7.0));
+    }
+
+    #[test]
+    fn allreduce_returns_global_value_and_syncs() {
+        let mut c = small();
+        c.execute("work", |ctx| ctx.charge(1.0));
+        let locals: Vec<f64> = (0..8).map(|r| r as f64).collect();
+        let sum = c.allreduce_f64(&locals, ReduceOp::Sum);
+        assert_eq!(sum, 28.0);
+        let t0 = c.clocks()[0];
+        assert!(c.clocks().iter().all(|&t| t == t0));
+    }
+
+    #[test]
+    fn phase_stats_capture_straggler() {
+        let mut c = small();
+        c.execute("skewed", |ctx| {
+            ctx.charge(if ctx.rank().0 == 0 { 8.0 } else { 1.0 });
+            ctx.count("solutions", 10);
+        });
+        let p = &c.phases()[0];
+        assert_eq!(p.busy.max, 8.0);
+        assert_eq!(p.busy.min, 1.0);
+        assert!(p.busy.imbalance() > 3.0);
+        assert_eq!(p.totals.get("solutions"), 80);
+        assert_eq!(p.critical_path(), 8.0);
+    }
+
+    #[test]
+    fn rank_rng_is_deterministic_across_runs() {
+        let draw = || {
+            let mut c = Cluster::new(Topology::new(1, 4), NetworkModel::ideal(), 99);
+            c.execute("draw", |ctx| ctx.rng().next_u64())
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn rank_rng_differs_across_ranks_and_phases() {
+        let mut c = Cluster::new(Topology::new(1, 2), NetworkModel::ideal(), 7);
+        let a = c.execute("p0", |ctx| ctx.rng().next_u64());
+        let b = c.execute("p1", |ctx| ctx.rng().next_u64());
+        assert_ne!(a[0], a[1], "ranks must have independent streams");
+        assert_ne!(a[0], b[0], "phases must have independent streams");
+    }
+
+    #[test]
+    fn network_costs_show_up_in_elapsed() {
+        let mut c = Cluster::new(Topology::new(4, 2), NetworkModel::slingshot(), 1);
+        c.barrier();
+        assert!(c.elapsed() > 0.0, "slingshot barrier must cost time");
+    }
+
+    #[test]
+    fn reset_clears_time_and_history() {
+        let mut c = small();
+        c.execute("work", |ctx| ctx.charge(2.0));
+        c.barrier();
+        c.reset_clocks();
+        assert_eq!(c.elapsed(), 0.0);
+        assert!(c.phases().is_empty());
+    }
+
+    #[test]
+    fn alltoallv_bound_by_heaviest_sender() {
+        let mut c = Cluster::new(Topology::new(4, 1), NetworkModel::slingshot(), 1);
+        let mut light = vec![0u64; 4];
+        light[0] = 1 << 10;
+        let t_light = c.alltoallv_cost(&light);
+        c.reset_clocks();
+        let mut heavy = vec![0u64; 4];
+        heavy[0] = 1 << 30;
+        let t_heavy = c.alltoallv_cost(&heavy);
+        assert!(t_heavy > t_light);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ids-simrt — virtual cluster runtime
+//!
+//! The paper evaluates IDS on an HPE Cray EX system with 64–256 nodes, 32 MPI
+//! ranks per node (2048–8192 ranks), connected by Slingshot. This crate
+//! replaces that hardware with a deterministic *cluster simulator*:
+//!
+//! * **Virtual ranks** — thousands of logical ranks are multiplexed onto the
+//!   host's cores via rayon. Rank programs execute real Rust code.
+//! * **Virtual clocks** — each rank carries a clock in *virtual seconds*.
+//!   Compute kernels charge their cost (from calibrated cost models) to the
+//!   clock of the rank that ran them; collectives synchronize clocks exactly
+//!   the way an MPI barrier would (max over participants, plus a network
+//!   cost term). Reported latencies are therefore independent of how many
+//!   physical cores the simulation happens to run on, and reproduce the
+//!   slowest-rank-bound dynamics the paper analyzes.
+//! * **BSP phase structure** — execution alternates compute phases (all
+//!   ranks run independently) and collectives (barrier / allreduce /
+//!   allgather / all-to-all), mirroring how the Cray Graph Engine structures
+//!   scans, joins, merges, and solution re-distribution.
+//!
+//! The network cost model is a classic α–β (latency + bytes/bandwidth) model
+//! with distinct intra-node and inter-node parameters, defaulting to
+//! Slingshot-like numbers.
+
+pub mod clock;
+pub mod cluster;
+pub mod collective;
+pub mod net;
+pub mod rng;
+pub mod stats;
+pub mod topology;
+pub mod trace;
+
+pub use clock::VirtualClock;
+pub use cluster::{Cluster, RankCtx};
+pub use collective::ReduceOp;
+pub use net::NetworkModel;
+pub use stats::{PhaseStats, RankStats, StatSummary};
+pub use topology::{NodeId, RankId, Topology};

@@ -1,0 +1,161 @@
+//! Deterministic, splittable pseudo-randomness for the simulator.
+//!
+//! Every stochastic component (workload generators, docking search, DTBA
+//! variance) derives its stream from a `(seed, stream-id)` pair via
+//! SplitMix64, so experiments are exactly reproducible regardless of rank
+//! scheduling order, and different ranks / different components never share
+//! a stream.
+
+/// A SplitMix64 generator: tiny state, excellent mixing, ideal for seeding.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a stream from a root seed and a stream identifier.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        // Mix the stream id into the seed so adjacent streams decorrelate.
+        let mut s = Self { state: seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15) };
+        s.next_u64(); // discard first output to break seed/output identity
+        s
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's method.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift; bias is negligible for simulation purposes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    #[inline]
+    pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Standard-normal sample (Box–Muller, one value per call).
+    pub fn next_gaussian(&mut self) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Derive an independent child stream; used to hand sub-components
+    /// their own generators without sharing state.
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64(), self.next_u64())
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of arbitrary bytes — the simulator's canonical
+/// content hash (object ids in the cache, shard placement, memoised model
+/// outputs). Deterministic across runs and platforms, unlike `DefaultHasher`.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Combine two hashes into one (order-sensitive).
+#[inline]
+pub fn hash_combine(a: u64, b: u64) -> u64 {
+    // boost::hash_combine-style mixing lifted to 64 bits.
+    a ^ (b
+        .wrapping_add(0x9E3779B97F4A7C15)
+        .wrapping_add(a << 6)
+        .wrapping_add(a >> 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_stream() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = SplitMix64::new(42, 0);
+        let mut b = SplitMix64::new(42, 1);
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(1, 0);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::new(9, 3);
+        for _ in 0..1000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn gaussian_has_sane_moments() {
+        let mut r = SplitMix64::new(5, 5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.next_gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Known FNV-1a vector.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn hash_combine_is_order_sensitive() {
+        assert_ne!(hash_combine(1, 2), hash_combine(2, 1));
+    }
+}

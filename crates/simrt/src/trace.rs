@@ -1,0 +1,114 @@
+//! Phase timeline rendering.
+//!
+//! Turns a cluster's [`PhaseStats`](crate::stats::PhaseStats) history into
+//! a text timeline — the visual the paper's Figure 4(b) breakdown comes
+//! from. Each phase renders as a bar scaled to its critical-path time,
+//! with load-imbalance annotation, so stragglers are visible at a glance.
+
+use crate::stats::PhaseStats;
+
+/// Render a phase history as an aligned text timeline.
+///
+/// `width` is the bar budget (characters) given to the longest phase.
+pub fn render_timeline(phases: &[PhaseStats], width: usize) -> String {
+    if phases.is_empty() {
+        return "(no phases recorded)\n".to_string();
+    }
+    let width = width.max(10);
+    let max = phases
+        .iter()
+        .map(PhaseStats::critical_path)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let name_w = phases.iter().map(|p| p.name.len()).max().unwrap_or(8).max(5);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>12}  {:>9}  timeline (critical path)\n",
+        "phase", "time (s)", "imbalance"
+    ));
+    for p in phases {
+        let t = p.critical_path();
+        let bar_len = ((t / max) * width as f64).round() as usize;
+        let bar: String = std::iter::repeat('#').take(bar_len.max(1)).collect();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>12.6}  {:>8.2}x  {bar}\n",
+            p.name,
+            t,
+            p.busy.imbalance()
+        ));
+    }
+    out.push_str(&format!(
+        "{:<name_w$}  {:>12.6}\n",
+        "TOTAL",
+        phases.last().map(|p| p.completed_at).unwrap_or(0.0)
+    ));
+    out
+}
+
+/// Aggregate phases by name: total critical-path seconds per distinct
+/// phase label, in first-appearance order. This is the Figure 4(b)
+/// grouping (all scans together, all joins together, …).
+pub fn aggregate_by_name(phases: &[PhaseStats]) -> Vec<(String, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut totals: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for p in phases {
+        if !totals.contains_key(&p.name) {
+            order.push(p.name.clone());
+        }
+        *totals.entry(p.name.clone()).or_insert(0.0) += p.critical_path();
+    }
+    order.into_iter().map(|n| {
+        let t = totals[&n];
+        (n, t)
+    }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::net::NetworkModel;
+    use crate::topology::Topology;
+
+    fn history() -> Vec<PhaseStats> {
+        let mut c = Cluster::new(Topology::new(1, 4), NetworkModel::ideal(), 1);
+        c.execute("scan", |ctx| ctx.charge(0.5));
+        c.barrier();
+        c.execute("join", |ctx| ctx.charge(if ctx.rank().0 == 0 { 2.0 } else { 0.5 }));
+        c.barrier();
+        c.execute("scan", |ctx| ctx.charge(0.25));
+        c.barrier();
+        c.phases().to_vec()
+    }
+
+    #[test]
+    fn timeline_renders_every_phase() {
+        let text = render_timeline(&history(), 40);
+        assert!(text.contains("scan"), "{text}");
+        assert!(text.contains("join"), "{text}");
+        assert!(text.contains("TOTAL"), "{text}");
+        // The straggler phase carries the largest bar.
+        let join_line = text.lines().find(|l| l.starts_with("join")).unwrap();
+        let scan_line = text.lines().find(|l| l.starts_with("scan")).unwrap();
+        let bars = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert!(bars(join_line) > bars(scan_line));
+        // Imbalance annotated (join: one rank 4x the mean-ish).
+        assert!(join_line.contains("x"), "{join_line}");
+    }
+
+    #[test]
+    fn empty_history_is_handled() {
+        assert!(render_timeline(&[], 40).contains("no phases"));
+    }
+
+    #[test]
+    fn aggregation_groups_by_label() {
+        let agg = aggregate_by_name(&history());
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].0, "scan");
+        assert!((agg[0].1 - 0.75).abs() < 1e-12, "two scans summed: {}", agg[0].1);
+        assert_eq!(agg[1].0, "join");
+        assert!((agg[1].1 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,373 @@
+//! FILTER expression trees.
+//!
+//! "Within IDS, expressions evaluated as part of operators (e.g., FILTER)
+//! are represented as expression trees" (§2.4.2). UDF calls are leaves;
+//! conjunctions short-circuit, which is what makes the §2.4.3 reordering
+//! profitable: a cheap, selective UDF that rejects early saves every later
+//! (expensive) UDF in the chain.
+//!
+//! Evaluation charges virtual cost into an accumulator and feeds the
+//! per-rank profiler, attributing rejections to the UDF whose conjunct
+//! rejected.
+
+use crate::profile::UdfProfiler;
+use crate::registry::UdfRegistry;
+use crate::value::UdfValue;
+use std::cmp::Ordering;
+
+/// Variable bindings an expression evaluates against (one solution row).
+pub trait Bindings {
+    /// The value bound to `var`, if any.
+    fn get(&self, var: &str) -> Option<UdfValue>;
+}
+
+impl Bindings for std::collections::HashMap<String, UdfValue> {
+    fn get(&self, var: &str) -> Option<UdfValue> {
+        std::collections::HashMap::get(self, var).cloned()
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+        }
+    }
+
+    /// Surface syntax for error messages and display.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// A FILTER expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Const(UdfValue),
+    /// A variable reference.
+    Var(String),
+    /// Comparison of two sub-expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit conjunction.
+    And(Vec<Expr>),
+    /// Short-circuit disjunction.
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// A UDF invocation: `name(args…)`.
+    Udf { name: String, args: Vec<Expr> },
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    UnboundVariable(String),
+    NotBoolean(String),
+    Incomparable(String),
+    UdfFailed(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable ?{v}"),
+            EvalError::NotBoolean(e) => write!(f, "expression is not boolean: {e}"),
+            EvalError::Incomparable(e) => write!(f, "incomparable operands: {e}"),
+            EvalError::UdfFailed(e) => write!(f, "UDF failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluation context: registry to resolve UDFs, profiler to feed, and the
+/// accumulated virtual cost of everything executed so far.
+pub struct EvalCtx<'a> {
+    pub registry: &'a UdfRegistry,
+    pub profiler: &'a mut UdfProfiler,
+    /// Virtual seconds charged by UDF executions during evaluation.
+    pub charged_secs: f64,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Fresh context over a registry and profiler.
+    pub fn new(registry: &'a UdfRegistry, profiler: &'a mut UdfProfiler) -> Self {
+        Self { registry, profiler, charged_secs: 0.0 }
+    }
+}
+
+impl Expr {
+    /// Convenience constructors keep planner code readable.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// `lhs op rhs`.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `name(args…)`.
+    pub fn udf(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Udf { name: name.into(), args }
+    }
+
+    /// Names of all UDFs referenced in this subtree, in evaluation order.
+    pub fn udf_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_udfs(&mut out);
+        out
+    }
+
+    fn collect_udfs<'e>(&'e self, out: &mut Vec<&'e str>) {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => {}
+            Expr::Cmp(_, a, b) => {
+                a.collect_udfs(out);
+                b.collect_udfs(out);
+            }
+            Expr::And(es) | Expr::Or(es) => es.iter().for_each(|e| e.collect_udfs(out)),
+            Expr::Not(e) => e.collect_udfs(out),
+            Expr::Udf { name, args } => {
+                out.push(name);
+                args.iter().for_each(|a| a.collect_udfs(out));
+            }
+        }
+    }
+
+    /// Evaluate to a value.
+    pub fn eval(&self, bindings: &dyn Bindings, cx: &mut EvalCtx) -> Result<UdfValue, EvalError> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(name) => bindings.get(name).ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+            Expr::Cmp(op, a, b) => {
+                let va = a.eval(bindings, cx)?;
+                let vb = b.eval(bindings, cx)?;
+                let ord = va
+                    .compare(&vb)
+                    .ok_or_else(|| EvalError::Incomparable(format!("{va} {} {vb}", op.symbol())))?;
+                Ok(UdfValue::Bool(op.test(ord)))
+            }
+            Expr::And(es) => {
+                for e in es {
+                    if !e.eval_bool(bindings, cx)? {
+                        // Attribute the rejection to the UDFs in the failing
+                        // conjunct (§2.4.1: rejection counts per UDF).
+                        for udf in e.udf_names() {
+                            cx.profiler.record_rejection(udf);
+                        }
+                        return Ok(UdfValue::Bool(false));
+                    }
+                }
+                Ok(UdfValue::Bool(true))
+            }
+            Expr::Or(es) => {
+                for e in es {
+                    if e.eval_bool(bindings, cx)? {
+                        return Ok(UdfValue::Bool(true));
+                    }
+                }
+                Ok(UdfValue::Bool(false))
+            }
+            Expr::Not(e) => Ok(UdfValue::Bool(!e.eval_bool(bindings, cx)?)),
+            Expr::Udf { name, args } => {
+                let mut arg_vals = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_vals.push(a.eval(bindings, cx)?);
+                }
+                let out = cx
+                    .registry
+                    .call(name, &arg_vals)
+                    .map_err(EvalError::UdfFailed)?;
+                cx.charged_secs += out.virtual_secs;
+                cx.profiler.record_call(name, out.virtual_secs);
+                Ok(out.value)
+            }
+        }
+    }
+
+    /// Evaluate expecting a boolean.
+    pub fn eval_bool(&self, bindings: &dyn Bindings, cx: &mut EvalCtx) -> Result<bool, EvalError> {
+        let v = self.eval(bindings, cx)?;
+        v.as_bool().ok_or_else(|| EvalError::NotBoolean(format!("{v}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::UdfOutput;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+    use std::sync::Arc;
+
+    fn bindings(pairs: &[(&str, UdfValue)]) -> HashMap<String, UdfValue> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    fn registry_with_counter() -> (UdfRegistry, Arc<AtomicU64>) {
+        let r = UdfRegistry::new();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        r.register_static(
+            "expensive_true",
+            Arc::new(move |_| {
+                c.fetch_add(1, AtomicOrdering::SeqCst);
+                UdfOutput::new(UdfValue::Bool(true), 10.0)
+            }),
+        )
+        .unwrap();
+        r.register_static(
+            "half",
+            Arc::new(|args| {
+                let x = args[0].as_f64().unwrap();
+                UdfOutput::new(UdfValue::F64(x / 2.0), 0.5)
+            }),
+        )
+        .unwrap();
+        (r, count)
+    }
+
+    #[test]
+    fn comparisons_over_bindings() {
+        let (r, _) = registry_with_counter();
+        let mut p = UdfProfiler::new();
+        let mut cx = EvalCtx::new(&r, &mut p);
+        let b = bindings(&[("sim", UdfValue::F64(0.92))]);
+        let e = Expr::cmp(CmpOp::Ge, Expr::var("sim"), Expr::Const(UdfValue::F64(0.9)));
+        assert!(e.eval_bool(&b, &mut cx).unwrap());
+        let e2 = Expr::cmp(CmpOp::Gt, Expr::var("sim"), Expr::Const(UdfValue::F64(0.99)));
+        assert!(!e2.eval_bool(&b, &mut cx).unwrap());
+    }
+
+    #[test]
+    fn and_short_circuits_skipping_expensive_udf() {
+        let (r, count) = registry_with_counter();
+        let mut p = UdfProfiler::new();
+        let mut cx = EvalCtx::new(&r, &mut p);
+        let b = bindings(&[("x", UdfValue::F64(1.0))]);
+        // First conjunct false → the expensive UDF never runs.
+        let e = Expr::And(vec![
+            Expr::Const(UdfValue::Bool(false)),
+            Expr::udf("expensive_true", vec![]),
+        ]);
+        assert!(!e.eval_bool(&b, &mut cx).unwrap());
+        assert_eq!(count.load(AtomicOrdering::SeqCst), 0);
+        assert_eq!(cx.charged_secs, 0.0);
+    }
+
+    #[test]
+    fn udf_cost_is_charged_and_profiled() {
+        let (r, _) = registry_with_counter();
+        let mut p = UdfProfiler::new();
+        {
+            let mut cx = EvalCtx::new(&r, &mut p);
+            let b = bindings(&[("x", UdfValue::F64(8.0))]);
+            let e = Expr::cmp(
+                CmpOp::Eq,
+                Expr::udf("half", vec![Expr::var("x")]),
+                Expr::Const(UdfValue::F64(4.0)),
+            );
+            assert!(e.eval_bool(&b, &mut cx).unwrap());
+            assert!((cx.charged_secs - 0.5).abs() < 1e-12);
+        }
+        assert_eq!(p.get("half").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn rejections_attributed_to_failing_conjunct() {
+        let (r, _) = registry_with_counter();
+        r.register_static(
+            "always_false",
+            Arc::new(|_| UdfOutput::new(UdfValue::Bool(false), 0.1)),
+        )
+        .unwrap();
+        let mut p = UdfProfiler::new();
+        {
+            let mut cx = EvalCtx::new(&r, &mut p);
+            let b = bindings(&[]);
+            let e = Expr::And(vec![
+                Expr::udf("always_false", vec![]),
+                Expr::udf("expensive_true", vec![]),
+            ]);
+            assert!(!e.eval_bool(&b, &mut cx).unwrap());
+        }
+        assert_eq!(p.get("always_false").unwrap().rejections, 1);
+        assert!(p.get("expensive_true").is_none(), "never ran, never profiled");
+    }
+
+    #[test]
+    fn or_and_not_semantics() {
+        let (r, _) = registry_with_counter();
+        let mut p = UdfProfiler::new();
+        let mut cx = EvalCtx::new(&r, &mut p);
+        let b = bindings(&[]);
+        let t = Expr::Const(UdfValue::Bool(true));
+        let f = Expr::Const(UdfValue::Bool(false));
+        assert!(Expr::Or(vec![f.clone(), t.clone()]).eval_bool(&b, &mut cx).unwrap());
+        assert!(!Expr::Or(vec![f.clone(), f.clone()]).eval_bool(&b, &mut cx).unwrap());
+        assert!(Expr::Not(Box::new(f)).eval_bool(&b, &mut cx).unwrap());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (r, _) = registry_with_counter();
+        let mut p = UdfProfiler::new();
+        let mut cx = EvalCtx::new(&r, &mut p);
+        let b = bindings(&[]);
+        assert!(matches!(
+            Expr::var("missing").eval(&b, &mut cx),
+            Err(EvalError::UnboundVariable(_))
+        ));
+        assert!(matches!(
+            Expr::Const(UdfValue::F64(1.0)).eval_bool(&b, &mut cx),
+            Err(EvalError::NotBoolean(_))
+        ));
+        assert!(matches!(
+            Expr::cmp(CmpOp::Lt, Expr::Const(UdfValue::Str("a".into())), Expr::Const(UdfValue::I64(1)))
+                .eval(&b, &mut cx),
+            Err(EvalError::Incomparable(_))
+        ));
+        assert!(matches!(
+            Expr::udf("ghost", vec![]).eval(&b, &mut cx),
+            Err(EvalError::UdfFailed(_))
+        ));
+    }
+
+    #[test]
+    fn udf_names_walks_whole_tree() {
+        let e = Expr::And(vec![
+            Expr::cmp(
+                CmpOp::Ge,
+                Expr::udf("sw", vec![Expr::var("p")]),
+                Expr::Const(UdfValue::F64(0.9)),
+            ),
+            Expr::Not(Box::new(Expr::udf("dtba", vec![Expr::var("c")]))),
+        ]);
+        assert_eq!(e.udf_names(), vec!["sw", "dtba"]);
+    }
+}

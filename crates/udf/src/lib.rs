@@ -1,0 +1,37 @@
+//! # ids-udf — user-defined functions, profiling, and adaptive planning
+//!
+//! This crate implements §2.3–2.4 of the paper — the pieces that make IDS
+//! more than a graph database:
+//!
+//! * [`value`] — the dynamic values flowing between the query engine and
+//!   UDFs.
+//! * [`registry`] — the UDF registry: statically linked functions (tracked
+//!   by unique name) and dynamically loaded modules (tracked by module +
+//!   method name) with a module cache and explicit reload, mirroring the
+//!   paper's Python-module lifecycle.
+//! * [`profile`] — per-rank UDF profiling: execution count, total execution
+//!   time, and rejection count, "continually updated through the lifetime
+//!   of a running IDS instance" (§2.4.1).
+//! * [`expr`] — FILTER expression trees over bindings, with UDF calls as
+//!   first-class leaves; evaluation charges virtual cost and feeds the
+//!   profiler.
+//! * [`reorder`] — §2.4.3: chains of conditionals re-ordered in ascending
+//!   estimated evaluation time, with higher-rejection UDFs prioritized when
+//!   costs are similar.
+//! * [`rebalance`] — §2.4.2: solution re-balancing by measured per-rank
+//!   throughput instead of raw solution counts, including the ≈20 %
+//!   similar-throughput short-circuit.
+
+pub mod expr;
+pub mod profile;
+pub mod rebalance;
+pub mod registry;
+pub mod reorder;
+pub mod value;
+
+pub use expr::{Bindings, EvalError, Expr};
+pub use profile::{UdfProfile, UdfProfiler};
+pub use rebalance::{estimate_completion, plan_count_based, plan_throughput_based, RebalancePlan};
+pub use registry::{UdfKind, UdfOutput, UdfRegistry};
+pub use reorder::order_conjuncts;
+pub use value::UdfValue;

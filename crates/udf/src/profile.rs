@@ -1,0 +1,175 @@
+//! Per-rank UDF profiling (§2.4.1).
+//!
+//! Each rank maintains, for every UDF it has executed: (i) execution count,
+//! (ii) total execution time, and (iii) how many times a query expression
+//! was rejected due to that UDF. The profile is "continually updated
+//! through the lifetime of a running IDS instance", and rank-local so the
+//! planner can tailor decisions to each rank's hardware and data shard.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Profiling record for one UDF on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UdfProfile {
+    /// Number of executions.
+    pub calls: u64,
+    /// Total execution time (virtual seconds).
+    pub total_secs: f64,
+    /// Executions that caused the enclosing expression to reject the
+    /// solution.
+    pub rejections: u64,
+}
+
+impl UdfProfile {
+    /// Mean per-call cost; `None` until the UDF has run at least once.
+    pub fn mean_cost(&self) -> Option<f64> {
+        if self.calls == 0 {
+            None
+        } else {
+            Some(self.total_secs / self.calls as f64)
+        }
+    }
+
+    /// Fraction of calls that rejected their solution (selectivity proxy);
+    /// `None` until the UDF has run.
+    pub fn rejection_rate(&self) -> Option<f64> {
+        if self.calls == 0 {
+            None
+        } else {
+            Some(self.rejections as f64 / self.calls as f64)
+        }
+    }
+
+    /// Merge another profile into this one (cross-rank aggregation).
+    pub fn merge(&mut self, other: &UdfProfile) {
+        self.calls += other.calls;
+        self.total_secs += other.total_secs;
+        self.rejections += other.rejections;
+    }
+}
+
+/// One rank's profiling datastore: UDF name → profile.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UdfProfiler {
+    profiles: HashMap<String, UdfProfile>,
+}
+
+impl UdfProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one execution of `udf` costing `secs`.
+    pub fn record_call(&mut self, udf: &str, secs: f64) {
+        let p = self.profiles.entry(udf.to_string()).or_default();
+        p.calls += 1;
+        p.total_secs += secs;
+    }
+
+    /// Record that `udf`'s outcome rejected the solution under evaluation.
+    pub fn record_rejection(&mut self, udf: &str) {
+        self.profiles.entry(udf.to_string()).or_default().rejections += 1;
+    }
+
+    /// Profile for a UDF, if it has any data.
+    pub fn get(&self, udf: &str) -> Option<&UdfProfile> {
+        self.profiles.get(udf)
+    }
+
+    /// Estimated per-call cost, falling back to `prior` for never-seen UDFs.
+    pub fn estimated_cost(&self, udf: &str, prior: f64) -> f64 {
+        self.get(udf).and_then(UdfProfile::mean_cost).unwrap_or(prior)
+    }
+
+    /// Estimated rejection rate, falling back to `prior`.
+    pub fn estimated_rejection(&self, udf: &str, prior: f64) -> f64 {
+        self.get(udf).and_then(UdfProfile::rejection_rate).unwrap_or(prior)
+    }
+
+    /// Estimated throughput (solutions/second) this rank achieves through a
+    /// pipeline costing `per_solution_secs`; used by the re-balancer.
+    pub fn solutions_per_second(per_solution_secs: f64) -> f64 {
+        if per_solution_secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / per_solution_secs
+        }
+    }
+
+    /// Merge another rank's profiler into this one.
+    pub fn merge(&mut self, other: &UdfProfiler) {
+        for (name, prof) in &other.profiles {
+            self.profiles.entry(name.clone()).or_default().merge(prof);
+        }
+    }
+
+    /// Names with profiling data.
+    pub fn names(&self) -> Vec<&str> {
+        self.profiles.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut p = UdfProfiler::new();
+        p.record_call("sw", 0.001);
+        p.record_call("sw", 0.003);
+        p.record_rejection("sw");
+        let prof = p.get("sw").unwrap();
+        assert_eq!(prof.calls, 2);
+        assert!((prof.total_secs - 0.004).abs() < 1e-12);
+        assert_eq!(prof.rejections, 1);
+        assert!((prof.mean_cost().unwrap() - 0.002).abs() < 1e-12);
+        assert!((prof.rejection_rate().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_udf_uses_priors() {
+        let p = UdfProfiler::new();
+        assert_eq!(p.estimated_cost("never", 35.0), 35.0);
+        assert_eq!(p.estimated_rejection("never", 0.5), 0.5);
+        assert!(p.get("never").is_none());
+    }
+
+    #[test]
+    fn profiles_replace_priors_once_data_exists() {
+        let mut p = UdfProfiler::new();
+        p.record_call("dtba", 0.8);
+        assert_eq!(p.estimated_cost("dtba", 35.0), 0.8);
+    }
+
+    #[test]
+    fn empty_profile_has_no_estimates() {
+        let prof = UdfProfile::default();
+        assert_eq!(prof.mean_cost(), None);
+        assert_eq!(prof.rejection_rate(), None);
+    }
+
+    #[test]
+    fn merge_aggregates_across_ranks() {
+        let mut a = UdfProfiler::new();
+        a.record_call("sw", 0.001);
+        a.record_rejection("sw");
+        let mut b = UdfProfiler::new();
+        b.record_call("sw", 0.003);
+        b.record_call("pic50", 0.00001);
+        a.merge(&b);
+        assert_eq!(a.get("sw").unwrap().calls, 2);
+        assert_eq!(a.get("pic50").unwrap().calls, 1);
+        let mut names = a.names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["pic50", "sw"]);
+    }
+
+    #[test]
+    fn throughput_helper() {
+        assert_eq!(UdfProfiler::solutions_per_second(0.01), 100.0);
+        assert!(UdfProfiler::solutions_per_second(0.0).is_infinite());
+    }
+}

@@ -1,0 +1,232 @@
+//! The UDF registry.
+//!
+//! §2.3: CGE supported only statically linked C/C++ UDFs, loaded once at
+//! launch; IDS adds dynamically loaded Python UDFs with a module cache
+//! ("the overhead is only incurred the first time a module loads") and a
+//! force-reload API so users can iterate on their code inside a running
+//! instance. We mirror both paths: *static* UDFs are registered by unique
+//! name before launch; *dynamic* UDFs are registered as (module, method)
+//! pairs, pay a simulated module-load cost on first use, and can be
+//! reloaded with replacement behaviour.
+
+use crate::value::UdfValue;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A UDF invocation's result: value plus the virtual cost it charged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfOutput {
+    pub value: UdfValue,
+    pub virtual_secs: f64,
+}
+
+impl UdfOutput {
+    /// Convenience constructor.
+    pub fn new(value: UdfValue, virtual_secs: f64) -> Self {
+        Self { value, virtual_secs }
+    }
+}
+
+/// The callable backing a UDF.
+pub type UdfFn = Arc<dyn Fn(&[UdfValue]) -> UdfOutput + Send + Sync>;
+
+/// How a UDF was registered (paper §2.4.1: "IDS tracks statically linked
+/// UDFs using their unique name and dynamically loaded UDFs using the
+/// Python module name and method name").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UdfKind {
+    /// Compiled in at launch; cannot be replaced.
+    Static,
+    /// Dynamically imported; reloadable, pays a first-load cost.
+    Dynamic,
+}
+
+struct Entry {
+    kind: UdfKind,
+    func: UdfFn,
+    /// Dynamic modules pay this once, on first call after (re)load.
+    load_cost: f64,
+    loaded: bool,
+    generation: u64,
+}
+
+/// Thread-safe registry of UDFs.
+#[derive(Default)]
+pub struct UdfRegistry {
+    entries: RwLock<HashMap<String, Entry>>,
+}
+
+impl UdfRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical name for a dynamic UDF: `module.method`.
+    pub fn dynamic_name(module: &str, method: &str) -> String {
+        format!("{module}.{method}")
+    }
+
+    /// Register a statically linked UDF. Errors if the name exists —
+    /// static UDFs "cannot be modified once IDS launched".
+    pub fn register_static(&self, name: &str, func: UdfFn) -> Result<(), String> {
+        let mut map = self.entries.write();
+        if map.contains_key(name) {
+            return Err(format!("static UDF {name:?} already registered"));
+        }
+        map.insert(
+            name.to_string(),
+            Entry { kind: UdfKind::Static, func, load_cost: 0.0, loaded: true, generation: 0 },
+        );
+        Ok(())
+    }
+
+    /// Register (import) a dynamic UDF. `load_cost` models the Python
+    /// module import the paper caches. Re-registering an existing dynamic
+    /// UDF is an error; use [`Self::reload_dynamic`] to replace it.
+    pub fn register_dynamic(
+        &self,
+        module: &str,
+        method: &str,
+        load_cost: f64,
+        func: UdfFn,
+    ) -> Result<(), String> {
+        let name = Self::dynamic_name(module, method);
+        let mut map = self.entries.write();
+        if map.contains_key(&name) {
+            return Err(format!("dynamic UDF {name:?} already registered (use reload)"));
+        }
+        map.insert(name, Entry { kind: UdfKind::Dynamic, func, load_cost, loaded: false, generation: 0 });
+        Ok(())
+    }
+
+    /// Force-reload a dynamic UDF with new code: the module cache entry is
+    /// invalidated (next call pays the load cost again) and the generation
+    /// counter bumps.
+    pub fn reload_dynamic(
+        &self,
+        module: &str,
+        method: &str,
+        load_cost: f64,
+        func: UdfFn,
+    ) -> Result<u64, String> {
+        let name = Self::dynamic_name(module, method);
+        let mut map = self.entries.write();
+        match map.get_mut(&name) {
+            Some(e) if e.kind == UdfKind::Dynamic => {
+                e.func = func;
+                e.load_cost = load_cost;
+                e.loaded = false;
+                e.generation += 1;
+                Ok(e.generation)
+            }
+            Some(_) => Err(format!("{name:?} is a static UDF; cannot reload")),
+            None => Err(format!("dynamic UDF {name:?} not registered")),
+        }
+    }
+
+    /// Kind of a registered UDF.
+    pub fn kind(&self, name: &str) -> Option<UdfKind> {
+        self.entries.read().get(name).map(|e| e.kind)
+    }
+
+    /// Current generation of a UDF (bumps on reload).
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.entries.read().get(name).map(|e| e.generation)
+    }
+
+    /// Invoke a UDF. Returns the output with the module-load cost folded
+    /// into `virtual_secs` on the first call after (re)load — the module
+    /// cache the paper describes.
+    pub fn call(&self, name: &str, args: &[UdfValue]) -> Result<UdfOutput, String> {
+        // Clone the Arc out so user code runs without holding the lock.
+        let (func, first_load_cost) = {
+            let mut map = self.entries.write();
+            let e = map.get_mut(name).ok_or_else(|| format!("unknown UDF {name:?}"))?;
+            let cost = if e.loaded { 0.0 } else { e.load_cost };
+            e.loaded = true;
+            (Arc::clone(&e.func), cost)
+        };
+        let mut out = func(args);
+        out.virtual_secs += first_load_cost;
+        Ok(out)
+    }
+
+    /// Names of all registered UDFs.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double() -> UdfFn {
+        Arc::new(|args| {
+            let x = args[0].as_f64().unwrap_or(0.0);
+            UdfOutput::new(UdfValue::F64(2.0 * x), 0.001)
+        })
+    }
+
+    fn triple() -> UdfFn {
+        Arc::new(|args| {
+            let x = args[0].as_f64().unwrap_or(0.0);
+            UdfOutput::new(UdfValue::F64(3.0 * x), 0.001)
+        })
+    }
+
+    #[test]
+    fn static_registration_and_call() {
+        let r = UdfRegistry::new();
+        r.register_static("dbl", double()).unwrap();
+        let out = r.call("dbl", &[UdfValue::F64(21.0)]).unwrap();
+        assert_eq!(out.value, UdfValue::F64(42.0));
+        assert_eq!(r.kind("dbl"), Some(UdfKind::Static));
+    }
+
+    #[test]
+    fn static_cannot_be_replaced() {
+        let r = UdfRegistry::new();
+        r.register_static("dbl", double()).unwrap();
+        assert!(r.register_static("dbl", triple()).is_err());
+        assert!(r.reload_dynamic("dbl", "", 0.0, triple()).is_err());
+    }
+
+    #[test]
+    fn dynamic_pays_load_cost_once() {
+        let r = UdfRegistry::new();
+        r.register_dynamic("mymod", "score", 2.5, double()).unwrap();
+        let first = r.call("mymod.score", &[UdfValue::F64(1.0)]).unwrap();
+        let second = r.call("mymod.score", &[UdfValue::F64(1.0)]).unwrap();
+        assert!((first.virtual_secs - 2.501).abs() < 1e-9, "first call pays import: {}", first.virtual_secs);
+        assert!((second.virtual_secs - 0.001).abs() < 1e-9, "cached module: {}", second.virtual_secs);
+    }
+
+    #[test]
+    fn reload_swaps_code_and_recharges_load() {
+        let r = UdfRegistry::new();
+        r.register_dynamic("mymod", "score", 1.0, double()).unwrap();
+        r.call("mymod.score", &[UdfValue::F64(1.0)]).unwrap();
+        let gen = r.reload_dynamic("mymod", "score", 1.0, triple()).unwrap();
+        assert_eq!(gen, 1);
+        let out = r.call("mymod.score", &[UdfValue::F64(2.0)]).unwrap();
+        assert_eq!(out.value, UdfValue::F64(6.0), "new code in effect");
+        assert!(out.virtual_secs > 1.0, "reload pays the import again");
+    }
+
+    #[test]
+    fn duplicate_dynamic_requires_reload() {
+        let r = UdfRegistry::new();
+        r.register_dynamic("m", "f", 0.1, double()).unwrap();
+        assert!(r.register_dynamic("m", "f", 0.1, triple()).is_err());
+    }
+
+    #[test]
+    fn unknown_udf_errors() {
+        let r = UdfRegistry::new();
+        assert!(r.call("nope", &[]).is_err());
+        assert_eq!(r.kind("nope"), None);
+    }
+}

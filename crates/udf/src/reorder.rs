@@ -1,0 +1,224 @@
+//! Expression reordering for AI/ML pipelines (§2.4.3).
+//!
+//! Before executing a FILTER whose expression is a chain of conditionals,
+//! each rank estimates every conjunct's evaluation time from its profiling
+//! data and reorders the chain in **ascending estimated cost**. When two
+//! conjuncts cost about the same, "the function expected to eliminate more
+//! solutions is prioritized" — higher rejection rate first. Because ranks
+//! profile independently, different ranks may legitimately settle on
+//! different orders for the same query.
+
+use crate::expr::Expr;
+use crate::profile::UdfProfiler;
+
+/// How close two cost estimates must be (relative) to fall back to the
+/// selectivity tie-break.
+const SIMILAR_COST_TOLERANCE: f64 = 0.2;
+
+/// Per-conjunct planning estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConjunctEstimate {
+    /// Estimated virtual seconds to evaluate once.
+    pub cost: f64,
+    /// Estimated probability the conjunct rejects a solution.
+    pub rejection: f64,
+}
+
+/// Estimate one conjunct: the sum of its UDF costs (a conjunct with no
+/// UDFs is effectively free) and the max of its UDFs' rejection rates.
+/// Unknown UDFs fall back to the supplied priors.
+pub fn estimate_conjunct(
+    e: &Expr,
+    profiler: &UdfProfiler,
+    cost_prior: impl Fn(&str) -> f64,
+    rejection_prior: f64,
+) -> ConjunctEstimate {
+    let udfs = e.udf_names();
+    let mut cost = 0.0;
+    let mut rejection: f64 = 0.0;
+    for u in &udfs {
+        cost += profiler.estimated_cost(u, cost_prior(u));
+        rejection = rejection.max(profiler.estimated_rejection(u, rejection_prior));
+    }
+    if udfs.is_empty() {
+        // Pure comparisons are vanishingly cheap; give them a tiny epsilon
+        // so they always sort to the front, and a neutral selectivity.
+        cost = 1.0e-9;
+        rejection = 0.5;
+    }
+    ConjunctEstimate { cost, rejection }
+}
+
+/// Compute the evaluation order for a conjunction: indices into
+/// `conjuncts`, cheapest first, higher-rejection first among
+/// similar-cost conjuncts. The sort is stable with respect to the original
+/// order for exact ties, so reordering is deterministic.
+pub fn order_conjuncts(
+    conjuncts: &[Expr],
+    profiler: &UdfProfiler,
+    cost_prior: impl Fn(&str) -> f64,
+    rejection_prior: f64,
+) -> Vec<usize> {
+    let est: Vec<ConjunctEstimate> = conjuncts
+        .iter()
+        .map(|e| estimate_conjunct(e, profiler, &cost_prior, rejection_prior))
+        .collect();
+    let mut idx: Vec<usize> = (0..conjuncts.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let (ea, eb) = (est[a], est[b]);
+        let max_cost = ea.cost.max(eb.cost);
+        let similar = max_cost <= 0.0 || (ea.cost - eb.cost).abs() <= SIMILAR_COST_TOLERANCE * max_cost;
+        if similar {
+            // Higher rejection first; fall back to original order.
+            eb.rejection
+                .partial_cmp(&ea.rejection)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        } else {
+            ea.cost.partial_cmp(&eb.cost).unwrap_or(std::cmp::Ordering::Equal)
+        }
+    });
+    idx
+}
+
+/// Apply an order to a conjunction, producing the reordered `Expr::And`.
+pub fn reorder_and(conjuncts: Vec<Expr>, order: &[usize]) -> Expr {
+    debug_assert_eq!(conjuncts.len(), order.len());
+    let mut slots: Vec<Option<Expr>> = conjuncts.into_iter().map(Some).collect();
+    Expr::And(order.iter().map(|&i| slots[i].take().expect("order must be a permutation")).collect())
+}
+
+/// Expected cost of evaluating a chain in the given order, under
+/// independence: each conjunct runs only if all earlier ones passed.
+pub fn expected_chain_cost(est: &[ConjunctEstimate], order: &[usize]) -> f64 {
+    let mut survive = 1.0;
+    let mut cost = 0.0;
+    for &i in order {
+        cost += survive * est[i].cost;
+        survive *= 1.0 - est[i].rejection;
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::value::UdfValue;
+
+    fn udf_conjunct(name: &str) -> Expr {
+        Expr::cmp(
+            CmpOp::Ge,
+            Expr::udf(name, vec![Expr::var("x")]),
+            Expr::Const(UdfValue::F64(0.5)),
+        )
+    }
+
+    fn profiler_with(data: &[(&str, f64, u64, u64)]) -> UdfProfiler {
+        // (name, per-call cost, calls, rejections)
+        let mut p = UdfProfiler::new();
+        for &(name, cost, calls, rejections) in data {
+            for _ in 0..calls {
+                p.record_call(name, cost);
+            }
+            for _ in 0..rejections {
+                p.record_rejection(name);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn orders_by_ascending_cost() {
+        // The NCNPR ordering: SW (1e-3) → pIC50 is actually cheaper but
+        // profile data decides — here docking ≫ dtba ≫ sw.
+        let p = profiler_with(&[
+            ("docking", 35.0, 10, 2),
+            ("sw", 0.001, 10, 5),
+            ("dtba", 0.8, 10, 3),
+        ]);
+        let conjuncts = vec![udf_conjunct("docking"), udf_conjunct("sw"), udf_conjunct("dtba")];
+        let order = order_conjuncts(&conjuncts, &p, |_| 1.0, 0.5);
+        assert_eq!(order, vec![1, 2, 0], "sw, dtba, docking");
+    }
+
+    #[test]
+    fn similar_costs_break_by_rejection() {
+        // Two UDFs within 20% cost; the more selective goes first.
+        let p = profiler_with(&[
+            ("a", 1.0, 100, 10),  // rejects 10%
+            ("b", 1.1, 100, 90), // rejects 90%, costs 10% more
+        ]);
+        let conjuncts = vec![udf_conjunct("a"), udf_conjunct("b")];
+        let order = order_conjuncts(&conjuncts, &p, |_| 1.0, 0.5);
+        assert_eq!(order, vec![1, 0], "b first despite slightly higher cost");
+    }
+
+    #[test]
+    fn dissimilar_costs_ignore_rejection() {
+        let p = profiler_with(&[
+            ("cheap_weak", 0.1, 100, 1),   // barely selective but cheap
+            ("costly_strong", 10.0, 100, 99), // very selective but 100x cost
+        ]);
+        let conjuncts = vec![udf_conjunct("costly_strong"), udf_conjunct("cheap_weak")];
+        let order = order_conjuncts(&conjuncts, &p, |_| 1.0, 0.5);
+        assert_eq!(order, vec![1, 0], "cost dominates outside the similarity band");
+    }
+
+    #[test]
+    fn pure_comparisons_sort_first() {
+        let p = profiler_with(&[("sw", 0.001, 10, 5)]);
+        let pure = Expr::cmp(CmpOp::Gt, Expr::var("pic50"), Expr::Const(UdfValue::F64(6.0)));
+        let conjuncts = vec![udf_conjunct("sw"), pure.clone()];
+        let order = order_conjuncts(&conjuncts, &p, |_| 1.0, 0.5);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn unknown_udfs_use_priors() {
+        let p = UdfProfiler::new();
+        let conjuncts = vec![udf_conjunct("unknown_sim"), udf_conjunct("unknown_analytic")];
+        // Priors: simulation 35 s, analytic 1 ms.
+        let order = order_conjuncts(
+            &conjuncts,
+            &p,
+            |name| if name.contains("sim") { 35.0 } else { 0.001 },
+            0.5,
+        );
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn reorder_and_applies_permutation() {
+        let conjuncts = vec![udf_conjunct("a"), udf_conjunct("b"), udf_conjunct("c")];
+        let e = reorder_and(conjuncts, &[2, 0, 1]);
+        match e {
+            Expr::And(es) => {
+                assert_eq!(es[0].udf_names(), vec!["c"]);
+                assert_eq!(es[1].udf_names(), vec!["a"]);
+                assert_eq!(es[2].udf_names(), vec!["b"]);
+            }
+            _ => panic!("expected And"),
+        }
+    }
+
+    #[test]
+    fn expected_cost_prefers_planner_order() {
+        // Chain: cheap selective filter before expensive weak one must be
+        // cheaper in expectation.
+        let est = vec![
+            ConjunctEstimate { cost: 35.0, rejection: 0.1 }, // docking-like
+            ConjunctEstimate { cost: 0.001, rejection: 0.9 }, // sw-like
+        ];
+        let user_order = expected_chain_cost(&est, &[0, 1]);
+        let planner_order = expected_chain_cost(&est, &[1, 0]);
+        assert!(planner_order < user_order * 0.2, "{planner_order} vs {user_order}");
+    }
+
+    #[test]
+    fn deterministic_for_exact_ties() {
+        let p = profiler_with(&[("a", 1.0, 10, 5), ("b", 1.0, 10, 5)]);
+        let conjuncts = vec![udf_conjunct("a"), udf_conjunct("b")];
+        assert_eq!(order_conjuncts(&conjuncts, &p, |_| 1.0, 0.5), vec![0, 1]);
+    }
+}

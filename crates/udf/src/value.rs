@@ -1,0 +1,105 @@
+//! Dynamic values exchanged between the query engine and UDFs.
+
+use serde::{Deserialize, Serialize};
+
+/// A value a UDF can consume or produce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UdfValue {
+    F64(f64),
+    I64(i64),
+    Bool(bool),
+    Str(String),
+    /// A dictionary-encoded term id (opaque to UDFs, resolved by the engine).
+    Id(u64),
+    /// Absence (unbound variable, missing feature).
+    Null,
+}
+
+impl UdfValue {
+    /// Numeric view (F64/I64).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            UdfValue::F64(v) => Some(*v),
+            UdfValue::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view. Only `Bool` is truthy-capable — no implicit coercion.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            UdfValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            UdfValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, UdfValue::Null)
+    }
+
+    /// Three-way comparison for FILTER operators. Numbers compare
+    /// numerically (I64 and F64 interoperate), strings lexically; mixed or
+    /// non-comparable kinds return `None`.
+    pub fn compare(&self, other: &UdfValue) -> Option<std::cmp::Ordering> {
+        use UdfValue::*;
+        match (self, other) {
+            (F64(_) | I64(_), F64(_) | I64(_)) => {
+                self.as_f64().unwrap().partial_cmp(&other.as_f64().unwrap())
+            }
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Id(a), Id(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for UdfValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UdfValue::F64(v) => write!(f, "{v}"),
+            UdfValue::I64(v) => write!(f, "{v}"),
+            UdfValue::Bool(b) => write!(f, "{b}"),
+            UdfValue::Str(s) => write!(f, "{s:?}"),
+            UdfValue::Id(i) => write!(f, "#{i}"),
+            UdfValue::Null => write!(f, "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn numeric_interop() {
+        assert_eq!(UdfValue::I64(3).compare(&UdfValue::F64(3.5)), Some(Ordering::Less));
+        assert_eq!(UdfValue::F64(2.0).compare(&UdfValue::I64(2)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn mixed_kinds_do_not_compare() {
+        assert_eq!(UdfValue::Str("a".into()).compare(&UdfValue::I64(1)), None);
+        assert_eq!(UdfValue::Bool(true).compare(&UdfValue::F64(1.0)), None);
+        assert_eq!(UdfValue::Id(1).compare(&UdfValue::I64(1)), None);
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(UdfValue::I64(7).as_f64(), Some(7.0));
+        assert_eq!(UdfValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(UdfValue::F64(1.0).as_bool(), None, "no implicit truthiness");
+        assert!(UdfValue::Null.is_null());
+        assert_eq!(UdfValue::Str("x".into()).as_str(), Some("x"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Dense-vector similarity kernels.
+//!
+//! Plain-loop implementations the compiler auto-vectorizes; the guides'
+//! advice for hot numeric kernels is to keep the inner loop branch-free and
+//! index-check-free (iterator zips) rather than hand-rolling intrinsics.
+
+/// Dot product.
+///
+/// # Panics
+/// Panics (debug) on dimension mismatch.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared L2 distance (cheaper than rooted; order-preserving).
+#[inline]
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    l2_squared(a, b).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; zero vectors yield 0.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let d = dot(a, b);
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (d / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+/// Normalize to unit length in place (zero vectors are left untouched).
+pub fn normalize(v: &mut [f32]) {
+    let n = dot(v, v).sqrt();
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn l2_of_identical_is_zero() {
+        let v = [0.5, -1.5, 2.0];
+        assert_eq!(l2_distance(&v, &v), 0.0);
+        assert!((l2_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_bounds_and_cases() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_makes_unit_length() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((dot(&v, &v) - 1.0).abs() < 1e-6);
+        // Zero vector untouched.
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 1.0, 0.5];
+        let scaled: Vec<f32> = b.iter().map(|x| x * 7.5).collect();
+        assert!((cosine(&a, &b) - cosine(&a, &scaled)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,22 @@
+//! # ids-workloads — synthetic datasets and workload builders
+//!
+//! The paper's knowledge graph integrates seven public life-science
+//! sources (Table 1, >100 B facts, ≈ 30 TB). Those exact datasets are
+//! neither redistributable nor host-sized; this crate generates synthetic
+//! datasets with the same **schema, shape, and relative proportions** at a
+//! configurable scale factor:
+//!
+//! * [`sources`] — one generator per Table 1 source (UniProt, ChEMBL-RDF,
+//!   Bio2RDF, OrthoDB, Biomodels, Biosamples, Reactome), each reporting
+//!   the triple counts and estimated raw sizes that regenerate the table.
+//! * [`ncnpr`] — the NCNPR experiment graph: a target protein (P29274
+//!   stand-in), controlled-divergence protein families (so Smith–Waterman
+//!   selectivity thresholds cut predictable candidate bands, reproducing
+//!   Table 2's compound-count blow-up), inhibitor compounds with valid
+//!   SMILES, and assay edges.
+
+pub mod ncnpr;
+pub mod sources;
+
+pub use ncnpr::{NcnprConfig, NcnprDataset};
+pub use sources::{SourceKind, SourceStats};

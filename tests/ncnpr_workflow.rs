@@ -1,0 +1,164 @@
+//! Integration: the NCNPR drug-re-purposing workflow, spanning
+//! ids-workloads, ids-core, ids-models, and ids-cache.
+
+use ids::cache::{BackingStore, CacheConfig, CacheManager};
+use ids::core::workflow::{
+    docking_object_name, install_workflow, repurposing_query, RepurposingThresholds, WorkflowModels,
+};
+use ids::core::{IdsConfig, IdsInstance};
+use ids::simrt::{NetworkModel, Topology};
+use ids::workloads::ncnpr::{build, Band, NcnprConfig};
+use std::sync::Arc;
+
+fn small_config() -> NcnprConfig {
+    NcnprConfig {
+        bands: vec![
+            Band { mutation_rate: 0.0, similarity_range: None, proteins: 3, compounds_per_protein: 4 },
+            Band {
+                mutation_rate: 0.62,
+                similarity_range: Some((0.21, 0.39)),
+                proteins: 5,
+                compounds_per_protein: 2,
+            },
+        ],
+        background_proteins: 10,
+        ..NcnprConfig::default()
+    }
+}
+
+fn launch(topo: Topology, cache: Option<Arc<CacheManager>>) -> IdsInstance {
+    let mut cfg = IdsConfig::laptop(topo.total_ranks(), 11);
+    cfg.topology = topo;
+    let mut inst = IdsInstance::launch(cfg);
+    if let Some(c) = cache {
+        inst.attach_cache(c);
+    }
+    let dataset = build(inst.datastore(), &small_config());
+    let target = dataset.target.clone();
+    install_workflow(&mut inst, &target, WorkflowModels::test_models());
+    inst
+}
+
+fn query(sw: f64) -> String {
+    repurposing_query(&RepurposingThresholds { sw_similarity: sw, min_pic50: 3.0, min_dtba: 3.0 })
+}
+
+#[test]
+fn tight_threshold_selects_only_the_near_identical_band() {
+    let mut inst = launch(Topology::new(1, 4), None);
+    let out = inst.query(&query(0.9)).unwrap();
+    assert_eq!(out.solutions.len(), 12, "3 proteins x 4 compounds");
+    // Every output row carries a finite docking energy.
+    let ds = inst.datastore();
+    for row in out.solutions.rows() {
+        let energy = ds.decode(row[2]).unwrap().as_f64().unwrap();
+        assert!(energy.is_finite());
+    }
+}
+
+#[test]
+fn loose_threshold_adds_the_low_band() {
+    let mut inst = launch(Topology::new(1, 4), None);
+    let out = inst.query(&query(0.2)).unwrap();
+    assert_eq!(out.solutions.len(), 12 + 10, "both bands");
+}
+
+#[test]
+fn background_proteins_never_reach_docking() {
+    // Background proteins are unreviewed — the reviewed pattern excludes
+    // them regardless of threshold.
+    let mut inst = launch(Topology::new(1, 4), None);
+    let out = inst.query(&query(0.0)).unwrap();
+    assert_eq!(out.solutions.len(), 22, "bands only, never the background");
+}
+
+#[test]
+fn cached_and_uncached_runs_agree_exactly() {
+    // Determinism contract: a cache hit must be indistinguishable from
+    // re-execution.
+    let topo = Topology::new(2, 2);
+    let cache = Arc::new(CacheManager::new(
+        topo,
+        NetworkModel::slingshot(),
+        CacheConfig::new(2, 64 << 20, 256 << 20),
+        BackingStore::default_store(),
+    ));
+    let mut cached = launch(topo, Some(Arc::clone(&cache)));
+    let cold = cached.query(&query(0.9)).unwrap();
+    cached.reset_clocks();
+    let warm = cached.query(&query(0.9)).unwrap();
+
+    let mut uncached_inst = launch(topo, None);
+    let plain = uncached_inst.query(&query(0.9)).unwrap();
+
+    let extract = |o: &ids::core::QueryOutcome, inst: &IdsInstance| -> Vec<(String, String)> {
+        let ds = inst.datastore();
+        let mut v: Vec<(String, String)> = o
+            .solutions
+            .rows()
+            .iter()
+            .map(|r| {
+                (
+                    ds.decode(r[1]).unwrap().to_string(),
+                    format!("{:.12}", ds.decode(r[2]).unwrap().as_f64().unwrap()),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    let a = extract(&cold, &cached);
+    let b = extract(&warm, &cached);
+    let c = extract(&plain, &uncached_inst);
+    assert_eq!(a, b, "cache hit == fresh simulation");
+    assert_eq!(a, c, "cached instance == uncached instance");
+    // And the warm run must be faster in virtual time.
+    assert!(warm.elapsed_secs < cold.elapsed_secs / 2.0);
+}
+
+#[test]
+fn docking_outputs_are_stashed_under_stable_names() {
+    let topo = Topology::new(1, 4);
+    let cache = Arc::new(CacheManager::new(
+        topo,
+        NetworkModel::slingshot(),
+        CacheConfig::new(1, 64 << 20, 256 << 20),
+        BackingStore::default_store(),
+    ));
+    let mut inst = launch(topo, Some(Arc::clone(&cache)));
+    let out = inst.query(&query(0.9)).unwrap();
+    // Each docked compound's object is findable by its derived name.
+    let ds = inst.datastore();
+    for row in out.solutions.rows() {
+        let smiles = ds.decode(row[1]).unwrap().as_str().unwrap().to_string();
+        let name = docking_object_name("P29274", &smiles);
+        assert!(
+            !cache.locality(&name).is_empty(),
+            "docking output for {smiles} cached under {name}"
+        );
+    }
+}
+
+#[test]
+fn udf_profilers_see_the_whole_chain() {
+    let mut inst = launch(Topology::new(1, 4), None);
+    inst.query(&query(0.9)).unwrap();
+    let total = |name: &str| -> u64 {
+        inst.profilers().iter().filter_map(|p| p.get(name)).map(|p| p.calls).sum()
+    };
+    // pIC50 is cheapest, so the reordered chain runs it on every candidate
+    // row; SW runs on survivors of nothing (it's also early); docking runs
+    // once per final candidate.
+    assert!(total("pic50") > 0);
+    assert!(total("sw_similarity") > 0);
+    assert!(total("dtba") > 0);
+    assert_eq!(total("vina_docking"), 12);
+    // Rejections were attributed (the 0.9 threshold rejects the low band).
+    let rejections: u64 = inst
+        .profilers()
+        .iter()
+        .filter_map(|p| p.get("sw_similarity"))
+        .map(|p| p.rejections)
+        .sum();
+    assert!(rejections >= 10, "low-band candidates rejected by SW, got {rejections}");
+}
