@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate — same steps as .github/workflows/ci.yml.
+# All dependencies are vendored (third_party/), so this runs fully offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

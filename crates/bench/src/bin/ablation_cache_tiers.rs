@@ -34,7 +34,12 @@ fn main() {
     let mut rows = Vec::new();
 
     // Local DRAM.
-    let c = CacheManager::new(topo, NetworkModel::slingshot(), CacheConfig::new(2, 64 << 20, 1 << 30), BackingStore::default_store());
+    let c = CacheManager::new(
+        topo,
+        NetworkModel::slingshot(),
+        CacheConfig::new(2, 64 << 20, 1 << 30),
+        BackingStore::default_store(),
+    );
     c.put(RankId(0), "obj", obj.clone());
     let (_, o) = c.get(RankId(0), "obj").unwrap();
     assert_eq!(o.tier, Tier::LocalDram);
@@ -46,21 +51,36 @@ fn main() {
     rows.push(vec!["remote DRAM (RDMA)".into(), micro(o.virtual_secs)]);
 
     // Local NVMe (DRAM too small).
-    let c = CacheManager::new(topo, NetworkModel::slingshot(), CacheConfig::new(2, 1, 1 << 30), BackingStore::default_store());
+    let c = CacheManager::new(
+        topo,
+        NetworkModel::slingshot(),
+        CacheConfig::new(2, 1, 1 << 30),
+        BackingStore::default_store(),
+    );
     c.put(RankId(0), "obj", obj.clone());
     let (_, o) = c.get(RankId(0), "obj").unwrap();
     assert_eq!(o.tier, Tier::LocalNvme);
     rows.push(vec!["local NVMe".into(), micro(o.virtual_secs)]);
 
     // Remote NVMe.
-    let c = CacheManager::new(topo, NetworkModel::slingshot(), CacheConfig::new(2, 1, 1 << 30), BackingStore::default_store());
+    let c = CacheManager::new(
+        topo,
+        NetworkModel::slingshot(),
+        CacheConfig::new(2, 1, 1 << 30),
+        BackingStore::default_store(),
+    );
     c.put(RankId(8), "obj", obj.clone()); // rank 8 = node 1
     let (_, o) = c.get(RankId(31), "obj").unwrap();
     assert_eq!(o.tier, Tier::RemoteNvme);
     rows.push(vec!["remote NVMe".into(), micro(o.virtual_secs)]);
 
     // Backing store.
-    let c = CacheManager::new(topo, NetworkModel::slingshot(), CacheConfig::new(2, 1, 1), BackingStore::default_store());
+    let c = CacheManager::new(
+        topo,
+        NetworkModel::slingshot(),
+        CacheConfig::new(2, 1, 1),
+        BackingStore::default_store(),
+    );
     c.put(RankId(0), "obj", obj.clone());
     let (_, o) = c.get(RankId(0), "obj").unwrap();
     assert_eq!(o.tier, Tier::Backing);
@@ -77,7 +97,12 @@ fn main() {
         ("tiny-DRAM (4 MiB)", 4 << 20),
         ("no-DRAM (NVMe only)", 1),
     ] {
-        let c = CacheManager::new(topo, NetworkModel::slingshot(), CacheConfig::new(2, dram, 1 << 30), BackingStore::default_store());
+        let c = CacheManager::new(
+            topo,
+            NetworkModel::slingshot(),
+            CacheConfig::new(2, dram, 1 << 30),
+            BackingStore::default_store(),
+        );
         for n in &names {
             c.put(RankId(0), n, obj.clone());
         }
@@ -103,7 +128,10 @@ fn main() {
             micro(total_cost / accesses as f64),
         ]);
     }
-    table(&["configuration", "cache hit rate", "DRAM hits", "NVMe hits", "backing", "mean access"], &rows);
+    table(
+        &["configuration", "cache hit rate", "DRAM hits", "NVMe hits", "backing", "mean access"],
+        &rows,
+    );
 
     // ---- 3. placement policies ----------------------------------------------
     section("X3c: placement policy under node-0-heavy access");
@@ -115,7 +143,8 @@ fn main() {
     ] {
         let mut cfg = CacheConfig::new(2, 64 << 20, 1 << 30);
         cfg.policy = policy;
-        let c = CacheManager::new(topo, NetworkModel::slingshot(), cfg, BackingStore::default_store());
+        let c =
+            CacheManager::new(topo, NetworkModel::slingshot(), cfg, BackingStore::default_store());
         // Producer/consumer both live on node 0.
         for n in names.iter().take(100) {
             c.put(RankId(0), n, obj.clone());

@@ -80,7 +80,7 @@ fn main() {
     let mut cost = 0.0;
     for i in 0..n_objects {
         let name = format!("vina/{i}");
-        let consumer_node = NodeId((i % 4) as u32);
+        let consumer_node = NodeId(i % 4);
         cost += c.relocate(&name, consumer_node).unwrap_or(0.0);
         let rank = RankId(consumer_node.0 * 8);
         for _ in 0..reads_per_object {
@@ -88,7 +88,11 @@ fn main() {
         }
     }
     let relocated = cost / (n_objects * reads_per_object) as f64;
-    rows.push(vec!["relocate-then-run".into(), micro(relocated), format!("{:.1}x", blind / relocated)]);
+    rows.push(vec![
+        "relocate-then-run".into(),
+        micro(relocated),
+        format!("{:.1}x", blind / relocated),
+    ]);
 
     table(&["schedule", "mean access (amortized)", "speedup"], &rows);
     println!("\nshape check: locality-aware ≈ relocate-then-run ≪ locality-blind —");

@@ -45,8 +45,10 @@ fn main() {
             ],
         ],
     );
-    println!("\nper-ratio allocations: 1x ranks -> {}, 2x -> {}, 3x -> {}",
-        thr_plan.targets[0], thr_plan.targets[500], thr_plan.targets[800]);
+    println!(
+        "\nper-ratio allocations: 1x ranks -> {}, 2x -> {}, 3x -> {}",
+        thr_plan.targets[0], thr_plan.targets[500], thr_plan.targets[800]
+    );
 
     section("X1b: end-to-end on the engine (heterogeneous UDF)");
     // A UDF whose cost depends on which *node* runs it: nodes 0..N/2 are
@@ -94,7 +96,11 @@ fn main() {
         inst.query(q).expect("warm-up");
         inst.reset_clocks();
         let out = inst.query(q).expect("measured run");
-        rows.push(vec![label.to_string(), secs(out.breakdown.filter_secs), out.solutions.len().to_string()]);
+        rows.push(vec![
+            label.to_string(),
+            secs(out.breakdown.filter_secs),
+            out.solutions.len().to_string(),
+        ]);
     }
     table(&["re-balance mode", "FILTER time (s)", "rows"], &rows);
     println!("\nshape check: none > count-based >= throughput-based");

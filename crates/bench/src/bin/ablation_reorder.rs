@@ -79,12 +79,18 @@ fn main() {
                  FILTER(costly_weak(?s) && mid_weak(?s) && cheap_selective(?s)) }";
 
     let mut rows = Vec::new();
-    for (label, reorder) in [("user order (reorder off)", false), ("planner order (reorder on)", true)] {
+    for (label, reorder) in
+        [("user order (reorder off)", false), ("planner order (reorder on)", true)]
+    {
         let (mut inst, cheap, mid, costly) = build_instance(reorder);
         // Two passes: pass 1 builds profiles, pass 2 is the measured run
         // (the paper's profiles persist across queries).
         inst.query(query).expect("profiling pass");
-        let c0 = (cheap.load(Ordering::Relaxed), mid.load(Ordering::Relaxed), costly.load(Ordering::Relaxed));
+        let c0 = (
+            cheap.load(Ordering::Relaxed),
+            mid.load(Ordering::Relaxed),
+            costly.load(Ordering::Relaxed),
+        );
         inst.reset_clocks();
         let out = inst.query(query).expect("measured pass");
         let calls = (

@@ -17,7 +17,7 @@
 //! Usage: `fig4_scaling [--quick]` (quick = smaller bulk band).
 
 use ids_bench::ncnpr_setup::{build_ncnpr_instance, NcnprBenchOptions};
-use ids_bench::reporting::{secs, section, table};
+use ids_bench::reporting::{metrics_dump, secs, section, table};
 use ids_core::workflow::{repurposing_query, RepurposingThresholds};
 
 fn main() {
@@ -33,12 +33,10 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut breakdown_rows = Vec::new();
+    let mut last_snapshot = None;
     for nodes in [64u32, 128, 256] {
-        let bench = build_ncnpr_instance(NcnprBenchOptions {
-            nodes,
-            bulk,
-            ..NcnprBenchOptions::default()
-        });
+        let bench =
+            build_ncnpr_instance(NcnprBenchOptions { nodes, bulk, ..NcnprBenchOptions::default() });
         let mut inst = bench.inst;
         // Warm the profiler so re-balancing/reordering have data, as a
         // long-running instance would (the paper's profiles accumulate
@@ -63,13 +61,11 @@ fn main() {
             secs(docking),
             secs(out.breakdown.gather_secs),
         ]);
+        last_snapshot = Some(inst.metrics_snapshot());
     }
 
     println!("Figure 4(a): end-to-end scaling");
-    table(
-        &["nodes", "ranks", "docked", "total (s)", "docking (s)", "excl. docking (s)"],
-        &rows,
-    );
+    table(&["nodes", "ranks", "docked", "total (s)", "docking (s)", "excl. docking (s)"], &rows);
 
     println!("\nFigure 4(b): per-stage breakdown (virtual seconds)");
     table(
@@ -81,4 +77,8 @@ fn main() {
     println!("  - docking roughly constant across node counts, dominant at 256 nodes");
     println!("  - non-docking time decreases with node count");
     println!("  - scan/join gains flatten as shards empty out (ranks exhaust work)");
+
+    if let Some(snap) = last_snapshot {
+        metrics_dump("ids-obs metrics (256-node run)", &snap);
+    }
 }

@@ -33,11 +33,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for nodes in [64u32, 128, 256] {
-        let bench = build_ncnpr_instance(NcnprBenchOptions {
-            nodes,
-            bulk,
-            ..NcnprBenchOptions::default()
-        });
+        let bench =
+            build_ncnpr_instance(NcnprBenchOptions { nodes, bulk, ..NcnprBenchOptions::default() });
         let mut inst = bench.inst;
         let out = inst.query(&filter_only).expect("query runs");
         rows.push(vec![
@@ -56,14 +53,19 @@ fn main() {
     let mut rng = ids_simrt::rng::SplitMix64::new(0xf5, 1);
     let target = ids_chem::ProteinSequence::random(412, &mut rng);
     let gen = ids_models::MoleculeGenerator::default_model(9);
-    let mut costs: Vec<f64> = (0..200)
-        .map(|i| model.predict(&target, &gen.generate(i).smiles).virtual_secs)
-        .collect();
+    let mut costs: Vec<f64> =
+        (0..200).map(|i| model.predict(&target, &gen.generate(i).smiles).virtual_secs).collect();
     costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| costs[((costs.len() - 1) as f64 * p) as usize];
     table(
         &["p10", "p50", "p90", "p99", "max"],
-        &[vec![secs(pct(0.10)), secs(pct(0.50)), secs(pct(0.90)), secs(pct(0.99)), secs(*costs.last().unwrap())]],
+        &[vec![
+            secs(pct(0.10)),
+            secs(pct(0.50)),
+            secs(pct(0.90)),
+            secs(pct(0.99)),
+            secs(*costs.last().unwrap()),
+        ]],
     );
     let tail_ratio = costs.last().unwrap() / pct(0.50);
     println!("\ntail/median ratio: {tail_ratio:.2}x (heavy tail justifies per-rank re-balancing)");

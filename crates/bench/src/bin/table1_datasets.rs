@@ -36,10 +36,7 @@ fn main() {
             ]
         })
         .collect();
-    table(
-        &["Dataset", "Raw Size (est)", "Triples (gen)", "Paper Raw", "Paper Triples"],
-        &rows,
-    );
+    table(&["Dataset", "Raw Size (est)", "Triples (gen)", "Paper Raw", "Paper Triples"], &rows);
 
     let total_gen: u64 = stats.iter().map(|s| s.triples).sum();
     let total_paper: u64 = SourceKind::ALL.iter().map(|k| k.paper_triples()).sum();

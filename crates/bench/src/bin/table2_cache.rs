@@ -15,7 +15,7 @@
 //! Usage: `table2_cache [--quick]` (quick = skip the 0.20 row).
 
 use ids_bench::ncnpr_setup::{build_ncnpr_instance, NcnprBenchOptions};
-use ids_bench::reporting::{secs, section, table};
+use ids_bench::reporting::{metrics_dump, secs, section, table};
 use ids_cache::{BackingStore, CacheConfig, CacheManager};
 use ids_core::workflow::{repurposing_query, RepurposingThresholds};
 use ids_simrt::{NetworkModel, Topology};
@@ -40,8 +40,11 @@ fn main() {
         BackingStore::default_store(),
     ));
 
-    let thresholds: &[f64] =
-        if quick { &[0.99, 0.90, 0.80, 0.50, 0.40] } else { &[0.99, 0.90, 0.80, 0.70, 0.60, 0.50, 0.40, 0.20] };
+    let thresholds: &[f64] = if quick {
+        &[0.99, 0.90, 0.80, 0.50, 0.40]
+    } else {
+        &[0.99, 0.90, 0.80, 0.70, 0.60, 0.50, 0.40, 0.20]
+    };
 
     let mut rows = Vec::new();
     for &sw in thresholds {
@@ -96,7 +99,13 @@ fn main() {
 
     println!();
     table(
-        &["Selectivity", "Compounds", "query time (s) (w/out caching)", "query time (s) (with caching)", "speedup"],
+        &[
+            "Selectivity",
+            "Compounds",
+            "query time (s) (w/out caching)",
+            "query time (s) (with caching)",
+            "speedup",
+        ],
         &rows,
     );
 
@@ -130,4 +139,6 @@ fn main() {
     table(&["Selectivity", "Compounds", "query time (s)"], &sweep_rows);
     println!("\n(each row re-docks only the compounds its threshold newly admits — the");
     println!(" tight band cached at 0.99 is reused by every later query)");
+
+    metrics_dump("ids-obs metrics (shared sweep cache)", &cache.metrics().snapshot());
 }

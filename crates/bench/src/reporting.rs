@@ -1,5 +1,50 @@
 //! Table/figure rendering helpers shared by the experiment binaries.
 
+use ids_obs::{MetricKey, MetricsSnapshot};
+
+/// Per-rank UDF profile series (`udf="r<N>/<name>"`) are one line *per
+/// rank*: at paper scale (8192 ranks) they would swamp the report. The
+/// merged (`udf="<name>"`) series carry the totals, so the dump keeps
+/// those and summarizes the per-rank series with one count line.
+fn is_per_rank(key: &MetricKey) -> bool {
+    key.label_key == "udf"
+        && key.label_value.split_once('/').is_some_and(|(rank, _)| {
+            rank.strip_prefix('r').is_some_and(|n| n.parse::<u32>().is_ok())
+        })
+}
+
+/// Dump an `ids-obs` snapshot after an experiment's report: counters and
+/// gauges as `name{labels} value` lines, histograms as count/mean. Keeps
+/// experiment outputs self-describing without scraping an endpoint.
+pub fn metrics_dump(title: &str, snapshot: &MetricsSnapshot) {
+    section(title);
+    if snapshot.is_empty() {
+        println!("(no metrics recorded)");
+        return;
+    }
+    let mut per_rank = 0usize;
+    for (key, v) in &snapshot.counters {
+        if is_per_rank(key) {
+            per_rank += 1;
+        } else {
+            println!("{} {v}", key.render());
+        }
+    }
+    for (key, v) in &snapshot.gauges {
+        if is_per_rank(key) {
+            per_rank += 1;
+        } else {
+            println!("{} {v}", key.render());
+        }
+    }
+    for (key, h) in &snapshot.histograms {
+        println!("{} count={} mean={:.6} max={:.6}", key.render(), h.count, h.mean(), h.max);
+    }
+    if per_rank > 0 {
+        println!("({per_rank} per-rank udf series suppressed; merged totals shown above)");
+    }
+}
+
 /// Print a boxed section header so experiment output is easy to scan.
 pub fn section(title: &str) {
     let bar = "=".repeat(title.len() + 4);

@@ -17,6 +17,7 @@
 //! correctness is real; only the *timing* is modelled.
 
 use bytes::{Bytes, BytesMut};
+use ids_obs::{Counter, MetricsRegistry};
 use ids_simrt::net::NetworkModel;
 use ids_simrt::topology::{NodeId, RankId, Topology};
 use parking_lot::Mutex;
@@ -50,13 +51,40 @@ impl std::fmt::Display for FamError {
         match self {
             FamError::UnknownRegion(r) => write!(f, "unknown FAM region {r:?}"),
             FamError::OutOfBounds { region, offset, len, size } => {
-                write!(f, "access [{offset}, {}) out of bounds for region {region:?} of size {size}", offset + len)
+                write!(
+                    f,
+                    "access [{offset}, {}) out of bounds for region {region:?} of size {size}",
+                    offset + len
+                )
             }
         }
     }
 }
 
 impl std::error::Error for FamError {}
+
+/// Pre-resolved transfer counters (read/write directions).
+struct FamMetrics {
+    registry: MetricsRegistry,
+    read_bytes: Counter,
+    write_bytes: Counter,
+    reads: Counter,
+    writes: Counter,
+    atomics: Counter,
+}
+
+impl FamMetrics {
+    fn new(registry: MetricsRegistry) -> Self {
+        Self {
+            read_bytes: registry.counter_with("ids_fam_transfer_bytes_total", "dir", "read"),
+            write_bytes: registry.counter_with("ids_fam_transfer_bytes_total", "dir", "write"),
+            reads: registry.counter_with("ids_fam_ops_total", "op", "get"),
+            writes: registry.counter_with("ids_fam_ops_total", "op", "put"),
+            atomics: registry.counter_with("ids_fam_ops_total", "op", "atomic"),
+            registry,
+        }
+    }
+}
 
 /// The FAM layer: allocated regions plus the fabric cost model.
 pub struct FamLayer {
@@ -66,12 +94,24 @@ pub struct FamLayer {
     /// (exposed so the cache manager shares one cost source).
     regions: Mutex<HashMap<FamRegionId, Region>>,
     next_id: Mutex<u64>,
+    metrics: FamMetrics,
 }
 
 impl FamLayer {
     /// Create a FAM layer over a topology and network model.
     pub fn new(topo: Topology, net: NetworkModel) -> Self {
-        Self { topo, net, regions: Mutex::new(HashMap::new()), next_id: Mutex::new(0) }
+        Self {
+            topo,
+            net,
+            regions: Mutex::new(HashMap::new()),
+            next_id: Mutex::new(0),
+            metrics: FamMetrics::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// The layer's `ids-obs` registry (transfer byte and op counters).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics.registry
     }
 
     /// Allocate a zeroed region of `size` bytes on `node`.
@@ -106,7 +146,12 @@ impl FamLayer {
         }
     }
 
-    fn check_bounds(region: &Region, id: FamRegionId, offset: u64, len: u64) -> Result<(), FamError> {
+    fn check_bounds(
+        region: &Region,
+        id: FamRegionId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), FamError> {
         let size = region.data.len() as u64;
         if offset + len > size {
             return Err(FamError::OutOfBounds { region: id, offset, len, size });
@@ -127,6 +172,8 @@ impl FamLayer {
         Self::check_bounds(region, id, offset, data.len() as u64)?;
         region.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
         let cost = self.transfer_cost(from, region.node, data.len() as u64);
+        self.metrics.writes.inc();
+        self.metrics.write_bytes.add(data.len() as u64);
         Ok(FamAccess { value: (), virtual_secs: cost })
     }
 
@@ -143,6 +190,8 @@ impl FamLayer {
         Self::check_bounds(region, id, offset, len)?;
         let bytes = Bytes::copy_from_slice(&region.data[offset as usize..(offset + len) as usize]);
         let cost = self.transfer_cost(from, region.node, len);
+        self.metrics.reads.inc();
+        self.metrics.read_bytes.add(len);
         Ok(FamAccess { value: bytes, virtual_secs: cost })
     }
 
@@ -167,6 +216,7 @@ impl FamLayer {
         }
         // Atomics are latency-bound (8 bytes is below any bandwidth term).
         let cost = self.transfer_cost(from, region.node, 8);
+        self.metrics.atomics.inc();
         Ok(FamAccess { value: current, virtual_secs: cost })
     }
 
@@ -185,6 +235,7 @@ impl FamLayer {
         let current = u64::from_le_bytes(slot.try_into().expect("8-byte slice"));
         slot.copy_from_slice(&current.wrapping_add(delta).to_le_bytes());
         let cost = self.transfer_cost(from, region.node, 8);
+        self.metrics.atomics.inc();
         Ok(FamAccess { value: current, virtual_secs: cost })
     }
 }
@@ -258,6 +309,22 @@ mod tests {
         assert_eq!(fam.fetch_add(RankId(1), region, 0, 7).unwrap().value, 5);
         let now = fam.get(RankId(0), region, 0, 8).unwrap().value;
         assert_eq!(u64::from_le_bytes(now[..].try_into().unwrap()), 12);
+    }
+
+    #[test]
+    fn transfer_metrics_count_bytes_and_ops() {
+        let fam = layer();
+        let region = fam.allocate(NodeId(1), 1024);
+        fam.put(RankId(0), region, 0, &[7u8; 100]).unwrap();
+        fam.get(RankId(0), region, 0, 40).unwrap();
+        fam.get(RankId(0), region, 40, 60).unwrap();
+        fam.fetch_add(RankId(0), region, 512, 1).unwrap();
+        let snap = fam.metrics().snapshot();
+        assert_eq!(snap.counter("ids_fam_transfer_bytes_total", "write"), 100);
+        assert_eq!(snap.counter("ids_fam_transfer_bytes_total", "read"), 100);
+        assert_eq!(snap.counter("ids_fam_ops_total", "put"), 1);
+        assert_eq!(snap.counter("ids_fam_ops_total", "get"), 2);
+        assert_eq!(snap.counter("ids_fam_ops_total", "atomic"), 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::backing::BackingStore;
 use crate::object::{object_id, ObjectMeta};
 use crate::policy::PlacementPolicy;
 use bytes::Bytes;
+use ids_obs::{Counter, Gauge, MetricsRegistry};
 use ids_simrt::net::NetworkModel;
 use ids_simrt::topology::{NodeId, RankId, Topology};
 use parking_lot::Mutex;
@@ -128,6 +129,68 @@ struct State {
     placement_counter: u64,
 }
 
+/// Pre-resolved `ids-obs` handles for the cache's fixed label set, so
+/// the hot path bumps atomics without touching the registry maps.
+struct CacheMetrics {
+    registry: MetricsRegistry,
+    hits: [Counter; 4], // indexed by tier_slot(): local/remote DRAM, local/remote NVMe
+    backing_fetches: Counter,
+    misses: Counter,
+    inserts_dram: Counter,
+    inserts_nvme: Counter,
+    spills: Counter,
+    evictions_dram: Counter,
+    evictions_nvme: Counter,
+    evicted_bytes_dram: Counter,
+    evicted_bytes_nvme: Counter,
+    size_dram: Gauge,
+    size_nvme: Gauge,
+}
+
+impl CacheMetrics {
+    fn new(registry: MetricsRegistry) -> Self {
+        let hit = |tier| registry.counter_with("ids_cache_lookup_hits_total", "tier", tier);
+        Self {
+            hits: [hit("local_dram"), hit("remote_dram"), hit("local_nvme"), hit("remote_nvme")],
+            backing_fetches: hit("backing"),
+            misses: registry.counter("ids_cache_lookup_misses_total"),
+            inserts_dram: registry.counter_with("ids_cache_inserts_total", "tier", "dram"),
+            inserts_nvme: registry.counter_with("ids_cache_inserts_total", "tier", "nvme"),
+            spills: registry.counter("ids_cache_spills_total"),
+            evictions_dram: registry.counter_with("ids_cache_evictions_total", "tier", "dram"),
+            evictions_nvme: registry.counter_with("ids_cache_evictions_total", "tier", "nvme"),
+            evicted_bytes_dram: registry.counter_with(
+                "ids_cache_evicted_bytes_total",
+                "tier",
+                "dram",
+            ),
+            evicted_bytes_nvme: registry.counter_with(
+                "ids_cache_evicted_bytes_total",
+                "tier",
+                "nvme",
+            ),
+            size_dram: registry.gauge_with("ids_cache_size_bytes", "tier", "dram"),
+            size_nvme: registry.gauge_with("ids_cache_size_bytes", "tier", "nvme"),
+            registry,
+        }
+    }
+
+    fn tier_hit(&self, tier: Tier) {
+        match tier {
+            Tier::LocalDram => self.hits[0].inc(),
+            Tier::RemoteDram => self.hits[1].inc(),
+            Tier::LocalNvme => self.hits[2].inc(),
+            Tier::RemoteNvme => self.hits[3].inc(),
+            Tier::Backing => self.backing_fetches.inc(),
+        }
+    }
+
+    fn update_sizes(&self, st: &State) {
+        self.size_dram.set(st.dram.iter().map(|t| t.used).sum::<u64>() as i64);
+        self.size_nvme.set(st.nvme.iter().map(|t| t.used).sum::<u64>() as i64);
+    }
+}
+
 /// The distributed cache manager.
 pub struct CacheManager {
     cfg: CacheConfig,
@@ -136,6 +199,7 @@ pub struct CacheManager {
     backing: BackingStore,
     state: Mutex<State>,
     stats: Mutex<CacheStats>,
+    metrics: CacheMetrics,
 }
 
 impl CacheManager {
@@ -150,12 +214,26 @@ impl CacheManager {
             clock: 0,
             placement_counter: 0,
         };
-        Self { cfg, topo, net, backing, state: Mutex::new(state), stats: Mutex::new(CacheStats::default()) }
+        Self {
+            cfg,
+            topo,
+            net,
+            backing,
+            state: Mutex::new(state),
+            stats: Mutex::new(CacheStats::default()),
+            metrics: CacheMetrics::new(MetricsRegistry::new()),
+        }
     }
 
     /// The cache's configuration.
     pub fn config(&self) -> &CacheConfig {
         &self.cfg
+    }
+
+    /// The cache's `ids-obs` registry (tier hit/insert/eviction counters
+    /// and per-tier resident-size gauges).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics.registry
     }
 
     /// Statistics snapshot.
@@ -205,11 +283,8 @@ impl CacheManager {
                 st.nvme[ni].used -= e.data.len() as u64;
             }
         }
-        let free: Vec<u64> = st
-            .dram
-            .iter()
-            .map(|t| self.cfg.dram_capacity.saturating_sub(t.used))
-            .collect();
+        let free: Vec<u64> =
+            st.dram.iter().map(|t| self.cfg.dram_capacity.saturating_sub(t.used)).collect();
         let node = self.cfg.policy.place(self.topo.node_of(from), &free, st.placement_counter - 1);
         cost += self.dram_transfer(from, node, size);
         self.insert_dram(&mut st, node, name, data);
@@ -237,10 +312,15 @@ impl CacheManager {
             let e = st.dram[ni].entries.remove(&victim).expect("victim present");
             st.dram[ni].used -= e.data.len() as u64;
             self.stats.lock().evictions_to_nvme += 1;
+            self.metrics.spills.inc();
+            self.metrics.evictions_dram.inc();
+            self.metrics.evicted_bytes_dram.add(e.data.len() as u64);
             self.insert_nvme(st, node, &victim, e.data);
         }
         st.dram[ni].used += size;
         st.dram[ni].entries.insert(name.to_string(), Entry { data, last_access: clock });
+        self.metrics.inserts_dram.inc();
+        self.metrics.update_sizes(st);
     }
 
     fn insert_nvme(&self, st: &mut State, node: NodeId, name: &str, data: Bytes) {
@@ -258,9 +338,13 @@ impl CacheManager {
             let e = st.nvme[ni].entries.remove(&victim).expect("victim present");
             st.nvme[ni].used -= e.data.len() as u64;
             self.stats.lock().evictions_dropped += 1;
+            self.metrics.evictions_nvme.inc();
+            self.metrics.evicted_bytes_nvme.add(e.data.len() as u64);
         }
         st.nvme[ni].used += size;
         st.nvme[ni].entries.insert(name.to_string(), Entry { data, last_access: clock });
+        self.metrics.inserts_nvme.inc();
+        self.metrics.update_sizes(st);
     }
 
     /// Store an object with a user-provided placement hint (§3.2: the
@@ -355,6 +439,7 @@ impl CacheManager {
                 } else {
                     stats.remote_dram_hits += 1;
                 }
+                self.metrics.tier_hit(tier);
                 return Some((data, CacheOutcome { tier, virtual_secs: cost }));
             }
         }
@@ -374,6 +459,7 @@ impl CacheManager {
                     } else {
                         stats.remote_nvme_hits += 1;
                     }
+                    self.metrics.tier_hit(tier);
                 }
                 // Promote hot NVMe objects back to DRAM on the serving node.
                 let promoted = data.clone();
@@ -387,11 +473,9 @@ impl CacheManager {
         match fetched.value {
             Some(data) => {
                 self.stats.lock().backing_fetches += 1;
-                let free: Vec<u64> = st
-                    .dram
-                    .iter()
-                    .map(|t| self.cfg.dram_capacity.saturating_sub(t.used))
-                    .collect();
+                self.metrics.tier_hit(Tier::Backing);
+                let free: Vec<u64> =
+                    st.dram.iter().map(|t| self.cfg.dram_capacity.saturating_sub(t.used)).collect();
                 st.placement_counter += 1;
                 let counter = st.placement_counter - 1;
                 let node = self.cfg.policy.place(my_node, &free, counter);
@@ -403,6 +487,7 @@ impl CacheManager {
             }
             None => {
                 self.stats.lock().total_misses += 1;
+                self.metrics.misses.inc();
                 None
             }
         }
@@ -428,7 +513,8 @@ impl CacheManager {
     pub fn meta(&self, name: &str) -> Option<ObjectMeta> {
         let st = self.state.lock();
         for ni in 0..self.cfg.cache_nodes {
-            if let Some(e) = st.dram[ni].entries.get(name).or_else(|| st.nvme[ni].entries.get(name)) {
+            if let Some(e) = st.dram[ni].entries.get(name).or_else(|| st.nvme[ni].entries.get(name))
+            {
                 return Some(ObjectMeta {
                     name: name.to_string(),
                     id: object_id(name),
@@ -450,6 +536,7 @@ impl CacheManager {
             st.dram[ni] = TierState::new();
             st.nvme[ni] = TierState::new();
         }
+        self.metrics.update_sizes(&st);
     }
 
     /// Drop an object from every cache tier (backing copy untouched).
@@ -463,6 +550,7 @@ impl CacheManager {
                 st.nvme[ni].used -= e.data.len() as u64;
             }
         }
+        self.metrics.update_sizes(&st);
     }
 }
 
@@ -559,7 +647,12 @@ mod tests {
         c2.put(RankId(0), "x", payload(big, 7));
         let (_, nvme) = c2.get(RankId(0), "x").unwrap();
         assert_eq!(nvme.tier, Tier::LocalNvme);
-        assert!(remote_dram.virtual_secs < nvme.virtual_secs, "{} < {}", remote_dram.virtual_secs, nvme.virtual_secs);
+        assert!(
+            remote_dram.virtual_secs < nvme.virtual_secs,
+            "{} < {}",
+            remote_dram.virtual_secs,
+            nvme.virtual_secs
+        );
         // Backing slowest.
         let c3 = cache(1, 1);
         c3.put(RankId(0), "x", payload(big, 7));
@@ -659,6 +752,47 @@ mod tests {
         assert_eq!(c.relocate("obj", NodeId(1)), Some(0.0));
         assert_eq!(c.relocate("ghost", NodeId(0)), None);
         assert_eq!(c.relocate("obj", NodeId(9)), None);
+    }
+
+    #[test]
+    fn obs_metrics_track_tier_activity() {
+        let c = cache(2048, 1 << 20);
+        c.put(RankId(0), "a", payload(1000, 1));
+        c.put(RankId(0), "b", payload(1000, 2));
+        c.put(RankId(0), "c", payload(1000, 3)); // spills LRU ("a") to NVMe
+        c.get(RankId(0), "a").unwrap(); // NVMe hit (promotes "a", spilling "b")
+        c.get(RankId(0), "a").unwrap(); // DRAM hit
+        c.get(RankId(6), "a").unwrap(); // remote DRAM hit
+        c.get(RankId(0), "b").unwrap(); // NVMe hit
+        assert!(c.get(RankId(0), "ghost").is_none());
+
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counter("ids_cache_lookup_hits_total", "local_dram"), 1);
+        assert_eq!(snap.counter("ids_cache_lookup_hits_total", "remote_dram"), 1);
+        assert_eq!(snap.counter("ids_cache_lookup_hits_total", "local_nvme"), 2);
+        assert_eq!(snap.counter("ids_cache_lookup_misses_total", ""), 1);
+        assert!(snap.counter("ids_cache_spills_total", "") >= 1);
+        assert_eq!(
+            snap.counter("ids_cache_spills_total", ""),
+            snap.counter("ids_cache_evictions_total", "dram")
+        );
+        assert!(snap.counter("ids_cache_evicted_bytes_total", "dram") >= 1000);
+        assert!(snap.counter("ids_cache_inserts_total", "dram") >= 3);
+
+        // Gauges reflect resident bytes, consistent with stats.
+        let dram = snap
+            .gauges
+            .iter()
+            .find(|(k, _)| k.name == "ids_cache_size_bytes" && k.label_value == "dram")
+            .unwrap()
+            .1;
+        assert!(*dram > 0 && *dram <= 2048 * 2);
+
+        // Prometheus exposition carries the tier counters.
+        let text = c.metrics().render_prometheus();
+        assert!(text.contains("ids_cache_lookup_hits_total{tier=\"local_dram\"} 1"));
+        assert!(text.contains("ids_cache_lookup_hits_total{tier=\"local_nvme\"} 2"));
+        assert!(text.contains("# TYPE ids_cache_size_bytes gauge"));
     }
 
     #[test]

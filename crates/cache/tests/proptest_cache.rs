@@ -21,8 +21,12 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..12, 1u16..2048, any::<u8>(), 0u8..16)
-            .prop_map(|(key, len, tag, rank)| Op::Put { key, len, tag, rank }),
+        (0u8..12, 1u16..2048, any::<u8>(), 0u8..16).prop_map(|(key, len, tag, rank)| Op::Put {
+            key,
+            len,
+            tag,
+            rank
+        }),
         (0u8..12, 0u8..16).prop_map(|(key, rank)| Op::Get { key, rank }),
         (0u8..12).prop_map(|key| Op::Invalidate { key }),
         (0u8..2).prop_map(|node| Op::FailNode { node }),

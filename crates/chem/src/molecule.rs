@@ -88,10 +88,7 @@ impl Molecule {
     pub fn add_bond(&mut self, a: usize, b: usize, order: BondOrder) -> usize {
         assert!(a < self.atoms.len() && b < self.atoms.len(), "bond endpoint out of range");
         assert_ne!(a, b, "self-bonds are not allowed");
-        assert!(
-            !self.adjacency[a].iter().any(|&(n, _)| n == b),
-            "duplicate bond {a}-{b}"
-        );
+        assert!(!self.adjacency[a].iter().any(|&(n, _)| n == b), "duplicate bond {a}-{b}");
         let idx = self.bonds.len();
         self.bonds.push(Bond { a, b, order });
         self.adjacency[a].push((b, idx));
@@ -199,9 +196,7 @@ impl Molecule {
     /// Lipinski hydrogen-bond donor count: N–H and O–H groups.
     pub fn hbond_donors(&self) -> usize {
         (0..self.atoms.len())
-            .filter(|&i| {
-                self.atoms[i].element.is_hbond_acceptor() && self.implicit_h(i) > 0
-            })
+            .filter(|&i| self.atoms[i].element.is_hbond_acceptor() && self.implicit_h(i) > 0)
             .count()
     }
 
@@ -252,7 +247,7 @@ impl Molecule {
                 Element::H => 0.0,
             };
             logp += self.implicit_h(i) as f64 * 0.12;
-            logp += atom.charge.unsigned_abs() as f64 * -1.0;
+            logp += -(atom.charge.unsigned_abs() as f64);
         }
         logp
     }
@@ -266,7 +261,11 @@ impl Molecule {
             tpsa += match atom.element {
                 Element::N => {
                     if h > 0 {
-                        if atom.aromatic { 15.8 } else { 12.0 + 9.0 * h as f64 }
+                        if atom.aromatic {
+                            15.8
+                        } else {
+                            12.0 + 9.0 * h as f64
+                        }
                     } else if atom.aromatic {
                         12.9
                     } else {

@@ -187,7 +187,9 @@ mod tests {
         let a = ProteinSequence::parse("G").unwrap();
         let b = ProteinSequence::parse("GG").unwrap();
         assert!(a.molecular_mass() > 57.0);
-        assert!((b.molecular_mass() - a.molecular_mass() - AminoAcid::Gly.residue_mass()).abs() < 1e-9);
+        assert!(
+            (b.molecular_mass() - a.molecular_mass() - AminoAcid::Gly.residue_mass()).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -203,12 +205,7 @@ mod tests {
         let mut rng = SplitMix64::new(2, 2);
         let s = ProteinSequence::random(2000, &mut rng);
         let m = s.mutate(0.3, &mut rng);
-        let diff = s
-            .residues()
-            .iter()
-            .zip(m.residues())
-            .filter(|(a, b)| a != b)
-            .count();
+        let diff = s.residues().iter().zip(m.residues()).filter(|(a, b)| a != b).count();
         // 30% mutation attempts, 19/20 of which change the residue.
         let expect = 2000.0 * 0.3 * (19.0 / 20.0);
         assert!((diff as f64 - expect).abs() < 90.0, "diff {diff} vs expect {expect}");

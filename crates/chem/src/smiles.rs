@@ -143,7 +143,7 @@ impl<'a> Parser<'a> {
     fn parse_bracket_atom(&mut self) -> Result<Atom, SmilesError> {
         let open = self.pos;
         self.bump(); // consume '['
-        // Optional isotope.
+                     // Optional isotope.
         let mut isotope: u16 = 0;
         while let Some(b @ b'0'..=b'9') = self.peek() {
             isotope = isotope * 10 + (b - b'0') as u16;
@@ -310,8 +310,14 @@ impl<'a> Parser<'a> {
                 }
                 b'%' => {
                     self.pos += 1;
-                    let d1 = self.bump().filter(u8::is_ascii_digit).ok_or_else(|| self.err("'%' needs two digits"))?;
-                    let d2 = self.bump().filter(u8::is_ascii_digit).ok_or_else(|| self.err("'%' needs two digits"))?;
+                    let d1 = self
+                        .bump()
+                        .filter(u8::is_ascii_digit)
+                        .ok_or_else(|| self.err("'%' needs two digits"))?;
+                    let d2 = self
+                        .bump()
+                        .filter(u8::is_ascii_digit)
+                        .ok_or_else(|| self.err("'%' needs two digits"))?;
                     let d = ((d1 - b'0') * 10 + (d2 - b'0')) as usize;
                     self.handle_ring(d)?;
                 }
@@ -528,7 +534,9 @@ pub fn validate_smiles(input: &str) -> Result<(), SmilesError> {
         // Charged atoms gain capacity; aromatic systems get one unit of
         // slack for the 1.5-order rounding (e.g. pyrrole's [nH]).
         let aromatic_slack = if atom.aromatic { 1.0 } else { 0.0 };
-        let max = atom.element.default_valence() as f64 + atom.charge.unsigned_abs() as f64 + aromatic_slack;
+        let max = atom.element.default_valence() as f64
+            + atom.charge.unsigned_abs() as f64
+            + aromatic_slack;
         if used > max {
             return Err(SmilesError::new(
                 format!("atom {} ({}) exceeds valence: {used} > {max}", i, atom.element),
@@ -681,7 +689,8 @@ mod tests {
         ] {
             let m1 = parse_smiles(smi).unwrap_or_else(|e| panic!("parse {smi}: {e}"));
             let out = write_smiles(&m1);
-            let m2 = parse_smiles(&out).unwrap_or_else(|e| panic!("reparse {out} (from {smi}): {e}"));
+            let m2 =
+                parse_smiles(&out).unwrap_or_else(|e| panic!("reparse {out} (from {smi}): {e}"));
             assert_eq!(m1.atom_count(), m2.atom_count(), "{smi} -> {out}");
             assert_eq!(m1.bond_count(), m2.bond_count(), "{smi} -> {out}");
             assert_eq!(m1.ring_count(), m2.ring_count(), "{smi} -> {out}");

@@ -192,10 +192,7 @@ impl Structure3D {
     /// Panics on an empty structure.
     pub fn centroid(&self) -> Vec3 {
         assert!(!self.atoms.is_empty(), "centroid of empty structure");
-        let sum = self
-            .atoms
-            .iter()
-            .fold(Vec3::ZERO, |acc, a| acc + a.pos);
+        let sum = self.atoms.iter().fold(Vec3::ZERO, |acc, a| acc + a.pos);
         sum * (1.0 / self.atoms.len() as f64)
     }
 
@@ -238,7 +235,10 @@ impl Structure3D {
             atoms: self
                 .atoms
                 .iter()
-                .map(|a| PlacedAtom { element: a.element, pos: (a.pos - c).rotated(axis, angle) + c })
+                .map(|a| PlacedAtom {
+                    element: a.element,
+                    pos: (a.pos - c).rotated(axis, angle) + c,
+                })
                 .collect(),
         }
     }
@@ -277,10 +277,14 @@ impl Structure3D {
             if line.len() < 54 {
                 return Err(format!("line {}: truncated atom record", ln + 1));
             }
-            let x: f64 = line[30..38].trim().parse().map_err(|e| format!("line {}: bad x: {e}", ln + 1))?;
-            let y: f64 = line[38..46].trim().parse().map_err(|e| format!("line {}: bad y: {e}", ln + 1))?;
-            let z: f64 = line[46..54].trim().parse().map_err(|e| format!("line {}: bad z: {e}", ln + 1))?;
-            let elem_field = if line.len() >= 78 { line[76..78].trim() } else { line[12..16].trim() };
+            let x: f64 =
+                line[30..38].trim().parse().map_err(|e| format!("line {}: bad x: {e}", ln + 1))?;
+            let y: f64 =
+                line[38..46].trim().parse().map_err(|e| format!("line {}: bad y: {e}", ln + 1))?;
+            let z: f64 =
+                line[46..54].trim().parse().map_err(|e| format!("line {}: bad z: {e}", ln + 1))?;
+            let elem_field =
+                if line.len() >= 78 { line[76..78].trim() } else { line[12..16].trim() };
             let element = Element::from_symbol(elem_field)
                 .ok_or_else(|| format!("line {}: unknown element {:?}", ln + 1, elem_field))?;
             atoms.push(PlacedAtom { element, pos: Vec3::new(x, y, z) });

@@ -136,9 +136,8 @@ impl Datastore {
     /// insert `id → vector`.
     pub fn add_vector(&self, collection: &str, id: TermId, vector: &[f32]) {
         let mut map = self.vectors.write();
-        let store = map
-            .entry(collection.to_string())
-            .or_insert_with(|| VectorStore::new(vector.len()));
+        let store =
+            map.entry(collection.to_string()).or_insert_with(|| VectorStore::new(vector.len()));
         store.insert(id.raw(), vector);
     }
 
@@ -179,7 +178,13 @@ impl Datastore {
 
     /// Approximate top-k search over a collection's IVF index (L2).
     /// Falls back to exact search when no index has been built.
-    pub fn ann_search(&self, collection: &str, query: &[f32], k: usize, nprobe: usize) -> Vec<SearchHit> {
+    pub fn ann_search(
+        &self,
+        collection: &str,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+    ) -> Vec<SearchHit> {
         if let Some(index) = self.ann.read().get(collection) {
             return index.search(query, k, nprobe);
         }
@@ -220,9 +225,7 @@ mod tests {
     fn feature_face_keyed_by_entity() {
         let ds = Datastore::new(2);
         let c1 = ds.encode(&Term::iri("compound:1"));
-        ds.features()
-            .set(c1.raw(), "mw", ids_feature::FeatureValue::F64(180.2))
-            .unwrap();
+        ds.features().set(c1.raw(), "mw", ids_feature::FeatureValue::F64(180.2)).unwrap();
         assert_eq!(ds.features().get_f64(c1.raw(), "mw"), Some(180.2));
     }
 
@@ -248,7 +251,8 @@ mod tests {
         // With the index and a full probe, results match exact search.
         ds.build_ann_index("emb", 8, 42);
         let approx = ds.ann_search("emb", &probe, 5, 8);
-        let exact_ids: Vec<u64> = ds.similarity_search("emb", &probe, 5, Metric::L2).iter().map(|h| h.id).collect();
+        let exact_ids: Vec<u64> =
+            ds.similarity_search("emb", &probe, 5, Metric::L2).iter().map(|h| h.id).collect();
         let approx_ids: Vec<u64> = approx.iter().map(|h| h.id).collect();
         assert_eq!(exact_ids, approx_ids);
     }

@@ -22,6 +22,7 @@ use crate::datastore::Datastore;
 use crate::planner::{PhysicalPlan, PhysicalStage};
 use ids_graph::ops as gops;
 use ids_graph::{SolutionSet, TermId};
+use ids_obs::MetricsRegistry;
 use ids_simrt::rng::{fnv1a, hash_combine};
 use ids_simrt::{Cluster, RankId};
 use ids_udf::expr::EvalCtx;
@@ -31,7 +32,27 @@ use ids_udf::{
 };
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock a worker-error list even if a panicking worker poisoned it: the
+/// list is append-only strings, so the data is valid regardless of where
+/// the holder died. Poisoning must not turn a reportable query error
+/// into an executor crash.
+fn lock_errors(errors: &Mutex<Vec<String>>) -> MutexGuard<'_, Vec<String>> {
+    errors.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Render a panic payload (from [`catch_unwind`]) for an error message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
 
 thread_local! {
     static CURRENT_RANK: Cell<u32> = const { Cell::new(0) };
@@ -154,8 +175,23 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Record a finished operator stage into the observability registry: one
+/// sample in the per-stage duration histogram plus a virtual-clock span.
+fn record_stage(
+    metrics: &MetricsRegistry,
+    stage: &'static str,
+    start_secs: f64,
+    end_secs: f64,
+    detail: String,
+) {
+    metrics.histogram_with("ids_engine_stage_secs", "stage", stage).observe(end_secs - start_secs);
+    metrics.spans().record(stage, detail, start_secs, end_secs);
+}
+
 /// Execute a plan on the cluster. `profilers[r]` is rank r's UDF profile
 /// store, updated in place (it persists across queries, §2.4.1).
+/// `metrics` receives operator timings, spans, and reordering decisions.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_plan(
     cluster: &mut Cluster,
     ds: &Datastore,
@@ -163,6 +199,7 @@ pub fn execute_plan(
     profilers: &mut [UdfProfiler],
     plan: &PhysicalPlan,
     opts: &ExecOptions,
+    metrics: &MetricsRegistry,
 ) -> Result<QueryOutcome, ExecError> {
     let ranks = cluster.topology().total_ranks() as usize;
     assert_eq!(profilers.len(), ranks, "one profiler per rank");
@@ -170,6 +207,7 @@ pub fn execute_plan(
 
     let t0 = cluster.elapsed();
     let mut breakdown = StageBreakdown::default();
+    metrics.counter("ids_engine_queries_total").inc();
 
     // ---- BGP: scan + exchange + join per pattern -------------------------
     let mut current: Option<Vec<SolutionSet>> = None;
@@ -195,14 +233,20 @@ pub fn execute_plan(
             )
         });
         cluster.barrier();
-        breakdown.scan_secs += cluster.elapsed() - scan_start;
+        let scan_end = cluster.elapsed();
+        breakdown.scan_secs += scan_end - scan_start;
+        let scanned_rows: usize = scanned.iter().map(SolutionSet::len).sum();
+        record_stage(metrics, "scan", scan_start, scan_end, format!("{scanned_rows} rows"));
 
         current = Some(match current.take() {
             None => scanned,
             Some(existing) => {
                 let join_start = cluster.elapsed();
                 let joined = distributed_join(cluster, existing, scanned, opts);
-                breakdown.join_secs += cluster.elapsed() - join_start;
+                let join_end = cluster.elapsed();
+                breakdown.join_secs += join_end - join_start;
+                let joined_rows: usize = joined.iter().map(SolutionSet::len).sum();
+                record_stage(metrics, "join", join_start, join_end, format!("{joined_rows} rows"));
                 joined
             }
         });
@@ -225,9 +269,21 @@ pub fn execute_plan(
     if let Some(filter) = &plan.where_filter {
         let t = cluster.elapsed();
         solutions = run_filter_stage(
-            cluster, ds, registry, profilers, solutions, filter, opts, &mut breakdown, "filter",
+            cluster,
+            ds,
+            registry,
+            profilers,
+            solutions,
+            filter,
+            opts,
+            &mut breakdown,
+            "filter",
+            metrics,
         )?;
-        breakdown.filter_secs += cluster.elapsed() - t - take_rebalance_delta(&mut breakdown);
+        let end = cluster.elapsed();
+        breakdown.filter_secs += end - t - take_rebalance_delta(&mut breakdown);
+        let kept: usize = solutions.iter().map(SolutionSet::len).sum();
+        record_stage(metrics, "filter", t, end, format!("{kept} rows kept"));
     }
 
     // ---- Post-WHERE stages -------------------------------------------------
@@ -236,19 +292,41 @@ pub fn execute_plan(
             PhysicalStage::Filter(expr) => {
                 let t = cluster.elapsed();
                 solutions = run_filter_stage(
-                    cluster, ds, registry, profilers, solutions, expr, opts, &mut breakdown,
+                    cluster,
+                    ds,
+                    registry,
+                    profilers,
+                    solutions,
+                    expr,
+                    opts,
+                    &mut breakdown,
                     "stage-filter",
+                    metrics,
                 )?;
-                breakdown.filter_secs += cluster.elapsed() - t - take_rebalance_delta(&mut breakdown);
+                let end = cluster.elapsed();
+                breakdown.filter_secs += end - t - take_rebalance_delta(&mut breakdown);
+                let kept: usize = solutions.iter().map(SolutionSet::len).sum();
+                record_stage(metrics, "filter", t, end, format!("{kept} rows kept"));
             }
             PhysicalStage::Apply { udf, args, bind_as } => {
                 let t = cluster.elapsed();
                 solutions = run_apply_stage(
-                    cluster, ds, registry, profilers, solutions, udf, args, bind_as, opts,
+                    cluster,
+                    ds,
+                    registry,
+                    profilers,
+                    solutions,
+                    udf,
+                    args,
+                    bind_as,
+                    opts,
                     &mut breakdown,
+                    metrics,
                 )?;
-                let spent = cluster.elapsed() - t - take_rebalance_delta(&mut breakdown);
+                let end = cluster.elapsed();
+                let spent = end - t - take_rebalance_delta(&mut breakdown);
                 *breakdown.apply_secs.entry(udf.clone()).or_insert(0.0) += spent;
+                record_stage(metrics, "apply", t, end, udf.clone());
             }
         }
     }
@@ -258,14 +336,21 @@ pub fn execute_plan(
     let total_bytes: u64 = solutions.iter().map(SolutionSet::byte_size).sum();
     cluster.allgather_cost(total_bytes / ranks.max(1) as u64);
     breakdown.gather_secs = cluster.elapsed() - gather_start;
+    record_stage(
+        metrics,
+        "gather",
+        gather_start,
+        cluster.elapsed(),
+        format!("{total_bytes} bytes"),
+    );
 
     let mut gathered = gops::merge(solutions);
     // ORDER BY runs before projection so the sort variable need not be
     // projected; DISTINCT and LIMIT run after, on the final shape.
     if let Some((var, descending)) = &plan.order_by {
-        let idx = gathered
-            .var_index(var)
-            .ok_or_else(|| ExecError { message: format!("ORDER BY variable ?{var} is never bound") })?;
+        let idx = gathered.var_index(var).ok_or_else(|| ExecError {
+            message: format!("ORDER BY variable ?{var} is never bound"),
+        })?;
         let dict = ds.dictionary();
         let mut rows = gathered.take_rows();
         rows.sort_by(|a, b| {
@@ -285,7 +370,9 @@ pub fn execute_plan(
         let cols: Vec<&str> = plan.select.iter().map(String::as_str).collect();
         for c in &cols {
             if gathered.var_index(c).is_none() {
-                return Err(ExecError { message: format!("projected variable ?{c} is never bound") });
+                return Err(ExecError {
+                    message: format!("projected variable ?{c} is never bound"),
+                });
             }
         }
         gathered = gops::project(&gathered, &cols);
@@ -299,12 +386,11 @@ pub fn execute_plan(
         gathered = SolutionSet::new(vars, rows);
     }
 
-    Ok(QueryOutcome {
-        solutions: gathered,
-        elapsed_secs: cluster.elapsed() - t0,
-        breakdown,
-        pre_filter_counts,
-    })
+    let elapsed_secs = cluster.elapsed() - t0;
+    metrics.histogram("ids_engine_query_secs").observe(elapsed_secs);
+    metrics.spans().record("query", format!("{} solutions", gathered.len()), t0, cluster.elapsed());
+
+    Ok(QueryOutcome { solutions: gathered, elapsed_secs, breakdown, pre_filter_counts })
 }
 
 /// Total order over decoded terms for ORDER BY: numerics sort numerically
@@ -323,9 +409,7 @@ fn compare_terms(a: Option<&ids_graph::Term>, b: Option<&ids_graph::Term>) -> st
     };
     let (ka, va, sa) = key(a);
     let (kb, vb, sb) = key(b);
-    ka.cmp(&kb)
-        .then(va.partial_cmp(&vb).unwrap_or(Ordering::Equal))
-        .then(sa.cmp(&sb))
+    ka.cmp(&kb).then(va.partial_cmp(&vb).unwrap_or(Ordering::Equal)).then(sa.cmp(&sb))
 }
 
 // Rebalance time is recorded inside run_*_stage via this side channel so the
@@ -355,11 +439,8 @@ fn distributed_join(
     let ranks = left.len();
     let left_vars = left[0].vars().to_vec();
     let right_vars = right[0].vars().to_vec();
-    let shared: Vec<String> = left_vars
-        .iter()
-        .filter(|v| right_vars.contains(v))
-        .cloned()
-        .collect();
+    let shared: Vec<String> =
+        left_vars.iter().filter(|v| right_vars.contains(v)).cloned().collect();
 
     let (left, right, exchanged_bytes) = if shared.is_empty() {
         // Cross product: broadcast the smaller side to every rank.
@@ -407,11 +488,10 @@ fn distributed_join(
 /// Redistribute rows so equal join keys land on equal ranks.
 fn repartition_by_vars(sets: Vec<SolutionSet>, vars: &[String], ranks: usize) -> Vec<SolutionSet> {
     let schema = sets[0].vars().to_vec();
-    let key_idx: Vec<usize> = vars
-        .iter()
-        .map(|v| sets[0].var_index(v).expect("shared var present"))
-        .collect();
-    let mut out: Vec<SolutionSet> = (0..ranks).map(|_| SolutionSet::empty(schema.clone())).collect();
+    let key_idx: Vec<usize> =
+        vars.iter().map(|v| sets[0].var_index(v).expect("shared var present")).collect();
+    let mut out: Vec<SolutionSet> =
+        (0..ranks).map(|_| SolutionSet::empty(schema.clone())).collect();
     for mut set in sets {
         for row in set.take_rows() {
             let mut h = 0xA17C_E55Eu64;
@@ -453,9 +533,8 @@ fn apply_rebalance_plan(
     // surplus rows are often correlated (they came off the same source
     // rank, e.g. one similarity band), and stacking them on one deficit
     // rank would recreate the very straggler the plan is removing.
-    let deficits: Vec<usize> = (0..solutions.len())
-        .filter(|&r| solutions[r].len() < plan.targets[r] as usize)
-        .collect();
+    let deficits: Vec<usize> =
+        (0..solutions.len()).filter(|&r| solutions[r].len() < plan.targets[r] as usize).collect();
     if !deficits.is_empty() {
         let mut di = 0usize;
         'scatter: for row in surplus {
@@ -479,11 +558,7 @@ fn apply_rebalance_plan(
 
 /// Estimate each rank's throughput (solutions/second) through `expr` from
 /// its own profiling data — the per-rank estimates §2.4.2 exchanges.
-fn estimate_rates(
-    expr: &Expr,
-    profilers: &[UdfProfiler],
-    opts: &ExecOptions,
-) -> Vec<f64> {
+fn estimate_rates(expr: &Expr, profilers: &[UdfProfiler], opts: &ExecOptions) -> Vec<f64> {
     profilers
         .iter()
         .map(|p| {
@@ -492,14 +567,17 @@ fn estimate_rates(
             // Expected cost honoring short-circuit: conjuncts in profiled
             // cost order with their rejection rates.
             if let Expr::And(conjuncts) = expr {
-                let order = order_conjuncts(conjuncts, p, |_| opts.udf_cost_prior, opts.udf_rejection_prior);
+                let order = order_conjuncts(
+                    conjuncts,
+                    p,
+                    |_| opts.udf_cost_prior,
+                    opts.udf_rejection_prior,
+                );
                 let mut survive = 1.0;
                 for &i in &order {
                     let names = conjuncts[i].udf_names();
-                    let c: f64 = names
-                        .iter()
-                        .map(|n| p.estimated_cost(n, opts.udf_cost_prior))
-                        .sum();
+                    let c: f64 =
+                        names.iter().map(|n| p.estimated_cost(n, opts.udf_cost_prior)).sum();
                     let rej: f64 = names
                         .iter()
                         .map(|n| p.estimated_rejection(n, opts.udf_rejection_prior))
@@ -508,10 +586,8 @@ fn estimate_rates(
                     survive *= 1.0 - rej;
                 }
             } else {
-                per_solution += udfs
-                    .iter()
-                    .map(|n| p.estimated_cost(n, opts.udf_cost_prior))
-                    .sum::<f64>();
+                per_solution +=
+                    udfs.iter().map(|n| p.estimated_cost(n, opts.udf_cost_prior)).sum::<f64>();
             }
             1.0 / per_solution.max(1.0e-12)
         })
@@ -524,6 +600,7 @@ fn maybe_rebalance(
     expr: &Expr,
     profilers: &[UdfProfiler],
     opts: &ExecOptions,
+    metrics: &MetricsRegistry,
 ) -> Vec<SolutionSet> {
     let total: u64 = solutions.iter().map(|s| s.len() as u64).sum();
     if total == 0 {
@@ -532,10 +609,12 @@ fn maybe_rebalance(
     match opts.rebalance {
         RebalanceMode::None => solutions,
         RebalanceMode::CountBased => {
+            metrics.counter_with("ids_engine_rebalances_total", "mode", "count").inc();
             let plan = plan_count_based(total, solutions.len());
             apply_rebalance_plan(cluster, solutions, &plan)
         }
         RebalanceMode::ThroughputBased => {
+            metrics.counter_with("ids_engine_rebalances_total", "mode", "throughput").inc();
             let rates = estimate_rates(expr, profilers, opts);
             // Exchanging the per-rank estimates is an allreduce-sized
             // collective.
@@ -558,60 +637,82 @@ fn run_filter_stage(
     opts: &ExecOptions,
     _breakdown: &mut StageBreakdown,
     phase_name: &str,
+    metrics: &MetricsRegistry,
 ) -> Result<Vec<SolutionSet>, ExecError> {
-    let solutions = maybe_rebalance(cluster, solutions, expr, profilers, opts);
+    let solutions = maybe_rebalance(cluster, solutions, expr, profilers, opts, metrics);
     let dict = ds.dictionary().clone();
+
+    // §2.4.3 decision counters: did this rank's profile change the
+    // conjunct order, or confirm the written one? Pre-resolved handles so
+    // worker closures bump atomics without touching the registry maps.
+    let reordered_ctr =
+        metrics.counter_with("ids_engine_reorder_decisions_total", "decision", "reordered");
+    let kept_ctr = metrics.counter_with("ids_engine_reorder_decisions_total", "decision", "kept");
 
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let results: Vec<(SolutionSet, UdfProfiler, u64)> = cluster.execute(phase_name, |ctx| {
         let r = ctx.rank().index();
         set_current_rank(ctx.rank());
-        let input = &solutions[r];
-        let mut profiler = profilers[r].clone();
+        // A panicking UDF must surface as a query error, not tear down
+        // the executor (or poison `errors` for the other ranks).
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let input = &solutions[r];
+            let mut profiler = profilers[r].clone();
 
-        // §2.4.3: per-rank conjunct reordering.
-        let local_expr = if opts.reorder_conjuncts {
-            if let Expr::And(conjuncts) = expr {
-                let order = order_conjuncts(
-                    conjuncts,
-                    &profiler,
-                    |_| opts.udf_cost_prior,
-                    opts.udf_rejection_prior,
-                );
-                ids_udf::reorder::reorder_and(conjuncts.clone(), &order)
+            // §2.4.3: per-rank conjunct reordering.
+            let local_expr = if opts.reorder_conjuncts {
+                if let Expr::And(conjuncts) = expr {
+                    let order = order_conjuncts(
+                        conjuncts,
+                        &profiler,
+                        |_| opts.udf_cost_prior,
+                        opts.udf_rejection_prior,
+                    );
+                    if order.iter().enumerate().any(|(pos, &i)| pos != i) {
+                        reordered_ctr.inc();
+                    } else {
+                        kept_ctr.inc();
+                    }
+                    ids_udf::reorder::reorder_and(conjuncts.clone(), &order)
+                } else {
+                    expr.clone()
+                }
             } else {
                 expr.clone()
-            }
-        } else {
-            expr.clone()
-        };
+            };
 
-        let mut kept = SolutionSet::empty(input.vars().to_vec());
-        let mut evals = 0u64;
-        for row in input.rows() {
-            let bindings = RowBindings::new(input.vars(), row, &dict);
-            let mut cx = EvalCtx::new(registry, &mut profiler);
-            match local_expr.eval_bool(&bindings, &mut cx) {
-                Ok(pass) => {
-                    ctx.charge(cx.charged_secs + opts.eval_secs_per_row);
-                    evals += 1;
-                    if pass {
-                        kept.push(row.clone());
+            let mut kept = SolutionSet::empty(input.vars().to_vec());
+            let mut evals = 0u64;
+            for row in input.rows() {
+                let bindings = RowBindings::new(input.vars(), row, &dict);
+                let mut cx = EvalCtx::new(registry, &mut profiler);
+                match local_expr.eval_bool(&bindings, &mut cx) {
+                    Ok(pass) => {
+                        ctx.charge(cx.charged_secs + opts.eval_secs_per_row);
+                        evals += 1;
+                        if pass {
+                            kept.push(row.clone());
+                        }
+                    }
+                    Err(e) => {
+                        lock_errors(&errors).push(e.to_string());
+                        ctx.charge(cx.charged_secs);
                     }
                 }
-                Err(e) => {
-                    errors.lock().unwrap().push(e.to_string());
-                    ctx.charge(cx.charged_secs);
-                }
             }
-        }
-        ctx.count("filter_evals", evals);
-        ctx.count("filter_kept", kept.len() as u64);
-        (kept, profiler, evals)
+            ctx.count("filter_evals", evals);
+            ctx.count("filter_kept", kept.len() as u64);
+            (kept, profiler, evals)
+        }));
+        outcome.unwrap_or_else(|payload| {
+            lock_errors(&errors)
+                .push(format!("rank {r} filter worker panicked: {}", panic_message(&*payload)));
+            (SolutionSet::empty(solutions[r].vars().to_vec()), profilers[r].clone(), 0)
+        })
     });
     cluster.barrier();
 
-    let errs = errors.into_inner().unwrap();
+    let errs = errors.into_inner().unwrap_or_else(PoisonError::into_inner);
     if let Some(first) = errs.first() {
         return Err(ExecError { message: format!("{} ({} total failures)", first, errs.len()) });
     }
@@ -637,64 +738,76 @@ fn run_apply_stage(
     bind_as: &str,
     opts: &ExecOptions,
     _breakdown: &mut StageBreakdown,
+    metrics: &MetricsRegistry,
 ) -> Result<Vec<SolutionSet>, ExecError> {
     // Re-balance using the UDF itself as the cost driver.
     let probe_expr = Expr::udf(udf.to_string(), vec![]);
-    let solutions = maybe_rebalance(cluster, solutions, &probe_expr, profilers, opts);
+    let solutions = maybe_rebalance(cluster, solutions, &probe_expr, profilers, opts, metrics);
     let dict = ds.dictionary().clone();
 
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
-    let results: Vec<(SolutionSet, UdfProfiler)> = cluster.execute(&format!("apply:{udf}"), |ctx| {
-        let r = ctx.rank().index();
-        set_current_rank(ctx.rank());
-        let input = &solutions[r];
-        let mut profiler = profilers[r].clone();
+    let results: Vec<(SolutionSet, UdfProfiler)> =
+        cluster.execute(&format!("apply:{udf}"), |ctx| {
+            let r = ctx.rank().index();
+            set_current_rank(ctx.rank());
+            // Same panic containment as the FILTER stage.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let input = &solutions[r];
+                let mut profiler = profilers[r].clone();
 
-        let mut vars = input.vars().to_vec();
-        vars.push(bind_as.to_string());
-        let mut out = SolutionSet::empty(vars);
-        for row in input.rows() {
-            let bindings = RowBindings::new(input.vars(), row, &dict);
-            let mut cx = EvalCtx::new(registry, &mut profiler);
-            let call = Expr::udf(udf.to_string(), args.to_vec());
-            match call.eval(&bindings, &mut cx) {
-                Ok(value) => {
-                    ctx.charge(cx.charged_secs + opts.eval_secs_per_row);
-                    // Bind the output: encode into the dictionary so it
-                    // flows like any other term.
-                    let term = match value {
-                        ids_udf::UdfValue::F64(v) => ids_graph::Term::float(v),
-                        ids_udf::UdfValue::I64(v) => ids_graph::Term::Int(v),
-                        ids_udf::UdfValue::Str(s) => ids_graph::Term::str(s),
-                        ids_udf::UdfValue::Bool(b) => ids_graph::Term::Int(b as i64),
-                        ids_udf::UdfValue::Id(id) => {
+                let mut vars = input.vars().to_vec();
+                vars.push(bind_as.to_string());
+                let mut out = SolutionSet::empty(vars);
+                for row in input.rows() {
+                    let bindings = RowBindings::new(input.vars(), row, &dict);
+                    let mut cx = EvalCtx::new(registry, &mut profiler);
+                    let call = Expr::udf(udf.to_string(), args.to_vec());
+                    match call.eval(&bindings, &mut cx) {
+                        Ok(value) => {
+                            ctx.charge(cx.charged_secs + opts.eval_secs_per_row);
+                            // Bind the output: encode into the dictionary so it
+                            // flows like any other term.
+                            let term = match value {
+                                ids_udf::UdfValue::F64(v) => ids_graph::Term::float(v),
+                                ids_udf::UdfValue::I64(v) => ids_graph::Term::Int(v),
+                                ids_udf::UdfValue::Str(s) => ids_graph::Term::str(s),
+                                ids_udf::UdfValue::Bool(b) => ids_graph::Term::Int(b as i64),
+                                ids_udf::UdfValue::Id(id) => {
+                                    let mut new_row = row.clone();
+                                    new_row.push(TermId(id));
+                                    out.push(new_row);
+                                    continue;
+                                }
+                                ids_udf::UdfValue::Null => {
+                                    // Nulls drop the row (SPARQL error semantics).
+                                    continue;
+                                }
+                            };
+                            let id = dict.encode(&term);
                             let mut new_row = row.clone();
-                            new_row.push(TermId(id));
+                            new_row.push(id);
                             out.push(new_row);
-                            continue;
                         }
-                        ids_udf::UdfValue::Null => {
-                            // Nulls drop the row (SPARQL error semantics).
-                            continue;
+                        Err(e) => {
+                            lock_errors(&errors).push(e.to_string());
+                            ctx.charge(cx.charged_secs);
                         }
-                    };
-                    let id = dict.encode(&term);
-                    let mut new_row = row.clone();
-                    new_row.push(id);
-                    out.push(new_row);
+                    }
                 }
-                Err(e) => {
-                    errors.lock().unwrap().push(e.to_string());
-                    ctx.charge(cx.charged_secs);
-                }
-            }
-        }
-        ctx.count("apply_rows", out.len() as u64);
-        (out, profiler)
-    });
+                ctx.count("apply_rows", out.len() as u64);
+                (out, profiler)
+            }));
+            outcome.unwrap_or_else(|payload| {
+                lock_errors(&errors)
+                    .push(format!("rank {r} apply worker panicked: {}", panic_message(&*payload)));
+                let mut vars = solutions[r].vars().to_vec();
+                vars.push(bind_as.to_string());
+                (SolutionSet::empty(vars), profilers[r].clone())
+            })
+        });
     cluster.barrier();
 
-    let errs = errors.into_inner().unwrap();
+    let errs = errors.into_inner().unwrap_or_else(PoisonError::into_inner);
     if let Some(first) = errs.first() {
         return Err(ExecError { message: format!("{} ({} total failures)", first, errs.len()) });
     }
@@ -732,10 +845,12 @@ mod tests {
 
     #[test]
     fn stage_breakdown_totals() {
-        let mut b = StageBreakdown::default();
-        b.scan_secs = 1.0;
-        b.join_secs = 2.0;
-        b.filter_secs = 3.0;
+        let mut b = StageBreakdown {
+            scan_secs: 1.0,
+            join_secs: 2.0,
+            filter_secs: 3.0,
+            ..StageBreakdown::default()
+        };
         b.apply_secs.insert("vina_docking".into(), 40.0);
         b.apply_secs.insert("dtba".into(), 4.0);
         b.gather_secs = 0.5;

@@ -7,6 +7,7 @@
 //! estimates, and the post-WHERE stages.
 
 use crate::planner::{PhysicalPlan, PhysicalStage};
+use ids_obs::MetricsSnapshot;
 use ids_udf::expr::CmpOp;
 use ids_udf::reorder::estimate_conjunct;
 use ids_udf::{order_conjuncts, Expr, UdfProfiler, UdfValue};
@@ -68,6 +69,8 @@ pub fn explain(plan: &PhysicalPlan, profiler: &UdfProfiler) -> String {
     if let Some(Expr::And(conjuncts)) = &plan.where_filter {
         out.push_str("  filter (profile-ordered conjuncts):\n");
         let order = order_conjuncts(conjuncts, profiler, |_| 0.5, 0.5);
+        let mut chain_cost = 0.0;
+        let mut survive = 1.0;
         for &i in &order {
             let est = estimate_conjunct(&conjuncts[i], profiler, |_| 0.5, 0.5);
             out.push_str(&format!(
@@ -76,7 +79,15 @@ pub fn explain(plan: &PhysicalPlan, profiler: &UdfProfiler) -> String {
                 est.cost,
                 est.rejection * 100.0
             ));
+            // Short-circuit expectation: later conjuncts only run on the
+            // fraction of solutions the earlier ones let through.
+            chain_cost += survive * est.cost;
+            survive *= 1.0 - est.rejection;
         }
+        out.push_str(&format!(
+            "    expected chain cost: {chain_cost:.4}s/solution (pass rate {:.1}%)\n",
+            survive * 100.0
+        ));
     } else if let Some(f) = &plan.where_filter {
         out.push_str(&format!("  filter: {}\n", render_expr(f)));
     }
@@ -112,6 +123,68 @@ pub fn explain(plan: &PhysicalPlan, profiler: &UdfProfiler) -> String {
     }
     if let Some(l) = plan.limit {
         out.push_str(&format!("  limit: {l}\n"));
+    }
+    out
+}
+
+/// EXPLAIN with the instance's live metric snapshot appended: operator
+/// timing histograms, cache hit ratio, and §2.4.3 reorder decisions from
+/// queries executed so far. An instance that has run nothing renders a
+/// placeholder instead of an empty block.
+pub fn explain_with_metrics(
+    plan: &PhysicalPlan,
+    profiler: &UdfProfiler,
+    snapshot: &MetricsSnapshot,
+) -> String {
+    let mut out = explain(plan, profiler);
+    out.push_str("  metrics (live, virtual time):\n");
+    if snapshot.is_empty() {
+        out.push_str("    (no metrics recorded)\n");
+        return out;
+    }
+
+    let mut any_stage = false;
+    for (key, hist) in &snapshot.histograms {
+        if key.name != "ids_engine_stage_secs" || hist.count == 0 {
+            continue;
+        }
+        any_stage = true;
+        out.push_str(&format!(
+            "    {} : {} runs, mean {:.6}s, max {:.6}s\n",
+            key.label_value,
+            hist.count,
+            hist.mean(),
+            hist.max
+        ));
+    }
+    if !any_stage {
+        out.push_str("    (no operator timings yet)\n");
+    }
+
+    // A lookup is a hit when a cache tier served it; "backing" fetches
+    // and outright misses both went past the cache.
+    let hits: u64 = snapshot
+        .counters
+        .iter()
+        .filter(|(k, _)| k.name == "ids_cache_lookup_hits_total" && k.label_value != "backing")
+        .map(|(_, v)| *v)
+        .sum();
+    let backing = snapshot.counter("ids_cache_lookup_hits_total", "backing");
+    let misses = snapshot.counter("ids_cache_lookup_misses_total", "");
+    let lookups = hits + misses + backing;
+    if lookups > 0 {
+        out.push_str(&format!(
+            "    cache: {hits} hits / {lookups} lookups ({:.1}% hit ratio)\n",
+            hits as f64 / lookups as f64 * 100.0
+        ));
+    }
+
+    let reordered = snapshot.counter("ids_engine_reorder_decisions_total", "reordered");
+    let kept = snapshot.counter("ids_engine_reorder_decisions_total", "kept");
+    if reordered + kept > 0 {
+        out.push_str(&format!(
+            "    conjunct reordering: {reordered} reordered, {kept} kept as written\n"
+        ));
     }
     out
 }

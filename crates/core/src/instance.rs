@@ -15,6 +15,7 @@ use crate::iql;
 use crate::planner;
 use ids_cache::CacheManager;
 use ids_models::ModelRepository;
+use ids_obs::{MetricsRegistry, MetricsSnapshot};
 use ids_simrt::{Cluster, NetworkModel, Topology};
 use ids_udf::{UdfProfiler, UdfRegistry};
 use std::sync::Arc;
@@ -64,6 +65,7 @@ pub struct IdsInstance {
     models: ModelRepository,
     profilers: Vec<UdfProfiler>,
     cache: Option<Arc<CacheManager>>,
+    metrics: MetricsRegistry,
 }
 
 impl IdsInstance {
@@ -79,6 +81,7 @@ impl IdsInstance {
             models: ModelRepository::with_builtin_models(),
             profilers: vec![UdfProfiler::new(); ranks],
             cache: None,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -122,6 +125,35 @@ impl IdsInstance {
         &self.profilers
     }
 
+    /// The instance's `ids-obs` registry (engine, planner, and UDF-profile
+    /// series; cache series live in the cache manager's own registry and
+    /// are merged by [`IdsInstance::metrics_snapshot`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// One consistent snapshot of everything observable on this instance:
+    /// engine/planner series, per-rank and merged UDF profiles (exported
+    /// as gauges), and — when a cache is attached — its tier counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut merged_profile = UdfProfiler::new();
+        for (r, p) in self.profilers.iter().enumerate() {
+            p.export_metrics(&self.metrics, &format!("r{r}"));
+            merged_profile.merge(p);
+        }
+        merged_profile.export_metrics(&self.metrics, "");
+        let snap = self.metrics.snapshot();
+        match &self.cache {
+            Some(cache) => snap.merge(&cache.metrics().snapshot()),
+            None => snap,
+        }
+    }
+
+    /// Prometheus text exposition of [`IdsInstance::metrics_snapshot`].
+    pub fn render_prometheus(&self) -> String {
+        self.metrics_snapshot().render_prometheus()
+    }
+
     /// Execution options (mutable so benches can flip ablation knobs).
     pub fn exec_options_mut(&mut self) -> &mut ExecOptions {
         &mut self.config.exec
@@ -135,16 +167,22 @@ impl IdsInstance {
     }
 
     /// EXPLAIN: parse and plan a query, rendering the physical plan with
-    /// cost annotations from the instance's aggregated profiles (no
-    /// execution happens).
+    /// cost annotations from the instance's aggregated profiles plus the
+    /// live metric snapshot — operator timings, cache hit ratio, and
+    /// reordering decisions from queries run so far (no execution
+    /// happens).
     pub fn explain(&self, iql_text: &str) -> Result<String, QueryError> {
         let parsed = iql::parse_query(iql_text).map_err(|e| QueryError::Parse(e.to_string()))?;
-        let plan = planner::lower(&parsed, &self.datastore).map_err(|e| QueryError::Plan(e.to_string()))?;
+        // Snapshot before planning so EXPLAIN reports what queries have
+        // done, not its own planner bookkeeping.
+        let snapshot = self.metrics_snapshot();
+        let plan = planner::lower_with_metrics(&parsed, &self.datastore, Some(&self.metrics))
+            .map_err(|e| QueryError::Plan(e.to_string()))?;
         let mut merged = UdfProfiler::new();
         for p in &self.profilers {
             merged.merge(p);
         }
-        Ok(crate::explain::explain(&plan, &merged))
+        Ok(crate::explain::explain_with_metrics(&plan, &merged, &snapshot))
     }
 
     /// Parse, plan, and execute an IQL query.
@@ -155,7 +193,8 @@ impl IdsInstance {
 
     /// Execute an already-parsed query.
     pub fn query_parsed(&mut self, parsed: &iql::ast::Query) -> Result<QueryOutcome, QueryError> {
-        let plan = planner::lower(parsed, &self.datastore).map_err(|e| QueryError::Plan(e.to_string()))?;
+        let plan = planner::lower_with_metrics(parsed, &self.datastore, Some(&self.metrics))
+            .map_err(|e| QueryError::Plan(e.to_string()))?;
         engine::execute_plan(
             &mut self.cluster,
             &self.datastore,
@@ -163,6 +202,7 @@ impl IdsInstance {
             &mut self.profilers,
             &plan,
             &self.config.exec,
+            &self.metrics,
         )
         .map_err(|e| QueryError::Exec(e.to_string()))
     }
@@ -199,7 +239,11 @@ mod tests {
         let inst = IdsInstance::launch(IdsConfig::laptop(4, 42));
         let ds = inst.datastore();
         for i in 0..20 {
-            ds.add_fact(&Term::iri(format!("p:{i}")), &Term::iri("rdf:type"), &Term::iri("up:Protein"));
+            ds.add_fact(
+                &Term::iri(format!("p:{i}")),
+                &Term::iri("rdf:type"),
+                &Term::iri("up:Protein"),
+            );
             ds.add_fact(&Term::iri(format!("p:{i}")), &Term::iri("up:len"), &Term::Int(i * 10));
         }
         for c in 0..40 {
@@ -216,9 +260,7 @@ mod tests {
     #[test]
     fn simple_select_returns_all_matches() {
         let mut inst = demo_instance();
-        let out = inst
-            .query("SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }")
-            .unwrap();
+        let out = inst.query("SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }").unwrap();
         assert_eq!(out.solutions.len(), 20);
         assert!(out.elapsed_secs > 0.0);
     }
@@ -237,11 +279,43 @@ mod tests {
     #[test]
     fn filter_on_literal_values() {
         let mut inst = demo_instance();
-        let out = inst
-            .query("SELECT ?p WHERE { ?p <up:len> ?l . FILTER(?l >= 100) }")
-            .unwrap();
+        let out = inst.query("SELECT ?p WHERE { ?p <up:len> ?l . FILTER(?l >= 100) }").unwrap();
         // len = 0,10,…,190; >= 100 → 10 rows.
         assert_eq!(out.solutions.len(), 10);
+    }
+
+    #[test]
+    fn panicking_udf_in_filter_reports_query_error() {
+        let mut inst = demo_instance();
+        inst.registry()
+            .register_static(
+                "boom",
+                StdArc::new(|_args: &[UdfValue]| -> UdfOutput { panic!("udf exploded") }),
+            )
+            .unwrap();
+        let err = inst.query("SELECT ?p WHERE { ?p <up:len> ?l . FILTER(boom(?l)) }").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("panicked") && msg.contains("udf exploded"), "{msg}");
+        // The instance must stay usable: no poisoned executor state.
+        let out = inst.query("SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }").unwrap();
+        assert_eq!(out.solutions.len(), 20);
+    }
+
+    #[test]
+    fn panicking_udf_in_apply_reports_query_error() {
+        let mut inst = demo_instance();
+        inst.registry()
+            .register_static(
+                "boom",
+                StdArc::new(|_args: &[UdfValue]| -> UdfOutput { panic!("apply exploded") }),
+            )
+            .unwrap();
+        let err =
+            inst.query("SELECT ?p ?x WHERE { ?p <up:len> ?l . } APPLY boom(?l) AS ?x").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("panicked") && msg.contains("apply exploded"), "{msg}");
+        let out = inst.query("SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }").unwrap();
+        assert_eq!(out.solutions.len(), 20);
     }
 
     #[test]
@@ -275,7 +349,8 @@ mod tests {
         assert_eq!(out.solutions.len(), 5);
         assert_eq!(out.solutions.vars(), &["p".to_string(), "s".to_string()]);
         // Profilers saw the UDFs.
-        let total_calls: u64 = inst.profilers().iter().filter_map(|p| p.get("long_enough")).map(|p| p.calls).sum();
+        let total_calls: u64 =
+            inst.profilers().iter().filter_map(|p| p.get("long_enough")).map(|p| p.calls).sum();
         assert_eq!(total_calls, 20);
         // Apply stage is on the breakdown.
         assert!(out.breakdown.apply_secs.contains_key("scale"));
@@ -330,12 +405,41 @@ mod tests {
     }
 
     #[test]
+    fn explain_metrics_block_empty_then_populated() {
+        let mut inst = demo_instance();
+        let q = "SELECT ?p WHERE { ?p <up:len> ?l . FILTER(?l >= 100) }";
+        // No cache attached and nothing executed: the snapshot is truly
+        // empty and EXPLAIN renders the placeholder.
+        assert!(inst.metrics_snapshot().is_empty());
+        let before = inst.explain(q).unwrap();
+        assert!(before.contains("(no metrics recorded)"), "{before}");
+
+        inst.query(q).unwrap();
+        let after = inst.explain(q).unwrap();
+        assert!(after.contains("metrics (live, virtual time)"), "{after}");
+        assert!(after.contains("scan :"), "{after}");
+        assert!(after.contains("filter :"), "{after}");
+        assert!(!after.contains("(no metrics recorded)"), "{after}");
+    }
+
+    #[test]
+    fn prometheus_render_tracks_queries() {
+        let mut inst = demo_instance();
+        inst.query("SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }").unwrap();
+        inst.query("SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }").unwrap();
+        let text = inst.render_prometheus();
+        assert!(text.contains("ids_engine_queries_total 2"), "{text}");
+        assert!(text.contains("ids_planner_plans_total 2"), "{text}");
+        assert!(text.contains("# TYPE ids_engine_query_secs histogram"), "{text}");
+        assert!(text.contains("ids_engine_query_secs_count 2"), "{text}");
+    }
+
+    #[test]
     fn order_by_sorts_before_limit() {
         let mut inst = demo_instance();
         // Top-3 longest proteins.
-        let out = inst
-            .query("SELECT ?p ?l WHERE { ?p <up:len> ?l . } ORDER BY ?l DESC LIMIT 3")
-            .unwrap();
+        let out =
+            inst.query("SELECT ?p ?l WHERE { ?p <up:len> ?l . } ORDER BY ?l DESC LIMIT 3").unwrap();
         let lens: Vec<i64> = out
             .solutions
             .rows()
@@ -344,9 +448,7 @@ mod tests {
             .collect();
         assert_eq!(lens, vec![190, 180, 170]);
         // Ascending variant.
-        let out = inst
-            .query("SELECT ?l WHERE { ?p <up:len> ?l . } ORDER BY ?l LIMIT 2")
-            .unwrap();
+        let out = inst.query("SELECT ?l WHERE { ?p <up:len> ?l . } ORDER BY ?l LIMIT 2").unwrap();
         let lens: Vec<i64> = out
             .solutions
             .rows()
@@ -359,9 +461,7 @@ mod tests {
     #[test]
     fn order_by_unbound_variable_errors() {
         let mut inst = demo_instance();
-        assert!(inst
-            .query("SELECT ?p WHERE { ?p <up:len> ?l . } ORDER BY ?ghost")
-            .is_err());
+        assert!(inst.query("SELECT ?p WHERE { ?p <up:len> ?l . } ORDER BY ?ghost").is_err());
     }
 
     #[test]

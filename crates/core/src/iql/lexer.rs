@@ -105,10 +105,8 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
             b'<' => {
                 // Either an IRI <...> or the < / <= operator.
                 if let Some(end) = iri_end(b, i) {
-                    let iri = std::str::from_utf8(&b[i + 1..end]).map_err(|_| LexError {
-                        message: "non-UTF8 IRI".into(),
-                        pos: i,
-                    })?;
+                    let iri = std::str::from_utf8(&b[i + 1..end])
+                        .map_err(|_| LexError { message: "non-UTF8 IRI".into(), pos: i })?;
                     out.push(Spanned { token: Token::Iri(iri.to_string()), pos: i });
                     i = end + 1;
                 } else if b.get(i + 1) == Some(&b'=') {
@@ -179,7 +177,9 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 let mut s = String::new();
                 loop {
                     match b.get(j) {
-                        None => return Err(LexError { message: "unterminated string".into(), pos: i }),
+                        None => {
+                            return Err(LexError { message: "unterminated string".into(), pos: i })
+                        }
                         Some(b'"') => break,
                         Some(b'\\') => {
                             match b.get(j + 1) {
@@ -188,7 +188,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                                 Some(b'n') => s.push('\n'),
                                 other => {
                                     return Err(LexError {
-                                        message: format!("bad escape {:?}", other.map(|&c| c as char)),
+                                        message: format!(
+                                            "bad escape {:?}",
+                                            other.map(|&c| c as char)
+                                        ),
                                         pos: j,
                                     })
                                 }
@@ -222,17 +225,18 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                     }
                 }
                 let text = std::str::from_utf8(&b[start..j]).expect("ASCII number");
-                let token = if is_float {
-                    Token::Float(text.parse().map_err(|e| LexError {
-                        message: format!("bad float: {e}"),
-                        pos: start,
-                    })?)
-                } else {
-                    Token::Int(text.parse().map_err(|e| LexError {
-                        message: format!("bad int: {e}"),
-                        pos: start,
-                    })?)
-                };
+                let token =
+                    if is_float {
+                        Token::Float(text.parse().map_err(|e| LexError {
+                            message: format!("bad float: {e}"),
+                            pos: start,
+                        })?)
+                    } else {
+                        Token::Int(text.parse().map_err(|e| LexError {
+                            message: format!("bad int: {e}"),
+                            pos: start,
+                        })?)
+                    };
                 out.push(Spanned { token, pos: start });
                 i = j;
             }
@@ -257,7 +261,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 i = end;
             }
             _ => {
-                return Err(LexError { message: format!("unexpected character {:?}", c as char), pos: i })
+                return Err(LexError {
+                    message: format!("unexpected character {:?}", c as char),
+                    pos: i,
+                })
             }
         }
     }
@@ -321,7 +328,10 @@ mod tests {
     #[test]
     fn iris_vs_comparison() {
         assert_eq!(toks("<up:Protein>")[0], Token::Iri("up:Protein".into()));
-        assert_eq!(toks("?x < 5"), vec![Token::Var("x".into()), Token::Lt, Token::Int(5), Token::Eof]);
+        assert_eq!(
+            toks("?x < 5"),
+            vec![Token::Var("x".into()), Token::Lt, Token::Int(5), Token::Eof]
+        );
         assert_eq!(toks("?x <= 5")[1], Token::Le);
         assert_eq!(toks("?x >= 0.9")[1], Token::Ge);
     }
@@ -353,7 +363,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("SELECT # the projection\n?x"), vec![Token::Select, Token::Var("x".into()), Token::Eof]);
+        assert_eq!(
+            toks("SELECT # the projection\n?x"),
+            vec![Token::Select, Token::Var("x".into()), Token::Eof]
+        );
     }
 
     #[test]

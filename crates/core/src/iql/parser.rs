@@ -131,12 +131,18 @@ impl Parser {
                             self.expect(&Token::LParen, "'('")?;
                             let v = match self.bump() {
                                 Token::Var(v) => v,
-                                other => return Err(self.err(format!("expected ?var, found {other:?}"))),
+                                other => {
+                                    return Err(self.err(format!("expected ?var, found {other:?}")))
+                                }
                             };
                             self.expect(&Token::RParen, "')'")?;
                             (v, desc)
                         }
-                        other => return Err(self.err(format!("expected ?var after ORDER BY, found {other:?}"))),
+                        other => {
+                            return Err(
+                                self.err(format!("expected ?var after ORDER BY, found {other:?}"))
+                            )
+                        }
                     };
                     if order_by.is_some() {
                         return Err(self.err("duplicate ORDER BY".into()));
@@ -147,7 +153,11 @@ impl Parser {
                     self.bump();
                     let name = match self.bump() {
                         Token::Ident(n) => self.dotted_name(n)?,
-                        other => return Err(self.err(format!("expected UDF name after APPLY, found {other:?}"))),
+                        other => {
+                            return Err(
+                                self.err(format!("expected UDF name after APPLY, found {other:?}"))
+                            )
+                        }
                     };
                     self.expect(&Token::LParen, "'('")?;
                     let mut args = Vec::new();
@@ -165,7 +175,9 @@ impl Parser {
                     self.expect(&Token::As, "AS")?;
                     let bind_as = match self.bump() {
                         Token::Var(v) => v,
-                        other => return Err(self.err(format!("expected ?var after AS, found {other:?}"))),
+                        other => {
+                            return Err(self.err(format!("expected ?var after AS, found {other:?}")))
+                        }
                     };
                     stages.push(StageAst::Apply(ApplyAst { udf: name, args, bind_as }));
                 }
@@ -180,7 +192,11 @@ impl Parser {
                     self.bump();
                     match self.bump() {
                         Token::Int(n) if n >= 0 => limit = Some(n as usize),
-                        other => return Err(self.err(format!("expected non-negative LIMIT, found {other:?}"))),
+                        other => {
+                            return Err(
+                                self.err(format!("expected non-negative LIMIT, found {other:?}"))
+                            )
+                        }
                     }
                 }
                 Token::Eof => break,
@@ -202,7 +218,9 @@ impl Parser {
                     name.push('.');
                     name.push_str(&seg);
                 }
-                other => return Err(self.err(format!("expected identifier after '.', found {other:?}"))),
+                other => {
+                    return Err(self.err(format!("expected identifier after '.', found {other:?}")))
+                }
             }
         }
         Ok(name)
@@ -388,7 +406,8 @@ mod tests {
 
     #[test]
     fn not_and_nested_calls() {
-        let q = parse_query("SELECT ?x WHERE { FILTER(!contains(upper(?name), \"KINASE\")) }").unwrap();
+        let q =
+            parse_query("SELECT ?x WHERE { FILTER(!contains(upper(?name), \"KINASE\")) }").unwrap();
         match &q.filters[0] {
             ExprAst::Not(inner) => match inner.as_ref() {
                 ExprAst::Call { name, args } => {

@@ -29,8 +29,8 @@
 
 pub mod binding;
 pub mod datastore;
-pub mod explain;
 pub mod engine;
+pub mod explain;
 pub mod instance;
 pub mod iql;
 pub mod planner;

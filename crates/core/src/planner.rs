@@ -12,6 +12,7 @@
 use crate::datastore::Datastore;
 use crate::iql::ast::{CmpOpAst, ExprAst, Query, StageAst, TermAst, TriplePatternAst};
 use ids_graph::{Term, TriplePattern};
+use ids_obs::MetricsRegistry;
 use ids_udf::expr::CmpOp;
 use ids_udf::{Expr, UdfValue};
 
@@ -48,11 +49,7 @@ pub struct PhysicalPattern {
 impl PhysicalPattern {
     /// Variables this pattern binds.
     pub fn variables(&self) -> Vec<&str> {
-        [&self.var_s, &self.var_p, &self.var_o]
-            .into_iter()
-            .flatten()
-            .map(String::as_str)
-            .collect()
+        [&self.var_s, &self.var_p, &self.var_o].into_iter().flatten().map(String::as_str).collect()
     }
 }
 
@@ -85,10 +82,7 @@ pub struct PhysicalPlan {
     pub limit: Option<usize>,
 }
 
-fn lower_term(
-    t: &TermAst,
-    ds: &Datastore,
-) -> (Option<ids_graph::TermId>, Option<String>, bool) {
+fn lower_term(t: &TermAst, ds: &Datastore) -> (Option<ids_graph::TermId>, Option<String>, bool) {
     // Returns (bound id, variable name, impossible).
     match t {
         TermAst::Var(v) => (None, Some(v.clone()), false),
@@ -149,8 +143,12 @@ pub fn lower_expr(e: &ExprAst, ds: &Datastore) -> Result<Expr, PlanError> {
             Expr::Const(UdfValue::Id(id.raw()))
         }
         ExprAst::Cmp(op, a, b) => Expr::cmp(lower_cmp(*op), lower_expr(a, ds)?, lower_expr(b, ds)?),
-        ExprAst::And(es) => Expr::And(es.iter().map(|x| lower_expr(x, ds)).collect::<Result<_, _>>()?),
-        ExprAst::Or(es) => Expr::Or(es.iter().map(|x| lower_expr(x, ds)).collect::<Result<_, _>>()?),
+        ExprAst::And(es) => {
+            Expr::And(es.iter().map(|x| lower_expr(x, ds)).collect::<Result<_, _>>()?)
+        }
+        ExprAst::Or(es) => {
+            Expr::Or(es.iter().map(|x| lower_expr(x, ds)).collect::<Result<_, _>>()?)
+        }
         ExprAst::Not(inner) => Expr::Not(Box::new(lower_expr(inner, ds)?)),
         ExprAst::Call { name, args } => Expr::udf(
             name.clone(),
@@ -196,6 +194,27 @@ pub fn order_patterns(patterns: &[PhysicalPattern]) -> Vec<usize> {
         order.push(chosen);
     }
     order
+}
+
+/// Lower a full query to a physical plan, recording planner decision
+/// counters (`ids_planner_*`) into `metrics` when one is supplied.
+pub fn lower_with_metrics(
+    query: &Query,
+    ds: &Datastore,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<PhysicalPlan, PlanError> {
+    let plan = lower(query, ds)?;
+    if let Some(m) = metrics {
+        m.counter("ids_planner_plans_total").inc();
+        m.counter("ids_planner_patterns_total").add(plan.patterns.len() as u64);
+        let impossible = plan.patterns.iter().filter(|p| p.impossible).count();
+        m.counter("ids_planner_impossible_patterns_total").add(impossible as u64);
+        if let Some(Expr::And(cs)) = &plan.where_filter {
+            m.counter("ids_planner_filter_conjuncts_total").add(cs.len() as u64);
+        }
+        m.counter("ids_planner_stages_total").add(plan.stages.len() as u64);
+    }
+    Ok(plan)
 }
 
 /// Lower a full query to a physical plan.
@@ -264,7 +283,11 @@ mod tests {
         let ds = Datastore::new(4);
         // 50 proteins, 10 reviewed; 200 inhibits-edges.
         for i in 0..50 {
-            ds.add_fact(&Term::iri(format!("p:{i}")), &Term::iri("rdf:type"), &Term::iri("up:Protein"));
+            ds.add_fact(
+                &Term::iri(format!("p:{i}")),
+                &Term::iri("rdf:type"),
+                &Term::iri("up:Protein"),
+            );
             if i < 10 {
                 ds.add_fact(&Term::iri(format!("p:{i}")), &Term::iri("up:reviewed"), &Term::Int(1));
             }

@@ -402,9 +402,8 @@ mod tests {
         register_workflow_udfs(&registry, &dict, &t, WorkflowModels::test_models(), None);
 
         // Self-similarity is 1.0.
-        let out = registry
-            .call("sw_similarity", &[UdfValue::Str(t.sequence.to_string_code())])
-            .unwrap();
+        let out =
+            registry.call("sw_similarity", &[UdfValue::Str(t.sequence.to_string_code())]).unwrap();
         assert_eq!(out.value, UdfValue::F64(1.0));
 
         // pIC50 in range.
@@ -462,7 +461,11 @@ mod tests {
 
     #[test]
     fn query_text_embeds_thresholds() {
-        let q = repurposing_query(&RepurposingThresholds { sw_similarity: 0.4, min_pic50: 6.0, min_dtba: 6.5 });
+        let q = repurposing_query(&RepurposingThresholds {
+            sw_similarity: 0.4,
+            min_pic50: 6.0,
+            min_dtba: 6.5,
+        });
         assert!(q.contains(">= 0.4"));
         assert!(q.contains("vina_docking"));
         crate::iql::parse_query(&q).expect("generated query parses");

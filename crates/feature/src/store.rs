@@ -66,13 +66,16 @@ impl std::fmt::Display for SchemaError {
 
 impl std::error::Error for SchemaError {}
 
+/// One typed column: `(type tag, entity id → value)`.
+type Column = (u32, HashMap<u64, FeatureValue>);
+
 /// A thread-safe feature store: `column name → (entity id → value)`.
 ///
 /// Columns are typed by first write; later writes of a different kind are
 /// rejected, so downstream UDFs can rely on uniform columns.
 #[derive(Debug, Default)]
 pub struct FeatureStore {
-    columns: RwLock<HashMap<String, (u32, HashMap<u64, FeatureValue>)>>,
+    columns: RwLock<HashMap<String, Column>>,
 }
 
 // Column type tags stored alongside the data.
@@ -103,7 +106,11 @@ impl FeatureStore {
                         2 => "str",
                         _ => "bool",
                     };
-                    return Err(SchemaError { column: column.to_string(), expected, got: value.kind() });
+                    return Err(SchemaError {
+                        column: column.to_string(),
+                        expected,
+                        got: value.kind(),
+                    });
                 }
                 data.insert(entity, value);
             }

@@ -76,12 +76,8 @@ pub fn pagerank(
     let mut final_delta = f64::INFINITY;
     for _ in 0..max_iters {
         iterations += 1;
-        let dangling_mass: f64 = rank
-            .iter()
-            .zip(&out_degree)
-            .filter(|&(_, &d)| d == 0)
-            .map(|(r, _)| r)
-            .sum();
+        let dangling_mass: f64 =
+            rank.iter().zip(&out_degree).filter(|&(_, &d)| d == 0).map(|(r, _)| r).sum();
         let base = (1.0 - damping) / n as f64 + damping * dangling_mass / n as f64;
         let mut next = vec![base; n];
         for &(si, oi) in &adj {

@@ -33,7 +33,9 @@ impl Dictionary {
     /// An empty dictionary.
     pub fn new() -> Self {
         Self {
-            shards: std::array::from_fn(|_| RwLock::new(Shard { map: HashMap::new(), terms: Vec::new() })),
+            shards: std::array::from_fn(|_| {
+                RwLock::new(Shard { map: HashMap::new(), terms: Vec::new() })
+            }),
         }
     }
 
@@ -62,11 +64,7 @@ impl Dictionary {
     /// Look up a term's id without interning.
     pub fn lookup(&self, term: &Term) -> Option<TermId> {
         let si = Self::shard_of(term);
-        self.shards[si]
-            .read()
-            .map
-            .get(term)
-            .map(|&local| TermId(local << SHARD_BITS | si as u64))
+        self.shards[si].read().map.get(term).map(|&local| TermId(local << SHARD_BITS | si as u64))
     }
 
     /// Decode an id back to its term.

@@ -87,7 +87,9 @@ impl<'a> Cursor<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && (self.bytes[self.pos] == b' ' || self.bytes[self.pos] == b'\t') {
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos] == b' ' || self.bytes[self.pos] == b'\t')
+        {
             self.pos += 1;
         }
     }
@@ -115,7 +117,8 @@ impl<'a> Cursor<'a> {
                 {
                     self.pos += 1;
                 }
-                let label = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("non-UTF8 blank node"))?;
+                let label = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("non-UTF8 blank node"))?;
                 Ok(Term::iri(label))
             }
             Some(b'"') => {
@@ -137,7 +140,8 @@ impl<'a> Cursor<'a> {
                                 Some(b'r') => s.push('\r'),
                                 Some(b't') => s.push('\t'),
                                 other => {
-                                    return Err(self.err(format!("bad escape {:?}", other.map(|b| b as char))))
+                                    return Err(self
+                                        .err(format!("bad escape {:?}", other.map(|b| b as char))))
                                 }
                             }
                             self.pos += 2;
@@ -151,16 +155,26 @@ impl<'a> Cursor<'a> {
                     }
                 }
                 // Optional datatype or language tag.
-                if self.bytes.get(self.pos) == Some(&b'^') && self.bytes.get(self.pos + 1) == Some(&b'^') {
+                if self.bytes.get(self.pos) == Some(&b'^')
+                    && self.bytes.get(self.pos + 1) == Some(&b'^')
+                {
                     self.pos += 2;
                     let dt = self.term()?;
                     let dt_iri = dt.as_str().unwrap_or("");
-                    if dt_iri.ends_with("integer") || dt_iri.ends_with("int") || dt_iri.ends_with("long") {
-                        let v: i64 = s.parse().map_err(|e| self.err(format!("bad integer literal: {e}")))?;
+                    if dt_iri.ends_with("integer")
+                        || dt_iri.ends_with("int")
+                        || dt_iri.ends_with("long")
+                    {
+                        let v: i64 =
+                            s.parse().map_err(|e| self.err(format!("bad integer literal: {e}")))?;
                         return Ok(Term::Int(v));
                     }
-                    if dt_iri.ends_with("double") || dt_iri.ends_with("float") || dt_iri.ends_with("decimal") {
-                        let v: f64 = s.parse().map_err(|e| self.err(format!("bad double literal: {e}")))?;
+                    if dt_iri.ends_with("double")
+                        || dt_iri.ends_with("float")
+                        || dt_iri.ends_with("decimal")
+                    {
+                        let v: f64 =
+                            s.parse().map_err(|e| self.err(format!("bad double literal: {e}")))?;
                         return Ok(Term::float(v));
                     }
                     // Unknown datatype: keep the lexical form.
@@ -168,7 +182,8 @@ impl<'a> Cursor<'a> {
                 }
                 if self.bytes.get(self.pos) == Some(&b'@') {
                     // Language tag: consume and drop.
-                    while self.pos < self.bytes.len() && !self.bytes[self.pos].is_ascii_whitespace() {
+                    while self.pos < self.bytes.len() && !self.bytes[self.pos].is_ascii_whitespace()
+                    {
                         self.pos += 1;
                     }
                 }
@@ -225,10 +240,7 @@ mod tests {
         assert_eq!(triples.len(), 4);
         assert_eq!(dict.decode(triples[2].o), Some(Term::Int(412)));
         assert_eq!(dict.decode(triples[3].o), Some(Term::float(44.7)));
-        assert_eq!(
-            dict.decode(triples[1].o),
-            Some(Term::str("Adenosine receptor A2a"))
-        );
+        assert_eq!(dict.decode(triples[1].o), Some(Term::str("Adenosine receptor A2a")));
     }
 
     #[test]

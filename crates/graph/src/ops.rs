@@ -67,9 +67,8 @@ pub fn hash_join(left: &SolutionSet, right: &SolutionSet) -> SolutionSet {
         .enumerate()
         .filter_map(|(li, v)| right.var_index(v).map(|ri| (li, ri)))
         .collect();
-    let right_extra: Vec<usize> = (0..right.vars().len())
-        .filter(|ri| !shared.iter().any(|&(_, sri)| sri == *ri))
-        .collect();
+    let right_extra: Vec<usize> =
+        (0..right.vars().len()).filter(|ri| !shared.iter().any(|&(_, sri)| sri == *ri)).collect();
 
     let mut vars: Vec<String> = left.vars().to_vec();
     vars.extend(right_extra.iter().map(|&ri| right.vars()[ri].clone()));
@@ -175,7 +174,12 @@ mod tests {
         );
         let right = SolutionSet::new(
             vec!["p".into(), "c".into()],
-            vec![vec![id(1), id(31)], vec![id(1), id(32)], vec![id(3), id(33)], vec![id(9), id(39)]],
+            vec![
+                vec![id(1), id(31)],
+                vec![id(1), id(32)],
+                vec![id(3), id(33)],
+                vec![id(9), id(39)],
+            ],
         );
         let joined = hash_join(&left, &right);
         assert_eq!(joined.vars(), &["p".to_string(), "seq".to_string(), "c".to_string()]);
@@ -187,7 +191,8 @@ mod tests {
     #[test]
     fn join_without_shared_vars_is_cross_product() {
         let left = SolutionSet::new(vec!["a".into()], vec![vec![id(1)], vec![id(2)]]);
-        let right = SolutionSet::new(vec!["b".into()], vec![vec![id(10)], vec![id(20)], vec![id(30)]]);
+        let right =
+            SolutionSet::new(vec!["b".into()], vec![vec![id(10)], vec![id(20)], vec![id(30)]]);
         assert_eq!(hash_join(&left, &right).len(), 6);
     }
 
@@ -246,9 +251,6 @@ mod tests {
             vec![vec![id(2)], vec![id(1)], vec![id(2)], vec![id(3)], vec![id(1)]],
         );
         let d = distinct(&s);
-        assert_eq!(
-            d.rows().iter().map(|r| r[0].0).collect::<Vec<_>>(),
-            vec![2, 1, 3]
-        );
+        assert_eq!(d.rows().iter().map(|r| r[0].0).collect::<Vec<_>>(), vec![2, 1, 3]);
     }
 }

@@ -108,7 +108,10 @@ impl SolutionSet {
         let mut rows = std::mem::take(&mut self.rows).into_iter();
         for i in 0..n {
             let take = base + usize::from(i < extra);
-            out.push(SolutionSet { vars: self.vars.clone(), rows: rows.by_ref().take(take).collect() });
+            out.push(SolutionSet {
+                vars: self.vars.clone(),
+                rows: rows.by_ref().take(take).collect(),
+            });
         }
         out
     }

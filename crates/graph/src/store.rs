@@ -286,9 +286,11 @@ mod tests {
     #[test]
     fn bound_spo_point_lookup() {
         let st = demo_store(4);
-        let got = st.scan_all(&TriplePattern::new(Some(TermId(7)), Some(TermId(1002)), Some(TermId(8))));
+        let got =
+            st.scan_all(&TriplePattern::new(Some(TermId(7)), Some(TermId(1002)), Some(TermId(8))));
         assert_eq!(got.len(), 1);
-        let missing = st.scan_all(&TriplePattern::new(Some(TermId(7)), Some(TermId(1002)), Some(TermId(9))));
+        let missing =
+            st.scan_all(&TriplePattern::new(Some(TermId(7)), Some(TermId(1002)), Some(TermId(9))));
         assert!(missing.is_empty());
     }
 
@@ -350,10 +352,7 @@ mod tests {
         let mut st = demo_store(4);
         st.insert(t(500, 1000, 2000));
         st.build_indexes();
-        assert_eq!(
-            st.scan_all(&TriplePattern::new(Some(TermId(500)), None, None)).len(),
-            1
-        );
+        assert_eq!(st.scan_all(&TriplePattern::new(Some(TermId(500)), None, None)).len(), 1);
         // Earlier data still present.
         assert_eq!(st.len(), 301);
     }

@@ -26,9 +26,7 @@ pub struct KeywordIndex {
 
 /// Lowercase alphanumeric tokenization.
 pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
-    text.split(|c: char| !c.is_alphanumeric())
-        .filter(|t| !t.is_empty())
-        .map(|t| t.to_lowercase())
+    text.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty()).map(|t| t.to_lowercase())
 }
 
 impl KeywordIndex {
@@ -110,7 +108,10 @@ mod tests {
         // Subject 3 matches via two different literals ("Cannabinoid
         // receptor 1" + "GPCR, adenosine-binding") — conjunction is at
         // subject granularity.
-        assert_eq!(ix.search_all(&["adenosine", "receptor"]), vec![TermId(1), TermId(2), TermId(3)]);
+        assert_eq!(
+            ix.search_all(&["adenosine", "receptor"]),
+            vec![TermId(1), TermId(2), TermId(3)]
+        );
         assert_eq!(ix.search_all(&["adenosine", "a2a"]), vec![TermId(1)]);
         // Subject 3 carries both "Cannabinoid receptor 1" and
         // "GPCR, adenosine-binding".

@@ -107,7 +107,11 @@ impl DockingEngine {
 
     /// Paper-calibrated defaults.
     pub fn default_engine() -> Self {
-        Self::new(ScoringWeights::default(), DockingParams::default(), CostModel::paper_calibrated())
+        Self::new(
+            ScoringWeights::default(),
+            DockingParams::default(),
+            CostModel::paper_calibrated(),
+        )
     }
 
     /// A fast engine for unit tests (fewer restarts/steps, zero cost).
@@ -131,7 +135,7 @@ impl DockingEngine {
         }
         for a in ligand.atoms() {
             h = hash_combine(h, fnv1a(a.element.symbol().as_bytes()));
-            h = hash_combine(h, a.charge as u64 as u64);
+            h = hash_combine(h, a.charge as u64);
         }
         for b in ligand.bonds() {
             h = hash_combine(h, (b.a as u64) << 32 | b.b as u64);
@@ -405,7 +409,8 @@ mod tests {
         let conf = DockingEngine::embed_ligand(&lig, 1);
         // Pose jammed into a receptor atom (clash) vs at contact distance.
         let clash = conf.translated(r.atoms()[10].pos - conf.centroid());
-        let contact = conf.translated(r.atoms()[10].pos + Vec3::new(3.4, 0.0, 0.0) - conf.centroid());
+        let contact =
+            conf.translated(r.atoms()[10].pos + Vec3::new(3.4, 0.0, 0.0) - conf.centroid());
         let e_clash = e.score_pose(&r, &clash, 0);
         let e_contact = e.score_pose(&r, &contact, 0);
         assert!(e_clash > e_contact, "clash {e_clash} vs contact {e_contact}");

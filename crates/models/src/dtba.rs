@@ -88,9 +88,7 @@ pub struct DtbaModel {
 fn init_matrix(rng: &mut SplitMix64, rows: usize, cols: usize) -> Vec<Vec<f32>> {
     // Glorot-style uniform init keeps activations in range.
     let limit = (6.0 / (rows + cols) as f64).sqrt();
-    (0..rows)
-        .map(|_| (0..cols).map(|_| (rng.next_range(-limit, limit)) as f32).collect())
-        .collect()
+    (0..rows).map(|_| (0..cols).map(|_| (rng.next_range(-limit, limit)) as f32).collect()).collect()
 }
 
 fn init_vector(rng: &mut SplitMix64, len: usize) -> Vec<f32> {
@@ -173,12 +171,16 @@ impl DtbaModel {
             let z: f32 = w_row.iter().zip(&concat).map(|(w, x)| w * x).sum::<f32>() + b;
             *h = z.max(0.0);
         }
-        let z: f32 = self.dense2.iter().zip(&hidden).map(|(w, x)| w * x).sum::<f32>() + self.dense2_bias;
+        let z: f32 =
+            self.dense2.iter().zip(&hidden).map(|(w, x)| w * x).sum::<f32>() + self.dense2_bias;
         let sig = 1.0 / (1.0 + (-z as f64 * 2.0).exp());
         let pkd = 3.0 + 8.0 * sig;
 
         let h = hash_combine(fnv1a(smiles.as_bytes()), fnv1a(target.to_string_code().as_bytes()));
-        Affinity { pkd, virtual_secs: self.cost.dtba_cost(target.len().min(self.cfg.max_protein_len), h) }
+        Affinity {
+            pkd,
+            virtual_secs: self.cost.dtba_cost(target.len().min(self.cfg.max_protein_len), h),
+        }
     }
 }
 
@@ -197,7 +199,8 @@ fn branch(
         return pooled;
     }
     // Materialize the embedded sequence once (L × E).
-    let emb: Vec<&[f32]> = ids.iter().map(|&id| embed[id.min(embed.len() - 1)].as_slice()).collect();
+    let emb: Vec<&[f32]> =
+        ids.iter().map(|&id| embed[id.min(embed.len() - 1)].as_slice()).collect();
     for pos in 0..=(ids.len() - kernel) {
         for (f, (w_row, b)) in conv.iter().zip(bias).enumerate() {
             let mut z = *b;
@@ -268,7 +271,8 @@ mod tests {
         // A frozen random network must not saturate to a constant.
         let m = DtbaModel::pretrained();
         let t = seq(250, 5);
-        let smiles = ["CCO", "CCN", "c1ccccc1", "CC(=O)O", "CCCCCCCC", "C1CCCCC1N", "COc1ccccc1", "CCS"];
+        let smiles =
+            ["CCO", "CCN", "c1ccccc1", "CC(=O)O", "CCCCCCCC", "C1CCCCC1N", "COc1ccccc1", "CCS"];
         let preds: Vec<f64> = smiles.iter().map(|s| m.predict(&t, s).pkd).collect();
         let min = preds.iter().copied().fold(f64::INFINITY, f64::min);
         let max = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max);

@@ -69,7 +69,8 @@ impl MoleculeGenerator {
             1 => {
                 // Saturated 5- or 6-ring.
                 let n = 5 + rng.next_below(2) as usize;
-                let atoms: Vec<usize> = (0..n).map(|_| mol.add_atom(Atom::new(Element::C))).collect();
+                let atoms: Vec<usize> =
+                    (0..n).map(|_| mol.add_atom(Atom::new(Element::C))).collect();
                 for i in 0..n {
                     mol.add_bond(atoms[i], atoms[(i + 1) % n], BondOrder::Single);
                 }
@@ -78,7 +79,8 @@ impl MoleculeGenerator {
             _ => {
                 // Alkyl chain of length 3–6.
                 let n = 3 + rng.next_below(4) as usize;
-                let atoms: Vec<usize> = (0..n).map(|_| mol.add_atom(Atom::new(Element::C))).collect();
+                let atoms: Vec<usize> =
+                    (0..n).map(|_| mol.add_atom(Atom::new(Element::C))).collect();
                 for i in 0..n - 1 {
                     mol.add_bond(atoms[i], atoms[i + 1], BondOrder::Single);
                 }
@@ -98,7 +100,11 @@ impl MoleculeGenerator {
         }
 
         let smiles = write_smiles(&mol);
-        GeneratedMolecule { molecule: mol, smiles, virtual_secs: self.cost.molgen_per_candidate_secs }
+        GeneratedMolecule {
+            molecule: mol,
+            smiles,
+            virtual_secs: self.cost.molgen_per_candidate_secs,
+        }
     }
 
     /// Generate `count` candidates.

@@ -62,12 +62,9 @@ impl Pic50Model {
         let mut rng = SplitMix64::new(h, 0x9c50);
         // Mixture: 80% weak N(5.0, 0.8), 20% potent N(7.5, 1.0), clamped.
         let potent = rng.next_f64() < 0.2;
-        let pic50 = if potent {
-            7.5 + rng.next_gaussian()
-        } else {
-            5.0 + 0.8 * rng.next_gaussian()
-        }
-        .clamp(3.0, 11.0);
+        let pic50 =
+            if potent { 7.5 + rng.next_gaussian() } else { 5.0 + 0.8 * rng.next_gaussian() }
+                .clamp(3.0, 11.0);
         Potency { pic50, virtual_secs: self.cost.pic50_secs }
     }
 }

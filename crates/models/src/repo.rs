@@ -165,7 +165,14 @@ mod tests {
     #[test]
     fn builtins_cover_the_ncnpr_lineup() {
         let repo = ModelRepository::with_builtin_models();
-        for name in ["smith_waterman", "pic50", "dtba", "vina_docking", "structure_prediction", "molecule_generation"] {
+        for name in [
+            "smith_waterman",
+            "pic50",
+            "dtba",
+            "vina_docking",
+            "structure_prediction",
+            "molecule_generation",
+        ] {
             assert!(repo.get(name).is_some(), "missing {name}");
         }
         assert_eq!(repo.len(), 6);

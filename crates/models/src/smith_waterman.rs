@@ -194,7 +194,14 @@ impl SmithWaterman {
         out
     }
 
-    fn finish(&self, a: &ProteinSequence, b: &ProteinSequence, best: i32, m: usize, n: usize) -> SwScore {
+    fn finish(
+        &self,
+        a: &ProteinSequence,
+        b: &ProteinSequence,
+        best: i32,
+        m: usize,
+        n: usize,
+    ) -> SwScore {
         let denom = Self::self_score(a).min(Self::self_score(b)).max(1);
         SwScore {
             score: best,
@@ -215,17 +222,17 @@ mod tests {
 
     #[test]
     fn blosum62_is_symmetric() {
-        for i in 0..20 {
-            for j in 0..20 {
-                assert_eq!(BLOSUM62[i][j], BLOSUM62[j][i], "asymmetry at ({i},{j})");
+        for (i, row) in BLOSUM62.iter().enumerate() {
+            for (j, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, BLOSUM62[j][i], "asymmetry at ({i},{j})");
             }
         }
     }
 
     #[test]
     fn blosum62_diagonal_is_positive() {
-        for i in 0..20 {
-            assert!(BLOSUM62[i][i] > 0, "diagonal at {i}");
+        for (i, row) in BLOSUM62.iter().enumerate() {
+            assert!(row[i] > 0, "diagonal at {i}");
         }
         // Known values: W-W = 11, C-C = 9, A-A = 4.
         assert_eq!(BLOSUM62[17][17], 11);

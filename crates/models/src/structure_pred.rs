@@ -183,7 +183,8 @@ mod tests {
         let s = ProteinSequence::parse(&"AEAA".repeat(20)).unwrap();
         let p = StructurePredictor::default_model();
         let ss = p.assign_secondary(&s);
-        let helix_frac = ss.iter().filter(|&&x| x == SecondaryStructure::Helix).count() as f64 / ss.len() as f64;
+        let helix_frac =
+            ss.iter().filter(|&&x| x == SecondaryStructure::Helix).count() as f64 / ss.len() as f64;
         assert!(helix_frac > 0.8, "helix fraction {helix_frac}");
     }
 
@@ -193,7 +194,8 @@ mod tests {
         let s = ProteinSequence::parse(&"VIVI".repeat(20)).unwrap();
         let p = StructurePredictor::default_model();
         let ss = p.assign_secondary(&s);
-        let sheet_frac = ss.iter().filter(|&&x| x == SecondaryStructure::Sheet).count() as f64 / ss.len() as f64;
+        let sheet_frac =
+            ss.iter().filter(|&&x| x == SecondaryStructure::Sheet).count() as f64 / ss.len() as f64;
         assert!(sheet_frac > 0.8, "sheet fraction {sheet_frac}");
     }
 

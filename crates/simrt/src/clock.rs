@@ -39,7 +39,10 @@ impl VirtualClock {
     /// backwards on a rank.
     #[inline]
     pub fn charge(&mut self, secs: f64) {
-        debug_assert!(secs.is_finite() && secs >= 0.0, "charge must be finite and non-negative, got {secs}");
+        debug_assert!(
+            secs.is_finite() && secs >= 0.0,
+            "charge must be finite and non-negative, got {secs}"
+        );
         self.now += secs.max(0.0);
     }
 

@@ -44,13 +44,23 @@ impl NetworkModel {
     /// An idealized zero-cost network, useful to isolate compute effects in
     /// ablations.
     pub fn ideal() -> Self {
-        Self { inter_latency: 0.0, inter_bandwidth: f64::INFINITY, intra_latency: 0.0, intra_bandwidth: f64::INFINITY }
+        Self {
+            inter_latency: 0.0,
+            inter_bandwidth: f64::INFINITY,
+            intra_latency: 0.0,
+            intra_bandwidth: f64::INFINITY,
+        }
     }
 
     /// A deliberately slow commodity-Ethernet-like network (50 µs, 1 GB/s)
     /// for sensitivity studies.
     pub fn commodity() -> Self {
-        Self { inter_latency: 50.0e-6, inter_bandwidth: 1.0e9, intra_latency: 5.0e-7, intra_bandwidth: 40.0e9 }
+        Self {
+            inter_latency: 50.0e-6,
+            inter_bandwidth: 1.0e9,
+            intra_latency: 5.0e-7,
+            intra_bandwidth: 40.0e9,
+        }
     }
 
     /// Cost of moving `bytes` from `src` to `dst` point-to-point.

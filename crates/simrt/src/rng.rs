@@ -86,10 +86,7 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 #[inline]
 pub fn hash_combine(a: u64, b: u64) -> u64 {
     // boost::hash_combine-style mixing lifted to 64 bits.
-    a ^ (b
-        .wrapping_add(0x9E3779B97F4A7C15)
-        .wrapping_add(a << 6)
-        .wrapping_add(a >> 2))
+    a ^ (b.wrapping_add(0x9E3779B97F4A7C15).wrapping_add(a << 6).wrapping_add(a >> 2))
 }
 
 #[cfg(test)]

@@ -15,11 +15,8 @@ pub fn render_timeline(phases: &[PhaseStats], width: usize) -> String {
         return "(no phases recorded)\n".to_string();
     }
     let width = width.max(10);
-    let max = phases
-        .iter()
-        .map(PhaseStats::critical_path)
-        .fold(0.0f64, f64::max)
-        .max(f64::MIN_POSITIVE);
+    let max =
+        phases.iter().map(PhaseStats::critical_path).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
     let name_w = phases.iter().map(|p| p.name.len()).max().unwrap_or(8).max(5);
 
     let mut out = String::new();
@@ -30,7 +27,7 @@ pub fn render_timeline(phases: &[PhaseStats], width: usize) -> String {
     for p in phases {
         let t = p.critical_path();
         let bar_len = ((t / max) * width as f64).round() as usize;
-        let bar: String = std::iter::repeat('#').take(bar_len.max(1)).collect();
+        let bar: String = std::iter::repeat_n('#', bar_len.max(1)).collect();
         out.push_str(&format!(
             "{:<name_w$}  {:>12.6}  {:>8.2}x  {bar}\n",
             p.name,
@@ -58,10 +55,13 @@ pub fn aggregate_by_name(phases: &[PhaseStats]) -> Vec<(String, f64)> {
         }
         *totals.entry(p.name.clone()).or_insert(0.0) += p.critical_path();
     }
-    order.into_iter().map(|n| {
-        let t = totals[&n];
-        (n, t)
-    }).collect()
+    order
+        .into_iter()
+        .map(|n| {
+            let t = totals[&n];
+            (n, t)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -163,7 +163,9 @@ impl Expr {
     pub fn eval(&self, bindings: &dyn Bindings, cx: &mut EvalCtx) -> Result<UdfValue, EvalError> {
         match self {
             Expr::Const(v) => Ok(v.clone()),
-            Expr::Var(name) => bindings.get(name).ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+            Expr::Var(name) => {
+                bindings.get(name).ok_or_else(|| EvalError::UnboundVariable(name.clone()))
+            }
             Expr::Cmp(op, a, b) => {
                 let va = a.eval(bindings, cx)?;
                 let vb = b.eval(bindings, cx)?;
@@ -199,10 +201,7 @@ impl Expr {
                 for a in args {
                     arg_vals.push(a.eval(bindings, cx)?);
                 }
-                let out = cx
-                    .registry
-                    .call(name, &arg_vals)
-                    .map_err(EvalError::UdfFailed)?;
+                let out = cx.registry.call(name, &arg_vals).map_err(EvalError::UdfFailed)?;
                 cx.charged_secs += out.virtual_secs;
                 cx.profiler.record_call(name, out.virtual_secs);
                 Ok(out.value)
@@ -301,11 +300,8 @@ mod tests {
     #[test]
     fn rejections_attributed_to_failing_conjunct() {
         let (r, _) = registry_with_counter();
-        r.register_static(
-            "always_false",
-            Arc::new(|_| UdfOutput::new(UdfValue::Bool(false), 0.1)),
-        )
-        .unwrap();
+        r.register_static("always_false", Arc::new(|_| UdfOutput::new(UdfValue::Bool(false), 0.1)))
+            .unwrap();
         let mut p = UdfProfiler::new();
         {
             let mut cx = EvalCtx::new(&r, &mut p);
@@ -348,8 +344,12 @@ mod tests {
             Err(EvalError::NotBoolean(_))
         ));
         assert!(matches!(
-            Expr::cmp(CmpOp::Lt, Expr::Const(UdfValue::Str("a".into())), Expr::Const(UdfValue::I64(1)))
-                .eval(&b, &mut cx),
+            Expr::cmp(
+                CmpOp::Lt,
+                Expr::Const(UdfValue::Str("a".into())),
+                Expr::Const(UdfValue::I64(1))
+            )
+            .eval(&b, &mut cx),
             Err(EvalError::Incomparable(_))
         ));
         assert!(matches!(

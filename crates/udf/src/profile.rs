@@ -6,6 +6,7 @@
 //! through the lifetime of a running IDS instance", and rank-local so the
 //! planner can tailor decisions to each rank's hardware and data shard.
 
+use ids_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -109,6 +110,31 @@ impl UdfProfiler {
     pub fn names(&self) -> Vec<&str> {
         self.profiles.keys().map(String::as_str).collect()
     }
+
+    /// Export this profiler's state into an `ids-obs` registry as gauges
+    /// (the source data is cumulative, so `set` keeps re-exports
+    /// idempotent). `scope` prefixes the `udf` label value — pass a rank
+    /// tag like `"r3"` for per-rank series, or `""` for the merged view.
+    ///
+    /// Series: `ids_udf_profile_calls{udf=...}`,
+    /// `ids_udf_profile_rejections{udf=...}`, and
+    /// `ids_udf_profile_mean_cost_us{udf=...}` (mean per-call cost in
+    /// whole microseconds of virtual time).
+    pub fn export_metrics(&self, registry: &MetricsRegistry, scope: &str) {
+        for (name, prof) in &self.profiles {
+            let label = if scope.is_empty() { name.clone() } else { format!("{scope}/{name}") };
+            registry
+                .gauge_with("ids_udf_profile_calls", "udf", label.as_str())
+                .set(prof.calls as i64);
+            registry
+                .gauge_with("ids_udf_profile_rejections", "udf", label.as_str())
+                .set(prof.rejections as i64);
+            let mean_us = prof.mean_cost().unwrap_or(0.0) * 1.0e6;
+            registry
+                .gauge_with("ids_udf_profile_mean_cost_us", "udf", label.as_str())
+                .set(mean_us.round() as i64);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +191,31 @@ mod tests {
         let mut names = a.names();
         names.sort_unstable();
         assert_eq!(names, vec!["pic50", "sw"]);
+    }
+
+    #[test]
+    fn export_metrics_sets_idempotent_gauges() {
+        let mut p = UdfProfiler::new();
+        p.record_call("sw", 0.002);
+        p.record_call("sw", 0.004);
+        p.record_rejection("sw");
+        let reg = MetricsRegistry::new();
+        p.export_metrics(&reg, "");
+        p.export_metrics(&reg, ""); // re-export must not double-count
+        p.export_metrics(&reg, "r0");
+        let snap = reg.snapshot();
+        let gauge = |name: &str, label: &str| {
+            *snap
+                .gauges
+                .iter()
+                .find(|(k, _)| k.name == name && k.label_value == label)
+                .map(|(_, v)| v)
+                .unwrap()
+        };
+        assert_eq!(gauge("ids_udf_profile_calls", "sw"), 2);
+        assert_eq!(gauge("ids_udf_profile_rejections", "sw"), 1);
+        assert_eq!(gauge("ids_udf_profile_mean_cost_us", "sw"), 3000);
+        assert_eq!(gauge("ids_udf_profile_calls", "r0/sw"), 2);
     }
 
     #[test]

@@ -63,10 +63,7 @@ pub fn plan_count_based(total: u64, ranks: usize) -> RebalancePlan {
 /// Panics if `rates` is empty or any rate is non-positive/non-finite.
 pub fn plan_throughput_based(total: u64, rates: &[f64]) -> RebalancePlan {
     assert!(!rates.is_empty(), "need at least one rank");
-    assert!(
-        rates.iter().all(|r| r.is_finite() && *r > 0.0),
-        "rates must be positive and finite"
-    );
+    assert!(rates.iter().all(|r| r.is_finite() && *r > 0.0), "rates must be positive and finite");
     let slowest = rates.iter().copied().fold(f64::INFINITY, f64::min);
     let fastest = rates.iter().copied().fold(0.0, f64::max);
 
@@ -87,7 +84,9 @@ pub fn plan_throughput_based(total: u64, rates: &[f64]) -> RebalancePlan {
     let assigned: u64 = targets.iter().sum();
     let mut remainder: Vec<(usize, f64)> =
         ideal.iter().enumerate().map(|(i, x)| (i, x - x.floor())).collect();
-    remainder.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    remainder.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
     for k in 0..(total - assigned) as usize {
         targets[remainder[k % remainder.len()].0] += 1;
     }
@@ -99,11 +98,7 @@ pub fn plan_throughput_based(total: u64, rates: &[f64]) -> RebalancePlan {
 /// `assigned / rate` — UDF evaluations are rank-independent, so the phase
 /// is bounded by its slowest participant.
 pub fn estimate_completion(plan: &RebalancePlan, rates: &[f64]) -> f64 {
-    plan.targets
-        .iter()
-        .zip(rates)
-        .map(|(&n, &r)| n as f64 / r)
-        .fold(0.0, f64::max)
+    plan.targets.iter().zip(rates).map(|(&n, &r)| n as f64 / r).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

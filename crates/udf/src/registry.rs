@@ -97,7 +97,10 @@ impl UdfRegistry {
         if map.contains_key(&name) {
             return Err(format!("dynamic UDF {name:?} already registered (use reload)"));
         }
-        map.insert(name, Entry { kind: UdfKind::Dynamic, func, load_cost, loaded: false, generation: 0 });
+        map.insert(
+            name,
+            Entry { kind: UdfKind::Dynamic, func, load_cost, loaded: false, generation: 0 },
+        );
         Ok(())
     }
 
@@ -200,8 +203,16 @@ mod tests {
         r.register_dynamic("mymod", "score", 2.5, double()).unwrap();
         let first = r.call("mymod.score", &[UdfValue::F64(1.0)]).unwrap();
         let second = r.call("mymod.score", &[UdfValue::F64(1.0)]).unwrap();
-        assert!((first.virtual_secs - 2.501).abs() < 1e-9, "first call pays import: {}", first.virtual_secs);
-        assert!((second.virtual_secs - 0.001).abs() < 1e-9, "cached module: {}", second.virtual_secs);
+        assert!(
+            (first.virtual_secs - 2.501).abs() < 1e-9,
+            "first call pays import: {}",
+            first.virtual_secs
+        );
+        assert!(
+            (second.virtual_secs - 0.001).abs() < 1e-9,
+            "cached module: {}",
+            second.virtual_secs
+        );
     }
 
     #[test]

@@ -11,9 +11,28 @@
 use crate::expr::Expr;
 use crate::profile::UdfProfiler;
 
-/// How close two cost estimates must be (relative) to fall back to the
-/// selectivity tie-break.
-const SIMILAR_COST_TOLERANCE: f64 = 0.2;
+/// Ratio of the geometric cost bands used to decide when two estimates
+/// are "about the same". Costs are bucketed on a log scale with this
+/// ratio (1.2 ≈ the paper's ±20% similarity window); conjuncts in the
+/// same band tie-break on rejection rate.
+///
+/// Bucketing — rather than a pairwise `|a-b| <= 0.2*max(a,b)` test —
+/// makes the comparator a *total order*: the pairwise test is not
+/// transitive (a≈b and b≈c do not imply a≈c), which violates
+/// `sort_by`'s strict-weak-ordering contract and let the final order
+/// depend on element positions.
+const COST_BAND_RATIO: f64 = 1.2;
+
+/// Floor below which costs are clamped before taking the log, so
+/// zero-cost estimates bucket finitely.
+const MIN_BUCKETABLE_COST: f64 = 1.0e-12;
+
+/// Geometric cost band for `cost`: `floor(log_{1.2}(cost))`. Two costs
+/// within ~20% of each other land in the same or adjacent bands; equal
+/// bands are treated as "similar cost" by [`order_conjuncts`].
+pub fn cost_bucket(cost: f64) -> i64 {
+    (cost.max(MIN_BUCKETABLE_COST).ln() / COST_BAND_RATIO.ln()).floor() as i64
+}
 
 /// Per-conjunct planning estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,8 +70,10 @@ pub fn estimate_conjunct(
 
 /// Compute the evaluation order for a conjunction: indices into
 /// `conjuncts`, cheapest first, higher-rejection first among
-/// similar-cost conjuncts. The sort is stable with respect to the original
-/// order for exact ties, so reordering is deterministic.
+/// similar-cost conjuncts (same geometric cost band), original order
+/// for exact ties. The sort key `(cost band, -rejection, index)` is a
+/// total order, so the result is deterministic and independent of the
+/// conjuncts' initial arrangement.
 pub fn order_conjuncts(
     conjuncts: &[Expr],
     profiler: &UdfProfiler,
@@ -66,17 +87,10 @@ pub fn order_conjuncts(
     let mut idx: Vec<usize> = (0..conjuncts.len()).collect();
     idx.sort_by(|&a, &b| {
         let (ea, eb) = (est[a], est[b]);
-        let max_cost = ea.cost.max(eb.cost);
-        let similar = max_cost <= 0.0 || (ea.cost - eb.cost).abs() <= SIMILAR_COST_TOLERANCE * max_cost;
-        if similar {
-            // Higher rejection first; fall back to original order.
-            eb.rejection
-                .partial_cmp(&ea.rejection)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        } else {
-            ea.cost.partial_cmp(&eb.cost).unwrap_or(std::cmp::Ordering::Equal)
-        }
+        cost_bucket(ea.cost)
+            .cmp(&cost_bucket(eb.cost))
+            .then_with(|| eb.rejection.total_cmp(&ea.rejection))
+            .then_with(|| a.cmp(&b))
     });
     idx
 }
@@ -85,7 +99,9 @@ pub fn order_conjuncts(
 pub fn reorder_and(conjuncts: Vec<Expr>, order: &[usize]) -> Expr {
     debug_assert_eq!(conjuncts.len(), order.len());
     let mut slots: Vec<Option<Expr>> = conjuncts.into_iter().map(Some).collect();
-    Expr::And(order.iter().map(|&i| slots[i].take().expect("order must be a permutation")).collect())
+    Expr::And(
+        order.iter().map(|&i| slots[i].take().expect("order must be a permutation")).collect(),
+    )
 }
 
 /// Expected cost of evaluating a chain in the given order, under
@@ -107,11 +123,7 @@ mod tests {
     use crate::value::UdfValue;
 
     fn udf_conjunct(name: &str) -> Expr {
-        Expr::cmp(
-            CmpOp::Ge,
-            Expr::udf(name, vec![Expr::var("x")]),
-            Expr::Const(UdfValue::F64(0.5)),
-        )
+        Expr::cmp(CmpOp::Ge, Expr::udf(name, vec![Expr::var("x")]), Expr::Const(UdfValue::F64(0.5)))
     }
 
     fn profiler_with(data: &[(&str, f64, u64, u64)]) -> UdfProfiler {
@@ -132,11 +144,8 @@ mod tests {
     fn orders_by_ascending_cost() {
         // The NCNPR ordering: SW (1e-3) → pIC50 is actually cheaper but
         // profile data decides — here docking ≫ dtba ≫ sw.
-        let p = profiler_with(&[
-            ("docking", 35.0, 10, 2),
-            ("sw", 0.001, 10, 5),
-            ("dtba", 0.8, 10, 3),
-        ]);
+        let p =
+            profiler_with(&[("docking", 35.0, 10, 2), ("sw", 0.001, 10, 5), ("dtba", 0.8, 10, 3)]);
         let conjuncts = vec![udf_conjunct("docking"), udf_conjunct("sw"), udf_conjunct("dtba")];
         let order = order_conjuncts(&conjuncts, &p, |_| 1.0, 0.5);
         assert_eq!(order, vec![1, 2, 0], "sw, dtba, docking");
@@ -146,7 +155,7 @@ mod tests {
     fn similar_costs_break_by_rejection() {
         // Two UDFs within 20% cost; the more selective goes first.
         let p = profiler_with(&[
-            ("a", 1.0, 100, 10),  // rejects 10%
+            ("a", 1.0, 100, 10), // rejects 10%
             ("b", 1.1, 100, 90), // rejects 90%, costs 10% more
         ]);
         let conjuncts = vec![udf_conjunct("a"), udf_conjunct("b")];
@@ -157,7 +166,7 @@ mod tests {
     #[test]
     fn dissimilar_costs_ignore_rejection() {
         let p = profiler_with(&[
-            ("cheap_weak", 0.1, 100, 1),   // barely selective but cheap
+            ("cheap_weak", 0.1, 100, 1),      // barely selective but cheap
             ("costly_strong", 10.0, 100, 99), // very selective but 100x cost
         ]);
         let conjuncts = vec![udf_conjunct("costly_strong"), udf_conjunct("cheap_weak")];

@@ -1,7 +1,9 @@
 //! Property-based tests for the adaptive-planning pieces.
 
 use ids_udf::expr::CmpOp;
-use ids_udf::reorder::{estimate_conjunct, expected_chain_cost, order_conjuncts, ConjunctEstimate};
+use ids_udf::reorder::{
+    cost_bucket, estimate_conjunct, expected_chain_cost, order_conjuncts, ConjunctEstimate,
+};
 use ids_udf::{plan_count_based, plan_throughput_based, Expr, UdfProfiler, UdfValue};
 use proptest::prelude::*;
 
@@ -31,6 +33,51 @@ proptest! {
         let mut sorted = order.clone();
         sorted.sort_unstable();
         prop_assert_eq!(sorted, (0..conjuncts.len()).collect::<Vec<_>>());
+    }
+
+    /// The comparator is a total order: the produced order is a
+    /// permutation that exactly matches an independent sort by the key
+    /// `(cost band, -rejection, original index)` — no strict-weak-ordering
+    /// violations, no dependence on input arrangement.
+    #[test]
+    fn reorder_is_comparator_consistent(
+        profile in proptest::collection::vec((1.0e-6f64..100.0, 0u8..=10), 1..12),
+    ) {
+        let mut profiler = UdfProfiler::new();
+        let conjuncts: Vec<Expr> = profile
+            .iter()
+            .enumerate()
+            .map(|(i, &(cost, rejected_of_10))| {
+                let name = format!("u{i}");
+                for _ in 0..10 {
+                    profiler.record_call(&name, cost);
+                }
+                for _ in 0..rejected_of_10 {
+                    profiler.record_rejection(&name);
+                }
+                udf_conjunct(name)
+            })
+            .collect();
+        let order = order_conjuncts(&conjuncts, &profiler, |_| 1.0, 0.5);
+
+        // Permutation.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&sorted, &(0..conjuncts.len()).collect::<Vec<_>>());
+
+        // Consistent with the documented total-order key.
+        let est: Vec<ConjunctEstimate> = conjuncts
+            .iter()
+            .map(|e| estimate_conjunct(e, &profiler, |_| 1.0, 0.5))
+            .collect();
+        let mut expect: Vec<usize> = (0..est.len()).collect();
+        expect.sort_by(|&a, &b| {
+            cost_bucket(est[a].cost)
+                .cmp(&cost_bucket(est[b].cost))
+                .then_with(|| est[b].rejection.total_cmp(&est[a].rejection))
+                .then_with(|| a.cmp(&b))
+        });
+        prop_assert_eq!(order, expect);
     }
 
     /// With equal rejection rates, the planner's order is optimal in

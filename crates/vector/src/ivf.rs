@@ -8,8 +8,16 @@
 
 use crate::kernel::l2_squared;
 use crate::store::{SearchHit, VectorStore};
+use ids_obs::{Counter, MetricsRegistry};
 use ids_simrt::rng::SplitMix64;
 use std::cmp::Ordering;
+
+/// Pre-resolved search counters, attached on demand.
+struct IvfMetrics {
+    searches: Counter,
+    probes: Counter,
+    candidates: Counter,
+}
 
 /// An IVF index over an externally owned corpus.
 pub struct IvfIndex {
@@ -17,6 +25,7 @@ pub struct IvfIndex {
     centroids: Vec<Vec<f32>>,
     /// Per-cell member lists: (external id, vector).
     cells: Vec<Vec<(u64, Vec<f32>)>>,
+    metrics: Option<IvfMetrics>,
 }
 
 impl IvfIndex {
@@ -46,14 +55,13 @@ impl IvfIndex {
         let mut assignment = vec![0usize; n];
         for _ in 0..iters {
             // Assign.
-            for i in 0..n {
-                assignment[i] = nearest_centroid(corpus.vector_at(i), &centroids);
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                *slot = nearest_centroid(corpus.vector_at(i), &centroids);
             }
             // Update.
             let mut sums = vec![vec![0f32; dim]; nlist];
             let mut counts = vec![0usize; nlist];
-            for i in 0..n {
-                let c = assignment[i];
+            for (i, &c) in assignment.iter().enumerate() {
                 counts[c] += 1;
                 for (s, v) in sums[c].iter_mut().zip(corpus.vector_at(i)) {
                     *s += v;
@@ -77,7 +85,18 @@ impl IvfIndex {
             cells[c].push((corpus.id_at(i), corpus.vector_at(i).to_vec()));
         }
 
-        Self { dim, centroids, cells }
+        Self { dim, centroids, cells, metrics: None }
+    }
+
+    /// Attach an `ids-obs` registry: every subsequent search bumps
+    /// `ids_vector_searches_total`, `ids_vector_probes_total` (cells
+    /// visited), and `ids_vector_candidates_total` (vectors scored).
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(IvfMetrics {
+            searches: registry.counter("ids_vector_searches_total"),
+            probes: registry.counter("ids_vector_probes_total"),
+            candidates: registry.counter("ids_vector_candidates_total"),
+        });
     }
 
     /// Number of cells.
@@ -108,11 +127,13 @@ impl IvfIndex {
                 hits.push(SearchHit { id: *id, score: -l2_squared(query, v) });
             }
         }
+        if let Some(m) = &self.metrics {
+            m.searches.inc();
+            m.probes.add(nprobe as u64);
+            m.candidates.add(hits.len() as u64);
+        }
         hits.sort_unstable_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
+            b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then_with(|| a.id.cmp(&b.id))
         });
         hits.truncate(k);
         hits
@@ -186,6 +207,20 @@ mod tests {
         let exact_ids: Vec<u64> = exact.iter().map(|h| h.id).collect();
         let ivf_ids: Vec<u64> = ivf.iter().map(|h| h.id).collect();
         assert_eq!(exact_ids, ivf_ids);
+    }
+
+    #[test]
+    fn probe_metrics_count_searches_and_cells() {
+        let corpus = corpus_with_clusters();
+        let mut idx = IvfIndex::build(&corpus, 8, 8, 3);
+        let reg = MetricsRegistry::new();
+        idx.attach_metrics(&reg);
+        idx.search(&[0.0, 0.0, 0.0, 0.0], 5, 2);
+        idx.search(&[10.0, 10.0, 0.0, 0.0], 5, 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("ids_vector_searches_total", ""), 2);
+        assert_eq!(snap.counter("ids_vector_probes_total", ""), 5);
+        assert!(snap.counter("ids_vector_candidates_total", "") > 0);
     }
 
     #[test]

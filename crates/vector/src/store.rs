@@ -5,6 +5,7 @@
 //! parallelizes across rayon workers and merges per-worker heaps.
 
 use crate::kernel::{cosine, l2_squared};
+use ids_obs::{Counter, MetricsRegistry};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -26,11 +27,18 @@ pub struct SearchHit {
     pub score: f32,
 }
 
+/// Pre-resolved exact-scan counters, attached on demand.
+struct StoreMetrics {
+    searches: Counter,
+    scanned: Counter,
+}
+
 /// Fixed-dimension vector store.
 pub struct VectorStore {
     dim: usize,
     ids: Vec<u64>,
     data: Vec<f32>,
+    metrics: Option<StoreMetrics>,
 }
 
 impl VectorStore {
@@ -40,7 +48,17 @@ impl VectorStore {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Self { dim, ids: Vec::new(), data: Vec::new() }
+        Self { dim, ids: Vec::new(), data: Vec::new(), metrics: None }
+    }
+
+    /// Attach an `ids-obs` registry: every subsequent exact search bumps
+    /// `ids_vector_exact_searches_total` and
+    /// `ids_vector_exact_scanned_total` (vectors scored).
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(StoreMetrics {
+            searches: registry.counter("ids_vector_exact_searches_total"),
+            scanned: registry.counter("ids_vector_exact_scanned_total"),
+        });
     }
 
     /// Vector dimension.
@@ -91,6 +109,10 @@ impl VectorStore {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
+        if let Some(m) = &self.metrics {
+            m.searches.inc();
+            m.scanned.add(self.len() as u64);
+        }
         // Parallel chunked scan; each chunk keeps its own top-k, merged at
         // the end (cheaper than a shared concurrent heap).
         let chunk = (self.len() / rayon::current_num_threads().max(1)).max(1024);
@@ -123,10 +145,7 @@ impl VectorStore {
 /// by id for determinism).
 fn keep_top_k(hits: &mut Vec<SearchHit>, k: usize) {
     hits.sort_unstable_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| a.id.cmp(&b.id))
+        b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then_with(|| a.id.cmp(&b.id))
     });
     hits.truncate(k);
 }

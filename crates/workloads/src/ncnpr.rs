@@ -57,7 +57,12 @@ impl Default for NcnprConfig {
             bands: vec![
                 // Near-identical: survives every threshold ≥ 0.9 → 56
                 // compounds (Table 2 rows 0.99–0.90).
-                Band { mutation_rate: 0.0, similarity_range: None, proteins: 8, compounds_per_protein: 7 },
+                Band {
+                    mutation_rate: 0.0,
+                    similarity_range: None,
+                    proteins: 8,
+                    compounds_per_protein: 7,
+                },
                 // One protein at similarity ≈ 0.85: Table 2's +1 compound
                 // between thresholds 0.90 and 0.80 (rows 0.80–0.50 = 57).
                 Band {
@@ -112,13 +117,13 @@ pub fn build(ds: &Datastore, cfg: &NcnprConfig) -> NcnprDataset {
     let mut compound_index = 0u64;
 
     let add_protein = |ds: &Datastore,
-                           name: &str,
-                           seq: &ProteinSequence,
-                           reviewed: bool,
-                           n_compounds: usize,
-                           compound_index: &mut u64,
-                           triples: &mut usize,
-                           compounds: &mut usize| {
+                       name: &str,
+                       seq: &ProteinSequence,
+                       reviewed: bool,
+                       n_compounds: usize,
+                       compound_index: &mut u64,
+                       triples: &mut usize,
+                       compounds: &mut usize| {
         let subject = Term::iri(format!("up:{name}"));
         ds.add_fact(&subject, &Term::iri("rdf:type"), &Term::iri("up:Protein"));
         ds.add_fact(&subject, &Term::iri("up:reviewed"), &Term::Int(reviewed as i64));
@@ -139,7 +144,16 @@ pub fn build(ds: &Datastore, cfg: &NcnprConfig) -> NcnprDataset {
 
     // The target itself (reviewed, no attached compounds — candidates come
     // from *related* proteins, per the workflow).
-    add_protein(ds, "P29274", &target_seq, true, 0, &mut compound_index, &mut triples, &mut compounds);
+    add_protein(
+        ds,
+        "P29274",
+        &target_seq,
+        true,
+        0,
+        &mut compound_index,
+        &mut triples,
+        &mut compounds,
+    );
     proteins += 1;
 
     // Similarity bands.
@@ -164,7 +178,16 @@ pub fn build(ds: &Datastore, cfg: &NcnprConfig) -> NcnprDataset {
     // Background: unrelated, unreviewed proteins with no candidates.
     for p in 0..cfg.background_proteins {
         let seq = ProteinSequence::random(cfg.sequence_len, &mut rng);
-        add_protein(ds, &format!("BG{p}"), &seq, false, 0, &mut compound_index, &mut triples, &mut compounds);
+        add_protein(
+            ds,
+            &format!("BG{p}"),
+            &seq,
+            false,
+            0,
+            &mut compound_index,
+            &mut triples,
+            &mut compounds,
+        );
         proteins += 1;
     }
 
@@ -214,7 +237,8 @@ mod tests {
     #[test]
     fn default_config_matches_table2_bands() {
         let cfg = NcnprConfig::default();
-        let counts: Vec<usize> = cfg.bands.iter().map(|b| b.proteins * b.compounds_per_protein).collect();
+        let counts: Vec<usize> =
+            cfg.bands.iter().map(|b| b.proteins * b.compounds_per_protein).collect();
         let cum: Vec<usize> = counts
             .iter()
             .scan(0, |acc, &c| {
@@ -231,7 +255,12 @@ mod tests {
     #[test]
     fn build_writes_expected_counts() {
         let cfg = NcnprConfig {
-            bands: vec![Band { mutation_rate: 0.0, similarity_range: None, proteins: 2, compounds_per_protein: 3 }],
+            bands: vec![Band {
+                mutation_rate: 0.0,
+                similarity_range: None,
+                proteins: 2,
+                compounds_per_protein: 3,
+            }],
             background_proteins: 5,
             ..NcnprConfig::default()
         };
@@ -287,20 +316,21 @@ mod tests {
         let dict = ds.dictionary();
         let inhibits = dict.lookup(&Term::iri("chembl:inhibits")).unwrap();
         let sequence = dict.lookup(&Term::iri("up:sequence")).unwrap();
-        let edges = ds
-            .dictionary()
-            .lookup(&Term::iri("rdf:type"))
-            .map(|_| ())
-            .and_then(|_| Some(()));
+        let edges = ds.dictionary().lookup(&Term::iri("rdf:type")).map(|_| ()).map(|_| ());
         let _ = edges;
         let mut counts = std::collections::HashMap::new();
         let all_inhibits: Vec<_> = (0..ds.num_shards())
-            .flat_map(|s| ds.scan_shard(s, &ids_graph::TriplePattern::new(None, Some(inhibits), None)))
+            .flat_map(|s| {
+                ds.scan_shard(s, &ids_graph::TriplePattern::new(None, Some(inhibits), None))
+            })
             .collect();
         for tr in &all_inhibits {
             let seq_triples: Vec<_> = (0..ds.num_shards())
                 .flat_map(|s| {
-                    ds.scan_shard(s, &ids_graph::TriplePattern::new(Some(tr.o), Some(sequence), None))
+                    ds.scan_shard(
+                        s,
+                        &ids_graph::TriplePattern::new(Some(tr.o), Some(sequence), None),
+                    )
                 })
                 .collect();
             let seq_term = dict.decode(seq_triples[0].o).unwrap();

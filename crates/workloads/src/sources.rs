@@ -97,13 +97,13 @@ impl SourceKind {
     /// Triples emitted per entity by this source's schema.
     fn triples_per_entity(self) -> u64 {
         match self {
-            SourceKind::UniProt => 5,    // type, accession, reviewed, sequence, organism
-            SourceKind::ChemblRdf => 4,  // type, smiles, assay, inhibits
-            SourceKind::Bio2Rdf => 2,    // xref pairs
-            SourceKind::OrthoDb => 3,    // group, member, species
-            SourceKind::Biomodels => 3,  // model, describes, species
+            SourceKind::UniProt => 5,   // type, accession, reviewed, sequence, organism
+            SourceKind::ChemblRdf => 4, // type, smiles, assay, inhibits
+            SourceKind::Bio2Rdf => 2,   // xref pairs
+            SourceKind::OrthoDb => 3,   // group, member, species
+            SourceKind::Biomodels => 3, // model, describes, species
             SourceKind::Biosamples => 3, // sample, of-organism, attribute
-            SourceKind::Reactome => 3,   // pathway, has-participant, next
+            SourceKind::Reactome => 3,  // pathway, has-participant, next
         }
     }
 }
@@ -138,40 +138,100 @@ pub fn generate_source(ds: &Datastore, kind: SourceKind, scale: f64, seed: u64) 
             SourceKind::UniProt => {
                 ds.add_fact(&subject, &Term::iri("rdf:type"), &Term::iri("up:Protein"));
                 ds.add_fact(&subject, &Term::iri("up:accession"), &Term::str(format!("U{e:08}")));
-                ds.add_fact(&subject, &Term::iri("up:reviewed"), &Term::Int((rng.next_below(10) == 0) as i64));
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("up:reviewed"),
+                    &Term::Int((rng.next_below(10) == 0) as i64),
+                );
                 let seq_len = 80 + rng.next_below(200);
                 ds.add_fact(&subject, &Term::iri("up:seqLength"), &Term::Int(seq_len as i64));
-                ds.add_fact(&subject, &Term::iri("up:organism"), &Term::iri(format!("taxon:{}", rng.next_below(500))));
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("up:organism"),
+                    &Term::iri(format!("taxon:{}", rng.next_below(500))),
+                );
             }
             SourceKind::ChemblRdf => {
                 ds.add_fact(&subject, &Term::iri("rdf:type"), &Term::iri("chembl:Compound"));
-                ds.add_fact(&subject, &Term::iri("chembl:mw"), &Term::float(150.0 + rng.next_f64() * 400.0));
-                ds.add_fact(&subject, &Term::iri("chembl:assayCount"), &Term::Int(rng.next_below(50) as i64));
-                ds.add_fact(&subject, &Term::iri("chembl:inhibits"), &Term::iri(format!("up:{}", rng.next_below(entities))));
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("chembl:mw"),
+                    &Term::float(150.0 + rng.next_f64() * 400.0),
+                );
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("chembl:assayCount"),
+                    &Term::Int(rng.next_below(50) as i64),
+                );
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("chembl:inhibits"),
+                    &Term::iri(format!("up:{}", rng.next_below(entities))),
+                );
             }
             SourceKind::Bio2Rdf => {
-                ds.add_fact(&subject, &Term::iri("b2r:xref"), &Term::iri(format!("up:{}", rng.next_below(entities))));
-                ds.add_fact(&subject, &Term::iri("b2r:source"), &Term::iri(format!("db:{}", rng.next_below(30))));
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("b2r:xref"),
+                    &Term::iri(format!("up:{}", rng.next_below(entities))),
+                );
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("b2r:source"),
+                    &Term::iri(format!("db:{}", rng.next_below(30))),
+                );
             }
             SourceKind::OrthoDb => {
                 ds.add_fact(&subject, &Term::iri("rdf:type"), &Term::iri("odb:OrthologGroup"));
-                ds.add_fact(&subject, &Term::iri("odb:member"), &Term::iri(format!("up:{}", rng.next_below(entities))));
-                ds.add_fact(&subject, &Term::iri("odb:species"), &Term::iri(format!("taxon:{}", rng.next_below(500))));
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("odb:member"),
+                    &Term::iri(format!("up:{}", rng.next_below(entities))),
+                );
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("odb:species"),
+                    &Term::iri(format!("taxon:{}", rng.next_below(500))),
+                );
             }
             SourceKind::Biomodels => {
                 ds.add_fact(&subject, &Term::iri("rdf:type"), &Term::iri("biomodel:Model"));
-                ds.add_fact(&subject, &Term::iri("biomodel:describes"), &Term::iri(format!("up:{}", rng.next_below(entities))));
-                ds.add_fact(&subject, &Term::iri("biomodel:curated"), &Term::Int((rng.next_below(2) == 0) as i64));
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("biomodel:describes"),
+                    &Term::iri(format!("up:{}", rng.next_below(entities))),
+                );
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("biomodel:curated"),
+                    &Term::Int((rng.next_below(2) == 0) as i64),
+                );
             }
             SourceKind::Biosamples => {
                 ds.add_fact(&subject, &Term::iri("rdf:type"), &Term::iri("biosample:Sample"));
-                ds.add_fact(&subject, &Term::iri("biosample:organism"), &Term::iri(format!("taxon:{}", rng.next_below(500))));
-                ds.add_fact(&subject, &Term::iri("biosample:attribute"), &Term::str(format!("attr{}", rng.next_below(100))));
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("biosample:organism"),
+                    &Term::iri(format!("taxon:{}", rng.next_below(500))),
+                );
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("biosample:attribute"),
+                    &Term::str(format!("attr{}", rng.next_below(100))),
+                );
             }
             SourceKind::Reactome => {
                 ds.add_fact(&subject, &Term::iri("rdf:type"), &Term::iri("reactome:Pathway"));
-                ds.add_fact(&subject, &Term::iri("reactome:participant"), &Term::iri(format!("up:{}", rng.next_below(entities))));
-                ds.add_fact(&subject, &Term::iri("reactome:next"), &Term::iri(format!("{ns}:{}", (e + 1) % entities)));
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("reactome:participant"),
+                    &Term::iri(format!("up:{}", rng.next_below(entities))),
+                );
+                ds.add_fact(
+                    &subject,
+                    &Term::iri("reactome:next"),
+                    &Term::iri(format!("{ns}:{}", (e + 1) % entities)),
+                );
             }
         }
         triples += per_entity;

@@ -11,7 +11,9 @@
 //! Run with: `cargo run --release --example cache_sharing`
 
 use ids::cache::{BackingStore, CacheConfig, CacheManager};
-use ids::core::workflow::{install_workflow, repurposing_query, RepurposingThresholds, WorkflowModels};
+use ids::core::workflow::{
+    install_workflow, repurposing_query, RepurposingThresholds, WorkflowModels,
+};
 use ids::core::{IdsConfig, IdsInstance};
 use ids::simrt::{NetworkModel, NodeId, Topology};
 use ids::workloads::ncnpr::{build, NcnprConfig};
@@ -22,8 +24,7 @@ fn launch_instance(topo: Topology, cache: &Arc<CacheManager>, seed: u64) -> IdsI
     cfg.topology = topo;
     let mut inst = IdsInstance::launch(cfg);
     inst.attach_cache(Arc::clone(cache));
-    let mut ncfg = NcnprConfig::default();
-    ncfg.background_proteins = 20;
+    let ncfg = NcnprConfig { background_proteins: 20, ..NcnprConfig::default() };
     let dataset = build(inst.datastore(), &ncfg);
     let target = dataset.target.clone();
     install_workflow(&mut inst, &target, WorkflowModels::paper_models());
@@ -48,7 +49,11 @@ fn main() {
     println!("instance A: cold run, stashing docking outputs in the shared cache...");
     let mut a = launch_instance(topo, &cache, 7);
     let cold = a.query(&q).expect("A's run");
-    println!("  A docked {} candidates in {:.1} virtual s", cold.solutions.len(), cold.elapsed_secs);
+    println!(
+        "  A docked {} candidates in {:.1} virtual s",
+        cold.solutions.len(),
+        cold.elapsed_secs
+    );
 
     // Researcher B launches a *different* instance against the same cache.
     // (Both instances were built from the same published dataset, so the

@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example drug_repurposing`
 
 use ids::cache::{BackingStore, CacheConfig, CacheManager};
-use ids::core::workflow::{install_workflow, repurposing_query, RepurposingThresholds, WorkflowModels};
+use ids::core::workflow::{
+    install_workflow, repurposing_query, RepurposingThresholds, WorkflowModels,
+};
 use ids::core::{IdsConfig, IdsInstance};
 use ids::simrt::{NetworkModel, Topology};
 use ids::workloads::ncnpr::{build, NcnprConfig};
@@ -32,8 +34,7 @@ fn main() {
 
     // Build the NCNPR graph: similarity bands of related proteins, each
     // with inhibitor compounds carrying valid SMILES.
-    let mut ncfg = NcnprConfig::default();
-    ncfg.background_proteins = 50;
+    let ncfg = NcnprConfig { background_proteins: 50, ..NcnprConfig::default() };
     let dataset = build(ids.datastore(), &ncfg);
     println!(
         "NCNPR graph: {} proteins, {} compounds, {} triples; target {}",

@@ -1,0 +1,74 @@
+//! Observability: watch an IDS instance through the `ids-obs` layer —
+//! EXPLAIN with a live metrics block, the Prometheus text exposition,
+//! and the virtual-clock span log.
+//!
+//! Run with: `cargo run --release --example observability`
+
+use ids::core::{IdsConfig, IdsInstance};
+use ids::graph::Term;
+use ids::udf::{UdfOutput, UdfValue};
+use std::sync::Arc;
+
+fn main() {
+    let mut ids = IdsInstance::launch(IdsConfig::laptop(8, 42));
+
+    // A small knowledge graph plus a deliberately mixed-cost UDF chain so
+    // the FILTER reordering has something to decide.
+    let ds = ids.datastore().clone();
+    for i in 0..64 {
+        let s = Term::iri(format!("up:P{i:05}"));
+        ds.add_fact(&s, &Term::iri("rdf:type"), &Term::iri("up:Protein"));
+        ds.add_fact(&s, &Term::iri("up:length"), &Term::Int(200 + 7 * i));
+    }
+    ds.build_indexes();
+
+    ids.registry()
+        .register_static(
+            "slow_check",
+            Arc::new(|args: &[UdfValue]| {
+                let len = args[0].as_f64().unwrap_or(0.0);
+                UdfOutput::new(UdfValue::Bool(len > 300.0), 5.0e-3)
+            }),
+        )
+        .unwrap();
+    ids.registry()
+        .register_static(
+            "cheap_check",
+            Arc::new(|args: &[UdfValue]| {
+                let len = args[0].as_f64().unwrap_or(0.0);
+                UdfOutput::new(UdfValue::Bool((len as i64) % 3 == 0), 1.0e-5)
+            }),
+        )
+        .unwrap();
+
+    let q = r#"SELECT ?p WHERE { ?p <up:length> ?len .
+                                 FILTER(slow_check(?len) && cheap_check(?len)) }"#;
+
+    // 1. EXPLAIN before anything ran: the metrics block is an explicit
+    //    placeholder, not an absence.
+    println!("== EXPLAIN (cold) ==\n{}", ids.explain(q).expect("explain"));
+
+    // 2. Run the query a few times so the profiler learns UDF costs and
+    //    the engine accumulates stage timings.
+    for _ in 0..3 {
+        ids.query(q).expect("query");
+    }
+
+    // 3. EXPLAIN again: now the plan carries the expected conjunct-chain
+    //    cost and the live metrics block (stage timings, reorder tally).
+    println!("== EXPLAIN (after 3 runs) ==\n{}", ids.explain(q).expect("explain"));
+
+    // 4. The same snapshot, machine-readable: Prometheus text exposition.
+    println!("== Prometheus exposition (excerpt) ==");
+    for line in ids.render_prometheus().lines() {
+        if line.starts_with("ids_engine") || line.starts_with("ids_planner") {
+            println!("{line}");
+        }
+    }
+
+    // 5. Spans: what happened when, in virtual time.
+    println!("\n== span log (virtual clock) ==");
+    for span in ids.metrics().spans().snapshot() {
+        println!("{span}");
+    }
+}

@@ -51,9 +51,8 @@ fn main() {
 
     // ---- what-is: a point lookup --------------------------------------------
     println!("== what-is: molecular weight of compound GEN7 ==");
-    let out = ids
-        .query(r#"SELECT ?mw WHERE { <chembl:GEN7> <chembl:mw> ?mw . }"#)
-        .expect("what-is");
+    let out =
+        ids.query(r#"SELECT ?mw WHERE { <chembl:GEN7> <chembl:mw> ?mw . }"#).expect("what-is");
     println!(
         "  GEN7 weighs {} g/mol  ({:.2} virtual ms — 'a simple what-is query returns in milliseconds')",
         ds.decode(out.solutions.rows()[0][0]).unwrap(),

@@ -13,6 +13,7 @@
 //! * [`udf`] — UDF registry, profiling, reordering, re-balancing
 //! * [`cache`] — global shared client-side cache
 //! * [`core`] — the IDS engine: datastore, IQL, planner, workflows
+//! * [`obs`] — metrics registry, virtual-clock spans, Prometheus exposition
 //! * [`workloads`] — synthetic Table-1-shaped dataset generators
 
 pub use ids_cache as cache;
@@ -21,6 +22,7 @@ pub use ids_core as core;
 pub use ids_feature as feature;
 pub use ids_graph as graph;
 pub use ids_models as models;
+pub use ids_obs as obs;
 pub use ids_simrt as simrt;
 pub use ids_udf as udf;
 pub use ids_vector as vector;

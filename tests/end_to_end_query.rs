@@ -95,12 +95,8 @@ fn apply_stage_binds_new_column_and_projects() {
         .unwrap();
     assert_eq!(out.solutions.len(), 3);
     let ds = inst.datastore();
-    let mut doubled: Vec<f64> = out
-        .solutions
-        .rows()
-        .iter()
-        .map(|r| ds.decode(r[1]).unwrap().as_f64().unwrap())
-        .collect();
+    let mut doubled: Vec<f64> =
+        out.solutions.rows().iter().map(|r| ds.decode(r[1]).unwrap().as_f64().unwrap()).collect();
     doubled.sort_by(|a, b| a.partial_cmp(b).unwrap());
     assert_eq!(doubled, vec![0.0, 2.0, 4.0]);
 }
@@ -138,17 +134,11 @@ fn results_identical_across_cluster_sizes() {
         let inst0 = IdsInstance::launch(IdsConfig::laptop(ranks, 1));
         let ds = inst0.datastore();
         for i in 0..40 {
-            ds.add_fact(
-                &Term::iri(format!("e:{i}")),
-                &Term::iri("val"),
-                &Term::Int(i * 7 % 13),
-            );
+            ds.add_fact(&Term::iri(format!("e:{i}")), &Term::iri("val"), &Term::Int(i * 7 % 13));
         }
         ds.build_indexes();
         let mut inst = inst0;
-        let out = inst
-            .query(r#"SELECT ?e ?v WHERE { ?e <val> ?v . FILTER(?v > 5) }"#)
-            .unwrap();
+        let out = inst.query(r#"SELECT ?e ?v WHERE { ?e <val> ?v . FILTER(?v > 5) }"#).unwrap();
         let mut rows: Vec<(String, i64)> = out
             .solutions
             .rows()
@@ -178,9 +168,11 @@ fn profiles_persist_across_queries() {
         .unwrap();
     let q = r#"SELECT ?p WHERE { ?p <rdf:type> <Paper> . FILTER(pass(?p)) }"#;
     inst.query(q).unwrap();
-    let after_one: u64 = inst.profilers().iter().filter_map(|p| p.get("pass")).map(|p| p.calls).sum();
+    let after_one: u64 =
+        inst.profilers().iter().filter_map(|p| p.get("pass")).map(|p| p.calls).sum();
     inst.query(q).unwrap();
-    let after_two: u64 = inst.profilers().iter().filter_map(|p| p.get("pass")).map(|p| p.calls).sum();
+    let after_two: u64 =
+        inst.profilers().iter().filter_map(|p| p.get("pass")).map(|p| p.calls).sum();
     assert_eq!(after_one, 30);
     assert_eq!(after_two, 60, "the profiling datastore accumulates for the instance lifetime");
 }
@@ -223,10 +215,7 @@ fn dynamic_udf_reload_changes_query_behaviour() {
 fn error_paths_are_reported_not_panics() {
     let mut inst = library();
     assert!(inst.query("SELECT ?x WHERE {").is_err(), "parse error");
-    assert!(
-        inst.query("SELECT ?x WHERE { FILTER(?x == <no:such:iri>) }").is_err(),
-        "plan error"
-    );
+    assert!(inst.query("SELECT ?x WHERE { FILTER(?x == <no:such:iri>) }").is_err(), "plan error");
     assert!(
         inst.query("SELECT ?p WHERE { ?p <score> ?s . FILTER(ghost_udf(?s)) }").is_err(),
         "exec error: unknown UDF"

@@ -13,7 +13,12 @@ use std::sync::Arc;
 fn small_config() -> NcnprConfig {
     NcnprConfig {
         bands: vec![
-            Band { mutation_rate: 0.0, similarity_range: None, proteins: 3, compounds_per_protein: 4 },
+            Band {
+                mutation_rate: 0.0,
+                similarity_range: None,
+                proteins: 3,
+                compounds_per_protein: 4,
+            },
             Band {
                 mutation_rate: 0.62,
                 similarity_range: Some((0.21, 0.39)),
@@ -154,11 +159,7 @@ fn udf_profilers_see_the_whole_chain() {
     assert!(total("dtba") > 0);
     assert_eq!(total("vina_docking"), 12);
     // Rejections were attributed (the 0.9 threshold rejects the low band).
-    let rejections: u64 = inst
-        .profilers()
-        .iter()
-        .filter_map(|p| p.get("sw_similarity"))
-        .map(|p| p.rejections)
-        .sum();
+    let rejections: u64 =
+        inst.profilers().iter().filter_map(|p| p.get("sw_similarity")).map(|p| p.rejections).sum();
     assert!(rejections >= 10, "low-band candidates rejected by SW, got {rejections}");
 }

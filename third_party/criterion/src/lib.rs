@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the benchmark surface this workspace uses — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple calibrated
+//! wall-clock loop that prints mean ns/iter (and derived throughput)
+//! per benchmark; there is no statistical analysis, plotting, or
+//! baseline storage.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How per-iteration setup cost is amortized in [`Bencher::iter_batched`].
+/// The stub runs one setup per measured call regardless of variant.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Input of unknown size.
+    PerIteration,
+}
+
+/// Work-per-iteration annotation used to derive throughput rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher<'a> {
+    mean_ns: &'a mut f64,
+    measure_for: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine` repeatedly and record its mean latency.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one batch takes ~1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Measure.
+        let deadline = Instant::now() + self.measure_for;
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while Instant::now() < deadline {
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            iters += batch;
+        }
+        *self.mean_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Measure `routine` over fresh inputs built by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measure_for;
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while Instant::now() < deadline {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(std_black_box(input)));
+            spent += t.elapsed();
+            iters += 1;
+        }
+        *self.mean_ns = spent.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Top-level benchmark driver (a trimmed-down `criterion::Criterion`).
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: this stub is for smoke-level timing, and
+        // `cargo test` compiles (and can run) bench targets.
+        Criterion { measure_for: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.measure_for, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), criterion: self, throughput: None }
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Register and immediately run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.criterion.measure_for, self.throughput, f);
+        self
+    }
+
+    /// Close the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    id: &str,
+    measure_for: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut mean_ns = f64::NAN;
+    let mut bencher = Bencher { mean_ns: &mut mean_ns, measure_for };
+    f(&mut bencher);
+    let mut line = format!("bench {id:<40} {mean_ns:>14.1} ns/iter");
+    if mean_ns.is_finite() && mean_ns > 0.0 {
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!("  ({:.2} Melem/s)", n as f64 / mean_ns * 1e3));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!(
+                    "  ({:.2} MiB/s)",
+                    n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+                ));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion { measure_for: Duration::from_millis(5) };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_batched() {
+        let mut c = Criterion { measure_for: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| {
+            b.iter_batched(|| vec![1u64, 2, 3, 4], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

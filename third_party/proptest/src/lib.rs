@@ -1,0 +1,577 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the [`proptest!`] / [`prop_oneof!`] / `prop_assert*` macros, the
+//! [`strategy::Strategy`] trait with `prop_map` and `boxed`, numeric
+//! range and tuple strategies, `collection::{vec, hash_set}`,
+//! `any::<T>()`, simple `[class]{m,n}` string-regex strategies, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded from
+//! the test path and case index) so failures reproduce across runs.
+//! There is no shrinking: on failure the offending inputs are printed
+//! verbatim.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Produce one value using `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform produced values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between alternatives (backs [`crate::prop_oneof!`]).
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        /// Build from pre-boxed alternatives. Panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union(options)
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.usize_in(0, self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    (self.start as u128 + (rng.next_u64() as u128) % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as u128, *self.end() as u128);
+                    assert!(lo <= hi, "empty range strategy");
+                    (lo + (rng.next_u64() as u128) % (hi - lo + 1)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + ((rng.next_u64() as u128) % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.next_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    /// Mini-regex string strategy: `"[class]"` or `"[class]{m}"` /
+    /// `"[class]{m,n}"`, where `class` supports literal chars,
+    /// backslash escapes, and `a-z` ranges. This covers every pattern
+    /// the workspace tests use; anything else panics loudly.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, min, max) = parse_pattern(self);
+            let len = rng.usize_in(min, max + 1);
+            (0..len).map(|_| chars[rng.usize_in(0, chars.len())]).collect()
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, min, max) = parse_pattern(self);
+            let len = rng.usize_in(min, max + 1);
+            (0..len).map(|_| chars[rng.usize_in(0, chars.len())]).collect()
+        }
+    }
+
+    fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        let mut it = pat.chars().peekable();
+        assert_eq!(it.next(), Some('['), "unsupported regex strategy {pat:?}: must start with [");
+        let mut chars: Vec<char> = Vec::new();
+        loop {
+            let c = it.next().unwrap_or_else(|| panic!("unterminated char class in {pat:?}"));
+            match c {
+                ']' => break,
+                '\\' => {
+                    let esc = it.next().unwrap_or_else(|| panic!("dangling escape in {pat:?}"));
+                    chars.push(esc);
+                }
+                _ => {
+                    // `a-z` range (a '-' followed by a non-terminator)?
+                    if it.peek() == Some(&'-') {
+                        let mut ahead = it.clone();
+                        ahead.next(); // consume '-'
+                        match ahead.peek() {
+                            Some(&hi) if hi != ']' => {
+                                it = ahead;
+                                it.next(); // consume hi
+                                assert!(c <= hi, "inverted range {c}-{hi} in {pat:?}");
+                                chars.extend(c..=hi);
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    chars.push(c);
+                }
+            }
+        }
+        assert!(!chars.is_empty(), "empty char class in {pat:?}");
+        let rest: String = it.collect();
+        if rest.is_empty() {
+            return (chars, 1, 1);
+        }
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported regex suffix {rest:?} in {pat:?}"));
+        let (min, max) = match inner.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().unwrap(), hi.trim().parse().unwrap()),
+            None => {
+                let n = inner.trim().parse().unwrap();
+                (n, n)
+            }
+        };
+        assert!(min <= max, "inverted repetition in {pat:?}");
+        (chars, min, max)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy, used by [`crate::prelude::any`].
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for this type.
+        type Strategy: Strategy<Value = Self>;
+        /// Build the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-domain strategy for primitive `T`.
+    pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+    macro_rules! arbitrary_prim {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyPrim<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrim<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrim(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+    arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyPrim<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrim<bool>;
+        fn arbitrary() -> Self::Strategy {
+            AnyPrim(std::marker::PhantomData)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy with length in `len` (exclusive upper bound).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.len.start, self.len.end);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with size drawn from `len`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `HashSet` strategy with size in `len` (exclusive upper bound).
+    /// Duplicates are retried a bounded number of times, so the final
+    /// size may fall below the draw for tiny element domains.
+    pub fn hash_set<S>(element: S, len: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, len }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = rng.usize_in(self.len.start, self.len.end);
+            let mut set = HashSet::with_capacity(n);
+            let mut attempts = 0usize;
+            while set.len() < n && attempts < n.saturating_mul(20) + 50 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-run configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeded per (test, case).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from the test path and case index so every run of the
+        /// suite generates the same inputs.
+        pub fn for_case(test_path: &str, case: u64) -> Self {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            test_path.hash(&mut h);
+            let mut rng = TestRng { state: h.finish() ^ case.wrapping_mul(0x9e3779b97f4a7c15) };
+            rng.next_u64(); // decorrelate adjacent cases
+            rng
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform draw in `[lo, hi)`. Panics if the range is empty.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty draw range {lo}..{hi}");
+            lo + (self.next_u64() as usize) % (hi - lo)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The canonical strategy for `T` (`any::<u8>()` etc.).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs, printing the inputs of the first failing case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            config = (<$crate::test_runner::Config as Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( config = ($config:expr); ) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            for case in 0..config.cases as u64 {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let __case_desc = {
+                    let mut d = format!("case {case}");
+                    $(
+                        d.push_str(&format!(
+                            "\n  {} = {:?}", stringify!($arg), &$arg
+                        ));
+                    )+
+                    d
+                };
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(payload) = __result {
+                    eprintln!(
+                        "proptest: property {} failed on {}",
+                        stringify!($name),
+                        __case_desc
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Assert a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ( $($tok:tt)+ ) => { assert!($($tok)+) };
+}
+
+/// Assert equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ( $($tok:tt)+ ) => { assert_eq!($($tok)+) };
+}
+
+/// Assert inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ( $($tok:tt)+ ) => { assert_ne!($($tok)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("ranges", 0);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u8..12), &mut rng);
+            assert!((3..12).contains(&v));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_classes_expand() {
+        let mut rng = crate::test_runner::TestRng::for_case("regex", 1);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-c]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let one = Strategy::generate(&"[XY]", &mut rng);
+            assert!(one == "X" || one == "Y");
+            let esc = Strategy::generate(&"[\\[\\]\\-]{1,3}", &mut rng);
+            assert!(esc.chars().all(|c| "[]-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let a = crate::test_runner::TestRng::for_case("t", 7).next_u64();
+        let b = crate::test_runner::TestRng::for_case("t", 7).next_u64();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn macro_generates_and_runs(
+            xs in crate::collection::vec(0u32..50, 1..10),
+            flag in any::<u8>(),
+            name in "[a-z]{1,4}",
+        ) {
+            prop_assert!(xs.len() < 10);
+            prop_assert!(xs.iter().all(|&x| x < 50));
+            let _ = flag;
+            prop_assert!(!name.is_empty() && name.len() <= 4);
+        }
+
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u8..4).prop_map(|x| x as u32),
+            100u32..104,
+        ]) {
+            prop_assert!(v < 4 || (100..104).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the parallel-iterator API surface the workspace uses —
+//! `par_iter`, `par_iter_mut`, `into_par_iter`, plus the adapters chained
+//! on them — executing **sequentially** on the calling thread. All
+//! simulation timing in this repo is *virtual* (charged to per-rank
+//! clocks), so sequential execution preserves every observable result;
+//! only host wall-clock parallelism is lost. The API keeps the real
+//! rayon `Send`/`Sync` bounds so code written against this stub still
+//! compiles against the real crate.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads rayon would use (host parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    fn new(inner: I) -> Self {
+        Self { inner }
+    }
+
+    /// Map every item through `f`.
+    pub fn map<R, F: Fn(I::Item) -> R + Sync + Send>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter::new(self.inner.map(f))
+    }
+
+    /// Pair every item with its index.
+    #[allow(clippy::type_complexity)]
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter::new(self.inner.enumerate())
+    }
+
+    /// Keep items for which `f` returns true.
+    pub fn filter<F: Fn(&I::Item) -> bool + Sync + Send>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter::new(self.inner.filter(f))
+    }
+
+    /// Group items into `Vec`s of at most `size` elements (rayon's
+    /// `IndexedParallelIterator::chunks`).
+    pub fn chunks(self, size: usize) -> ParIter<Chunks<I>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::new(Chunks { inner: self.inner, size })
+    }
+
+    /// Flatten nested iterables.
+    pub fn flatten(self) -> ParIter<std::iter::Flatten<I>>
+    where
+        I::Item: IntoIterator,
+    {
+        ParIter::new(self.inner.flatten())
+    }
+
+    /// Map each item to a *serial* iterator and flatten the results
+    /// (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: Fn(I::Item) -> U + Sync + Send,
+    {
+        ParIter::new(self.inner.flat_map(f))
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: Fn(I::Item) + Sync + Send>(self, f: F) {
+        self.inner.for_each(f)
+    }
+
+    /// Collect into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Collect into a provided `Vec`, reusing its allocation.
+    pub fn collect_into_vec(self, target: &mut Vec<I::Item>) {
+        target.clear();
+        target.extend(self.inner);
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Fold-reduce with an identity supplier (rayon's `reduce`).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item + Sync + Send,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Minimum by a key function.
+    pub fn min_by_key<K: Ord, F: Fn(&I::Item) -> K + Sync + Send>(self, f: F) -> Option<I::Item> {
+        self.inner.min_by_key(f)
+    }
+
+    /// Maximum by a key function.
+    pub fn max_by_key<K: Ord, F: Fn(&I::Item) -> K + Sync + Send>(self, f: F) -> Option<I::Item> {
+        self.inner.max_by_key(f)
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+}
+
+/// Sequential chunking adapter backing [`ParIter::chunks`].
+pub struct Chunks<I> {
+    inner: I,
+    size: usize,
+}
+
+impl<I: Iterator> Iterator for Chunks<I> {
+    type Item = Vec<I::Item>;
+
+    fn next(&mut self) -> Option<Vec<I::Item>> {
+        let mut chunk = Vec::with_capacity(self.size);
+        for _ in 0..self.size {
+            match self.inner.next() {
+                Some(x) => chunk.push(x),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            None
+        } else {
+            Some(chunk)
+        }
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item;
+    /// Concrete sequential iterator backing the parallel facade.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Convert into a "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter::new(self.into_iter())
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter::new(self)
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    type Iter = std::ops::Range<u32>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter::new(self)
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    type Iter = std::ops::Range<u64>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter::new(self)
+    }
+}
+
+/// Types whose references iterate "in parallel".
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by reference.
+    type Item: 'a;
+    /// Concrete sequential iterator backing the parallel facade.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Parallel iterator over shared references.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter::new(self.iter())
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter::new(self.iter())
+    }
+}
+
+/// Types whose mutable references iterate "in parallel".
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type yielded by mutable reference.
+    type Item: 'a;
+    /// Concrete sequential iterator backing the parallel facade.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter::new(self.iter_mut())
+    }
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter::new(self.iter_mut())
+    }
+}
+
+/// The traits user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let v: Vec<i32> = (0..10usize).into_par_iter().map(|i| i as i32 * 2).collect();
+        assert_eq!(v, (0..10).map(|i| i * 2).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn enumerate_collect_into_vec() {
+        let src = vec![10, 20, 30];
+        let mut out = Vec::new();
+        src.par_iter().enumerate().map(|(i, &x)| (i, x + 1)).collect_into_vec(&mut out);
+        assert_eq!(out, vec![(0, 11), (1, 21), (2, 31)]);
+    }
+
+    #[test]
+    fn chunks_and_flatten() {
+        let flat: Vec<usize> =
+            (0..10usize).into_par_iter().chunks(3).map(|c| c).flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<usize>>());
+        let sizes: Vec<usize> = (0..10usize).into_par_iter().chunks(4).map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn par_iter_mut_for_each() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(v, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let v: Vec<usize> = (0..3usize).into_par_iter().flat_map_iter(|i| vec![i, i]).collect();
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn threads_reported() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Exposes the `Serialize`/`Deserialize` *names* in both the trait and
+//! macro namespaces so existing `use serde::{Deserialize, Serialize}` +
+//! `#[derive(Serialize, Deserialize)]` code compiles unchanged without
+//! network access. The derives expand to nothing (see `serde_derive`);
+//! the traits carry no methods. If real serialization is ever needed,
+//! swap the workspace dependency back to crates.io `serde`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}

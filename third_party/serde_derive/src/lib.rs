@@ -1,0 +1,22 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The repository has no network access to crates.io, so the real
+//! `serde`/`serde_derive` cannot be fetched. Nothing in this workspace
+//! actually serializes through serde (no serde_json, no `Serialize`
+//! bounds) — the derives are forward-looking annotations — so expanding
+//! them to an empty token stream preserves the source exactly while
+//! keeping the build self-contained.
+
+use proc_macro::TokenStream;
+
+/// Derive `Serialize`: expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive `Deserialize`: expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
