@@ -16,4 +16,10 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> chaos matrix (tests/chaos_faults.rs, release)"
+for seed in 1 2 3 4 5 6 7 8; do
+  echo "---- CHAOS_SEED=$seed"
+  CHAOS_SEED=$seed cargo test --release --test chaos_faults -q
+done
+
 echo "CI OK"

@@ -41,12 +41,12 @@ fn main() {
         BackingStore::default_store(),
     );
     c.put(RankId(0), "obj", obj.clone());
-    let (_, o) = c.get(RankId(0), "obj").unwrap();
+    let (_, o) = c.get(RankId(0), "obj").unwrap().unwrap();
     assert_eq!(o.tier, Tier::LocalDram);
     rows.push(vec!["local DRAM".into(), micro(o.virtual_secs)]);
 
     // Remote DRAM (rank on a non-cache node).
-    let (_, o) = c.get(RankId(31), "obj").unwrap();
+    let (_, o) = c.get(RankId(31), "obj").unwrap().unwrap();
     assert_eq!(o.tier, Tier::RemoteDram);
     rows.push(vec!["remote DRAM (RDMA)".into(), micro(o.virtual_secs)]);
 
@@ -58,7 +58,7 @@ fn main() {
         BackingStore::default_store(),
     );
     c.put(RankId(0), "obj", obj.clone());
-    let (_, o) = c.get(RankId(0), "obj").unwrap();
+    let (_, o) = c.get(RankId(0), "obj").unwrap().unwrap();
     assert_eq!(o.tier, Tier::LocalNvme);
     rows.push(vec!["local NVMe".into(), micro(o.virtual_secs)]);
 
@@ -70,7 +70,7 @@ fn main() {
         BackingStore::default_store(),
     );
     c.put(RankId(8), "obj", obj.clone()); // rank 8 = node 1
-    let (_, o) = c.get(RankId(31), "obj").unwrap();
+    let (_, o) = c.get(RankId(31), "obj").unwrap().unwrap();
     assert_eq!(o.tier, Tier::RemoteNvme);
     rows.push(vec!["remote NVMe".into(), micro(o.virtual_secs)]);
 
@@ -82,7 +82,7 @@ fn main() {
         BackingStore::default_store(),
     );
     c.put(RankId(0), "obj", obj.clone());
-    let (_, o) = c.get(RankId(0), "obj").unwrap();
+    let (_, o) = c.get(RankId(0), "obj").unwrap().unwrap();
     assert_eq!(o.tier, Tier::Backing);
     rows.push(vec!["backing store (Lustre-class)".into(), micro(o.virtual_secs)]);
     table(&["tier", "access latency"], &rows);
@@ -113,7 +113,7 @@ fn main() {
         for (i, n) in names.iter().enumerate() {
             let reps = (200 / (i + 1)).max(1);
             for _ in 0..reps {
-                let (_, o) = c.get(RankId(0), n).unwrap();
+                let (_, o) = c.get(RankId(0), n).unwrap().unwrap();
                 total_cost += o.virtual_secs;
                 accesses += 1;
             }
@@ -152,7 +152,7 @@ fn main() {
         c.reset_stats();
         let mut total_cost = 0.0;
         for n in names.iter().take(100) {
-            let (_, o) = c.get(RankId(0), n).unwrap();
+            let (_, o) = c.get(RankId(0), n).unwrap().unwrap();
             total_cost += o.virtual_secs;
         }
         let s = c.stats();

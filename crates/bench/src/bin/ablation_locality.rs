@@ -55,7 +55,7 @@ fn main() {
     for i in 0..n_objects {
         for r in 0..reads_per_object {
             let rank = RankId((i * 7 + r * 3) % 32);
-            cost += c.get(rank, &format!("vina/{i}")).unwrap().1.virtual_secs;
+            cost += c.get(rank, &format!("vina/{i}")).unwrap().unwrap().1.virtual_secs;
         }
     }
     let blind = cost / (n_objects * reads_per_object) as f64;
@@ -69,7 +69,7 @@ fn main() {
         let holder: NodeId = c.locality(&name).first().map(|&(n, _)| n).unwrap_or(NodeId(0));
         let rank = RankId(holder.0 * 8); // first rank on the holding node
         for _ in 0..reads_per_object {
-            cost += c.get(rank, &name).unwrap().1.virtual_secs;
+            cost += c.get(rank, &name).unwrap().unwrap().1.virtual_secs;
         }
     }
     let aware = cost / (n_objects * reads_per_object) as f64;
@@ -84,7 +84,7 @@ fn main() {
         cost += c.relocate(&name, consumer_node).unwrap_or(0.0);
         let rank = RankId(consumer_node.0 * 8);
         for _ in 0..reads_per_object {
-            cost += c.get(rank, &name).unwrap().1.virtual_secs;
+            cost += c.get(rank, &name).unwrap().unwrap().1.virtual_secs;
         }
     }
     let relocated = cost / (n_objects * reads_per_object) as f64;

@@ -1,0 +1,126 @@
+//! Unified cache-layer error type.
+//!
+//! Every fallible path in the cache — FAM faults, node-down fencing,
+//! per-get deadlines, exhausted retries — funnels into [`CacheError`],
+//! so callers handle one type and can decide between failing the query
+//! and degrading gracefully (falling back to recomputation).
+
+use crate::fam::FamError;
+use ids_simrt::topology::NodeId;
+
+/// Errors surfaced by [`crate::CacheManager`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheError {
+    /// An underlying FAM operation failed (non-retryable or unretried).
+    Fam(FamError),
+    /// The only node that could serve the request is down and fallback
+    /// to the backing store was disabled.
+    NodeDown {
+        /// The unavailable node.
+        node: NodeId,
+        /// Virtual seconds spent before giving up.
+        spent_secs: f64,
+    },
+    /// The per-get virtual-time deadline elapsed before the object was
+    /// served.
+    DeadlineExceeded {
+        /// The configured budget.
+        deadline_secs: f64,
+        /// Virtual seconds actually spent.
+        spent_secs: f64,
+    },
+    /// Every retry attempt failed transiently.
+    RetriesExhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// Virtual seconds spent across attempts and backoff waits.
+        spent_secs: f64,
+        /// What kept failing (e.g. the tier or op name).
+        detail: String,
+    },
+}
+
+impl CacheError {
+    /// Virtual seconds the failed operation consumed before erroring —
+    /// callers charge this to their rank clock even though the op failed.
+    pub fn spent_secs(&self) -> f64 {
+        match self {
+            CacheError::Fam(_) => 0.0,
+            CacheError::NodeDown { spent_secs, .. }
+            | CacheError::DeadlineExceeded { spent_secs, .. }
+            | CacheError::RetriesExhausted { spent_secs, .. } => *spent_secs,
+        }
+    }
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Fam(e) => write!(f, "FAM error: {e}"),
+            CacheError::NodeDown { node, .. } => {
+                write!(f, "cache node {} is down and backing fallback is disabled", node.0)
+            }
+            CacheError::DeadlineExceeded { deadline_secs, spent_secs } => {
+                write!(
+                    f,
+                    "cache get exceeded its {deadline_secs:.6}s deadline \
+                     (spent {spent_secs:.6}s)"
+                )
+            }
+            CacheError::RetriesExhausted { attempts, detail, .. } => {
+                write!(f, "retries exhausted after {attempts} attempts: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Fam(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FamError> for CacheError {
+    fn from(e: FamError) -> Self {
+        CacheError::Fam(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CacheError::DeadlineExceeded { deadline_secs: 0.5, spent_secs: 0.75 };
+        assert!(e.to_string().contains("deadline"));
+        let e = CacheError::RetriesExhausted {
+            attempts: 4,
+            spent_secs: 0.1,
+            detail: "remote_dram".into(),
+        };
+        assert!(e.to_string().contains("4 attempts"));
+        assert!(e.to_string().contains("remote_dram"));
+        let e = CacheError::NodeDown { node: NodeId(2), spent_secs: 0.0 };
+        assert!(e.to_string().contains("node 2"));
+    }
+
+    #[test]
+    fn fam_errors_wrap_with_source() {
+        let fam = FamError::UnknownRegion(crate::fam::FamRegionId(7));
+        let e: CacheError = fam.clone().into();
+        assert_eq!(e, CacheError::Fam(fam));
+        assert!(e.source().is_some(), "wrapped FAM error is the source");
+        assert_eq!(e.spent_secs(), 0.0);
+    }
+
+    #[test]
+    fn spent_secs_propagates() {
+        let e = CacheError::RetriesExhausted { attempts: 2, spent_secs: 0.25, detail: "x".into() };
+        assert_eq!(e.spent_secs(), 0.25);
+    }
+}

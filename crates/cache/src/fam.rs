@@ -18,10 +18,12 @@
 
 use bytes::{Bytes, BytesMut};
 use ids_obs::{Counter, MetricsRegistry};
+use ids_simrt::faults::{FaultPlane, RetryPolicy};
 use ids_simrt::net::NetworkModel;
 use ids_simrt::topology::{NodeId, RankId, Topology};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifier of an allocated FAM region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,7 +45,27 @@ pub struct FamAccess<T> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FamError {
     UnknownRegion(FamRegionId),
-    OutOfBounds { region: FamRegionId, offset: u64, len: u64, size: u64 },
+    OutOfBounds {
+        region: FamRegionId,
+        offset: u64,
+        len: u64,
+        size: u64,
+    },
+    /// A fault-plane-injected transient failure: the op may succeed if
+    /// retried (with backoff charged to the virtual clock).
+    Transient {
+        op: &'static str,
+    },
+    /// The node hosting the region is inside a crash window; retrying
+    /// within the same BSP phase cannot succeed.
+    NodeUnavailable(NodeId),
+}
+
+impl FamError {
+    /// True for failures worth retrying in-phase (transients only).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FamError::Transient { .. })
+    }
 }
 
 impl std::fmt::Display for FamError {
@@ -57,6 +79,8 @@ impl std::fmt::Display for FamError {
                     offset + len
                 )
             }
+            FamError::Transient { op } => write!(f, "transient FAM failure during {op}"),
+            FamError::NodeUnavailable(n) => write!(f, "FAM node {} is unavailable", n.0),
         }
     }
 }
@@ -71,6 +95,8 @@ struct FamMetrics {
     reads: Counter,
     writes: Counter,
     atomics: Counter,
+    transients: Counter,
+    retries: Counter,
 }
 
 impl FamMetrics {
@@ -81,6 +107,8 @@ impl FamMetrics {
             reads: registry.counter_with("ids_fam_ops_total", "op", "get"),
             writes: registry.counter_with("ids_fam_ops_total", "op", "put"),
             atomics: registry.counter_with("ids_fam_ops_total", "op", "atomic"),
+            transients: registry.counter("ids_fam_transient_failures_total"),
+            retries: registry.counter("ids_fam_retries_total"),
             registry,
         }
     }
@@ -95,6 +123,7 @@ pub struct FamLayer {
     regions: Mutex<HashMap<FamRegionId, Region>>,
     next_id: Mutex<u64>,
     metrics: FamMetrics,
+    faults: Mutex<Option<Arc<FaultPlane>>>,
 }
 
 impl FamLayer {
@@ -106,12 +135,39 @@ impl FamLayer {
             regions: Mutex::new(HashMap::new()),
             next_id: Mutex::new(0),
             metrics: FamMetrics::new(MetricsRegistry::new()),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Attach a fault plane: ops can now fail transiently (per the
+    /// plane's seeded schedule) or with `NodeUnavailable` during the
+    /// hosting node's crash windows.
+    pub fn attach_faults(&self, plane: Arc<FaultPlane>) {
+        *self.faults.lock() = Some(plane);
     }
 
     /// The layer's `ids-obs` registry (transfer byte and op counters).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics.registry
+    }
+
+    /// Roll injected faults for one op attempt against `node` by `from`.
+    fn inject(&self, from: RankId, node: NodeId, op: &'static str) -> Result<(), FamError> {
+        let guard = self.faults.lock();
+        let Some(plane) = guard.as_ref() else { return Ok(()) };
+        if plane.node_down(node) {
+            return Err(FamError::NodeUnavailable(node));
+        }
+        if plane.fam_transient(from) {
+            self.metrics.transients.inc();
+            return Err(FamError::Transient { op });
+        }
+        Ok(())
+    }
+
+    /// Link-degradation multiplier for transfer costs right now.
+    fn link_mult(&self) -> f64 {
+        self.faults.lock().as_ref().map_or(1.0, |p| p.link_factors().cost_mult())
     }
 
     /// Allocate a zeroed region of `size` bytes on `node`.
@@ -170,8 +226,9 @@ impl FamLayer {
         let mut regions = self.regions.lock();
         let region = regions.get_mut(&id).ok_or(FamError::UnknownRegion(id))?;
         Self::check_bounds(region, id, offset, data.len() as u64)?;
+        self.inject(from, region.node, "put")?;
         region.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
-        let cost = self.transfer_cost(from, region.node, data.len() as u64);
+        let cost = self.transfer_cost(from, region.node, data.len() as u64) * self.link_mult();
         self.metrics.writes.inc();
         self.metrics.write_bytes.add(data.len() as u64);
         Ok(FamAccess { value: (), virtual_secs: cost })
@@ -188,8 +245,9 @@ impl FamLayer {
         let regions = self.regions.lock();
         let region = regions.get(&id).ok_or(FamError::UnknownRegion(id))?;
         Self::check_bounds(region, id, offset, len)?;
+        self.inject(from, region.node, "get")?;
         let bytes = Bytes::copy_from_slice(&region.data[offset as usize..(offset + len) as usize]);
-        let cost = self.transfer_cost(from, region.node, len);
+        let cost = self.transfer_cost(from, region.node, len) * self.link_mult();
         self.metrics.reads.inc();
         self.metrics.read_bytes.add(len);
         Ok(FamAccess { value: bytes, virtual_secs: cost })
@@ -209,13 +267,14 @@ impl FamLayer {
         let mut regions = self.regions.lock();
         let region = regions.get_mut(&id).ok_or(FamError::UnknownRegion(id))?;
         Self::check_bounds(region, id, offset, 8)?;
+        self.inject(from, region.node, "compare_and_swap")?;
         let slot = &mut region.data[offset as usize..offset as usize + 8];
         let current = u64::from_le_bytes(slot.try_into().expect("8-byte slice"));
         if current == expected {
             slot.copy_from_slice(&desired.to_le_bytes());
         }
         // Atomics are latency-bound (8 bytes is below any bandwidth term).
-        let cost = self.transfer_cost(from, region.node, 8);
+        let cost = self.transfer_cost(from, region.node, 8) * self.link_mult();
         self.metrics.atomics.inc();
         Ok(FamAccess { value: current, virtual_secs: cost })
     }
@@ -231,12 +290,77 @@ impl FamLayer {
         let mut regions = self.regions.lock();
         let region = regions.get_mut(&id).ok_or(FamError::UnknownRegion(id))?;
         Self::check_bounds(region, id, offset, 8)?;
+        self.inject(from, region.node, "fetch_add")?;
         let slot = &mut region.data[offset as usize..offset as usize + 8];
         let current = u64::from_le_bytes(slot.try_into().expect("8-byte slice"));
         slot.copy_from_slice(&current.wrapping_add(delta).to_le_bytes());
-        let cost = self.transfer_cost(from, region.node, 8);
+        let cost = self.transfer_cost(from, region.node, 8) * self.link_mult();
         self.metrics.atomics.inc();
         Ok(FamAccess { value: current, virtual_secs: cost })
+    }
+
+    /// Jitter draw for backoff: deterministic from the attached plane,
+    /// or a fixed midpoint when no plane is attached (no jitter needed
+    /// because nothing can fail transiently without one).
+    fn jitter(&self, from: RankId) -> f64 {
+        self.faults.lock().as_ref().map_or(0.5, |p| p.jitter01(from))
+    }
+
+    /// [`Self::get`] with bounded retry: transient failures back off
+    /// exponentially (waits accumulate into the returned `virtual_secs`,
+    /// charging the virtual clock rather than sleeping). Non-transient
+    /// errors and exhausted retries propagate.
+    pub fn get_with_retry(
+        &self,
+        from: RankId,
+        id: FamRegionId,
+        offset: u64,
+        len: u64,
+        policy: &RetryPolicy,
+    ) -> Result<FamAccess<Bytes>, FamError> {
+        let mut waited = 0.0;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.get(from, id, offset, len) {
+                Ok(mut access) => {
+                    access.virtual_secs += waited;
+                    return Ok(access);
+                }
+                Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                    self.metrics.retries.inc();
+                    waited += policy.backoff_secs(attempt, self.jitter(from));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`Self::put`] with bounded retry; see [`Self::get_with_retry`].
+    pub fn put_with_retry(
+        &self,
+        from: RankId,
+        id: FamRegionId,
+        offset: u64,
+        data: &[u8],
+        policy: &RetryPolicy,
+    ) -> Result<FamAccess<()>, FamError> {
+        let mut waited = 0.0;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.put(from, id, offset, data) {
+                Ok(mut access) => {
+                    access.virtual_secs += waited;
+                    return Ok(access);
+                }
+                Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                    self.metrics.retries.inc();
+                    waited += policy.backoff_secs(attempt, self.jitter(from));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -325,6 +449,60 @@ mod tests {
         assert_eq!(snap.counter("ids_fam_ops_total", "put"), 1);
         assert_eq!(snap.counter("ids_fam_ops_total", "get"), 2);
         assert_eq!(snap.counter("ids_fam_ops_total", "atomic"), 1);
+    }
+
+    #[test]
+    fn transient_faults_fail_ops_and_retry_recovers() {
+        use ids_simrt::faults::{FaultConfig, FaultPlane};
+        let fam = layer();
+        let region = fam.allocate(NodeId(1), 1024);
+        fam.put(RankId(0), region, 0, b"payload").unwrap();
+        fam.attach_faults(Arc::new(FaultPlane::new(
+            11,
+            FaultConfig::transient_only(0.5),
+            4,
+            8,
+            100.0,
+        )));
+        // With p=0.5 per attempt, 200 bare gets must see failures...
+        let failures = (0..200)
+            .filter(|_| matches!(fam.get(RankId(0), region, 0, 7), Err(FamError::Transient { .. })))
+            .count();
+        assert!(failures > 50, "transient failures observed: {failures}");
+        // ...while the retrying variant (4 attempts) almost always lands,
+        // and charges backoff waits into the virtual cost.
+        let mut succeeded = 0;
+        let mut max_cost: f64 = 0.0;
+        for _ in 0..200 {
+            if let Ok(a) = fam.get_with_retry(RankId(0), region, 0, 7, &RetryPolicy::default()) {
+                succeeded += 1;
+                max_cost = max_cost.max(a.virtual_secs);
+            }
+        }
+        assert!(succeeded > 180, "retry succeeded {succeeded}/200");
+        let base = fam.get(RankId(2), region, 0, 7).map(|a| a.virtual_secs).unwrap_or(1e-6);
+        assert!(max_cost > base, "some retried get charged backoff ({max_cost} vs {base})");
+        let snap = fam.metrics().snapshot();
+        assert!(snap.counter("ids_fam_transient_failures_total", "") > 0);
+        assert!(snap.counter("ids_fam_retries_total", "") > 0);
+    }
+
+    #[test]
+    fn down_node_regions_are_unavailable_until_recovery() {
+        use ids_simrt::faults::{FaultConfig, FaultPlane};
+        let fam = layer();
+        let region = fam.allocate(NodeId(0), 64);
+        fam.put(RankId(0), region, 0, b"x").unwrap();
+        let plane = Arc::new(FaultPlane::new(7, FaultConfig::crashes_only(1.0, 0.5), 4, 8, 60.0));
+        let (start, end) = plane.crash_windows(NodeId(0))[0];
+        fam.attach_faults(plane.clone());
+        assert!(fam.get(RankId(0), region, 0, 1).is_ok(), "up before the window");
+        plane.advance_to((start + end) / 2.0);
+        assert_eq!(fam.get(RankId(0), region, 0, 1), Err(FamError::NodeUnavailable(NodeId(0))));
+        // NodeUnavailable is not transient: retry fails fast.
+        assert!(fam.get_with_retry(RankId(0), region, 0, 1, &RetryPolicy::default()).is_err());
+        plane.advance_to(end + 1e-9);
+        assert!(fam.get(RankId(0), region, 0, 1).is_ok(), "recovered after the window");
     }
 
     #[test]

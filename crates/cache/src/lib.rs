@@ -22,13 +22,15 @@
 //!   capacity-weighted) exercised by the ablation benches.
 
 pub mod backing;
+pub mod error;
 pub mod fam;
 pub mod manager;
 pub mod object;
 pub mod policy;
 
 pub use backing::BackingStore;
-pub use fam::{FamLayer, FamRegionId};
-pub use manager::{CacheConfig, CacheManager, CacheOutcome, CacheStats, Tier};
+pub use error::CacheError;
+pub use fam::{FamError, FamLayer, FamRegionId};
+pub use manager::{CacheConfig, CacheManager, CacheOutcome, CacheStats, FaultTolerance, Tier};
 pub use object::{object_id, ObjectMeta};
 pub use policy::PlacementPolicy;

@@ -56,7 +56,7 @@ proptest! {
                     model.insert(key, data);
                 }
                 Op::Get { key, rank } => {
-                    let got = cache.get(RankId(rank as u32), &format!("k{key}"));
+                    let got = cache.get(RankId(rank as u32), &format!("k{key}")).unwrap();
                     match model.get(&key) {
                         Some(expect) => {
                             let (bytes, outcome) = got.expect("model says present");
@@ -79,7 +79,7 @@ proptest! {
 
         // Post-run: every object in the model is still retrievable.
         for (key, expect) in &model {
-            let (bytes, _) = cache.get(RankId(3), &format!("k{key}")).expect("durable");
+            let (bytes, _) = cache.get(RankId(3), &format!("k{key}")).unwrap().expect("durable");
             prop_assert_eq!(&bytes[..], &expect[..]);
         }
     }
@@ -107,7 +107,7 @@ proptest! {
                 prop_assert!(!cache.locality(&name).is_empty());
             }
             // Whether cached or evicted, the object itself must be readable.
-            let (bytes, _) = cache.get(RankId(5), &name).expect("durable");
+            let (bytes, _) = cache.get(RankId(5), &name).unwrap().expect("durable");
             prop_assert_eq!(bytes.len(), *len);
         }
     }

@@ -35,12 +35,12 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-/// Lock a worker-error list even if a panicking worker poisoned it: the
-/// list is append-only strings, so the data is valid regardless of where
-/// the holder died. Poisoning must not turn a reportable query error
-/// into an executor crash.
-fn lock_errors(errors: &Mutex<Vec<String>>) -> MutexGuard<'_, Vec<String>> {
-    errors.lock().unwrap_or_else(PoisonError::into_inner)
+/// Lock a worker-side list even if a panicking worker poisoned it: the
+/// lists are append-only, so the data is valid regardless of where the
+/// holder died. Poisoning must not turn a reportable query error into an
+/// executor crash.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Render a panic payload (from [`catch_unwind`]) for an error message.
@@ -96,6 +96,18 @@ pub struct ExecOptions {
     pub udf_cost_prior: f64,
     /// Rejection prior for UDFs with no profile yet.
     pub udf_rejection_prior: f64,
+    /// Per-rank virtual-time budget for each FILTER/APPLY stage. A rank
+    /// that exhausts it stops evaluating further rows (infinite = off).
+    pub stage_deadline_secs: f64,
+    /// Extra attempts after a row's worker panics before the row is
+    /// declared failed (bounded retry of failed rank work).
+    pub row_retries: u32,
+    /// Virtual seconds charged per retry attempt (linear backoff).
+    pub retry_backoff_secs: f64,
+    /// Graceful degradation: when `true`, failed rows are dropped and
+    /// reported as [`ErrorAnnotation`]s on the outcome instead of failing
+    /// the whole query. Default `false` (fail fast).
+    pub degrade: bool,
 }
 
 impl Default for ExecOptions {
@@ -108,6 +120,10 @@ impl Default for ExecOptions {
             eval_secs_per_row: 1.0e-7,
             udf_cost_prior: 0.5,
             udf_rejection_prior: 0.5,
+            stage_deadline_secs: f64::INFINITY,
+            row_retries: 2,
+            retry_backoff_secs: 1.0e-3,
+            degrade: false,
         }
     }
 }
@@ -147,6 +163,54 @@ impl StageBreakdown {
     }
 }
 
+/// What went wrong for a dropped slice of work under graceful degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedKind {
+    /// The row's worker panicked on every attempt.
+    WorkerPanic,
+    /// The row's expression evaluation returned an error.
+    EvalError,
+    /// The rank ran out of stage-deadline budget before reaching the row.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for DegradedKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedKind::WorkerPanic => write!(f, "worker-panic"),
+            DegradedKind::EvalError => write!(f, "eval-error"),
+            DegradedKind::DeadlineExceeded => write!(f, "deadline-exceeded"),
+        }
+    }
+}
+
+/// A structured record of degraded execution: which stage, on which rank,
+/// dropped how many rows, and why. Attached to [`QueryOutcome`] when
+/// [`ExecOptions::degrade`] is on; surfaced by EXPLAIN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorAnnotation {
+    /// Stage name (`"filter"`, `"stage-filter"`, `"apply:<udf>"`).
+    pub stage: String,
+    /// Rank whose work was degraded.
+    pub rank: u32,
+    /// Failure class.
+    pub kind: DegradedKind,
+    /// First observed error/panic message (or the deadline that fired).
+    pub detail: String,
+    /// Rows this annotation accounts for.
+    pub rows_dropped: u64,
+}
+
+impl std::fmt::Display for ErrorAnnotation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rank {}: {} rows dropped ({}): {}",
+            self.stage, self.rank, self.rows_dropped, self.kind, self.detail
+        )
+    }
+}
+
 /// A completed query.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -159,6 +223,21 @@ pub struct QueryOutcome {
     /// Per-rank solution counts entering the first UDF stage (for
     /// re-balancing analysis).
     pub pre_filter_counts: Vec<u64>,
+    /// Degraded-execution records (empty unless [`ExecOptions::degrade`]
+    /// dropped work). A non-empty list means `solutions` is partial.
+    pub annotations: Vec<ErrorAnnotation>,
+}
+
+impl QueryOutcome {
+    /// Did this query drop any work (partial results)?
+    pub fn degraded(&self) -> bool {
+        !self.annotations.is_empty()
+    }
+
+    /// Total rows dropped across all annotations.
+    pub fn rows_dropped(&self) -> u64 {
+        self.annotations.iter().map(|a| a.rows_dropped).sum()
+    }
 }
 
 /// Execution error.
@@ -264,6 +343,7 @@ pub fn execute_plan(
     };
 
     let pre_filter_counts: Vec<u64> = solutions.iter().map(|s| s.len() as u64).collect();
+    let mut annotations: Vec<ErrorAnnotation> = Vec::new();
 
     // ---- WHERE filter -----------------------------------------------------
     if let Some(filter) = &plan.where_filter {
@@ -279,6 +359,7 @@ pub fn execute_plan(
             &mut breakdown,
             "filter",
             metrics,
+            &mut annotations,
         )?;
         let end = cluster.elapsed();
         breakdown.filter_secs += end - t - take_rebalance_delta(&mut breakdown);
@@ -302,6 +383,7 @@ pub fn execute_plan(
                     &mut breakdown,
                     "stage-filter",
                     metrics,
+                    &mut annotations,
                 )?;
                 let end = cluster.elapsed();
                 breakdown.filter_secs += end - t - take_rebalance_delta(&mut breakdown);
@@ -322,6 +404,7 @@ pub fn execute_plan(
                     opts,
                     &mut breakdown,
                     metrics,
+                    &mut annotations,
                 )?;
                 let end = cluster.elapsed();
                 let spent = end - t - take_rebalance_delta(&mut breakdown);
@@ -389,8 +472,24 @@ pub fn execute_plan(
     let elapsed_secs = cluster.elapsed() - t0;
     metrics.histogram("ids_engine_query_secs").observe(elapsed_secs);
     metrics.spans().record("query", format!("{} solutions", gathered.len()), t0, cluster.elapsed());
+    if !annotations.is_empty() {
+        metrics.counter("ids_engine_degraded_queries_total").inc();
+        let dropped: u64 = annotations.iter().map(|a| a.rows_dropped).sum();
+        metrics.spans().record(
+            "degraded",
+            format!("{} annotations, {dropped} rows dropped", annotations.len()),
+            t0,
+            cluster.elapsed(),
+        );
+    }
 
-    Ok(QueryOutcome { solutions: gathered, elapsed_secs, breakdown, pre_filter_counts })
+    Ok(QueryOutcome {
+        solutions: gathered,
+        elapsed_secs,
+        breakdown,
+        pre_filter_counts,
+        annotations,
+    })
 }
 
 /// Total order over decoded terms for ORDER BY: numerics sort numerically
@@ -625,7 +724,105 @@ fn maybe_rebalance(
     }
 }
 
+/// Shared fault counters for a FILTER/APPLY stage, pre-resolved so worker
+/// closures bump atomics without touching the registry maps.
+struct StageFaultCtrs {
+    row_retries: ids_obs::Counter,
+    dropped_rows: ids_obs::Counter,
+    deadline_hits: ids_obs::Counter,
+}
+
+impl StageFaultCtrs {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        Self {
+            row_retries: metrics.counter("ids_engine_row_retries_total"),
+            dropped_rows: metrics.counter("ids_engine_dropped_rows_total"),
+            deadline_hits: metrics.counter("ids_engine_stage_deadline_hits_total"),
+        }
+    }
+}
+
+/// Evaluate one row's closure with bounded retry of worker panics.
+/// Returns `Ok(value)` on any successful attempt or `Err(panic message)`
+/// once `opts.row_retries` extra attempts are exhausted. Backoff between
+/// attempts is charged to the rank (`charge`) so retries consume virtual
+/// time like everything else.
+fn retry_row<T>(
+    opts: &ExecOptions,
+    ctrs: &StageFaultCtrs,
+    mut charge: impl FnMut(f64),
+    mut body: impl FnMut() -> T,
+) -> Result<T, String> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match catch_unwind(AssertUnwindSafe(&mut body)) {
+            Ok(v) => return Ok(v),
+            Err(payload) => {
+                if attempt > opts.row_retries {
+                    return Err(panic_message(&*payload).to_string());
+                }
+                ctrs.row_retries.inc();
+                charge(opts.retry_backoff_secs * attempt as f64);
+            }
+        }
+    }
+}
+
+/// Per-rank degradation tally accumulated while a stage runs, flushed to
+/// the shared annotation list as at most one annotation per failure kind.
+#[derive(Default)]
+struct RankDegradation {
+    panic_rows: u64,
+    panic_first: Option<String>,
+    eval_rows: u64,
+    eval_first: Option<String>,
+    deadline_rows: u64,
+}
+
+impl RankDegradation {
+    fn flush(
+        self,
+        stage: &str,
+        rank: usize,
+        deadline_secs: f64,
+        out: &Mutex<Vec<ErrorAnnotation>>,
+    ) {
+        let mut anns = lock_unpoisoned(out);
+        if self.panic_rows > 0 {
+            anns.push(ErrorAnnotation {
+                stage: stage.to_string(),
+                rank: rank as u32,
+                kind: DegradedKind::WorkerPanic,
+                detail: self.panic_first.unwrap_or_default(),
+                rows_dropped: self.panic_rows,
+            });
+        }
+        if self.eval_rows > 0 {
+            anns.push(ErrorAnnotation {
+                stage: stage.to_string(),
+                rank: rank as u32,
+                kind: DegradedKind::EvalError,
+                detail: self.eval_first.unwrap_or_default(),
+                rows_dropped: self.eval_rows,
+            });
+        }
+        if self.deadline_rows > 0 {
+            anns.push(ErrorAnnotation {
+                stage: stage.to_string(),
+                rank: rank as u32,
+                kind: DegradedKind::DeadlineExceeded,
+                detail: format!("{deadline_secs:.6}s stage deadline"),
+                rows_dropped: self.deadline_rows,
+            });
+        }
+    }
+}
+
 /// Run a FILTER stage: re-balance, per-rank reorder, evaluate, retain.
+/// Worker panics are retried per row ([`ExecOptions::row_retries`]); with
+/// [`ExecOptions::degrade`] on, rows that still fail (or fall past the
+/// stage deadline) are dropped and annotated instead of failing the query.
 #[allow(clippy::too_many_arguments)]
 fn run_filter_stage(
     cluster: &mut Cluster,
@@ -638,77 +835,126 @@ fn run_filter_stage(
     _breakdown: &mut StageBreakdown,
     phase_name: &str,
     metrics: &MetricsRegistry,
+    annotations: &mut Vec<ErrorAnnotation>,
 ) -> Result<Vec<SolutionSet>, ExecError> {
     let solutions = maybe_rebalance(cluster, solutions, expr, profilers, opts, metrics);
     let dict = ds.dictionary().clone();
 
     // §2.4.3 decision counters: did this rank's profile change the
-    // conjunct order, or confirm the written one? Pre-resolved handles so
-    // worker closures bump atomics without touching the registry maps.
+    // conjunct order, or confirm the written one?
     let reordered_ctr =
         metrics.counter_with("ids_engine_reorder_decisions_total", "decision", "reordered");
     let kept_ctr = metrics.counter_with("ids_engine_reorder_decisions_total", "decision", "kept");
+    let fault_ctrs = StageFaultCtrs::new(metrics);
 
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let stage_anns: Mutex<Vec<ErrorAnnotation>> = Mutex::new(Vec::new());
     let results: Vec<(SolutionSet, UdfProfiler, u64)> = cluster.execute(phase_name, |ctx| {
         let r = ctx.rank().index();
         set_current_rank(ctx.rank());
-        // A panicking UDF must surface as a query error, not tear down
-        // the executor (or poison `errors` for the other ranks).
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let input = &solutions[r];
-            let mut profiler = profilers[r].clone();
+        let input = &solutions[r];
+        let mut profiler = profilers[r].clone();
 
-            // §2.4.3: per-rank conjunct reordering.
-            let local_expr = if opts.reorder_conjuncts {
-                if let Expr::And(conjuncts) = expr {
-                    let order = order_conjuncts(
-                        conjuncts,
-                        &profiler,
-                        |_| opts.udf_cost_prior,
-                        opts.udf_rejection_prior,
-                    );
-                    if order.iter().enumerate().any(|(pos, &i)| pos != i) {
-                        reordered_ctr.inc();
-                    } else {
-                        kept_ctr.inc();
-                    }
-                    ids_udf::reorder::reorder_and(conjuncts.clone(), &order)
+        // §2.4.3: per-rank conjunct reordering. Reordering itself must not
+        // panic; row evaluation below is individually contained.
+        let local_expr = if opts.reorder_conjuncts {
+            if let Expr::And(conjuncts) = expr {
+                let order = order_conjuncts(
+                    conjuncts,
+                    &profiler,
+                    |_| opts.udf_cost_prior,
+                    opts.udf_rejection_prior,
+                );
+                if order.iter().enumerate().any(|(pos, &i)| pos != i) {
+                    reordered_ctr.inc();
                 } else {
-                    expr.clone()
+                    kept_ctr.inc();
                 }
+                ids_udf::reorder::reorder_and(conjuncts.clone(), &order)
             } else {
                 expr.clone()
-            };
+            }
+        } else {
+            expr.clone()
+        };
 
-            let mut kept = SolutionSet::empty(input.vars().to_vec());
-            let mut evals = 0u64;
-            for row in input.rows() {
-                let bindings = RowBindings::new(input.vars(), row, &dict);
-                let mut cx = EvalCtx::new(registry, &mut profiler);
-                match local_expr.eval_bool(&bindings, &mut cx) {
-                    Ok(pass) => {
-                        ctx.charge(cx.charged_secs + opts.eval_secs_per_row);
-                        evals += 1;
-                        if pass {
-                            kept.push(row.clone());
-                        }
+        let mut kept = SolutionSet::empty(input.vars().to_vec());
+        let mut evals = 0u64;
+        let mut spent = 0.0f64;
+        let mut deg = RankDegradation::default();
+        let rows = input.rows();
+        for (i, row) in rows.iter().enumerate() {
+            // Per-rank stage deadline: stop evaluating once the budget is
+            // spent; the remaining rows are dropped (degrade) or fatal.
+            if spent > opts.stage_deadline_secs {
+                let remaining = (rows.len() - i) as u64;
+                fault_ctrs.deadline_hits.inc();
+                fault_ctrs.dropped_rows.add(remaining);
+                if opts.degrade {
+                    deg.deadline_rows = remaining;
+                } else {
+                    lock_unpoisoned(&errors).push(format!(
+                        "rank {r} {phase_name} stage exceeded its {:.6}s deadline \
+                         with {remaining} rows unprocessed",
+                        opts.stage_deadline_secs
+                    ));
+                }
+                break;
+            }
+            let bindings = RowBindings::new(input.vars(), row, &dict);
+            let verdict = retry_row(
+                opts,
+                &fault_ctrs,
+                |secs| {
+                    ctx.charge(secs);
+                    spent += secs;
+                },
+                || {
+                    let mut cx = EvalCtx::new(registry, &mut profiler);
+                    let out = local_expr.eval_bool(&bindings, &mut cx);
+                    (out, cx.charged_secs)
+                },
+            );
+            match verdict {
+                Ok((Ok(pass), charged)) => {
+                    let c = charged + opts.eval_secs_per_row;
+                    ctx.charge(c);
+                    spent += c;
+                    evals += 1;
+                    if pass {
+                        kept.push(row.clone());
                     }
-                    Err(e) => {
-                        lock_errors(&errors).push(e.to_string());
-                        ctx.charge(cx.charged_secs);
+                }
+                Ok((Err(e), charged)) => {
+                    ctx.charge(charged);
+                    spent += charged;
+                    if opts.degrade {
+                        fault_ctrs.dropped_rows.inc();
+                        deg.eval_rows += 1;
+                        deg.eval_first.get_or_insert_with(|| e.to_string());
+                    } else {
+                        lock_unpoisoned(&errors).push(e.to_string());
+                    }
+                }
+                Err(msg) => {
+                    if opts.degrade {
+                        fault_ctrs.dropped_rows.inc();
+                        deg.panic_rows += 1;
+                        deg.panic_first.get_or_insert(msg);
+                    } else {
+                        // Fail fast, like the pre-retry executor: record
+                        // the panic and stop this rank's work.
+                        lock_unpoisoned(&errors)
+                            .push(format!("rank {r} filter worker panicked: {msg}"));
+                        break;
                     }
                 }
             }
-            ctx.count("filter_evals", evals);
-            ctx.count("filter_kept", kept.len() as u64);
-            (kept, profiler, evals)
-        }));
-        outcome.unwrap_or_else(|payload| {
-            lock_errors(&errors)
-                .push(format!("rank {r} filter worker panicked: {}", panic_message(&*payload)));
-            (SolutionSet::empty(solutions[r].vars().to_vec()), profilers[r].clone(), 0)
-        })
+        }
+        deg.flush(phase_name, r, opts.stage_deadline_secs, &stage_anns);
+        ctx.count("filter_evals", evals);
+        ctx.count("filter_kept", kept.len() as u64);
+        (kept, profiler, evals)
     });
     cluster.barrier();
 
@@ -716,6 +962,7 @@ fn run_filter_stage(
     if let Some(first) = errs.first() {
         return Err(ExecError { message: format!("{} ({} total failures)", first, errs.len()) });
     }
+    annotations.extend(stage_anns.into_inner().unwrap_or_else(PoisonError::into_inner));
 
     let mut out = Vec::with_capacity(results.len());
     for (r, (kept, profiler, _)) in results.into_iter().enumerate() {
@@ -725,7 +972,9 @@ fn run_filter_stage(
     Ok(out)
 }
 
-/// Run an APPLY stage: re-balance, invoke the UDF per row, bind the output.
+/// Run an APPLY stage: re-balance, invoke the UDF per row, bind the
+/// output. Same per-row retry/deadline/degradation treatment as
+/// [`run_filter_stage`].
 #[allow(clippy::too_many_arguments)]
 fn run_apply_stage(
     cluster: &mut Cluster,
@@ -739,78 +988,123 @@ fn run_apply_stage(
     opts: &ExecOptions,
     _breakdown: &mut StageBreakdown,
     metrics: &MetricsRegistry,
+    annotations: &mut Vec<ErrorAnnotation>,
 ) -> Result<Vec<SolutionSet>, ExecError> {
     // Re-balance using the UDF itself as the cost driver.
     let probe_expr = Expr::udf(udf.to_string(), vec![]);
     let solutions = maybe_rebalance(cluster, solutions, &probe_expr, profilers, opts, metrics);
     let dict = ds.dictionary().clone();
+    let fault_ctrs = StageFaultCtrs::new(metrics);
+    let stage_name = format!("apply:{udf}");
 
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
-    let results: Vec<(SolutionSet, UdfProfiler)> =
-        cluster.execute(&format!("apply:{udf}"), |ctx| {
-            let r = ctx.rank().index();
-            set_current_rank(ctx.rank());
-            // Same panic containment as the FILTER stage.
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let input = &solutions[r];
-                let mut profiler = profilers[r].clone();
+    let stage_anns: Mutex<Vec<ErrorAnnotation>> = Mutex::new(Vec::new());
+    let results: Vec<(SolutionSet, UdfProfiler)> = cluster.execute(&stage_name, |ctx| {
+        let r = ctx.rank().index();
+        set_current_rank(ctx.rank());
+        let input = &solutions[r];
+        let mut profiler = profilers[r].clone();
 
-                let mut vars = input.vars().to_vec();
-                vars.push(bind_as.to_string());
-                let mut out = SolutionSet::empty(vars);
-                for row in input.rows() {
-                    let bindings = RowBindings::new(input.vars(), row, &dict);
+        let mut vars = input.vars().to_vec();
+        vars.push(bind_as.to_string());
+        let mut out = SolutionSet::empty(vars);
+        let mut spent = 0.0f64;
+        let mut deg = RankDegradation::default();
+        let rows = input.rows();
+        for (i, row) in rows.iter().enumerate() {
+            if spent > opts.stage_deadline_secs {
+                let remaining = (rows.len() - i) as u64;
+                fault_ctrs.deadline_hits.inc();
+                fault_ctrs.dropped_rows.add(remaining);
+                if opts.degrade {
+                    deg.deadline_rows = remaining;
+                } else {
+                    lock_unpoisoned(&errors).push(format!(
+                        "rank {r} {stage_name} stage exceeded its {:.6}s deadline \
+                         with {remaining} rows unprocessed",
+                        opts.stage_deadline_secs
+                    ));
+                }
+                break;
+            }
+            let bindings = RowBindings::new(input.vars(), row, &dict);
+            let verdict = retry_row(
+                opts,
+                &fault_ctrs,
+                |secs| {
+                    ctx.charge(secs);
+                    spent += secs;
+                },
+                || {
                     let mut cx = EvalCtx::new(registry, &mut profiler);
                     let call = Expr::udf(udf.to_string(), args.to_vec());
-                    match call.eval(&bindings, &mut cx) {
-                        Ok(value) => {
-                            ctx.charge(cx.charged_secs + opts.eval_secs_per_row);
-                            // Bind the output: encode into the dictionary so it
-                            // flows like any other term.
-                            let term = match value {
-                                ids_udf::UdfValue::F64(v) => ids_graph::Term::float(v),
-                                ids_udf::UdfValue::I64(v) => ids_graph::Term::Int(v),
-                                ids_udf::UdfValue::Str(s) => ids_graph::Term::str(s),
-                                ids_udf::UdfValue::Bool(b) => ids_graph::Term::Int(b as i64),
-                                ids_udf::UdfValue::Id(id) => {
-                                    let mut new_row = row.clone();
-                                    new_row.push(TermId(id));
-                                    out.push(new_row);
-                                    continue;
-                                }
-                                ids_udf::UdfValue::Null => {
-                                    // Nulls drop the row (SPARQL error semantics).
-                                    continue;
-                                }
-                            };
-                            let id = dict.encode(&term);
+                    let res = call.eval(&bindings, &mut cx);
+                    (res, cx.charged_secs)
+                },
+            );
+            match verdict {
+                Ok((Ok(value), charged)) => {
+                    let c = charged + opts.eval_secs_per_row;
+                    ctx.charge(c);
+                    spent += c;
+                    // Bind the output: encode into the dictionary so it
+                    // flows like any other term.
+                    let term = match value {
+                        ids_udf::UdfValue::F64(v) => ids_graph::Term::float(v),
+                        ids_udf::UdfValue::I64(v) => ids_graph::Term::Int(v),
+                        ids_udf::UdfValue::Str(s) => ids_graph::Term::str(s),
+                        ids_udf::UdfValue::Bool(b) => ids_graph::Term::Int(b as i64),
+                        ids_udf::UdfValue::Id(id) => {
                             let mut new_row = row.clone();
-                            new_row.push(id);
+                            new_row.push(TermId(id));
                             out.push(new_row);
+                            continue;
                         }
-                        Err(e) => {
-                            lock_errors(&errors).push(e.to_string());
-                            ctx.charge(cx.charged_secs);
+                        ids_udf::UdfValue::Null => {
+                            // Nulls drop the row (SPARQL error semantics).
+                            continue;
                         }
+                    };
+                    let id = dict.encode(&term);
+                    let mut new_row = row.clone();
+                    new_row.push(id);
+                    out.push(new_row);
+                }
+                Ok((Err(e), charged)) => {
+                    ctx.charge(charged);
+                    spent += charged;
+                    if opts.degrade {
+                        fault_ctrs.dropped_rows.inc();
+                        deg.eval_rows += 1;
+                        deg.eval_first.get_or_insert_with(|| e.to_string());
+                    } else {
+                        lock_unpoisoned(&errors).push(e.to_string());
                     }
                 }
-                ctx.count("apply_rows", out.len() as u64);
-                (out, profiler)
-            }));
-            outcome.unwrap_or_else(|payload| {
-                lock_errors(&errors)
-                    .push(format!("rank {r} apply worker panicked: {}", panic_message(&*payload)));
-                let mut vars = solutions[r].vars().to_vec();
-                vars.push(bind_as.to_string());
-                (SolutionSet::empty(vars), profilers[r].clone())
-            })
-        });
+                Err(msg) => {
+                    if opts.degrade {
+                        fault_ctrs.dropped_rows.inc();
+                        deg.panic_rows += 1;
+                        deg.panic_first.get_or_insert(msg);
+                    } else {
+                        lock_unpoisoned(&errors)
+                            .push(format!("rank {r} apply worker panicked: {msg}"));
+                        break;
+                    }
+                }
+            }
+        }
+        deg.flush(&stage_name, r, opts.stage_deadline_secs, &stage_anns);
+        ctx.count("apply_rows", out.len() as u64);
+        (out, profiler)
+    });
     cluster.barrier();
 
     let errs = errors.into_inner().unwrap_or_else(PoisonError::into_inner);
     if let Some(first) = errs.first() {
         return Err(ExecError { message: format!("{} ({} total failures)", first, errs.len()) });
     }
+    annotations.extend(stage_anns.into_inner().unwrap_or_else(PoisonError::into_inner));
 
     let mut out = Vec::with_capacity(results.len());
     for (r, (set, profiler)) in results.into_iter().enumerate() {

@@ -186,7 +186,65 @@ pub fn explain_with_metrics(
             "    conjunct reordering: {reordered} reordered, {kept} kept as written\n"
         ));
     }
+
+    render_fault_block(&mut out, snapshot);
     out
+}
+
+/// Append the faults/degradation block when any fault-plane, retry, or
+/// degraded-execution counter has fired. Queries that ran clean add
+/// nothing, so fault-free EXPLAIN output is unchanged.
+fn render_fault_block(out: &mut String, snapshot: &MetricsSnapshot) {
+    let injected: u64 = snapshot
+        .counters
+        .iter()
+        .filter(|(k, _)| k.name == "ids_faults_injected_total")
+        .map(|(_, v)| *v)
+        .sum();
+    let degraded = snapshot.counter("ids_engine_degraded_queries_total", "");
+    let row_retries = snapshot.counter("ids_engine_row_retries_total", "");
+    let dropped = snapshot.counter("ids_engine_dropped_rows_total", "");
+    let deadline_hits = snapshot.counter("ids_engine_stage_deadline_hits_total", "");
+    let cache_retries = snapshot.counter("ids_cache_retries_total", "");
+    let cache_timeouts = snapshot.counter("ids_cache_deadline_timeouts_total", "");
+    let node_failures = snapshot.counter("ids_cache_node_failures_total", "");
+    let repopulations = snapshot.counter("ids_cache_repopulations_total", "");
+    if injected
+        + degraded
+        + row_retries
+        + dropped
+        + deadline_hits
+        + cache_retries
+        + cache_timeouts
+        + node_failures
+        + repopulations
+        == 0
+    {
+        return;
+    }
+
+    out.push_str("  faults & degradation:\n");
+    if injected > 0 {
+        let detail: Vec<String> = snapshot
+            .counters
+            .iter()
+            .filter(|(k, v)| k.name == "ids_faults_injected_total" && **v > 0)
+            .map(|(k, v)| format!("{} {}", v, k.label_value))
+            .collect();
+        out.push_str(&format!("    faults injected: {} ({})\n", injected, detail.join(", ")));
+    }
+    if degraded > 0 || dropped > 0 || row_retries > 0 || deadline_hits > 0 {
+        out.push_str(&format!(
+            "    degraded queries: {degraded} ({dropped} rows dropped, \
+             {row_retries} row retries, {deadline_hits} stage-deadline hits)\n"
+        ));
+    }
+    if cache_retries + cache_timeouts + node_failures + repopulations > 0 {
+        out.push_str(&format!(
+            "    cache faults: {cache_retries} retries, {cache_timeouts} deadline timeouts, \
+             {node_failures} node failures, {repopulations} re-populations\n"
+        ));
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use crate::planner;
 use ids_cache::CacheManager;
 use ids_models::ModelRepository;
 use ids_obs::{MetricsRegistry, MetricsSnapshot};
-use ids_simrt::{Cluster, NetworkModel, Topology};
+use ids_simrt::{Cluster, FaultPlane, NetworkModel, Topology};
 use ids_udf::{UdfProfiler, UdfRegistry};
 use std::sync::Arc;
 
@@ -65,6 +65,7 @@ pub struct IdsInstance {
     models: ModelRepository,
     profilers: Vec<UdfProfiler>,
     cache: Option<Arc<CacheManager>>,
+    faults: Option<Arc<FaultPlane>>,
     metrics: MetricsRegistry,
 }
 
@@ -81,13 +82,35 @@ impl IdsInstance {
             models: ModelRepository::with_builtin_models(),
             profilers: vec![UdfProfiler::new(); ranks],
             cache: None,
+            faults: None,
             metrics: MetricsRegistry::new(),
         }
     }
 
-    /// Attach a (possibly shared) global cache.
+    /// Attach a (possibly shared) global cache. If a fault plane is
+    /// already attached, the cache joins the same fault schedule.
     pub fn attach_cache(&mut self, cache: Arc<CacheManager>) {
+        if let Some(plane) = &self.faults {
+            cache.attach_faults(plane.clone());
+        }
         self.cache = Some(cache);
+    }
+
+    /// Attach a deterministic fault-injection plane: the cluster (crash
+    /// windows, stragglers, link degradation) and any attached cache
+    /// (fencing, transient FAM failures) follow its schedule, and its
+    /// fault counters join [`IdsInstance::metrics_snapshot`].
+    pub fn attach_faults(&mut self, plane: Arc<FaultPlane>) {
+        self.cluster.attach_faults(plane.clone());
+        if let Some(cache) = &self.cache {
+            cache.attach_faults(plane.clone());
+        }
+        self.faults = Some(plane);
+    }
+
+    /// The attached fault plane, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultPlane>> {
+        self.faults.as_ref()
     }
 
     /// The attached cache, if any.
@@ -142,11 +165,14 @@ impl IdsInstance {
             merged_profile.merge(p);
         }
         merged_profile.export_metrics(&self.metrics, "");
-        let snap = self.metrics.snapshot();
-        match &self.cache {
-            Some(cache) => snap.merge(&cache.metrics().snapshot()),
-            None => snap,
+        let mut snap = self.metrics.snapshot();
+        if let Some(cache) = &self.cache {
+            snap = snap.merge(&cache.metrics().snapshot());
         }
+        if let Some(plane) = &self.faults {
+            snap = snap.merge(&plane.metrics().snapshot());
+        }
+        snap
     }
 
     /// Prometheus text exposition of [`IdsInstance::metrics_snapshot`].
@@ -316,6 +342,97 @@ mod tests {
         assert!(msg.contains("panicked") && msg.contains("apply exploded"), "{msg}");
         let out = inst.query("SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }").unwrap();
         assert_eq!(out.solutions.len(), 20);
+    }
+
+    #[test]
+    fn flaky_udf_is_absorbed_by_row_retries() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let mut inst = demo_instance();
+        let calls = StdArc::new(AtomicU32::new(0));
+        let c2 = calls.clone();
+        inst.registry()
+            .register_static(
+                "flaky",
+                StdArc::new(move |args: &[UdfValue]| -> UdfOutput {
+                    // Deterministically panic on every third call: each
+                    // row's retry then succeeds (default row_retries = 2).
+                    if c2.fetch_add(1, Ordering::SeqCst).is_multiple_of(3) {
+                        panic!("transient worker fault");
+                    }
+                    let l = args[0].as_f64().unwrap_or(0.0);
+                    UdfOutput::new(UdfValue::Bool(l >= 0.0), 0.01)
+                }),
+            )
+            .unwrap();
+        let out = inst.query("SELECT ?p WHERE { ?p <up:len> ?l . FILTER(flaky(?l)) }").unwrap();
+        assert_eq!(out.solutions.len(), 20, "every row succeeds within its retry budget");
+        assert!(!out.degraded());
+        let snap = inst.metrics_snapshot();
+        assert!(snap.counter("ids_engine_row_retries_total", "") > 0);
+        assert_eq!(snap.counter("ids_engine_dropped_rows_total", ""), 0);
+    }
+
+    #[test]
+    fn degrade_mode_returns_partial_result_with_annotations() {
+        let mut inst = demo_instance();
+        inst.registry()
+            .register_static(
+                "picky",
+                StdArc::new(|args: &[UdfValue]| -> UdfOutput {
+                    let l = args[0].as_f64().unwrap_or(0.0);
+                    // Rows with len >= 100 always panic — retries cannot
+                    // save them, so degrade mode must drop exactly those.
+                    if l >= 100.0 {
+                        panic!("row poisoned at len {l}");
+                    }
+                    UdfOutput::new(UdfValue::Bool(true), 0.01)
+                }),
+            )
+            .unwrap();
+        inst.exec_options_mut().degrade = true;
+        let out = inst.query("SELECT ?p WHERE { ?p <up:len> ?l . FILTER(picky(?l)) }").unwrap();
+        // len = 0,10,…,190: ten rows below 100 survive, ten are dropped.
+        assert_eq!(out.solutions.len(), 10);
+        assert!(out.degraded());
+        assert_eq!(out.rows_dropped(), 10);
+        assert!(out
+            .annotations
+            .iter()
+            .all(|a| a.kind == crate::engine::DegradedKind::WorkerPanic && a.stage == "filter"));
+        assert!(out.annotations.iter().any(|a| a.detail.contains("row poisoned")));
+
+        // The degradation is observable after the fact too.
+        let snap = inst.metrics_snapshot();
+        assert_eq!(snap.counter("ids_engine_degraded_queries_total", ""), 1);
+        assert_eq!(snap.counter("ids_engine_dropped_rows_total", ""), 10);
+        let text = inst.explain("SELECT ?p WHERE { ?p <up:len> ?l . FILTER(picky(?l)) }").unwrap();
+        assert!(text.contains("faults & degradation"), "{text}");
+        assert!(text.contains("rows dropped"), "{text}");
+    }
+
+    #[test]
+    fn stage_deadline_degrades_or_fails_per_policy() {
+        // Strict (default): blowing the stage deadline is a query error.
+        let mut inst = demo_instance();
+        inst.exec_options_mut().stage_deadline_secs = 2.5e-7;
+        let q = "SELECT ?p WHERE { ?p <up:len> ?l . FILTER(?l >= 0) }";
+        let err = inst.query(q).unwrap_err();
+        assert!(err.to_string().contains("deadline"), "{err}");
+
+        // Degrade: the stage stops early and reports what it dropped.
+        let mut inst = demo_instance();
+        inst.exec_options_mut().stage_deadline_secs = 2.5e-7;
+        inst.exec_options_mut().degrade = true;
+        let out = inst.query(q).unwrap();
+        assert!(out.solutions.len() < 20, "some rows must be dropped");
+        assert!(out.degraded());
+        assert!(out
+            .annotations
+            .iter()
+            .all(|a| a.kind == crate::engine::DegradedKind::DeadlineExceeded));
+        assert_eq!(out.solutions.len() as u64 + out.rows_dropped(), 20);
+        let snap = inst.metrics_snapshot();
+        assert!(snap.counter("ids_engine_stage_deadline_hits_total", "") > 0);
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod planner;
 pub mod workflow;
 
 pub use datastore::Datastore;
-pub use engine::{QueryOutcome, StageBreakdown};
+pub use engine::{DegradedKind, ErrorAnnotation, ExecOptions, QueryOutcome, StageBreakdown};
 pub use instance::{IdsConfig, IdsInstance};
 pub use iql::ast::Query;

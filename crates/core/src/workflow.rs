@@ -237,18 +237,24 @@ pub fn register_workflow_udfs(
                         fnv1a(smiles.as_bytes())
                     )
                 });
+                let mut fault_cost = 0.0;
                 if let (Some(cache), Some(name)) = (&dtba_cache, &name) {
-                    if let Some((bytes, outcome)) = cache.get(current_rank(), name) {
-                        if bytes.len() == 8 {
+                    match cache.get(current_rank(), name) {
+                        Ok(Some((bytes, outcome))) if bytes.len() == 8 => {
                             let pkd = f64::from_le_bytes(bytes[..].try_into().expect("8 bytes"));
                             return UdfOutput::new(UdfValue::F64(pkd), outcome.virtual_secs);
                         }
+                        Ok(_) => {}
+                        // Degraded cache (down node, exhausted retries):
+                        // charge the wasted time and recompute — the
+                        // prediction itself is unaffected.
+                        Err(e) => fault_cost = e.spent_secs(),
                     }
                 }
                 match ProteinSequence::parse(seq_str) {
                     Ok(seq) => {
                         let a = dtba.predict(&seq, smiles);
-                        let mut cost = a.virtual_secs * dtba_scale;
+                        let mut cost = a.virtual_secs * dtba_scale + fault_cost;
                         if let (Some(cache), Some(name)) = (&dtba_cache, &name) {
                             cost += cache.put(
                                 current_rank(),
@@ -277,14 +283,21 @@ pub fn register_workflow_udfs(
 
                 // Cache fast path: the complete docking output is stashed
                 // as a named object (§3.2).
+                let mut fault_cost = 0.0;
                 if let Some(cache) = &cache {
-                    if let Some((bytes, outcome)) = cache.get(current_rank(), &name) {
-                        if let Some(result) = decode_docking_result(&bytes) {
-                            return UdfOutput::new(
-                                UdfValue::F64(result.energy),
-                                outcome.virtual_secs,
-                            );
+                    match cache.get(current_rank(), &name) {
+                        Ok(Some((bytes, outcome))) => {
+                            if let Some(result) = decode_docking_result(&bytes) {
+                                return UdfOutput::new(
+                                    UdfValue::F64(result.energy),
+                                    outcome.virtual_secs,
+                                );
+                            }
                         }
+                        Ok(None) => {}
+                        // Degraded cache: charge the wasted virtual time
+                        // and fall back to re-docking (same result).
+                        Err(e) => fault_cost = e.spent_secs(),
                     }
                 }
 
@@ -294,7 +307,7 @@ pub fn register_workflow_udfs(
                     Err(_) => return UdfOutput::new(UdfValue::Null, 1.0e-6),
                 };
                 let result = docking.dock(&receptor, &ligand);
-                let mut cost = result.virtual_secs;
+                let mut cost = result.virtual_secs + fault_cost;
                 if let Some(cache) = &cache {
                     cost += cache.put(current_rank(), &name, encode_docking_result(&result));
                 }

@@ -10,11 +10,13 @@
 
 use crate::clock::VirtualClock;
 use crate::collective::ReduceOp;
+use crate::faults::FaultPlane;
 use crate::net::NetworkModel;
 use crate::rng::SplitMix64;
 use crate::stats::{PhaseStats, RankStats, StatSummary};
 use crate::topology::{NodeId, RankId, Topology};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Execution context handed to a rank program during a compute phase.
 pub struct RankCtx {
@@ -83,6 +85,7 @@ pub struct Cluster {
     phases: Vec<PhaseStats>,
     seed: u64,
     phase_counter: u64,
+    faults: Option<Arc<FaultPlane>>,
 }
 
 impl Cluster {
@@ -90,7 +93,15 @@ impl Cluster {
     /// roots every random stream in the simulation.
     pub fn new(topo: Topology, net: NetworkModel, seed: u64) -> Self {
         let n = topo.total_ranks() as usize;
-        Self { topo, net, clocks: vec![0.0; n], phases: Vec::new(), seed, phase_counter: 0 }
+        Self {
+            topo,
+            net,
+            clocks: vec![0.0; n],
+            phases: Vec::new(),
+            seed,
+            phase_counter: 0,
+            faults: None,
+        }
     }
 
     /// Convenience: the paper's Cray EX scaling configuration at `nodes`
@@ -112,6 +123,31 @@ impl Cluster {
     /// The root seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Attach a fault-injection plane. Subsequent compute phases apply
+    /// straggler slowdowns, collectives pay link-degradation costs, and
+    /// the plane's cursor tracks the cluster's virtual clock.
+    pub fn attach_faults(&mut self, plane: Arc<FaultPlane>) {
+        self.faults = Some(plane);
+    }
+
+    /// The attached fault plane, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultPlane>> {
+        self.faults.as_ref()
+    }
+
+    /// Multiplier applied to collective network costs under the current
+    /// link conditions (1.0 when healthy or no plane is attached).
+    fn net_cost_mult(&self) -> f64 {
+        self.faults.as_ref().map_or(1.0, |p| p.link_factors().cost_mult())
+    }
+
+    /// Let the fault plane's virtual-time cursor catch up to us.
+    fn sync_faults(&self) {
+        if let Some(p) = &self.faults {
+            p.advance_to(self.elapsed());
+        }
     }
 
     /// Maximum virtual time across ranks — the job's elapsed virtual
@@ -173,9 +209,13 @@ impl Cluster {
         let mut totals = RankStats::default();
         let mut outs = Vec::with_capacity(results.len());
         for (r, (end, stats, out)) in results.into_iter().enumerate() {
-            busy.push(end - starts[r]);
+            // Straggler ranks (from the fault plane) run the same work,
+            // but their busy time is dilated by a constant factor.
+            let factor = self.faults.as_ref().map_or(1.0, |p| p.straggler_factor(RankId(r as u32)));
+            let b = (end - starts[r]) * factor;
+            busy.push(b);
             totals.merge(&stats);
-            self.clocks[r] = end;
+            self.clocks[r] = starts[r] + b;
             outs.push(out);
         }
         self.phases.push(PhaseStats {
@@ -184,14 +224,16 @@ impl Cluster {
             completed_at: self.elapsed(),
             totals,
         });
+        self.sync_faults();
         outs
     }
 
     /// Barrier: every rank advances to the release time
     /// `max(clocks) + barrier_cost`. Returns the release time.
     pub fn barrier(&mut self) -> f64 {
-        let t = self.elapsed() + self.net.barrier(self.topo.total_ranks());
+        let t = self.elapsed() + self.net.barrier(self.topo.total_ranks()) * self.net_cost_mult();
         self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_faults();
         t
     }
 
@@ -203,8 +245,10 @@ impl Cluster {
     pub fn allreduce_f64(&mut self, locals: &[f64], op: ReduceOp) -> f64 {
         assert_eq!(locals.len(), self.clocks.len(), "one contribution per rank required");
         let result = op.reduce_f64(locals);
-        let t = self.elapsed() + self.net.allreduce(self.topo.total_ranks(), 8);
+        let t =
+            self.elapsed() + self.net.allreduce(self.topo.total_ranks(), 8) * self.net_cost_mult();
         self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_faults();
         result
     }
 
@@ -212,8 +256,10 @@ impl Cluster {
     pub fn allreduce_u64(&mut self, locals: &[u64], op: ReduceOp) -> u64 {
         assert_eq!(locals.len(), self.clocks.len(), "one contribution per rank required");
         let result = op.reduce_u64(locals);
-        let t = self.elapsed() + self.net.allreduce(self.topo.total_ranks(), 8);
+        let t =
+            self.elapsed() + self.net.allreduce(self.topo.total_ranks(), 8) * self.net_cost_mult();
         self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_faults();
         result
     }
 
@@ -221,8 +267,10 @@ impl Cluster {
     /// synchronize to completion. The caller moves the actual data (it is
     /// already in shared host memory); this charges the virtual cost.
     pub fn allgather_cost(&mut self, bytes_per_rank: u64) -> f64 {
-        let t = self.elapsed() + self.net.allgather(self.topo.total_ranks(), bytes_per_rank);
+        let t = self.elapsed()
+            + self.net.allgather(self.topo.total_ranks(), bytes_per_rank) * self.net_cost_mult();
         self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_faults();
         t
     }
 
@@ -232,8 +280,10 @@ impl Cluster {
     pub fn alltoallv_cost(&mut self, send_bytes: &[u64]) -> f64 {
         assert_eq!(send_bytes.len(), self.clocks.len(), "one send size per rank required");
         let max_send = send_bytes.iter().copied().max().unwrap_or(0);
-        let t = self.elapsed() + self.net.alltoallv(self.topo.total_ranks(), max_send);
+        let t = self.elapsed()
+            + self.net.alltoallv(self.topo.total_ranks(), max_send) * self.net_cost_mult();
         self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_faults();
         t
     }
 }
@@ -333,6 +383,57 @@ mod tests {
         c.reset_clocks();
         assert_eq!(c.elapsed(), 0.0);
         assert!(c.phases().is_empty());
+    }
+
+    #[test]
+    fn straggler_ranks_dilate_busy_time() {
+        use crate::faults::{FaultConfig, FaultPlane};
+        let mut c = Cluster::new(Topology::new(1, 8), NetworkModel::ideal(), 1);
+        c.attach_faults(Arc::new(FaultPlane::new(
+            1,
+            FaultConfig::stragglers_only(1.0, 4.0),
+            1,
+            8,
+            100.0,
+        )));
+        c.execute("w", |ctx| ctx.charge(1.0));
+        assert!(c.clocks().iter().all(|&t| (t - 4.0).abs() < 1e-12), "{:?}", c.clocks());
+        // The plane's cursor followed the cluster clock.
+        assert!((c.faults().unwrap().now() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_link_slows_collectives() {
+        use crate::faults::{FaultConfig, FaultPlane, LinkConfig};
+        let mut healthy = Cluster::new(Topology::new(4, 2), NetworkModel::slingshot(), 1);
+        let t_healthy = healthy.barrier();
+
+        let plane = Arc::new(FaultPlane::new(
+            3,
+            FaultConfig::link_only(LinkConfig {
+                mean_healthy_secs: 1.0,
+                mean_degraded_secs: 0.5,
+                latency_mult: 10.0,
+                bandwidth_mult: 0.1,
+            }),
+            4,
+            8,
+            100.0,
+        ));
+        // Park the cursor inside the first degradation window.
+        let mut t = 0.0;
+        while !plane.link_factors_at(t).degraded() {
+            t += 0.01;
+            assert!(t < 100.0, "no degraded window scheduled");
+        }
+        plane.advance_to(t + 1e-6);
+        let mut degraded = Cluster::new(Topology::new(4, 2), NetworkModel::slingshot(), 1);
+        degraded.attach_faults(plane);
+        let t_degraded = degraded.barrier();
+        assert!(
+            t_degraded > 5.0 * t_healthy,
+            "degraded barrier {t_degraded} vs healthy {t_healthy}"
+        );
     }
 
     #[test]

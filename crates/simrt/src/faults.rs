@@ -1,0 +1,620 @@
+//! Deterministic fault-injection plane for chaos testing.
+//!
+//! The paper's cache is explicitly failure-aware (§3.2: a failed cache
+//! node loses its DRAM/SSD contents, which are later re-populated from
+//! the backing store). This module makes that failure model — and more —
+//! injectable *deterministically*, following the FoundationDB-style
+//! simulation-testing methodology: every fault is drawn from a seeded
+//! schedule over the **virtual** clock, so a chaos run is exactly
+//! reproducible from its seed and can be compared byte-for-byte against
+//! the fault-free run.
+//!
+//! Four fault classes are modelled:
+//!
+//! * **Node crash/recovery windows** — per cache node, alternating
+//!   exponential up/down durations. While a node is inside a down
+//!   window, layers that consult the plane treat it as unreachable.
+//! * **Transient op failures** — each remote FAM/cache access fails
+//!   independently with a configured probability; the draw is indexed
+//!   by `(rank, per-rank op counter)`, so it is deterministic no matter
+//!   how rank closures interleave on host threads.
+//! * **Link degradation windows** — global windows during which network
+//!   latency is multiplied up and bandwidth multiplied down.
+//! * **Straggler ranks** — a seeded subset of ranks runs slower by a
+//!   constant factor, applied to their compute-phase busy time.
+//!
+//! The plane's cursor only moves at `advance_to` calls (between BSP
+//! phases), so every rank observes the same availability state within a
+//! phase — a prerequisite for deterministic replay.
+
+use crate::rng::SplitMix64;
+use crate::topology::{NodeId, RankId};
+use ids_obs::{Counter, MetricsRegistry};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Node crash/recovery schedule parameters (exponential up/down times).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashConfig {
+    /// Mean virtual seconds a node stays up between crashes.
+    pub mean_uptime_secs: f64,
+    /// Mean virtual seconds a crashed node stays down.
+    pub mean_downtime_secs: f64,
+}
+
+/// Transient (retryable) failure probability for remote operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientConfig {
+    /// Probability that any single remote op attempt fails transiently.
+    pub fail_prob: f64,
+}
+
+/// Link-degradation schedule: alternating healthy/degraded windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Mean virtual seconds between degradation windows.
+    pub mean_healthy_secs: f64,
+    /// Mean virtual seconds a degradation window lasts.
+    pub mean_degraded_secs: f64,
+    /// Latency multiplier while degraded (>= 1).
+    pub latency_mult: f64,
+    /// Bandwidth multiplier while degraded (in `(0, 1]`).
+    pub bandwidth_mult: f64,
+}
+
+/// Straggler-rank selection: a seeded subset of ranks runs slower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerConfig {
+    /// Fraction of ranks that straggle (in `[0, 1]`).
+    pub fraction: f64,
+    /// Compute slowdown factor for straggler ranks (>= 1).
+    pub slowdown: f64,
+}
+
+/// Which faults to inject. `FaultConfig::default()` injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Node crash/recovery windows (cache/FAM node availability).
+    pub crash: Option<CrashConfig>,
+    /// Transient remote-op failures.
+    pub transient: Option<TransientConfig>,
+    /// Link degradation windows.
+    pub link: Option<LinkConfig>,
+    /// Straggler ranks.
+    pub straggler: Option<StragglerConfig>,
+}
+
+impl FaultConfig {
+    /// No faults at all (the plane becomes a deterministic no-op).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The chaos-matrix default: every fault class on, at intensities
+    /// tuned so a short NCNPR run crosses several crash and degradation
+    /// windows while still completing.
+    pub fn chaos() -> Self {
+        Self {
+            crash: Some(CrashConfig { mean_uptime_secs: 2.0, mean_downtime_secs: 0.5 }),
+            transient: Some(TransientConfig { fail_prob: 0.05 }),
+            link: Some(LinkConfig {
+                mean_healthy_secs: 1.0,
+                mean_degraded_secs: 0.4,
+                latency_mult: 8.0,
+                bandwidth_mult: 0.25,
+            }),
+            straggler: Some(StragglerConfig { fraction: 0.25, slowdown: 3.0 }),
+        }
+    }
+
+    /// Only node crash/recovery windows.
+    pub fn crashes_only(mean_uptime_secs: f64, mean_downtime_secs: f64) -> Self {
+        Self {
+            crash: Some(CrashConfig { mean_uptime_secs, mean_downtime_secs }),
+            ..Self::default()
+        }
+    }
+
+    /// Only transient remote-op failures.
+    pub fn transient_only(fail_prob: f64) -> Self {
+        Self { transient: Some(TransientConfig { fail_prob }), ..Self::default() }
+    }
+
+    /// Only link degradation.
+    pub fn link_only(cfg: LinkConfig) -> Self {
+        Self { link: Some(cfg), ..Self::default() }
+    }
+
+    /// Only straggler ranks.
+    pub fn stragglers_only(fraction: f64, slowdown: f64) -> Self {
+        Self { straggler: Some(StragglerConfig { fraction, slowdown }), ..Self::default() }
+    }
+}
+
+/// Network multipliers in force at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFactors {
+    /// Multiply latency terms by this (>= 1).
+    pub latency_mult: f64,
+    /// Multiply bandwidth by this (<= 1).
+    pub bandwidth_mult: f64,
+}
+
+impl LinkFactors {
+    /// Healthy link: no scaling.
+    pub const NONE: LinkFactors = LinkFactors { latency_mult: 1.0, bandwidth_mult: 1.0 };
+
+    /// Conservative single-factor cost multiplier for pre-computed
+    /// latency+bandwidth costs: the worse of the two effects.
+    pub fn cost_mult(&self) -> f64 {
+        let bw = if self.bandwidth_mult > 0.0 { 1.0 / self.bandwidth_mult } else { 1.0 };
+        self.latency_mult.max(bw).max(1.0)
+    }
+
+    /// True when either factor deviates from healthy.
+    pub fn degraded(&self) -> bool {
+        self.latency_mult != 1.0 || self.bandwidth_mult != 1.0
+    }
+}
+
+/// Bounded exponential backoff with multiplicative jitter. Delays are
+/// *virtual* seconds: callers charge them to the virtual clock rather
+/// than sleeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_delay_secs: f64,
+    /// Backoff growth factor per retry.
+    pub multiplier: f64,
+    /// Backoff ceiling.
+    pub max_delay_secs: f64,
+    /// Jitter amplitude: the delay is scaled by `1 ± jitter_frac`.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay_secs: 1e-3,
+            multiplier: 2.0,
+            max_delay_secs: 0.1,
+            jitter_frac: 0.2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn no_retries() -> Self {
+        Self { max_attempts: 1, ..Self::default() }
+    }
+
+    /// Backoff to charge before retry number `attempt` (1-based: the
+    /// wait after the first failure is `attempt == 1`). `jitter01` is a
+    /// uniform draw in `[0, 1)` supplied by the caller's deterministic
+    /// stream.
+    pub fn backoff_secs(&self, attempt: u32, jitter01: f64) -> f64 {
+        let exp = attempt.saturating_sub(1).min(62);
+        let raw = self.base_delay_secs * self.multiplier.powi(exp as i32);
+        let capped = raw.min(self.max_delay_secs);
+        let scale = 1.0 + self.jitter_frac * (2.0 * jitter01 - 1.0);
+        (capped * scale).max(0.0)
+    }
+}
+
+/// A virtual-time budget for one operation (a get, a stage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deadline {
+    /// Budget in virtual seconds; `f64::INFINITY` disables the deadline.
+    pub budget_secs: f64,
+}
+
+impl Deadline {
+    /// No deadline.
+    pub fn unlimited() -> Self {
+        Self { budget_secs: f64::INFINITY }
+    }
+
+    /// A budget of `secs` virtual seconds.
+    pub fn of(secs: f64) -> Self {
+        Self { budget_secs: secs }
+    }
+
+    /// True once `spent_secs` of virtual time has exceeded the budget.
+    pub fn exceeded(&self, spent_secs: f64) -> bool {
+        spent_secs > self.budget_secs
+    }
+}
+
+/// The seeded fault schedule plus its virtual-time cursor.
+///
+/// Construction pre-computes every crash and degradation window inside
+/// the horizon, so queries against the plane are pure lookups. The
+/// cursor (`now`) only advances via [`FaultPlane::advance_to`], which
+/// the cluster calls between BSP phases.
+pub struct FaultPlane {
+    seed: u64,
+    cfg: FaultConfig,
+    horizon_secs: f64,
+    /// Per-node down windows, each `[start, end)`, sorted by start.
+    crash_windows: Vec<Vec<(f64, f64)>>,
+    /// Global link-degradation windows, each `[start, end)`.
+    link_windows: Vec<(f64, f64)>,
+    /// Per-rank compute slowdown factors (1.0 = healthy).
+    straggler: Vec<f64>,
+    /// Virtual-time cursor; moves monotonically.
+    now: Mutex<f64>,
+    /// Per-rank deterministic draw counters (transients + jitter).
+    draws: Vec<AtomicU64>,
+    metrics: MetricsRegistry,
+    crash_ctr: Counter,
+    transient_ctr: Counter,
+    link_ctr: Counter,
+}
+
+/// Exponential draw with the given mean (inverse-CDF method).
+fn exp_draw(rng: &mut SplitMix64, mean: f64) -> f64 {
+    // next_f64() is in [0, 1), so 1 - u is in (0, 1] and ln() is finite.
+    -mean * (1.0 - rng.next_f64()).ln()
+}
+
+impl FaultPlane {
+    /// Build the schedule for `nodes` cache/FAM nodes and `ranks` ranks
+    /// over `[0, horizon_secs)` of virtual time. Everything is a pure
+    /// function of `(seed, cfg, nodes, ranks, horizon_secs)`.
+    pub fn new(seed: u64, cfg: FaultConfig, nodes: u32, ranks: u32, horizon_secs: f64) -> Self {
+        let mut crash_windows = Vec::with_capacity(nodes as usize);
+        for node in 0..nodes {
+            let mut windows = Vec::new();
+            if let Some(c) = cfg.crash {
+                let mut rng = SplitMix64::new(seed, 0x6E0D_0000 ^ node as u64);
+                let mut t = exp_draw(&mut rng, c.mean_uptime_secs);
+                while t < horizon_secs {
+                    let down = exp_draw(&mut rng, c.mean_downtime_secs);
+                    windows.push((t, t + down));
+                    t += down + exp_draw(&mut rng, c.mean_uptime_secs);
+                }
+            }
+            crash_windows.push(windows);
+        }
+
+        let mut link_windows = Vec::new();
+        if let Some(l) = cfg.link {
+            let mut rng = SplitMix64::new(seed, 0x11_4B00);
+            let mut t = exp_draw(&mut rng, l.mean_healthy_secs);
+            while t < horizon_secs {
+                let degraded = exp_draw(&mut rng, l.mean_degraded_secs);
+                link_windows.push((t, t + degraded));
+                t += degraded + exp_draw(&mut rng, l.mean_healthy_secs);
+            }
+        }
+
+        let mut straggler = vec![1.0; ranks as usize];
+        let mut straggler_count = 0i64;
+        if let Some(s) = cfg.straggler {
+            for (r, factor) in straggler.iter_mut().enumerate() {
+                let mut rng = SplitMix64::new(seed, 0x57A6_0000 ^ r as u64);
+                if rng.next_f64() < s.fraction {
+                    *factor = s.slowdown.max(1.0);
+                    straggler_count += 1;
+                }
+            }
+        }
+
+        let metrics = MetricsRegistry::new();
+        let crash_ctr = metrics.counter_with("ids_faults_injected_total", "kind", "node_crash");
+        let transient_ctr =
+            metrics.counter_with("ids_faults_injected_total", "kind", "fam_transient");
+        let link_ctr = metrics.counter_with("ids_faults_injected_total", "kind", "link_degrade");
+        metrics.gauge("ids_faults_straggler_ranks").set(straggler_count);
+
+        Self {
+            seed,
+            cfg,
+            horizon_secs,
+            crash_windows,
+            link_windows,
+            straggler,
+            now: Mutex::new(0.0),
+            draws: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            metrics,
+            crash_ctr,
+            transient_ctr,
+            link_ctr,
+        }
+    }
+
+    /// A plane that injects nothing — useful as an attachable default.
+    pub fn disabled(nodes: u32, ranks: u32) -> Self {
+        Self::new(0, FaultConfig::none(), nodes, ranks, 0.0)
+    }
+
+    /// The root seed of the schedule.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configuration the schedule was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// End of the scheduled horizon (no faults occur past it).
+    pub fn horizon_secs(&self) -> f64 {
+        self.horizon_secs
+    }
+
+    /// Current virtual-time cursor.
+    pub fn now(&self) -> f64 {
+        *self.now.lock()
+    }
+
+    /// Advance the cursor to `t` (monotone; earlier times are ignored)
+    /// and count fault windows whose start was crossed.
+    pub fn advance_to(&self, t: f64) {
+        let mut now = self.now.lock();
+        if t <= *now {
+            return;
+        }
+        let (prev, cur) = (*now, t);
+        for windows in &self.crash_windows {
+            for &(start, _) in windows {
+                if start > prev && start <= cur {
+                    self.crash_ctr.inc();
+                }
+            }
+        }
+        for &(start, _) in &self.link_windows {
+            if start > prev && start <= cur {
+                self.link_ctr.inc();
+            }
+        }
+        *now = cur;
+    }
+
+    /// Is `node` inside a crash window at the current cursor?
+    pub fn node_down(&self, node: NodeId) -> bool {
+        self.node_down_at(node, self.now())
+    }
+
+    /// Is `node` inside a crash window at virtual time `t`?
+    pub fn node_down_at(&self, node: NodeId, t: f64) -> bool {
+        self.crash_windows
+            .get(node.0 as usize)
+            .is_some_and(|ws| ws.iter().any(|&(s, e)| t >= s && t < e))
+    }
+
+    /// The crash windows scheduled for `node` (for tests/reports).
+    pub fn crash_windows(&self, node: NodeId) -> &[(f64, f64)] {
+        self.crash_windows.get(node.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Link multipliers in force at the current cursor.
+    pub fn link_factors(&self) -> LinkFactors {
+        self.link_factors_at(self.now())
+    }
+
+    /// Link multipliers in force at virtual time `t`.
+    pub fn link_factors_at(&self, t: f64) -> LinkFactors {
+        match self.cfg.link {
+            Some(l) if self.link_windows.iter().any(|&(s, e)| t >= s && t < e) => {
+                LinkFactors { latency_mult: l.latency_mult, bandwidth_mult: l.bandwidth_mult }
+            }
+            _ => LinkFactors::NONE,
+        }
+    }
+
+    /// Compute slowdown factor for `rank` (1.0 unless it straggles).
+    pub fn straggler_factor(&self, rank: RankId) -> f64 {
+        self.straggler.get(rank.0 as usize).copied().unwrap_or(1.0)
+    }
+
+    /// Next deterministic 64-bit draw for `rank`. Each rank's op stream
+    /// is consumed sequentially inside its own closure, so draw indices
+    /// — and therefore outcomes — are independent of thread scheduling.
+    fn draw_u64(&self, rank: RankId) -> u64 {
+        let idx = match self.draws.get(rank.0 as usize) {
+            Some(ctr) => ctr.fetch_add(1, Ordering::Relaxed),
+            None => return 0,
+        };
+        let mut rng = SplitMix64::new(self.seed ^ 0xFA17_0000, ((rank.0 as u64) << 32) ^ idx);
+        rng.next_u64()
+    }
+
+    /// Roll a transient failure for one remote op attempt by `rank`.
+    /// Deterministic per `(seed, rank, op index)`.
+    pub fn fam_transient(&self, rank: RankId) -> bool {
+        let Some(t) = self.cfg.transient else { return false };
+        let u = (self.draw_u64(rank) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let fired = u < t.fail_prob;
+        if fired {
+            self.transient_ctr.inc();
+        }
+        fired
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for `rank` — used for
+    /// backoff jitter so retries stay reproducible.
+    pub fn jitter01(&self, rank: RankId) -> f64 {
+        (self.draw_u64(rank) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The plane's own metric registry (fault-injection counters).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+impl std::fmt::Debug for FaultPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlane")
+            .field("seed", &self.seed)
+            .field("horizon_secs", &self.horizon_secs)
+            .field("nodes", &self.crash_windows.len())
+            .field("link_windows", &self.link_windows.len())
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(seed: u64) -> FaultPlane {
+        FaultPlane::new(seed, FaultConfig::chaos(), 4, 16, 60.0)
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let (a, b) = (plane(7), plane(7));
+        for n in 0..4 {
+            assert_eq!(a.crash_windows(NodeId(n)), b.crash_windows(NodeId(n)));
+        }
+        let rolls_a: Vec<bool> = (0..64).map(|_| a.fam_transient(RankId(3))).collect();
+        let rolls_b: Vec<bool> = (0..64).map(|_| b.fam_transient(RankId(3))).collect();
+        assert_eq!(rolls_a, rolls_b);
+        for r in 0..16 {
+            assert_eq!(a.straggler_factor(RankId(r)), b.straggler_factor(RankId(r)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let (a, b) = (plane(1), plane(2));
+        let wa: Vec<_> = (0..4).flat_map(|n| a.crash_windows(NodeId(n)).to_vec()).collect();
+        let wb: Vec<_> = (0..4).flat_map(|n| b.crash_windows(NodeId(n)).to_vec()).collect();
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn node_down_tracks_windows_and_cursor() {
+        let p = plane(11);
+        let (start, end) = p.crash_windows(NodeId(0))[0];
+        assert!(!p.node_down(NodeId(0)), "node up at t=0");
+        p.advance_to((start + end) / 2.0);
+        assert!(p.node_down(NodeId(0)), "node down mid-window");
+        p.advance_to(end + 1e-9);
+        assert!(!p.node_down(NodeId(0)), "node recovered after window");
+        // The cursor never moves backwards.
+        p.advance_to(0.0);
+        assert!((p.now() - (end + 1e-9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_counter_counts_crossed_windows() {
+        let p = plane(5);
+        assert_eq!(p.metrics().snapshot().counter("ids_faults_injected_total", "node_crash"), 0);
+        p.advance_to(60.0);
+        let total: usize = (0..4).map(|n| p.crash_windows(NodeId(n)).len()).sum();
+        assert!(total > 0, "chaos config over 60s should schedule crashes");
+        assert_eq!(
+            p.metrics().snapshot().counter("ids_faults_injected_total", "node_crash"),
+            total as u64
+        );
+    }
+
+    #[test]
+    fn transient_rate_matches_probability() {
+        let p = FaultPlane::new(42, FaultConfig::transient_only(0.2), 2, 4, 10.0);
+        let n = 20_000;
+        let fired = (0..n).filter(|_| p.fam_transient(RankId(1))).count();
+        let rate = fired as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "transient rate {rate}");
+        assert_eq!(
+            p.metrics().snapshot().counter("ids_faults_injected_total", "fam_transient"),
+            fired as u64
+        );
+    }
+
+    #[test]
+    fn no_faults_without_config() {
+        let p = FaultPlane::new(9, FaultConfig::none(), 4, 8, 100.0);
+        p.advance_to(100.0);
+        assert!(!p.node_down(NodeId(0)));
+        assert!(!p.fam_transient(RankId(0)));
+        assert_eq!(p.link_factors(), LinkFactors::NONE);
+        assert_eq!(p.straggler_factor(RankId(0)), 1.0);
+    }
+
+    #[test]
+    fn link_factors_apply_inside_windows_only() {
+        let cfg = LinkConfig {
+            mean_healthy_secs: 1.0,
+            mean_degraded_secs: 0.5,
+            latency_mult: 4.0,
+            bandwidth_mult: 0.5,
+        };
+        let p = FaultPlane::new(3, FaultConfig::link_only(cfg), 2, 4, 50.0);
+        let (s, e) = {
+            let f = p.link_factors_at(0.0);
+            assert_eq!(f, LinkFactors::NONE);
+            // Find the first degraded window by scanning.
+            let mut found = None;
+            let mut t = 0.0;
+            while t < 50.0 {
+                if p.link_factors_at(t).degraded() {
+                    found = Some(t);
+                    break;
+                }
+                t += 0.01;
+            }
+            let start = found.expect("a degraded window inside 50s");
+            (start, start + 1e-3)
+        };
+        let f = p.link_factors_at((s + e) / 2.0);
+        assert_eq!(f.latency_mult, 4.0);
+        assert_eq!(f.bandwidth_mult, 0.5);
+        assert_eq!(f.cost_mult(), 4.0);
+    }
+
+    #[test]
+    fn straggler_fraction_and_factor() {
+        let p = FaultPlane::new(8, FaultConfig::stragglers_only(0.5, 2.5), 2, 1000, 10.0);
+        let slow = (0..1000).filter(|&r| p.straggler_factor(RankId(r)) > 1.0).count();
+        assert!((300..700).contains(&slow), "straggler count {slow}");
+        for r in 0..1000 {
+            let f = p.straggler_factor(RankId(r));
+            assert!(f == 1.0 || f == 2.5);
+        }
+        assert_eq!(p.metrics().gauge("ids_faults_straggler_ranks").get(), slow as i64);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let rp = RetryPolicy {
+            max_attempts: 8,
+            base_delay_secs: 1e-3,
+            multiplier: 2.0,
+            max_delay_secs: 5e-3,
+            jitter_frac: 0.0,
+        };
+        assert!((rp.backoff_secs(1, 0.5) - 1e-3).abs() < 1e-12);
+        assert!((rp.backoff_secs(2, 0.5) - 2e-3).abs() < 1e-12);
+        assert!((rp.backoff_secs(3, 0.5) - 4e-3).abs() < 1e-12);
+        assert!((rp.backoff_secs(4, 0.5) - 5e-3).abs() < 1e-12, "capped");
+        assert!((rp.backoff_secs(20, 0.5) - 5e-3).abs() < 1e-12, "still capped");
+    }
+
+    #[test]
+    fn backoff_jitter_stays_in_band() {
+        let rp = RetryPolicy::default();
+        for j in [0.0, 0.25, 0.5, 0.75, 0.999] {
+            let d = rp.backoff_secs(1, j);
+            assert!(d >= rp.base_delay_secs * (1.0 - rp.jitter_frac) - 1e-12);
+            assert!(d <= rp.base_delay_secs * (1.0 + rp.jitter_frac) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deadline_semantics() {
+        let d = Deadline::of(1.0);
+        assert!(!d.exceeded(0.5));
+        assert!(!d.exceeded(1.0));
+        assert!(d.exceeded(1.0 + 1e-9));
+        assert!(!Deadline::unlimited().exceeded(f64::MAX));
+    }
+}

@@ -25,6 +25,7 @@
 pub mod clock;
 pub mod cluster;
 pub mod collective;
+pub mod faults;
 pub mod net;
 pub mod rng;
 pub mod stats;
@@ -34,6 +35,7 @@ pub mod trace;
 pub use clock::VirtualClock;
 pub use cluster::{Cluster, RankCtx};
 pub use collective::ReduceOp;
+pub use faults::{Deadline, FaultConfig, FaultPlane, LinkFactors, RetryPolicy};
 pub use net::NetworkModel;
 pub use stats::{PhaseStats, RankStats, StatSummary};
 pub use topology::{NodeId, RankId, Topology};

@@ -1,0 +1,288 @@
+//! Chaos harness: the NCNPR re-purposing workflow under deterministic
+//! fault schedules (node crashes, transient FAM failures, link
+//! degradation, straggler ranks).
+//!
+//! The core contract is **result equivalence**: because every fault path
+//! either retries or falls back to an authoritative source (backing
+//! store, recomputation), a query run under any fault schedule returns
+//! byte-identical rows to the fault-free run — only virtual time and
+//! fault metrics differ. CI sweeps `CHAOS_SEED` over a fixed matrix;
+//! locally, all matrix seeds run in one pass when the variable is unset.
+
+use ids::cache::{BackingStore, CacheConfig, CacheManager};
+use ids::core::workflow::{
+    install_workflow, repurposing_query, RepurposingThresholds, WorkflowModels,
+};
+use ids::core::{DegradedKind, IdsConfig, IdsInstance, QueryOutcome};
+use ids::simrt::faults::{CrashConfig, LinkConfig, StragglerConfig, TransientConfig};
+use ids::simrt::{FaultConfig, FaultPlane, NetworkModel, Topology};
+use ids::workloads::ncnpr::{build, Band, NcnprConfig};
+use std::sync::Arc;
+
+/// The CI seed matrix (ci.sh runs one seed per job via `CHAOS_SEED`).
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be an unsigned integer")],
+        Err(_) => (1..=8).collect(),
+    }
+}
+
+/// The test workflow runs in a few virtual milliseconds (free cost
+/// models), so fault windows are scaled to milliseconds too — the run
+/// then crosses several crash/degradation windows, exactly like a
+/// paper-scale run crosses the second-scale windows of
+/// [`FaultConfig::chaos`].
+fn ms_chaos() -> FaultConfig {
+    FaultConfig {
+        crash: Some(CrashConfig { mean_uptime_secs: 2.0e-3, mean_downtime_secs: 0.5e-3 }),
+        transient: Some(TransientConfig { fail_prob: 0.05 }),
+        link: Some(LinkConfig {
+            mean_healthy_secs: 1.0e-3,
+            mean_degraded_secs: 0.4e-3,
+            latency_mult: 8.0,
+            bandwidth_mult: 0.25,
+        }),
+        straggler: Some(StragglerConfig { fraction: 0.25, slowdown: 3.0 }),
+    }
+}
+
+fn ms_crashes() -> FaultConfig {
+    FaultConfig::crashes_only(2.0e-3, 0.5e-3)
+}
+
+fn ms_links() -> FaultConfig {
+    FaultConfig::link_only(LinkConfig {
+        mean_healthy_secs: 1.0e-3,
+        mean_degraded_secs: 0.6e-3,
+        latency_mult: 10.0,
+        bandwidth_mult: 0.2,
+    })
+}
+
+fn small_config() -> NcnprConfig {
+    NcnprConfig {
+        bands: vec![
+            Band {
+                mutation_rate: 0.0,
+                similarity_range: None,
+                proteins: 3,
+                compounds_per_protein: 4,
+            },
+            Band {
+                mutation_rate: 0.62,
+                similarity_range: Some((0.21, 0.39)),
+                proteins: 5,
+                compounds_per_protein: 2,
+            },
+        ],
+        background_proteins: 10,
+        ..NcnprConfig::default()
+    }
+}
+
+/// Launch an instance with an attached cache and (optionally) a fault
+/// plane driving the cluster, FAM, and cache from one seeded schedule.
+fn launch(topo: Topology, faults: Option<(u64, FaultConfig)>) -> (IdsInstance, Arc<CacheManager>) {
+    let cache = Arc::new(CacheManager::new(
+        topo,
+        NetworkModel::slingshot(),
+        CacheConfig::new(2, 64 << 20, 256 << 20),
+        BackingStore::default_store(),
+    ));
+    let mut cfg = IdsConfig::laptop(topo.total_ranks(), 11);
+    cfg.topology = topo;
+    let mut inst = IdsInstance::launch(cfg);
+    inst.attach_cache(Arc::clone(&cache));
+    if let Some((seed, fc)) = faults {
+        // A 10s horizon is ~1500x the query's virtual duration while
+        // keeping window generation cheap under ms-scale fault configs.
+        let plane = Arc::new(FaultPlane::new(seed, fc, topo.nodes(), topo.total_ranks(), 10.0));
+        inst.attach_faults(plane);
+    }
+    let dataset = build(inst.datastore(), &small_config());
+    let target = dataset.target.clone();
+    install_workflow(&mut inst, &target, WorkflowModels::test_models());
+    (inst, cache)
+}
+
+fn query() -> String {
+    repurposing_query(&RepurposingThresholds { sw_similarity: 0.9, min_pic50: 3.0, min_dtba: 3.0 })
+}
+
+/// Sorted (compound, energy) rows — sorted because re-balancing plans may
+/// legitimately assign rows to different ranks under dilated clocks.
+fn extract(o: &QueryOutcome, inst: &IdsInstance) -> Vec<(String, String)> {
+    let ds = inst.datastore();
+    let mut v: Vec<(String, String)> = o
+        .solutions
+        .rows()
+        .iter()
+        .map(|r| {
+            (
+                ds.decode(r[1]).unwrap().to_string(),
+                format!("{:.12}", ds.decode(r[2]).unwrap().as_f64().unwrap()),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn baseline() -> Vec<(String, String)> {
+    let (mut inst, _) = launch(Topology::new(4, 2), None);
+    let out = inst.query(&query()).unwrap();
+    extract(&out, &inst)
+}
+
+#[test]
+fn full_chaos_matrix_preserves_results() {
+    let expected = baseline();
+    assert_eq!(expected.len(), 12, "3 proteins x 4 compounds");
+    for seed in chaos_seeds() {
+        let (mut inst, _) = launch(Topology::new(4, 2), Some((seed, ms_chaos())));
+        let out =
+            inst.query(&query()).unwrap_or_else(|e| panic!("seed {seed}: chaos run failed: {e}"));
+        assert!(!out.degraded(), "seed {seed}: fault paths must not drop rows");
+        assert_eq!(extract(&out, &inst), expected, "seed {seed}: result divergence");
+        // Cold and warm runs both survive: the second pass exercises
+        // cache hits, fencing, and re-population under the same schedule.
+        inst.reset_clocks();
+        let warm = inst.query(&query()).unwrap();
+        assert_eq!(extract(&warm, &inst), expected, "seed {seed}: warm divergence");
+    }
+}
+
+#[test]
+fn node_crashes_fence_and_repopulate_without_changing_results() {
+    let expected = baseline();
+    for seed in chaos_seeds() {
+        let (mut inst, cache) = launch(Topology::new(4, 2), Some((seed, ms_crashes())));
+        let out = inst.query(&query()).unwrap();
+        assert_eq!(extract(&out, &inst), expected, "seed {seed}");
+        // Locality never reports a node the plane currently holds down,
+        // and every surviving copy lives on a live node.
+        let names: Vec<String> = out
+            .solutions
+            .rows()
+            .iter()
+            .map(|r| {
+                let smiles = inst.datastore().decode(r[1]).unwrap().as_str().unwrap().to_string();
+                ids::core::workflow::docking_object_name("P29274", &smiles)
+            })
+            .collect();
+        for name in names {
+            for (node, _) in cache.locality(&name) {
+                assert!(!cache.node_is_down(node), "seed {seed}: {name} reported on down node");
+            }
+        }
+    }
+}
+
+#[test]
+fn transient_fam_failures_are_retried_without_changing_results() {
+    let expected = baseline();
+    for seed in chaos_seeds() {
+        let (mut inst, _) =
+            launch(Topology::new(4, 2), Some((seed, FaultConfig::transient_only(0.2))));
+        let cold = inst.query(&query()).unwrap();
+        inst.reset_clocks();
+        let warm = inst.query(&query()).unwrap();
+        assert_eq!(extract(&cold, &inst), expected, "seed {seed} (cold)");
+        assert_eq!(extract(&warm, &inst), expected, "seed {seed} (warm)");
+    }
+}
+
+#[test]
+fn degraded_links_slow_execution_without_changing_results() {
+    let expected = baseline();
+    let (mut base, _) = launch(Topology::new(4, 2), None);
+    let base_elapsed = base.query(&query()).unwrap().elapsed_secs;
+    for seed in chaos_seeds() {
+        let (mut inst, _) = launch(Topology::new(4, 2), Some((seed, ms_links())));
+        let out = inst.query(&query()).unwrap();
+        assert_eq!(extract(&out, &inst), expected, "seed {seed}");
+        assert!(
+            out.elapsed_secs >= base_elapsed,
+            "seed {seed}: degraded links cannot make the run faster \
+             ({} < {base_elapsed})",
+            out.elapsed_secs
+        );
+    }
+}
+
+#[test]
+fn straggler_ranks_dilate_time_without_changing_results() {
+    let expected = baseline();
+    let (mut base, _) = launch(Topology::new(4, 2), None);
+    let base_elapsed = base.query(&query()).unwrap().elapsed_secs;
+    for seed in chaos_seeds() {
+        let (mut inst, _) =
+            launch(Topology::new(4, 2), Some((seed, FaultConfig::stragglers_only(0.5, 4.0))));
+        let out = inst.query(&query()).unwrap();
+        assert_eq!(extract(&out, &inst), expected, "seed {seed}");
+        assert!(out.elapsed_secs >= base_elapsed, "seed {seed}: stragglers only add time");
+    }
+}
+
+#[test]
+fn exhausted_retries_degrade_to_partial_results_with_annotations() {
+    // A UDF whose failures no retry can absorb: under graceful
+    // degradation the query must come back Ok with the failing rows
+    // dropped and annotated — never an Err — and EXPLAIN must show it.
+    use ids::udf::{UdfOutput, UdfValue};
+    let seed = chaos_seeds()[0];
+    let (mut inst, _) = launch(Topology::new(4, 2), Some((seed, ms_chaos())));
+    inst.registry()
+        .register_static(
+            "fragile_gate",
+            Arc::new(|args: &[UdfValue]| -> UdfOutput {
+                let v = args.first().and_then(|a| a.as_f64()).unwrap_or(0.0);
+                // Reviewed proteins (flag = 1) always fail; background
+                // proteins (flag = 0) always pass.
+                if v >= 1.0 {
+                    panic!("permanently failing row (reviewed {v})");
+                }
+                UdfOutput::new(UdfValue::Bool(true), 1.0e-4)
+            }),
+        )
+        .unwrap();
+    inst.exec_options_mut().degrade = true;
+    let q = "SELECT ?p ?r WHERE { ?p <up:reviewed> ?r . FILTER(fragile_gate(?r)) }";
+    let out = inst.query(q).unwrap();
+    // 9 reviewed proteins (8 band + the target) are dropped; the 10
+    // unreviewed background proteins pass.
+    assert!(out.degraded(), "reviewed rows must have been dropped");
+    assert_eq!(out.rows_dropped(), 9);
+    assert_eq!(out.solutions.len(), 10);
+    assert!(out
+        .annotations
+        .iter()
+        .all(|a| a.kind == DegradedKind::WorkerPanic && a.stage == "filter"));
+    assert!(out.annotations.iter().any(|a| a.detail.contains("permanently failing row")));
+    // The survivors really are the background proteins.
+    let ds = inst.datastore();
+    for row in out.solutions.rows() {
+        assert_eq!(ds.decode(row[1]).unwrap().as_i64(), Some(0));
+    }
+    let text = inst.explain(q).unwrap();
+    assert!(text.contains("faults & degradation"), "{text}");
+    assert!(text.contains("rows dropped"), "{text}");
+}
+
+#[test]
+fn fault_metrics_surface_in_snapshot_and_explain() {
+    let seed = chaos_seeds()[0];
+    let (mut inst, _) = launch(Topology::new(4, 2), Some((seed, ms_chaos())));
+    inst.query(&query()).unwrap();
+    let snap = inst.metrics_snapshot();
+    let injected: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.name == "ids_faults_injected_total")
+        .map(|(_, v)| *v)
+        .sum();
+    assert!(injected > 0, "a chaos schedule over a full run must inject something");
+    let text = inst.explain(&query()).unwrap();
+    assert!(text.contains("faults & degradation"), "{text}");
+    assert!(text.contains("faults injected"), "{text}");
+}

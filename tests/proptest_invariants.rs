@@ -135,7 +135,7 @@ proptest! {
             BackingStore::default_store(),
         );
         cache.put(RankId(rank % 16), "obj", bytes::Bytes::from(payload.clone()));
-        let (got, _) = cache.get(RankId((rank + 7) % 16), "obj").unwrap();
+        let (got, _) = cache.get(RankId((rank + 7) % 16), "obj").unwrap().unwrap();
         prop_assert_eq!(&got[..], &payload[..]);
     }
 
