@@ -16,10 +16,15 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warning-clean)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> chaos matrix (tests/chaos_faults.rs, release)"
 for seed in 1 2 3 4 5 6 7 8; do
-  echo "---- CHAOS_SEED=$seed"
-  CHAOS_SEED=$seed cargo test --release --test chaos_faults -q
+  for rf in 1 2 3; do
+    echo "---- CHAOS_SEED=$seed CHAOS_REPLICATION=$rf"
+    CHAOS_SEED=$seed CHAOS_REPLICATION=$rf cargo test --release --test chaos_faults -q
+  done
 done
 
 echo "CI OK"

@@ -18,7 +18,7 @@ use ids_core::workflow::{
     install_workflow, repurposing_query, RepurposingThresholds, WorkflowModels,
 };
 use ids_core::{IdsConfig, IdsInstance, QueryOutcome};
-use ids_simrt::faults::{CrashConfig, LinkConfig, StragglerConfig, TransientConfig};
+use ids_simrt::faults::{CrashConfig, LinkConfig, StorageConfig, StragglerConfig, TransientConfig};
 use ids_simrt::{FaultConfig, FaultPlane, NetworkModel, Topology};
 use ids_workloads::ncnpr::{build, Band, NcnprConfig};
 use std::sync::Arc;
@@ -60,21 +60,26 @@ fn ms_chaos() -> FaultConfig {
             bandwidth_mult: 0.25,
         }),
         straggler: Some(StragglerConfig { fraction: 0.25, slowdown: 3.0 }),
+        storage: Some(StorageConfig { bit_rot_prob: 0.02, torn_write_prob: 0.01 }),
     }
 }
 
 fn launch(faults: Option<FaultConfig>) -> IdsInstance {
+    launch_rf(faults, 1).0
+}
+
+fn launch_rf(faults: Option<FaultConfig>, replication: usize) -> (IdsInstance, Arc<CacheManager>) {
     let topo = Topology::new(4, 2);
     let cache = Arc::new(CacheManager::new(
         topo,
         NetworkModel::slingshot(),
-        CacheConfig::new(2, 64 << 20, 256 << 20),
+        CacheConfig::new(2, 64 << 20, 256 << 20).with_replication(replication),
         BackingStore::default_store(),
     ));
     let mut cfg = IdsConfig::laptop(topo.total_ranks(), 11);
     cfg.topology = topo;
     let mut inst = IdsInstance::launch(cfg);
-    inst.attach_cache(cache);
+    inst.attach_cache(Arc::clone(&cache));
     if let Some(fc) = faults {
         inst.attach_faults(Arc::new(FaultPlane::new(
             SEED,
@@ -87,7 +92,7 @@ fn launch(faults: Option<FaultConfig>) -> IdsInstance {
     let dataset = build(inst.datastore(), &dataset_config());
     let target = dataset.target.clone();
     install_workflow(&mut inst, &target, WorkflowModels::test_models());
-    inst
+    (inst, cache)
 }
 
 fn query() -> String {
@@ -204,4 +209,45 @@ fn main() {
     let inst = chaos_inst.expect("chaos run recorded above");
     let snap = inst.metrics_snapshot();
     metrics_dump("X5c: fault/retry/degradation metrics after the full chaos run", &snap);
+
+    // ---- 4. replication-factor ladder --------------------------------------
+    section("X5d: replication factor under aggressive node crashes");
+    let mut out_rows = Vec::new();
+    for rf in [1usize, 2, 3] {
+        // Nodes spend almost half their time down so warm reads keep
+        // crossing crash windows; several warm passes accumulate the
+        // failover / re-population trade-off the ladder is about.
+        let (mut inst, cache) = launch_rf(Some(FaultConfig::crashes_only(1.0e-3, 0.8e-3)), rf);
+        let cold = inst.query(&query()).unwrap();
+        assert_eq!(rows(&inst, &cold), base_rows, "rf={rf}: diverged (cold)");
+        let mut warm_secs = 0.0;
+        for pass in 0..4 {
+            inst.reset_clocks();
+            let warm = inst.query(&query()).unwrap();
+            assert_eq!(rows(&inst, &warm), base_rows, "rf={rf}: diverged (warm pass {pass})");
+            warm_secs += warm.elapsed_secs;
+        }
+        let snap = inst.metrics_snapshot().merge(&cache.metrics().snapshot());
+        out_rows.push(vec![
+            format!("{rf}"),
+            secs(cold.elapsed_secs),
+            secs(warm_secs / 4.0),
+            snap.counter("ids_cache_failover_reads_total", "").to_string(),
+            snap.counter("ids_cache_repopulations_total", "").to_string(),
+            snap.counter("ids_cache_repairs_total", "re_replicate").to_string(),
+        ]);
+    }
+    table(
+        &[
+            "replication",
+            "cold secs",
+            "mean warm secs",
+            "failover reads",
+            "re-populations",
+            "re-replications",
+        ],
+        &out_rows,
+    );
+    println!("\nshape check: extra replicas trade write amplification (cold) for crash");
+    println!("absorption — failover reads replace backing re-populations as rf grows");
 }

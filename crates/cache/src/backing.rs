@@ -5,7 +5,14 @@
 //! can be re-populated from the backing store" (§3.2). The store is a
 //! durable key-value map with a parallel-filesystem-like cost model:
 //! high per-op latency (metadata RPC) plus modest streaming bandwidth.
+//!
+//! Every object is stored alongside a CRC32 recorded at write time, so
+//! a corrupted authoritative copy (simulated via [`BackingStore::corrupt`]
+//! or a torn write that was not re-written) is *detected* at read time
+//! rather than silently served — the cache manager then repairs it from
+//! a healthy cached replica instead of propagating the damage.
 
+use crate::object::crc32;
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -33,10 +40,26 @@ pub struct BackingAccess<T> {
     pub virtual_secs: f64,
 }
 
+/// A read that was verified against the stored checksum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedRead {
+    /// The stored bytes (possibly corrupt — check `intact`).
+    pub data: Bytes,
+    /// True when the data matches the checksum recorded at write time.
+    pub intact: bool,
+}
+
+struct Stored {
+    data: Bytes,
+    /// CRC32 recorded when the object was written; [`BackingStore::corrupt`]
+    /// deliberately leaves this stale so reads detect the damage.
+    crc: u32,
+}
+
 /// The persistent object store.
 pub struct BackingStore {
     costs: BackingCosts,
-    objects: RwLock<HashMap<String, Bytes>>,
+    objects: RwLock<HashMap<String, Stored>>,
 }
 
 impl BackingStore {
@@ -50,10 +73,11 @@ impl BackingStore {
         Self::new(BackingCosts::default())
     }
 
-    /// Persist an object (overwrites).
+    /// Persist an object (overwrites), recording its CRC32.
     pub fn put(&self, name: &str, data: Bytes) -> BackingAccess<()> {
         let cost = self.costs.op_latency + data.len() as f64 / self.costs.bandwidth;
-        self.objects.write().insert(name.to_string(), data);
+        let crc = crc32(&data);
+        self.objects.write().insert(name.to_string(), Stored { data, crc });
         BackingAccess { value: (), virtual_secs: cost }
     }
 
@@ -61,12 +85,56 @@ impl BackingStore {
     pub fn get(&self, name: &str) -> BackingAccess<Option<Bytes>> {
         let objects = self.objects.read();
         match objects.get(name) {
-            Some(data) => BackingAccess {
-                virtual_secs: self.costs.op_latency + data.len() as f64 / self.costs.bandwidth,
-                value: Some(data.clone()),
+            Some(s) => BackingAccess {
+                virtual_secs: self.costs.op_latency + s.data.len() as f64 / self.costs.bandwidth,
+                value: Some(s.data.clone()),
             },
             None => BackingAccess { value: None, virtual_secs: self.costs.op_latency },
         }
+    }
+
+    /// Fetch an object *and* verify it against the stored checksum.
+    /// Callers must not serve a read with `intact == false` — repair it
+    /// from a healthy replica (or error) instead.
+    pub fn get_checked(&self, name: &str) -> BackingAccess<Option<VerifiedRead>> {
+        let objects = self.objects.read();
+        match objects.get(name) {
+            Some(s) => BackingAccess {
+                virtual_secs: self.costs.op_latency + s.data.len() as f64 / self.costs.bandwidth,
+                value: Some(VerifiedRead { data: s.data.clone(), intact: crc32(&s.data) == s.crc }),
+            },
+            None => BackingAccess { value: None, virtual_secs: self.costs.op_latency },
+        }
+    }
+
+    /// The CRC32 recorded for an object at write time.
+    pub fn checksum(&self, name: &str) -> Option<u32> {
+        self.objects.read().get(name).map(|s| s.crc)
+    }
+
+    /// Metadata-cost integrity probe: does the stored payload still match
+    /// its recorded checksum? `None` when the object is absent.
+    pub fn verify(&self, name: &str) -> BackingAccess<Option<bool>> {
+        BackingAccess {
+            value: self.objects.read().get(name).map(|s| crc32(&s.data) == s.crc),
+            virtual_secs: self.costs.op_latency,
+        }
+    }
+
+    /// Chaos/test hook: flip one bit of the stored payload *without*
+    /// updating the recorded checksum — a latent corruption that reads
+    /// and scrubs must detect. Returns false when the object is absent
+    /// or empty (nothing to flip).
+    pub fn corrupt(&self, name: &str) -> bool {
+        let mut objects = self.objects.write();
+        let Some(s) = objects.get_mut(name) else { return false };
+        if s.data.is_empty() {
+            return false;
+        }
+        let mut bytes = s.data.to_vec();
+        bytes[0] ^= 0x80;
+        s.data = Bytes::from(bytes);
+        true
     }
 
     /// Whether an object exists (metadata-only cost).
@@ -129,5 +197,36 @@ mod tests {
         bs.put("k", Bytes::from_static(b"v2"));
         assert_eq!(bs.get("k").value.as_deref(), Some(&b"v2"[..]));
         assert_eq!(bs.len(), 1);
+    }
+
+    #[test]
+    fn checked_reads_verify_integrity() {
+        let bs = BackingStore::default_store();
+        bs.put("k", Bytes::from_static(b"payload"));
+        let clean = bs.get_checked("k").value.unwrap();
+        assert!(clean.intact);
+        assert_eq!(&clean.data[..], b"payload");
+        assert_eq!(bs.checksum("k"), Some(crc32(b"payload")));
+        assert_eq!(bs.verify("k").value, Some(true));
+        assert_eq!(bs.verify("ghost").value, None);
+        assert_eq!(bs.get_checked("ghost").value, None);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_rewrite_heals() {
+        let bs = BackingStore::default_store();
+        bs.put("k", Bytes::from_static(b"payload"));
+        assert!(bs.corrupt("k"));
+        let rotted = bs.get_checked("k").value.unwrap();
+        assert!(!rotted.intact, "stale checksum must flag the flipped bit");
+        assert_ne!(&rotted.data[..], b"payload");
+        assert_eq!(bs.verify("k").value, Some(false));
+        // A fresh write (repair from a healthy replica) restores integrity.
+        bs.put("k", Bytes::from_static(b"payload"));
+        assert_eq!(bs.verify("k").value, Some(true));
+        // Absent/empty objects can't be corrupted.
+        assert!(!bs.corrupt("ghost"));
+        bs.put("empty", Bytes::new());
+        assert!(!bs.corrupt("empty"));
     }
 }

@@ -38,6 +38,15 @@ pub enum CacheError {
         /// What kept failing (e.g. the tier or op name).
         detail: String,
     },
+    /// The authoritative backing copy failed its checksum (torn write or
+    /// bit rot) and no healthy cached replica remained to serve or
+    /// repair it. Corrupt bytes are never returned to callers.
+    Corrupted {
+        /// The object whose integrity check failed.
+        name: String,
+        /// Virtual seconds spent before the corruption was detected.
+        spent_secs: f64,
+    },
 }
 
 impl CacheError {
@@ -48,7 +57,8 @@ impl CacheError {
             CacheError::Fam(_) => 0.0,
             CacheError::NodeDown { spent_secs, .. }
             | CacheError::DeadlineExceeded { spent_secs, .. }
-            | CacheError::RetriesExhausted { spent_secs, .. } => *spent_secs,
+            | CacheError::RetriesExhausted { spent_secs, .. }
+            | CacheError::Corrupted { spent_secs, .. } => *spent_secs,
         }
     }
 }
@@ -69,6 +79,13 @@ impl std::fmt::Display for CacheError {
             }
             CacheError::RetriesExhausted { attempts, detail, .. } => {
                 write!(f, "retries exhausted after {attempts} attempts: {detail}")
+            }
+            CacheError::Corrupted { name, .. } => {
+                write!(
+                    f,
+                    "object '{name}' failed its integrity check and no healthy \
+                     replica remains"
+                )
             }
         }
     }
@@ -122,5 +139,51 @@ mod tests {
     fn spent_secs_propagates() {
         let e = CacheError::RetriesExhausted { attempts: 2, spent_secs: 0.25, detail: "x".into() };
         assert_eq!(e.spent_secs(), 0.25);
+    }
+
+    #[test]
+    fn spent_secs_covers_every_variant() {
+        // Callers charge `spent_secs()` to their rank clock on failure;
+        // a variant that forgot to carry it would silently drop virtual
+        // time, so pin down all of them.
+        let cases: Vec<(CacheError, f64)> = vec![
+            (CacheError::Fam(FamError::UnknownRegion(crate::fam::FamRegionId(1))), 0.0),
+            (CacheError::NodeDown { node: NodeId(0), spent_secs: 0.125 }, 0.125),
+            (CacheError::DeadlineExceeded { deadline_secs: 1.0, spent_secs: 1.5 }, 1.5),
+            (
+                CacheError::RetriesExhausted { attempts: 4, spent_secs: 0.75, detail: "d".into() },
+                0.75,
+            ),
+            (CacheError::Corrupted { name: "obj".into(), spent_secs: 0.5 }, 0.5),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.spent_secs(), want, "{e}");
+        }
+    }
+
+    #[test]
+    fn corrupted_display_and_source() {
+        let e = CacheError::Corrupted { name: "vina/p1".into(), spent_secs: 0.1 };
+        let msg = e.to_string();
+        assert!(msg.contains("vina/p1"));
+        assert!(msg.contains("integrity"));
+        // Corruption originates in stored bytes, not a wrapped error.
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn only_fam_errors_have_a_source() {
+        let errs = [
+            CacheError::NodeDown { node: NodeId(1), spent_secs: 0.0 },
+            CacheError::DeadlineExceeded { deadline_secs: 0.1, spent_secs: 0.2 },
+            CacheError::RetriesExhausted { attempts: 1, spent_secs: 0.0, detail: String::new() },
+            CacheError::Corrupted { name: String::new(), spent_secs: 0.0 },
+        ];
+        for e in errs {
+            assert!(e.source().is_none(), "{e:?} should not chain");
+        }
+        let fam: CacheError = FamError::UnknownRegion(crate::fam::FamRegionId(3)).into();
+        let src = fam.source().expect("FAM wraps its cause");
+        assert!(src.to_string().contains('3'));
     }
 }

@@ -28,9 +28,11 @@ pub mod manager;
 pub mod object;
 pub mod policy;
 
-pub use backing::BackingStore;
+pub use backing::{BackingStore, VerifiedRead};
 pub use error::CacheError;
 pub use fam::{FamError, FamLayer, FamRegionId};
-pub use manager::{CacheConfig, CacheManager, CacheOutcome, CacheStats, FaultTolerance, Tier};
-pub use object::{object_id, ObjectMeta};
+pub use manager::{
+    AntiEntropyReport, CacheConfig, CacheManager, CacheOutcome, CacheStats, FaultTolerance, Tier,
+};
+pub use object::{crc32, object_id, ObjectMeta};
 pub use policy::PlacementPolicy;

@@ -8,10 +8,27 @@
 //! locally connected SSDs"); NVMe evictions drop the cached copy entirely —
 //! safe because authoritative copies live in the backing store. A fetched
 //! backing-store object is re-cached near the requester (re-population).
+//!
+//! ## Replication, failover, and integrity
+//!
+//! With [`CacheConfig::replication`] > 1 every put lands on a set of
+//! distinct live nodes (see [`PlacementPolicy::place_replicas`]); each
+//! replica write is charged its honest fabric cost. Reads need any **one**
+//! healthy replica (read-quorum-of-1 is sound here because puts overwrite
+//! every copy and the backing store stays authoritative — replicas are
+//! never stale): `get` fails over across replicas before touching the
+//! backing store, so a node crash no longer forces a re-population. Every
+//! cached copy carries the CRC32 recorded at write time; a copy whose
+//! bytes no longer match (injected bit rot) is *quarantined* — dropped,
+//! metered, and repaired from a healthy replica — never served. A
+//! background anti-entropy pass ([`CacheManager::maybe_anti_entropy`],
+//! driven from engine stage boundaries on the virtual clock) scrubs live
+//! copies, re-establishes the replication factor after a crash wiped a
+//! node, and rewrites torn backing-store objects from healthy replicas.
 
 use crate::backing::BackingStore;
 use crate::error::CacheError;
-use crate::object::{object_id, ObjectMeta};
+use crate::object::{crc32, object_id, ObjectMeta};
 use crate::policy::PlacementPolicy;
 use bytes::Bytes;
 use ids_obs::{Counter, Gauge, Histogram, MetricsRegistry};
@@ -20,7 +37,7 @@ use ids_simrt::net::NetworkModel;
 use ids_simrt::topology::{NodeId, RankId, Topology};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Which tier served an access.
@@ -56,6 +73,18 @@ pub struct CacheStats {
     pub repopulations: u64,
     /// Transient-failure retries performed inside `get`.
     pub retries: u64,
+    /// Cache-tier serves where a preferred copy was fenced, failed its
+    /// retries, or was quarantined — and a surviving replica answered.
+    pub failover_reads: u64,
+    /// Puts that could not reach the configured replication factor
+    /// because too few cache nodes were live.
+    pub under_replicated_writes: u64,
+    /// Checksum mismatches detected (cached copies and backing objects).
+    pub corruptions_detected: u64,
+    /// Copies restored from a healthy source: quarantined replicas
+    /// re-written, replication factor re-established, torn backing
+    /// objects rewritten.
+    pub repairs: u64,
 }
 
 impl CacheStats {
@@ -75,6 +104,26 @@ impl CacheStats {
     }
 }
 
+/// What one anti-entropy pass did (see [`CacheManager::anti_entropy`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AntiEntropyReport {
+    /// Live cached copies whose checksum was verified.
+    pub scrubbed: u64,
+    /// Copies/backing objects found corrupt during the pass.
+    pub corruptions: u64,
+    /// Replica copies created to restore the replication factor.
+    pub re_replicated: u64,
+    /// Torn/rotted backing-store objects rewritten from a healthy replica.
+    pub backing_repairs: u64,
+}
+
+impl AntiEntropyReport {
+    /// Did the pass change or flag anything?
+    pub fn is_noop(&self) -> bool {
+        self.corruptions == 0 && self.re_replicated == 0 && self.backing_repairs == 0
+    }
+}
+
 /// Cache configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CacheConfig {
@@ -91,10 +140,27 @@ pub struct CacheConfig {
     pub nvme_latency: f64,
     /// NVMe bandwidth (bytes/second).
     pub nvme_bandwidth: f64,
+    /// Copies kept per object across distinct live nodes (k-way
+    /// replication). 1 = the pre-replication behaviour.
+    #[serde(default = "default_replication")]
+    pub replication: usize,
+    /// Virtual seconds between background anti-entropy passes (scrub +
+    /// re-replication), checked at engine stage boundaries.
+    #[serde(default = "default_anti_entropy_interval")]
+    pub anti_entropy_interval_secs: f64,
+}
+
+fn default_replication() -> usize {
+    1
+}
+
+fn default_anti_entropy_interval() -> f64 {
+    1.0
 }
 
 impl CacheConfig {
-    /// Testbed-like defaults: local-first placement, NVMe at 100 µs / 3 GB/s.
+    /// Testbed-like defaults: local-first placement, NVMe at 100 µs / 3 GB/s,
+    /// no replication.
     pub fn new(cache_nodes: usize, dram_capacity: u64, nvme_capacity: u64) -> Self {
         Self {
             cache_nodes,
@@ -103,7 +169,15 @@ impl CacheConfig {
             policy: PlacementPolicy::LocalFirst,
             nvme_latency: 1.0e-4,
             nvme_bandwidth: 3.0e9,
+            replication: default_replication(),
+            anti_entropy_interval_secs: default_anti_entropy_interval(),
         }
+    }
+
+    /// Set the replication factor (clamped to at least 1).
+    pub fn with_replication(mut self, k: usize) -> Self {
+        self.replication = k.max(1);
+        self
     }
 }
 
@@ -135,6 +209,9 @@ impl Default for FaultTolerance {
 struct Entry {
     data: Bytes,
     last_access: u64,
+    /// CRC32 recorded when the object was written; a copy whose bytes no
+    /// longer hash to this is corrupt and must never be served.
+    crc: u32,
 }
 
 struct TierState {
@@ -169,6 +246,11 @@ struct State {
     /// Names that were cached at least once — a later backing fetch for
     /// one of these is a *re-population*, not cold traffic.
     ever_cached: HashSet<String>,
+    /// Virtual time of the last anti-entropy pass.
+    last_anti_entropy: f64,
+    /// A node recovered since the last pass: run anti-entropy at the next
+    /// opportunity regardless of the interval.
+    recovery_pending: bool,
 }
 
 impl State {
@@ -202,6 +284,15 @@ struct CacheMetrics {
     repopulations: Counter,
     retry_wait: Histogram,
     recovery_time: Histogram,
+    failover_reads: Counter,
+    under_replicated_writes: Counter,
+    corruptions_cache: Counter,
+    corruptions_backing: Counter,
+    quarantines: Counter,
+    repairs_replicate: Counter,
+    repairs_backing: Counter,
+    anti_entropy_runs: Counter,
+    scrubbed_objects: Counter,
 }
 
 impl CacheMetrics {
@@ -235,6 +326,31 @@ impl CacheMetrics {
             repopulations: registry.counter("ids_cache_repopulations_total"),
             retry_wait: registry.histogram("ids_cache_retry_wait_secs"),
             recovery_time: registry.histogram("ids_cache_node_recovery_secs"),
+            failover_reads: registry.counter("ids_cache_failover_reads_total"),
+            under_replicated_writes: registry.counter("ids_cache_under_replicated_writes_total"),
+            corruptions_cache: registry.counter_with(
+                "ids_cache_corruptions_detected_total",
+                "source",
+                "cache",
+            ),
+            corruptions_backing: registry.counter_with(
+                "ids_cache_corruptions_detected_total",
+                "source",
+                "backing",
+            ),
+            quarantines: registry.counter("ids_cache_quarantines_total"),
+            repairs_replicate: registry.counter_with(
+                "ids_cache_repairs_total",
+                "kind",
+                "re_replicate",
+            ),
+            repairs_backing: registry.counter_with(
+                "ids_cache_repairs_total",
+                "kind",
+                "backing_rewrite",
+            ),
+            anti_entropy_runs: registry.counter("ids_cache_anti_entropy_runs_total"),
+            scrubbed_objects: registry.counter("ids_cache_scrubbed_objects_total"),
             registry,
         }
     }
@@ -283,6 +399,8 @@ impl CacheManager {
             plane_down: vec![false; cfg.cache_nodes],
             down_since: vec![0.0; cfg.cache_nodes],
             ever_cached: HashSet::new(),
+            last_anti_entropy: 0.0,
+            recovery_pending: false,
         };
         Self {
             cfg,
@@ -397,6 +515,9 @@ impl CacheManager {
     fn on_node_up(&self, st: &mut State, ni: usize, now: f64) {
         st.dram[ni] = TierState::new();
         st.nvme[ni] = TierState::new();
+        // The node rejoined empty: surviving objects are under-replicated
+        // until the next anti-entropy pass restores the factor.
+        st.recovery_pending = true;
         self.metrics.update_sizes(st);
         self.metrics.node_recoveries.inc();
         let downtime = (now - st.down_since[ni]).max(0.0);
@@ -409,15 +530,15 @@ impl CacheManager {
         );
     }
 
-    /// Placement restricted to live nodes: the policy sees down nodes as
-    /// having zero free bytes, and a down pick is redirected to the live
-    /// node with the most free DRAM. `None` when every cache node is down.
-    fn place_live(&self, st: &mut State, requester: NodeId) -> Option<NodeId> {
-        if (0..self.cfg.cache_nodes).all(|ni| st.is_down(ni)) {
-            return None;
-        }
-        let free: Vec<u64> = st
-            .dram
+    /// Per-node liveness vector for the placement policy.
+    fn live_vec(&self, st: &State) -> Vec<bool> {
+        (0..self.cfg.cache_nodes).map(|ni| !st.is_down(ni)).collect()
+    }
+
+    /// Per-node free DRAM bytes (down nodes report zero — they cannot
+    /// accept placements anyway).
+    fn free_vec(&self, st: &State) -> Vec<u64> {
+        st.dram
             .iter()
             .enumerate()
             .map(
@@ -429,16 +550,23 @@ impl CacheManager {
                     }
                 },
             )
-            .collect();
+            .collect()
+    }
+
+    /// Replica-set placement restricted to live nodes: up to
+    /// [`CacheConfig::replication`] distinct live nodes, possibly fewer
+    /// when fewer are up (the caller meters the under-replicated write).
+    fn place_live_replicas(&self, st: &mut State, requester: NodeId) -> Vec<NodeId> {
+        let live = self.live_vec(st);
+        let free = self.free_vec(st);
         st.placement_counter += 1;
-        let pick = self.cfg.policy.place(requester, &free, st.placement_counter - 1);
-        if pick.index() < self.cfg.cache_nodes && !st.is_down(pick.index()) {
-            return Some(pick);
-        }
-        (0..self.cfg.cache_nodes)
-            .filter(|&ni| !st.is_down(ni))
-            .max_by_key(|&ni| (free[ni], std::cmp::Reverse(ni)))
-            .map(|ni| NodeId(ni as u32))
+        self.cfg.policy.place_replicas(
+            requester,
+            &free,
+            &live,
+            st.placement_counter - 1,
+            self.cfg.replication,
+        )
     }
 
     /// One fabric access under fault injection: rolls transients (remote
@@ -507,11 +635,22 @@ impl CacheManager {
     }
 
     /// Store an object: persists to the backing store (authoritative) and
-    /// caches it per the placement policy. Returns the virtual cost.
+    /// caches it on [`CacheConfig::replication`] distinct live nodes per
+    /// the placement policy, charging each replica write its honest
+    /// fabric cost. Returns the total virtual cost.
+    ///
+    /// Under an attached fault plane a *torn write* may corrupt the
+    /// backing copy in place; the cached replicas stay healthy, so a
+    /// later checked read or anti-entropy pass detects and rewrites it.
     pub fn put(&self, from: RankId, name: &str, data: Bytes) -> f64 {
         let plane = self.faults.lock().clone();
         let size = data.len() as u64;
+        let crc = crc32(&data);
         let mut cost = self.backing.put(name, data.clone()).virtual_secs;
+        if plane.as_ref().is_some_and(|p| p.torn_write(from)) {
+            // The persistent write tore: bytes landed, checksum did not.
+            self.backing.corrupt(name);
+        }
 
         let mut st = self.state.lock();
         self.sync_with_plane(&mut st, plane.as_deref());
@@ -528,23 +667,41 @@ impl CacheManager {
             }
         }
         st.ever_cached.insert(name.to_string());
-        // Place on a live node; if every cache node is down the object
-        // lives in the backing store only (still durable).
-        if let Some(node) = self.place_live(&mut st, self.topo.node_of(from)) {
-            let link = plane.as_ref().map_or(LinkFactors::NONE, |p| p.link_factors());
+        // Place on up to k live nodes; if every cache node is down the
+        // object lives in the backing store only (still durable).
+        let replicas = self.place_live_replicas(&mut st, self.topo.node_of(from));
+        let link = plane.as_ref().map_or(LinkFactors::NONE, |p| p.link_factors());
+        for &node in &replicas {
             cost += self.dram_transfer(from, node, size) * link.cost_mult();
-            self.insert_dram(&mut st, node, name, data);
+            self.insert_dram(&mut st, node, name, data.clone(), crc);
+        }
+        if replicas.len() < self.cfg.replication {
+            self.note_under_replicated(name, replicas.len());
         }
         self.debug_check_accounting(&st);
         cost
     }
 
-    fn insert_dram(&self, st: &mut State, node: NodeId, name: &str, data: Bytes) {
+    /// Meter a write that landed on fewer nodes than the configured
+    /// replication factor (too few live nodes).
+    fn note_under_replicated(&self, name: &str, copies: usize) {
+        self.stats.lock().under_replicated_writes += 1;
+        self.metrics.under_replicated_writes.inc();
+        let now = self.faults.lock().as_ref().map_or(0.0, |p| p.now());
+        self.metrics.registry.spans().record(
+            "cache.under_replicated_write",
+            format!("{name}: {copies}/{} copies", self.cfg.replication),
+            now,
+            now,
+        );
+    }
+
+    fn insert_dram(&self, st: &mut State, node: NodeId, name: &str, data: Bytes, crc: u32) {
         let size = data.len() as u64;
         if size > self.cfg.dram_capacity {
             // Too big for DRAM entirely; go straight to NVMe if it fits.
             if size <= self.cfg.nvme_capacity {
-                self.insert_nvme(st, node, name, data);
+                self.insert_nvme(st, node, name, data, crc);
             }
             return;
         }
@@ -563,15 +720,15 @@ impl CacheManager {
             self.metrics.spills.inc();
             self.metrics.evictions_dram.inc();
             self.metrics.evicted_bytes_dram.add(e.data.len() as u64);
-            self.insert_nvme(st, node, &victim, e.data);
+            self.insert_nvme(st, node, &victim, e.data, e.crc);
         }
         st.dram[ni].used += size;
-        st.dram[ni].entries.insert(name.to_string(), Entry { data, last_access: clock });
+        st.dram[ni].entries.insert(name.to_string(), Entry { data, last_access: clock, crc });
         self.metrics.inserts_dram.inc();
         self.metrics.update_sizes(st);
     }
 
-    fn insert_nvme(&self, st: &mut State, node: NodeId, name: &str, data: Bytes) {
+    fn insert_nvme(&self, st: &mut State, node: NodeId, name: &str, data: Bytes, crc: u32) {
         let size = data.len() as u64;
         if size > self.cfg.nvme_capacity {
             return; // only the backing store holds it
@@ -590,21 +747,24 @@ impl CacheManager {
             self.metrics.evicted_bytes_nvme.add(e.data.len() as u64);
         }
         st.nvme[ni].used += size;
-        st.nvme[ni].entries.insert(name.to_string(), Entry { data, last_access: clock });
+        st.nvme[ni].entries.insert(name.to_string(), Entry { data, last_access: clock, crc });
         self.metrics.inserts_nvme.inc();
         self.metrics.update_sizes(st);
     }
 
     /// Store an object with a user-provided placement hint (§3.2: the
     /// manager moves data "based on user-provided hints or
-    /// operator-defined policies"). The hinted node overrides the policy;
-    /// out-of-range hints fall back to [`Self::put`].
+    /// operator-defined policies"). The hinted node overrides the policy
+    /// for the *primary* copy; secondary replicas (when
+    /// [`CacheConfig::replication`] > 1) fill capacity-weighted over the
+    /// remaining live nodes. Out-of-range hints fall back to [`Self::put`].
     pub fn put_with_hint(&self, from: RankId, name: &str, data: Bytes, hint: NodeId) -> f64 {
         if hint.index() >= self.cfg.cache_nodes || self.node_is_down(hint) {
             // Out-of-range or unavailable hints degrade to policy placement.
             return self.put(from, name, data);
         }
         let size = data.len() as u64;
+        let crc = crc32(&data);
         let mut cost = self.backing.put(name, data.clone()).virtual_secs;
         let mut st = self.state.lock();
         st.clock += 1;
@@ -618,8 +778,27 @@ impl CacheManager {
             }
         }
         st.ever_cached.insert(name.to_string());
-        cost += self.dram_transfer(from, hint, size);
-        self.insert_dram(&mut st, hint, name, data);
+        // Hinted primary, then capacity-weighted secondaries (most free
+        // DRAM first, ties to the lowest index) up to the replication
+        // factor.
+        let mut replicas = vec![hint];
+        if self.cfg.replication > 1 {
+            let free = self.free_vec(&st);
+            let mut rest: Vec<usize> = (0..self.cfg.cache_nodes)
+                .filter(|&ni| !st.is_down(ni) && ni != hint.index())
+                .collect();
+            rest.sort_by_key(|&ni| (std::cmp::Reverse(free[ni]), ni));
+            replicas.extend(
+                rest.into_iter().take(self.cfg.replication - 1).map(|ni| NodeId(ni as u32)),
+            );
+        }
+        for &node in &replicas {
+            cost += self.dram_transfer(from, node, size);
+            self.insert_dram(&mut st, node, name, data.clone(), crc);
+        }
+        if replicas.len() < self.cfg.replication {
+            self.note_under_replicated(name, replicas.len());
+        }
         self.debug_check_accounting(&st);
         cost
     }
@@ -637,23 +816,25 @@ impl CacheManager {
         st.clock += 1;
         // Find and remove the current copy (fenced copies on down nodes
         // are not eligible sources — they are lost on recovery anyway).
-        let mut found: Option<(usize, Bytes)> = None;
+        // With replication > 1 this moves the first copy found; the other
+        // replicas stay where they are.
+        let mut found: Option<(usize, Bytes, u32)> = None;
         for ni in 0..self.cfg.cache_nodes {
             if st.is_down(ni) {
                 continue;
             }
             if let Some(e) = st.dram[ni].entries.remove(name) {
                 st.dram[ni].used = st.dram[ni].used.saturating_sub(e.data.len() as u64);
-                found = Some((ni, e.data));
+                found = Some((ni, e.data, e.crc));
                 break;
             }
             if let Some(e) = st.nvme[ni].entries.remove(name) {
                 st.nvme[ni].used = st.nvme[ni].used.saturating_sub(e.data.len() as u64);
-                found = Some((ni, e.data));
+                found = Some((ni, e.data, e.crc));
                 break;
             }
         }
-        let (from_node, data) = found?;
+        let (from_node, data, crc) = found?;
         let size = data.len() as u64;
         // Node-to-node transfer cost (inter-node unless already there).
         let cost = if from_node == to.index() {
@@ -661,22 +842,59 @@ impl CacheManager {
         } else {
             self.net.inter_latency + size as f64 / self.net.inter_bandwidth
         };
-        self.insert_dram(&mut st, to, name, data);
+        self.insert_dram(&mut st, to, name, data, crc);
         self.debug_check_accounting(&st);
         Some(cost)
     }
 
+    /// Detect injected bit rot on a cached copy: flip one bit (the rot),
+    /// verify against the CRC recorded at write time, and quarantine the
+    /// copy — it is dropped and metered, never served. Returns `false`
+    /// for empty payloads (nothing to rot).
+    fn quarantine_if_rotted(&self, st: &mut State, ni: usize, dram: bool, name: &str) -> bool {
+        let tier = if dram { &mut st.dram[ni] } else { &mut st.nvme[ni] };
+        let Some(e) = tier.entries.get(name) else { return false };
+        if e.data.is_empty() {
+            return false;
+        }
+        let mut rotted = e.data.to_vec();
+        rotted[0] ^= 0x80;
+        if crc32(&rotted) == e.crc {
+            return false; // unreachable for a real CRC, kept for honesty
+        }
+        let removed = tier.entries.remove(name).expect("checked above");
+        tier.used = tier.used.saturating_sub(removed.data.len() as u64);
+        self.stats.lock().corruptions_detected += 1;
+        self.metrics.corruptions_cache.inc();
+        self.metrics.quarantines.inc();
+        self.metrics.update_sizes(st);
+        let now = self.faults.lock().as_ref().map_or(0.0, |p| p.now());
+        self.metrics.registry.spans().record(
+            "cache.quarantine",
+            format!("{name} on node {ni}: checksum mismatch"),
+            now,
+            now,
+        );
+        true
+    }
+
     /// Fetch an object. Searches tiers cheapest-first (skipping down
     /// nodes, whose entries are fenced until recovery), retries transient
-    /// remote failures with backoff charged to the virtual clock, falls
-    /// back to the backing store (re-populating the cache on a live
-    /// node), and returns `Ok(None)` only on a total miss.
+    /// remote failures with backoff charged to the virtual clock, and
+    /// **fails over across replicas**: a copy that exhausts its retries
+    /// or fails its checksum (quarantined, repaired from the healthy
+    /// serve) just moves the search to the next replica. Only when no
+    /// live healthy copy remains does the read fall back to the backing
+    /// store (verified against its checksum, then re-populated onto a
+    /// full replica set). Returns `Ok(None)` only on a total miss.
     ///
     /// Errors: [`CacheError::DeadlineExceeded`] when the configured
     /// per-get budget runs out; [`CacheError::RetriesExhausted`] when
     /// the authoritative backing fetch keeps failing (or, in strict
-    /// mode, when a remote tier does); [`CacheError::NodeDown`] in
-    /// strict mode when the only cached copy is fenced on a down node.
+    /// mode, when every replica did); [`CacheError::NodeDown`] in
+    /// strict mode when the only cached copy is fenced on a down node;
+    /// [`CacheError::Corrupted`] when the backing copy fails its
+    /// checksum and no healthy replica remains to serve instead.
     pub fn get(
         &self,
         from: RankId,
@@ -702,95 +920,133 @@ impl CacheManager {
             .filter(|&n| n < self.cfg.cache_nodes && !st.is_down(n))
             .collect();
 
-        // Strict mode needs to know whether a fenced copy exists: serving
-        // from backing would silently degrade, which the caller opted out of.
-        let fenced: Option<NodeId> = if ft.degrade_to_backing {
-            None
-        } else {
-            (0..self.cfg.cache_nodes)
-                .find(|&ni| {
-                    st.is_down(ni)
-                        && (st.dram[ni].entries.contains_key(name)
-                            || st.nvme[ni].entries.contains_key(name))
-                })
-                .map(|ni| NodeId(ni as u32))
-        };
+        // A copy fenced on a down node: failover metering counts it, and
+        // strict mode refuses to silently degrade past it.
+        let fenced: Option<NodeId> = (0..self.cfg.cache_nodes)
+            .find(|&ni| {
+                st.is_down(ni)
+                    && (st.dram[ni].entries.contains_key(name)
+                        || st.nvme[ni].entries.contains_key(name))
+            })
+            .map(|ni| NodeId(ni as u32));
 
+        // Copies that failed *this* get: exhausted retry budgets and
+        // checksum quarantines. Either way the search moves on — that is
+        // the failover — and quarantined replicas are repaired from the
+        // eventual healthy serve.
+        let mut exhausted: Option<String> = None;
+        let mut quarantined: Vec<NodeId> = Vec::new();
+
+        // (data, crc, serving node, tier) once a healthy copy answers.
+        let mut serve: Option<(Bytes, u32, usize, Tier)> = None;
         for &ni in &live_order {
             let Some(size) = st.dram[ni].entries.get(name).map(|e| e.data.len() as u64) else {
                 continue;
             };
             let local = ni == my;
             let cost = self.dram_transfer(from, NodeId(ni as u32), size) * link.cost_mult();
-            if self.attempt_access(plane_ref, &ft, from, !local, cost, &mut spent, deadline)? {
-                let e = st.dram[ni].entries.get_mut(name).expect("checked above");
-                e.last_access = clock;
-                let data = e.data.clone();
-                let tier = if local { Tier::LocalDram } else { Tier::RemoteDram };
-                let mut stats = self.stats.lock();
-                if local {
-                    stats.local_dram_hits += 1;
-                } else {
-                    stats.remote_dram_hits += 1;
-                }
-                self.metrics.tier_hit(tier);
-                return Ok(Some((data, CacheOutcome { tier, virtual_secs: spent })));
+            if !self.attempt_access(plane_ref, &ft, from, !local, cost, &mut spent, deadline)? {
+                exhausted = Some(format!("remote DRAM on node {ni}"));
+                continue; // fail over to the next replica
             }
-            if !ft.degrade_to_backing {
-                return Err(CacheError::RetriesExhausted {
-                    attempts: ft.retry.max_attempts,
-                    spent_secs: spent,
-                    detail: format!("remote DRAM on node {ni}"),
-                });
+            // The read landed; now verify the copy (bit rot may have hit
+            // it since the write — the read cost is already paid).
+            if plane_ref.is_some_and(|p| p.bit_rot(from))
+                && self.quarantine_if_rotted(&mut st, ni, true, name)
+            {
+                quarantined.push(NodeId(ni as u32));
+                continue; // fail over to the next replica
             }
-            // Retries exhausted: fall through to the next copy/tier.
+            let e = st.dram[ni].entries.get_mut(name).expect("checked above");
+            e.last_access = clock;
+            let tier = if local { Tier::LocalDram } else { Tier::RemoteDram };
+            serve = Some((e.data.clone(), e.crc, ni, tier));
+            break;
         }
-        for &ni in &live_order {
-            let Some(size) = st.nvme[ni].entries.get(name).map(|e| e.data.len() as u64) else {
-                continue;
-            };
-            let local = ni == my;
-            let cost = self.nvme_transfer(from, NodeId(ni as u32), size) * link.cost_mult();
-            if self.attempt_access(plane_ref, &ft, from, !local, cost, &mut spent, deadline)? {
+        if serve.is_none() {
+            for &ni in &live_order {
+                let Some(size) = st.nvme[ni].entries.get(name).map(|e| e.data.len() as u64) else {
+                    continue;
+                };
+                let local = ni == my;
+                let cost = self.nvme_transfer(from, NodeId(ni as u32), size) * link.cost_mult();
+                if !self.attempt_access(plane_ref, &ft, from, !local, cost, &mut spent, deadline)? {
+                    exhausted = Some(format!("remote NVMe on node {ni}"));
+                    continue;
+                }
+                if plane_ref.is_some_and(|p| p.bit_rot(from))
+                    && self.quarantine_if_rotted(&mut st, ni, false, name)
+                {
+                    quarantined.push(NodeId(ni as u32));
+                    continue;
+                }
                 let e = st.nvme[ni].entries.get_mut(name).expect("checked above");
                 e.last_access = clock;
-                let data = e.data.clone();
                 let tier = if local { Tier::LocalNvme } else { Tier::RemoteNvme };
-                {
-                    // Scope the stats guard: insert_dram below may need it
-                    // for eviction accounting.
-                    let mut stats = self.stats.lock();
-                    if local {
-                        stats.local_nvme_hits += 1;
-                    } else {
-                        stats.remote_nvme_hits += 1;
-                    }
-                    self.metrics.tier_hit(tier);
-                }
-                // Promote hot NVMe objects back to DRAM on the serving node.
-                let promoted = data.clone();
-                self.insert_dram(&mut st, NodeId(ni as u32), name, promoted);
-                self.debug_check_accounting(&st);
-                return Ok(Some((data, CacheOutcome { tier, virtual_secs: spent })));
-            }
-            if !ft.degrade_to_backing {
-                return Err(CacheError::RetriesExhausted {
-                    attempts: ft.retry.max_attempts,
-                    spent_secs: spent,
-                    detail: format!("remote NVMe on node {ni}"),
-                });
+                serve = Some((e.data.clone(), e.crc, ni, tier));
+                break;
             }
         }
 
-        // Backing store: authoritative fallback + re-population.
-        let fetched = self.backing.get(name);
-        match fetched.value {
-            Some(data) => {
-                if let Some(node) = fenced {
-                    // Strict mode: the cached copy exists but is fenced on
-                    // a down node; refusing beats silent degradation.
-                    return Err(CacheError::NodeDown { node, spent_secs: spent });
+        if let Some((data, crc, ni, tier)) = serve {
+            let failover = fenced.is_some() || exhausted.is_some() || !quarantined.is_empty();
+            {
+                let mut stats = self.stats.lock();
+                match tier {
+                    Tier::LocalDram => stats.local_dram_hits += 1,
+                    Tier::RemoteDram => stats.remote_dram_hits += 1,
+                    Tier::LocalNvme => stats.local_nvme_hits += 1,
+                    Tier::RemoteNvme => stats.remote_nvme_hits += 1,
+                    Tier::Backing => unreachable!("cache-tier serve"),
                 }
+                if failover {
+                    stats.failover_reads += 1;
+                }
+            }
+            self.metrics.tier_hit(tier);
+            if failover {
+                self.metrics.failover_reads.inc();
+            }
+            // Promote hot NVMe objects back to DRAM on the serving node.
+            if matches!(tier, Tier::LocalNvme | Tier::RemoteNvme) {
+                self.insert_dram(&mut st, NodeId(ni as u32), name, data.clone(), crc);
+            }
+            // Read-path repair: replicas quarantined above are restored
+            // from this healthy copy, charged as node-to-node transfers.
+            for &node in &quarantined {
+                if node.index() != ni {
+                    spent += self.net.inter_latency + data.len() as f64 / self.net.inter_bandwidth;
+                }
+                self.insert_dram(&mut st, node, name, data.clone(), crc);
+                self.stats.lock().repairs += 1;
+                self.metrics.repairs_replicate.inc();
+            }
+            self.debug_check_accounting(&st);
+            return Ok(Some((data, CacheOutcome { tier, virtual_secs: spent })));
+        }
+
+        // Strict mode: a cached copy exists but every live one failed, or
+        // the only copy is fenced on a down node — refusing beats silent
+        // degradation to the backing store. A genuinely uncached object
+        // still falls through (a cold fetch is not a degradation).
+        if !ft.degrade_to_backing {
+            if let Some(detail) = exhausted {
+                return Err(CacheError::RetriesExhausted {
+                    attempts: ft.retry.max_attempts,
+                    spent_secs: spent,
+                    detail,
+                });
+            }
+            if let Some(node) = fenced {
+                return Err(CacheError::NodeDown { node, spent_secs: spent });
+            }
+        }
+
+        // Backing store: authoritative, checksum-verified fallback +
+        // re-population of a full replica set.
+        let fetched = self.backing.get_checked(name);
+        match fetched.value {
+            Some(vr) => {
                 let cost = fetched.virtual_secs * link.cost_mult();
                 if !self.attempt_access(plane_ref, &ft, from, true, cost, &mut spent, deadline)? {
                     return Err(CacheError::RetriesExhausted {
@@ -799,6 +1055,18 @@ impl CacheManager {
                         detail: "backing store fetch".into(),
                     });
                 }
+                if !vr.intact {
+                    // Torn write or rot in the authoritative copy, and no
+                    // healthy replica remained to serve or repair it this
+                    // read. Never serve corrupt bytes.
+                    self.stats.lock().corruptions_detected += 1;
+                    self.metrics.corruptions_backing.inc();
+                    return Err(CacheError::Corrupted {
+                        name: name.to_string(),
+                        spent_secs: spent,
+                    });
+                }
+                let data = vr.data;
                 {
                     let mut stats = self.stats.lock();
                     stats.backing_fetches += 1;
@@ -811,8 +1079,12 @@ impl CacheManager {
                     }
                 }
                 self.metrics.tier_hit(Tier::Backing);
-                if let Some(node) = self.place_live(&mut st, my_node) {
-                    self.insert_dram(&mut st, node, name, data.clone());
+                let crc = crc32(&data);
+                let replicas = self.place_live_replicas(&mut st, my_node);
+                for &node in &replicas {
+                    self.insert_dram(&mut st, node, name, data.clone(), crc);
+                }
+                if !replicas.is_empty() {
                     st.ever_cached.insert(name.to_string());
                 }
                 self.debug_check_accounting(&st);
@@ -859,6 +1131,7 @@ impl CacheManager {
                     id: object_id(name),
                     size: e.data.len() as u64,
                     node: NodeId(ni as u32),
+                    checksum: e.crc,
                 });
             }
         }
@@ -897,6 +1170,148 @@ impl CacheManager {
         if !st.plane_down[ni] {
             self.on_node_up(&mut st, ni, now);
         }
+    }
+
+    /// Run the anti-entropy pass if it is due: either a node recovered
+    /// since the last pass (its wiped contents left survivors
+    /// under-replicated) or [`CacheConfig::anti_entropy_interval_secs`]
+    /// of virtual time elapsed. The engine calls this at stage
+    /// boundaries — single-threaded points on the virtual clock, so the
+    /// scrub's deterministic draw streams are consumed in a fixed order.
+    /// Returns `None` when the pass is not due or no fault plane is
+    /// attached (without a plane there is no virtual clock to schedule
+    /// against; use [`Self::anti_entropy`] to force a pass).
+    pub fn maybe_anti_entropy(&self) -> Option<AntiEntropyReport> {
+        let plane = self.faults.lock().clone();
+        let p = plane.as_deref()?;
+        let now = p.now();
+        let mut st = self.state.lock();
+        self.sync_with_plane(&mut st, Some(p));
+        if !st.recovery_pending && now - st.last_anti_entropy < self.cfg.anti_entropy_interval_secs
+        {
+            return None;
+        }
+        Some(self.run_anti_entropy(&mut st, Some(p), now))
+    }
+
+    /// Force an anti-entropy pass now, regardless of schedule: scrub
+    /// live copies against their checksums, rewrite corrupt backing
+    /// objects from healthy replicas, and restore the replication factor
+    /// for under-replicated survivors.
+    pub fn anti_entropy(&self) -> AntiEntropyReport {
+        let plane = self.faults.lock().clone();
+        let now = plane.as_ref().map_or(0.0, |p| p.now());
+        let mut st = self.state.lock();
+        self.sync_with_plane(&mut st, plane.as_deref());
+        self.run_anti_entropy(&mut st, plane.as_deref(), now)
+    }
+
+    fn run_anti_entropy(
+        &self,
+        st: &mut State,
+        plane: Option<&FaultPlane>,
+        now: f64,
+    ) -> AntiEntropyReport {
+        st.last_anti_entropy = now;
+        st.recovery_pending = false;
+        self.metrics.anti_entropy_runs.inc();
+        let mut report = AntiEntropyReport::default();
+
+        let live: Vec<usize> = (0..self.cfg.cache_nodes).filter(|&ni| !st.is_down(ni)).collect();
+
+        // 1. Scrub: verify every live cached copy against its recorded
+        //    checksum, in deterministic (node, sorted-name) order. The
+        //    per-node scrub draw streams are independent of the rank
+        //    streams, so scrubbing never perturbs read-path outcomes.
+        for &ni in &live {
+            let mut names: Vec<(String, bool)> = st.dram[ni]
+                .entries
+                .keys()
+                .map(|n| (n.clone(), true))
+                .chain(st.nvme[ni].entries.keys().map(|n| (n.clone(), false)))
+                .collect();
+            names.sort();
+            for (name, dram) in names {
+                report.scrubbed += 1;
+                self.metrics.scrubbed_objects.inc();
+                if plane.is_some_and(|p| p.bit_rot_scrub(NodeId(ni as u32)))
+                    && self.quarantine_if_rotted(st, ni, dram, &name)
+                {
+                    report.corruptions += 1;
+                }
+            }
+        }
+
+        // Names still cached on at least one live node, with their
+        // healthy source copies.
+        let cached: BTreeSet<String> = live
+            .iter()
+            .flat_map(|&ni| st.dram[ni].entries.keys().chain(st.nvme[ni].entries.keys()).cloned())
+            .collect();
+
+        for name in &cached {
+            let holders: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|&ni| {
+                    st.dram[ni].entries.contains_key(name) || st.nvme[ni].entries.contains_key(name)
+                })
+                .collect();
+            let Some(&src) = holders.first() else { continue };
+            let (data, crc) = {
+                let e = st.dram[src]
+                    .entries
+                    .get(name)
+                    .or_else(|| st.nvme[src].entries.get(name))
+                    .expect("holder has a copy");
+                (e.data.clone(), e.crc)
+            };
+
+            // 2. Backing integrity: a torn/rotted authoritative copy is
+            //    rewritten from the healthy replica before any read can
+            //    trip over it.
+            if self.backing.verify(name).value == Some(false) {
+                report.corruptions += 1;
+                self.stats.lock().corruptions_detected += 1;
+                self.metrics.corruptions_backing.inc();
+                self.backing.put(name, data.clone());
+                report.backing_repairs += 1;
+                self.stats.lock().repairs += 1;
+                self.metrics.repairs_backing.inc();
+            }
+
+            // 3. Re-replication: restore the replication factor for
+            //    survivors (a recovered node rejoined empty). Targets are
+            //    the live non-holders with the most free DRAM, ties to
+            //    the lowest index — the same deterministic order the
+            //    placement policy documents.
+            let target = self.cfg.replication.min(live.len());
+            if holders.len() >= target {
+                continue;
+            }
+            let free = self.free_vec(st);
+            let mut dests: Vec<usize> =
+                live.iter().copied().filter(|ni| !holders.contains(ni)).collect();
+            dests.sort_by_key(|&ni| (std::cmp::Reverse(free[ni]), ni));
+            for &dest in dests.iter().take(target - holders.len()) {
+                self.insert_dram(st, NodeId(dest as u32), name, data.clone(), crc);
+                report.re_replicated += 1;
+                self.stats.lock().repairs += 1;
+                self.metrics.repairs_replicate.inc();
+            }
+        }
+
+        self.debug_check_accounting(st);
+        self.metrics.registry.spans().record(
+            "cache.anti_entropy",
+            format!(
+                "scrubbed {} corruptions {} re_replicated {} backing_repairs {}",
+                report.scrubbed, report.corruptions, report.re_replicated, report.backing_repairs
+            ),
+            now,
+            now,
+        );
+        report
     }
 
     /// Drop an object from every cache tier (backing copy untouched).
@@ -1402,6 +1817,266 @@ mod tests {
             .unwrap();
         assert!(h.count >= 1);
         assert!(h.mean() > 0.0);
+    }
+
+    fn cache_rf(k: usize) -> CacheManager {
+        CacheManager::new(
+            Topology::new(4, 2),
+            NetworkModel::slingshot(),
+            CacheConfig::new(2, 1 << 20, 1 << 22).with_replication(k),
+            BackingStore::default_store(),
+        )
+    }
+
+    #[test]
+    fn replicated_put_lands_k_copies_and_charges_each() {
+        let c1 = cache_rf(1);
+        let c2 = cache_rf(2);
+        let cost1 = c1.put(RankId(0), "obj", payload(1 << 16, 5));
+        let cost2 = c2.put(RankId(0), "obj", payload(1 << 16, 5));
+        assert_eq!(c1.locality("obj").len(), 1);
+        let holders: Vec<NodeId> = c2.locality("obj").iter().map(|(n, _)| *n).collect();
+        assert_eq!(holders, vec![NodeId(0), NodeId(1)], "distinct nodes hold the replicas");
+        assert!(cost2 > cost1, "each replica write is charged: {cost2} vs {cost1}");
+        // Metadata carries the content checksum.
+        assert_eq!(c2.meta("obj").unwrap().checksum, crc32(&payload(1 << 16, 5)));
+    }
+
+    #[test]
+    fn failover_read_survives_node_crash_with_zero_backing_traffic() {
+        let c = cache_rf(2);
+        c.put(RankId(0), "obj", payload(1000, 7));
+        c.fail_node(NodeId(0));
+        // The primary copy is fenced; the surviving replica answers
+        // without touching the backing store.
+        let (data, out) = c.get(RankId(0), "obj").unwrap().unwrap();
+        assert_eq!(out.tier, Tier::RemoteDram);
+        assert_eq!(data.len(), 1000);
+        let s = c.stats();
+        assert_eq!(s.backing_fetches, 0, "no backing fallback needed");
+        assert_eq!(s.repopulations, 0, "the crash cost no re-population");
+        assert_eq!(s.failover_reads, 1);
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counter("ids_cache_failover_reads_total", ""), 1);
+        assert_eq!(snap.counter("ids_cache_repopulations_total", ""), 0);
+    }
+
+    #[test]
+    fn strict_mode_serves_from_surviving_replica() {
+        let c = cache_rf(2);
+        c.set_fault_tolerance(FaultTolerance {
+            degrade_to_backing: false,
+            ..FaultTolerance::default()
+        });
+        c.put(RankId(0), "obj", payload(100, 1));
+        c.fail_node(NodeId(0));
+        // With replication 1 this errored (NodeDown); with a live replica
+        // strict mode is satisfied without degradation.
+        let (_, out) = c.get(RankId(0), "obj").unwrap().unwrap();
+        assert_eq!(out.tier, Tier::RemoteDram);
+        assert_eq!(c.stats().failover_reads, 1);
+    }
+
+    #[test]
+    fn under_replicated_write_is_metered() {
+        let c = cache_rf(2);
+        c.fail_node(NodeId(1));
+        c.put(RankId(0), "obj", payload(100, 1));
+        assert_eq!(c.locality("obj").len(), 1, "only one live node to hold a copy");
+        let s = c.stats();
+        assert_eq!(s.under_replicated_writes, 1);
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counter("ids_cache_under_replicated_writes_total", ""), 1);
+        assert!(snap.spans.iter().any(|sp| sp.name == "cache.under_replicated_write"));
+        // Fully replicated writes are not metered.
+        c.recover_node(NodeId(1));
+        c.put(RankId(0), "obj2", payload(100, 2));
+        assert_eq!(c.stats().under_replicated_writes, 1);
+    }
+
+    #[test]
+    fn anti_entropy_restores_replication_after_recovery_wipe() {
+        let c = cache_rf(2);
+        c.put(RankId(0), "a", payload(500, 1));
+        c.put(RankId(2), "b", payload(500, 2));
+        c.fail_node(NodeId(0));
+        c.recover_node(NodeId(0)); // rejoined empty: survivors under-replicated
+        assert_eq!(c.locality("a").len(), 1);
+        assert_eq!(c.locality("b").len(), 1);
+
+        let report = c.anti_entropy();
+        assert_eq!(report.re_replicated, 2, "both survivors regain their second copy");
+        assert_eq!(report.corruptions, 0);
+        assert_eq!(c.locality("a").len(), 2);
+        assert_eq!(c.locality("b").len(), 2);
+        assert_eq!(c.stats().repairs, 2);
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counter("ids_cache_repairs_total", "re_replicate"), 2);
+        assert_eq!(snap.counter("ids_cache_anti_entropy_runs_total", ""), 1);
+        assert!(snap.counter("ids_cache_scrubbed_objects_total", "") >= 2);
+
+        // A second pass finds nothing to do.
+        assert!(c.anti_entropy().is_noop());
+    }
+
+    #[test]
+    fn maybe_anti_entropy_follows_the_virtual_clock() {
+        let plane =
+            Arc::new(FaultPlane::new(1, ids_simrt::faults::FaultConfig::none(), 4, 8, 1000.0));
+        let c = cache_rf(2);
+        c.attach_faults(plane.clone());
+        c.put(RankId(0), "obj", payload(100, 1));
+        // t=0: the interval (1s) has not elapsed and nothing recovered.
+        assert!(c.maybe_anti_entropy().is_none());
+        plane.advance_to(0.5);
+        assert!(c.maybe_anti_entropy().is_none());
+        plane.advance_to(1.5);
+        let report = c.maybe_anti_entropy().expect("interval elapsed");
+        assert!(report.scrubbed >= 1);
+        // The pass just ran; the next one waits for the interval again.
+        assert!(c.maybe_anti_entropy().is_none());
+
+        // A recovery forces the next pass regardless of the interval.
+        c.fail_node(NodeId(0));
+        c.recover_node(NodeId(0));
+        let report = c.maybe_anti_entropy().expect("recovery pending");
+        assert_eq!(report.re_replicated, 1);
+    }
+
+    #[test]
+    fn torn_write_corrupts_backing_and_anti_entropy_rewrites_it() {
+        let c = cache_rf(2);
+        // Every backing write tears; cached replicas stay healthy.
+        c.attach_faults(Arc::new(FaultPlane::new(
+            3,
+            ids_simrt::faults::FaultConfig::storage_only(0.0, 1.0),
+            4,
+            8,
+            100.0,
+        )));
+        c.put(RankId(0), "obj", payload(2000, 9));
+        // The cached copies still serve reads correctly.
+        let (data, out) = c.get(RankId(0), "obj").unwrap().unwrap();
+        assert_eq!(out.tier, Tier::LocalDram);
+        assert_eq!(&data[..], &payload(2000, 9)[..]);
+
+        let report = c.anti_entropy();
+        assert_eq!(report.backing_repairs, 1, "torn authoritative copy rewritten");
+        assert!(report.corruptions >= 1);
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counter("ids_cache_repairs_total", "backing_rewrite"), 1);
+        assert_eq!(snap.counter("ids_cache_corruptions_detected_total", "backing"), 1);
+    }
+
+    #[test]
+    fn corrupt_backing_with_no_replica_is_detected_never_served() {
+        let backing = BackingStore::default_store();
+        backing.put("poison", payload(256, 4));
+        backing.corrupt("poison");
+        let c = CacheManager::new(
+            Topology::new(4, 2),
+            NetworkModel::slingshot(),
+            CacheConfig::new(2, 1 << 20, 1 << 22),
+            backing,
+        );
+        let err = c.get(RankId(0), "poison").unwrap_err();
+        match &err {
+            CacheError::Corrupted { name, spent_secs } => {
+                assert_eq!(name, "poison");
+                assert!(*spent_secs > 0.0, "the failed read still cost virtual time");
+            }
+            other => panic!("expected Corrupted, got {other:?}"),
+        }
+        assert!(err.to_string().contains("poison"));
+        assert_eq!(c.stats().corruptions_detected, 1);
+        assert_eq!(
+            c.metrics().snapshot().counter("ids_cache_corruptions_detected_total", "backing"),
+            1
+        );
+        assert!(c.locality("poison").is_empty(), "corrupt bytes were never cached");
+    }
+
+    #[test]
+    fn bit_rot_on_read_quarantines_and_fails_over_to_healthy_replica() {
+        // Find a seed where the requester-local copy rots on the first
+        // read but the remote replica survives it: the get must serve the
+        // healthy bytes and repair the quarantined copy in place.
+        let mut exercised = false;
+        for seed in 0..64u64 {
+            let c = cache_rf(2);
+            c.attach_faults(Arc::new(FaultPlane::new(
+                seed,
+                ids_simrt::faults::FaultConfig::storage_only(0.5, 0.0),
+                4,
+                8,
+                100.0,
+            )));
+            c.put(RankId(0), "obj", payload(1500, 6));
+            let Ok(Some((data, out))) = c.get(RankId(0), "obj") else { continue };
+            assert_eq!(&data[..], &payload(1500, 6)[..], "never serve rotted bytes");
+            let s = c.stats();
+            if out.tier == Tier::RemoteDram && s.corruptions_detected == 1 {
+                assert_eq!(s.failover_reads, 1);
+                assert_eq!(s.repairs, 1, "quarantined copy repaired from the serve");
+                assert_eq!(c.locality("obj").len(), 2, "replication restored in-line");
+                let snap = c.metrics().snapshot();
+                assert_eq!(snap.counter("ids_cache_quarantines_total", ""), 1);
+                assert_eq!(snap.counter("ids_cache_corruptions_detected_total", "cache"), 1);
+                assert_eq!(snap.counter("ids_cache_repairs_total", "re_replicate"), 1);
+                assert!(snap.spans.iter().any(|sp| sp.name == "cache.quarantine"));
+                exercised = true;
+                break;
+            }
+        }
+        assert!(exercised, "no seed in 0..64 exercised the quarantine+failover path");
+    }
+
+    #[test]
+    fn scrub_quarantines_rotted_copies_deterministically() {
+        let run = |seed: u64| {
+            let c = cache_rf(2);
+            c.attach_faults(Arc::new(FaultPlane::new(
+                seed,
+                ids_simrt::faults::FaultConfig::storage_only(1.0, 0.0),
+                4,
+                8,
+                100.0,
+            )));
+            // Bypass read-path rot by scrubbing immediately after put.
+            c.put(RankId(0), "obj", payload(800, 3));
+            c.anti_entropy()
+        };
+        let a = run(17);
+        let b = run(17);
+        assert_eq!(a, b, "scrub outcome is a pure function of the seed");
+        // With p=1.0 every live copy rots and is quarantined.
+        assert_eq!(a.scrubbed, 2);
+        assert_eq!(a.corruptions, 2);
+        // The object is gone from the cache but intact in backing.
+        let c = cache_rf(2);
+        c.attach_faults(Arc::new(FaultPlane::new(
+            17,
+            ids_simrt::faults::FaultConfig::storage_only(1.0, 0.0),
+            4,
+            8,
+            100.0,
+        )));
+        c.put(RankId(0), "obj", payload(800, 3));
+        c.anti_entropy();
+        assert!(c.locality("obj").is_empty());
+        let (data, out) = c.get(RankId(0), "obj").unwrap().unwrap();
+        assert_eq!(out.tier, Tier::Backing, "authoritative copy still serves");
+        assert_eq!(&data[..], &payload(800, 3)[..]);
+    }
+
+    #[test]
+    fn replication_clamps_to_live_nodes_not_capacity() {
+        // k larger than the cluster: every live node gets a copy, and the
+        // write is metered under-replicated.
+        let c = cache_rf(5);
+        c.put(RankId(0), "obj", payload(100, 1));
+        assert_eq!(c.locality("obj").len(), 2);
+        assert_eq!(c.stats().under_replicated_writes, 1);
     }
 
     #[test]

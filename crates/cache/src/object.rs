@@ -3,7 +3,8 @@
 //! "Each cached object is addressed by its object name/path and a computed
 //! object hash (object ID)" (§3.2). The id is a stable content-independent
 //! hash of the *name*; the value bytes live in the tiers and the backing
-//! store.
+//! store. Every stored copy additionally carries a CRC32 of its *content*,
+//! so bit rot and torn writes are detectable wherever the copy lives.
 
 use ids_simrt::rng::fnv1a;
 use ids_simrt::topology::NodeId;
@@ -12,6 +13,35 @@ use serde::{Deserialize, Serialize};
 /// Compute the object ID for a name/path (the TR-Cache hash helper).
 pub fn object_id(name: &str) -> u64 {
     fnv1a(name.as_bytes())
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum of a payload (IEEE 802.3 — the same polynomial used
+/// by Ethernet, gzip, and DAOS object integrity). Used to detect bit
+/// rot in cached copies and torn writes in the backing store.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
 }
 
 /// Metadata the Cache Manager tracks per cached object.
@@ -25,6 +55,8 @@ pub struct ObjectMeta {
     pub size: u64,
     /// Node whose tier currently holds the cached copy.
     pub node: NodeId,
+    /// CRC32 of the payload, recorded at insert time.
+    pub checksum: u32,
 }
 
 #[cfg(test)]
@@ -35,5 +67,24 @@ mod tests {
     fn ids_are_stable_and_distinct() {
         assert_eq!(object_id("vina/P29274/c1"), object_id("vina/P29274/c1"));
         assert_ne!(object_id("vina/P29274/c1"), object_id("vina/P29274/c2"));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = vec![0xA5u8; 4096];
+        let clean = crc32(&data);
+        for byte in [0usize, 1, 2048, 4095] {
+            let mut rotted = data.clone();
+            rotted[byte] ^= 0x01;
+            assert_ne!(crc32(&rotted), clean, "flip at byte {byte} must change the CRC");
+        }
     }
 }

@@ -20,6 +20,7 @@
 use crate::binding::RowBindings;
 use crate::datastore::Datastore;
 use crate::planner::{PhysicalPlan, PhysicalStage};
+use ids_cache::CacheManager;
 use ids_graph::ops as gops;
 use ids_graph::{SolutionSet, TermId};
 use ids_obs::MetricsRegistry;
@@ -267,9 +268,37 @@ fn record_stage(
     metrics.spans().record(stage, detail, start_secs, end_secs);
 }
 
+/// Give the attached cache a chance to run its anti-entropy pass. Stage
+/// boundaries are the only place this happens: they are single-threaded
+/// points between `cluster.execute` fan-outs, so the scrub's per-node
+/// draw streams are consumed in a fixed order regardless of how rank
+/// closures interleaved inside the stage — determinism is preserved.
+fn anti_entropy_tick(cache: Option<&CacheManager>, metrics: &MetricsRegistry, at: f64) {
+    let Some(c) = cache else { return };
+    // Ticks count *offered* boundaries; the cache's own
+    // `ids_cache_anti_entropy_runs_total` counts passes that actually ran.
+    metrics.counter("ids_engine_anti_entropy_ticks_total").inc();
+    if let Some(report) = c.maybe_anti_entropy() {
+        if !report.is_noop() {
+            metrics.spans().record(
+                "anti_entropy",
+                format!(
+                    "re_replicated {} backing_repairs {} corruptions {}",
+                    report.re_replicated, report.backing_repairs, report.corruptions
+                ),
+                at,
+                at,
+            );
+        }
+    }
+}
+
 /// Execute a plan on the cluster. `profilers[r]` is rank r's UDF profile
 /// store, updated in place (it persists across queries, §2.4.1).
 /// `metrics` receives operator timings, spans, and reordering decisions.
+/// `cache` (when the instance has one attached) gets anti-entropy ticks
+/// at stage boundaries, so replication repair rides the query's own
+/// virtual clock instead of needing a separate daemon.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_plan(
     cluster: &mut Cluster,
@@ -279,6 +308,7 @@ pub fn execute_plan(
     plan: &PhysicalPlan,
     opts: &ExecOptions,
     metrics: &MetricsRegistry,
+    cache: Option<&CacheManager>,
 ) -> Result<QueryOutcome, ExecError> {
     let ranks = cluster.topology().total_ranks() as usize;
     assert_eq!(profilers.len(), ranks, "one profiler per rank");
@@ -316,6 +346,7 @@ pub fn execute_plan(
         breakdown.scan_secs += scan_end - scan_start;
         let scanned_rows: usize = scanned.iter().map(SolutionSet::len).sum();
         record_stage(metrics, "scan", scan_start, scan_end, format!("{scanned_rows} rows"));
+        anti_entropy_tick(cache, metrics, scan_end);
 
         current = Some(match current.take() {
             None => scanned,
@@ -326,6 +357,7 @@ pub fn execute_plan(
                 breakdown.join_secs += join_end - join_start;
                 let joined_rows: usize = joined.iter().map(SolutionSet::len).sum();
                 record_stage(metrics, "join", join_start, join_end, format!("{joined_rows} rows"));
+                anti_entropy_tick(cache, metrics, join_end);
                 joined
             }
         });
@@ -365,6 +397,7 @@ pub fn execute_plan(
         breakdown.filter_secs += end - t - take_rebalance_delta(&mut breakdown);
         let kept: usize = solutions.iter().map(SolutionSet::len).sum();
         record_stage(metrics, "filter", t, end, format!("{kept} rows kept"));
+        anti_entropy_tick(cache, metrics, end);
     }
 
     // ---- Post-WHERE stages -------------------------------------------------
@@ -389,6 +422,7 @@ pub fn execute_plan(
                 breakdown.filter_secs += end - t - take_rebalance_delta(&mut breakdown);
                 let kept: usize = solutions.iter().map(SolutionSet::len).sum();
                 record_stage(metrics, "filter", t, end, format!("{kept} rows kept"));
+                anti_entropy_tick(cache, metrics, end);
             }
             PhysicalStage::Apply { udf, args, bind_as } => {
                 let t = cluster.elapsed();
@@ -410,6 +444,7 @@ pub fn execute_plan(
                 let spent = end - t - take_rebalance_delta(&mut breakdown);
                 *breakdown.apply_secs.entry(udf.clone()).or_insert(0.0) += spent;
                 record_stage(metrics, "apply", t, end, udf.clone());
+                anti_entropy_tick(cache, metrics, end);
             }
         }
     }
@@ -426,6 +461,7 @@ pub fn execute_plan(
         cluster.elapsed(),
         format!("{total_bytes} bytes"),
     );
+    anti_entropy_tick(cache, metrics, cluster.elapsed());
 
     let mut gathered = gops::merge(solutions);
     // ORDER BY runs before projection so the sort variable need not be

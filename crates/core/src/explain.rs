@@ -188,6 +188,7 @@ pub fn explain_with_metrics(
     }
 
     render_fault_block(&mut out, snapshot);
+    render_replication_block(&mut out, snapshot);
     out
 }
 
@@ -195,12 +196,7 @@ pub fn explain_with_metrics(
 /// degraded-execution counter has fired. Queries that ran clean add
 /// nothing, so fault-free EXPLAIN output is unchanged.
 fn render_fault_block(out: &mut String, snapshot: &MetricsSnapshot) {
-    let injected: u64 = snapshot
-        .counters
-        .iter()
-        .filter(|(k, _)| k.name == "ids_faults_injected_total")
-        .map(|(_, v)| *v)
-        .sum();
+    let injected = snapshot.counter_sum("ids_faults_injected_total");
     let degraded = snapshot.counter("ids_engine_degraded_queries_total", "");
     let row_retries = snapshot.counter("ids_engine_row_retries_total", "");
     let dropped = snapshot.counter("ids_engine_dropped_rows_total", "");
@@ -247,9 +243,76 @@ fn render_fault_block(out: &mut String, snapshot: &MetricsSnapshot) {
     }
 }
 
+/// Append the replication/integrity block when any failover, repair, or
+/// anti-entropy counter has fired. A replication-factor-1 run with no
+/// storage faults renders nothing, keeping baseline EXPLAIN stable.
+fn render_replication_block(out: &mut String, snapshot: &MetricsSnapshot) {
+    let failovers = snapshot.counter("ids_cache_failover_reads_total", "");
+    let under_rep = snapshot.counter("ids_cache_under_replicated_writes_total", "");
+    let corrupt_cache = snapshot.counter("ids_cache_corruptions_detected_total", "cache");
+    let corrupt_backing = snapshot.counter("ids_cache_corruptions_detected_total", "backing");
+    let quarantines = snapshot.counter("ids_cache_quarantines_total", "");
+    let re_replicated = snapshot.counter("ids_cache_repairs_total", "re_replicate");
+    let rewrites = snapshot.counter("ids_cache_repairs_total", "backing_rewrite");
+    let ae_runs = snapshot.counter("ids_cache_anti_entropy_runs_total", "");
+    let scrubbed = snapshot.counter("ids_cache_scrubbed_objects_total", "");
+    if failovers
+        + under_rep
+        + corrupt_cache
+        + corrupt_backing
+        + quarantines
+        + re_replicated
+        + rewrites
+        + ae_runs
+        == 0
+    {
+        return;
+    }
+
+    out.push_str("  replication & integrity:\n");
+    if failovers + under_rep > 0 {
+        out.push_str(&format!(
+            "    replica health: {failovers} failover reads, \
+             {under_rep} under-replicated writes\n"
+        ));
+    }
+    if corrupt_cache + corrupt_backing + quarantines > 0 {
+        out.push_str(&format!(
+            "    integrity: {} corruptions detected ({corrupt_cache} cache, \
+             {corrupt_backing} backing), {quarantines} quarantined\n",
+            corrupt_cache + corrupt_backing
+        ));
+    }
+    if ae_runs + re_replicated + rewrites > 0 {
+        out.push_str(&format!(
+            "    anti-entropy: {ae_runs} runs, {scrubbed} objects scrubbed, \
+             {re_replicated} re-replications, {rewrites} backing rewrites\n"
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn replication_block_renders_only_when_counters_fired() {
+        let reg = ids_obs::MetricsRegistry::new();
+        let mut out = String::new();
+        render_replication_block(&mut out, &reg.snapshot());
+        assert!(out.is_empty(), "clean run adds no replication block");
+
+        reg.counter("ids_cache_failover_reads_total").add(2);
+        reg.counter_with("ids_cache_corruptions_detected_total", "source", "cache").add(1);
+        reg.counter_with("ids_cache_repairs_total", "kind", "re_replicate").add(3);
+        reg.counter("ids_cache_anti_entropy_runs_total").add(4);
+        reg.counter("ids_cache_scrubbed_objects_total").add(9);
+        render_replication_block(&mut out, &reg.snapshot());
+        assert!(out.contains("replication & integrity"));
+        assert!(out.contains("2 failover reads"));
+        assert!(out.contains("1 corruptions detected (1 cache, 0 backing)"));
+        assert!(out.contains("4 runs, 9 objects scrubbed, 3 re-replications"));
+    }
 
     #[test]
     fn renders_expressions() {

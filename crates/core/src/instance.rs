@@ -229,6 +229,7 @@ impl IdsInstance {
             &plan,
             &self.config.exec,
             &self.metrics,
+            self.cache.as_deref(),
         )
         .map_err(|e| QueryError::Exec(e.to_string()))
     }

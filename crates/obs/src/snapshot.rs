@@ -117,6 +117,13 @@ impl MetricsSnapshot {
             .unwrap_or(0)
     }
 
+    /// Sum of every series of a counter across its label values — e.g.
+    /// all `ids_faults_injected_total{kind=...}` kinds, or both
+    /// `ids_cache_corruptions_detected_total` sources.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.name == name).map(|(_, v)| *v).sum()
+    }
+
     /// What happened since `earlier`: counters and histogram counts are
     /// subtracted (saturating), gauges and spans keep `self`'s state.
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
@@ -300,6 +307,13 @@ mod tests {
         let d = reg.snapshot().delta(&before);
         assert_eq!(d.counter("ids_cache_lookup_hits_total", "local_dram"), 5);
         assert_eq!(d.counter("ids_cache_lookup_hits_total", "local_nvme"), 0);
+    }
+
+    #[test]
+    fn counter_sum_spans_label_values() {
+        let snap = sample().snapshot();
+        assert_eq!(snap.counter_sum("ids_cache_lookup_hits_total"), 14);
+        assert_eq!(snap.counter_sum("ids_missing_total"), 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! reproducible from its seed and can be compared byte-for-byte against
 //! the fault-free run.
 //!
-//! Four fault classes are modelled:
+//! Five fault classes are modelled:
 //!
 //! * **Node crash/recovery windows** — per cache node, alternating
 //!   exponential up/down durations. While a node is inside a down
@@ -22,6 +22,9 @@
 //!   latency is multiplied up and bandwidth multiplied down.
 //! * **Straggler ranks** — a seeded subset of ranks runs slower by a
 //!   constant factor, applied to their compute-phase busy time.
+//! * **Storage integrity faults** — cache-tier reads can find their copy
+//!   bit-rotted and backing-store writes can land torn; both are caught
+//!   by CRC32 checksums and repaired, never served.
 //!
 //! The plane's cursor only moves at `advance_to` calls (between BSP
 //! phases), so every rank observes the same availability state within a
@@ -71,6 +74,20 @@ pub struct StragglerConfig {
     pub slowdown: f64,
 }
 
+/// Storage-integrity faults: silent corruption of resident cache copies
+/// (bit rot) and torn backing-store writes. Both are *detectable* —
+/// every object carries a CRC32 — so the contract is detect + repair,
+/// never serving corrupt bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageConfig {
+    /// Probability that a single cache-tier read finds its copy
+    /// bit-rotted (checksum mismatch → quarantine + failover).
+    pub bit_rot_prob: f64,
+    /// Probability that a backing-store write lands torn and must be
+    /// re-written after the read-back checksum fails.
+    pub torn_write_prob: f64,
+}
+
 /// Which faults to inject. `FaultConfig::default()` injects nothing.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FaultConfig {
@@ -82,6 +99,8 @@ pub struct FaultConfig {
     pub link: Option<LinkConfig>,
     /// Straggler ranks.
     pub straggler: Option<StragglerConfig>,
+    /// Storage integrity faults (bit rot, torn writes).
+    pub storage: Option<StorageConfig>,
 }
 
 impl FaultConfig {
@@ -104,6 +123,7 @@ impl FaultConfig {
                 bandwidth_mult: 0.25,
             }),
             straggler: Some(StragglerConfig { fraction: 0.25, slowdown: 3.0 }),
+            storage: Some(StorageConfig { bit_rot_prob: 0.02, torn_write_prob: 0.01 }),
         }
     }
 
@@ -128,6 +148,11 @@ impl FaultConfig {
     /// Only straggler ranks.
     pub fn stragglers_only(fraction: f64, slowdown: f64) -> Self {
         Self { straggler: Some(StragglerConfig { fraction, slowdown }), ..Self::default() }
+    }
+
+    /// Only storage-integrity faults (bit rot + torn writes).
+    pub fn storage_only(bit_rot_prob: f64, torn_write_prob: f64) -> Self {
+        Self { storage: Some(StorageConfig { bit_rot_prob, torn_write_prob }), ..Self::default() }
     }
 }
 
@@ -249,10 +274,17 @@ pub struct FaultPlane {
     now: Mutex<f64>,
     /// Per-rank deterministic draw counters (transients + jitter).
     draws: Vec<AtomicU64>,
+    /// Per-node deterministic draw counters for background scrub reads.
+    /// Kept separate from the per-rank streams so anti-entropy passes —
+    /// which may be triggered by *any* rank's call — never perturb the
+    /// rank-indexed draw sequences that make chaos runs reproducible.
+    scrub_draws: Vec<AtomicU64>,
     metrics: MetricsRegistry,
     crash_ctr: Counter,
     transient_ctr: Counter,
     link_ctr: Counter,
+    bit_rot_ctr: Counter,
+    torn_write_ctr: Counter,
 }
 
 /// Exponential draw with the given mean (inverse-CDF method).
@@ -309,6 +341,9 @@ impl FaultPlane {
         let transient_ctr =
             metrics.counter_with("ids_faults_injected_total", "kind", "fam_transient");
         let link_ctr = metrics.counter_with("ids_faults_injected_total", "kind", "link_degrade");
+        let bit_rot_ctr = metrics.counter_with("ids_faults_injected_total", "kind", "bit_rot");
+        let torn_write_ctr =
+            metrics.counter_with("ids_faults_injected_total", "kind", "torn_write");
         metrics.gauge("ids_faults_straggler_ranks").set(straggler_count);
 
         Self {
@@ -320,10 +355,13 @@ impl FaultPlane {
             straggler,
             now: Mutex::new(0.0),
             draws: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            scrub_draws: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             metrics,
             crash_ctr,
             transient_ctr,
             link_ctr,
+            bit_rot_ctr,
+            torn_write_ctr,
         }
     }
 
@@ -442,6 +480,51 @@ impl FaultPlane {
         (self.draw_u64(rank) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Roll bit rot for one cache-tier read by `rank`: the copy it is
+    /// about to serve is found corrupted (checksum mismatch). Drawn from
+    /// the rank's own stream, so read paths stay reproducible.
+    pub fn bit_rot(&self, rank: RankId) -> bool {
+        let Some(s) = self.cfg.storage else { return false };
+        let u = (self.draw_u64(rank) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let fired = u < s.bit_rot_prob;
+        if fired {
+            self.bit_rot_ctr.inc();
+        }
+        fired
+    }
+
+    /// Roll bit rot for one background *scrub* read of a copy resident
+    /// on `node`. Uses the per-node scrub stream — anti-entropy passes
+    /// run from whichever caller crosses the schedule, and must not
+    /// consume rank-indexed draws.
+    pub fn bit_rot_scrub(&self, node: NodeId) -> bool {
+        let Some(s) = self.cfg.storage else { return false };
+        let idx = match self.scrub_draws.get(node.0 as usize) {
+            Some(ctr) => ctr.fetch_add(1, Ordering::Relaxed),
+            None => return false,
+        };
+        let mut rng = SplitMix64::new(self.seed ^ 0x5C6B_0000, ((node.0 as u64) << 32) ^ idx);
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let fired = u < s.bit_rot_prob;
+        if fired {
+            self.bit_rot_ctr.inc();
+        }
+        fired
+    }
+
+    /// Roll a torn write for one backing-store put by `rank`: the write
+    /// lands corrupted, is caught by the read-back checksum, and must be
+    /// re-written (the caller charges the extra write).
+    pub fn torn_write(&self, rank: RankId) -> bool {
+        let Some(s) = self.cfg.storage else { return false };
+        let u = (self.draw_u64(rank) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let fired = u < s.torn_write_prob;
+        if fired {
+            self.torn_write_ctr.inc();
+        }
+        fired
+    }
+
     /// The plane's own metric registry (fault-injection counters).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
@@ -536,8 +619,38 @@ mod tests {
         p.advance_to(100.0);
         assert!(!p.node_down(NodeId(0)));
         assert!(!p.fam_transient(RankId(0)));
+        assert!(!p.bit_rot(RankId(0)));
+        assert!(!p.bit_rot_scrub(NodeId(0)));
+        assert!(!p.torn_write(RankId(0)));
         assert_eq!(p.link_factors(), LinkFactors::NONE);
         assert_eq!(p.straggler_factor(RankId(0)), 1.0);
+    }
+
+    #[test]
+    fn storage_fault_rates_match_probabilities() {
+        let p = FaultPlane::new(13, FaultConfig::storage_only(0.25, 0.1), 4, 4, 10.0);
+        let n = 20_000;
+        let rotted = (0..n).filter(|_| p.bit_rot(RankId(2))).count();
+        let torn = (0..n).filter(|_| p.torn_write(RankId(2))).count();
+        assert!((rotted as f64 / n as f64 - 0.25).abs() < 0.02, "bit-rot rate {rotted}");
+        assert!((torn as f64 / n as f64 - 0.1).abs() < 0.02, "torn-write rate {torn}");
+        let snap = p.metrics().snapshot();
+        assert_eq!(snap.counter("ids_faults_injected_total", "bit_rot"), rotted as u64);
+        assert_eq!(snap.counter("ids_faults_injected_total", "torn_write"), torn as u64);
+    }
+
+    #[test]
+    fn scrub_stream_is_deterministic_and_independent_of_rank_draws() {
+        let mk = || FaultPlane::new(21, FaultConfig::storage_only(0.3, 0.0), 4, 8, 10.0);
+        let (a, b) = (mk(), mk());
+        // Consume rank draws on `a` only: the scrub stream must not move.
+        for _ in 0..100 {
+            a.bit_rot(RankId(1));
+        }
+        let rolls_a: Vec<bool> = (0..64).map(|_| a.bit_rot_scrub(NodeId(2))).collect();
+        let rolls_b: Vec<bool> = (0..64).map(|_| b.bit_rot_scrub(NodeId(2))).collect();
+        assert_eq!(rolls_a, rolls_b, "scrub draws keyed by (node, scrub index) only");
+        assert!(rolls_a.iter().any(|&r| r), "p=0.3 over 64 draws fires");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Phase timeline rendering.
 //!
-//! Turns a cluster's [`PhaseStats`](crate::stats::PhaseStats) history into
+//! Turns a cluster's [`PhaseStats`] history into
 //! a text timeline — the visual the paper's Figure 4(b) breakdown comes
 //! from. Each phase renders as a bar scaled to its critical-path time,
 //! with load-imbalance annotation, so stragglers are visible at a glance.
