@@ -27,4 +27,12 @@ for seed in 1 2 3 4 5 6 7 8; do
   done
 done
 
+echo "==> concurrency chaos matrix (tests/chaos_concurrency.rs, release)"
+for seed in 1 2 3 4 5 6 7 8; do
+  for clients in 4 16; do
+    echo "---- CHAOS_SEED=$seed CHAOS_CONCURRENCY=$clients"
+    CHAOS_SEED=$seed CHAOS_CONCURRENCY=$clients cargo test --release --test chaos_concurrency -q
+  done
+done
+
 echo "CI OK"

@@ -20,6 +20,9 @@
 //!   (the TR-Cache object-ID scheme the paper describes).
 //! * [`policy`] — placement policies (local-first, round-robin,
 //!   capacity-weighted) exercised by the ablation benches.
+//! * [`typed`] — typed intermediate-solution objects: the versioned wire
+//!   format the service layer uses to share per-rank plan checkpoints
+//!   between clients (semantic result reuse).
 
 pub mod backing;
 pub mod error;
@@ -27,6 +30,7 @@ pub mod fam;
 pub mod manager;
 pub mod object;
 pub mod policy;
+pub mod typed;
 
 pub use backing::{BackingStore, VerifiedRead};
 pub use error::CacheError;
@@ -36,3 +40,4 @@ pub use manager::{
 };
 pub use object::{crc32, object_id, ObjectMeta};
 pub use policy::PlacementPolicy;
+pub use typed::{IntermediateSolutions, TypedError, TypedSolutionSet};

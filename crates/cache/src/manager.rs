@@ -246,6 +246,11 @@ struct State {
     /// Names that were cached at least once — a later backing fetch for
     /// one of these is a *re-population*, not cold traffic.
     ever_cached: HashSet<String>,
+    /// Names written via [`CacheManager::put_ephemeral`]: replicated in
+    /// the cache tiers only, never written through to the backing store.
+    /// A get that misses every tier returns `None` immediately instead
+    /// of paying the backing-store RPC — the caller recomputes.
+    ephemeral: HashSet<String>,
     /// Virtual time of the last anti-entropy pass.
     last_anti_entropy: f64,
     /// A node recovered since the last pass: run anti-entropy at the next
@@ -399,6 +404,7 @@ impl CacheManager {
             plane_down: vec![false; cfg.cache_nodes],
             down_since: vec![0.0; cfg.cache_nodes],
             ever_cached: HashSet::new(),
+            ephemeral: HashSet::new(),
             last_anti_entropy: 0.0,
             recovery_pending: false,
         };
@@ -667,8 +673,55 @@ impl CacheManager {
             }
         }
         st.ever_cached.insert(name.to_string());
+        // A durable overwrite upgrades a previously ephemeral name: the
+        // backing copy written above is now authoritative.
+        st.ephemeral.remove(name);
         // Place on up to k live nodes; if every cache node is down the
         // object lives in the backing store only (still durable).
+        let replicas = self.place_live_replicas(&mut st, self.topo.node_of(from));
+        let link = plane.as_ref().map_or(LinkFactors::NONE, |p| p.link_factors());
+        for &node in &replicas {
+            cost += self.dram_transfer(from, node, size) * link.cost_mult();
+            self.insert_dram(&mut st, node, name, data.clone(), crc);
+        }
+        if replicas.len() < self.cfg.replication {
+            self.note_under_replicated(name, replicas.len());
+        }
+        self.debug_check_accounting(&st);
+        cost
+    }
+
+    /// Store a **recomputable** object in the cache tiers only — no
+    /// durable write-through. Placement, replication, checksums, and
+    /// eviction behave exactly like [`CacheManager::put`]; the
+    /// difference is the durability contract. If every cached copy is
+    /// later lost (eviction, crashes, quarantined rot), a
+    /// [`CacheManager::get`] for the name returns `Ok(None)` without
+    /// paying the backing-store round-trip, and the caller recomputes.
+    ///
+    /// This is the right tier for derived intermediates (e.g. semantic
+    /// plan-fragment checkpoints): writing them through to the backing
+    /// store would charge a metadata RPC that can exceed the cost of
+    /// recomputing the fragment outright.
+    pub fn put_ephemeral(&self, from: RankId, name: &str, data: Bytes) -> f64 {
+        let plane = self.faults.lock().clone();
+        let size = data.len() as u64;
+        let crc = crc32(&data);
+        let mut cost = 0.0;
+
+        let mut st = self.state.lock();
+        self.sync_with_plane(&mut st, plane.as_deref());
+        st.clock += 1;
+        // Same overwrite coherence as the durable path.
+        for ni in 0..self.cfg.cache_nodes {
+            if let Some(e) = st.dram[ni].entries.remove(name) {
+                st.dram[ni].used = st.dram[ni].used.saturating_sub(e.data.len() as u64);
+            }
+            if let Some(e) = st.nvme[ni].entries.remove(name) {
+                st.nvme[ni].used = st.nvme[ni].used.saturating_sub(e.data.len() as u64);
+            }
+        }
+        st.ephemeral.insert(name.to_string());
         let replicas = self.place_live_replicas(&mut st, self.topo.node_of(from));
         let link = plane.as_ref().map_or(LinkFactors::NONE, |p| p.link_factors());
         for &node in &replicas {
@@ -711,10 +764,16 @@ impl CacheManager {
         if let Some(old) = st.dram[ni].entries.remove(name) {
             st.dram[ni].used = st.dram[ni].used.saturating_sub(old.data.len() as u64);
         }
-        // Evict LRU to NVMe until the object fits.
+        // Evict LRU to NVMe until the object fits. The invariant is
+        // `used > 0 implies an entry`; if accounting ever drifts (a bug,
+        // not a fault), re-derive `used` and stop evicting rather than
+        // panicking under a concurrent driver.
         while st.dram[ni].used + size > self.cfg.dram_capacity {
-            let victim = st.dram[ni].lru_victim().expect("used > 0 implies an entry");
-            let e = st.dram[ni].entries.remove(&victim).expect("victim present");
+            let Some(victim) = st.dram[ni].lru_victim() else {
+                st.dram[ni].used = st.dram[ni].entries.values().map(|e| e.data.len() as u64).sum();
+                break;
+            };
+            let Some(e) = st.dram[ni].entries.remove(&victim) else { break };
             st.dram[ni].used = st.dram[ni].used.saturating_sub(e.data.len() as u64);
             self.stats.lock().evictions_to_nvme += 1;
             self.metrics.spills.inc();
@@ -739,8 +798,11 @@ impl CacheManager {
             st.nvme[ni].used = st.nvme[ni].used.saturating_sub(old.data.len() as u64);
         }
         while st.nvme[ni].used + size > self.cfg.nvme_capacity {
-            let victim = st.nvme[ni].lru_victim().expect("used > 0 implies an entry");
-            let e = st.nvme[ni].entries.remove(&victim).expect("victim present");
+            let Some(victim) = st.nvme[ni].lru_victim() else {
+                st.nvme[ni].used = st.nvme[ni].entries.values().map(|e| e.data.len() as u64).sum();
+                break;
+            };
+            let Some(e) = st.nvme[ni].entries.remove(&victim) else { break };
             st.nvme[ni].used = st.nvme[ni].used.saturating_sub(e.data.len() as u64);
             self.stats.lock().evictions_dropped += 1;
             self.metrics.evictions_nvme.inc();
@@ -862,7 +924,7 @@ impl CacheManager {
         if crc32(&rotted) == e.crc {
             return false; // unreachable for a real CRC, kept for honesty
         }
-        let removed = tier.entries.remove(name).expect("checked above");
+        let Some(removed) = tier.entries.remove(name) else { return false };
         tier.used = tier.used.saturating_sub(removed.data.len() as u64);
         self.stats.lock().corruptions_detected += 1;
         self.metrics.corruptions_cache.inc();
@@ -957,7 +1019,9 @@ impl CacheManager {
                 quarantined.push(NodeId(ni as u32));
                 continue; // fail over to the next replica
             }
-            let e = st.dram[ni].entries.get_mut(name).expect("checked above");
+            // The entry can only have vanished if the bit-rot probe above
+            // quarantined-but-reported-clean; treat that as a failover.
+            let Some(e) = st.dram[ni].entries.get_mut(name) else { continue };
             e.last_access = clock;
             let tier = if local { Tier::LocalDram } else { Tier::RemoteDram };
             serve = Some((e.data.clone(), e.crc, ni, tier));
@@ -980,7 +1044,7 @@ impl CacheManager {
                     quarantined.push(NodeId(ni as u32));
                     continue;
                 }
-                let e = st.nvme[ni].entries.get_mut(name).expect("checked above");
+                let Some(e) = st.nvme[ni].entries.get_mut(name) else { continue };
                 e.last_access = clock;
                 let tier = if local { Tier::LocalNvme } else { Tier::RemoteNvme };
                 serve = Some((e.data.clone(), e.crc, ni, tier));
@@ -997,7 +1061,9 @@ impl CacheManager {
                     Tier::RemoteDram => stats.remote_dram_hits += 1,
                     Tier::LocalNvme => stats.local_nvme_hits += 1,
                     Tier::RemoteNvme => stats.remote_nvme_hits += 1,
-                    Tier::Backing => unreachable!("cache-tier serve"),
+                    // `serve` is only ever built from cache tiers; count a
+                    // backing tag defensively instead of panicking.
+                    Tier::Backing => stats.backing_fetches += 1,
                 }
                 if failover {
                     stats.failover_reads += 1;
@@ -1040,6 +1106,16 @@ impl CacheManager {
             if let Some(node) = fenced {
                 return Err(CacheError::NodeDown { node, spent_secs: spent });
             }
+        }
+
+        // Ephemeral objects have no authoritative backing copy: once no
+        // cache tier can serve one it is simply gone, and the directory
+        // lookup above already established that. Report a miss without
+        // the backing-store RPC — the caller recomputes.
+        if st.ephemeral.contains(name) {
+            self.stats.lock().total_misses += 1;
+            self.metrics.misses.inc();
+            return Ok(None);
         }
 
         // Backing store: authoritative, checksum-verified fallback +
@@ -1258,13 +1334,13 @@ impl CacheManager {
                 })
                 .collect();
             let Some(&src) = holders.first() else { continue };
-            let (data, crc) = {
-                let e = st.dram[src]
-                    .entries
-                    .get(name)
-                    .or_else(|| st.nvme[src].entries.get(name))
-                    .expect("holder has a copy");
-                (e.data.clone(), e.crc)
+            let Some((data, crc)) = st.dram[src]
+                .entries
+                .get(name)
+                .or_else(|| st.nvme[src].entries.get(name))
+                .map(|e| (e.data.clone(), e.crc))
+            else {
+                continue; // holder lost its copy between scans
             };
 
             // 2. Backing integrity: a torn/rotted authoritative copy is
@@ -1356,6 +1432,34 @@ mod tests {
         assert_eq!(data.len(), 1000);
         assert_eq!(out.tier, Tier::LocalDram);
         assert_eq!(c.stats().local_dram_hits, 1);
+    }
+
+    #[test]
+    fn ephemeral_objects_skip_the_backing_store() {
+        let c = cache(1 << 20, 1 << 22);
+        let cold_miss = c.get(RankId(0), "reuse/unknown").unwrap();
+        assert!(cold_miss.is_none());
+
+        // An ephemeral put serves from cache tiers like a durable one...
+        c.put_ephemeral(RankId(0), "reuse/frag", payload(1000, 7));
+        let (data, out) = c.get(RankId(0), "reuse/frag").unwrap().unwrap();
+        assert_eq!(data.len(), 1000);
+        assert_eq!(out.tier, Tier::LocalDram);
+
+        // ...but once every cached copy is gone the object is gone too:
+        // no backing fallback, no backing fetch metered, zero read cost.
+        let fetches_before = c.stats().backing_fetches;
+        c.invalidate("reuse/frag");
+        let miss = c.get(RankId(0), "reuse/frag").unwrap();
+        assert!(miss.is_none(), "ephemeral objects must not survive in backing");
+        assert_eq!(c.stats().backing_fetches, fetches_before);
+
+        // A later durable put of the same name upgrades it.
+        c.put(RankId(0), "reuse/frag", payload(500, 8));
+        c.invalidate("reuse/frag");
+        let (data, out) = c.get(RankId(0), "reuse/frag").unwrap().unwrap();
+        assert_eq!(data.len(), 500);
+        assert_eq!(out.tier, Tier::Backing);
     }
 
     #[test]

@@ -78,11 +78,10 @@ impl PlacementPolicy {
             PlacementPolicy::CapacityWeighted => {
                 // Deterministic tie-break: most free bytes, then lowest
                 // node index (Reverse(i) inside max_by_key).
-                let best = live_nodes
+                live_nodes
                     .into_iter()
                     .max_by_key(|&i| (free_bytes[i], std::cmp::Reverse(i)))
-                    .expect("non-empty live set");
-                Some(NodeId(best as u32))
+                    .map(|best| NodeId(best as u32))
             }
         }
     }

@@ -1,0 +1,310 @@
+//! Typed cache objects for semantic result reuse.
+//!
+//! The service layer (ids-serve) caches *intermediate solution sets* —
+//! the per-rank binding tables an executing plan holds at a checkpoint —
+//! keyed by a canonical plan-fragment fingerprint. This module defines the
+//! wire format those objects use inside the byte-addressed cache tiers:
+//! a versioned, length-checked, little-endian encoding that round-trips
+//! the per-rank partitioning exactly, so a query resumed from a cached
+//! checkpoint produces byte-identical output to one that executed the
+//! fragment itself.
+//!
+//! Decoding is total: corrupt or truncated bytes (possible under the
+//! storage fault plane before checksums catch them) surface as a
+//! [`TypedError`], never a panic, and callers treat them as cache misses.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Magic prefix for intermediate-solution objects (`IDSI` little-endian).
+const MAGIC: u32 = 0x4953_4449;
+/// Current encoding version.
+const VERSION: u16 = 1;
+/// Hard cap on declared counts, so corrupt headers cannot trigger huge
+/// allocations before the length checks run.
+const MAX_DECLARED: u64 = 1 << 32;
+
+/// One column-named binding table, mirroring `ids_graph::SolutionSet` but
+/// decoupled from it so the cache crate stays reusable: rows are dense
+/// `u64` term ids in schema order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypedSolutionSet {
+    /// Variable (column) names, in canonical fragment naming.
+    pub vars: Vec<String>,
+    /// Rows of dictionary-encoded term ids; every row has `vars.len()` entries.
+    pub rows: Vec<Vec<u64>>,
+}
+
+/// A per-rank-partitioned set of intermediate solutions at a plan
+/// checkpoint, plus the bookkeeping the engine needs to resume past it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntermediateSolutions {
+    /// Fingerprint of the plan fragment that produced this state. Verified
+    /// on load so a (vanishingly unlikely) key collision is detected
+    /// instead of silently resuming from a foreign query's state.
+    pub fingerprint: u64,
+    /// Per-rank solution counts *before* the WHERE filter ran — needed by
+    /// EXPLAIN's selectivity accounting when the filter stage is skipped.
+    pub pre_filter_counts: Vec<u64>,
+    /// One entry per rank, in rank order.
+    pub sets: Vec<TypedSolutionSet>,
+}
+
+/// Why a typed object failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypedError {
+    /// The buffer does not start with the expected magic/version.
+    BadHeader,
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// A declared length is implausible (corrupt header).
+    LengthOverflow,
+    /// A variable name was not valid UTF-8.
+    BadVarName,
+    /// The object decoded, but carries a different fragment fingerprint
+    /// than the caller expected (cache-key collision).
+    FingerprintMismatch {
+        /// Fingerprint the caller looked up.
+        expected: u64,
+        /// Fingerprint stored in the object.
+        found: u64,
+    },
+}
+
+impl fmt::Display for TypedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypedError::BadHeader => write!(f, "typed object: bad magic or version"),
+            TypedError::Truncated => write!(f, "typed object: truncated payload"),
+            TypedError::LengthOverflow => write!(f, "typed object: implausible declared length"),
+            TypedError::BadVarName => write!(f, "typed object: non-UTF-8 variable name"),
+            TypedError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "typed object: fingerprint mismatch (expected {expected:#018x}, found {found:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TypedError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TypedError> {
+        let end = self.pos.checked_add(n).ok_or(TypedError::LengthOverflow)?;
+        if end > self.buf.len() {
+            return Err(TypedError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u16(&mut self) -> Result<u16, TypedError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, TypedError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, TypedError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// A declared element count, sanity-capped and checked against the
+    /// bytes actually remaining (each element occupies ≥ `min_elem_bytes`).
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, TypedError> {
+        let n = self.u64()?;
+        if n > MAX_DECLARED {
+            return Err(TypedError::LengthOverflow);
+        }
+        let need = (n as usize).checked_mul(min_elem_bytes).ok_or(TypedError::LengthOverflow)?;
+        if self.buf.len() - self.pos < need {
+            return Err(TypedError::Truncated);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl IntermediateSolutions {
+    /// Serialize to the versioned wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(64 + self.byte_estimate());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&(self.pre_filter_counts.len() as u64).to_le_bytes());
+        for &c in &self.pre_filter_counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.sets.len() as u64).to_le_bytes());
+        for set in &self.sets {
+            out.extend_from_slice(&(set.vars.len() as u16).to_le_bytes());
+            for v in &set.vars {
+                out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+                out.extend_from_slice(v.as_bytes());
+            }
+            out.extend_from_slice(&(set.rows.len() as u64).to_le_bytes());
+            for row in &set.rows {
+                debug_assert_eq!(row.len(), set.vars.len(), "row width must match schema");
+                for &t in row {
+                    out.extend_from_slice(&t.to_le_bytes());
+                }
+            }
+        }
+        Bytes::from(out)
+    }
+
+    /// Parse from bytes, verifying structure and the expected fragment
+    /// fingerprint. Never panics on malformed input.
+    pub fn decode(bytes: &[u8], expected_fingerprint: u64) -> Result<Self, TypedError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.u32()? != MAGIC || r.u16()? != VERSION {
+            return Err(TypedError::BadHeader);
+        }
+        let fingerprint = r.u64()?;
+        if fingerprint != expected_fingerprint {
+            return Err(TypedError::FingerprintMismatch {
+                expected: expected_fingerprint,
+                found: fingerprint,
+            });
+        }
+        let n_pre = r.count(8)?;
+        let mut pre_filter_counts = Vec::with_capacity(n_pre);
+        for _ in 0..n_pre {
+            pre_filter_counts.push(r.u64()?);
+        }
+        let n_sets = r.count(2)?;
+        let mut sets = Vec::with_capacity(n_sets);
+        for _ in 0..n_sets {
+            let n_vars = r.u16()? as usize;
+            let mut vars = Vec::with_capacity(n_vars);
+            for _ in 0..n_vars {
+                let len = r.u16()? as usize;
+                let raw = r.take(len)?;
+                vars.push(
+                    std::str::from_utf8(raw).map_err(|_| TypedError::BadVarName)?.to_string(),
+                );
+            }
+            let n_rows = r.count(n_vars.max(1) * 8)?;
+            let mut rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                let mut row = Vec::with_capacity(n_vars);
+                for _ in 0..n_vars {
+                    row.push(r.u64()?);
+                }
+                rows.push(row);
+            }
+            sets.push(TypedSolutionSet { vars, rows });
+        }
+        Ok(Self { fingerprint, pre_filter_counts, sets })
+    }
+
+    /// Total bindings across all ranks.
+    pub fn total_rows(&self) -> usize {
+        self.sets.iter().map(|s| s.rows.len()).sum()
+    }
+
+    /// Rough payload size (8 bytes per binding), used for cache-admission
+    /// caps before paying the encode.
+    pub fn byte_estimate(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| {
+                s.rows.len() * s.vars.len() * 8 + s.vars.iter().map(String::len).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IntermediateSolutions {
+        IntermediateSolutions {
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            pre_filter_counts: vec![3, 1, 0, 7],
+            sets: vec![
+                TypedSolutionSet {
+                    vars: vec!["c0".into(), "c1".into()],
+                    rows: vec![vec![1, 2], vec![3, 4], vec![5, 6]],
+                },
+                TypedSolutionSet { vars: vec!["c0".into(), "c1".into()], rows: vec![] },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let obj = sample();
+        let bytes = obj.encode();
+        let back = IntermediateSolutions::decode(&bytes, obj.fingerprint).unwrap();
+        assert_eq!(back, obj);
+        assert_eq!(back.total_rows(), 3);
+    }
+
+    #[test]
+    fn empty_object_round_trips() {
+        let obj = IntermediateSolutions { fingerprint: 1, pre_filter_counts: vec![], sets: vec![] };
+        let bytes = obj.encode();
+        assert_eq!(IntermediateSolutions::decode(&bytes, 1).unwrap(), obj);
+    }
+
+    #[test]
+    fn fingerprint_collision_is_detected() {
+        let bytes = sample().encode();
+        match IntermediateSolutions::decode(&bytes, 42) {
+            Err(TypedError::FingerprintMismatch { expected: 42, found }) => {
+                assert_eq!(found, 0xDEAD_BEEF_CAFE_F00D);
+            }
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let obj = sample();
+        let bytes = obj.encode();
+        for cut in 0..bytes.len() {
+            let r = IntermediateSolutions::decode(&bytes[..cut], obj.fingerprint);
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let obj = sample();
+        let bytes = obj.encode().to_vec();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x80;
+            // Any outcome is fine except a panic; most flips must error or
+            // decode to *something* structurally valid.
+            let _ = IntermediateSolutions::decode(&corrupt, obj.fingerprint);
+        }
+    }
+
+    #[test]
+    fn implausible_counts_rejected_without_allocation() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&7u64.to_le_bytes());
+        out.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd pre-count
+        assert!(matches!(
+            IntermediateSolutions::decode(&out, 7),
+            Err(TypedError::Truncated) | Err(TypedError::LengthOverflow)
+        ));
+    }
+}

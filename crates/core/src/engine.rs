@@ -20,7 +20,7 @@
 use crate::binding::RowBindings;
 use crate::datastore::Datastore;
 use crate::planner::{PhysicalPlan, PhysicalStage};
-use ids_cache::CacheManager;
+use ids_cache::{CacheManager, IntermediateSolutions, TypedSolutionSet};
 use ids_graph::ops as gops;
 use ids_graph::{SolutionSet, TermId};
 use ids_obs::MetricsRegistry;
@@ -32,7 +32,7 @@ use ids_udf::{
     UdfRegistry,
 };
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -293,12 +293,663 @@ fn anti_entropy_tick(cache: Option<&CacheManager>, metrics: &MetricsRegistry, at
     }
 }
 
+/// One plan-fragment checkpoint for semantic result reuse: where in the
+/// shared cache the intermediate state for a canonical fragment lives, and
+/// how to translate between this query's variable names and the canonical
+/// schema the cached object uses.
+#[derive(Debug, Clone)]
+pub struct ReuseCheckpoint {
+    /// Cache object name. Callers salt it with everything outside the
+    /// query text that determines the intermediate state (rank count,
+    /// datastore identity, result-affecting exec options).
+    pub key: String,
+    /// Canonical fragment fingerprint, stored inside the typed object and
+    /// verified on load so a key collision is detected, never resumed from.
+    pub fingerprint: u64,
+    /// Metrics label (`"bgp"`, `"where"`, `"stage0"`, …).
+    pub label: String,
+    /// This query's variable name → canonical name for the fragment.
+    pub rename: BTreeMap<String, String>,
+}
+
+/// The checkpoint schedule for a [`PlanRun`]: which execution prefixes may
+/// be loaded from / stored to the shared cache. Built by the service layer
+/// from [`crate::iql::checkpoint_fragments`]; the engine itself knows
+/// nothing about IQL canonicalization.
+#[derive(Debug, Clone)]
+pub struct ReusePlan {
+    /// State after the basic graph pattern (scans + joins).
+    pub after_bgp: Option<ReuseCheckpoint>,
+    /// State after the WHERE filter (`None` when the query has no filter).
+    pub after_where: Option<ReuseCheckpoint>,
+    /// State after each post-WHERE stage (aligned with `plan.stages`).
+    pub after_stage: Vec<Option<ReuseCheckpoint>>,
+    /// Intermediates larger than this are not cached (admission cap).
+    pub max_object_bytes: usize,
+}
+
+impl ReusePlan {
+    /// Default admission cap for cached intermediates.
+    pub const DEFAULT_MAX_OBJECT_BYTES: usize = 16 << 20;
+}
+
+/// Where a [`PlanRun`] currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunPhase {
+    /// About to execute pattern `i` (scan + join with prior state).
+    Pattern(usize),
+    /// About to run the WHERE filter (no-op if the plan has none).
+    WhereFilter,
+    /// About to run post-WHERE stage `i`.
+    Stage(usize),
+    /// About to gather, order, project, and finish.
+    Gather,
+    /// Finished; `step` must not be called again.
+    Done,
+}
+
+/// Result of one [`PlanRun::step`].
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// More stages remain; call `step` again.
+    Pending,
+    /// The query finished.
+    Done(QueryOutcome),
+}
+
+/// A resumable plan execution: the same scan → join → filter → apply →
+/// gather pipeline as [`execute_plan`], broken at stage granularity so a
+/// scheduler can interleave many in-flight queries over one cluster's
+/// virtual clock. Each [`PlanRun::step`] runs exactly one pipeline stage
+/// (one or two collectives) and returns; the run owns all intermediate
+/// state, while cluster / datastore / profilers are borrowed per call so
+/// several runs can share them.
+///
+/// With a [`ReusePlan`] attached, the first step probes the shared cache
+/// for the longest already-computed fragment prefix (semantic result
+/// reuse) and resumes past it; completed checkpoints are stored back so
+/// later overlapping queries can do the same.
+pub struct PlanRun {
+    plan: PhysicalPlan,
+    opts: ExecOptions,
+    reuse: Option<ReusePlan>,
+    phase: RunPhase,
+    started: bool,
+    t0: f64,
+    sets: Option<Vec<SolutionSet>>,
+    breakdown: StageBreakdown,
+    annotations: Vec<ErrorAnnotation>,
+    pre_filter_counts: Vec<u64>,
+    /// Checkpoint ordinal the run resumed from (−1 = cold). Checkpoints at
+    /// or below this ordinal are already in the cache and are not rewritten.
+    resume_ordinal: i64,
+}
+
+/// Checkpoint ordinals: BGP = 0, WHERE = 1, stage i = 2 + i.
+fn stage_ordinal(i: usize) -> i64 {
+    2 + i as i64
+}
+
+impl PlanRun {
+    /// Prepare a run. Nothing executes until the first [`Self::step`].
+    pub fn new(plan: PhysicalPlan, opts: ExecOptions, reuse: Option<ReusePlan>) -> Self {
+        Self {
+            plan,
+            opts,
+            reuse,
+            phase: RunPhase::Pattern(0),
+            started: false,
+            t0: 0.0,
+            sets: None,
+            breakdown: StageBreakdown::default(),
+            annotations: Vec::new(),
+            pre_filter_counts: Vec::new(),
+            resume_ordinal: -1,
+        }
+    }
+
+    /// Has the run produced its outcome?
+    pub fn is_done(&self) -> bool {
+        self.phase == RunPhase::Done
+    }
+
+    /// Label of the next stage to execute (stable across runs — part of
+    /// the scheduler trace).
+    pub fn phase_label(&self) -> String {
+        match self.phase {
+            RunPhase::Pattern(i) => format!("pattern{i}"),
+            RunPhase::WhereFilter => "where-filter".to_string(),
+            RunPhase::Stage(i) => format!("stage{i}"),
+            RunPhase::Gather => "gather".to_string(),
+            RunPhase::Done => "done".to_string(),
+        }
+    }
+
+    /// Checkpoint ordinal this run resumed from (−1 when it started cold)
+    /// — `0` = after-BGP, `1` = after-WHERE, `2 + i` = after stage `i`.
+    pub fn resumed_from(&self) -> i64 {
+        self.resume_ordinal
+    }
+
+    /// Execute the next pipeline stage. Returns [`StepOutcome::Done`] with
+    /// the query outcome after the gather stage; stepping a finished run
+    /// is an error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step(
+        &mut self,
+        cluster: &mut Cluster,
+        ds: &Datastore,
+        registry: &UdfRegistry,
+        profilers: &mut [UdfProfiler],
+        metrics: &MetricsRegistry,
+        cache: Option<&CacheManager>,
+    ) -> Result<StepOutcome, ExecError> {
+        let ranks = cluster.topology().total_ranks() as usize;
+        if !self.started {
+            self.begin(cluster, ds, profilers, metrics, cache, ranks)?;
+        }
+        match self.phase {
+            RunPhase::Pattern(i) => {
+                self.step_pattern(i, cluster, ds, metrics, cache, ranks)?;
+                Ok(StepOutcome::Pending)
+            }
+            RunPhase::WhereFilter => {
+                self.step_where(cluster, ds, registry, profilers, metrics, cache)?;
+                Ok(StepOutcome::Pending)
+            }
+            RunPhase::Stage(i) => {
+                self.step_stage(i, cluster, ds, registry, profilers, metrics, cache)?;
+                Ok(StepOutcome::Pending)
+            }
+            RunPhase::Gather => {
+                let outcome = self.step_gather(cluster, ds, metrics, cache, ranks)?;
+                Ok(StepOutcome::Done(outcome))
+            }
+            RunPhase::Done => {
+                Err(ExecError { message: "step called on a completed plan run".to_string() })
+            }
+        }
+    }
+
+    fn begin(
+        &mut self,
+        cluster: &mut Cluster,
+        ds: &Datastore,
+        profilers: &[UdfProfiler],
+        metrics: &MetricsRegistry,
+        cache: Option<&CacheManager>,
+        ranks: usize,
+    ) -> Result<(), ExecError> {
+        // Precondition violations are reportable errors, not panics: under
+        // the concurrent service driver a misconfigured client must not
+        // take the process down.
+        if profilers.len() != ranks {
+            return Err(ExecError {
+                message: format!(
+                    "one profiler per rank required: {} profilers for {ranks} ranks",
+                    profilers.len()
+                ),
+            });
+        }
+        if ds.num_shards() != ranks {
+            return Err(ExecError {
+                message: format!(
+                    "datastore sharding must match the cluster: {} shards for {ranks} ranks",
+                    ds.num_shards()
+                ),
+            });
+        }
+        self.started = true;
+        self.t0 = cluster.elapsed();
+        metrics.counter("ids_engine_queries_total").inc();
+
+        // Semantic reuse probe: longest already-cached prefix wins.
+        let Some(reuse) = self.reuse.clone() else { return Ok(()) };
+        let Some(cache) = cache else { return Ok(()) };
+        let mut candidates: Vec<(i64, &ReuseCheckpoint)> = Vec::new();
+        for (i, cp) in reuse.after_stage.iter().enumerate().rev() {
+            if let Some(cp) = cp {
+                candidates.push((stage_ordinal(i), cp));
+            }
+        }
+        if let Some(cp) = &reuse.after_where {
+            candidates.push((1, cp));
+        }
+        if let Some(cp) = &reuse.after_bgp {
+            candidates.push((0, cp));
+        }
+        for (ord, cp) in candidates {
+            let miss =
+                || metrics.counter_with("ids_reuse_misses_total", "checkpoint", cp.label.clone());
+            match cache.get(RankId(0), &cp.key) {
+                Err(e) => {
+                    // A failing probe charges what it spent and falls back
+                    // to executing the fragment — reuse is best-effort.
+                    cluster.charge_all(e.spent_secs());
+                    miss().inc();
+                }
+                Ok(None) => miss().inc(),
+                Ok(Some((bytes, out))) => {
+                    cluster.charge_all(out.virtual_secs);
+                    match load_checkpoint(&bytes, cp, ranks) {
+                        None => miss().inc(),
+                        Some((sets, pre_counts)) => {
+                            let rows: u64 = sets.iter().map(|s| s.len() as u64).sum();
+                            metrics
+                                .counter_with(
+                                    "ids_reuse_hits_total",
+                                    "checkpoint",
+                                    cp.label.clone(),
+                                )
+                                .inc();
+                            metrics.counter("ids_reuse_rows_restored_total").add(rows);
+                            metrics.spans().record(
+                                "reuse",
+                                format!("resumed at {} ({rows} rows)", cp.label),
+                                cluster.elapsed(),
+                                cluster.elapsed(),
+                            );
+                            self.sets = Some(sets);
+                            self.pre_filter_counts = pre_counts;
+                            self.resume_ordinal = ord;
+                            self.phase = match ord {
+                                0 => RunPhase::WhereFilter,
+                                1 if self.plan.stages.is_empty() => RunPhase::Gather,
+                                1 => RunPhase::Stage(0),
+                                n => {
+                                    let i = (n - 2) as usize;
+                                    if i + 1 < self.plan.stages.len() {
+                                        RunPhase::Stage(i + 1)
+                                    } else {
+                                        RunPhase::Gather
+                                    }
+                                }
+                            };
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Store the checkpoint with ordinal `ord` (if scheduled, not already
+    /// cached, and the state is clean). Cache traffic is charged to the
+    /// whole job's clock.
+    fn maybe_store(
+        &self,
+        ord: i64,
+        cluster: &mut Cluster,
+        metrics: &MetricsRegistry,
+        cache: Option<&CacheManager>,
+    ) {
+        let Some(reuse) = &self.reuse else { return };
+        let Some(cache) = cache else { return };
+        if ord <= self.resume_ordinal {
+            return; // this prefix came *from* the cache
+        }
+        let cp = match ord {
+            0 => reuse.after_bgp.as_ref(),
+            1 => reuse.after_where.as_ref(),
+            n => reuse.after_stage.get((n - 2) as usize).and_then(Option::as_ref),
+        };
+        let Some(cp) = cp else { return };
+        // Degraded intermediates are partial — never share them.
+        if !self.annotations.is_empty() {
+            return;
+        }
+        let Some(sets) = &self.sets else { return };
+        let mut typed_sets = Vec::with_capacity(sets.len());
+        for s in sets {
+            let mut vars = Vec::with_capacity(s.vars().len());
+            for v in s.vars() {
+                match cp.rename.get(v) {
+                    Some(c) => vars.push(c.clone()),
+                    None => return, // schema var outside the fragment scope
+                }
+            }
+            typed_sets.push(TypedSolutionSet {
+                vars,
+                rows: s.rows().iter().map(|r| r.iter().map(|t| t.raw()).collect()).collect(),
+            });
+        }
+        let obj = IntermediateSolutions {
+            fingerprint: cp.fingerprint,
+            pre_filter_counts: self.pre_filter_counts.clone(),
+            sets: typed_sets,
+        };
+        if obj.byte_estimate() > reuse.max_object_bytes {
+            metrics
+                .counter_with("ids_reuse_skipped_total", "reason", "too-large".to_string())
+                .inc();
+            return;
+        }
+        // Checkpoints are recomputable intermediates: replicate them in
+        // the cache tiers only. A durable write-through would pay a
+        // backing-store RPC that can exceed the fragment's own cost.
+        let cost = cache.put_ephemeral(RankId(0), &cp.key, obj.encode());
+        cluster.charge_all(cost);
+        metrics.counter_with("ids_reuse_stores_total", "checkpoint", cp.label.clone()).inc();
+    }
+
+    fn step_pattern(
+        &mut self,
+        i: usize,
+        cluster: &mut Cluster,
+        ds: &Datastore,
+        metrics: &MetricsRegistry,
+        cache: Option<&CacheManager>,
+        ranks: usize,
+    ) -> Result<(), ExecError> {
+        if let Some(pat) = self.plan.patterns.get(i) {
+            if pat.impossible {
+                let vars: Vec<String> = pat.variables().iter().map(|s| s.to_string()).collect();
+                self.sets = Some(vec![SolutionSet::empty(vars); ranks]);
+            } else {
+                // Scan phase.
+                let opts = self.opts;
+                let scan_start = cluster.elapsed();
+                let scanned: Vec<SolutionSet> = cluster.execute("scan", |ctx| {
+                    let shard = ctx.rank().index();
+                    let triples = ds.scan_shard(shard, &pat.pattern);
+                    ctx.charge(1.0e-5 + triples.len() as f64 * opts.scan_secs_per_triple);
+                    ctx.count("triples_scanned", triples.len() as u64);
+                    gops::scan_to_solutions(
+                        &pat.pattern,
+                        pat.var_s.as_deref(),
+                        pat.var_p.as_deref(),
+                        pat.var_o.as_deref(),
+                        &triples,
+                    )
+                });
+                cluster.barrier();
+                let scan_end = cluster.elapsed();
+                self.breakdown.scan_secs += scan_end - scan_start;
+                let scanned_rows: usize = scanned.iter().map(SolutionSet::len).sum();
+                record_stage(metrics, "scan", scan_start, scan_end, format!("{scanned_rows} rows"));
+                anti_entropy_tick(cache, metrics, scan_end);
+
+                self.sets = Some(match self.sets.take() {
+                    None => scanned,
+                    Some(existing) => {
+                        let join_start = cluster.elapsed();
+                        let joined = distributed_join(cluster, existing, scanned, &self.opts)?;
+                        let join_end = cluster.elapsed();
+                        self.breakdown.join_secs += join_end - join_start;
+                        let joined_rows: usize = joined.iter().map(SolutionSet::len).sum();
+                        record_stage(
+                            metrics,
+                            "join",
+                            join_start,
+                            join_end,
+                            format!("{joined_rows} rows"),
+                        );
+                        anti_entropy_tick(cache, metrics, join_end);
+                        joined
+                    }
+                });
+            }
+        }
+        if i + 1 < self.plan.patterns.len() {
+            self.phase = RunPhase::Pattern(i + 1);
+        } else {
+            // End of BGP: normalize the no-pattern case, capture the
+            // pre-filter counts, checkpoint, and move on.
+            if self.sets.is_none() {
+                // No patterns: a single empty-schema row on rank 0 lets
+                // constant filters and APPLY stages still run once.
+                let mut v = vec![SolutionSet::empty(vec![]); ranks];
+                v[0].push(vec![]);
+                self.sets = Some(v);
+            }
+            self.pre_filter_counts = self
+                .sets
+                .as_ref()
+                .map_or_else(Vec::new, |s| s.iter().map(|set| set.len() as u64).collect());
+            self.maybe_store(0, cluster, metrics, cache);
+            self.phase = RunPhase::WhereFilter;
+        }
+        Ok(())
+    }
+
+    fn step_where(
+        &mut self,
+        cluster: &mut Cluster,
+        ds: &Datastore,
+        registry: &UdfRegistry,
+        profilers: &mut [UdfProfiler],
+        metrics: &MetricsRegistry,
+        cache: Option<&CacheManager>,
+    ) -> Result<(), ExecError> {
+        if let Some(filter) = &self.plan.where_filter {
+            let solutions = self.sets.take().unwrap_or_default();
+            let t = cluster.elapsed();
+            let filtered = run_filter_stage(
+                cluster,
+                ds,
+                registry,
+                profilers,
+                solutions,
+                filter,
+                &self.opts,
+                &mut self.breakdown,
+                "filter",
+                metrics,
+                &mut self.annotations,
+            )?;
+            let end = cluster.elapsed();
+            self.breakdown.filter_secs += end - t - take_rebalance_delta(&mut self.breakdown);
+            let kept: usize = filtered.iter().map(SolutionSet::len).sum();
+            record_stage(metrics, "filter", t, end, format!("{kept} rows kept"));
+            anti_entropy_tick(cache, metrics, end);
+            self.sets = Some(filtered);
+            self.maybe_store(1, cluster, metrics, cache);
+        }
+        self.phase =
+            if self.plan.stages.is_empty() { RunPhase::Gather } else { RunPhase::Stage(0) };
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors step()'s executor context
+    fn step_stage(
+        &mut self,
+        i: usize,
+        cluster: &mut Cluster,
+        ds: &Datastore,
+        registry: &UdfRegistry,
+        profilers: &mut [UdfProfiler],
+        metrics: &MetricsRegistry,
+        cache: Option<&CacheManager>,
+    ) -> Result<(), ExecError> {
+        let stage = self.plan.stages[i].clone();
+        let solutions = self.sets.take().unwrap_or_default();
+        match &stage {
+            PhysicalStage::Filter(expr) => {
+                let t = cluster.elapsed();
+                let filtered = run_filter_stage(
+                    cluster,
+                    ds,
+                    registry,
+                    profilers,
+                    solutions,
+                    expr,
+                    &self.opts,
+                    &mut self.breakdown,
+                    "stage-filter",
+                    metrics,
+                    &mut self.annotations,
+                )?;
+                let end = cluster.elapsed();
+                self.breakdown.filter_secs += end - t - take_rebalance_delta(&mut self.breakdown);
+                let kept: usize = filtered.iter().map(SolutionSet::len).sum();
+                record_stage(metrics, "filter", t, end, format!("{kept} rows kept"));
+                anti_entropy_tick(cache, metrics, end);
+                self.sets = Some(filtered);
+            }
+            PhysicalStage::Apply { udf, args, bind_as } => {
+                let t = cluster.elapsed();
+                let applied = run_apply_stage(
+                    cluster,
+                    ds,
+                    registry,
+                    profilers,
+                    solutions,
+                    udf,
+                    args,
+                    bind_as,
+                    &self.opts,
+                    &mut self.breakdown,
+                    metrics,
+                    &mut self.annotations,
+                )?;
+                let end = cluster.elapsed();
+                let spent = end - t - take_rebalance_delta(&mut self.breakdown);
+                *self.breakdown.apply_secs.entry(udf.clone()).or_insert(0.0) += spent;
+                record_stage(metrics, "apply", t, end, udf.clone());
+                anti_entropy_tick(cache, metrics, end);
+                self.sets = Some(applied);
+            }
+        }
+        self.maybe_store(stage_ordinal(i), cluster, metrics, cache);
+        self.phase =
+            if i + 1 < self.plan.stages.len() { RunPhase::Stage(i + 1) } else { RunPhase::Gather };
+        Ok(())
+    }
+
+    fn step_gather(
+        &mut self,
+        cluster: &mut Cluster,
+        ds: &Datastore,
+        metrics: &MetricsRegistry,
+        cache: Option<&CacheManager>,
+        ranks: usize,
+    ) -> Result<QueryOutcome, ExecError> {
+        let solutions = self.sets.take().unwrap_or_default();
+        let gather_start = cluster.elapsed();
+        let total_bytes: u64 = solutions.iter().map(SolutionSet::byte_size).sum();
+        cluster.allgather_cost(total_bytes / ranks.max(1) as u64);
+        self.breakdown.gather_secs = cluster.elapsed() - gather_start;
+        record_stage(
+            metrics,
+            "gather",
+            gather_start,
+            cluster.elapsed(),
+            format!("{total_bytes} bytes"),
+        );
+        anti_entropy_tick(cache, metrics, cluster.elapsed());
+
+        let plan = &self.plan;
+        let mut gathered = gops::merge(solutions);
+        // ORDER BY runs before projection so the sort variable need not be
+        // projected; DISTINCT and LIMIT run after, on the final shape.
+        if let Some((var, descending)) = &plan.order_by {
+            let idx = gathered.var_index(var).ok_or_else(|| ExecError {
+                message: format!("ORDER BY variable ?{var} is never bound"),
+            })?;
+            let dict = ds.dictionary();
+            let mut rows = gathered.take_rows();
+            rows.sort_by(|a, b| {
+                let ta = dict.decode(a[idx]);
+                let tb = dict.decode(b[idx]);
+                let ord = compare_terms(ta.as_ref(), tb.as_ref());
+                if *descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            let vars = gathered.vars().to_vec();
+            gathered = SolutionSet::new(vars, rows);
+        }
+        if !plan.select.is_empty() {
+            let cols: Vec<&str> = plan.select.iter().map(String::as_str).collect();
+            for c in &cols {
+                if gathered.var_index(c).is_none() {
+                    return Err(ExecError {
+                        message: format!("projected variable ?{c} is never bound"),
+                    });
+                }
+            }
+            gathered = gops::project(&gathered, &cols);
+        }
+        if plan.distinct {
+            gathered = gops::distinct(&gathered);
+        }
+        if let Some(limit) = plan.limit {
+            let vars = gathered.vars().to_vec();
+            let rows: Vec<Vec<TermId>> = gathered.rows().iter().take(limit).cloned().collect();
+            gathered = SolutionSet::new(vars, rows);
+        }
+
+        let elapsed_secs = cluster.elapsed() - self.t0;
+        metrics.histogram("ids_engine_query_secs").observe(elapsed_secs);
+        metrics.spans().record(
+            "query",
+            format!("{} solutions", gathered.len()),
+            self.t0,
+            cluster.elapsed(),
+        );
+        let annotations = std::mem::take(&mut self.annotations);
+        if !annotations.is_empty() {
+            metrics.counter("ids_engine_degraded_queries_total").inc();
+            let dropped: u64 = annotations.iter().map(|a| a.rows_dropped).sum();
+            metrics.spans().record(
+                "degraded",
+                format!("{} annotations, {dropped} rows dropped", annotations.len()),
+                self.t0,
+                cluster.elapsed(),
+            );
+        }
+        self.phase = RunPhase::Done;
+
+        Ok(QueryOutcome {
+            solutions: gathered,
+            elapsed_secs,
+            breakdown: std::mem::take(&mut self.breakdown),
+            pre_filter_counts: std::mem::take(&mut self.pre_filter_counts),
+            annotations,
+        })
+    }
+}
+
+/// Decode a cached checkpoint into per-rank solution sets named in *this*
+/// query's variables. Any mismatch (fingerprint, rank count, schema) is a
+/// miss, not an error.
+fn load_checkpoint(
+    bytes: &[u8],
+    cp: &ReuseCheckpoint,
+    ranks: usize,
+) -> Option<(Vec<SolutionSet>, Vec<u64>)> {
+    let obj = IntermediateSolutions::decode(bytes, cp.fingerprint).ok()?;
+    if obj.sets.len() != ranks || obj.pre_filter_counts.len() != ranks {
+        return None;
+    }
+    let canon_to_orig: HashMap<&str, &str> =
+        cp.rename.iter().map(|(o, c)| (c.as_str(), o.as_str())).collect();
+    let mut sets = Vec::with_capacity(obj.sets.len());
+    for ts in obj.sets {
+        let mut vars = Vec::with_capacity(ts.vars.len());
+        for v in &ts.vars {
+            vars.push((*canon_to_orig.get(v.as_str())?).to_string());
+        }
+        let rows: Vec<Vec<TermId>> =
+            ts.rows.into_iter().map(|r| r.into_iter().map(TermId).collect()).collect();
+        sets.push(SolutionSet::new(vars, rows));
+    }
+    Some((sets, obj.pre_filter_counts))
+}
+
 /// Execute a plan on the cluster. `profilers[r]` is rank r's UDF profile
 /// store, updated in place (it persists across queries, §2.4.1).
 /// `metrics` receives operator timings, spans, and reordering decisions.
 /// `cache` (when the instance has one attached) gets anti-entropy ticks
 /// at stage boundaries, so replication repair rides the query's own
 /// virtual clock instead of needing a separate daemon.
+///
+/// This is the single-query convenience wrapper over [`PlanRun`]: it steps
+/// the run to completion without interleaving and without reuse
+/// checkpoints.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_plan(
     cluster: &mut Cluster,
@@ -310,222 +961,14 @@ pub fn execute_plan(
     metrics: &MetricsRegistry,
     cache: Option<&CacheManager>,
 ) -> Result<QueryOutcome, ExecError> {
-    let ranks = cluster.topology().total_ranks() as usize;
-    assert_eq!(profilers.len(), ranks, "one profiler per rank");
-    assert_eq!(ds.num_shards(), ranks, "datastore sharding must match the cluster");
-
-    let t0 = cluster.elapsed();
-    let mut breakdown = StageBreakdown::default();
-    metrics.counter("ids_engine_queries_total").inc();
-
-    // ---- BGP: scan + exchange + join per pattern -------------------------
-    let mut current: Option<Vec<SolutionSet>> = None;
-    for pat in &plan.patterns {
-        if pat.impossible {
-            let vars: Vec<String> = pat.variables().iter().map(|s| s.to_string()).collect();
-            current = Some(vec![SolutionSet::empty(vars); ranks]);
-            continue;
-        }
-        // Scan phase.
-        let scan_start = cluster.elapsed();
-        let scanned: Vec<SolutionSet> = cluster.execute("scan", |ctx| {
-            let shard = ctx.rank().index();
-            let triples = ds.scan_shard(shard, &pat.pattern);
-            ctx.charge(1.0e-5 + triples.len() as f64 * opts.scan_secs_per_triple);
-            ctx.count("triples_scanned", triples.len() as u64);
-            gops::scan_to_solutions(
-                &pat.pattern,
-                pat.var_s.as_deref(),
-                pat.var_p.as_deref(),
-                pat.var_o.as_deref(),
-                &triples,
-            )
-        });
-        cluster.barrier();
-        let scan_end = cluster.elapsed();
-        breakdown.scan_secs += scan_end - scan_start;
-        let scanned_rows: usize = scanned.iter().map(SolutionSet::len).sum();
-        record_stage(metrics, "scan", scan_start, scan_end, format!("{scanned_rows} rows"));
-        anti_entropy_tick(cache, metrics, scan_end);
-
-        current = Some(match current.take() {
-            None => scanned,
-            Some(existing) => {
-                let join_start = cluster.elapsed();
-                let joined = distributed_join(cluster, existing, scanned, opts);
-                let join_end = cluster.elapsed();
-                breakdown.join_secs += join_end - join_start;
-                let joined_rows: usize = joined.iter().map(SolutionSet::len).sum();
-                record_stage(metrics, "join", join_start, join_end, format!("{joined_rows} rows"));
-                anti_entropy_tick(cache, metrics, join_end);
-                joined
-            }
-        });
-    }
-
-    let mut solutions = match current {
-        Some(s) => s,
-        None => {
-            // No patterns: a single empty-schema row on rank 0 lets
-            // constant filters and APPLY stages still run once.
-            let mut v = vec![SolutionSet::empty(vec![]); ranks];
-            v[0].push(vec![]);
-            v
-        }
-    };
-
-    let pre_filter_counts: Vec<u64> = solutions.iter().map(|s| s.len() as u64).collect();
-    let mut annotations: Vec<ErrorAnnotation> = Vec::new();
-
-    // ---- WHERE filter -----------------------------------------------------
-    if let Some(filter) = &plan.where_filter {
-        let t = cluster.elapsed();
-        solutions = run_filter_stage(
-            cluster,
-            ds,
-            registry,
-            profilers,
-            solutions,
-            filter,
-            opts,
-            &mut breakdown,
-            "filter",
-            metrics,
-            &mut annotations,
-        )?;
-        let end = cluster.elapsed();
-        breakdown.filter_secs += end - t - take_rebalance_delta(&mut breakdown);
-        let kept: usize = solutions.iter().map(SolutionSet::len).sum();
-        record_stage(metrics, "filter", t, end, format!("{kept} rows kept"));
-        anti_entropy_tick(cache, metrics, end);
-    }
-
-    // ---- Post-WHERE stages -------------------------------------------------
-    for stage in &plan.stages {
-        match stage {
-            PhysicalStage::Filter(expr) => {
-                let t = cluster.elapsed();
-                solutions = run_filter_stage(
-                    cluster,
-                    ds,
-                    registry,
-                    profilers,
-                    solutions,
-                    expr,
-                    opts,
-                    &mut breakdown,
-                    "stage-filter",
-                    metrics,
-                    &mut annotations,
-                )?;
-                let end = cluster.elapsed();
-                breakdown.filter_secs += end - t - take_rebalance_delta(&mut breakdown);
-                let kept: usize = solutions.iter().map(SolutionSet::len).sum();
-                record_stage(metrics, "filter", t, end, format!("{kept} rows kept"));
-                anti_entropy_tick(cache, metrics, end);
-            }
-            PhysicalStage::Apply { udf, args, bind_as } => {
-                let t = cluster.elapsed();
-                solutions = run_apply_stage(
-                    cluster,
-                    ds,
-                    registry,
-                    profilers,
-                    solutions,
-                    udf,
-                    args,
-                    bind_as,
-                    opts,
-                    &mut breakdown,
-                    metrics,
-                    &mut annotations,
-                )?;
-                let end = cluster.elapsed();
-                let spent = end - t - take_rebalance_delta(&mut breakdown);
-                *breakdown.apply_secs.entry(udf.clone()).or_insert(0.0) += spent;
-                record_stage(metrics, "apply", t, end, udf.clone());
-                anti_entropy_tick(cache, metrics, end);
-            }
+    let mut run = PlanRun::new(plan.clone(), *opts, None);
+    loop {
+        if let StepOutcome::Done(outcome) =
+            run.step(cluster, ds, registry, profilers, metrics, cache)?
+        {
+            return Ok(outcome);
         }
     }
-
-    // ---- Gather ------------------------------------------------------------
-    let gather_start = cluster.elapsed();
-    let total_bytes: u64 = solutions.iter().map(SolutionSet::byte_size).sum();
-    cluster.allgather_cost(total_bytes / ranks.max(1) as u64);
-    breakdown.gather_secs = cluster.elapsed() - gather_start;
-    record_stage(
-        metrics,
-        "gather",
-        gather_start,
-        cluster.elapsed(),
-        format!("{total_bytes} bytes"),
-    );
-    anti_entropy_tick(cache, metrics, cluster.elapsed());
-
-    let mut gathered = gops::merge(solutions);
-    // ORDER BY runs before projection so the sort variable need not be
-    // projected; DISTINCT and LIMIT run after, on the final shape.
-    if let Some((var, descending)) = &plan.order_by {
-        let idx = gathered.var_index(var).ok_or_else(|| ExecError {
-            message: format!("ORDER BY variable ?{var} is never bound"),
-        })?;
-        let dict = ds.dictionary();
-        let mut rows = gathered.take_rows();
-        rows.sort_by(|a, b| {
-            let ta = dict.decode(a[idx]);
-            let tb = dict.decode(b[idx]);
-            let ord = compare_terms(ta.as_ref(), tb.as_ref());
-            if *descending {
-                ord.reverse()
-            } else {
-                ord
-            }
-        });
-        let vars = gathered.vars().to_vec();
-        gathered = SolutionSet::new(vars, rows);
-    }
-    if !plan.select.is_empty() {
-        let cols: Vec<&str> = plan.select.iter().map(String::as_str).collect();
-        for c in &cols {
-            if gathered.var_index(c).is_none() {
-                return Err(ExecError {
-                    message: format!("projected variable ?{c} is never bound"),
-                });
-            }
-        }
-        gathered = gops::project(&gathered, &cols);
-    }
-    if plan.distinct {
-        gathered = gops::distinct(&gathered);
-    }
-    if let Some(limit) = plan.limit {
-        let vars = gathered.vars().to_vec();
-        let rows: Vec<Vec<TermId>> = gathered.rows().iter().take(limit).cloned().collect();
-        gathered = SolutionSet::new(vars, rows);
-    }
-
-    let elapsed_secs = cluster.elapsed() - t0;
-    metrics.histogram("ids_engine_query_secs").observe(elapsed_secs);
-    metrics.spans().record("query", format!("{} solutions", gathered.len()), t0, cluster.elapsed());
-    if !annotations.is_empty() {
-        metrics.counter("ids_engine_degraded_queries_total").inc();
-        let dropped: u64 = annotations.iter().map(|a| a.rows_dropped).sum();
-        metrics.spans().record(
-            "degraded",
-            format!("{} annotations, {dropped} rows dropped", annotations.len()),
-            t0,
-            cluster.elapsed(),
-        );
-    }
-
-    Ok(QueryOutcome {
-        solutions: gathered,
-        elapsed_secs,
-        breakdown,
-        pre_filter_counts,
-        annotations,
-    })
 }
 
 /// Total order over decoded terms for ORDER BY: numerics sort numerically
@@ -570,7 +1013,7 @@ fn distributed_join(
     left: Vec<SolutionSet>,
     right: Vec<SolutionSet>,
     opts: &ExecOptions,
-) -> Vec<SolutionSet> {
+) -> Result<Vec<SolutionSet>, ExecError> {
     let ranks = left.len();
     let left_vars = left[0].vars().to_vec();
     let right_vars = right[0].vars().to_vec();
@@ -597,8 +1040,8 @@ fn distributed_join(
             (big, replicated, bytes)
         }
     } else {
-        let l = repartition_by_vars(left, &shared, ranks);
-        let r = repartition_by_vars(right, &shared, ranks);
+        let l = repartition_by_vars(left, &shared, ranks)?;
+        let r = repartition_by_vars(right, &shared, ranks)?;
         let bytes: u64 = l.iter().chain(&r).map(SolutionSet::byte_size).sum();
         (l, r, bytes)
     };
@@ -617,14 +1060,26 @@ fn distributed_join(
         out
     });
     cluster.barrier();
-    joined
+    Ok(joined)
 }
 
 /// Redistribute rows so equal join keys land on equal ranks.
-fn repartition_by_vars(sets: Vec<SolutionSet>, vars: &[String], ranks: usize) -> Vec<SolutionSet> {
+fn repartition_by_vars(
+    sets: Vec<SolutionSet>,
+    vars: &[String],
+    ranks: usize,
+) -> Result<Vec<SolutionSet>, ExecError> {
     let schema = sets[0].vars().to_vec();
-    let key_idx: Vec<usize> =
-        vars.iter().map(|v| sets[0].var_index(v).expect("shared var present")).collect();
+    // The shared variables were computed from this schema, so lookup only
+    // fails on an internal planner bug — report it instead of panicking.
+    let key_idx: Vec<usize> = vars
+        .iter()
+        .map(|v| {
+            sets[0].var_index(v).ok_or_else(|| ExecError {
+                message: format!("join key ?{v} missing from schema {schema:?}"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
     let mut out: Vec<SolutionSet> =
         (0..ranks).map(|_| SolutionSet::empty(schema.clone())).collect();
     for mut set in sets {
@@ -636,7 +1091,7 @@ fn repartition_by_vars(sets: Vec<SolutionSet>, vars: &[String], ranks: usize) ->
             out[(h % ranks as u64) as usize].push(row);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Move rows between ranks to match a re-balancing plan (round-robin from

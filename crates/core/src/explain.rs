@@ -189,6 +189,7 @@ pub fn explain_with_metrics(
 
     render_fault_block(&mut out, snapshot);
     render_replication_block(&mut out, snapshot);
+    render_service_block(&mut out, snapshot);
     out
 }
 
@@ -291,9 +292,131 @@ fn render_replication_block(out: &mut String, snapshot: &MetricsSnapshot) {
     }
 }
 
+/// Append the multi-tenant service block when the serve layer (or the
+/// engine's semantic-reuse checkpoints) recorded anything: per-tenant
+/// admission/queue/scheduling figures and the fingerprint hit/miss/store
+/// tallies per checkpoint stage. Single-client instances that never went
+/// through `ids-serve` render nothing here.
+fn render_service_block(out: &mut String, snapshot: &MetricsSnapshot) {
+    let admitted_total = snapshot.counter_sum("ids_serve_admitted_total");
+    let reuse_activity = snapshot.counter_sum("ids_reuse_hits_total")
+        + snapshot.counter_sum("ids_reuse_misses_total")
+        + snapshot.counter_sum("ids_reuse_stores_total");
+    if admitted_total + reuse_activity == 0 {
+        return;
+    }
+
+    out.push_str("  service:\n");
+    // Tenants, in deterministic label order (sourced from the admission
+    // counter — every query a tenant ever submitted passed through it).
+    let mut tenants: Vec<&str> = snapshot
+        .counters
+        .iter()
+        .filter(|(k, _)| k.name == "ids_serve_admitted_total")
+        .map(|(k, _)| k.label_value.as_str())
+        .collect();
+    tenants.sort_unstable();
+    tenants.dedup();
+    for tenant in tenants {
+        let admitted = snapshot.counter("ids_serve_admitted_total", tenant);
+        let completed = snapshot.counter("ids_serve_completed_total", tenant);
+        let failed = snapshot.counter("ids_serve_failed_total", tenant);
+        let slices = snapshot.counter("ids_serve_slices_total", tenant);
+        out.push_str(&format!(
+            "    tenant {tenant}: {admitted} admitted, {completed} completed, \
+             {failed} failed, {slices} scheduler slices\n"
+        ));
+        for (key, hist) in &snapshot.histograms {
+            if key.label_value != tenant || hist.count == 0 {
+                continue;
+            }
+            let what = match key.name {
+                "ids_serve_queue_wait_secs" => "queue wait",
+                "ids_serve_latency_secs" => "latency",
+                _ => continue,
+            };
+            out.push_str(&format!(
+                "      {what}: mean {:.6}s, max {:.6}s over {} queries\n",
+                hist.mean(),
+                hist.max,
+                hist.count
+            ));
+        }
+        let overloaded = snapshot.counter("ids_serve_overloaded_total", tenant);
+        let rejected = snapshot.counter("ids_serve_rejected_total", tenant);
+        let aborted = snapshot.counter("ids_serve_deadline_aborts_total", tenant);
+        if overloaded + rejected + aborted > 0 {
+            out.push_str(&format!(
+                "      refused: {overloaded} overloaded, {rejected} rejected, \
+                 {aborted} deadline aborts\n"
+            ));
+        }
+    }
+
+    if reuse_activity > 0 {
+        out.push_str("    semantic reuse (per checkpoint):\n");
+        let mut labels: Vec<&str> = snapshot
+            .counters
+            .iter()
+            .filter(|(k, v)| {
+                **v > 0
+                    && matches!(
+                        k.name,
+                        "ids_reuse_hits_total"
+                            | "ids_reuse_misses_total"
+                            | "ids_reuse_stores_total"
+                    )
+            })
+            .map(|(k, _)| k.label_value.as_str())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        for label in labels {
+            let hits = snapshot.counter("ids_reuse_hits_total", label);
+            let misses = snapshot.counter("ids_reuse_misses_total", label);
+            let stores = snapshot.counter("ids_reuse_stores_total", label);
+            let probes = hits + misses;
+            let ratio = if probes > 0 { hits as f64 / probes as f64 * 100.0 } else { 0.0 };
+            out.push_str(&format!(
+                "      {label}: {hits} hits / {probes} probes ({ratio:.1}%), {stores} stores\n"
+            ));
+        }
+        let restored = snapshot.counter("ids_reuse_rows_restored_total", "");
+        if restored > 0 {
+            out.push_str(&format!("      rows restored from cache: {restored}\n"));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn service_block_renders_only_for_served_instances() {
+        let reg = ids_obs::MetricsRegistry::new();
+        let mut out = String::new();
+        render_service_block(&mut out, &reg.snapshot());
+        assert!(out.is_empty(), "single-client run adds no service block");
+
+        reg.counter_with("ids_serve_admitted_total", "tenant", "alice").add(3);
+        reg.counter_with("ids_serve_completed_total", "tenant", "alice").add(2);
+        reg.counter_with("ids_serve_slices_total", "tenant", "alice").add(14);
+        reg.counter_with("ids_serve_deadline_aborts_total", "tenant", "alice").add(1);
+        reg.histogram_with("ids_serve_queue_wait_secs", "tenant", "alice").observe(0.25);
+        reg.counter_with("ids_reuse_hits_total", "checkpoint", "bgp").add(2);
+        reg.counter_with("ids_reuse_misses_total", "checkpoint", "bgp").add(2);
+        reg.counter_with("ids_reuse_stores_total", "checkpoint", "where").add(1);
+        reg.counter("ids_reuse_rows_restored_total").add(80);
+        render_service_block(&mut out, &reg.snapshot());
+        assert!(out.contains("service:"), "{out}");
+        assert!(out.contains("tenant alice: 3 admitted, 2 completed, 0 failed, 14"), "{out}");
+        assert!(out.contains("queue wait: mean 0.250000s"), "{out}");
+        assert!(out.contains("1 deadline aborts"), "{out}");
+        assert!(out.contains("bgp: 2 hits / 4 probes (50.0%)"), "{out}");
+        assert!(out.contains("where: 0 hits / 0 probes (0.0%), 1 stores"), "{out}");
+        assert!(out.contains("rows restored from cache: 80"), "{out}");
+    }
 
     #[test]
     fn replication_block_renders_only_when_counters_fired() {

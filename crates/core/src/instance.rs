@@ -10,12 +10,15 @@
 //! envisions).
 
 use crate::datastore::Datastore;
-use crate::engine::{self, ExecOptions, QueryOutcome};
-use crate::iql;
+use crate::engine::{
+    self, ExecOptions, PlanRun, QueryOutcome, ReuseCheckpoint, ReusePlan, StepOutcome,
+};
+use crate::iql::{self, FragmentSpec};
 use crate::planner;
 use ids_cache::CacheManager;
 use ids_models::ModelRepository;
 use ids_obs::{MetricsRegistry, MetricsSnapshot};
+use ids_simrt::rng::fnv1a;
 use ids_simrt::{Cluster, FaultPlane, NetworkModel, Topology};
 use ids_udf::{UdfProfiler, UdfRegistry};
 use std::sync::Arc;
@@ -232,6 +235,101 @@ impl IdsInstance {
             self.cache.as_deref(),
         )
         .map_err(|e| QueryError::Exec(e.to_string()))
+    }
+
+    /// Everything *outside* the query text that determines an intermediate
+    /// result: cluster shape, root seed, datastore contents (term ids are
+    /// dictionary-specific), and result-affecting exec options. Cache keys
+    /// for semantic reuse are salted with this so instances with different
+    /// data or configuration sharing one cache never cross-resume. The
+    /// salt is a pure function of instance inputs, keeping replay
+    /// deterministic.
+    fn reuse_salt(&self) -> u64 {
+        let rendered = format!(
+            "ids-reuse-salt-v1|ranks={}|seed={}|shards={}|triples={}|exec={:?}",
+            self.config.topology.total_ranks(),
+            self.config.seed,
+            self.datastore.num_shards(),
+            self.datastore.triple_count(),
+            self.config.exec,
+        );
+        fnv1a(rendered.as_bytes())
+    }
+
+    /// Parse and plan `iql_text` into a resumable [`PlanRun`] that a
+    /// scheduler can interleave with other runs via
+    /// [`IdsInstance::step_run`]. With `reuse` set (and a cache attached),
+    /// the run probes/stores canonical plan-fragment checkpoints so
+    /// overlapping queries — even α-renamed ones from different clients —
+    /// share intermediate results.
+    pub fn prepare_run(&self, iql_text: &str, reuse: bool) -> Result<PlanRun, QueryError> {
+        let parsed = iql::parse_query(iql_text).map_err(|e| QueryError::Parse(e.to_string()))?;
+        let plan = planner::lower_with_metrics(&parsed, &self.datastore, Some(&self.metrics))
+            .map_err(|e| QueryError::Plan(e.to_string()))?;
+        let reuse_plan = if reuse && self.cache.is_some() {
+            let salt = self.reuse_salt();
+            let mut rp = ReusePlan {
+                after_bgp: None,
+                after_where: None,
+                after_stage: vec![None; plan.stages.len()],
+                max_object_bytes: ReusePlan::DEFAULT_MAX_OBJECT_BYTES,
+            };
+            for (spec, frag) in iql::checkpoint_fragments(&parsed) {
+                let label = match spec {
+                    FragmentSpec::Bgp => "bgp".to_string(),
+                    FragmentSpec::Where => "where".to_string(),
+                    FragmentSpec::Stages(n) => format!("stage{}", n.saturating_sub(1)),
+                };
+                let cp = ReuseCheckpoint {
+                    key: format!("reuse/{salt:016x}/{:016x}", frag.fingerprint),
+                    fingerprint: frag.fingerprint,
+                    label,
+                    rename: frag.rename.clone(),
+                };
+                match spec {
+                    FragmentSpec::Bgp => rp.after_bgp = Some(cp),
+                    // A filter-less query's WHERE fragment is the BGP
+                    // fragment; only schedule the checkpoint when the
+                    // filter stage actually exists.
+                    FragmentSpec::Where if plan.where_filter.is_some() => rp.after_where = Some(cp),
+                    FragmentSpec::Where => {}
+                    FragmentSpec::Stages(n) => {
+                        if (1..=plan.stages.len()).contains(&n) {
+                            rp.after_stage[n - 1] = Some(cp);
+                        }
+                    }
+                }
+            }
+            Some(rp)
+        } else {
+            None
+        };
+        Ok(PlanRun::new(plan, self.config.exec, reuse_plan))
+    }
+
+    /// Advance a prepared run by one pipeline stage against this
+    /// instance's cluster, datastore, profilers, and cache.
+    pub fn step_run(&mut self, run: &mut PlanRun) -> Result<StepOutcome, QueryError> {
+        run.step(
+            &mut self.cluster,
+            &self.datastore,
+            &self.registry,
+            &mut self.profilers,
+            &self.metrics,
+            self.cache.as_deref(),
+        )
+        .map_err(|e| QueryError::Exec(e.to_string()))
+    }
+
+    /// Parse, plan, and execute a query with semantic reuse checkpoints
+    /// enabled (requires an attached cache to have any effect).
+    pub fn query_with_reuse(&mut self, iql_text: &str) -> Result<QueryOutcome, QueryError> {
+        let mut run = self.prepare_run(iql_text, true)?;
+        loop {
+            if let StepOutcome::Done(outcome) = self.step_run(&mut run)? {
+                return Ok(outcome);
+            }
+        }
     }
 }
 
@@ -590,6 +688,68 @@ mod tests {
         assert_eq!(all.solutions.len(), 40);
         let distinct = inst.query("SELECT DISTINCT ?p WHERE { ?c <inhibits> ?p . }").unwrap();
         assert_eq!(distinct.solutions.len(), 20);
+    }
+
+    #[test]
+    fn semantic_reuse_resumes_from_cached_fragments() {
+        use ids_cache::{BackingStore, CacheConfig, CacheManager};
+        use ids_simrt::{NetworkModel, Topology};
+
+        let mut inst = demo_instance();
+        inst.attach_cache(StdArc::new(CacheManager::new(
+            Topology::new(4, 1),
+            NetworkModel::slingshot(),
+            CacheConfig::new(4, 16 << 20, 64 << 20),
+            BackingStore::default_store(),
+        )));
+        let q1 = "SELECT ?c ?p WHERE { ?c <inhibits> ?p . ?p <rdf:type> <up:Protein> . \
+                  FILTER(?p != <p:0>) }";
+        // α-renamed variant with a different filter constant: shares the
+        // BGP checkpoint but not the post-WHERE one.
+        let q2 = "SELECT ?a ?b WHERE { ?a <inhibits> ?b . ?b <rdf:type> <up:Protein> . \
+                  FILTER(?b != <p:1>) }";
+
+        let cold = inst.query_with_reuse(q1).unwrap();
+        let snap = inst.metrics_snapshot();
+        assert!(snap.counter("ids_reuse_stores_total", "bgp") >= 1, "cold run stores the BGP");
+        assert_eq!(snap.counter("ids_reuse_hits_total", "bgp"), 0);
+
+        let renamed = inst.query_with_reuse(q2).unwrap();
+        let snap = inst.metrics_snapshot();
+        assert_eq!(snap.counter("ids_reuse_hits_total", "bgp"), 1, "α-renamed query reuses BGP");
+        // 40 inhibits-edges, minus the two proteins excluded once each.
+        assert_eq!(cold.solutions.len(), 38);
+        assert_eq!(renamed.solutions.len(), 38);
+
+        // The exact same query resumes from its deepest checkpoint and
+        // produces the same rows.
+        let replay = inst.query_with_reuse(q1).unwrap();
+        let snap = inst.metrics_snapshot();
+        assert!(snap.counter("ids_reuse_hits_total", "where") >= 1, "replay resumes after WHERE");
+        let decode = |o: &QueryOutcome| -> Vec<Vec<String>> {
+            let mut rows: Vec<Vec<String>> = o
+                .solutions
+                .rows()
+                .iter()
+                .map(|r| {
+                    r.iter().map(|t| inst.datastore().decode(*t).unwrap().to_string()).collect()
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(decode(&cold), decode(&replay), "reused rows match re-execution");
+    }
+
+    #[test]
+    fn reuse_disabled_without_cache_is_plain_execution() {
+        let mut inst = demo_instance();
+        let q = "SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }";
+        let out = inst.query_with_reuse(q).unwrap();
+        assert_eq!(out.solutions.len(), 20);
+        let snap = inst.metrics_snapshot();
+        assert_eq!(snap.counter("ids_reuse_hits_total", "bgp"), 0);
+        assert_eq!(snap.counter("ids_reuse_stores_total", "bgp"), 0);
     }
 
     #[test]

@@ -1,0 +1,581 @@
+//! AST canonicalization and plan-fragment fingerprints.
+//!
+//! Semantic result reuse (ids-serve) needs a *stable identity* for a query
+//! fragment: two clients writing the same logical query with different
+//! variable names, or with their commutative FILTER conjuncts in a
+//! different order, must key into the same cached intermediates. This
+//! module computes that identity:
+//!
+//! 1. **Commutative normalization** — triple patterns and FILTER conjuncts
+//!    are unordered (the planner reorders them anyway); `&&`/`||` operands
+//!    are unordered. Each is sorted by a variable-name-independent render.
+//! 2. **α-renaming** — variables are renamed to `c0, c1, …` by first
+//!    occurrence in the normalized form, so names chosen by the author
+//!    vanish. To sort *before* names exist, a short color-refinement pass
+//!    (in the spirit of Weisfeiler–Leman) assigns each variable a color
+//!    from its occurrence structure; sorting keys on colors, then the
+//!    final naming keys on the sorted order.
+//! 3. **Fingerprint** — a 64-bit FNV-1a over the canonical text (plus
+//!    length), stable across runs and platforms.
+//!
+//! Fingerprints are computed per *fragment prefix* — the basic graph
+//! pattern alone, BGP + WHERE filters, and each additional post-WHERE
+//! stage — matching the checkpoints at which the engine snapshots
+//! intermediate solutions. Post-WHERE stages are sequential (not
+//! commutative) and keep their order.
+
+use super::ast::{CmpOpAst, ExprAst, OrderByAst, Query, StageAst, TermAst, TriplePatternAst};
+use ids_simrt::rng::{fnv1a, hash_combine};
+use std::collections::BTreeMap;
+
+/// Which prefix of the query a fingerprint covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentSpec {
+    /// The basic graph pattern only (scans + joins).
+    Bgp,
+    /// BGP plus the WHERE-block filters.
+    Where,
+    /// BGP + WHERE + the first `n` post-WHERE stages.
+    Stages(usize),
+}
+
+/// A canonicalized query fragment: normalized text, its fingerprint, and
+/// the variable rename map needed to translate cached solution schemas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalFragment {
+    /// The normalized rendering (α-renamed, commutative parts sorted).
+    pub text: String,
+    /// Stable 64-bit hash of `text`.
+    pub fingerprint: u64,
+    /// Original variable name → canonical name (`c0`, `c1`, …), covering
+    /// every variable in scope for this fragment.
+    pub rename: BTreeMap<String, String>,
+}
+
+impl CanonicalFragment {
+    /// Canonical name for an original variable, if it is in this
+    /// fragment's scope.
+    pub fn canonical(&self, var: &str) -> Option<&str> {
+        self.rename.get(var).map(String::as_str)
+    }
+
+    /// Inverse lookup: original name for a canonical variable.
+    pub fn original(&self, canonical: &str) -> Option<&str> {
+        self.rename.iter().find(|(_, c)| c.as_str() == canonical).map(|(o, _)| o.as_str())
+    }
+}
+
+/// Canonicalize a prefix of `q` per `spec`. `Stages(n)` is clamped to the
+/// number of stages present.
+pub fn fragment(q: &Query, spec: FragmentSpec) -> CanonicalFragment {
+    let (with_filters, n_stages) = match spec {
+        FragmentSpec::Bgp => (false, 0),
+        FragmentSpec::Where => (true, 0),
+        FragmentSpec::Stages(n) => (true, n.min(q.stages.len())),
+    };
+    canonicalize(q, with_filters, n_stages, false)
+}
+
+/// Canonicalize the whole query, including SELECT / DISTINCT / ORDER BY /
+/// LIMIT. This is the identity of a *complete* request (used for full
+/// result reuse and duplicate detection), whereas [`fragment`] identifies
+/// execution prefixes.
+pub fn canonical_query(q: &Query) -> CanonicalFragment {
+    canonicalize(q, true, q.stages.len(), true)
+}
+
+/// Fingerprints for every checkpoint prefix of `q`, cheapest scope first:
+/// `[Bgp, Where, Stages(1), …, Stages(len)]`.
+pub fn checkpoint_fragments(q: &Query) -> Vec<(FragmentSpec, CanonicalFragment)> {
+    let mut out = Vec::with_capacity(q.stages.len() + 2);
+    out.push((FragmentSpec::Bgp, fragment(q, FragmentSpec::Bgp)));
+    out.push((FragmentSpec::Where, fragment(q, FragmentSpec::Where)));
+    for n in 1..=q.stages.len() {
+        out.push((FragmentSpec::Stages(n), fragment(q, FragmentSpec::Stages(n))));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Internals
+// ---------------------------------------------------------------------------
+
+/// How variables render during a pass: by refinement color (sorting pass)
+/// or by final canonical name (rendering pass).
+enum VarView<'a> {
+    Colors(&'a BTreeMap<String, u64>),
+    Names(&'a BTreeMap<String, String>),
+}
+
+impl VarView<'_> {
+    fn render(&self, v: &str) -> String {
+        match self {
+            // 0 = never-colored (variable outside the fragment scope);
+            // renders stably by construction since colors are per-name.
+            VarView::Colors(c) => format!("?{:016x}", c.get(v).copied().unwrap_or(0)),
+            VarView::Names(n) => match n.get(v) {
+                Some(name) => format!("?{name}"),
+                None => format!("?{v}"), // out-of-scope var: keep author's name
+            },
+        }
+    }
+}
+
+fn render_term(t: &TermAst, vars: &VarView<'_>) -> String {
+    match t {
+        TermAst::Var(v) => vars.render(v),
+        TermAst::Iri(i) => format!("<{i}>"),
+        TermAst::Str(s) => format!("{s:?}"),
+        TermAst::Int(i) => format!("i{i}"),
+        // Bit-exact float identity: 1.0 and 1.00 agree, 0.9 and 0.90001
+        // never do.
+        TermAst::Float(f) => format!("f{:016x}", f.to_bits()),
+    }
+}
+
+fn op_str(op: CmpOpAst) -> &'static str {
+    match op {
+        CmpOpAst::Lt => "<",
+        CmpOpAst::Le => "<=",
+        CmpOpAst::Gt => ">",
+        CmpOpAst::Ge => ">=",
+        CmpOpAst::Eq => "=",
+        CmpOpAst::Ne => "!=",
+    }
+}
+
+fn render_expr(e: &ExprAst, vars: &VarView<'_>) -> String {
+    match e {
+        ExprAst::Term(t) => render_term(t, vars),
+        ExprAst::Cmp(op, a, b) => {
+            format!("({} {} {})", render_expr(a, vars), op_str(*op), render_expr(b, vars))
+        }
+        ExprAst::And(cs) => {
+            let parts: Vec<String> = cs.iter().map(|c| render_expr(c, vars)).collect();
+            format!("and({})", parts.join(","))
+        }
+        ExprAst::Or(cs) => {
+            let parts: Vec<String> = cs.iter().map(|c| render_expr(c, vars)).collect();
+            format!("or({})", parts.join(","))
+        }
+        ExprAst::Not(c) => format!("not({})", render_expr(c, vars)),
+        ExprAst::Call { name, args } => {
+            let parts: Vec<String> = args.iter().map(|a| render_expr(a, vars)).collect();
+            format!("{name}({})", parts.join(","))
+        }
+    }
+}
+
+fn render_pattern(p: &TriplePatternAst, vars: &VarView<'_>) -> String {
+    format!(
+        "P({} {} {})",
+        render_term(&p.s, vars),
+        render_term(&p.p, vars),
+        render_term(&p.o, vars)
+    )
+}
+
+/// Recursively sort the operand lists of `&&` / `||` by their rendering
+/// under the current variable view (commutativity + associativity are the
+/// planner's to exploit; here they are identities to erase). Also flattens
+/// nested conjunctions/disjunctions so `(a && b) && c` ≡ `a && (b && c)`.
+fn sort_expr(e: &ExprAst, vars: &VarView<'_>) -> ExprAst {
+    match e {
+        ExprAst::And(cs) => {
+            let mut flat: Vec<ExprAst> = Vec::new();
+            for c in cs {
+                match sort_expr(c, vars) {
+                    ExprAst::And(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            flat.sort_by_key(|c| render_expr(c, vars));
+            ExprAst::And(flat)
+        }
+        ExprAst::Or(cs) => {
+            let mut flat: Vec<ExprAst> = Vec::new();
+            for c in cs {
+                match sort_expr(c, vars) {
+                    ExprAst::Or(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            flat.sort_by_key(|c| render_expr(c, vars));
+            ExprAst::Or(flat)
+        }
+        ExprAst::Not(c) => ExprAst::Not(Box::new(sort_expr(c, vars))),
+        ExprAst::Cmp(op, a, b) => {
+            ExprAst::Cmp(*op, Box::new(sort_expr(a, vars)), Box::new(sort_expr(b, vars)))
+        }
+        ExprAst::Call { name, args } => ExprAst::Call {
+            name: name.clone(),
+            // Call arguments are positional — order is semantic.
+            args: args.iter().map(|a| sort_expr(a, vars)).collect(),
+        },
+        ExprAst::Term(t) => ExprAst::Term(t.clone()),
+    }
+}
+
+/// Flatten the WHERE-block filters into one conjunct list (the planner
+/// treats multiple FILTER(...) clauses and `&&` identically).
+fn conjuncts(filters: &[ExprAst]) -> Vec<ExprAst> {
+    let mut out = Vec::new();
+    for f in filters {
+        match f {
+            ExprAst::And(cs) => out.extend(conjuncts(cs)),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+fn visit_term_vars<'a>(t: &'a TermAst, f: &mut impl FnMut(&'a str)) {
+    if let TermAst::Var(v) = t {
+        f(v);
+    }
+}
+
+fn visit_expr_vars<'a>(e: &'a ExprAst, f: &mut impl FnMut(&'a str)) {
+    match e {
+        ExprAst::Term(t) => visit_term_vars(t, f),
+        ExprAst::Cmp(_, a, b) => {
+            visit_expr_vars(a, f);
+            visit_expr_vars(b, f);
+        }
+        ExprAst::And(cs) | ExprAst::Or(cs) => cs.iter().for_each(|c| visit_expr_vars(c, f)),
+        ExprAst::Not(c) => visit_expr_vars(c, f),
+        ExprAst::Call { args, .. } => args.iter().for_each(|a| visit_expr_vars(a, f)),
+    }
+}
+
+/// The sorted, still-original-named shape of a fragment under a variable
+/// view. Rebuilt each refinement round as colors sharpen.
+struct Shape {
+    patterns: Vec<TriplePatternAst>,
+    conjuncts: Vec<ExprAst>,
+    stages: Vec<StageAst>,
+}
+
+impl Shape {
+    fn build(q: &Query, with_filters: bool, n_stages: usize, vars: &VarView<'_>) -> Self {
+        let mut patterns = q.patterns.clone();
+        patterns.sort_by_key(|p| render_pattern(p, vars));
+        let mut conj: Vec<ExprAst> = if with_filters {
+            conjuncts(&q.filters).iter().map(|c| sort_expr(c, vars)).collect()
+        } else {
+            Vec::new()
+        };
+        conj.sort_by_key(|c| render_expr(c, vars));
+        let stages = q.stages[..n_stages]
+            .iter()
+            .map(|s| match s {
+                StageAst::Apply(a) => StageAst::Apply(a.clone()),
+                StageAst::Filter(e) => StageAst::Filter(sort_expr(e, vars)),
+            })
+            .collect();
+        Self { patterns, conjuncts: conj, stages }
+    }
+
+    /// Visit every variable occurrence in canonical traversal order.
+    fn visit_vars<'a>(&'a self, mut f: impl FnMut(&'a str)) {
+        for p in &self.patterns {
+            visit_term_vars(&p.s, &mut f);
+            visit_term_vars(&p.p, &mut f);
+            visit_term_vars(&p.o, &mut f);
+        }
+        for c in &self.conjuncts {
+            visit_expr_vars(c, &mut f);
+        }
+        for s in &self.stages {
+            match s {
+                StageAst::Apply(a) => {
+                    a.args.iter().for_each(|e| visit_expr_vars(e, &mut f));
+                    f(&a.bind_as);
+                }
+                StageAst::Filter(e) => visit_expr_vars(e, &mut f),
+            }
+        }
+    }
+
+    fn render(&self, vars: &VarView<'_>, out: &mut String) {
+        for p in &self.patterns {
+            out.push_str(&render_pattern(p, vars));
+            out.push('\n');
+        }
+        for c in &self.conjuncts {
+            out.push_str("FILTER ");
+            out.push_str(&render_expr(c, vars));
+            out.push('\n');
+        }
+        for s in &self.stages {
+            match s {
+                StageAst::Apply(a) => {
+                    let args: Vec<String> = a.args.iter().map(|e| render_expr(e, vars)).collect();
+                    out.push_str(&format!(
+                        "APPLY {}({}) AS {}\n",
+                        a.udf,
+                        args.join(","),
+                        vars.render(&a.bind_as)
+                    ));
+                }
+                StageAst::Filter(e) => {
+                    out.push_str(&format!("STAGE-FILTER {}\n", render_expr(e, vars)));
+                }
+            }
+        }
+    }
+}
+
+/// Rounds of color refinement. Two suffice for every query shape the
+/// planner produces; three adds margin for adversarial symmetric BGPs.
+const REFINE_ROUNDS: usize = 3;
+
+fn canonicalize(q: &Query, with_filters: bool, n_stages: usize, full: bool) -> CanonicalFragment {
+    // Variables in scope for this fragment.
+    let mut colors: BTreeMap<String, u64> = BTreeMap::new();
+    {
+        let empty = BTreeMap::new();
+        let seed_view = VarView::Colors(&empty);
+        let shape = Shape::build(q, with_filters, n_stages, &seed_view);
+        shape.visit_vars(|v| {
+            colors.entry(v.to_string()).or_insert(1);
+        });
+    }
+
+    // Refine: a variable's next color hashes its occurrence structure
+    // under the current coloring. Each occurrence contributes
+    // `hash_combine(atom-render-hash, slot-within-atom)`, and occurrence
+    // contributions are *summed* (commutative), so the result is invariant
+    // to the input order of patterns and conjuncts — only the structure a
+    // variable sits in matters. α-equivalent queries therefore refine to
+    // identical colorings, and the sort below orders their atoms
+    // identically. For full-query canonicalization the SELECT list and
+    // ORDER BY also contribute (they are positional), separating variables
+    // that only the projection distinguishes.
+    for round in 0..REFINE_ROUNDS {
+        let view = VarView::Colors(&colors);
+        let shape = Shape::build(q, with_filters, n_stages, &view);
+        let mut acc: BTreeMap<String, u64> = colors.keys().map(|v| (v.clone(), 0)).collect();
+        let add = |acc: &mut BTreeMap<String, u64>, v: &str, h: u64| {
+            if let Some(a) = acc.get_mut(v) {
+                *a = a.wrapping_add(h);
+            }
+        };
+        for p in &shape.patterns {
+            let r = fnv1a(render_pattern(p, &view).as_bytes());
+            for (slot, t) in [&p.s, &p.p, &p.o].into_iter().enumerate() {
+                visit_term_vars(t, &mut |v| add(&mut acc, v, hash_combine(r, slot as u64)));
+            }
+        }
+        for c in &shape.conjuncts {
+            let r = fnv1a(render_expr(c, &view).as_bytes());
+            let mut slot: u64 = 0;
+            visit_expr_vars(c, &mut |v| {
+                add(&mut acc, v, hash_combine(r, slot));
+                slot += 1;
+            });
+        }
+        for (i, s) in shape.stages.iter().enumerate() {
+            // Stages are sequential: the stage index is part of the context.
+            let (rendered, bind) = match s {
+                StageAst::Apply(a) => {
+                    let args: Vec<String> = a.args.iter().map(|e| render_expr(e, &view)).collect();
+                    (format!("APPLY {}({})", a.udf, args.join(",")), Some(a.bind_as.as_str()))
+                }
+                StageAst::Filter(e) => (format!("STAGE-FILTER {}", render_expr(e, &view)), None),
+            };
+            let r = hash_combine(fnv1a(rendered.as_bytes()), i as u64);
+            let mut slot: u64 = 0;
+            match s {
+                StageAst::Apply(a) => a.args.iter().for_each(|e| {
+                    visit_expr_vars(e, &mut |v| {
+                        add(&mut acc, v, hash_combine(r, slot));
+                        slot += 1;
+                    })
+                }),
+                StageAst::Filter(e) => visit_expr_vars(e, &mut |v| {
+                    add(&mut acc, v, hash_combine(r, slot));
+                    slot += 1;
+                }),
+            }
+            if let Some(b) = bind {
+                add(&mut acc, b, hash_combine(r, u64::MAX));
+            }
+        }
+        if full {
+            let r = fnv1a(b"SELECT");
+            for (i, v) in q.select.iter().enumerate() {
+                add(&mut acc, v, hash_combine(r, i as u64));
+            }
+            if let Some(OrderByAst { var, descending }) = &q.order_by {
+                add(&mut acc, var, hash_combine(fnv1a(b"ORDERBY"), u64::from(*descending)));
+            }
+        }
+        colors = colors
+            .into_iter()
+            .map(|(v, c)| {
+                let a = acc.get(&v).copied().unwrap_or(0);
+                (v, hash_combine(hash_combine(c, round as u64 + 1), a))
+            })
+            .collect();
+    }
+
+    // Final ordering under converged colors, then first-occurrence naming.
+    let view = VarView::Colors(&colors);
+    let shape = Shape::build(q, with_filters, n_stages, &view);
+    let mut rename: BTreeMap<String, String> = BTreeMap::new();
+    let mut n = 0usize;
+    let mut name_var = |rename: &mut BTreeMap<String, String>, v: &str| {
+        if !rename.contains_key(v) {
+            rename.insert(v.to_string(), format!("c{n}"));
+            n += 1;
+        }
+    };
+    shape.visit_vars(|v| name_var(&mut rename, v));
+    if full {
+        for v in &q.select {
+            name_var(&mut rename, v);
+        }
+        if let Some(ob) = &q.order_by {
+            name_var(&mut rename, &ob.var);
+        }
+    }
+    // Scope vars that somehow never occurred (defensive): name them after
+    // the visited ones, ordered by color for input-name independence.
+    let mut stragglers: Vec<(&u64, &String)> =
+        colors.iter().filter(|(v, _)| !rename.contains_key(*v)).map(|(v, c)| (c, v)).collect();
+    stragglers.sort();
+    for (_, v) in stragglers {
+        rename.insert(v.clone(), format!("c{n}"));
+        n += 1;
+    }
+
+    let names = VarView::Names(&rename);
+    let mut text = String::from("ids-canon-v1\n");
+    shape.render(&names, &mut text);
+    if full {
+        if q.distinct {
+            text.push_str("DISTINCT\n");
+        }
+        if q.select.is_empty() {
+            text.push_str("SELECT *\n");
+        } else {
+            let cols: Vec<String> = q.select.iter().map(|v| names.render(v)).collect();
+            text.push_str(&format!("SELECT {}\n", cols.join(" ")));
+        }
+        if let Some(OrderByAst { var, descending }) = &q.order_by {
+            text.push_str(&format!(
+                "ORDER BY {} {}\n",
+                names.render(var),
+                if *descending { "DESC" } else { "ASC" }
+            ));
+        }
+        if let Some(l) = q.limit {
+            text.push_str(&format!("LIMIT {l}\n"));
+        }
+    }
+
+    let fingerprint = hash_combine(fnv1a(text.as_bytes()), text.len() as u64);
+    CanonicalFragment { text, fingerprint, rename }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iql::parse_query;
+
+    fn q(text: &str) -> Query {
+        parse_query(text).expect("test query parses")
+    }
+
+    const BASE: &str = "SELECT ?compound ?energy WHERE { \
+        ?protein <rdf:type> <up:Protein> . \
+        ?compound <chembl:inhibits> ?protein . \
+        ?compound <chembl:smiles> ?smiles . \
+        FILTER(sw_similarity(?protein) >= 0.9) \
+        FILTER(pic50(?compound, ?protein) > 6.0) } \
+        APPLY vina_docking(?smiles) AS ?energy \
+        ORDER BY ?energy LIMIT 10";
+
+    const RENAMED: &str = "SELECT ?c ?e WHERE { \
+        ?c <chembl:smiles> ?s . \
+        ?c <chembl:inhibits> ?p . \
+        ?p <rdf:type> <up:Protein> . \
+        FILTER(pic50(?c, ?p) > 6.0) \
+        FILTER(sw_similarity(?p) >= 0.9) } \
+        APPLY vina_docking(?s) AS ?e \
+        ORDER BY ?e LIMIT 10";
+
+    #[test]
+    fn alpha_equivalent_queries_fingerprint_identically() {
+        let a = canonical_query(&q(BASE));
+        let b = canonical_query(&q(RENAMED));
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn every_checkpoint_prefix_matches_too() {
+        let qa = q(BASE);
+        let qb = q(RENAMED);
+        let fa = checkpoint_fragments(&qa);
+        let fb = checkpoint_fragments(&qb);
+        assert_eq!(fa.len(), fb.len());
+        for ((sa, a), (sb, b)) in fa.iter().zip(&fb) {
+            assert_eq!(sa, sb);
+            assert_eq!(a.fingerprint, b.fingerprint, "prefix {sa:?}:\n{}\nvs\n{}", a.text, b.text);
+        }
+    }
+
+    #[test]
+    fn different_constants_fingerprint_differently() {
+        let a = canonical_query(&q(BASE));
+        let b = canonical_query(&q(&BASE.replace("0.9", "0.8")));
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn bgp_prefix_shared_across_different_filters() {
+        let a = fragment(&q(BASE), FragmentSpec::Bgp);
+        let b = fragment(&q(&BASE.replace("0.9", "0.8")), FragmentSpec::Bgp);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        let aw = fragment(&q(BASE), FragmentSpec::Where);
+        let bw = fragment(&q(&BASE.replace("0.9", "0.8")), FragmentSpec::Where);
+        assert_ne!(aw.fingerprint, bw.fingerprint);
+    }
+
+    #[test]
+    fn rename_maps_align_on_shared_fragments() {
+        let a = fragment(&q(BASE), FragmentSpec::Where);
+        let b = fragment(&q(RENAMED), FragmentSpec::Where);
+        // ?compound in BASE and ?c in RENAMED are the same role — they
+        // must map to the same canonical name.
+        assert_eq!(a.canonical("compound"), b.canonical("c"));
+        assert_eq!(a.canonical("protein"), b.canonical("p"));
+        assert_eq!(a.canonical("smiles"), b.canonical("s"));
+        assert_eq!(b.original(a.canonical("compound").unwrap()), Some("c"));
+    }
+
+    #[test]
+    fn select_order_is_semantic() {
+        let a = canonical_query(&q("SELECT ?a ?b WHERE { ?a <p:x> ?b . }"));
+        let b = canonical_query(&q("SELECT ?b ?a WHERE { ?a <p:x> ?b . }"));
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn stage_order_is_semantic() {
+        let a = canonical_query(&q("SELECT ?a WHERE { ?a <p:x> ?b . } \
+            APPLY m1(?b) AS ?u APPLY m2(?b) AS ?v"));
+        let b = canonical_query(&q("SELECT ?a WHERE { ?a <p:x> ?b . } \
+            APPLY m2(?b) AS ?v APPLY m1(?b) AS ?u"));
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn symmetric_patterns_stay_stable_under_swap() {
+        let a = canonical_query(&q("SELECT ?x WHERE { ?x <p:e> ?y . ?y <p:e> ?x . }"));
+        let b = canonical_query(&q("SELECT ?u WHERE { ?v <p:e> ?u . ?u <p:e> ?v . }"));
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+}

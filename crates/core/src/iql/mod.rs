@@ -22,8 +22,10 @@
 //! ```
 
 pub mod ast;
+pub mod canon;
 pub mod lexer;
 pub mod parser;
 
 pub use ast::{Query, TermAst, TriplePatternAst};
+pub use canon::{canonical_query, checkpoint_fragments, fragment, CanonicalFragment, FragmentSpec};
 pub use parser::{parse_query, ParseError};

@@ -37,6 +37,9 @@ pub mod planner;
 pub mod workflow;
 
 pub use datastore::Datastore;
-pub use engine::{DegradedKind, ErrorAnnotation, ExecOptions, QueryOutcome, StageBreakdown};
+pub use engine::{
+    DegradedKind, ErrorAnnotation, ExecOptions, PlanRun, QueryOutcome, ReuseCheckpoint, ReusePlan,
+    StageBreakdown, StepOutcome,
+};
 pub use instance::{IdsConfig, IdsInstance};
 pub use iql::ast::Query;

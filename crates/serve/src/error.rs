@@ -1,0 +1,89 @@
+//! Typed service errors.
+//!
+//! Every rejection a client can see is a value, not a panic: the service
+//! stays up no matter what a tenant submits, and overload answers carry a
+//! deterministic `retry_after_secs` hint (virtual seconds) so a
+//! well-behaved client can back off and succeed on the next attempt.
+
+/// Any failure between a client submission and its result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The tenant was never registered.
+    UnknownTenant(String),
+    /// The session id does not exist.
+    UnknownSession(u64),
+    /// The session was closed; open a new one.
+    SessionClosed(u64),
+    /// Admission control refused the query: the tenant's queue (or the
+    /// global in-flight bound) is full. `retry_after_secs` estimates the
+    /// virtual time until a slot frees up under fair-share scheduling.
+    Overloaded { tenant: String, retry_after_secs: f64 },
+    /// The query failed to parse or plan — resubmitting the same text
+    /// will fail the same way.
+    Rejected(String),
+    /// The query missed its tenant deadline and was aborted by the
+    /// scheduler.
+    DeadlineExceeded { tenant: String, deadline_secs: f64 },
+    /// The engine reported an execution error.
+    Exec(String),
+}
+
+impl ServeError {
+    /// Whether resubmitting the same query later can succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::Overloaded { .. } | ServeError::DeadlineExceeded { .. })
+    }
+
+    /// The back-off hint for overload rejections (virtual seconds).
+    pub fn retry_after_secs(&self) -> Option<f64> {
+        match self {
+            ServeError::Overloaded { retry_after_secs, .. } => Some(*retry_after_secs),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+            ServeError::UnknownSession(s) => write!(f, "unknown session #{s}"),
+            ServeError::SessionClosed(s) => write!(f, "session #{s} is closed"),
+            ServeError::Overloaded { tenant, retry_after_secs } => {
+                write!(f, "tenant {tenant:?} overloaded; retry after {retry_after_secs:.3}s")
+            }
+            ServeError::Rejected(m) => write!(f, "rejected: {m}"),
+            ServeError::DeadlineExceeded { tenant, deadline_secs } => {
+                write!(f, "tenant {tenant:?} deadline of {deadline_secs}s exceeded")
+            }
+            ServeError::Exec(m) => write!(f, "exec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_and_hints() {
+        let over = ServeError::Overloaded { tenant: "a".into(), retry_after_secs: 0.25 };
+        assert!(over.is_retryable());
+        assert_eq!(over.retry_after_secs(), Some(0.25));
+        let rej = ServeError::Rejected("parse: nope".into());
+        assert!(!rej.is_retryable());
+        assert_eq!(rej.retry_after_secs(), None);
+        assert!(
+            ServeError::DeadlineExceeded { tenant: "a".into(), deadline_secs: 1.0 }.is_retryable()
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::Overloaded { tenant: "chem".into(), retry_after_secs: 0.5 };
+        assert!(e.to_string().contains("chem") && e.to_string().contains("0.500"));
+        assert!(ServeError::UnknownSession(7).to_string().contains("#7"));
+    }
+}

@@ -1,0 +1,695 @@
+//! The query service: sessions, admission control, and the fair-share
+//! scheduler.
+//!
+//! One [`QueryService`] owns one [`IdsInstance`] and multiplexes many
+//! tenants over it. Queries are admitted into bounded per-tenant queues,
+//! then interleaved at *pipeline-stage granularity* by a weighted
+//! deficit-round-robin (WDRR) scheduler running on the instance's virtual
+//! clock: each scheduling slice steps one query's [`PlanRun`] through one
+//! BSP stage, charges the stage's virtual cost against the tenant's
+//! deficit, and moves on. Everything is single-threaded and seeded, so a
+//! given (seed, workload) pair replays byte-identically — including the
+//! scheduler's slice trace, which hashes to a stable digest via
+//! [`QueryService::trace_hash`].
+
+use crate::error::ServeError;
+use ids_core::{IdsInstance, PlanRun, QueryOutcome, StepOutcome};
+use ids_simrt::rng::{fnv1a, hash_combine};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Service-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Virtual seconds of work a weight-1 tenant earns per scheduler
+    /// round. Larger quanta mean fewer, longer slices.
+    pub quantum_secs: f64,
+    /// Enable semantic result reuse (plan-fragment checkpoints in the
+    /// instance's attached cache). Off = every query executes cold.
+    pub reuse: bool,
+    /// Global bound on queued queries across all tenants.
+    pub max_in_flight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { quantum_secs: 0.05, reuse: true, max_in_flight: 256 }
+    }
+}
+
+/// Per-tenant admission and scheduling policy.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Tenant name (also the metrics label).
+    pub name: String,
+    /// Fair-share weight: a weight-2 tenant earns twice the virtual time
+    /// per round of a weight-1 tenant. Clamped to at least 1.
+    pub weight: u32,
+    /// Bound on this tenant's queued + running queries.
+    pub max_queued: usize,
+    /// Optional per-query deadline (virtual seconds from admission).
+    /// Queries still queued or running past it are aborted with
+    /// [`ServeError::DeadlineExceeded`].
+    pub deadline_secs: Option<f64>,
+}
+
+impl TenantConfig {
+    /// A weight-1 tenant with an 8-deep queue and no deadline.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), weight: 1, max_queued: 8, deadline_secs: None }
+    }
+
+    /// Set the fair-share weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Set the queue-depth bound.
+    pub fn with_max_queued(mut self, depth: usize) -> Self {
+        self.max_queued = depth.max(1);
+        self
+    }
+
+    /// Set the per-query deadline.
+    pub fn with_deadline(mut self, secs: f64) -> Self {
+        self.deadline_secs = Some(secs);
+        self
+    }
+}
+
+/// Handle for an open client session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+/// Handle for an admitted query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+/// One scheduler slice: which query ran which pipeline stage, and when on
+/// the virtual clock. The full slice sequence is the scheduler trace.
+#[derive(Debug, Clone)]
+pub struct SliceRecord {
+    /// Tenant that was charged.
+    pub tenant: String,
+    /// Query that ran.
+    pub query: QueryId,
+    /// Pipeline stage label (`pattern0`, `where-filter`, `stage1`,
+    /// `gather`).
+    pub phase: String,
+    /// Virtual time when the slice started.
+    pub started_at: f64,
+    /// Virtual time when the slice ended.
+    pub ended_at: f64,
+}
+
+/// A finished (or aborted) query with its service-level timings.
+#[derive(Debug)]
+pub struct Completed {
+    /// Owning tenant.
+    pub tenant: String,
+    /// Session the query was submitted on.
+    pub session: SessionId,
+    /// The admitted query id.
+    pub query: QueryId,
+    /// Engine outcome, or the service error that ended the query.
+    pub result: Result<QueryOutcome, ServeError>,
+    /// Virtual seconds between admission and the first scheduled slice.
+    pub queue_wait_secs: f64,
+    /// Virtual seconds between admission and completion.
+    pub latency_secs: f64,
+    /// Scheduler slices this query consumed.
+    pub slices: u32,
+    /// Reuse checkpoint the run resumed from (−1 = executed cold; 0 =
+    /// after-BGP, 1 = after-WHERE, 2 + i = after stage i).
+    pub resumed_from: i64,
+}
+
+struct Job {
+    id: QueryId,
+    session: SessionId,
+    run: PlanRun,
+    enqueued_at: f64,
+    first_slice_at: Option<f64>,
+    slices: u32,
+}
+
+struct Tenant {
+    cfg: TenantConfig,
+    deficit: f64,
+    queue: VecDeque<Job>,
+}
+
+struct Session {
+    tenant: String,
+    open: bool,
+}
+
+/// A deterministic multi-tenant query service over one [`IdsInstance`].
+pub struct QueryService {
+    inst: IdsInstance,
+    cfg: ServeConfig,
+    tenants: BTreeMap<String, Tenant>,
+    sessions: BTreeMap<u64, Session>,
+    next_session: u64,
+    next_query: u64,
+    trace: Vec<SliceRecord>,
+}
+
+impl QueryService {
+    /// Wrap an instance. The instance keeps its datastore, cache, faults,
+    /// and profilers — the service only adds multiplexing on top.
+    pub fn new(inst: IdsInstance, cfg: ServeConfig) -> Self {
+        Self {
+            inst,
+            cfg,
+            tenants: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            next_session: 0,
+            next_query: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Register a tenant (idempotent by name: re-registering replaces the
+    /// policy but keeps any queued work).
+    pub fn register_tenant(&mut self, cfg: TenantConfig) {
+        let name = cfg.name.clone();
+        match self.tenants.get_mut(&name) {
+            Some(t) => t.cfg = cfg,
+            None => {
+                self.tenants.insert(name, Tenant { cfg, deficit: 0.0, queue: VecDeque::new() });
+            }
+        }
+    }
+
+    /// Open a session for `tenant`.
+    pub fn open_session(&mut self, tenant: &str) -> Result<SessionId, ServeError> {
+        if !self.tenants.contains_key(tenant) {
+            return Err(ServeError::UnknownTenant(tenant.to_string()));
+        }
+        let id = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(id, Session { tenant: tenant.to_string(), open: true });
+        self.inst
+            .metrics()
+            .counter_with("ids_serve_sessions_total", "tenant", tenant.to_string())
+            .inc();
+        Ok(SessionId(id))
+    }
+
+    /// Close a session. Already-admitted queries still run to completion;
+    /// new submissions on the session are refused.
+    pub fn close_session(&mut self, session: SessionId) -> Result<(), ServeError> {
+        match self.sessions.get_mut(&session.0) {
+            Some(s) => {
+                s.open = false;
+                Ok(())
+            }
+            None => Err(ServeError::UnknownSession(session.0)),
+        }
+    }
+
+    /// Submit a query on a session. Admission control runs here: unknown
+    /// or closed sessions, full queues, and parse/plan failures are all
+    /// refused with a typed error; admitted queries are parsed, planned,
+    /// and queued for the scheduler.
+    pub fn submit(&mut self, session: SessionId, iql: &str) -> Result<QueryId, ServeError> {
+        let tenant_name = {
+            let s = self.sessions.get(&session.0).ok_or(ServeError::UnknownSession(session.0))?;
+            if !s.open {
+                return Err(ServeError::SessionClosed(session.0));
+            }
+            s.tenant.clone()
+        };
+        let total_queued: usize = self.tenants.values().map(|t| t.queue.len()).sum();
+        let tenant = self
+            .tenants
+            .get(&tenant_name)
+            .ok_or_else(|| ServeError::UnknownTenant(tenant_name.clone()))?;
+        if tenant.queue.len() >= tenant.cfg.max_queued || total_queued >= self.cfg.max_in_flight {
+            // Deterministic back-off hint: one fair-share round per queued
+            // query ahead of this one.
+            let retry_after_secs = (tenant.queue.len() as f64 + 1.0) * self.cfg.quantum_secs
+                / tenant.cfg.weight as f64;
+            self.inst
+                .metrics()
+                .counter_with("ids_serve_overloaded_total", "tenant", tenant_name.clone())
+                .inc();
+            return Err(ServeError::Overloaded { tenant: tenant_name, retry_after_secs });
+        }
+        let run = match self.inst.prepare_run(iql, self.cfg.reuse) {
+            Ok(run) => run,
+            Err(e) => {
+                self.inst
+                    .metrics()
+                    .counter_with("ids_serve_rejected_total", "tenant", tenant_name.clone())
+                    .inc();
+                return Err(ServeError::Rejected(e.to_string()));
+            }
+        };
+        let id = QueryId(self.next_query);
+        self.next_query += 1;
+        let enqueued_at = self.inst.cluster().elapsed();
+        self.inst
+            .metrics()
+            .counter_with("ids_serve_admitted_total", "tenant", tenant_name.clone())
+            .inc();
+        self.inst
+            .metrics()
+            .gauge_with("ids_serve_queue_depth", "tenant", tenant_name.clone())
+            .set(tenant.queue.len() as i64 + 1);
+        let tenant = self.tenants.get_mut(&tenant_name).expect("tenant just looked up");
+        tenant.queue.push_back(Job {
+            id,
+            session,
+            run,
+            enqueued_at,
+            first_slice_at: None,
+            slices: 0,
+        });
+        Ok(id)
+    }
+
+    /// Drive every queued query to completion under weighted deficit
+    /// round-robin and return the finished queries in completion order.
+    ///
+    /// Each round visits tenants in name order; a tenant with queued work
+    /// earns `weight × quantum` virtual seconds of deficit and spends it
+    /// stepping its oldest query one pipeline stage at a time. Stage costs
+    /// come off the instance's virtual clock, so an expensive APPLY stage
+    /// exhausts the deficit quickly and yields to other tenants, while
+    /// cheap scans interleave tightly.
+    pub fn run_until_idle(&mut self) -> Vec<Completed> {
+        let mut done = Vec::new();
+        let names: Vec<String> = self.tenants.keys().cloned().collect();
+        while self.tenants.values().any(|t| !t.queue.is_empty()) {
+            for name in &names {
+                self.run_tenant_round(name, &mut done);
+            }
+        }
+        done
+    }
+
+    fn run_tenant_round(&mut self, name: &str, done: &mut Vec<Completed>) {
+        let Some(tenant) = self.tenants.get_mut(name) else { return };
+        if tenant.queue.is_empty() {
+            // WDRR: idle tenants don't bank credit.
+            tenant.deficit = 0.0;
+            return;
+        }
+        tenant.deficit += tenant.cfg.weight as f64 * self.cfg.quantum_secs;
+        while tenant.deficit > 0.0 {
+            let now = self.inst.cluster().elapsed();
+            let Some(job) = tenant.queue.front_mut() else { break };
+            // Deadline check happens on the scheduler clock, before the
+            // next slice is granted.
+            if let Some(deadline) = tenant.cfg.deadline_secs {
+                if now - job.enqueued_at > deadline {
+                    let job = tenant.queue.pop_front().expect("front checked above");
+                    let tenant_name = tenant.cfg.name.clone();
+                    self.inst
+                        .metrics()
+                        .counter_with(
+                            "ids_serve_deadline_aborts_total",
+                            "tenant",
+                            tenant_name.clone(),
+                        )
+                        .inc();
+                    done.push(finish(
+                        &self.inst,
+                        tenant_name.clone(),
+                        job,
+                        now,
+                        Err(ServeError::DeadlineExceeded {
+                            tenant: tenant_name,
+                            deadline_secs: deadline,
+                        }),
+                    ));
+                    continue;
+                }
+            }
+            let started_at = now;
+            job.first_slice_at.get_or_insert(started_at);
+            job.slices += 1;
+            // The label of the stage about to run, captured before the
+            // step advances the run's phase.
+            let phase = job.run.phase_label();
+            let step = self.inst.step_run(&mut job.run);
+            let ended_at = self.inst.cluster().elapsed();
+            tenant.deficit -= ended_at - started_at;
+            self.trace.push(SliceRecord {
+                tenant: name.to_string(),
+                query: job.id,
+                phase,
+                started_at,
+                ended_at,
+            });
+            self.inst
+                .metrics()
+                .counter_with("ids_serve_slices_total", "tenant", name.to_string())
+                .inc();
+            match step {
+                Ok(StepOutcome::Pending) => {}
+                Ok(StepOutcome::Done(outcome)) => {
+                    let job = tenant.queue.pop_front().expect("front stepped above");
+                    done.push(finish(&self.inst, name.to_string(), job, ended_at, Ok(outcome)));
+                }
+                Err(e) => {
+                    let job = tenant.queue.pop_front().expect("front stepped above");
+                    done.push(finish(
+                        &self.inst,
+                        name.to_string(),
+                        job,
+                        ended_at,
+                        Err(ServeError::Exec(e.to_string())),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The scheduler slice trace accumulated so far.
+    pub fn trace(&self) -> &[SliceRecord] {
+        &self.trace
+    }
+
+    /// Deterministic digest of the slice trace: two runs of the same
+    /// (seed, workload) pair must produce the same hash — the replay
+    /// acceptance check for the service layer.
+    pub fn trace_hash(&self) -> u64 {
+        let mut h = fnv1a(b"ids-serve-trace-v1");
+        for s in &self.trace {
+            h = hash_combine(h, fnv1a(s.tenant.as_bytes()));
+            h = hash_combine(h, s.query.0);
+            h = hash_combine(h, fnv1a(s.phase.as_bytes()));
+            h = hash_combine(h, s.started_at.to_bits());
+            h = hash_combine(h, s.ended_at.to_bits());
+        }
+        hash_combine(h, self.trace.len() as u64)
+    }
+
+    /// Borrow the wrapped instance (datastore ingest, metrics, EXPLAIN).
+    pub fn instance(&self) -> &IdsInstance {
+        &self.inst
+    }
+
+    /// Mutable access to the wrapped instance (clock resets, exec knobs).
+    pub fn instance_mut(&mut self) -> &mut IdsInstance {
+        &mut self.inst
+    }
+
+    /// Unwrap the service, recovering the instance.
+    pub fn into_inner(self) -> IdsInstance {
+        self.inst
+    }
+
+    /// Total queries currently queued across tenants.
+    pub fn queued(&self) -> usize {
+        self.tenants.values().map(|t| t.queue.len()).sum()
+    }
+}
+
+/// Build the completion record and emit per-tenant service metrics.
+fn finish(
+    inst: &IdsInstance,
+    tenant: String,
+    job: Job,
+    finished_at: f64,
+    result: Result<QueryOutcome, ServeError>,
+) -> Completed {
+    let queue_wait_secs = job.first_slice_at.unwrap_or(finished_at) - job.enqueued_at;
+    let latency_secs = finished_at - job.enqueued_at;
+    let m = inst.metrics();
+    m.histogram_with("ids_serve_queue_wait_secs", "tenant", tenant.clone())
+        .observe(queue_wait_secs.max(0.0));
+    m.histogram_with("ids_serve_latency_secs", "tenant", tenant.clone())
+        .observe(latency_secs.max(0.0));
+    let counter =
+        if result.is_ok() { "ids_serve_completed_total" } else { "ids_serve_failed_total" };
+    m.counter_with(counter, "tenant", tenant.clone()).inc();
+    Completed {
+        tenant,
+        session: job.session,
+        query: job.id,
+        result,
+        queue_wait_secs,
+        latency_secs,
+        slices: job.slices,
+        resumed_from: job.run.resumed_from(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_cache::{BackingStore, CacheConfig, CacheManager};
+    use ids_core::IdsConfig;
+    use ids_graph::Term;
+    use ids_simrt::{NetworkModel, Topology};
+    use std::sync::Arc;
+
+    fn demo_instance(seed: u64, with_cache: bool) -> IdsInstance {
+        let mut inst = IdsInstance::launch(IdsConfig::laptop(4, seed));
+        let ds = inst.datastore();
+        for i in 0..20 {
+            ds.add_fact(
+                &Term::iri(format!("p:{i}")),
+                &Term::iri("rdf:type"),
+                &Term::iri("up:Protein"),
+            );
+            ds.add_fact(&Term::iri(format!("p:{i}")), &Term::iri("up:len"), &Term::Int(i * 10));
+        }
+        for c in 0..40 {
+            ds.add_fact(
+                &Term::iri(format!("c:{c}")),
+                &Term::iri("inhibits"),
+                &Term::iri(format!("p:{}", c % 20)),
+            );
+        }
+        ds.build_indexes();
+        if with_cache {
+            inst.attach_cache(Arc::new(CacheManager::new(
+                Topology::new(4, 1),
+                NetworkModel::slingshot(),
+                CacheConfig::new(4, 16 << 20, 64 << 20),
+                BackingStore::default_store(),
+            )));
+        }
+        inst
+    }
+
+    fn service(seed: u64, with_cache: bool) -> QueryService {
+        let mut svc = QueryService::new(demo_instance(seed, with_cache), ServeConfig::default());
+        svc.register_tenant(TenantConfig::new("alice"));
+        svc.register_tenant(TenantConfig::new("bob"));
+        svc
+    }
+
+    const Q_PROTEINS: &str = "SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }";
+    const Q_JOIN: &str = "SELECT ?c ?p WHERE { ?c <inhibits> ?p . ?p <rdf:type> <up:Protein> . }";
+
+    #[test]
+    fn sessions_admit_and_complete_queries() {
+        let mut svc = service(7, false);
+        let a = svc.open_session("alice").unwrap();
+        let b = svc.open_session("bob").unwrap();
+        let qa = svc.submit(a, Q_PROTEINS).unwrap();
+        let qb = svc.submit(b, Q_JOIN).unwrap();
+        assert_eq!(svc.queued(), 2);
+        let done = svc.run_until_idle();
+        assert_eq!(svc.queued(), 0);
+        assert_eq!(done.len(), 2);
+        let by_id = |id: QueryId| done.iter().find(|c| c.query == id).unwrap();
+        assert_eq!(by_id(qa).result.as_ref().unwrap().solutions.len(), 20);
+        assert_eq!(by_id(qb).result.as_ref().unwrap().solutions.len(), 40);
+        assert!(done.iter().all(|c| c.slices >= 2), "stage granularity: several slices each");
+        assert!(done.iter().all(|c| c.latency_secs >= c.queue_wait_secs));
+        let snap = svc.instance().metrics_snapshot();
+        assert_eq!(snap.counter("ids_serve_admitted_total", "alice"), 1);
+        assert_eq!(snap.counter("ids_serve_completed_total", "bob"), 1);
+        assert!(snap.counter("ids_serve_slices_total", "alice") >= 2);
+    }
+
+    #[test]
+    fn unknown_and_closed_sessions_are_refused() {
+        let mut svc = service(7, false);
+        assert_eq!(
+            svc.open_session("mallory").unwrap_err(),
+            ServeError::UnknownTenant("mallory".into())
+        );
+        let a = svc.open_session("alice").unwrap();
+        assert_eq!(
+            svc.submit(SessionId(99), Q_PROTEINS).unwrap_err(),
+            ServeError::UnknownSession(99)
+        );
+        svc.close_session(a).unwrap();
+        assert_eq!(svc.submit(a, Q_PROTEINS).unwrap_err(), ServeError::SessionClosed(a.0));
+        assert_eq!(svc.close_session(SessionId(99)).unwrap_err(), ServeError::UnknownSession(99));
+    }
+
+    #[test]
+    fn parse_failures_are_rejected_at_admission() {
+        let mut svc = service(7, false);
+        let a = svc.open_session("alice").unwrap();
+        let err = svc.submit(a, "SELECT").unwrap_err();
+        assert!(matches!(err, ServeError::Rejected(_)), "{err}");
+        assert!(!err.is_retryable());
+        assert_eq!(svc.queued(), 0, "rejected queries never enter the queue");
+        let snap = svc.instance().metrics_snapshot();
+        assert_eq!(snap.counter("ids_serve_rejected_total", "alice"), 1);
+    }
+
+    #[test]
+    fn queue_bound_rejects_with_retry_after() {
+        let mut svc = service(7, false);
+        svc.register_tenant(TenantConfig::new("alice").with_max_queued(2));
+        let a = svc.open_session("alice").unwrap();
+        svc.submit(a, Q_PROTEINS).unwrap();
+        svc.submit(a, Q_PROTEINS).unwrap();
+        let err = svc.submit(a, Q_PROTEINS).unwrap_err();
+        let ServeError::Overloaded { tenant, retry_after_secs } = &err else {
+            panic!("expected overload, got {err}");
+        };
+        assert_eq!(tenant, "alice");
+        assert!(*retry_after_secs > 0.0);
+        assert!(err.is_retryable());
+        // Draining the queue makes room again.
+        svc.run_until_idle();
+        svc.submit(a, Q_PROTEINS).unwrap();
+        let snap = svc.instance().metrics_snapshot();
+        assert_eq!(snap.counter("ids_serve_overloaded_total", "alice"), 1);
+    }
+
+    #[test]
+    fn weighted_tenants_interleave_fairly() {
+        // A quantum comparable to one stage's virtual cost forces real
+        // interleaving (the default quantum is sized for paper-scale
+        // queries, which are far heavier than this toy workload).
+        let mut svc = QueryService::new(
+            demo_instance(7, false),
+            ServeConfig { quantum_secs: 1.0e-5, ..ServeConfig::default() },
+        );
+        svc.register_tenant(TenantConfig::new("bob"));
+        svc.register_tenant(TenantConfig::new("alice").with_weight(3));
+        let a = svc.open_session("alice").unwrap();
+        let b = svc.open_session("bob").unwrap();
+        for _ in 0..3 {
+            svc.submit(a, Q_JOIN).unwrap();
+            svc.submit(b, Q_JOIN).unwrap();
+        }
+        let done = svc.run_until_idle();
+        assert_eq!(done.len(), 6);
+        // The trace interleaves tenants rather than running one to
+        // exhaustion: bob must get slices before alice's last query ends.
+        let trace = svc.trace();
+        let first_bob = trace.iter().position(|s| s.tenant == "bob").unwrap();
+        let last_alice = trace.iter().rposition(|s| s.tenant == "alice").unwrap();
+        assert!(first_bob < last_alice, "slices interleave across tenants");
+        // Weight 3 lets alice finish her backlog no later than bob.
+        let finish_of = |t: &str| done.iter().rposition(|c| c.tenant == t).unwrap();
+        assert!(finish_of("alice") <= finish_of("bob"));
+    }
+
+    #[test]
+    fn deadline_aborts_stale_queries() {
+        let mut svc = service(7, false);
+        // A deadline so tight the second queued query cannot make it.
+        svc.register_tenant(TenantConfig::new("alice").with_deadline(1.0e-9));
+        let a = svc.open_session("alice").unwrap();
+        svc.submit(a, Q_JOIN).unwrap();
+        svc.submit(a, Q_JOIN).unwrap();
+        let done = svc.run_until_idle();
+        assert_eq!(done.len(), 2);
+        // The first query gets at least its first slice at t=enqueue; the
+        // second is aborted once the clock has advanced past its deadline.
+        let aborted: Vec<_> = done.iter().filter(|c| c.result.is_err()).collect();
+        assert!(!aborted.is_empty(), "at least one deadline abort");
+        for c in &aborted {
+            let err = c.result.as_ref().unwrap_err();
+            assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err}");
+        }
+        let snap = svc.instance().metrics_snapshot();
+        assert!(snap.counter("ids_serve_deadline_aborts_total", "alice") >= 1);
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let run = |seed: u64| {
+            let mut svc = service(seed, true);
+            let a = svc.open_session("alice").unwrap();
+            let b = svc.open_session("bob").unwrap();
+            for _ in 0..2 {
+                svc.submit(a, Q_JOIN).unwrap();
+                svc.submit(b, Q_PROTEINS).unwrap();
+            }
+            let done = svc.run_until_idle();
+            let rows: Vec<Vec<Vec<u64>>> = done
+                .iter()
+                .map(|c| {
+                    c.result
+                        .as_ref()
+                        .unwrap()
+                        .solutions
+                        .rows()
+                        .iter()
+                        .map(|r| r.iter().map(|t| t.raw()).collect())
+                        .collect()
+                })
+                .collect();
+            (svc.trace_hash(), rows)
+        };
+        let (h1, r1) = run(11);
+        let (h2, r2) = run(11);
+        assert_eq!(h1, h2, "same seed+workload ⇒ same scheduler trace");
+        assert_eq!(r1, r2, "…and byte-identical per-query rows");
+
+        // A different workload yields a different trace.
+        let mut svc = service(11, true);
+        let a = svc.open_session("alice").unwrap();
+        svc.submit(a, Q_PROTEINS).unwrap();
+        svc.run_until_idle();
+        assert_ne!(h1, svc.trace_hash(), "different workload ⇒ different trace");
+    }
+
+    #[test]
+    fn cross_tenant_semantic_reuse() {
+        let mut svc = service(7, true);
+        let a = svc.open_session("alice").unwrap();
+        let b = svc.open_session("bob").unwrap();
+        svc.submit(a, Q_JOIN).unwrap();
+        let first = svc.run_until_idle();
+        assert_eq!(first[0].resumed_from, -1, "cold run");
+        // Bob submits an α-renamed variant of alice's query: the service
+        // canonicalizes both to the same fingerprints, so bob's run
+        // resumes from alice's cached BGP state.
+        svc.submit(b, "SELECT ?x ?y WHERE { ?x <inhibits> ?y . ?y <rdf:type> <up:Protein> . }")
+            .unwrap();
+        let second = svc.run_until_idle();
+        assert!(second[0].resumed_from >= 0, "warm run resumed from a checkpoint");
+        assert_eq!(second[0].result.as_ref().unwrap().solutions.len(), 40);
+        assert!(
+            second[0].slices < first[0].slices,
+            "resumed run skips the scan/join slices ({} vs {})",
+            second[0].slices,
+            first[0].slices
+        );
+        let snap = svc.instance().metrics_snapshot();
+        assert!(snap.counter("ids_reuse_hits_total", "bgp") >= 1);
+    }
+
+    #[test]
+    fn reuse_off_never_touches_checkpoints() {
+        let inst = demo_instance(7, true);
+        let mut svc =
+            QueryService::new(inst, ServeConfig { reuse: false, ..ServeConfig::default() });
+        svc.register_tenant(TenantConfig::new("alice"));
+        let a = svc.open_session("alice").unwrap();
+        svc.submit(a, Q_JOIN).unwrap();
+        svc.submit(a, Q_JOIN).unwrap();
+        let done = svc.run_until_idle();
+        assert!(done.iter().all(|c| c.resumed_from == -1));
+        let snap = svc.instance().metrics_snapshot();
+        assert_eq!(snap.counter("ids_reuse_hits_total", "bgp"), 0);
+        assert_eq!(snap.counter("ids_reuse_stores_total", "bgp"), 0);
+    }
+}

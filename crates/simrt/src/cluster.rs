@@ -173,6 +173,21 @@ impl Cluster {
         self.phases.clear();
     }
 
+    /// Charge `secs` of synchronized virtual time to every rank: all clocks
+    /// advance to `elapsed() + secs`. Used by layers that perform work on
+    /// behalf of the whole job outside a compute phase (e.g. the service
+    /// tier moving cached intermediates), so reuse traffic still shows up
+    /// honestly in virtual wall-clock. Negative or non-finite charges are
+    /// ignored.
+    pub fn charge_all(&mut self, secs: f64) {
+        if !(secs.is_finite() && secs > 0.0) {
+            return;
+        }
+        let t = self.elapsed() + secs;
+        self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_faults();
+    }
+
     /// Run a compute phase: every rank executes `f` with its own context,
     /// in parallel. Returns per-rank results in rank order. No clock
     /// synchronization happens here — follow with [`Self::barrier`] or
@@ -373,6 +388,18 @@ mod tests {
         let mut c = Cluster::new(Topology::new(4, 2), NetworkModel::slingshot(), 1);
         c.barrier();
         assert!(c.elapsed() > 0.0, "slingshot barrier must cost time");
+    }
+
+    #[test]
+    fn charge_all_advances_every_rank_past_the_slowest() {
+        let mut c = small();
+        c.execute("work", |ctx| ctx.charge(ctx.rank().0 as f64));
+        c.charge_all(2.0);
+        assert!(c.clocks().iter().all(|&t| (t - 9.0).abs() < 1e-12), "{:?}", c.clocks());
+        // Garbage charges are ignored rather than corrupting the clock.
+        c.charge_all(-1.0);
+        c.charge_all(f64::NAN);
+        assert!((c.elapsed() - 9.0).abs() < 1e-12);
     }
 
     #[test]

@@ -39,3 +39,4 @@ pub use faults::{Deadline, FaultConfig, FaultPlane, LinkFactors, RetryPolicy};
 pub use net::NetworkModel;
 pub use stats::{PhaseStats, RankStats, StatSummary};
 pub use topology::{NodeId, RankId, Topology};
+pub use trace::phase_trace_hash;

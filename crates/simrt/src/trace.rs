@@ -5,6 +5,7 @@
 //! from. Each phase renders as a bar scaled to its critical-path time,
 //! with load-imbalance annotation, so stragglers are visible at a glance.
 
+use crate::rng::{fnv1a, hash_combine};
 use crate::stats::PhaseStats;
 
 /// Render a phase history as an aligned text timeline.
@@ -64,6 +65,21 @@ pub fn aggregate_by_name(phases: &[PhaseStats]) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Stable 64-bit digest of a phase history: phase names, critical-path
+/// times, and completion times, in order. Two executions produce the same
+/// digest iff they ran the same phases with bit-identical virtual timing —
+/// the service layer uses this to assert schedules replay byte-identically
+/// for a given (seed, workload).
+pub fn phase_trace_hash(phases: &[PhaseStats]) -> u64 {
+    let mut h = fnv1a(b"ids-phase-trace-v1");
+    for p in phases {
+        h = hash_combine(h, fnv1a(p.name.as_bytes()));
+        h = hash_combine(h, p.critical_path().to_bits());
+        h = hash_combine(h, p.completed_at.to_bits());
+    }
+    hash_combine(h, phases.len() as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +116,17 @@ mod tests {
     #[test]
     fn empty_history_is_handled() {
         assert!(render_timeline(&[], 40).contains("no phases"));
+    }
+
+    #[test]
+    fn trace_hash_is_deterministic_and_order_sensitive() {
+        let h = history();
+        assert_eq!(phase_trace_hash(&h), phase_trace_hash(&h));
+        let mut reordered = h.clone();
+        reordered.swap(0, 1);
+        assert_ne!(phase_trace_hash(&h), phase_trace_hash(&reordered));
+        assert_ne!(phase_trace_hash(&h), phase_trace_hash(&h[..2]));
+        assert_ne!(phase_trace_hash(&[]), phase_trace_hash(&h));
     }
 
     #[test]

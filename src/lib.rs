@@ -14,6 +14,8 @@
 //! * [`cache`] — global shared client-side cache
 //! * [`core`] — the IDS engine: datastore, IQL, planner, workflows
 //! * [`obs`] — metrics registry, virtual-clock spans, Prometheus exposition
+//! * [`serve`] — multi-tenant query service: sessions, admission control,
+//!   fair-share scheduling, semantic result reuse
 //! * [`workloads`] — synthetic Table-1-shaped dataset generators
 
 pub use ids_cache as cache;
@@ -23,6 +25,7 @@ pub use ids_feature as feature;
 pub use ids_graph as graph;
 pub use ids_models as models;
 pub use ids_obs as obs;
+pub use ids_serve as serve;
 pub use ids_simrt as simrt;
 pub use ids_udf as udf;
 pub use ids_vector as vector;
