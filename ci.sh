@@ -4,6 +4,17 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> lint: no partial_cmp().unwrap float orderings"
+# NaN makes partial_cmp(..).unwrap()/unwrap_or(Equal) orderings either
+# panic or silently violate strict weak ordering — use total_cmp or a
+# documented NaN-last comparator instead (see DESIGN.md 5g).
+if grep -rnE 'partial_cmp\([^)]*\)[[:space:]]*\.unwrap' \
+    --include='*.rs' crates tests examples 2>/dev/null \
+    | grep -vE '^[^:]+:[0-9]+:[[:space:]]*(//|\*)'; then
+  echo "error: partial_cmp().unwrap* ordering found — use total_cmp / a NaN-last total order" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -26,6 +37,15 @@ for seed in 1 2 3 4 5 6 7 8; do
     CHAOS_SEED=$seed CHAOS_REPLICATION=$rf cargo test --release --test chaos_faults -q
   done
 done
+
+echo "==> columnar parity matrix (tests/chaos_columnar.rs, release)"
+for seed in 1 2 3 4 5 6 7 8; do
+  echo "---- CHAOS_SEED=$seed"
+  CHAOS_SEED=$seed cargo test --release --test chaos_columnar -q
+done
+
+echo "==> ablation_columnar smoke (asserts byte-identical results, >=1.5x, exact accounting)"
+cargo run --release -p ids-bench --bin ablation_columnar
 
 echo "==> concurrency chaos matrix (tests/chaos_concurrency.rs, release)"
 for seed in 1 2 3 4 5 6 7 8; do

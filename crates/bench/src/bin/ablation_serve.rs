@@ -158,7 +158,7 @@ fn run_cell(clients: usize, reuse: bool) -> Cell {
             c.latency_secs
         })
         .collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies.sort_by(f64::total_cmp);
     let total = svc.instance().cluster().elapsed();
     let snap = svc.instance().metrics_snapshot();
     let hits = snap.counter_sum("ids_reuse_hits_total");

@@ -55,7 +55,7 @@ fn main() {
     let gen = ids_models::MoleculeGenerator::default_model(9);
     let mut costs: Vec<f64> =
         (0..200).map(|i| model.predict(&target, &gen.generate(i).smiles).virtual_secs).collect();
-    costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    costs.sort_by(f64::total_cmp);
     let pct = |p: f64| costs[((costs.len() - 1) as f64 * p) as usize];
     table(
         &["p10", "p50", "p90", "p99", "max"],

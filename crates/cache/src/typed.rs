@@ -18,11 +18,20 @@ use std::fmt;
 
 /// Magic prefix for intermediate-solution objects (`IDSI` little-endian).
 const MAGIC: u32 = 0x4953_4449;
-/// Current encoding version.
-const VERSION: u16 = 1;
+/// Current encoding version. Version 2 switched the row payload from
+/// row-major `u64` cells to per-variable columns at the narrowest
+/// sufficient width (a `u32` column costs half the bytes), matching the
+/// engine's columnar `SolutionBatch` layout and making
+/// [`IntermediateSolutions::encoded_len`] exact.
+const VERSION: u16 = 2;
 /// Hard cap on declared counts, so corrupt headers cannot trigger huge
 /// allocations before the length checks run.
 const MAX_DECLARED: u64 = 1 << 32;
+/// Rows in a zero-variable set occupy no payload bytes, so the usual
+/// "declared count fits the remaining buffer" check cannot bound them;
+/// cap them outright (the engine only ever produces one such row — the
+/// empty-schema unit solution).
+const MAX_EMPTY_SCHEMA_ROWS: u64 = 1 << 16;
 
 /// One column-named binding table, mirroring `ids_graph::SolutionSet` but
 /// decoupled from it so the cache crate stays reusable: rows are dense
@@ -61,6 +70,8 @@ pub enum TypedError {
     LengthOverflow,
     /// A variable name was not valid UTF-8.
     BadVarName,
+    /// A column carried an unknown width tag (corrupt payload).
+    BadColumnTag,
     /// The object decoded, but carries a different fragment fingerprint
     /// than the caller expected (cache-key collision).
     FingerprintMismatch {
@@ -78,6 +89,7 @@ impl fmt::Display for TypedError {
             TypedError::Truncated => write!(f, "typed object: truncated payload"),
             TypedError::LengthOverflow => write!(f, "typed object: implausible declared length"),
             TypedError::BadVarName => write!(f, "typed object: non-UTF-8 variable name"),
+            TypedError::BadColumnTag => write!(f, "typed object: unknown column width tag"),
             TypedError::FingerprintMismatch { expected, found } => write!(
                 f,
                 "typed object: fingerprint mismatch (expected {expected:#018x}, found {found:#018x})"
@@ -136,10 +148,32 @@ impl<'a> Reader<'a> {
     }
 }
 
+impl TypedSolutionSet {
+    /// Wire width (4 or 8 bytes) of column `c`: 4 unless some id in the
+    /// column overflows `u32`.
+    fn column_width(&self, c: usize) -> u64 {
+        if self.rows.iter().any(|r| r[c] > u64::from(u32::MAX)) {
+            8
+        } else {
+            4
+        }
+    }
+
+    /// Exact encoded size of this set's section of the wire format.
+    fn encoded_len(&self) -> usize {
+        let mut total = 2 + 8; // var count + row count
+        for (c, v) in self.vars.iter().enumerate() {
+            total += 2 + v.len(); // name length + bytes
+            total += 1 + self.rows.len() * self.column_width(c) as usize; // tag + values
+        }
+        total
+    }
+}
+
 impl IntermediateSolutions {
-    /// Serialize to the versioned wire format.
+    /// Serialize to the versioned columnar wire format.
     pub fn encode(&self) -> Bytes {
-        let mut out = Vec::with_capacity(64 + self.byte_estimate());
+        let mut out = Vec::with_capacity(self.encoded_len());
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&self.fingerprint.to_le_bytes());
@@ -155,13 +189,20 @@ impl IntermediateSolutions {
                 out.extend_from_slice(v.as_bytes());
             }
             out.extend_from_slice(&(set.rows.len() as u64).to_le_bytes());
-            for row in &set.rows {
-                debug_assert_eq!(row.len(), set.vars.len(), "row width must match schema");
-                for &t in row {
-                    out.extend_from_slice(&t.to_le_bytes());
+            for c in 0..set.vars.len() {
+                let width = set.column_width(c);
+                out.push(width as u8);
+                for row in &set.rows {
+                    debug_assert_eq!(row.len(), set.vars.len(), "row width must match schema");
+                    if width == 4 {
+                        out.extend_from_slice(&(row[c] as u32).to_le_bytes());
+                    } else {
+                        out.extend_from_slice(&row[c].to_le_bytes());
+                    }
                 }
             }
         }
+        debug_assert_eq!(out.len(), self.encoded_len(), "encoded_len must be exact");
         Bytes::from(out)
     }
 
@@ -196,14 +237,34 @@ impl IntermediateSolutions {
                     std::str::from_utf8(raw).map_err(|_| TypedError::BadVarName)?.to_string(),
                 );
             }
-            let n_rows = r.count(n_vars.max(1) * 8)?;
-            let mut rows = Vec::with_capacity(n_rows);
-            for _ in 0..n_rows {
-                let mut row = Vec::with_capacity(n_vars);
-                for _ in 0..n_vars {
-                    row.push(r.u64()?);
+            let n_rows = if n_vars == 0 {
+                // Zero-width rows carry no payload bytes to length-check
+                // against; bound the declared count directly.
+                let n = r.u64()?;
+                if n > MAX_EMPTY_SCHEMA_ROWS {
+                    return Err(TypedError::LengthOverflow);
                 }
-                rows.push(row);
+                n as usize
+            } else {
+                // Lower bound: one tag byte per column plus 4 bytes per cell.
+                r.count(n_vars * 4)?
+            };
+            let mut rows = vec![vec![0u64; n_vars]; n_rows];
+            for c in 0..n_vars {
+                let width = r.take(1)?[0];
+                match width {
+                    4 => {
+                        for row in rows.iter_mut() {
+                            row[c] = u64::from(r.u32()?);
+                        }
+                    }
+                    8 => {
+                        for row in rows.iter_mut() {
+                            row[c] = r.u64()?;
+                        }
+                    }
+                    _ => return Err(TypedError::BadColumnTag),
+                }
             }
             sets.push(TypedSolutionSet { vars, rows });
         }
@@ -215,15 +276,18 @@ impl IntermediateSolutions {
         self.sets.iter().map(|s| s.rows.len()).sum()
     }
 
-    /// Rough payload size (8 bytes per binding), used for cache-admission
-    /// caps before paying the encode.
-    pub fn byte_estimate(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| {
-                s.rows.len() * s.vars.len() * 8 + s.vars.iter().map(String::len).sum::<usize>()
-            })
-            .sum()
+    /// Exact encoded size in bytes — `encode().len()` without paying the
+    /// encode. Cache-admission caps and size accounting use this, so the
+    /// charged size always matches the measured serialized size.
+    pub fn encoded_len(&self) -> usize {
+        // Header: magic(4) + version(2) + fingerprint(8), then the
+        // pre-filter counts and the set count.
+        4 + 2
+            + 8
+            + 8
+            + 8 * self.pre_filter_counts.len()
+            + 8
+            + self.sets.iter().map(TypedSolutionSet::encoded_len).sum::<usize>()
     }
 }
 
@@ -270,6 +334,87 @@ mod tests {
             }
             other => panic!("expected fingerprint mismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        for obj in [
+            sample(),
+            IntermediateSolutions { fingerprint: 1, pre_filter_counts: vec![], sets: vec![] },
+            IntermediateSolutions {
+                fingerprint: 2,
+                pre_filter_counts: vec![9],
+                sets: vec![TypedSolutionSet {
+                    vars: vec!["wide".into(), "narrow".into()],
+                    rows: vec![vec![u64::MAX, 3], vec![7, 4]],
+                }],
+            },
+        ] {
+            assert_eq!(obj.encode().len(), obj.encoded_len());
+        }
+    }
+
+    #[test]
+    fn wide_ids_round_trip_and_narrow_columns_halve_bytes() {
+        let narrow = IntermediateSolutions {
+            fingerprint: 5,
+            pre_filter_counts: vec![],
+            sets: vec![TypedSolutionSet {
+                vars: vec!["x".into()],
+                rows: (0..100).map(|i| vec![i]).collect(),
+            }],
+        };
+        let wide = IntermediateSolutions {
+            fingerprint: 5,
+            pre_filter_counts: vec![],
+            sets: vec![TypedSolutionSet {
+                vars: vec!["x".into()],
+                rows: (0..100).map(|i| vec![i + (1 << 40)]).collect(),
+            }],
+        };
+        assert_eq!(wide.encoded_len() - narrow.encoded_len(), 100 * 4);
+        for obj in [narrow, wide] {
+            let back = IntermediateSolutions::decode(&obj.encode(), 5).unwrap();
+            assert_eq!(back, obj);
+        }
+    }
+
+    #[test]
+    fn empty_schema_rows_round_trip_but_absurd_counts_are_rejected() {
+        // The engine's unit solution: one row with no columns.
+        let obj = IntermediateSolutions {
+            fingerprint: 3,
+            pre_filter_counts: vec![1],
+            sets: vec![TypedSolutionSet { vars: vec![], rows: vec![vec![]] }],
+        };
+        let bytes = obj.encode();
+        assert_eq!(bytes.len(), obj.encoded_len());
+        assert_eq!(IntermediateSolutions::decode(&bytes, 3).unwrap(), obj);
+
+        // A corrupted row count for a zero-var set must not allocate.
+        let mut corrupt = bytes.to_vec();
+        let row_count_at = bytes.len() - 8; // last field is the u64 row count
+        corrupt[row_count_at..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            IntermediateSolutions::decode(&corrupt, 3),
+            Err(TypedError::LengthOverflow)
+        ));
+    }
+
+    #[test]
+    fn bad_column_tag_is_rejected() {
+        let obj = sample();
+        let bytes = obj.encode().to_vec();
+        // First column tag of the first set: header(14) + pre(8 + 4*8) +
+        // nsets(8) + nvars(2) + 2*(2+2 names) + nrows(8).
+        let tag_at = 14 + 8 + 32 + 8 + 2 + 8 + 8;
+        assert_eq!(bytes[tag_at], 4, "expected the narrow-width tag");
+        let mut corrupt = bytes.clone();
+        corrupt[tag_at] = 9;
+        assert!(matches!(
+            IntermediateSolutions::decode(&corrupt, obj.fingerprint),
+            Err(TypedError::BadColumnTag)
+        ));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::datastore::Datastore;
 use crate::planner::{PhysicalPlan, PhysicalStage};
 use ids_cache::{CacheManager, IntermediateSolutions, TypedSolutionSet};
 use ids_graph::ops as gops;
-use ids_graph::{SolutionSet, TermId};
+use ids_graph::{SolutionBatch, SolutionSet, TermId};
 use ids_obs::MetricsRegistry;
 use ids_simrt::rng::{fnv1a, hash_combine};
 use ids_simrt::{Cluster, RankId};
@@ -109,6 +109,26 @@ pub struct ExecOptions {
     /// reported as [`ErrorAnnotation`]s on the outcome instead of failing
     /// the whole query. Default `false` (fail fast).
     pub degrade: bool,
+    /// Columnar batch execution (default `true`): joins and FILTER/APPLY
+    /// stages process solutions in batches of [`Self::batch_rows`],
+    /// charging one [`Self::batch_dispatch_secs`] per batch and an
+    /// amortized per-row overhead instead of the row engine's full per-row
+    /// dispatch cost. Data semantics are identical in both modes — only
+    /// the virtual-time cost model differs — so results are byte-identical
+    /// (`false` is the ablation baseline).
+    pub columnar: bool,
+    /// Rows per batch in columnar mode.
+    pub batch_rows: usize,
+    /// Virtual cost of dispatching one batch through an operator
+    /// (registry/expression setup paid once per batch, not per row).
+    pub batch_dispatch_secs: f64,
+    /// How much of [`Self::eval_secs_per_row`] batching amortizes away:
+    /// per-row eval overhead in columnar mode is `eval_secs_per_row /
+    /// columnar_eval_amortization`. UDF virtual costs are never amortized
+    /// — the model's work is the same either way.
+    pub columnar_eval_amortization: f64,
+    /// Same for [`Self::join_secs_per_row`] in batched joins.
+    pub columnar_join_amortization: f64,
 }
 
 impl Default for ExecOptions {
@@ -125,6 +145,11 @@ impl Default for ExecOptions {
             row_retries: 2,
             retry_backoff_secs: 1.0e-3,
             degrade: false,
+            columnar: true,
+            batch_rows: 1024,
+            batch_dispatch_secs: 5.0e-7,
+            columnar_eval_amortization: 8.0,
+            columnar_join_amortization: 4.0,
         }
     }
 }
@@ -376,7 +401,10 @@ pub struct PlanRun {
     phase: RunPhase,
     started: bool,
     t0: f64,
-    sets: Option<Vec<SolutionSet>>,
+    /// Per-rank intermediate solutions in the engine's columnar hot-path
+    /// representation; converted to [`SolutionSet`] only at the gather and
+    /// checkpoint boundaries.
+    sets: Option<Vec<SolutionBatch>>,
     breakdown: StageBreakdown,
     annotations: Vec<ErrorAnnotation>,
     pre_filter_counts: Vec<u64>,
@@ -611,7 +639,7 @@ impl PlanRun {
             }
             typed_sets.push(TypedSolutionSet {
                 vars,
-                rows: s.rows().iter().map(|r| r.iter().map(|t| t.raw()).collect()).collect(),
+                rows: (0..s.len()).map(|i| s.row(i).iter().map(|t| t.raw()).collect()).collect(),
             });
         }
         let obj = IntermediateSolutions {
@@ -619,7 +647,9 @@ impl PlanRun {
             pre_filter_counts: self.pre_filter_counts.clone(),
             sets: typed_sets,
         };
-        if obj.byte_estimate() > reuse.max_object_bytes {
+        // `encoded_len` is exact (== `encode().len()`), so the admission
+        // cap charges the measured serialized size, not an estimate.
+        if obj.encoded_len() > reuse.max_object_bytes {
             metrics
                 .counter_with("ids_reuse_skipped_total", "reason", "too-large".to_string())
                 .inc();
@@ -645,17 +675,17 @@ impl PlanRun {
         if let Some(pat) = self.plan.patterns.get(i) {
             if pat.impossible {
                 let vars: Vec<String> = pat.variables().iter().map(|s| s.to_string()).collect();
-                self.sets = Some(vec![SolutionSet::empty(vars); ranks]);
+                self.sets = Some(vec![SolutionBatch::empty(vars); ranks]);
             } else {
-                // Scan phase.
+                // Scan phase: triples bind straight into columnar batches.
                 let opts = self.opts;
                 let scan_start = cluster.elapsed();
-                let scanned: Vec<SolutionSet> = cluster.execute("scan", |ctx| {
+                let scanned: Vec<SolutionBatch> = cluster.execute("scan", |ctx| {
                     let shard = ctx.rank().index();
                     let triples = ds.scan_shard(shard, &pat.pattern);
                     ctx.charge(1.0e-5 + triples.len() as f64 * opts.scan_secs_per_triple);
                     ctx.count("triples_scanned", triples.len() as u64);
-                    gops::scan_to_solutions(
+                    gops::scan_to_batch(
                         &pat.pattern,
                         pat.var_s.as_deref(),
                         pat.var_p.as_deref(),
@@ -666,7 +696,7 @@ impl PlanRun {
                 cluster.barrier();
                 let scan_end = cluster.elapsed();
                 self.breakdown.scan_secs += scan_end - scan_start;
-                let scanned_rows: usize = scanned.iter().map(SolutionSet::len).sum();
+                let scanned_rows: usize = scanned.iter().map(SolutionBatch::len).sum();
                 record_stage(metrics, "scan", scan_start, scan_end, format!("{scanned_rows} rows"));
                 anti_entropy_tick(cache, metrics, scan_end);
 
@@ -674,10 +704,11 @@ impl PlanRun {
                     None => scanned,
                     Some(existing) => {
                         let join_start = cluster.elapsed();
-                        let joined = distributed_join(cluster, existing, scanned, &self.opts)?;
+                        let joined =
+                            distributed_join(cluster, existing, scanned, &self.opts, metrics)?;
                         let join_end = cluster.elapsed();
                         self.breakdown.join_secs += join_end - join_start;
-                        let joined_rows: usize = joined.iter().map(SolutionSet::len).sum();
+                        let joined_rows: usize = joined.iter().map(SolutionBatch::len).sum();
                         record_stage(
                             metrics,
                             "join",
@@ -699,8 +730,8 @@ impl PlanRun {
             if self.sets.is_none() {
                 // No patterns: a single empty-schema row on rank 0 lets
                 // constant filters and APPLY stages still run once.
-                let mut v = vec![SolutionSet::empty(vec![]); ranks];
-                v[0].push(vec![]);
+                let mut v = vec![SolutionBatch::empty(vec![]); ranks];
+                v[0].push_row(&[]);
                 self.sets = Some(v);
             }
             self.pre_filter_counts = self
@@ -740,7 +771,7 @@ impl PlanRun {
             )?;
             let end = cluster.elapsed();
             self.breakdown.filter_secs += end - t - take_rebalance_delta(&mut self.breakdown);
-            let kept: usize = filtered.iter().map(SolutionSet::len).sum();
+            let kept: usize = filtered.iter().map(SolutionBatch::len).sum();
             record_stage(metrics, "filter", t, end, format!("{kept} rows kept"));
             anti_entropy_tick(cache, metrics, end);
             self.sets = Some(filtered);
@@ -782,7 +813,7 @@ impl PlanRun {
                 )?;
                 let end = cluster.elapsed();
                 self.breakdown.filter_secs += end - t - take_rebalance_delta(&mut self.breakdown);
-                let kept: usize = filtered.iter().map(SolutionSet::len).sum();
+                let kept: usize = filtered.iter().map(SolutionBatch::len).sum();
                 record_stage(metrics, "filter", t, end, format!("{kept} rows kept"));
                 anti_entropy_tick(cache, metrics, end);
                 self.sets = Some(filtered);
@@ -827,7 +858,10 @@ impl PlanRun {
     ) -> Result<QueryOutcome, ExecError> {
         let solutions = self.sets.take().unwrap_or_default();
         let gather_start = cluster.elapsed();
-        let total_bytes: u64 = solutions.iter().map(SolutionSet::byte_size).sum();
+        // Exact columnar wire bytes — the same formula the cache accounting
+        // uses — so the gather collective is charged for what would really
+        // cross the network.
+        let total_bytes: u64 = solutions.iter().map(SolutionBatch::byte_size).sum();
         cluster.allgather_cost(total_bytes / ranks.max(1) as u64);
         self.breakdown.gather_secs = cluster.elapsed() - gather_start;
         record_stage(
@@ -840,7 +874,10 @@ impl PlanRun {
         anti_entropy_tick(cache, metrics, cluster.elapsed());
 
         let plan = &self.plan;
-        let mut gathered = gops::merge(solutions);
+        // Row-oriented processing is fine at the gather boundary: the
+        // result set is final-sized and ORDER BY/project/distinct operate
+        // on whole rows anyway.
+        let mut gathered = gops::merge_batches(solutions).to_set();
         // ORDER BY runs before projection so the sort variable need not be
         // projected; DISTINCT and LIMIT run after, on the final shape.
         if let Some((var, descending)) = &plan.order_by {
@@ -920,7 +957,7 @@ fn load_checkpoint(
     bytes: &[u8],
     cp: &ReuseCheckpoint,
     ranks: usize,
-) -> Option<(Vec<SolutionSet>, Vec<u64>)> {
+) -> Option<(Vec<SolutionBatch>, Vec<u64>)> {
     let obj = IntermediateSolutions::decode(bytes, cp.fingerprint).ok()?;
     if obj.sets.len() != ranks || obj.pre_filter_counts.len() != ranks {
         return None;
@@ -928,14 +965,19 @@ fn load_checkpoint(
     let canon_to_orig: HashMap<&str, &str> =
         cp.rename.iter().map(|(o, c)| (c.as_str(), o.as_str())).collect();
     let mut sets = Vec::with_capacity(obj.sets.len());
+    let mut rowbuf: Vec<TermId> = Vec::new();
     for ts in obj.sets {
         let mut vars = Vec::with_capacity(ts.vars.len());
         for v in &ts.vars {
             vars.push((*canon_to_orig.get(v.as_str())?).to_string());
         }
-        let rows: Vec<Vec<TermId>> =
-            ts.rows.into_iter().map(|r| r.into_iter().map(TermId).collect()).collect();
-        sets.push(SolutionSet::new(vars, rows));
+        let mut batch = SolutionBatch::empty(vars);
+        for r in &ts.rows {
+            rowbuf.clear();
+            rowbuf.extend(r.iter().copied().map(TermId));
+            batch.push_row(&rowbuf);
+        }
+        sets.push(batch);
     }
     Some((sets, obj.pre_filter_counts))
 }
@@ -975,7 +1017,6 @@ pub fn execute_plan(
 /// and before everything else; strings/IRIs sort lexically; unbound
 /// (undecodable) terms sort last.
 fn compare_terms(a: Option<&ids_graph::Term>, b: Option<&ids_graph::Term>) -> std::cmp::Ordering {
-    use std::cmp::Ordering;
     let key = |t: Option<&ids_graph::Term>| -> (u8, f64, String) {
         match t {
             Some(t) => match t.as_f64() {
@@ -987,7 +1028,9 @@ fn compare_terms(a: Option<&ids_graph::Term>, b: Option<&ids_graph::Term>) -> st
     };
     let (ka, va, sa) = key(a);
     let (kb, vb, sb) = key(b);
-    ka.cmp(&kb).then(va.partial_cmp(&vb).unwrap_or(Ordering::Equal)).then(sa.cmp(&sb))
+    // total_cmp keeps the sort a strict weak order even if a term decodes
+    // to NaN (it sorts after every other numeric, before strings).
+    ka.cmp(&kb).then(va.total_cmp(&vb)).then(sa.cmp(&sb))
 }
 
 // Rebalance time is recorded inside run_*_stage via this side channel so the
@@ -1006,14 +1049,54 @@ fn take_rebalance_delta(breakdown: &mut StageBreakdown) -> f64 {
     d
 }
 
+/// Per-batch dispatch accounting for one operator in columnar mode:
+/// charges `⌈rows / batch_rows⌉` dispatches plus the amortized per-row
+/// cost, and feeds the `ids_engine_batches_total` / `ids_engine_batch_rows`
+/// observability series. Returns the virtual seconds to charge.
+fn columnar_cost(
+    rows: usize,
+    secs_per_row: f64,
+    amortization: f64,
+    opts: &ExecOptions,
+    meter: &BatchMeter,
+) -> f64 {
+    let batch_rows = opts.batch_rows.max(1);
+    let batches = rows.div_ceil(batch_rows).max(1);
+    meter.batches.add(batches as u64);
+    let mut remaining = rows;
+    for _ in 0..batches {
+        let this = remaining.min(batch_rows);
+        meter.rows.observe(this as f64);
+        remaining -= this;
+    }
+    batches as f64 * opts.batch_dispatch_secs + rows as f64 * secs_per_row / amortization.max(1.0)
+}
+
+/// Batch observability series for one operator, pre-resolved so worker
+/// closures don't touch the registry maps.
+struct BatchMeter {
+    batches: ids_obs::Counter,
+    rows: ids_obs::Histogram,
+}
+
+impl BatchMeter {
+    fn new(metrics: &MetricsRegistry, op: &str) -> Self {
+        Self {
+            batches: metrics.counter_with("ids_engine_batches_total", "op", op.to_string()),
+            rows: metrics.histogram("ids_engine_batch_rows"),
+        }
+    }
+}
+
 /// Hash-partition both sides on their shared variables, exchange, and join
 /// rank-locally.
 fn distributed_join(
     cluster: &mut Cluster,
-    left: Vec<SolutionSet>,
-    right: Vec<SolutionSet>,
+    left: Vec<SolutionBatch>,
+    right: Vec<SolutionBatch>,
     opts: &ExecOptions,
-) -> Result<Vec<SolutionSet>, ExecError> {
+    metrics: &MetricsRegistry,
+) -> Result<Vec<SolutionBatch>, ExecError> {
     let ranks = left.len();
     let left_vars = left[0].vars().to_vec();
     let right_vars = right[0].vars().to_vec();
@@ -1023,17 +1106,17 @@ fn distributed_join(
     let (left, right, exchanged_bytes) = if shared.is_empty() {
         // Cross product: broadcast the smaller side to every rank.
         let (small, big, small_is_left) = {
-            let l: usize = left.iter().map(SolutionSet::len).sum();
-            let r: usize = right.iter().map(SolutionSet::len).sum();
+            let l: usize = left.iter().map(SolutionBatch::len).sum();
+            let r: usize = right.iter().map(SolutionBatch::len).sum();
             if l <= r {
                 (left, right, true)
             } else {
                 (right, left, false)
             }
         };
-        let merged_small = gops::merge(small);
+        let merged_small = gops::merge_batches(small);
         let bytes = merged_small.byte_size() * ranks as u64;
-        let replicated: Vec<SolutionSet> = (0..ranks).map(|_| merged_small.clone()).collect();
+        let replicated: Vec<SolutionBatch> = (0..ranks).map(|_| merged_small.clone()).collect();
         if small_is_left {
             (replicated, big, bytes)
         } else {
@@ -1042,7 +1125,7 @@ fn distributed_join(
     } else {
         let l = repartition_by_vars(left, &shared, ranks)?;
         let r = repartition_by_vars(right, &shared, ranks)?;
-        let bytes: u64 = l.iter().chain(&r).map(SolutionSet::byte_size).sum();
+        let bytes: u64 = l.iter().chain(&r).map(SolutionBatch::byte_size).sum();
         (l, r, bytes)
     };
 
@@ -1050,12 +1133,26 @@ fn distributed_join(
     let per_rank = exchanged_bytes / ranks.max(1) as u64;
     cluster.alltoallv_cost(&vec![per_rank; ranks]);
 
-    // Rank-local joins.
-    let joined: Vec<SolutionSet> = cluster.execute("join", |ctx| {
+    // Rank-local joins. The data plane is identical in both modes (the
+    // same batch hash-join); `opts.columnar` only selects the cost model —
+    // per-batch dispatch with an amortized per-row probe versus the legacy
+    // per-row charge.
+    let meter = BatchMeter::new(metrics, "join");
+    let joined: Vec<SolutionBatch> = cluster.execute("join", |ctx| {
         let r = ctx.rank().index();
-        let out = gops::hash_join(&left[r], &right[r]);
+        let out = gops::hash_join_batch(&left[r], &right[r]);
         let rows = left[r].len() + right[r].len() + out.len();
-        ctx.charge(rows as f64 * opts.join_secs_per_row);
+        if opts.columnar {
+            ctx.charge(columnar_cost(
+                rows,
+                opts.join_secs_per_row,
+                opts.columnar_join_amortization,
+                opts,
+                &meter,
+            ));
+        } else {
+            ctx.charge(rows as f64 * opts.join_secs_per_row);
+        }
         ctx.count("joined_rows", out.len() as u64);
         out
     });
@@ -1065,10 +1162,10 @@ fn distributed_join(
 
 /// Redistribute rows so equal join keys land on equal ranks.
 fn repartition_by_vars(
-    sets: Vec<SolutionSet>,
+    sets: Vec<SolutionBatch>,
     vars: &[String],
     ranks: usize,
-) -> Result<Vec<SolutionSet>, ExecError> {
+) -> Result<Vec<SolutionBatch>, ExecError> {
     let schema = sets[0].vars().to_vec();
     // The shared variables were computed from this schema, so lookup only
     // fails on an internal planner bug — report it instead of panicking.
@@ -1080,15 +1177,17 @@ fn repartition_by_vars(
             })
         })
         .collect::<Result<_, _>>()?;
-    let mut out: Vec<SolutionSet> =
-        (0..ranks).map(|_| SolutionSet::empty(schema.clone())).collect();
-    for mut set in sets {
-        for row in set.take_rows() {
+    let mut out: Vec<SolutionBatch> =
+        (0..ranks).map(|_| SolutionBatch::empty(schema.clone())).collect();
+    let mut rowbuf: Vec<TermId> = Vec::new();
+    for set in sets {
+        for i in 0..set.len() {
+            set.copy_row(i, &mut rowbuf);
             let mut h = 0xA17C_E55Eu64;
-            for &i in &key_idx {
-                h = hash_combine(h, fnv1a(&row[i].raw().to_le_bytes()));
+            for &k in &key_idx {
+                h = hash_combine(h, fnv1a(&rowbuf[k].raw().to_le_bytes()));
             }
-            out[(h % ranks as u64) as usize].push(row);
+            out[(h % ranks as u64) as usize].push_row(&rowbuf);
         }
     }
     Ok(out)
@@ -1098,25 +1197,21 @@ fn repartition_by_vars(
 /// surplus ranks to deficit ranks) and charge the exchange.
 fn apply_rebalance_plan(
     cluster: &mut Cluster,
-    mut solutions: Vec<SolutionSet>,
+    mut solutions: Vec<SolutionBatch>,
     plan: &RebalancePlan,
-) -> Vec<SolutionSet> {
+) -> Vec<SolutionBatch> {
     let t0 = cluster.elapsed();
-    let schema = solutions[0].vars().to_vec();
     let mut surplus: Vec<Vec<TermId>> = Vec::new();
     let mut moved_bytes = vec![0u64; solutions.len()];
     for (r, set) in solutions.iter_mut().enumerate() {
         let target = plan.targets[r] as usize;
         if set.len() > target {
-            let rows = set.take_rows();
-            let (keep, give) = rows.split_at(target);
-            moved_bytes[r] = (give.len() * schema.len() * 8) as u64;
-            let mut kept = SolutionSet::empty(schema.clone());
-            for row in keep {
-                kept.push(row.clone());
-            }
-            surplus.extend(give.iter().cloned());
-            *set = kept;
+            let give = set.split_off(target);
+            // Exact wire size of what this rank ships — not a
+            // bytes-per-cell guess — so the exchange collective is charged
+            // for the measured column bytes.
+            moved_bytes[r] = give.byte_size();
+            surplus.extend((0..give.len()).map(|i| give.row(i)));
         }
     }
     // Scatter surplus rows round-robin over deficit ranks: consecutive
@@ -1137,7 +1232,7 @@ fn apply_rebalance_plan(
                     break 'scatter; // plan satisfied; drop-through is a bug upstream
                 }
             }
-            solutions[deficits[di]].push(row);
+            solutions[deficits[di]].push_row(&row);
             di = (di + 1) % deficits.len();
         }
     }
@@ -1148,6 +1243,12 @@ fn apply_rebalance_plan(
 
 /// Estimate each rank's throughput (solutions/second) through `expr` from
 /// its own profiling data — the per-rank estimates §2.4.2 exchanges.
+///
+/// Deliberately **mode-independent**: it uses the nominal
+/// `eval_secs_per_row` in both row and columnar execution, so rebalance
+/// targets — and therefore row placement and output order — are identical
+/// whichever cost model is active. This is what keeps columnar results
+/// byte-for-byte equal to the row engine's.
 fn estimate_rates(expr: &Expr, profilers: &[UdfProfiler], opts: &ExecOptions) -> Vec<f64> {
     profilers
         .iter()
@@ -1186,12 +1287,12 @@ fn estimate_rates(expr: &Expr, profilers: &[UdfProfiler], opts: &ExecOptions) ->
 
 fn maybe_rebalance(
     cluster: &mut Cluster,
-    solutions: Vec<SolutionSet>,
+    solutions: Vec<SolutionBatch>,
     expr: &Expr,
     profilers: &[UdfProfiler],
     opts: &ExecOptions,
     metrics: &MetricsRegistry,
-) -> Vec<SolutionSet> {
+) -> Vec<SolutionBatch> {
     let total: u64 = solutions.iter().map(|s| s.len() as u64).sum();
     if total == 0 {
         return solutions;
@@ -1320,14 +1421,14 @@ fn run_filter_stage(
     ds: &Datastore,
     registry: &UdfRegistry,
     profilers: &mut [UdfProfiler],
-    solutions: Vec<SolutionSet>,
+    solutions: Vec<SolutionBatch>,
     expr: &Expr,
     opts: &ExecOptions,
     _breakdown: &mut StageBreakdown,
     phase_name: &str,
     metrics: &MetricsRegistry,
     annotations: &mut Vec<ErrorAnnotation>,
-) -> Result<Vec<SolutionSet>, ExecError> {
+) -> Result<Vec<SolutionBatch>, ExecError> {
     let solutions = maybe_rebalance(cluster, solutions, expr, profilers, opts, metrics);
     let dict = ds.dictionary().clone();
 
@@ -1337,10 +1438,19 @@ fn run_filter_stage(
         metrics.counter_with("ids_engine_reorder_decisions_total", "decision", "reordered");
     let kept_ctr = metrics.counter_with("ids_engine_reorder_decisions_total", "decision", "kept");
     let fault_ctrs = StageFaultCtrs::new(metrics);
+    let batch_meter = BatchMeter::new(metrics, "filter");
+    // Columnar mode amortizes the per-row evaluation overhead (registry
+    // lookups, dispatch) across a batch; the UDF's own charged time is
+    // real work and is never amortized.
+    let eval_overhead = if opts.columnar {
+        opts.eval_secs_per_row / opts.columnar_eval_amortization.max(1.0)
+    } else {
+        opts.eval_secs_per_row
+    };
 
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let stage_anns: Mutex<Vec<ErrorAnnotation>> = Mutex::new(Vec::new());
-    let results: Vec<(SolutionSet, UdfProfiler, u64)> = cluster.execute(phase_name, |ctx| {
+    let results: Vec<(SolutionBatch, UdfProfiler, u64)> = cluster.execute(phase_name, |ctx| {
         let r = ctx.rank().index();
         set_current_rank(ctx.rank());
         let input = &solutions[r];
@@ -1369,16 +1479,26 @@ fn run_filter_stage(
             expr.clone()
         };
 
-        let mut kept = SolutionSet::empty(input.vars().to_vec());
+        let mut kept = SolutionBatch::empty(input.vars().to_vec());
         let mut evals = 0u64;
         let mut spent = 0.0f64;
         let mut deg = RankDegradation::default();
-        let rows = input.rows();
-        for (i, row) in rows.iter().enumerate() {
+        let mut rowbuf: Vec<TermId> = Vec::new();
+        let n_rows = input.len();
+        for i in 0..n_rows {
+            // Batch boundary: in columnar mode the engine dispatches the
+            // filter once per batch of rows, not once per row.
+            if opts.columnar && i % opts.batch_rows.max(1) == 0 {
+                let this_batch = (n_rows - i).min(opts.batch_rows.max(1));
+                batch_meter.batches.inc();
+                batch_meter.rows.observe(this_batch as f64);
+                ctx.charge(opts.batch_dispatch_secs);
+                spent += opts.batch_dispatch_secs;
+            }
             // Per-rank stage deadline: stop evaluating once the budget is
             // spent; the remaining rows are dropped (degrade) or fatal.
             if spent > opts.stage_deadline_secs {
-                let remaining = (rows.len() - i) as u64;
+                let remaining = (n_rows - i) as u64;
                 fault_ctrs.deadline_hits.inc();
                 fault_ctrs.dropped_rows.add(remaining);
                 if opts.degrade {
@@ -1392,7 +1512,8 @@ fn run_filter_stage(
                 }
                 break;
             }
-            let bindings = RowBindings::new(input.vars(), row, &dict);
+            input.copy_row(i, &mut rowbuf);
+            let bindings = RowBindings::new(input.vars(), &rowbuf, &dict);
             let verdict = retry_row(
                 opts,
                 &fault_ctrs,
@@ -1408,12 +1529,12 @@ fn run_filter_stage(
             );
             match verdict {
                 Ok((Ok(pass), charged)) => {
-                    let c = charged + opts.eval_secs_per_row;
+                    let c = charged + eval_overhead;
                     ctx.charge(c);
                     spent += c;
                     evals += 1;
                     if pass {
-                        kept.push(row.clone());
+                        kept.push_row(&rowbuf);
                     }
                 }
                 Ok((Err(e), charged)) => {
@@ -1472,7 +1593,7 @@ fn run_apply_stage(
     ds: &Datastore,
     registry: &UdfRegistry,
     profilers: &mut [UdfProfiler],
-    solutions: Vec<SolutionSet>,
+    solutions: Vec<SolutionBatch>,
     udf: &str,
     args: &[Expr],
     bind_as: &str,
@@ -1480,17 +1601,23 @@ fn run_apply_stage(
     _breakdown: &mut StageBreakdown,
     metrics: &MetricsRegistry,
     annotations: &mut Vec<ErrorAnnotation>,
-) -> Result<Vec<SolutionSet>, ExecError> {
+) -> Result<Vec<SolutionBatch>, ExecError> {
     // Re-balance using the UDF itself as the cost driver.
     let probe_expr = Expr::udf(udf.to_string(), vec![]);
     let solutions = maybe_rebalance(cluster, solutions, &probe_expr, profilers, opts, metrics);
     let dict = ds.dictionary().clone();
     let fault_ctrs = StageFaultCtrs::new(metrics);
+    let batch_meter = BatchMeter::new(metrics, "apply");
+    let eval_overhead = if opts.columnar {
+        opts.eval_secs_per_row / opts.columnar_eval_amortization.max(1.0)
+    } else {
+        opts.eval_secs_per_row
+    };
     let stage_name = format!("apply:{udf}");
 
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let stage_anns: Mutex<Vec<ErrorAnnotation>> = Mutex::new(Vec::new());
-    let results: Vec<(SolutionSet, UdfProfiler)> = cluster.execute(&stage_name, |ctx| {
+    let results: Vec<(SolutionBatch, UdfProfiler)> = cluster.execute(&stage_name, |ctx| {
         let r = ctx.rank().index();
         set_current_rank(ctx.rank());
         let input = &solutions[r];
@@ -1498,13 +1625,24 @@ fn run_apply_stage(
 
         let mut vars = input.vars().to_vec();
         vars.push(bind_as.to_string());
-        let mut out = SolutionSet::empty(vars);
+        let mut out = SolutionBatch::empty(vars);
         let mut spent = 0.0f64;
         let mut deg = RankDegradation::default();
-        let rows = input.rows();
-        for (i, row) in rows.iter().enumerate() {
+        let mut rowbuf: Vec<TermId> = Vec::new();
+        // The call expression is identical for every row — build it once
+        // per rank instead of re-allocating it inside the hot loop.
+        let call = Expr::udf(udf.to_string(), args.to_vec());
+        let n_rows = input.len();
+        for i in 0..n_rows {
+            if opts.columnar && i % opts.batch_rows.max(1) == 0 {
+                let this_batch = (n_rows - i).min(opts.batch_rows.max(1));
+                batch_meter.batches.inc();
+                batch_meter.rows.observe(this_batch as f64);
+                ctx.charge(opts.batch_dispatch_secs);
+                spent += opts.batch_dispatch_secs;
+            }
             if spent > opts.stage_deadline_secs {
-                let remaining = (rows.len() - i) as u64;
+                let remaining = (n_rows - i) as u64;
                 fault_ctrs.deadline_hits.inc();
                 fault_ctrs.dropped_rows.add(remaining);
                 if opts.degrade {
@@ -1518,7 +1656,8 @@ fn run_apply_stage(
                 }
                 break;
             }
-            let bindings = RowBindings::new(input.vars(), row, &dict);
+            input.copy_row(i, &mut rowbuf);
+            let bindings = RowBindings::new(input.vars(), &rowbuf, &dict);
             let verdict = retry_row(
                 opts,
                 &fault_ctrs,
@@ -1528,14 +1667,13 @@ fn run_apply_stage(
                 },
                 || {
                     let mut cx = EvalCtx::new(registry, &mut profiler);
-                    let call = Expr::udf(udf.to_string(), args.to_vec());
                     let res = call.eval(&bindings, &mut cx);
                     (res, cx.charged_secs)
                 },
             );
             match verdict {
                 Ok((Ok(value), charged)) => {
-                    let c = charged + opts.eval_secs_per_row;
+                    let c = charged + eval_overhead;
                     ctx.charge(c);
                     spent += c;
                     // Bind the output: encode into the dictionary so it
@@ -1546,9 +1684,8 @@ fn run_apply_stage(
                         ids_udf::UdfValue::Str(s) => ids_graph::Term::str(s),
                         ids_udf::UdfValue::Bool(b) => ids_graph::Term::Int(b as i64),
                         ids_udf::UdfValue::Id(id) => {
-                            let mut new_row = row.clone();
-                            new_row.push(TermId(id));
-                            out.push(new_row);
+                            rowbuf.push(TermId(id));
+                            out.push_row(&rowbuf);
                             continue;
                         }
                         ids_udf::UdfValue::Null => {
@@ -1557,9 +1694,8 @@ fn run_apply_stage(
                         }
                     };
                     let id = dict.encode(&term);
-                    let mut new_row = row.clone();
-                    new_row.push(id);
-                    out.push(new_row);
+                    rowbuf.push(id);
+                    out.push_row(&rowbuf);
                 }
                 Ok((Err(e), charged)) => {
                     ctx.charge(charged);

@@ -187,10 +187,45 @@ pub fn explain_with_metrics(
         ));
     }
 
+    render_columnar_block(&mut out, snapshot);
     render_fault_block(&mut out, snapshot);
     render_replication_block(&mut out, snapshot);
     render_service_block(&mut out, snapshot);
     out
+}
+
+/// Append the columnar execution block when any batch counter has fired:
+/// batches dispatched per operator and the mean/max batch occupancy. Row
+/// -mode runs (and instances that executed nothing) render nothing here.
+fn render_columnar_block(out: &mut String, snapshot: &MetricsSnapshot) {
+    let total_batches = snapshot.counter_sum("ids_engine_batches_total");
+    if total_batches == 0 {
+        return;
+    }
+    out.push_str("  columnar execution:\n");
+    let mut ops: Vec<&str> = snapshot
+        .counters
+        .iter()
+        .filter(|(k, v)| k.name == "ids_engine_batches_total" && **v > 0)
+        .map(|(k, _)| k.label_value.as_str())
+        .collect();
+    ops.sort_unstable();
+    let detail: Vec<String> = ops
+        .iter()
+        .map(|op| format!("{} {op}", snapshot.counter("ids_engine_batches_total", op)))
+        .collect();
+    out.push_str(&format!("    batches dispatched: {total_batches} ({})\n", detail.join(", ")));
+    for (key, hist) in &snapshot.histograms {
+        if key.name != "ids_engine_batch_rows" || hist.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "    batch occupancy: mean {:.1} rows, max {:.0} rows over {} batches\n",
+            hist.mean(),
+            hist.max,
+            hist.count
+        ));
+    }
 }
 
 /// Append the faults/degradation block when any fault-plane, retry, or
@@ -435,6 +470,23 @@ mod tests {
         assert!(out.contains("2 failover reads"));
         assert!(out.contains("1 corruptions detected (1 cache, 0 backing)"));
         assert!(out.contains("4 runs, 9 objects scrubbed, 3 re-replications"));
+    }
+
+    #[test]
+    fn columnar_block_renders_only_when_batches_fired() {
+        let reg = ids_obs::MetricsRegistry::new();
+        let mut out = String::new();
+        render_columnar_block(&mut out, &reg.snapshot());
+        assert!(out.is_empty(), "row-mode run adds no columnar block");
+
+        reg.counter_with("ids_engine_batches_total", "op", "filter").add(3);
+        reg.counter_with("ids_engine_batches_total", "op", "join").add(2);
+        reg.histogram("ids_engine_batch_rows").observe(1024.0);
+        reg.histogram("ids_engine_batch_rows").observe(512.0);
+        render_columnar_block(&mut out, &reg.snapshot());
+        assert!(out.contains("columnar execution:"), "{out}");
+        assert!(out.contains("batches dispatched: 5 (3 filter, 2 join)"), "{out}");
+        assert!(out.contains("batch occupancy: mean 768.0 rows, max 1024 rows over 2"), "{out}");
     }
 
     #[test]

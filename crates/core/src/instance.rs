@@ -168,6 +168,14 @@ impl IdsInstance {
             merged_profile.merge(p);
         }
         merged_profile.export_metrics(&self.metrics, "");
+        // Process-wide NaN comparison tally (see `UdfValue::compare`):
+        // NaN-emitting UDFs/models degrade to deterministic ordering
+        // instead of failing queries, and this gauge is how that surfaces.
+        // Exported only once non-zero so clean instances stay empty.
+        let nan_cmps = ids_udf::nan_comparison_count();
+        if nan_cmps > 0 {
+            self.metrics.gauge("ids_udf_nan_comparisons_total").set(nan_cmps as i64);
+        }
         let mut snap = self.metrics.snapshot();
         if let Some(cache) = &self.cache {
             snap = snap.merge(&cache.metrics().snapshot());

@@ -1,0 +1,403 @@
+//! Columnar solution batches — the engine's hot-path representation.
+//!
+//! [`crate::SolutionSet`] is the row-oriented boundary type (results,
+//! checkpoints, tests). Inside the engine, intermediate solutions flow as
+//! [`SolutionBatch`]es: one dictionary-term-id column per variable, stored
+//! at the narrowest width that holds every id (`u32` until a column sees a
+//! dictionary id past `u32::MAX`, `u64` after), plus an optional null
+//! bitmap per column for partially bound rows.
+//!
+//! Two properties matter:
+//!
+//! * **Honest byte accounting.** [`SolutionBatch::byte_size`] is the exact
+//!   serialized size of the batch under the columnar wire layout (schema
+//!   header + one tag byte per column + `rows × width` value bytes + the
+//!   null bitmap when present) — the same formula the typed cache objects
+//!   in ids-cache use, so network-cost charging, cache admission caps, and
+//!   re-balancing all charge what the bytes actually measure instead of the
+//!   historical 8-bytes-per-cell guess.
+//! * **Row-engine equivalence.** Conversions to/from [`SolutionSet`]
+//!   preserve row order exactly, and the batch operators in [`crate::ops`]
+//!   mirror the row operators' output ordering, so a batch execution is
+//!   byte-identical to a row execution.
+
+use crate::solution::SolutionSet;
+use crate::term::TermId;
+
+/// Term-id values of one column, at the narrowest sufficient width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Column {
+    /// All ids fit in 32 bits (4 bytes per row on the wire).
+    U32(Vec<u32>),
+    /// At least one id overflowed 32 bits (8 bytes per row).
+    U64(Vec<u64>),
+}
+
+impl Column {
+    fn len(&self) -> usize {
+        match self {
+            Column::U32(v) => v.len(),
+            Column::U64(v) => v.len(),
+        }
+    }
+
+    /// Wire width in bytes per value.
+    pub fn width(&self) -> u64 {
+        match self {
+            Column::U32(_) => 4,
+            Column::U64(_) => 8,
+        }
+    }
+
+    fn get(&self, i: usize) -> u64 {
+        match self {
+            Column::U32(v) => u64::from(v[i]),
+            Column::U64(v) => v[i],
+        }
+    }
+
+    fn push(&mut self, value: u64) {
+        match self {
+            Column::U32(v) => match u32::try_from(value) {
+                Ok(narrow) => v.push(narrow),
+                Err(_) => {
+                    // Dictionary-overflow promotion: widen the whole column.
+                    let mut wide: Vec<u64> = v.iter().map(|&x| u64::from(x)).collect();
+                    wide.push(value);
+                    *self = Column::U64(wide);
+                }
+            },
+            Column::U64(v) => v.push(value),
+        }
+    }
+
+    fn split_off(&mut self, at: usize) -> Column {
+        match self {
+            Column::U32(v) => Column::U32(v.split_off(at)),
+            Column::U64(v) => Column::U64(v.split_off(at)),
+        }
+    }
+}
+
+/// One variable's column: values plus an optional null bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnData {
+    values: Column,
+    /// Bit `i` set ⇒ row `i` is unbound. `None` ⇒ fully bound column (the
+    /// common case; the engine's BGP semantics never produce nulls today).
+    nulls: Option<Vec<u64>>,
+    null_count: usize,
+}
+
+impl ColumnData {
+    fn new() -> Self {
+        Self { values: Column::U32(Vec::new()), nulls: None, null_count: 0 }
+    }
+
+    fn is_null(&self, i: usize) -> bool {
+        match &self.nulls {
+            Some(words) => words.get(i / 64).is_some_and(|w| w >> (i % 64) & 1 == 1),
+            None => false,
+        }
+    }
+
+    fn set_null(&mut self, i: usize) {
+        let words = self.nulls.get_or_insert_with(Vec::new);
+        let word = i / 64;
+        if words.len() <= word {
+            words.resize(word + 1, 0);
+        }
+        words[word] |= 1 << (i % 64);
+        self.null_count += 1;
+    }
+}
+
+/// A columnar table of variable bindings.
+///
+/// Schema and row order match the equivalent [`SolutionSet`] exactly; only
+/// the in-memory (and wire) layout differs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolutionBatch {
+    vars: Vec<String>,
+    cols: Vec<ColumnData>,
+    rows: usize,
+}
+
+impl SolutionBatch {
+    /// An empty batch with the given schema.
+    pub fn empty(vars: Vec<String>) -> Self {
+        let cols = vars.iter().map(|_| ColumnData::new()).collect();
+        Self { vars, cols, rows: 0 }
+    }
+
+    /// Convert a row-oriented set (row order preserved).
+    pub fn from_set(set: &SolutionSet) -> Self {
+        let mut out = Self::empty(set.vars().to_vec());
+        for row in set.rows() {
+            out.push_row(row);
+        }
+        out
+    }
+
+    /// Convert back to the row-oriented boundary type.
+    ///
+    /// # Panics
+    /// Panics if any binding is null — [`SolutionSet`] cannot represent
+    /// unbound cells, and the engine never checkpoints or returns them.
+    pub fn to_set(&self) -> SolutionSet {
+        assert_eq!(self.null_count(), 0, "cannot convert a batch with nulls to a SolutionSet");
+        let mut rows = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            rows.push(self.cols.iter().map(|c| TermId(c.values.get(i))).collect());
+        }
+        SolutionSet::new(self.vars.clone(), rows)
+    }
+
+    /// Variable names (column order).
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Index of a variable in the schema.
+    pub fn var_index(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// The binding at (`row`, `col`), or `None` if it is null.
+    pub fn get(&self, row: usize, col: usize) -> Option<TermId> {
+        assert!(row < self.rows && col < self.cols.len(), "cell out of bounds");
+        let c = &self.cols[col];
+        if c.is_null(row) {
+            return None;
+        }
+        Some(TermId(c.values.get(row)))
+    }
+
+    /// Total null bindings across all columns.
+    pub fn null_count(&self) -> usize {
+        self.cols.iter().map(|c| c.null_count).sum()
+    }
+
+    /// Copy row `i` into `buf` (cleared first).
+    ///
+    /// # Panics
+    /// Panics if the row is out of bounds or contains a null binding.
+    pub fn copy_row(&self, i: usize, buf: &mut Vec<TermId>) {
+        assert!(i < self.rows, "row out of bounds");
+        buf.clear();
+        for c in &self.cols {
+            assert!(!c.is_null(i), "copy_row on a null binding");
+            buf.push(TermId(c.values.get(i)));
+        }
+    }
+
+    /// Materialize row `i`.
+    pub fn row(&self, i: usize) -> Vec<TermId> {
+        let mut buf = Vec::with_capacity(self.cols.len());
+        self.copy_row(i, &mut buf);
+        buf
+    }
+
+    /// Append a fully bound row.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn push_row(&mut self, row: &[TermId]) {
+        assert_eq!(row.len(), self.vars.len(), "row width must match schema");
+        for (c, t) in self.cols.iter_mut().zip(row) {
+            c.values.push(t.raw());
+        }
+        self.rows += 1;
+    }
+
+    /// Append a row with possibly unbound cells (`None` ⇒ null).
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn push_opt_row(&mut self, row: &[Option<TermId>]) {
+        assert_eq!(row.len(), self.vars.len(), "row width must match schema");
+        let i = self.rows;
+        for (c, t) in self.cols.iter_mut().zip(row) {
+            match t {
+                Some(t) => c.values.push(t.raw()),
+                None => {
+                    c.values.push(0);
+                    c.set_null(i);
+                }
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Append all rows of `other` (schemas must match exactly).
+    ///
+    /// # Panics
+    /// Panics if schemas differ.
+    pub fn append(&mut self, other: SolutionBatch) {
+        assert_eq!(self.vars, other.vars, "merge requires identical schemas");
+        let base = self.rows;
+        for (dst, src) in self.cols.iter_mut().zip(other.cols) {
+            for i in 0..src.values.len() {
+                if src.is_null(i) {
+                    dst.values.push(0);
+                    dst.set_null(base + i);
+                } else {
+                    dst.values.push(src.values.get(i));
+                }
+            }
+        }
+        self.rows += other.rows;
+    }
+
+    /// Split off rows `[at, len)` into a new batch, keeping `[0, at)`.
+    ///
+    /// # Panics
+    /// Panics if `at > len` or if the batch has nulls (split is only used
+    /// on the fully bound re-balancing path).
+    pub fn split_off(&mut self, at: usize) -> SolutionBatch {
+        assert!(at <= self.rows, "split point out of bounds");
+        assert_eq!(self.null_count(), 0, "split_off on a batch with nulls");
+        let cols = self
+            .cols
+            .iter_mut()
+            .map(|c| ColumnData { values: c.values.split_off(at), nulls: None, null_count: 0 })
+            .collect();
+        let moved = self.rows - at;
+        self.rows = at;
+        SolutionBatch { vars: self.vars.clone(), cols, rows: moved }
+    }
+
+    /// Exact serialized size in bytes under the columnar wire layout:
+    /// `u16` var count; per var a `u16` length + name bytes; `u64` row
+    /// count; per column one tag byte, `rows × width` value bytes, and
+    /// `⌈rows/8⌉` bitmap bytes when the column has nulls. This is the
+    /// number the engine charges to networks, caches, and re-balancing.
+    pub fn byte_size(&self) -> u64 {
+        let rows = self.rows as u64;
+        let mut total = 2u64 + 8;
+        for (v, c) in self.vars.iter().zip(&self.cols) {
+            total += 2 + v.len() as u64;
+            total += 1 + rows * c.values.width();
+            if c.nulls.is_some() {
+                total += rows.div_ceil(8);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u64) -> TermId {
+        TermId(v)
+    }
+
+    fn demo_set() -> SolutionSet {
+        SolutionSet::new(
+            vec!["protein".into(), "compound".into()],
+            (0..10).map(|i| vec![id(i), id(100 + i)]).collect(),
+        )
+    }
+
+    #[test]
+    fn round_trips_through_set() {
+        let set = demo_set();
+        let batch = SolutionBatch::from_set(&set);
+        assert_eq!(batch.len(), 10);
+        assert_eq!(batch.vars(), set.vars());
+        assert_eq!(batch.to_set(), set);
+        assert_eq!(batch.row(3), vec![id(3), id(103)]);
+        assert_eq!(batch.get(3, 1), Some(id(103)));
+    }
+
+    #[test]
+    fn narrow_columns_use_four_bytes_and_promote_on_overflow() {
+        let mut b = SolutionBatch::empty(vec!["x".into()]);
+        b.push_row(&[id(7)]);
+        // header: 2 (nvars) + 8 (nrows) + 2+1 (name "x") + 1 (tag) = 14
+        assert_eq!(b.byte_size(), 14 + 4);
+        b.push_row(&[id(u64::from(u32::MAX) + 1)]);
+        // Overflow promotes the whole column to 8-byte cells.
+        assert_eq!(b.byte_size(), 14 + 2 * 8);
+        assert_eq!(b.row(0), vec![id(7)]);
+        assert_eq!(b.row(1), vec![id(u64::from(u32::MAX) + 1)]);
+    }
+
+    #[test]
+    fn byte_size_matches_row_set_formula() {
+        let set = demo_set();
+        let batch = SolutionBatch::from_set(&set);
+        assert_eq!(batch.byte_size(), set.byte_size());
+    }
+
+    #[test]
+    fn null_bitmap_tracks_unbound_cells() {
+        let mut b = SolutionBatch::empty(vec!["a".into(), "b".into()]);
+        b.push_opt_row(&[Some(id(1)), None]);
+        b.push_opt_row(&[Some(id(2)), Some(id(3))]);
+        assert_eq!(b.null_count(), 1);
+        assert_eq!(b.get(0, 1), None);
+        assert_eq!(b.get(1, 1), Some(id(3)));
+        // Bitmap bytes are charged for the nullable column only.
+        let without = {
+            let mut c = SolutionBatch::empty(vec!["a".into(), "b".into()]);
+            c.push_row(&[id(1), id(0)]);
+            c.push_row(&[id(2), id(3)]);
+            c.byte_size()
+        };
+        assert_eq!(b.byte_size(), without + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nulls")]
+    fn to_set_rejects_nulls() {
+        let mut b = SolutionBatch::empty(vec!["a".into()]);
+        b.push_opt_row(&[None]);
+        b.to_set();
+    }
+
+    #[test]
+    fn append_and_split_preserve_order() {
+        let mut a = SolutionBatch::from_set(&demo_set());
+        let b = SolutionBatch::from_set(&demo_set());
+        a.append(b);
+        assert_eq!(a.len(), 20);
+        let tail = a.split_off(15);
+        assert_eq!((a.len(), tail.len()), (15, 5));
+        assert_eq!(tail.row(0), vec![id(5), id(105)]);
+        assert_eq!(a.row(14), vec![id(4), id(104)]);
+    }
+
+    #[test]
+    fn append_keeps_null_positions() {
+        let mut a = SolutionBatch::empty(vec!["x".into()]);
+        a.push_row(&[id(1)]);
+        let mut b = SolutionBatch::empty(vec!["x".into()]);
+        b.push_opt_row(&[None]);
+        b.push_row(&[id(2)]);
+        a.append(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(0, 0), Some(id(1)));
+        assert_eq!(a.get(1, 0), None);
+        assert_eq!(a.get(2, 0), Some(id(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut b = SolutionBatch::empty(vec!["a".into(), "b".into()]);
+        b.push_row(&[id(1)]);
+    }
+}

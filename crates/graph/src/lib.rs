@@ -11,13 +11,17 @@
 //! * [`store`] — the partitioned store: triples are sharded across the
 //!   simulated cluster's ranks by subject hash, each shard keeping
 //!   sorted indexes for pattern scans.
-//! * [`solution`] — columnar binding tables ("solutions" in CGE
-//!   terminology) flowing between operators.
+//! * [`solution`] — row-oriented binding tables ("solutions" in CGE
+//!   terminology), the boundary representation for results and tests.
+//! * [`batch`] — columnar solution batches (per-variable `u32`/`u64`
+//!   term-id columns + null bitmaps) with exact wire-size accounting; the
+//!   engine's hot-path representation.
 //! * [`ops`] — shard-local relational operators: pattern scan, hash join,
 //!   merge (union), project, distinct — the "set-theoretic" operators of
 //!   the paper's unified query engine.
 
 pub mod algo;
+pub mod batch;
 pub mod dict;
 pub mod ntriples;
 pub mod ops;
@@ -28,6 +32,7 @@ pub mod text;
 pub mod triple;
 
 pub use algo::{connected_components, pagerank};
+pub use batch::SolutionBatch;
 pub use dict::Dictionary;
 pub use ntriples::{parse_ntriples, write_ntriples};
 pub use solution::SolutionSet;

@@ -5,6 +5,7 @@
 //! those operations, executed per rank on local solution sets. Cross-rank
 //! movement is the engine's job (ids-core); everything here is pure.
 
+use crate::batch::SolutionBatch;
 use crate::solution::SolutionSet;
 use crate::store::TriplePattern;
 use crate::term::TermId;
@@ -57,6 +58,44 @@ pub fn scan_to_solutions(
     out
 }
 
+/// Columnar twin of [`scan_to_solutions`]: bind wildcards directly into a
+/// [`SolutionBatch`], producing the same rows in the same order.
+///
+/// # Panics
+/// Panics if a variable is supplied for a bound position.
+pub fn scan_to_batch(
+    pattern: &TriplePattern,
+    var_s: Option<&str>,
+    var_p: Option<&str>,
+    var_o: Option<&str>,
+    triples: &[Triple],
+) -> SolutionBatch {
+    assert!(!(pattern.s.is_some() && var_s.is_some()), "subject is bound; no variable allowed");
+    assert!(!(pattern.p.is_some() && var_p.is_some()), "predicate is bound; no variable allowed");
+    assert!(!(pattern.o.is_some() && var_o.is_some()), "object is bound; no variable allowed");
+    let mut vars = Vec::new();
+    for v in [var_s, var_p, var_o].into_iter().flatten() {
+        vars.push(v.to_string());
+    }
+    let mut out = SolutionBatch::empty(vars);
+    let mut row: Vec<TermId> = Vec::with_capacity(3);
+    for t in triples {
+        debug_assert!(pattern.matches(t));
+        row.clear();
+        if var_s.is_some() {
+            row.push(t.s);
+        }
+        if var_p.is_some() {
+            row.push(t.p);
+        }
+        if var_o.is_some() {
+            row.push(t.o);
+        }
+        out.push_row(&row);
+    }
+    out
+}
+
 /// Hash join on all shared variables. The output schema is the left schema
 /// followed by the right's non-shared variables, matching SPARQL BGP
 /// semantics. If there are no shared variables this is a cross product.
@@ -95,6 +134,53 @@ pub fn hash_join(left: &SolutionSet, right: &SolutionSet) -> SolutionSet {
     out
 }
 
+/// Columnar twin of [`hash_join`]: identical join semantics and output row
+/// order (build on the right side in insertion order, probe left rows in
+/// order), so a batch execution stays byte-identical to a row execution.
+pub fn hash_join_batch(left: &SolutionBatch, right: &SolutionBatch) -> SolutionBatch {
+    let shared: Vec<(usize, usize)> = left
+        .vars()
+        .iter()
+        .enumerate()
+        .filter_map(|(li, v)| right.var_index(v).map(|ri| (li, ri)))
+        .collect();
+    let right_extra: Vec<usize> =
+        (0..right.vars().len()).filter(|ri| !shared.iter().any(|&(_, sri)| sri == *ri)).collect();
+
+    let mut vars: Vec<String> = left.vars().to_vec();
+    vars.extend(right_extra.iter().map(|&ri| right.vars()[ri].clone()));
+    let mut out = SolutionBatch::empty(vars);
+
+    let mut table: HashMap<Vec<TermId>, Vec<usize>> = HashMap::new();
+    for idx in 0..right.len() {
+        let key: Vec<TermId> = shared
+            .iter()
+            .map(|&(_, ri)| right.get(idx, ri).expect("join input is fully bound"))
+            .collect();
+        table.entry(key).or_default().push(idx);
+    }
+
+    let mut row: Vec<TermId> = Vec::with_capacity(out.vars().len());
+    let mut lrow: Vec<TermId> = Vec::with_capacity(left.vars().len());
+    for li in 0..left.len() {
+        left.copy_row(li, &mut lrow);
+        let key: Vec<TermId> = shared.iter().map(|&(i, _)| lrow[i]).collect();
+        if let Some(matches) = table.get(&key) {
+            for &ridx in matches {
+                row.clear();
+                row.extend_from_slice(&lrow);
+                row.extend(
+                    right_extra
+                        .iter()
+                        .map(|&ri| right.get(ridx, ri).expect("join input is fully bound")),
+                );
+                out.push_row(&row);
+            }
+        }
+    }
+    out
+}
+
 /// Union of solution sets with identical schemas ("merge" in CGE terms).
 ///
 /// # Panics
@@ -104,6 +190,19 @@ pub fn merge(sets: Vec<SolutionSet>) -> SolutionSet {
     let mut first = it.next().expect("merge needs at least one input");
     for s in it {
         first.append(s);
+    }
+    first
+}
+
+/// Columnar twin of [`merge`]: concatenate batches in order.
+///
+/// # Panics
+/// Panics if schemas differ or the input is empty.
+pub fn merge_batches(batches: Vec<SolutionBatch>) -> SolutionBatch {
+    let mut it = batches.into_iter();
+    let mut first = it.next().expect("merge needs at least one input");
+    for b in it {
+        first.append(b);
     }
     first
 }
@@ -242,6 +341,59 @@ mod tests {
     fn project_unknown_var_panics() {
         let s = SolutionSet::empty(vec!["a".into()]);
         project(&s, &["zzz"]);
+    }
+
+    #[test]
+    fn batch_scan_matches_row_scan() {
+        let pat = TriplePattern::new(None, Some(id(9)), None);
+        let triples = vec![t(1, 9, 11), t(2, 9, 12), t(3, 9, 13)];
+        let rowwise = scan_to_solutions(&pat, Some("s"), None, Some("o"), &triples);
+        let batch = scan_to_batch(&pat, Some("s"), None, Some("o"), &triples);
+        assert_eq!(batch.to_set(), rowwise);
+    }
+
+    #[test]
+    fn batch_join_matches_row_join_exactly() {
+        let left = SolutionSet::new(
+            vec!["p".into(), "seq".into()],
+            vec![vec![id(1), id(21)], vec![id(2), id(22)], vec![id(3), id(23)]],
+        );
+        let right = SolutionSet::new(
+            vec!["p".into(), "c".into()],
+            vec![
+                vec![id(1), id(31)],
+                vec![id(1), id(32)],
+                vec![id(3), id(33)],
+                vec![id(9), id(39)],
+            ],
+        );
+        let rowwise = hash_join(&left, &right);
+        let batch =
+            hash_join_batch(&SolutionBatch::from_set(&left), &SolutionBatch::from_set(&right));
+        // Same schema, same rows, same order — byte-identical.
+        assert_eq!(batch.to_set(), rowwise);
+    }
+
+    #[test]
+    fn batch_cross_product_matches_row_cross_product() {
+        let left = SolutionSet::new(vec!["a".into()], vec![vec![id(1)], vec![id(2)]]);
+        let right =
+            SolutionSet::new(vec!["b".into()], vec![vec![id(10)], vec![id(20)], vec![id(30)]]);
+        let rowwise = hash_join(&left, &right);
+        let batch =
+            hash_join_batch(&SolutionBatch::from_set(&left), &SolutionBatch::from_set(&right));
+        assert_eq!(batch.to_set(), rowwise);
+    }
+
+    #[test]
+    fn batch_merge_concatenates_in_order() {
+        let a = SolutionBatch::from_set(&SolutionSet::new(vec!["x".into()], vec![vec![id(1)]]));
+        let b = SolutionBatch::from_set(&SolutionSet::new(
+            vec!["x".into()],
+            vec![vec![id(2)], vec![id(3)]],
+        ));
+        let merged = merge_batches(vec![a, b]);
+        assert_eq!(merged.to_set().rows(), &[vec![id(1)], vec![id(2)], vec![id(3)]]);
     }
 
     #[test]

@@ -91,10 +91,24 @@ impl SolutionSet {
         self.rows.retain(|r| pred(r));
     }
 
-    /// Serialized size estimate in bytes (for network cost accounting):
-    /// 8 bytes per binding.
+    /// Exact serialized size in bytes under the columnar wire layout used
+    /// by [`crate::batch::SolutionBatch`] and the typed cache objects:
+    /// `u16` var count; per var a `u16` length + name bytes; `u64` row
+    /// count; per column one tag byte plus `rows × width` value bytes,
+    /// where width is 4 unless some id in the column overflows `u32`.
+    ///
+    /// This scans every cell to pick column widths; the engine's hot path
+    /// uses [`crate::batch::SolutionBatch::byte_size`], which knows its
+    /// widths in O(1).
     pub fn byte_size(&self) -> u64 {
-        (self.rows.len() * self.vars.len() * 8) as u64
+        let rows = self.rows.len() as u64;
+        let mut total = 2u64 + 8;
+        for (i, v) in self.vars.iter().enumerate() {
+            let wide = self.rows.iter().any(|r| r[i].0 > u64::from(u32::MAX));
+            total += 2 + v.len() as u64;
+            total += 1 + rows * if wide { 8 } else { 4 };
+        }
+        total
     }
 
     /// Split into `n` near-equal chunks preserving order (chunk i gets rows
@@ -191,7 +205,13 @@ mod tests {
     }
 
     #[test]
-    fn byte_size_counts_bindings() {
-        assert_eq!(demo().byte_size(), 10 * 2 * 8);
+    fn byte_size_is_exact_columnar_wire_size() {
+        // Header: 2 (nvars) + 8 (nrows) + (2+7) "protein" + (2+8) "compound"
+        // + 2 tag bytes = 31; both columns hold ids < 2^32 → 4 bytes/cell.
+        assert_eq!(demo().byte_size(), 31 + 10 * 2 * 4);
+        // A wide id promotes only its own column to 8-byte cells.
+        let mut s = demo();
+        s.push(vec![id(u64::from(u32::MAX) + 1), id(5)]);
+        assert_eq!(s.byte_size(), 31 + 11 * 8 + 11 * 4);
     }
 }

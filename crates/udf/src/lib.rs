@@ -34,4 +34,4 @@ pub use profile::{UdfProfile, UdfProfiler};
 pub use rebalance::{estimate_completion, plan_count_based, plan_throughput_based, RebalancePlan};
 pub use registry::{UdfKind, UdfOutput, UdfRegistry};
 pub use reorder::order_conjuncts;
-pub use value::UdfValue;
+pub use value::{nan_comparison_count, UdfValue};

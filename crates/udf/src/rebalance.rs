@@ -84,9 +84,9 @@ pub fn plan_throughput_based(total: u64, rates: &[f64]) -> RebalancePlan {
     let assigned: u64 = targets.iter().sum();
     let mut remainder: Vec<(usize, f64)> =
         ideal.iter().enumerate().map(|(i, x)| (i, x - x.floor())).collect();
-    remainder.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-    });
+    // total_cmp keeps this a strict weak order even for pathological
+    // fractional parts; rank index breaks ties deterministically.
+    remainder.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     for k in 0..(total - assigned) as usize {
         targets[remainder[k % remainder.len()].0] += 1;
     }

@@ -1,6 +1,18 @@
 //! Dynamic values exchanged between the query engine and UDFs.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Process-wide count of numeric comparisons that saw a NaN operand (see
+/// [`UdfValue::compare`]). The engine exports this as
+/// `ids_udf_nan_comparisons_total` so NaN-producing models/UDFs surface in
+/// metrics instead of failing queries.
+static NAN_COMPARISONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of NaN-operand numeric comparisons observed so far.
+pub fn nan_comparison_count() -> u64 {
+    NAN_COMPARISONS.load(AtomicOrdering::Relaxed)
+}
 
 /// A value a UDF can consume or produce.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,13 +59,37 @@ impl UdfValue {
     }
 
     /// Three-way comparison for FILTER operators. Numbers compare
-    /// numerically (I64 and F64 interoperate), strings lexically; mixed or
-    /// non-comparable kinds return `None`.
+    /// numerically (I64 and F64 interoperate), strings lexically; mixed
+    /// kinds return `None`.
+    ///
+    /// Numeric comparison is a **total order with NaN sorting last**: a
+    /// NaN operand compares greater than every non-NaN number (including
+    /// `+inf`) and equal to another NaN. A UDF or model that emits NaN
+    /// therefore no longer fails the whole query with an
+    /// "incomparable values" error — the comparison resolves
+    /// deterministically (so `x < threshold` is simply false for NaN `x`)
+    /// and the event is counted in the process-wide
+    /// [`nan_comparison_count`] rejection metric.
     pub fn compare(&self, other: &UdfValue) -> Option<std::cmp::Ordering> {
         use UdfValue::*;
         match (self, other) {
             (F64(_) | I64(_), F64(_) | I64(_)) => {
-                self.as_f64().unwrap().partial_cmp(&other.as_f64().unwrap())
+                let (a, b) = (self.as_f64().expect("numeric"), other.as_f64().expect("numeric"));
+                Some(match (a.is_nan(), b.is_nan()) {
+                    (false, false) => a.partial_cmp(&b).expect("non-NaN floats are comparable"),
+                    (true, true) => {
+                        NAN_COMPARISONS.fetch_add(1, AtomicOrdering::Relaxed);
+                        std::cmp::Ordering::Equal
+                    }
+                    (true, false) => {
+                        NAN_COMPARISONS.fetch_add(1, AtomicOrdering::Relaxed);
+                        std::cmp::Ordering::Greater
+                    }
+                    (false, true) => {
+                        NAN_COMPARISONS.fetch_add(1, AtomicOrdering::Relaxed);
+                        std::cmp::Ordering::Less
+                    }
+                })
             }
             (Str(a), Str(b)) => Some(a.cmp(b)),
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
@@ -92,6 +128,17 @@ mod tests {
         assert_eq!(UdfValue::Str("a".into()).compare(&UdfValue::I64(1)), None);
         assert_eq!(UdfValue::Bool(true).compare(&UdfValue::F64(1.0)), None);
         assert_eq!(UdfValue::Id(1).compare(&UdfValue::I64(1)), None);
+    }
+
+    #[test]
+    fn nan_sorts_last_and_is_counted() {
+        let before = nan_comparison_count();
+        let nan = UdfValue::F64(f64::NAN);
+        assert_eq!(nan.compare(&UdfValue::F64(f64::INFINITY)), Some(Ordering::Greater));
+        assert_eq!(UdfValue::F64(f64::INFINITY).compare(&nan), Some(Ordering::Less));
+        assert_eq!(nan.compare(&nan), Some(Ordering::Equal));
+        assert_eq!(nan.compare(&UdfValue::I64(0)), Some(Ordering::Greater));
+        assert_eq!(nan_comparison_count() - before, 4, "each NaN comparison is metered");
     }
 
     #[test]

@@ -93,7 +93,7 @@ proptest! {
             .collect();
         // Planner order = ascending cost for uniform rejection.
         let mut planner: Vec<usize> = (0..est.len()).collect();
-        planner.sort_by(|&a, &b| est[a].cost.partial_cmp(&est[b].cost).unwrap());
+        planner.sort_by(|&a, &b| est[a].cost.total_cmp(&est[b].cost));
         let planner_cost = expected_chain_cost(&est, &planner);
 
         // Exhaustive check over all permutations.

@@ -7,10 +7,11 @@
 //! Recall/latency trades off via `nprobe` — the ablation bench sweeps it.
 
 use crate::kernel::l2_squared;
-use crate::store::{SearchHit, VectorStore};
+use crate::store::{hit_order, SearchHit, VectorStore};
 use ids_obs::{Counter, MetricsRegistry};
 use ids_simrt::rng::SplitMix64;
 use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Pre-resolved search counters, attached on demand.
 struct IvfMetrics {
@@ -112,31 +113,72 @@ impl IvfIndex {
             return Vec::new();
         }
         let nprobe = nprobe.clamp(1, self.centroids.len());
-        // Rank cells by centroid distance.
+        // Rank cells by centroid distance: ascending, NaN distances probed
+        // last, cell index as the deterministic tie-break.
         let mut order: Vec<(usize, f32)> = self
             .centroids
             .iter()
             .enumerate()
             .map(|(c, cent)| (c, l2_squared(query, cent)))
             .collect();
-        order.sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+        order.sort_unstable_by(|a, b| match (a.1.is_nan(), b.1.is_nan()) {
+            (false, false) => a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)),
+            (true, true) => a.0.cmp(&b.0),
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+        });
 
-        let mut hits: Vec<SearchHit> = Vec::new();
+        // Bounded top-k: a k-sized heap whose root is the *worst* retained
+        // hit, instead of materializing and fully sorting every candidate
+        // from all probed cells.
+        let mut heap: BinaryHeap<HeapHit> = BinaryHeap::with_capacity(k + 1);
+        let mut scored = 0u64;
         for &(c, _) in order.iter().take(nprobe) {
             for (id, v) in &self.cells[c] {
-                hits.push(SearchHit { id: *id, score: -l2_squared(query, v) });
+                scored += 1;
+                let hit = SearchHit { id: *id, score: -l2_squared(query, v) };
+                if heap.len() < k {
+                    heap.push(HeapHit(hit));
+                } else if hit_order(&hit, &heap.peek().expect("heap is non-empty").0)
+                    == Ordering::Less
+                {
+                    heap.pop();
+                    heap.push(HeapHit(hit));
+                }
             }
         }
         if let Some(m) = &self.metrics {
             m.searches.inc();
             m.probes.add(nprobe as u64);
-            m.candidates.add(hits.len() as u64);
+            m.candidates.add(scored);
         }
-        hits.sort_unstable_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then_with(|| a.id.cmp(&b.id))
-        });
-        hits.truncate(k);
+        let mut hits: Vec<SearchHit> = heap.into_iter().map(|h| h.0).collect();
+        hits.sort_unstable_by(hit_order);
         hits
+    }
+}
+
+/// Heap adapter: max-heap element whose "greatest" value is the *worst*
+/// hit under [`hit_order`] (NaN-last descending score, id tie-break).
+struct HeapHit(SearchHit);
+
+impl PartialEq for HeapHit {
+    fn eq(&self, other: &Self) -> bool {
+        hit_order(&self.0, &other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapHit {}
+
+impl PartialOrd for HeapHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        hit_order(&self.0, &other.0)
     }
 }
 

@@ -9,6 +9,7 @@ use ids_obs::{Counter, MetricsRegistry};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
+use std::collections::HashMap;
 
 /// Distance/similarity metric for search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,6 +39,8 @@ pub struct VectorStore {
     dim: usize,
     ids: Vec<u64>,
     data: Vec<f32>,
+    /// id → internal index of its *first* insertion, for O(1) [`Self::get`].
+    index: HashMap<u64, usize>,
     metrics: Option<StoreMetrics>,
 }
 
@@ -48,7 +51,7 @@ impl VectorStore {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Self { dim, ids: Vec::new(), data: Vec::new(), metrics: None }
+        Self { dim, ids: Vec::new(), data: Vec::new(), index: HashMap::new(), metrics: None }
     }
 
     /// Attach an `ids-obs` registry: every subsequent exact search bumps
@@ -82,6 +85,7 @@ impl VectorStore {
     /// Panics on dimension mismatch.
     pub fn insert(&mut self, id: u64, vector: &[f32]) {
         assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        self.index.entry(id).or_insert(self.ids.len());
         self.ids.push(id);
         self.data.extend_from_slice(vector);
     }
@@ -98,9 +102,11 @@ impl VectorStore {
         self.ids[i]
     }
 
-    /// Look up a vector by external id (linear; used by tests/tools).
+    /// Look up a vector by external id — O(1) via the id→index map (the
+    /// engine's similarity joins resolve per-binding embeddings here). If
+    /// an id was inserted twice, the first insertion wins.
     pub fn get(&self, id: u64) -> Option<&[f32]> {
-        self.ids.iter().position(|&x| x == id).map(|i| self.vector_at(i))
+        self.index.get(&id).map(|&i| self.vector_at(i))
     }
 
     /// Exact top-k nearest vectors to `query` under `metric`, best first.
@@ -141,12 +147,25 @@ impl VectorStore {
     }
 }
 
-/// Truncate `hits` to the `k` best, sorted descending by score (ties broken
-/// by id for determinism).
+/// Total order on hits: descending score with **NaN scores sorting last**,
+/// ties broken by ascending id. Non-NaN scores compare via
+/// [`f32::total_cmp`], so the order is total and antisymmetric even for
+/// ±inf / ±0.0 / NaN embeddings — top-k selection stays deterministic
+/// across runs and ranks (a `partial_cmp(..).unwrap_or(Equal)` comparator
+/// is not a strict weak order once a NaN appears, and `sort_unstable_by`
+/// may then return different prefixes per run).
+pub(crate) fn hit_order(a: &SearchHit, b: &SearchHit) -> Ordering {
+    match (a.score.is_nan(), b.score.is_nan()) {
+        (false, false) => b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)),
+        (true, true) => a.id.cmp(&b.id),
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+    }
+}
+
+/// Truncate `hits` to the `k` best under [`hit_order`].
 fn keep_top_k(hits: &mut Vec<SearchHit>, k: usize) {
-    hits.sort_unstable_by(|a, b| {
-        b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then_with(|| a.id.cmp(&b.id))
-    });
+    hits.sort_unstable_by(hit_order);
     hits.truncate(k);
 }
 

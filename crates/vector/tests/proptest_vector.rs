@@ -1,0 +1,124 @@
+//! Property-based tests for the vector search paths under adversarial
+//! float inputs: NaN, ±inf, and signed zeros must never panic the
+//! comparator-driven code (`sort_by`, bounded top-k heap) and must keep
+//! search fully deterministic.
+//!
+//! Before the `total_cmp` sweep these were real failure modes: a NaN
+//! score made `partial_cmp(..).unwrap_or(Equal)` orderings
+//! inconsistent, which `sort_unstable_by` is allowed to punish
+//! arbitrarily.
+
+use ids_vector::store::Metric;
+use ids_vector::{IvfIndex, VectorStore};
+use proptest::prelude::*;
+
+const DIM: usize = 4;
+
+/// Decode one (tag, magnitude) pair into a possibly-pathological f32.
+fn decode(tag: u8, mag: f64) -> f32 {
+    match tag % 5 {
+        0 => mag as f32,
+        1 => f32::NAN,
+        2 => f32::INFINITY,
+        3 => f32::NEG_INFINITY,
+        _ => 0.0 * mag.signum() as f32, // ±0.0
+    }
+}
+
+/// Build a DIM-dimensional corpus from a flat list of encoded cells.
+fn corpus_from(cells: &[(u8, f64)]) -> VectorStore {
+    let mut s = VectorStore::new(DIM);
+    for (i, chunk) in cells.chunks_exact(DIM).enumerate() {
+        let v: Vec<f32> = chunk.iter().map(|&(t, m)| decode(t, m)).collect();
+        s.insert(i as u64, &v);
+    }
+    s
+}
+
+fn ids(hits: &[ids_vector::SearchHit]) -> Vec<u64> {
+    hits.iter().map(|h| h.id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Exact search never panics and is deterministic, whatever float
+    /// garbage the corpus or query contains.
+    #[test]
+    fn exact_search_total_and_deterministic(
+        cells in proptest::collection::vec((0u8..=4, -100.0f64..100.0), DIM..DIM * 24),
+        qcells in proptest::collection::vec((0u8..=4, -100.0f64..100.0), DIM..DIM + 1),
+        k in 0usize..12,
+    ) {
+        let s = corpus_from(&cells);
+        let q: Vec<f32> = qcells.iter().map(|&(t, m)| decode(t, m)).collect();
+        let a = s.search(&q, k, Metric::L2);
+        let b = s.search(&q, k, Metric::L2);
+        prop_assert_eq!(ids(&a), ids(&b), "exact search must be deterministic");
+        prop_assert_eq!(a.len(), k.min(s.len()), "top-k is exactly min(k, n)");
+        // NaN-last total order: once a NaN score appears, no non-NaN
+        // score may follow it.
+        let first_nan = a.iter().position(|h| h.score.is_nan()).unwrap_or(a.len());
+        prop_assert!(a[first_nan..].iter().all(|h| h.score.is_nan()), "NaN hits sort last");
+        // The non-NaN prefix is descending by score.
+        for w in a[..first_nan].windows(2) {
+            prop_assert!(w[0].score >= w[1].score, "finite prefix must be best-first");
+        }
+    }
+
+    /// IVF build + search never panics and is deterministic under the
+    /// same adversarial inputs (k-means over NaN/inf vectors produces
+    /// NaN centroids and NaN cell distances — all must stay ordered).
+    #[test]
+    fn ivf_search_total_and_deterministic(
+        cells in proptest::collection::vec((0u8..=4, -100.0f64..100.0), DIM..DIM * 24),
+        qcells in proptest::collection::vec((0u8..=4, -100.0f64..100.0), DIM..DIM + 1),
+        nlist in 1usize..6,
+        nprobe in 1usize..8,
+        k in 0usize..12,
+    ) {
+        let s = corpus_from(&cells);
+        let q: Vec<f32> = qcells.iter().map(|&(t, m)| decode(t, m)).collect();
+        let idx = IvfIndex::build(&s, nlist, 4, 42);
+        let a = idx.search(&q, k, nprobe);
+        let b = idx.search(&q, k, nprobe);
+        prop_assert_eq!(ids(&a), ids(&b), "IVF search must be deterministic");
+        prop_assert!(a.len() <= k, "never more than k hits");
+        // Rebuilding from the same corpus and seed is also bit-stable.
+        let idx2 = IvfIndex::build(&s, nlist, 4, 42);
+        prop_assert_eq!(ids(&idx2.search(&q, k, nprobe)), ids(&a), "build is deterministic");
+    }
+
+    /// On finite inputs the bounded top-k heap agrees with exact search
+    /// when every cell is probed — the heap optimization must not change
+    /// results.
+    #[test]
+    fn full_probe_heap_matches_exact_on_finite_inputs(
+        mags in proptest::collection::vec(-100.0f64..100.0, DIM * 2..DIM * 32),
+        qmags in proptest::collection::vec(-100.0f64..100.0, DIM..DIM + 1),
+        nlist in 1usize..6,
+        k in 1usize..10,
+    ) {
+        let mut s = VectorStore::new(DIM);
+        for (i, chunk) in mags.chunks_exact(DIM).enumerate() {
+            let v: Vec<f32> = chunk.iter().map(|&m| m as f32).collect();
+            s.insert(i as u64, &v);
+        }
+        let q: Vec<f32> = qmags.iter().map(|&m| m as f32).collect();
+        let idx = IvfIndex::build(&s, nlist, 4, 7);
+        let exact = s.search(&q, k, Metric::L2);
+        let ivf = idx.search(&q, k, idx.nlist());
+        prop_assert_eq!(ids(&ivf), ids(&exact), "full probe must equal exact top-k");
+    }
+}
+
+#[test]
+fn o1_get_survives_duplicate_ids_and_lookups_match_first_insertion() {
+    let mut s = VectorStore::new(2);
+    s.insert(7, &[1.0, 2.0]);
+    s.insert(7, &[9.0, 9.0]); // duplicate id: first insertion wins for get()
+    s.insert(8, &[3.0, 4.0]);
+    assert_eq!(s.get(7), Some(&[1.0f32, 2.0][..]));
+    assert_eq!(s.get(8), Some(&[3.0f32, 4.0][..]));
+    assert_eq!(s.get(9), None);
+}

@@ -102,7 +102,7 @@ fn main() {
         .into_iter()
         .map(|c| (dtba.predict(&target, &c.smiles).pkd, c.smiles))
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
     for (pkd, smiles) in scored.iter().take(5) {
         println!("  pKd {pkd:.2}  {smiles}");
     }

@@ -97,7 +97,7 @@ fn apply_stage_binds_new_column_and_projects() {
     let ds = inst.datastore();
     let mut doubled: Vec<f64> =
         out.solutions.rows().iter().map(|r| ds.decode(r[1]).unwrap().as_f64().unwrap()).collect();
-    doubled.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    doubled.sort_by(f64::total_cmp);
     assert_eq!(doubled, vec![0.0, 2.0, 4.0]);
 }
 
