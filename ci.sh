@@ -44,8 +44,19 @@ for seed in 1 2 3 4 5 6 7 8; do
   CHAOS_SEED=$seed cargo test --release --test chaos_columnar -q
 done
 
+echo "==> pipeline parity matrix (tests/chaos_pipeline.rs, release)"
+for seed in 1 2 3 4 5 6 7 8; do
+  for mode in default tight; do
+    echo "---- CHAOS_SEED=$seed CHAOS_PIPELINE=$mode"
+    CHAOS_SEED=$seed CHAOS_PIPELINE=$mode cargo test --release --test chaos_pipeline -q
+  done
+done
+
 echo "==> ablation_columnar smoke (asserts byte-identical results, >=1.5x, exact accounting)"
 cargo run --release -p ids-bench --bin ablation_columnar
+
+echo "==> ablation_pipeline smoke (asserts byte-identical results, measurable speedup under stragglers)"
+cargo run --release -p ids-bench --bin ablation_pipeline
 
 echo "==> concurrency chaos matrix (tests/chaos_concurrency.rs, release)"
 for seed in 1 2 3 4 5 6 7 8; do

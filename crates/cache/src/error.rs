@@ -47,6 +47,11 @@ pub enum CacheError {
         /// Virtual seconds spent before the corruption was detected.
         spent_secs: f64,
     },
+    /// The cache configuration is unsatisfiable for the given topology
+    /// (e.g. zero cache nodes, or more cache nodes than the cluster
+    /// has). Returned by [`crate::CacheManager::try_new`] before any
+    /// state is built.
+    InvalidConfig(String),
 }
 
 impl CacheError {
@@ -54,7 +59,7 @@ impl CacheError {
     /// callers charge this to their rank clock even though the op failed.
     pub fn spent_secs(&self) -> f64 {
         match self {
-            CacheError::Fam(_) => 0.0,
+            CacheError::Fam(_) | CacheError::InvalidConfig(_) => 0.0,
             CacheError::NodeDown { spent_secs, .. }
             | CacheError::DeadlineExceeded { spent_secs, .. }
             | CacheError::RetriesExhausted { spent_secs, .. }
@@ -87,6 +92,7 @@ impl std::fmt::Display for CacheError {
                      replica remains"
                 )
             }
+            CacheError::InvalidConfig(m) => write!(f, "invalid cache configuration: {m}"),
         }
     }
 }
@@ -124,6 +130,9 @@ mod tests {
         assert!(e.to_string().contains("remote_dram"));
         let e = CacheError::NodeDown { node: NodeId(2), spent_secs: 0.0 };
         assert!(e.to_string().contains("node 2"));
+        let e = CacheError::InvalidConfig("more cache nodes than nodes".into());
+        assert!(e.to_string().contains("invalid cache configuration"));
+        assert!(e.to_string().contains("more cache nodes"));
     }
 
     #[test]
@@ -155,6 +164,8 @@ mod tests {
                 0.75,
             ),
             (CacheError::Corrupted { name: "obj".into(), spent_secs: 0.5 }, 0.5),
+            // Construction-time rejection: no virtual time was ever spent.
+            (CacheError::InvalidConfig("zero cache nodes".into()), 0.0),
         ];
         for (e, want) in cases {
             assert_eq!(e.spent_secs(), want, "{e}");
@@ -178,6 +189,7 @@ mod tests {
             CacheError::DeadlineExceeded { deadline_secs: 0.1, spent_secs: 0.2 },
             CacheError::RetriesExhausted { attempts: 1, spent_secs: 0.0, detail: String::new() },
             CacheError::Corrupted { name: String::new(), spent_secs: 0.0 },
+            CacheError::InvalidConfig(String::new()),
         ];
         for e in errs {
             assert!(e.source().is_none(), "{e:?} should not chain");

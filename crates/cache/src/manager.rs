@@ -392,9 +392,39 @@ pub struct CacheManager {
 impl CacheManager {
     /// Build a cache over `topo` with the given config; the backing store
     /// starts empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config is unsatisfiable for `topo` (zero cache
+    /// nodes, or more cache nodes than the cluster has). Use
+    /// [`CacheManager::try_new`] to get the rejection as a typed
+    /// [`CacheError::InvalidConfig`] instead.
     pub fn new(topo: Topology, net: NetworkModel, cfg: CacheConfig, backing: BackingStore) -> Self {
-        assert!(cfg.cache_nodes > 0, "need at least one cache node");
-        assert!(cfg.cache_nodes as u32 <= topo.nodes(), "more cache nodes than nodes");
+        match Self::try_new(topo, net, cfg, backing) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects unsatisfiable configs with
+    /// [`CacheError::InvalidConfig`] instead of panicking, so embedding
+    /// services can surface the problem as a typed error.
+    pub fn try_new(
+        topo: Topology,
+        net: NetworkModel,
+        cfg: CacheConfig,
+        backing: BackingStore,
+    ) -> Result<Self, CacheError> {
+        if cfg.cache_nodes == 0 {
+            return Err(CacheError::InvalidConfig("need at least one cache node".into()));
+        }
+        if cfg.cache_nodes as u32 > topo.nodes() {
+            return Err(CacheError::InvalidConfig(format!(
+                "{} cache nodes exceed the cluster's {} nodes",
+                cfg.cache_nodes,
+                topo.nodes()
+            )));
+        }
         let state = State {
             dram: (0..cfg.cache_nodes).map(|_| TierState::new()).collect(),
             nvme: (0..cfg.cache_nodes).map(|_| TierState::new()).collect(),
@@ -408,7 +438,7 @@ impl CacheManager {
             last_anti_entropy: 0.0,
             recovery_pending: false,
         };
-        Self {
+        Ok(Self {
             cfg,
             topo,
             net,
@@ -418,7 +448,7 @@ impl CacheManager {
             metrics: CacheMetrics::new(MetricsRegistry::new()),
             faults: Mutex::new(None),
             ft: Mutex::new(FaultTolerance::default()),
-        }
+        })
     }
 
     /// Attach a fault plane: node availability follows its crash
@@ -1421,6 +1451,50 @@ mod tests {
 
     fn payload(n: usize, tag: u8) -> Bytes {
         Bytes::from(vec![tag; n])
+    }
+
+    #[test]
+    fn try_new_rejects_unsatisfiable_configs_as_typed_errors() {
+        let net = NetworkModel::slingshot();
+        let Err(err) = CacheManager::try_new(
+            Topology::new(4, 2),
+            net,
+            CacheConfig::new(0, 1 << 20, 1 << 22),
+            BackingStore::default_store(),
+        ) else {
+            panic!("zero cache nodes must be rejected");
+        };
+        assert!(matches!(err, CacheError::InvalidConfig(_)), "{err}");
+        assert_eq!(err.spent_secs(), 0.0, "construction failures spend no virtual time");
+
+        let Err(err) = CacheManager::try_new(
+            Topology::new(2, 2),
+            net,
+            CacheConfig::new(5, 1 << 20, 1 << 22),
+            BackingStore::default_store(),
+        ) else {
+            panic!("oversized cache-node count must be rejected");
+        };
+        assert!(err.to_string().contains("5 cache nodes exceed"), "{err}");
+
+        assert!(CacheManager::try_new(
+            Topology::new(4, 2),
+            net,
+            CacheConfig::new(2, 1 << 20, 1 << 22),
+            BackingStore::default_store(),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one cache node")]
+    fn new_panics_on_zero_cache_nodes() {
+        let _ = CacheManager::new(
+            Topology::new(4, 2),
+            NetworkModel::slingshot(),
+            CacheConfig::new(0, 1 << 20, 1 << 22),
+            BackingStore::default_store(),
+        );
     }
 
     #[test]

@@ -22,10 +22,10 @@ use crate::datastore::Datastore;
 use crate::planner::{PhysicalPlan, PhysicalStage};
 use ids_cache::{CacheManager, IntermediateSolutions, TypedSolutionSet};
 use ids_graph::ops as gops;
-use ids_graph::{SolutionBatch, SolutionSet, TermId};
+use ids_graph::{BatchChannel, SolutionBatch, SolutionSet, TermId};
 use ids_obs::MetricsRegistry;
 use ids_simrt::rng::{fnv1a, hash_combine};
-use ids_simrt::{Cluster, RankId};
+use ids_simrt::{Cluster, ExchangeCost, RankId};
 use ids_udf::expr::EvalCtx;
 use ids_udf::{
     order_conjuncts, plan_count_based, plan_throughput_based, Expr, RebalancePlan, UdfProfiler,
@@ -129,6 +129,22 @@ pub struct ExecOptions {
     pub columnar_eval_amortization: f64,
     /// Same for [`Self::join_secs_per_row`] in batched joins.
     pub columnar_join_amortization: f64,
+    /// Pipelined streaming exchange (default `false` = BSP). When on,
+    /// stage boundaries stop barriering: scans, joins, and FILTER/APPLY
+    /// stages leave per-rank clocks skewed, and the join exchange streams
+    /// repartitioned batches through per-(src,dst) channels costed by
+    /// `Cluster::streamed_exchange_cost` — a receiver starts when its
+    /// *first* inbound batch lands and finishes no earlier than its last,
+    /// instead of the whole world syncing to the slowest rank. Like
+    /// [`Self::columnar`] this selects only a virtual-time cost model; the
+    /// data plane is identical, so results are byte-identical across modes.
+    pub pipelined: bool,
+    /// Target wire bytes per streamed exchange batch (pipelined mode).
+    pub exchange_batch_bytes: u64,
+    /// Bounded per-channel buffer in batches (pipelined mode): a sender
+    /// whose receiver has this many undrained batches stalls, and the
+    /// stall is charged to its virtual clock.
+    pub exchange_channel_capacity: usize,
 }
 
 impl Default for ExecOptions {
@@ -150,6 +166,9 @@ impl Default for ExecOptions {
             batch_dispatch_secs: 5.0e-7,
             columnar_eval_amortization: 8.0,
             columnar_join_amortization: 4.0,
+            pipelined: false,
+            exchange_batch_bytes: 256 << 10,
+            exchange_channel_capacity: 8,
         }
     }
 }
@@ -217,8 +236,10 @@ impl std::fmt::Display for DegradedKind {
 pub struct ErrorAnnotation {
     /// Stage name (`"filter"`, `"stage-filter"`, `"apply:<udf>"`).
     pub stage: String,
-    /// Rank whose work was degraded.
-    pub rank: u32,
+    /// Rank whose work was degraded. Wide enough for any `usize` rank
+    /// index, so an annotation can never silently mis-attribute a rank
+    /// through an `as u32` truncation.
+    pub rank: u64,
     /// Failure class.
     pub kind: DegradedKind,
     /// First observed error/panic message (or the deadline that fired).
@@ -378,6 +399,17 @@ enum RunPhase {
 pub enum StepOutcome {
     /// More stages remain; call `step` again.
     Pending,
+    /// More stages remain, and the stage just stepped left batches flowing
+    /// on streamed exchange channels (pipelined mode only): downstream
+    /// ranks are already consuming them, so a scheduler should treat this
+    /// like [`Self::Pending`] but may account the yield to channel
+    /// readiness rather than a stage barrier.
+    BatchReady {
+        /// Channels that carried bytes in the stage's streamed exchange.
+        channels: u64,
+        /// Batches moved across those channels.
+        batches: u64,
+    },
     /// The query finished.
     Done(QueryOutcome),
 }
@@ -411,6 +443,16 @@ pub struct PlanRun {
     /// Checkpoint ordinal the run resumed from (−1 = cold). Checkpoints at
     /// or below this ordinal are already in the cache and are not rewritten.
     resume_ordinal: i64,
+    /// Streamed-exchange activity of the stage currently being stepped;
+    /// drained by [`Self::step`] into [`StepOutcome::BatchReady`].
+    exchange_tally: ExchangeTally,
+}
+
+/// Aggregate of one stage's streamed exchanges (pipelined mode).
+#[derive(Debug, Default, Clone, Copy)]
+struct ExchangeTally {
+    channels: u64,
+    batches: u64,
 }
 
 /// Checkpoint ordinals: BGP = 0, WHERE = 1, stage i = 2 + i.
@@ -433,6 +475,7 @@ impl PlanRun {
             annotations: Vec::new(),
             pre_filter_counts: Vec::new(),
             resume_ordinal: -1,
+            exchange_tally: ExchangeTally::default(),
         }
     }
 
@@ -479,15 +522,15 @@ impl PlanRun {
         match self.phase {
             RunPhase::Pattern(i) => {
                 self.step_pattern(i, cluster, ds, metrics, cache, ranks)?;
-                Ok(StepOutcome::Pending)
+                Ok(self.stage_outcome())
             }
             RunPhase::WhereFilter => {
                 self.step_where(cluster, ds, registry, profilers, metrics, cache)?;
-                Ok(StepOutcome::Pending)
+                Ok(self.stage_outcome())
             }
             RunPhase::Stage(i) => {
                 self.step_stage(i, cluster, ds, registry, profilers, metrics, cache)?;
-                Ok(StepOutcome::Pending)
+                Ok(self.stage_outcome())
             }
             RunPhase::Gather => {
                 let outcome = self.step_gather(cluster, ds, metrics, cache, ranks)?;
@@ -496,6 +539,18 @@ impl PlanRun {
             RunPhase::Done => {
                 Err(ExecError { message: "step called on a completed plan run".to_string() })
             }
+        }
+    }
+
+    /// Non-terminal step result: [`StepOutcome::BatchReady`] when the stage
+    /// just stepped streamed batches over exchange channels, else
+    /// [`StepOutcome::Pending`]. Drains the per-stage tally either way.
+    fn stage_outcome(&mut self) -> StepOutcome {
+        let tally = std::mem::take(&mut self.exchange_tally);
+        if self.opts.pipelined && tally.batches > 0 {
+            StepOutcome::BatchReady { channels: tally.channels, batches: tally.batches }
+        } else {
+            StepOutcome::Pending
         }
     }
 
@@ -680,6 +735,11 @@ impl PlanRun {
                 // Scan phase: triples bind straight into columnar batches.
                 let opts = self.opts;
                 let scan_start = cluster.elapsed();
+                // The scan is the producing window of the join exchange
+                // below: in pipelined mode batches stream out as each
+                // rank's scan progresses, so snapshot the per-rank clocks
+                // before the phase starts.
+                let produce_start = cluster.clocks().to_vec();
                 let scanned: Vec<SolutionBatch> = cluster.execute("scan", |ctx| {
                     let shard = ctx.rank().index();
                     let triples = ds.scan_shard(shard, &pat.pattern);
@@ -693,7 +753,12 @@ impl PlanRun {
                         &triples,
                     )
                 });
-                cluster.barrier();
+                if !opts.pipelined {
+                    // BSP: the world syncs before the exchange. Pipelined
+                    // mode instead lets the exchange impose only real
+                    // per-channel dependencies.
+                    cluster.barrier();
+                }
                 let scan_end = cluster.elapsed();
                 self.breakdown.scan_secs += scan_end - scan_start;
                 let scanned_rows: usize = scanned.iter().map(SolutionBatch::len).sum();
@@ -704,8 +769,15 @@ impl PlanRun {
                     None => scanned,
                     Some(existing) => {
                         let join_start = cluster.elapsed();
-                        let joined =
-                            distributed_join(cluster, existing, scanned, &self.opts, metrics)?;
+                        let joined = distributed_join(
+                            cluster,
+                            existing,
+                            scanned,
+                            &self.opts,
+                            metrics,
+                            &produce_start,
+                            &mut self.exchange_tally,
+                        )?;
                         let join_end = cluster.elapsed();
                         self.breakdown.join_secs += join_end - join_start;
                         let joined_rows: usize = joined.iter().map(SolutionBatch::len).sum();
@@ -1088,14 +1160,59 @@ impl BatchMeter {
     }
 }
 
+/// Exchange observability series for the streamed (pipelined) exchange,
+/// feeding EXPLAIN's `exchange:` block.
+struct ExchangeMeter {
+    batches: ids_obs::Counter,
+    bytes: ids_obs::Counter,
+    channels: ids_obs::Counter,
+    stall: ids_obs::Histogram,
+    buffered: ids_obs::Histogram,
+}
+
+impl ExchangeMeter {
+    fn new(metrics: &MetricsRegistry, op: &str) -> Self {
+        Self {
+            batches: metrics.counter_with("ids_exchange_batches_total", "op", op.to_string()),
+            bytes: metrics.counter_with("ids_exchange_bytes_total", "op", op.to_string()),
+            channels: metrics.counter_with("ids_exchange_channels_total", "op", op.to_string()),
+            stall: metrics.histogram("ids_exchange_stall_secs"),
+            buffered: metrics.histogram("ids_exchange_buffered_batches"),
+        }
+    }
+
+    fn record(&self, xc: &ExchangeCost, wire_bytes: u64) {
+        self.batches.add(xc.batches);
+        self.bytes.add(wire_bytes);
+        self.channels.add(xc.active_channels);
+        for &s in &xc.sender_stall {
+            if s > 0.0 {
+                self.stall.observe(s);
+            }
+        }
+        self.buffered.observe(xc.max_buffered as f64);
+    }
+}
+
 /// Hash-partition both sides on their shared variables, exchange, and join
 /// rank-locally.
+///
+/// BSP mode charges the exchange as one `alltoallv` bound by the heaviest
+/// sender and closes the stage with a barrier. Pipelined mode streams the
+/// per-(src,dst) sub-batches through the α·β model as the producing window
+/// (`produce_start` → current clocks) advances: each rank starts joining
+/// when its first inbound batch lands, finishes no earlier than its last,
+/// and nobody waits for unrelated ranks. The data plane — repartitioned
+/// rows, join, output order — is identical in both modes.
+#[allow(clippy::too_many_arguments)]
 fn distributed_join(
     cluster: &mut Cluster,
     left: Vec<SolutionBatch>,
     right: Vec<SolutionBatch>,
     opts: &ExecOptions,
     metrics: &MetricsRegistry,
+    produce_start: &[f64],
+    tally: &mut ExchangeTally,
 ) -> Result<Vec<SolutionBatch>, ExecError> {
     let ranks = left.len();
     let left_vars = left[0].vars().to_vec();
@@ -1103,6 +1220,9 @@ fn distributed_join(
     let shared: Vec<String> =
         left_vars.iter().filter(|v| right_vars.contains(v)).cloned().collect();
 
+    // `matrix[s * ranks + d]` = wire bytes from rank s to rank d (pipelined
+    // cost model); `exchanged_bytes` is the BSP aggregate charge.
+    let mut matrix: Vec<u64> = Vec::new();
     let (left, right, exchanged_bytes) = if shared.is_empty() {
         // Cross product: broadcast the smaller side to every rank.
         let (small, big, small_is_left) = {
@@ -1114,6 +1234,18 @@ fn distributed_join(
                 (right, left, false)
             }
         };
+        if opts.pipelined {
+            // Each rank ships its shard of the small side to every peer.
+            matrix = vec![0u64; ranks * ranks];
+            for (s, shard) in small.iter().enumerate() {
+                let b = shard.byte_size();
+                for d in 0..ranks {
+                    if d != s {
+                        matrix[s * ranks + d] = b;
+                    }
+                }
+            }
+        }
         let merged_small = gops::merge_batches(small);
         let bytes = merged_small.byte_size() * ranks as u64;
         let replicated: Vec<SolutionBatch> = (0..ranks).map(|_| merged_small.clone()).collect();
@@ -1122,6 +1254,15 @@ fn distributed_join(
         } else {
             (big, replicated, bytes)
         }
+    } else if opts.pipelined {
+        let (l, lb) = repartition_streamed(left, &shared, ranks, opts)?;
+        let (r, rb) = repartition_streamed(right, &shared, ranks, opts)?;
+        matrix = lb;
+        for (m, b) in matrix.iter_mut().zip(rb) {
+            *m += b;
+        }
+        let bytes: u64 = l.iter().chain(&r).map(SolutionBatch::byte_size).sum();
+        (l, r, bytes)
     } else {
         let l = repartition_by_vars(left, &shared, ranks)?;
         let r = repartition_by_vars(right, &shared, ranks)?;
@@ -1130,8 +1271,30 @@ fn distributed_join(
     };
 
     // Charge the exchange.
-    let per_rank = exchanged_bytes / ranks.max(1) as u64;
-    cluster.alltoallv_cost(&vec![per_rank; ranks]);
+    let exchange = if opts.pipelined {
+        let xc = cluster.streamed_exchange_cost(
+            &matrix,
+            produce_start,
+            opts.exchange_batch_bytes,
+            opts.exchange_channel_capacity,
+        );
+        let wire: u64 = matrix
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i / ranks != i % ranks)
+            .map(|(_, &b)| b)
+            .sum();
+        ExchangeMeter::new(metrics, "join").record(&xc, wire);
+        tally.channels += xc.active_channels;
+        tally.batches += xc.batches;
+        // Each rank may start joining once its first inbound batch lands.
+        cluster.raise_clocks(&xc.first_ready);
+        Some(xc)
+    } else {
+        let per_rank = exchanged_bytes / ranks.max(1) as u64;
+        cluster.alltoallv_cost(&vec![per_rank; ranks]);
+        None
+    };
 
     // Rank-local joins. The data plane is identical in both modes (the
     // same batch hash-join); `opts.columnar` only selects the cost model —
@@ -1156,7 +1319,16 @@ fn distributed_join(
         ctx.count("joined_rows", out.len() as u64);
         out
     });
-    cluster.barrier();
+    match exchange {
+        Some(xc) => {
+            // A rank's join cannot complete before its last inbound batch
+            // arrived — but it never waits for anyone else's channels.
+            cluster.raise_clocks(&xc.all_ready);
+        }
+        None => {
+            cluster.barrier();
+        }
+    }
     Ok(joined)
 }
 
@@ -1191,6 +1363,85 @@ fn repartition_by_vars(
         }
     }
     Ok(out)
+}
+
+/// Redistribute rows like [`repartition_by_vars`], but stream each
+/// (src, dst) flow through a bounded [`BatchChannel`] in sub-batches of
+/// [`ExecOptions::batch_rows`], returning the merged per-destination
+/// batches plus the `ranks × ranks` wire-byte matrix the streamed cost
+/// model consumes.
+///
+/// Row order is a structural invariant, not a timing artifact: sources are
+/// processed in rank order and each source's channels are fully drained
+/// before the next source starts, so `out[dst]` holds rows ordered by
+/// (src, row-within-src) — exactly what the barriered path produces.
+/// A full channel hands the batch back; the sender drains the receiver
+/// side and retries (the matching virtual-time stall is charged by
+/// `Cluster::streamed_exchange_cost`).
+fn repartition_streamed(
+    sets: Vec<SolutionBatch>,
+    vars: &[String],
+    ranks: usize,
+    opts: &ExecOptions,
+) -> Result<(Vec<SolutionBatch>, Vec<u64>), ExecError> {
+    let schema = sets[0].vars().to_vec();
+    let key_idx: Vec<usize> = vars
+        .iter()
+        .map(|v| {
+            sets[0].var_index(v).ok_or_else(|| ExecError {
+                message: format!("join key ?{v} missing from schema {schema:?}"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let batch_rows = opts.batch_rows.max(1);
+    let mut out: Vec<SolutionBatch> =
+        (0..ranks).map(|_| SolutionBatch::empty(schema.clone())).collect();
+    let mut bytes = vec![0u64; ranks * ranks];
+    let mut rowbuf: Vec<TermId> = Vec::new();
+    for (src, set) in sets.into_iter().enumerate() {
+        let mut chans: Vec<BatchChannel> =
+            (0..ranks).map(|_| BatchChannel::new(opts.exchange_channel_capacity)).collect();
+        let mut pending: Vec<SolutionBatch> =
+            (0..ranks).map(|_| SolutionBatch::empty(schema.clone())).collect();
+        for i in 0..set.len() {
+            set.copy_row(i, &mut rowbuf);
+            let mut h = 0xA17C_E55Eu64;
+            for &k in &key_idx {
+                h = hash_combine(h, fnv1a(&rowbuf[k].raw().to_le_bytes()));
+            }
+            let dst = (h % ranks as u64) as usize;
+            pending[dst].push_row(&rowbuf);
+            if pending[dst].len() >= batch_rows {
+                let full =
+                    std::mem::replace(&mut pending[dst], SolutionBatch::empty(schema.clone()));
+                channel_send(&mut chans[dst], &mut out[dst], full);
+            }
+        }
+        for (dst, (mut chan, tail)) in chans.into_iter().zip(pending).enumerate() {
+            if !tail.is_empty() {
+                channel_send(&mut chan, &mut out[dst], tail);
+            }
+            for batch in chan.drain() {
+                out[dst].append(batch);
+            }
+            bytes[src * ranks + dst] = chan.pushed_bytes();
+        }
+    }
+    Ok((out, bytes))
+}
+
+/// Push one sub-batch onto a channel, draining the receiver side first if
+/// the buffer is full — the push after a drain cannot fail.
+fn channel_send(chan: &mut BatchChannel, out: &mut SolutionBatch, batch: SolutionBatch) {
+    match chan.push(batch) {
+        Ok(()) => {}
+        Err(batch) => {
+            for b in chan.drain() {
+                out.append(b);
+            }
+            chan.push(batch).expect("push into a drained channel cannot fail");
+        }
+    }
 }
 
 /// Move rows between ranks to match a re-balancing plan (round-robin from
@@ -1380,11 +1631,17 @@ impl RankDegradation {
         deadline_secs: f64,
         out: &Mutex<Vec<ErrorAnnotation>>,
     ) {
+        // `u64::from` would not accept usize; `try_into` documents that the
+        // conversion is checked. Ranks come from `RankId` (u32) today, so
+        // the debug assert is a tripwire for a future wider rank space, and
+        // the release-mode fallback keeps annotation plumbing total.
+        debug_assert!(u64::try_from(rank).is_ok(), "rank {rank} exceeds u64 annotation field");
+        let rank = u64::try_from(rank).unwrap_or(u64::MAX);
         let mut anns = lock_unpoisoned(out);
         if self.panic_rows > 0 {
             anns.push(ErrorAnnotation {
                 stage: stage.to_string(),
-                rank: rank as u32,
+                rank,
                 kind: DegradedKind::WorkerPanic,
                 detail: self.panic_first.unwrap_or_default(),
                 rows_dropped: self.panic_rows,
@@ -1393,7 +1650,7 @@ impl RankDegradation {
         if self.eval_rows > 0 {
             anns.push(ErrorAnnotation {
                 stage: stage.to_string(),
-                rank: rank as u32,
+                rank,
                 kind: DegradedKind::EvalError,
                 detail: self.eval_first.unwrap_or_default(),
                 rows_dropped: self.eval_rows,
@@ -1402,7 +1659,7 @@ impl RankDegradation {
         if self.deadline_rows > 0 {
             anns.push(ErrorAnnotation {
                 stage: stage.to_string(),
-                rank: rank as u32,
+                rank,
                 kind: DegradedKind::DeadlineExceeded,
                 detail: format!("{deadline_secs:.6}s stage deadline"),
                 rows_dropped: self.deadline_rows,
@@ -1568,7 +1825,12 @@ fn run_filter_stage(
         ctx.count("filter_kept", kept.len() as u64);
         (kept, profiler, evals)
     });
-    cluster.barrier();
+    if !opts.pipelined {
+        // BSP closes the stage with a barrier; pipelined mode leaves the
+        // per-rank clocks skewed — the next stage's dependencies (its own
+        // input, or the gather collective) are the only synchronization.
+        cluster.barrier();
+    }
 
     let errs = errors.into_inner().unwrap_or_else(PoisonError::into_inner);
     if let Some(first) = errs.first() {
@@ -1725,7 +1987,11 @@ fn run_apply_stage(
         ctx.count("apply_rows", out.len() as u64);
         (out, profiler)
     });
-    cluster.barrier();
+    if !opts.pipelined {
+        // Same stage-closing policy as run_filter_stage: barrier only in
+        // BSP mode.
+        cluster.barrier();
+    }
 
     let errs = errors.into_inner().unwrap_or_else(PoisonError::into_inner);
     if let Some(first) = errs.first() {
@@ -1790,5 +2056,67 @@ mod tests {
         let o = ExecOptions::default();
         assert_eq!(o.rebalance, RebalanceMode::ThroughputBased);
         assert!(o.reorder_conjuncts);
+        // BSP is the reproduction baseline; the streaming exchange is the
+        // opt-in ablation arm.
+        assert!(!o.pipelined);
+        assert!(o.exchange_batch_bytes > 0);
+        assert!(o.exchange_channel_capacity > 0);
+    }
+
+    #[test]
+    fn streamed_repartition_matches_barriered_rows_and_order() {
+        // Whatever the channel batching does, the per-destination rows —
+        // and their (src, row) order — must equal the barriered path's.
+        let vars = vec!["a".to_string(), "b".to_string()];
+        let mut sets = Vec::new();
+        let mut id = 0u64;
+        for src in 0..3usize {
+            let mut b = SolutionBatch::empty(vars.clone());
+            for _ in 0..(src * 7 + 5) {
+                b.push_row(&[TermId(id % 13), TermId(id)]);
+                id += 1;
+            }
+            sets.push(b);
+        }
+        let keys = vec!["a".to_string()];
+        let mut opts =
+            ExecOptions { batch_rows: 4, exchange_channel_capacity: 2, ..Default::default() };
+        let barriered = repartition_by_vars(sets.clone(), &keys, 3).unwrap();
+        let (streamed, bytes) = repartition_streamed(sets, &keys, 3, &opts).unwrap();
+        for (b, s) in barriered.iter().zip(&streamed) {
+            assert_eq!(b.vars(), s.vars());
+            assert_eq!(b.len(), s.len());
+            for i in 0..b.len() {
+                assert_eq!(b.row(i), s.row(i), "row order diverged at {i}");
+            }
+        }
+        assert_eq!(bytes.len(), 9);
+        assert!(bytes.iter().sum::<u64>() > 0);
+        // A pathological capacity must not change the data plane either.
+        opts.exchange_channel_capacity = 0;
+        let mut sets2 = Vec::new();
+        for b in &barriered {
+            sets2.push(b.clone());
+        }
+        let (again, _) = repartition_streamed(sets2, &keys, 3, &opts).unwrap();
+        let total: usize = again.iter().map(SolutionBatch::len).sum();
+        assert_eq!(total, barriered.iter().map(SolutionBatch::len).sum::<usize>());
+    }
+
+    // A rank id beyond u32::MAX only exists on 64-bit hosts.
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn error_annotation_rank_is_wide_and_checked() {
+        let deg = RankDegradation {
+            panic_rows: 2,
+            panic_first: Some("boom".into()),
+            ..Default::default()
+        };
+        let out = Mutex::new(Vec::new());
+        deg.flush("filter", u32::MAX as usize + 7, f64::INFINITY, &out);
+        let anns = out.into_inner().unwrap();
+        assert_eq!(anns.len(), 1);
+        // The rank survives beyond u32::MAX un-truncated.
+        assert_eq!(anns[0].rank, u32::MAX as u64 + 7);
     }
 }

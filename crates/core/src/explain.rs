@@ -188,6 +188,7 @@ pub fn explain_with_metrics(
     }
 
     render_columnar_block(&mut out, snapshot);
+    render_exchange_block(&mut out, snapshot);
     render_fault_block(&mut out, snapshot);
     render_replication_block(&mut out, snapshot);
     render_service_block(&mut out, snapshot);
@@ -225,6 +226,55 @@ fn render_columnar_block(out: &mut String, snapshot: &MetricsSnapshot) {
             hist.max,
             hist.count
         ));
+    }
+}
+
+/// Append the pipelined-exchange block when any streamed exchange fired:
+/// per-operator batch counts, total wire bytes and channels, and the
+/// backpressure figures (sender stall time, per-channel buffered
+/// high-water). BSP-mode runs barrier instead of streaming and render
+/// nothing here, so baseline EXPLAIN output is unchanged.
+fn render_exchange_block(out: &mut String, snapshot: &MetricsSnapshot) {
+    let total_batches = snapshot.counter_sum("ids_exchange_batches_total");
+    if total_batches == 0 {
+        return;
+    }
+    out.push_str("  exchange:\n");
+    let mut ops: Vec<&str> = snapshot
+        .counters
+        .iter()
+        .filter(|(k, v)| k.name == "ids_exchange_batches_total" && **v > 0)
+        .map(|(k, _)| k.label_value.as_str())
+        .collect();
+    ops.sort_unstable();
+    let detail: Vec<String> = ops
+        .iter()
+        .map(|op| format!("{} {op}", snapshot.counter("ids_exchange_batches_total", op)))
+        .collect();
+    let bytes = snapshot.counter_sum("ids_exchange_bytes_total");
+    let channels = snapshot.counter_sum("ids_exchange_channels_total");
+    out.push_str(&format!(
+        "    batches streamed: {total_batches} ({}) over {channels} channels, {bytes} bytes\n",
+        detail.join(", ")
+    ));
+    for (key, hist) in &snapshot.histograms {
+        if hist.count == 0 {
+            continue;
+        }
+        match key.name {
+            "ids_exchange_stall_secs" => out.push_str(&format!(
+                "    backpressure stalls: {} senders, mean {:.6}s, max {:.6}s\n",
+                hist.count,
+                hist.mean(),
+                hist.max
+            )),
+            "ids_exchange_buffered_batches" => out.push_str(&format!(
+                "    buffered high-water: mean {:.1} batches, max {:.0} batches\n",
+                hist.mean(),
+                hist.max
+            )),
+            _ => {}
+        }
     }
 }
 
@@ -487,6 +537,32 @@ mod tests {
         assert!(out.contains("columnar execution:"), "{out}");
         assert!(out.contains("batches dispatched: 5 (3 filter, 2 join)"), "{out}");
         assert!(out.contains("batch occupancy: mean 768.0 rows, max 1024 rows over 2"), "{out}");
+    }
+
+    #[test]
+    fn exchange_block_renders_only_when_streaming_fired() {
+        let reg = ids_obs::MetricsRegistry::new();
+        let mut out = String::new();
+        render_exchange_block(&mut out, &reg.snapshot());
+        assert!(out.is_empty(), "BSP run adds no exchange block");
+
+        reg.counter_with("ids_exchange_batches_total", "op", "repartition").add(6);
+        reg.counter_with("ids_exchange_batches_total", "op", "broadcast").add(2);
+        reg.counter_with("ids_exchange_bytes_total", "op", "repartition").add(4096);
+        reg.counter_with("ids_exchange_channels_total", "op", "repartition").add(4);
+        reg.histogram("ids_exchange_stall_secs").observe(0.002);
+        reg.histogram("ids_exchange_buffered_batches").observe(3.0);
+        reg.histogram("ids_exchange_buffered_batches").observe(5.0);
+        render_exchange_block(&mut out, &reg.snapshot());
+        assert!(out.contains("exchange:"), "{out}");
+        assert!(
+            out.contains(
+                "batches streamed: 8 (2 broadcast, 6 repartition) over 4 channels, 4096 bytes"
+            ),
+            "{out}"
+        );
+        assert!(out.contains("backpressure stalls: 1 senders, mean 0.002000s"), "{out}");
+        assert!(out.contains("buffered high-water: mean 4.0 batches, max 5 batches"), "{out}");
     }
 
     #[test]

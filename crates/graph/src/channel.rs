@@ -1,0 +1,183 @@
+//! Bounded, deterministic batch channels for the pipelined exchange.
+//!
+//! A [`BatchChannel`] is the data-plane side of one streamed exchange
+//! channel (one `src → dst` rank pair): a FIFO of [`SolutionBatch`]es with
+//! a hard capacity. The engine pushes repartitioned sub-batches as they
+//! are produced and the receiver drains them in arrival order, so the
+//! concatenated rows are identical to what a barriered exchange would
+//! have materialized — byte-identity is a structural property, not a
+//! property of timing.
+//!
+//! The channel itself is purely mechanical: *when* a push stalls and what
+//! the stall costs in virtual time is decided by the simulator
+//! (`Cluster::streamed_exchange_cost`), which models the same capacity
+//! bound. Here a push against a full buffer is refused, handing the batch
+//! back to the caller — the invariant that occupancy never exceeds the
+//! cap is enforced structurally and checked by proptest.
+
+use crate::batch::SolutionBatch;
+use std::collections::VecDeque;
+
+/// A bounded FIFO of solution batches with occupancy accounting.
+#[derive(Debug)]
+pub struct BatchChannel {
+    cap: usize,
+    buf: VecDeque<SolutionBatch>,
+    high_water: usize,
+    pushed_batches: u64,
+    pushed_rows: u64,
+    pushed_bytes: u64,
+    refused: u64,
+}
+
+impl BatchChannel {
+    /// Create a channel holding at most `capacity` batches (floored to 1 —
+    /// a zero-capacity channel could never move data).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            cap: capacity.max(1),
+            buf: VecDeque::new(),
+            high_water: 0,
+            pushed_batches: 0,
+            pushed_rows: 0,
+            pushed_bytes: 0,
+            refused: 0,
+        }
+    }
+
+    /// The capacity in batches.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Batches currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True when a push would be refused.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() >= self.cap
+    }
+
+    /// Highest occupancy ever observed — by construction `≤ capacity()`.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Batches accepted over the channel's lifetime.
+    pub fn pushed_batches(&self) -> u64 {
+        self.pushed_batches
+    }
+
+    /// Rows accepted over the channel's lifetime.
+    pub fn pushed_rows(&self) -> u64 {
+        self.pushed_rows
+    }
+
+    /// Exact wire bytes accepted over the channel's lifetime.
+    pub fn pushed_bytes(&self) -> u64 {
+        self.pushed_bytes
+    }
+
+    /// Pushes refused because the buffer was at capacity.
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+
+    /// Enqueue `batch`, or hand it back when the buffer is full — the
+    /// caller must drain (or wait, in virtual time) and retry. Empty
+    /// batches are accepted and counted like any other: the receiver
+    /// relies on arrival order, not on content.
+    pub fn push(&mut self, batch: SolutionBatch) -> Result<(), SolutionBatch> {
+        if self.is_full() {
+            self.refused += 1;
+            return Err(batch);
+        }
+        self.pushed_batches += 1;
+        self.pushed_rows += batch.len() as u64;
+        self.pushed_bytes += batch.byte_size();
+        self.buf.push_back(batch);
+        self.high_water = self.high_water.max(self.buf.len());
+        Ok(())
+    }
+
+    /// Dequeue the oldest batch.
+    pub fn pop(&mut self) -> Option<SolutionBatch> {
+        self.buf.pop_front()
+    }
+
+    /// Drain every buffered batch in arrival order.
+    pub fn drain(&mut self) -> impl Iterator<Item = SolutionBatch> + '_ {
+        self.buf.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::TermId;
+
+    fn batch(rows: &[u64]) -> SolutionBatch {
+        let mut b = SolutionBatch::empty(vec!["x".into()]);
+        for &r in rows {
+            b.push_row(&[TermId(r)]);
+        }
+        b
+    }
+
+    #[test]
+    fn fifo_order_and_accounting() {
+        let mut ch = BatchChannel::new(4);
+        ch.push(batch(&[1, 2])).unwrap();
+        ch.push(batch(&[3])).unwrap();
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.pushed_batches(), 2);
+        assert_eq!(ch.pushed_rows(), 3);
+        assert!(ch.pushed_bytes() > 0);
+        let first = ch.pop().unwrap();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first.get(0, 0), Some(TermId(1)));
+        assert_eq!(ch.pop().unwrap().len(), 1);
+        assert!(ch.pop().is_none());
+    }
+
+    #[test]
+    fn full_channel_refuses_and_hands_the_batch_back() {
+        let mut ch = BatchChannel::new(2);
+        ch.push(batch(&[1])).unwrap();
+        ch.push(batch(&[2])).unwrap();
+        let rejected = ch.push(batch(&[3])).unwrap_err();
+        assert_eq!(rejected.get(0, 0), Some(TermId(3)), "refused batch comes back intact");
+        assert_eq!(ch.refused(), 1);
+        assert_eq!(ch.high_water(), 2);
+        ch.pop().unwrap();
+        ch.push(rejected).unwrap();
+        assert_eq!(ch.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_floored_to_one() {
+        let mut ch = BatchChannel::new(0);
+        assert_eq!(ch.capacity(), 1);
+        ch.push(batch(&[9])).unwrap();
+        assert!(ch.is_full());
+    }
+
+    #[test]
+    fn drain_empties_in_arrival_order() {
+        let mut ch = BatchChannel::new(8);
+        for i in 0..5 {
+            ch.push(batch(&[i])).unwrap();
+        }
+        let ids: Vec<u64> = ch.drain().map(|b| b.get(0, 0).unwrap().raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(ch.is_empty());
+        assert_eq!(ch.high_water(), 5);
+    }
+}

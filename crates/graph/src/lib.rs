@@ -22,6 +22,7 @@
 
 pub mod algo;
 pub mod batch;
+pub mod channel;
 pub mod dict;
 pub mod ntriples;
 pub mod ops;
@@ -33,6 +34,7 @@ pub mod triple;
 
 pub use algo::{connected_components, pagerank};
 pub use batch::SolutionBatch;
+pub use channel::BatchChannel;
 pub use dict::Dictionary;
 pub use ntriples::{parse_ntriples, write_ntriples};
 pub use solution::SolutionSet;

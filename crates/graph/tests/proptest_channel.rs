@@ -1,0 +1,87 @@
+//! Property-based tests for the bounded exchange channel: whatever
+//! interleaving of pushes and pops a scheduler produces, occupancy never
+//! exceeds the buffer cap, refused batches come back intact, and the
+//! drain order is the arrival order — the structural half of the
+//! pipelined-exchange byte-identity argument (the virtual-time half
+//! lives in `ids-simrt`).
+
+use ids_graph::{BatchChannel, SolutionBatch, TermId};
+use proptest::prelude::*;
+
+/// Build a one-column batch whose single row tags it with `id`, so FIFO
+/// order is observable after the batch has passed through the channel.
+fn tagged(id: u64) -> SolutionBatch {
+    let mut b = SolutionBatch::empty(vec!["x".into()]);
+    b.push_row(&[TermId(id)]);
+    b
+}
+
+fn tag(b: &SolutionBatch) -> u64 {
+    b.get(0, 0).unwrap().raw()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Drive the channel with an arbitrary push/pop schedule: occupancy
+    /// (and therefore the high-water mark) never exceeds the cap, and
+    /// the sequence of successfully transported tags equals the sequence
+    /// of accepted pushes — deterministic FIFO drain.
+    #[test]
+    fn occupancy_bounded_and_drain_is_fifo(
+        cap in 1usize..9,
+        ops in proptest::collection::vec(any::<bool>(), 0..256),
+    ) {
+        let mut ch = BatchChannel::new(cap);
+        let mut next_id = 0u64;
+        let mut accepted = Vec::new();
+        let mut popped = Vec::new();
+        for push in ops {
+            if push {
+                match ch.push(tagged(next_id)) {
+                    Ok(()) => accepted.push(next_id),
+                    Err(b) => prop_assert_eq!(tag(&b), next_id, "refused batch mangled"),
+                }
+                next_id += 1;
+            } else if let Some(b) = ch.pop() {
+                popped.push(tag(&b));
+            }
+            prop_assert!(ch.len() <= ch.capacity(), "occupancy over cap");
+            prop_assert!(ch.high_water() <= ch.capacity(), "high-water over cap");
+        }
+        popped.extend(ch.drain().map(|b| tag(&b)));
+        prop_assert_eq!(popped, accepted, "drain must replay accepted pushes in order");
+        prop_assert!(ch.is_empty());
+    }
+
+    /// Pushes refused by a full buffer are retryable: retrying after one
+    /// pop always succeeds, and lifetime accounting counts each batch
+    /// exactly once however many refusals preceded its acceptance.
+    #[test]
+    fn refused_pushes_are_retryable_and_counted_once(
+        cap in 1usize..5,
+        n in 1usize..48,
+    ) {
+        let mut ch = BatchChannel::new(cap);
+        let mut rows = 0u64;
+        for id in 0..n as u64 {
+            let mut b = tagged(id);
+            loop {
+                match ch.push(b) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        prop_assert!(ch.is_full());
+                        ch.pop().unwrap();
+                        b = back;
+                    }
+                }
+            }
+            rows += 1;
+        }
+        prop_assert_eq!(ch.pushed_batches(), n as u64);
+        prop_assert_eq!(ch.pushed_rows(), rows);
+        let tail: Vec<u64> = ch.drain().map(|b| tag(&b)).collect();
+        let expect: Vec<u64> = (n as u64 - tail.len() as u64..n as u64).collect();
+        prop_assert_eq!(tail, expect, "buffered tail is the most recent accepted suffix");
+    }
+}

@@ -26,6 +26,11 @@ pub enum ServeError {
     DeadlineExceeded { tenant: String, deadline_secs: f64 },
     /// The engine reported an execution error.
     Exec(String),
+    /// A scheduler invariant broke (a queue or tenant table mutated out
+    /// from under a check). The service degrades to this typed error —
+    /// metered via `ids_serve_internal_errors_total` — instead of
+    /// panicking, so one bad round cannot take the whole service down.
+    Internal(String),
 }
 
 impl ServeError {
@@ -57,6 +62,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "tenant {tenant:?} deadline of {deadline_secs}s exceeded")
             }
             ServeError::Exec(m) => write!(f, "exec: {m}"),
+            ServeError::Internal(m) => {
+                write!(f, "internal scheduler invariant violated: {m}")
+            }
         }
     }
 }
@@ -78,6 +86,9 @@ mod tests {
         assert!(
             ServeError::DeadlineExceeded { tenant: "a".into(), deadline_secs: 1.0 }.is_retryable()
         );
+        let internal = ServeError::Internal("queue drained mid-round".into());
+        assert!(!internal.is_retryable(), "invariant breaks are not client-retryable");
+        assert_eq!(internal.retry_after_secs(), None);
     }
 
     #[test]
@@ -85,5 +96,8 @@ mod tests {
         let e = ServeError::Overloaded { tenant: "chem".into(), retry_after_secs: 0.5 };
         assert!(e.to_string().contains("chem") && e.to_string().contains("0.500"));
         assert!(ServeError::UnknownSession(7).to_string().contains("#7"));
+        let internal = ServeError::Internal("front vanished".to_string());
+        assert!(internal.to_string().contains("internal scheduler invariant violated"));
+        assert!(internal.to_string().contains("front vanished"));
     }
 }

@@ -258,7 +258,18 @@ impl QueryService {
             .metrics()
             .gauge_with("ids_serve_queue_depth", "tenant", tenant_name.clone())
             .set(tenant.queue.len() as i64 + 1);
-        let tenant = self.tenants.get_mut(&tenant_name).expect("tenant just looked up");
+        // Looked up immutably above; a miss here means the tenant table
+        // mutated mid-submit. Degrade to a typed error instead of panicking
+        // so the service survives the broken invariant.
+        let Some(tenant) = self.tenants.get_mut(&tenant_name) else {
+            self.inst
+                .metrics()
+                .counter_with("ids_serve_internal_errors_total", "tenant", tenant_name.clone())
+                .inc();
+            return Err(ServeError::Internal(format!(
+                "tenant {tenant_name:?} vanished during submit"
+            )));
+        };
         tenant.queue.push_back(Job {
             id,
             session,
@@ -305,7 +316,20 @@ impl QueryService {
             // next slice is granted.
             if let Some(deadline) = tenant.cfg.deadline_secs {
                 if now - job.enqueued_at > deadline {
-                    let job = tenant.queue.pop_front().expect("front checked above");
+                    // `front_mut` just returned Some, so an empty queue here
+                    // is a broken invariant: meter it and yield the round
+                    // rather than panicking the whole scheduler.
+                    let Some(job) = tenant.queue.pop_front() else {
+                        self.inst
+                            .metrics()
+                            .counter_with(
+                                "ids_serve_internal_errors_total",
+                                "tenant",
+                                name.to_string(),
+                            )
+                            .inc();
+                        break;
+                    };
                     let tenant_name = tenant.cfg.name.clone();
                     self.inst
                         .metrics()
@@ -350,12 +374,48 @@ impl QueryService {
                 .inc();
             match step {
                 Ok(StepOutcome::Pending) => {}
+                Ok(StepOutcome::BatchReady { batches, .. }) => {
+                    // A pipelined run yielded on exchange-channel readiness
+                    // rather than a stage barrier. The job stays queued (the
+                    // slice above already charged its virtual time); just
+                    // meter the yield so fairness under streaming is
+                    // observable.
+                    let metrics = self.inst.metrics();
+                    metrics
+                        .counter_with("ids_serve_channel_yields_total", "tenant", name.to_string())
+                        .inc();
+                    metrics
+                        .counter_with("ids_serve_channel_batches_total", "tenant", name.to_string())
+                        .add(batches);
+                }
                 Ok(StepOutcome::Done(outcome)) => {
-                    let job = tenant.queue.pop_front().expect("front stepped above");
+                    // The front was stepped above; losing it now is a broken
+                    // invariant — meter and yield instead of panicking.
+                    let Some(job) = tenant.queue.pop_front() else {
+                        self.inst
+                            .metrics()
+                            .counter_with(
+                                "ids_serve_internal_errors_total",
+                                "tenant",
+                                name.to_string(),
+                            )
+                            .inc();
+                        break;
+                    };
                     done.push(finish(&self.inst, name.to_string(), job, ended_at, Ok(outcome)));
                 }
                 Err(e) => {
-                    let job = tenant.queue.pop_front().expect("front stepped above");
+                    let Some(job) = tenant.queue.pop_front() else {
+                        self.inst
+                            .metrics()
+                            .counter_with(
+                                "ids_serve_internal_errors_total",
+                                "tenant",
+                                name.to_string(),
+                            )
+                            .inc();
+                        break;
+                    };
                     done.push(finish(
                         &self.inst,
                         name.to_string(),

@@ -76,6 +76,41 @@ impl RankCtx {
     }
 }
 
+/// Outcome of a streamed (pipelined) exchange: per-rank readiness times and
+/// stall accounting, computed by [`Cluster::streamed_exchange_cost`].
+///
+/// Unlike the BSP collectives, a streamed exchange does **not** synchronize
+/// clocks: it reports when each receiver *may start* consuming
+/// (`first_ready`) and when it *holds every inbound batch* (`all_ready`),
+/// and charges backpressure/down-window stalls to the senders that incurred
+/// them. The caller applies the readiness times around the consuming
+/// compute phase via [`Cluster::raise_clocks`].
+#[derive(Debug, Clone)]
+pub struct ExchangeCost {
+    /// Earliest virtual time each rank has its first inbound batch
+    /// (its own clock when nothing is inbound).
+    pub first_ready: Vec<f64>,
+    /// Virtual time each rank holds every inbound batch
+    /// (its own clock when nothing is inbound).
+    pub all_ready: Vec<f64>,
+    /// Stall seconds charged to each sending rank (backpressure on full
+    /// channel buffers, crash-window delays, serial wire occupancy).
+    pub sender_stall: Vec<f64>,
+    /// Total batches moved over non-empty channels.
+    pub batches: u64,
+    /// Channels that actually carried bytes.
+    pub active_channels: u64,
+    /// Sum of `sender_stall` across ranks.
+    pub stall_secs_total: f64,
+    /// High-water mark of delivered-but-unconsumed batches on any channel;
+    /// never exceeds the channel capacity by construction.
+    pub max_buffered: u64,
+}
+
+/// Upper bound on modelled batches per channel: below this the schedule is
+/// exact; above it batch size is scaled up so cost stays O(1) per byte.
+const MAX_BATCHES_PER_CHANNEL: u64 = 1024;
+
 /// A simulated cluster: topology + network model + per-rank clocks, plus a
 /// history of completed phases for post-hoc analysis.
 pub struct Cluster {
@@ -289,6 +324,173 @@ impl Cluster {
         t
     }
 
+    /// Raise each rank's clock to at least `times[r]` without synchronizing
+    /// the others. This is the pipelined counterpart of [`Self::barrier`]:
+    /// a rank waits only for *its own* dependencies (e.g. inbound exchange
+    /// batches), not for the global maximum. Non-finite entries are ignored.
+    ///
+    /// # Panics
+    /// Panics if `times.len() != total_ranks`.
+    pub fn raise_clocks(&mut self, times: &[f64]) {
+        assert_eq!(times.len(), self.clocks.len(), "one time per rank required");
+        for (c, &t) in self.clocks.iter_mut().zip(times) {
+            if t.is_finite() && t > *c {
+                *c = t;
+            }
+        }
+        self.sync_faults();
+    }
+
+    /// Cost a **streamed** personalized exchange: `send_bytes[s * n + d]`
+    /// bytes flow from rank `s` to rank `d` as a sequence of batches of at
+    /// most `batch_bytes` each, produced incrementally over the sender's
+    /// last compute window (`[produce_start[s], clocks[s]]`) and transferred
+    /// through the α·β point-to-point model while production continues.
+    ///
+    /// Per channel the wire is serial (one batch in flight) and the
+    /// receiver buffers at most `channel_capacity` delivered-but-unconsumed
+    /// batches: further departures stall at the sender until the receiver
+    /// starts draining, and that stall is charged to the sender's clock.
+    /// Crash windows on the fault plane delay the affected channel's
+    /// departures (sender node down) and deliveries (receiver node down)
+    /// individually — other channels keep flowing. Link degradation
+    /// multiplies every batch's wire time, and straggler dilation already
+    /// reached `clocks[s]`/`produce_start[s]` through [`Self::execute`].
+    ///
+    /// Empty channels impose no dependency, so a receiver whose inbound
+    /// shards are empty is ready immediately — the pipelined win the BSP
+    /// barrier forfeits. Clocks of senders are advanced by their stall;
+    /// receiver readiness is *returned*, not applied (see
+    /// [`ExchangeCost`]).
+    ///
+    /// # Panics
+    /// Panics if `send_bytes.len() != n*n` or `produce_start.len() != n`.
+    pub fn streamed_exchange_cost(
+        &mut self,
+        send_bytes: &[u64],
+        produce_start: &[f64],
+        batch_bytes: u64,
+        channel_capacity: usize,
+    ) -> ExchangeCost {
+        let n = self.clocks.len();
+        assert_eq!(send_bytes.len(), n * n, "full n x n send matrix required");
+        assert_eq!(produce_start.len(), n, "one production start per rank required");
+        let batch_bytes = batch_bytes.max(1);
+        let cap = channel_capacity.max(1);
+        let mult = self.net_cost_mult();
+        let topo = self.topo;
+        let net = self.net;
+        let faults = self.faults.clone();
+        let delay = |rank: usize, t: f64| -> f64 {
+            match &faults {
+                Some(p) => p.delay_past_down(topo.node_of(RankId(rank as u32)), t),
+                None => t,
+            }
+        };
+
+        // One channel's delivery schedule. `drain` is the time the receiver
+        // begins consuming (None = capacity-free planning pass). Returns
+        // (first_delivery, last_delivery, last_departure, stall, buffered_hw,
+        // batches).
+        let run_channel = |s: usize, d: usize, b: u64, drain: Option<f64>| {
+            let (src, dst) = (RankId(s as u32), RankId(d as u32));
+            let k = b.div_ceil(batch_bytes).clamp(1, MAX_BATCHES_PER_CHANNEL);
+            let (base, rem) = (b / k, b % k);
+            let window_start = produce_start[s].min(self.clocks[s]);
+            let window = self.clocks[s] - window_start;
+            let mut delivers: Vec<f64> = Vec::with_capacity(k as usize);
+            let mut stall = 0.0;
+            let mut last_depart = window_start;
+            for i in 0..k {
+                let sz = base + u64::from(i < rem);
+                // Batch i becomes available once its share of the producer's
+                // compute window has elapsed — transfer overlaps production.
+                let avail = window_start + window * ((i + 1) as f64 / k as f64);
+                let nominal = match delivers.last() {
+                    Some(&prev) => avail.max(prev),
+                    None => avail,
+                };
+                let mut depart = nominal;
+                if let (Some(ds), true) = (drain, i as usize >= cap) {
+                    // The buffer holds `cap` unconsumed batches; the oldest
+                    // frees its slot when the receiver drains it.
+                    depart = depart.max(ds.max(delivers[i as usize - cap]));
+                }
+                let depart = delay(s, depart);
+                let deliver = delay(d, depart + net.p2p(&topo, src, dst, sz) * mult);
+                stall += depart - nominal;
+                last_depart = depart;
+                delivers.push(deliver);
+            }
+            let buffered = match drain {
+                Some(ds) => delivers.iter().filter(|&&t| t < ds).count() as u64,
+                None => 0,
+            };
+            (delivers[0], *delivers.last().unwrap(), last_depart, stall, buffered, k)
+        };
+
+        // Pass 1 (capacity-free) breaks the drain/delivery cycle: the
+        // receiver starts draining once it is past its own work and its
+        // earliest inbound batch has landed.
+        let mut drain_start: Vec<f64> = self.clocks.clone();
+        for d in 0..n {
+            let mut first = f64::INFINITY;
+            for s in 0..n {
+                let b = send_bytes[s * n + d];
+                if s != d && b > 0 {
+                    first = first.min(run_channel(s, d, b, None).0);
+                }
+            }
+            if first.is_finite() {
+                drain_start[d] = drain_start[d].max(first);
+            }
+        }
+
+        // Pass 2: the real schedule, with bounded buffers.
+        let mut out = ExchangeCost {
+            first_ready: self.clocks.clone(),
+            all_ready: self.clocks.clone(),
+            sender_stall: vec![0.0; n],
+            batches: 0,
+            active_channels: 0,
+            stall_secs_total: 0.0,
+            max_buffered: 0,
+        };
+        let mut first_arrival = vec![f64::INFINITY; n];
+        for s in 0..n {
+            let mut sender_done = self.clocks[s];
+            for d in 0..n {
+                let b = send_bytes[s * n + d];
+                if s == d || b == 0 {
+                    continue;
+                }
+                let (first, last, last_depart, stall, buffered, k) =
+                    run_channel(s, d, b, Some(drain_start[d]));
+                first_arrival[d] = first_arrival[d].min(first);
+                out.all_ready[d] = out.all_ready[d].max(last);
+                out.batches += k;
+                out.active_channels += 1;
+                out.stall_secs_total += stall;
+                out.max_buffered = out.max_buffered.max(buffered);
+                sender_done = sender_done.max(last_depart);
+            }
+            out.sender_stall[s] = (sender_done - self.clocks[s]).max(0.0);
+        }
+        // A receiver with inbound bytes may start once its *earliest*
+        // batch has landed (and it is past its own work); with no inbound
+        // it keeps its own clock.
+        for (d, &arrival) in first_arrival.iter().enumerate() {
+            if arrival.is_finite() {
+                out.first_ready[d] = out.first_ready[d].max(arrival);
+            }
+        }
+        for (clock, &stall) in self.clocks.iter_mut().zip(&out.sender_stall) {
+            *clock += stall;
+        }
+        self.sync_faults();
+        out
+    }
+
     /// Personalized all-to-all where rank `r` sends `send_bytes[r]` bytes in
     /// total. Charges the exchange cost (bound by the heaviest sender) and
     /// synchronizes clocks.
@@ -460,6 +662,140 @@ mod tests {
         assert!(
             t_degraded > 5.0 * t_healthy,
             "degraded barrier {t_degraded} vs healthy {t_healthy}"
+        );
+    }
+
+    #[test]
+    fn raise_clocks_is_per_rank_and_monotone() {
+        let mut c = small();
+        c.execute("work", |ctx| ctx.charge(ctx.rank().0 as f64));
+        let mut times = vec![0.0; 8];
+        times[0] = 3.0; // raise a fast rank
+        times[7] = 1.0; // below rank 7's clock: ignored
+        times[2] = f64::NAN; // garbage: ignored
+        c.raise_clocks(&times);
+        assert_eq!(c.clocks()[0], 3.0);
+        assert_eq!(c.clocks()[7], 7.0);
+        assert_eq!(c.clocks()[2], 2.0);
+    }
+
+    #[test]
+    fn streamed_exchange_empty_matrix_imposes_no_dependency() {
+        let mut c = Cluster::new(Topology::new(4, 1), NetworkModel::slingshot(), 1);
+        c.execute("work", |ctx| ctx.charge(ctx.rank().0 as f64));
+        let starts = vec![0.0; 4];
+        let out = c.streamed_exchange_cost(&[0u64; 16], &starts, 1 << 16, 4);
+        assert_eq!(out.batches, 0);
+        assert_eq!(out.active_channels, 0);
+        assert_eq!(out.stall_secs_total, 0.0);
+        for r in 0..4 {
+            assert_eq!(out.first_ready[r], c.clocks()[r]);
+            assert_eq!(out.all_ready[r], c.clocks()[r]);
+        }
+    }
+
+    #[test]
+    fn streamed_exchange_beats_barrier_when_shards_are_empty() {
+        // Rank 0 is slow; rank 3 receives nothing from it. Under BSP the
+        // barrier would stall rank 3 at rank 0's clock; streamed, rank 3's
+        // readiness only tracks its actual senders.
+        let mut c = Cluster::new(Topology::new(4, 1), NetworkModel::slingshot(), 1);
+        let starts = c.clocks().to_vec();
+        c.execute("work", |ctx| ctx.charge(if ctx.rank().0 == 0 { 100.0 } else { 1.0 }));
+        let mut m = vec![0u64; 16];
+        m[7] = 1 << 20; // 1 -> 3
+        m[2] = 1 << 20; // 0 -> 2 (depends on the straggler)
+        let out = c.streamed_exchange_cost(&m, &starts, 1 << 16, 4);
+        assert!(out.all_ready[3] < 2.0, "rank 3 waits only on rank 1: {}", out.all_ready[3]);
+        assert!(out.all_ready[2] >= 100.0, "rank 2 depends on the slow sender");
+    }
+
+    #[test]
+    fn streamed_exchange_overlaps_transfer_with_production() {
+        // One sender, one receiver, many batches: the first batch lands
+        // while the sender is still producing, and the last lands shortly
+        // after production ends — not `k * wire` after.
+        let mut c = Cluster::new(Topology::new(2, 1), NetworkModel::slingshot(), 1);
+        let starts = c.clocks().to_vec();
+        c.execute("produce", |ctx| {
+            if ctx.rank().0 == 0 {
+                ctx.charge(1.0);
+            }
+        });
+        let mut m = vec![0u64; 4];
+        m[1] = 64 << 20; // 0 -> 1, 64 MiB in 1 MiB batches
+        let out = c.streamed_exchange_cost(&m, &starts, 1 << 20, 8);
+        assert_eq!(out.batches, 64);
+        assert!(out.first_ready[1] < 0.1, "first batch lands early: {}", out.first_ready[1]);
+        let wire_all = 64.0 * c.network().p2p(c.topology(), RankId(0), RankId(1), 1 << 20);
+        assert!(
+            out.all_ready[1] < 1.0 + wire_all,
+            "transfer overlapped production: {} vs serial {}",
+            out.all_ready[1],
+            1.0 + wire_all
+        );
+    }
+
+    #[test]
+    fn streamed_exchange_backpressure_stalls_sender_and_bounds_buffers() {
+        // The receiver is far behind its inbound flow (it drains only once
+        // its own 10s of work are done), so a tiny buffer must fill and
+        // stall the sender; a roomy buffer must not.
+        let run = |cap: usize| {
+            let mut c = Cluster::new(Topology::new(2, 1), NetworkModel::slingshot(), 1);
+            let starts = c.clocks().to_vec();
+            c.execute("produce", |ctx| ctx.charge(if ctx.rank().0 == 0 { 0.001 } else { 10.0 }));
+            let mut m = vec![0u64; 4];
+            m[1] = 64 << 20; // 0 -> 1
+            c.streamed_exchange_cost(&m, &starts, 1 << 20, cap)
+        };
+        let tight = run(2);
+        let roomy = run(1024);
+        assert!(tight.stall_secs_total > 0.0, "cap 2 must backpressure the sender");
+        assert!(tight.max_buffered <= 2, "buffer cap violated: {}", tight.max_buffered);
+        assert_eq!(roomy.stall_secs_total, 0.0, "cap 1024 holds all 64 batches");
+        assert!(tight.sender_stall[0] > 0.0);
+        assert!(
+            tight.all_ready[1] >= 10.0,
+            "stalled deliveries finish after the receiver drains: {}",
+            tight.all_ready[1]
+        );
+    }
+
+    #[test]
+    fn streamed_exchange_crash_window_delays_single_channel() {
+        use crate::faults::{FaultConfig, FaultPlane};
+        // Find a seed/plane whose node 0 has a crash window, then check a
+        // delivery scheduled inside it is pushed past the window while a
+        // channel between healthy nodes is unaffected.
+        let plane =
+            Arc::new(FaultPlane::new(5, FaultConfig::crashes_only(2.0e-3, 1.0e-3), 4, 4, 10.0));
+        let down = (0..4)
+            .map(NodeId)
+            .find(|&nd| !plane.crash_windows(nd).is_empty())
+            .expect("crash schedule must contain a window");
+        let (ws, we) = plane.crash_windows(down)[0];
+        let mut c = Cluster::new(Topology::new(4, 1), NetworkModel::slingshot(), 1);
+        c.attach_faults(plane);
+        // Park every clock just inside the window.
+        let t0 = (ws + we) / 2.0;
+        c.charge_all(t0);
+        let starts = c.clocks().to_vec();
+        let sender = down.0 as usize;
+        let healthy: Vec<usize> = (0..4).filter(|&r| r != sender).collect();
+        let mut m = vec![0u64; 16];
+        m[sender * 4 + healthy[0]] = 1 << 10; // channel through the down node
+        m[healthy[1] * 4 + healthy[2]] = 1 << 10; // healthy channel
+        let out = c.streamed_exchange_cost(&m, &starts, 1 << 20, 4);
+        assert!(
+            out.all_ready[healthy[0]] >= we,
+            "delivery from the down node must wait out the window: {} < {we}",
+            out.all_ready[healthy[0]]
+        );
+        assert!(
+            out.all_ready[healthy[2]] < we,
+            "the healthy channel must not wait for the unrelated crash: {}",
+            out.all_ready[healthy[2]]
         );
     }
 

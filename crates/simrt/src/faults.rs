@@ -430,6 +430,25 @@ impl FaultPlane {
         self.crash_windows.get(node.0 as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Push a virtual time past any crash window covering it on `node`:
+    /// if `t` falls inside a `[start, end)` down window the node cannot
+    /// send or receive, so the event is delayed to the window's end.
+    /// Windows are sorted and disjoint, so one forward scan suffices.
+    /// Returns `t` unchanged when the node is up at `t`.
+    pub fn delay_past_down(&self, node: NodeId, t: f64) -> f64 {
+        let mut t = t;
+        if let Some(ws) = self.crash_windows.get(node.0 as usize) {
+            for &(s, e) in ws {
+                if t >= s && t < e {
+                    t = e;
+                } else if t < s {
+                    break;
+                }
+            }
+        }
+        t
+    }
+
     /// Link multipliers in force at the current cursor.
     pub fn link_factors(&self) -> LinkFactors {
         self.link_factors_at(self.now())
@@ -571,6 +590,23 @@ mod tests {
         let wa: Vec<_> = (0..4).flat_map(|n| a.crash_windows(NodeId(n)).to_vec()).collect();
         let wb: Vec<_> = (0..4).flat_map(|n| b.crash_windows(NodeId(n)).to_vec()).collect();
         assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn delay_past_down_pushes_events_out_of_windows() {
+        let p = plane(11);
+        let ws = p.crash_windows(NodeId(0));
+        assert!(!ws.is_empty(), "chaos schedule must contain a crash window");
+        let (start, end) = ws[0];
+        let mid = (start + end) / 2.0;
+        assert_eq!(p.delay_past_down(NodeId(0), mid), end, "in-window event waits for recovery");
+        assert_eq!(p.delay_past_down(NodeId(0), start - 1e-9), start - 1e-9, "up: unchanged");
+        assert_eq!(p.delay_past_down(NodeId(0), end), p.delay_past_down(NodeId(0), end));
+        // Unknown nodes never delay.
+        assert_eq!(p.delay_past_down(NodeId(999), mid), mid);
+        // A disabled plane has no windows at all.
+        let off = FaultPlane::disabled(4, 16);
+        assert_eq!(off.delay_past_down(NodeId(0), mid), mid);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod topology;
 pub mod trace;
 
 pub use clock::VirtualClock;
-pub use cluster::{Cluster, RankCtx};
+pub use cluster::{Cluster, ExchangeCost, RankCtx};
 pub use collective::ReduceOp;
 pub use faults::{Deadline, FaultConfig, FaultPlane, LinkFactors, RetryPolicy};
 pub use net::NetworkModel;
