@@ -15,6 +15,23 @@ if grep -rnE 'partial_cmp\([^)]*\)[[:space:]]*\.unwrap' \
   exit 1
 fi
 
+echo "==> lint: no bare unwrap/expect in core & cache non-test code"
+# The engine and cache hot paths must degrade to typed errors, never
+# panic (see DESIGN.md 5i): a panic in one rank's stage closure would
+# poison the whole simulated cluster. Test modules (below #[cfg(test)])
+# are exempt, as are the non-panicking unwrap_or* family.
+if awk '
+  FNR == 1 { in_tests = 0 }
+  /#\[cfg\(test\)\]/ { in_tests = 1 }
+  !in_tests && (/\.unwrap\(\)/ || /\.expect\(/) { print FILENAME ":" FNR ": " $0; bad = 1 }
+  END { exit bad }
+' crates/core/src/*.rs crates/cache/src/*.rs; then
+  :
+else
+  echo "error: bare unwrap()/expect( in non-test core/cache code — return a typed error instead" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -57,6 +74,17 @@ cargo run --release -p ids-bench --bin ablation_columnar
 
 echo "==> ablation_pipeline smoke (asserts byte-identical results, measurable speedup under stragglers)"
 cargo run --release -p ids-bench --bin ablation_pipeline
+
+echo "==> ablation_recovery smoke (asserts byte-identical resume, resume > restart, speculation recovers >= half the straggler loss)"
+cargo run --release -p ids-bench --bin ablation_recovery
+
+echo "==> recovery chaos matrix (tests/chaos_recovery.rs, release)"
+for seed in 1 2 3 4 5 6 7 8; do
+  for mode in default spiteful; do
+    echo "---- CHAOS_SEED=$seed CHAOS_RECOVERY=$mode"
+    CHAOS_SEED=$seed CHAOS_RECOVERY=$mode cargo test --release --test chaos_recovery -q
+  done
+done
 
 echo "==> concurrency chaos matrix (tests/chaos_concurrency.rs, release)"
 for seed in 1 2 3 4 5 6 7 8; do

@@ -1,0 +1,314 @@
+//! Experiment X9 — mid-query recovery and speculative re-execution
+//! ablation.
+//!
+//! Two fault scenarios at two scales (64 and 256 ranks), every run
+//! byte-identical at the data plane:
+//!
+//! 1. **Permanent node loss** mid-query, at a checkpoint boundary taken
+//!    from a fault-free probe run. Two strategies face the same kill:
+//!    *fail-and-restart* (no durable checkpoints — the recovery plane
+//!    retires the dead ranks, re-plans, and re-runs the query from
+//!    scratch) vs *checkpoint-resume* (typed intermediates in the
+//!    replicated cache — roll back only to the last completed
+//!    boundary). Resume must beat restart on the virtual clock.
+//! 2. **Stragglers** (25 % of ranks at 3.5×) with and without
+//!    speculative re-execution. A hedged duplicate on a fast rank
+//!    bounds each stage near the median finish, so speculation must
+//!    recover **at least half** of the straggler-induced critical-path
+//!    loss: `(T_spec − T_ff) ≤ 0.5 × (T_straggler − T_ff)`.
+//!
+//! Results land in `bench_results/recovery.json` (hand-rolled JSON —
+//! no serde_json in the vendored set).
+
+use ids_bench::reporting::{section, table};
+use ids_cache::{BackingStore, CacheConfig, CacheManager};
+use ids_core::engine::QueryOutcome;
+use ids_core::workflow::{
+    install_workflow, repurposing_query, RepurposingThresholds, WorkflowModels,
+};
+use ids_core::{IdsConfig, IdsInstance};
+use ids_models::docking::DockingEngine;
+use ids_simrt::{FaultConfig, FaultPlane, NetworkModel, NodeId, Topology};
+use ids_workloads::ncnpr::{build, Band, NcnprConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const SEED: u64 = 11;
+const FAULT_SEED: u64 = 7;
+
+/// A quarter of the ranks at 3.5×: enough lag to trip the hedging
+/// threshold every stage without drowning the baseline.
+fn straggler_schedule() -> FaultConfig {
+    FaultConfig::stragglers_only(0.25, 3.5)
+}
+
+/// Small candidate set, real analytic models: the UDF FILTER stage
+/// carries the virtual-time bulk (scaled ×200), which is exactly the
+/// stage speculation hedges — and the stage whose loss stragglers
+/// inflate.
+fn dataset_config() -> NcnprConfig {
+    NcnprConfig {
+        bands: vec![
+            Band {
+                mutation_rate: 0.0,
+                similarity_range: None,
+                proteins: 6,
+                compounds_per_protein: 8,
+            },
+            Band {
+                mutation_rate: 0.62,
+                similarity_range: Some((0.21, 0.39)),
+                proteins: 24,
+                compounds_per_protein: 6,
+            },
+        ],
+        background_proteins: 40,
+        ..NcnprConfig::default()
+    }
+}
+
+fn models() -> WorkflowModels {
+    let mut m = WorkflowModels::paper_models();
+    // Light docking (48 survivors; the docking cost is not under test)
+    // and a bulk-analytics multiplier that puts the FILTER stage on the
+    // critical path.
+    m.docking = DockingEngine::test_engine();
+    m.analytics_scale = 200.0;
+    m
+}
+
+fn query() -> String {
+    repurposing_query(&RepurposingThresholds { sw_similarity: 0.9, min_pic50: 3.0, min_dtba: 3.0 })
+}
+
+#[derive(Clone, Copy)]
+struct Variant {
+    /// Durable recovery checkpoints (attach the replicated cache).
+    checkpoints: bool,
+    /// Speculative re-execution of stragglers.
+    speculation: bool,
+    /// Permanent kill `(node, at_secs)`.
+    kill: Option<(u32, f64)>,
+    /// Straggler dilation on.
+    stragglers: bool,
+}
+
+struct Run {
+    label: &'static str,
+    total_virtual_secs: f64,
+    rollbacks: u32,
+    restarts: u32,
+    spec_launched: u64,
+    spec_wins: u64,
+    spec_saved_secs: f64,
+    outcome: QueryOutcome,
+}
+
+fn run(nodes: u32, label: &'static str, v: Variant) -> Run {
+    let topo = Topology::cray_ex(nodes);
+    let mut cfg = IdsConfig::laptop(topo.total_ranks(), SEED);
+    cfg.topology = topo;
+    let mut inst = IdsInstance::launch(cfg);
+    let cache = v.checkpoints.then(|| {
+        Arc::new(CacheManager::new(
+            topo,
+            NetworkModel::slingshot(),
+            CacheConfig::new(topo.nodes() as usize, 64 << 20, 256 << 20).with_replication(2),
+            BackingStore::default_store(),
+        ))
+    });
+    if let Some(cache) = cache {
+        inst.attach_cache(cache);
+    }
+    let faults = if v.stragglers { straggler_schedule() } else { FaultConfig::none() };
+    let mut plane = FaultPlane::new(FAULT_SEED, faults, topo.nodes(), topo.total_ranks(), 10.0);
+    if let Some((node, at)) = v.kill {
+        plane.schedule_permanent_kill(NodeId(node), at);
+    }
+    inst.attach_faults(Arc::new(plane));
+    let dataset = build(inst.datastore(), &dataset_config());
+    let target = dataset.target.clone();
+    install_workflow(&mut inst, &target, models());
+    let opts = inst.exec_options_mut();
+    opts.recovery = true;
+    opts.speculation = v.speculation;
+
+    let outcome = inst.query(&query()).expect("X9 workload query survives its fault schedule");
+    Run {
+        label,
+        total_virtual_secs: outcome.elapsed_secs,
+        rollbacks: outcome.recovery.rollbacks,
+        restarts: outcome.recovery.restarts,
+        spec_launched: outcome.recovery.spec_launched,
+        spec_wins: outcome.recovery.spec_wins,
+        spec_saved_secs: outcome.recovery.spec_saved_secs,
+        outcome,
+    }
+}
+
+fn raw_rows(o: &QueryOutcome) -> Vec<Vec<u64>> {
+    o.solutions.rows().iter().map(|r| r.iter().map(|t| t.raw()).collect()).collect()
+}
+
+struct ScaleResult {
+    ranks: u32,
+    runs: Vec<Run>,
+    resume_speedup: f64,
+    straggler_loss: f64,
+    spec_loss: f64,
+}
+
+fn run_scale(nodes: u32) -> ScaleResult {
+    let ranks = nodes * 32;
+    section(&format!("X9 @ {ranks} ranks: restart vs resume vs +speculation"));
+
+    // Fault-free probe: the byte-identity reference, the straggler
+    // baseline T_ff, and the checkpoint boundary schedule the kill aims
+    // at.
+    let probe = run(
+        nodes,
+        "fault-free",
+        Variant { checkpoints: true, speculation: false, kill: None, stragglers: false },
+    );
+    let expected = raw_rows(&probe.outcome);
+    assert!(!expected.is_empty(), "workload must produce rows");
+    let boundaries = &probe.outcome.recovery.checkpoint_times;
+    assert!(boundaries.len() >= 2, "probe stored too few checkpoints: {boundaries:?}");
+    // Kill just after a mid-query boundary: late enough that real work
+    // is lost, early enough that real work remains.
+    let (_, mid_t) = boundaries[boundaries.len() / 2];
+    let kill = Some((1u32, mid_t + 1e-9));
+
+    let restart = run(
+        nodes,
+        "kill+restart",
+        Variant { checkpoints: false, speculation: false, kill, stragglers: false },
+    );
+    let resume = run(
+        nodes,
+        "kill+resume",
+        Variant { checkpoints: true, speculation: false, kill, stragglers: false },
+    );
+    let straggler = run(
+        nodes,
+        "stragglers",
+        Variant { checkpoints: true, speculation: false, kill: None, stragglers: true },
+    );
+    let spec = run(
+        nodes,
+        "stragglers+speculation",
+        Variant { checkpoints: true, speculation: true, kill: None, stragglers: true },
+    );
+
+    // Byte identity across every strategy.
+    for r in [&restart, &resume, &straggler, &spec] {
+        assert_eq!(
+            raw_rows(&r.outcome),
+            expected,
+            "{ranks} ranks / {}: rows diverged from the fault-free baseline",
+            r.label
+        );
+    }
+
+    // The kill really interrupted both kill runs, with the intended
+    // strategy: restart fell back to scratch, resume did not.
+    assert!(restart.rollbacks >= 1 && restart.restarts >= 1, "restart strategy not exercised");
+    assert!(resume.rollbacks >= 1 && resume.restarts == 0, "resume strategy not exercised");
+
+    // Checkpoint-resume beats fail-and-restart under the same kill.
+    let resume_speedup = restart.total_virtual_secs / resume.total_virtual_secs;
+    assert!(
+        resume.total_virtual_secs < restart.total_virtual_secs,
+        "{ranks} ranks: resume ({:.6}s) must beat restart ({:.6}s)",
+        resume.total_virtual_secs,
+        restart.total_virtual_secs
+    );
+
+    // Speculation recovers at least half of the straggler loss.
+    assert!(spec.spec_launched >= 1 && spec.spec_wins >= 1, "no hedges won: speculation inert");
+    let straggler_loss = straggler.total_virtual_secs - probe.total_virtual_secs;
+    let spec_loss = spec.total_virtual_secs - probe.total_virtual_secs;
+    assert!(straggler_loss > 0.0, "stragglers must cost virtual time");
+    assert!(
+        spec_loss <= 0.5 * straggler_loss,
+        "{ranks} ranks: speculation must recover >= half the straggler loss \
+         (loss with: {spec_loss:.6}s, without: {straggler_loss:.6}s)"
+    );
+
+    let rows_tbl: Vec<Vec<String>> = [&probe, &restart, &resume, &straggler, &spec]
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                format!("{:.6}s", r.total_virtual_secs),
+                r.rollbacks.to_string(),
+                r.restarts.to_string(),
+                r.spec_wins.to_string(),
+                format!("{:.6}s", r.spec_saved_secs),
+            ]
+        })
+        .collect();
+    table(
+        &["strategy", "virtual total", "rollbacks", "restarts", "spec wins", "spec saved"],
+        &rows_tbl,
+    );
+    println!(
+        "\n{ranks} ranks: resume beats restart {resume_speedup:.3}x; speculation keeps \
+         {spec_loss:.6}s of a {straggler_loss:.6}s straggler loss"
+    );
+
+    ScaleResult {
+        ranks,
+        runs: vec![probe, restart, resume, straggler, spec],
+        resume_speedup,
+        straggler_loss,
+        spec_loss,
+    }
+}
+
+fn write_json(scales: &[ScaleResult]) -> std::io::Result<()> {
+    let mut j = String::new();
+    j.push_str("{\n  \"experiment\": \"ablation_recovery\",\n");
+    let _ = writeln!(j, "  \"seed\": {SEED},");
+    let _ = writeln!(j, "  \"fault_seed\": {FAULT_SEED},");
+    j.push_str(
+        "  \"faults\": \"permanent node kill at a checkpoint boundary; \
+                stragglers fraction=0.25 slowdown=3.5\",\n",
+    );
+    j.push_str("  \"scales\": [\n");
+    for (i, s) in scales.iter().enumerate() {
+        let _ = writeln!(j, "    {{\"ranks\": {},", s.ranks);
+        j.push_str("     \"runs\": [\n");
+        for (k, r) in s.runs.iter().enumerate() {
+            let _ = write!(
+                j,
+                "       {{\"strategy\": \"{}\", \"total_virtual_secs\": {:.9}, \
+                 \"rollbacks\": {}, \"restarts\": {}, \"spec_launched\": {}, \
+                 \"spec_wins\": {}, \"spec_saved_secs\": {:.9}}}",
+                r.label,
+                r.total_virtual_secs,
+                r.rollbacks,
+                r.restarts,
+                r.spec_launched,
+                r.spec_wins,
+                r.spec_saved_secs,
+            );
+            j.push_str(if k + 1 < s.runs.len() { ",\n" } else { "\n" });
+        }
+        j.push_str("     ],\n");
+        let _ = writeln!(j, "     \"resume_speedup\": {:.3},", s.resume_speedup);
+        let _ = writeln!(j, "     \"straggler_loss_secs\": {:.9},", s.straggler_loss);
+        let _ = writeln!(j, "     \"speculation_loss_secs\": {:.9},", s.spec_loss);
+        j.push_str("     \"byte_identical_results\": true}");
+        j.push_str(if i + 1 < scales.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::create_dir_all("bench_results")?;
+    std::fs::write("bench_results/recovery.json", j)
+}
+
+fn main() {
+    let scales = vec![run_scale(2), run_scale(8)];
+    write_json(&scales).expect("write bench_results/recovery.json");
+    println!("wrote bench_results/recovery.json");
+}

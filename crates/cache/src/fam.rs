@@ -269,7 +269,15 @@ impl FamLayer {
         Self::check_bounds(region, id, offset, 8)?;
         self.inject(from, region.node, "compare_and_swap")?;
         let slot = &mut region.data[offset as usize..offset as usize + 8];
-        let current = u64::from_le_bytes(slot.try_into().expect("8-byte slice"));
+        // `check_bounds` guarantees 8 bytes; refuse as out-of-bounds rather
+        // than panic if that invariant ever breaks.
+        let word: [u8; 8] = slot[..].try_into().map_err(|_| FamError::OutOfBounds {
+            region: id,
+            offset,
+            len: 8,
+            size: 8,
+        })?;
+        let current = u64::from_le_bytes(word);
         if current == expected {
             slot.copy_from_slice(&desired.to_le_bytes());
         }
@@ -292,7 +300,14 @@ impl FamLayer {
         Self::check_bounds(region, id, offset, 8)?;
         self.inject(from, region.node, "fetch_add")?;
         let slot = &mut region.data[offset as usize..offset as usize + 8];
-        let current = u64::from_le_bytes(slot.try_into().expect("8-byte slice"));
+        // Same bounds-invariant defence as `compare_and_swap`.
+        let word: [u8; 8] = slot[..].try_into().map_err(|_| FamError::OutOfBounds {
+            region: id,
+            offset,
+            len: 8,
+            size: 8,
+        })?;
+        let current = u64::from_le_bytes(word);
         slot.copy_from_slice(&current.wrapping_add(delta).to_le_bytes());
         let cost = self.transfer_cost(from, region.node, 8) * self.link_mult();
         self.metrics.atomics.inc();

@@ -241,6 +241,10 @@ struct State {
     manual_down: Vec<bool>,
     /// Last availability observed from the attached fault plane.
     plane_down: Vec<bool>,
+    /// Nodes declared permanently dead via `fail_node_permanently`: their
+    /// contents are purged (not just fenced) and `recover_node` refuses
+    /// to bring them back.
+    permanent_down: Vec<bool>,
     /// Virtual time at which each node last went down.
     down_since: Vec<f64>,
     /// Names that were cached at least once — a later backing fetch for
@@ -259,10 +263,10 @@ struct State {
 }
 
 impl State {
-    /// A node is unavailable if either the manual switch or the fault
-    /// plane says so.
+    /// A node is unavailable if the manual switch, the fault plane, or a
+    /// permanent-death declaration says so.
     fn is_down(&self, ni: usize) -> bool {
-        self.manual_down[ni] || self.plane_down[ni]
+        self.manual_down[ni] || self.plane_down[ni] || self.permanent_down[ni]
     }
 }
 
@@ -432,6 +436,7 @@ impl CacheManager {
             placement_counter: 0,
             manual_down: vec![false; cfg.cache_nodes],
             plane_down: vec![false; cfg.cache_nodes],
+            permanent_down: vec![false; cfg.cache_nodes],
             down_since: vec![0.0; cfg.cache_nodes],
             ever_cached: HashSet::new(),
             ephemeral: HashSet::new(),
@@ -1263,18 +1268,45 @@ impl CacheManager {
     }
 
     /// Bring a manually failed node back (idempotent). The node rejoins
-    /// empty — its pre-failure contents were lost in the crash.
+    /// empty — its pre-failure contents were lost in the crash. A node
+    /// declared permanently dead never rejoins.
     pub fn recover_node(&self, node: NodeId) {
         let plane = self.faults.lock().clone();
         let now = plane.as_ref().map_or(0.0, |p| p.now());
         let mut st = self.state.lock();
         let ni = node.index();
-        if ni >= self.cfg.cache_nodes || !st.manual_down[ni] {
+        if ni >= self.cfg.cache_nodes || !st.manual_down[ni] || st.permanent_down[ni] {
             return;
         }
         st.manual_down[ni] = false;
         if !st.plane_down[ni] {
             self.on_node_up(&mut st, ni, now);
+        }
+    }
+
+    /// Declare a cache node permanently dead (idempotent): its DRAM/NVMe
+    /// entries are purged immediately — a checkpoint it owned must never
+    /// serve a later read, even if some bug resurrected the node — and
+    /// survivors are flagged under-replicated so the next anti-entropy
+    /// pass restores the replication factor from the remaining copies.
+    /// Called by the engine's recovery plane when a compute rank's node
+    /// dies with no recovery window.
+    pub fn fail_node_permanently(&self, node: NodeId) {
+        let plane = self.faults.lock().clone();
+        let now = plane.as_ref().map_or(0.0, |p| p.now());
+        let mut st = self.state.lock();
+        let ni = node.index();
+        if ni >= self.cfg.cache_nodes || st.permanent_down[ni] {
+            return;
+        }
+        let was_down = st.is_down(ni);
+        st.permanent_down[ni] = true;
+        st.dram[ni] = TierState::new();
+        st.nvme[ni] = TierState::new();
+        st.recovery_pending = true;
+        self.metrics.registry.counter("ids_cache_permanent_failures_total").inc();
+        if !was_down {
+            self.on_node_down(&mut st, ni, now);
         }
     }
 

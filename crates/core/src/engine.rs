@@ -25,7 +25,7 @@ use ids_graph::ops as gops;
 use ids_graph::{BatchChannel, SolutionBatch, SolutionSet, TermId};
 use ids_obs::MetricsRegistry;
 use ids_simrt::rng::{fnv1a, hash_combine};
-use ids_simrt::{Cluster, ExchangeCost, RankId};
+use ids_simrt::{Cluster, ExchangeCost, RankId, SpeculationPolicy, SpeculationReport};
 use ids_udf::expr::EvalCtx;
 use ids_udf::{
     order_conjuncts, plan_count_based, plan_throughput_based, Expr, RebalancePlan, UdfProfiler,
@@ -145,6 +145,27 @@ pub struct ExecOptions {
     /// whose receiver has this many undrained batches stalls, and the
     /// stall is charged to its virtual clock.
     pub exchange_channel_capacity: usize,
+    /// Mid-query recovery (default `false`): store recovery checkpoints at
+    /// stage boundaries and, when a rank's node dies permanently (or a
+    /// stage blows its strict deadline), roll back to the last completed
+    /// checkpoint, re-plan the orphaned shards onto surviving ranks, and
+    /// resume. Shard-keyed rng/hash/row-order makes the recovered result
+    /// byte-identical to a fault-free run.
+    pub recovery: bool,
+    /// Per-query rollback budget: one more rollback than this fails the
+    /// query with [`ExecError::RecoveryExhausted`] so fault storms shed
+    /// load instead of looping.
+    pub max_recoveries: u32,
+    /// Speculative re-execution of stragglers (default `false`): after each
+    /// UDF stage's compute phase, ranks whose virtual finish lags the stage
+    /// median past [`Self::speculation_threshold`] get a hedged duplicate
+    /// on the least-loaded live rank; first finisher wins (ties go to the
+    /// original), and a losing hedge's cost stays charged to its host.
+    /// Pure clock arithmetic — the data plane is untouched, so results
+    /// stay byte-identical.
+    pub speculation: bool,
+    /// Straggler threshold: hedge when `finish > threshold × median`.
+    pub speculation_threshold: f64,
 }
 
 impl Default for ExecOptions {
@@ -169,6 +190,10 @@ impl Default for ExecOptions {
             pipelined: false,
             exchange_batch_bytes: 256 << 10,
             exchange_channel_capacity: 8,
+            recovery: false,
+            max_recoveries: 3,
+            speculation: false,
+            speculation_threshold: 1.5,
         }
     }
 }
@@ -273,6 +298,10 @@ pub struct QueryOutcome {
     /// Degraded-execution records (empty unless [`ExecOptions::degrade`]
     /// dropped work). A non-empty list means `solutions` is partial.
     pub annotations: Vec<ErrorAnnotation>,
+    /// Recovery-plane activity: rollbacks, re-plans, retired ranks, and
+    /// speculation accounting (all-zero for a fault-free run with
+    /// recovery and speculation off).
+    pub recovery: RecoveryReport,
 }
 
 impl QueryOutcome {
@@ -287,19 +316,119 @@ impl QueryOutcome {
     }
 }
 
-/// Execution error.
+/// Execution error. Recovery-relevant failures carry typed payloads so
+/// the service tier can shape refusals (e.g. retry-after hints) without
+/// parsing message strings.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ExecError {
-    pub message: String,
+pub enum ExecError {
+    /// General execution failure (worker panic, unbound variable, …).
+    Message(String),
+    /// A rank was lost permanently mid-query and recovery was disabled
+    /// or impossible.
+    RankLost {
+        /// The lost rank.
+        rank: u32,
+        /// Its (permanently dead) host node.
+        node: u32,
+        /// Human-readable context.
+        detail: String,
+    },
+    /// Recovery needed a checkpoint that has no surviving replica.
+    CheckpointLost {
+        /// Ordinal of the unavailable checkpoint.
+        ordinal: i64,
+        /// Why it is unavailable.
+        detail: String,
+    },
+    /// The per-query recovery budget ([`ExecOptions::max_recoveries`])
+    /// is exhausted — fault storms shed load instead of looping.
+    RecoveryExhausted {
+        /// Rollbacks attempted, including the one that was refused.
+        attempts: u32,
+        /// What kept going wrong.
+        detail: String,
+    },
+}
+
+impl ExecError {
+    /// A general (untyped) execution error.
+    pub fn msg(m: impl Into<String>) -> Self {
+        ExecError::Message(m.into())
+    }
+
+    /// Does this error report a blown per-rank stage deadline? Those are
+    /// transient-by-construction (a straggler, not wrong data), so the
+    /// recovery plane retries them from the last checkpoint.
+    fn is_stage_deadline(&self) -> bool {
+        matches!(self, ExecError::Message(m) if m.contains("exceeded its") && m.contains("deadline"))
+    }
 }
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "execution error: {}", self.message)
+        match self {
+            ExecError::Message(m) => write!(f, "execution error: {m}"),
+            ExecError::RankLost { rank, node, detail } => {
+                write!(
+                    f,
+                    "execution error: rank {rank} lost (node {node} died permanently): {detail}"
+                )
+            }
+            ExecError::CheckpointLost { ordinal, detail } => {
+                write!(f, "execution error: recovery checkpoint {ordinal} unavailable: {detail}")
+            }
+            ExecError::RecoveryExhausted { attempts, detail } => {
+                write!(
+                    f,
+                    "execution error: recovery budget exhausted after {attempts} attempts: {detail}"
+                )
+            }
+        }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// What the recovery plane did during one query: rollbacks, re-plans,
+/// retired ranks, and speculative re-execution accounting. Attached to
+/// [`QueryOutcome`]; all-zero for a fault-free run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Rollbacks to a checkpoint (or to scratch) performed.
+    pub rollbacks: u32,
+    /// Rollbacks that found no checkpoint and restarted from scratch.
+    pub restarts: u32,
+    /// Shard re-planning passes around newly dead ranks.
+    pub replans: u32,
+    /// Shards moved off dead ranks across all re-plans.
+    pub shards_moved: u32,
+    /// Ranks permanently retired during this query.
+    pub retired_ranks: Vec<u32>,
+    /// Recovery checkpoints stored.
+    pub checkpoints_stored: u32,
+    /// Rows restored from recovery checkpoints across all rollbacks.
+    pub rows_restored: u64,
+    /// `(ordinal, virtual time)` of each recovery checkpoint stored —
+    /// the boundary schedule chaos tests aim their kills at.
+    pub checkpoint_times: Vec<(i64, f64)>,
+    /// Hedged duplicates launched by speculative re-execution.
+    pub spec_launched: u64,
+    /// Duplicates that beat their straggling original.
+    pub spec_wins: u64,
+    /// Duplicates cancelled after the original finished first.
+    pub spec_losses: u64,
+    /// Critical-path seconds recovered by winning duplicates.
+    pub spec_saved_secs: f64,
+    /// First winning duplicate: `(host rank, virtual win time)`.
+    pub first_spec_win: Option<(u32, f64)>,
+}
+
+impl RecoveryReport {
+    /// Did the recovery plane intervene at all?
+    pub fn intervened(&self) -> bool {
+        self.rollbacks > 0 || self.spec_launched > 0
+    }
+}
 
 /// Record a finished operator stage into the observability registry: one
 /// sample in the per-stage duration histogram plus a virtual-clock span.
@@ -410,8 +539,20 @@ pub enum StepOutcome {
         /// Batches moved across those channels.
         batches: u64,
     },
-    /// The query finished.
-    Done(QueryOutcome),
+    /// The recovery plane intervened instead of (or after discarding) a
+    /// stage: dead ranks were retired, orphaned shards re-planned onto
+    /// survivors, and the run rolled back to its last recovery checkpoint.
+    /// More stages remain; call `step` again to resume.
+    Recovered {
+        /// Checkpoint ordinal the run resumed from (−1 = restarted from
+        /// scratch on the survivors).
+        resumed_ordinal: i64,
+        /// Ranks permanently retired by this recovery.
+        retired_ranks: u32,
+    },
+    /// The query finished. Boxed: a completed outcome carries the full
+    /// solution set and would otherwise dwarf the per-stage variants.
+    Done(Box<QueryOutcome>),
 }
 
 /// A resumable plan execution: the same scan → join → filter → apply →
@@ -446,6 +587,19 @@ pub struct PlanRun {
     /// Streamed-exchange activity of the stage currently being stepped;
     /// drained by [`Self::step`] into [`StepOutcome::BatchReady`].
     exchange_tally: ExchangeTally,
+    /// Globally unique id naming this run's recovery checkpoints.
+    run_id: u64,
+    /// Last recovery checkpoint stored (−1 = none; rollback restarts from
+    /// scratch). Distinct from `resume_ordinal`, which tracks *semantic
+    /// reuse* checkpoints shared across queries.
+    recovery_ordinal: i64,
+    /// Profiler state as of the last recovery checkpoint (or query start).
+    /// Rollback replays it so a re-executed stage sees the same rate
+    /// estimates — and therefore the same row placement and output order —
+    /// as the discarded attempt.
+    profiler_snapshot: Vec<UdfProfiler>,
+    /// Recovery-plane activity, cloned into the outcome at the gather.
+    recovery: RecoveryReport,
 }
 
 /// Aggregate of one stage's streamed exchanges (pipelined mode).
@@ -459,6 +613,41 @@ struct ExchangeTally {
 fn stage_ordinal(i: usize) -> i64 {
     2 + i as i64
 }
+
+/// The phase that executes next after restoring checkpoint `ord` (shared
+/// by the semantic-reuse probe and the recovery rollback so the two resume
+/// paths can never disagree).
+fn phase_after_ordinal(ord: i64, plan: &PhysicalPlan) -> RunPhase {
+    match ord {
+        0 => RunPhase::WhereFilter,
+        1 if plan.stages.is_empty() => RunPhase::Gather,
+        1 => RunPhase::Stage(0),
+        n => {
+            let i = (n - 2) as usize;
+            if i + 1 < plan.stages.len() {
+                RunPhase::Stage(i + 1)
+            } else {
+                RunPhase::Gather
+            }
+        }
+    }
+}
+
+/// The checkpoint ordinal a `from` → `to` phase transition completes
+/// (`None` mid-BGP and at the gather, which have no boundary).
+fn completed_ordinal(from: RunPhase, to: RunPhase) -> Option<i64> {
+    match (from, to) {
+        (RunPhase::Pattern(_), RunPhase::WhereFilter) => Some(0),
+        (RunPhase::WhereFilter, _) => Some(1),
+        (RunPhase::Stage(i), _) => Some(stage_ordinal(i)),
+        _ => None,
+    }
+}
+
+/// Recovery checkpoint ids are per-run, not semantic: a monotonic counter
+/// keeps two interleaved runs of the same query from clobbering each
+/// other's rollback state.
+static NEXT_RUN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl PlanRun {
     /// Prepare a run. Nothing executes until the first [`Self::step`].
@@ -476,6 +665,10 @@ impl PlanRun {
             pre_filter_counts: Vec::new(),
             resume_ordinal: -1,
             exchange_tally: ExchangeTally::default(),
+            run_id: NEXT_RUN_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            recovery_ordinal: -1,
+            profiler_snapshot: Vec::new(),
+            recovery: RecoveryReport::default(),
         }
     }
 
@@ -518,7 +711,102 @@ impl PlanRun {
         let ranks = cluster.topology().total_ranks() as usize;
         if !self.started {
             self.begin(cluster, ds, profilers, metrics, cache, ranks)?;
+            if self.opts.recovery {
+                // A restart-from-scratch must replay the profiler state the
+                // first attempt started with: profiles persist across
+                // queries and drive rebalance placement, so re-running with
+                // evolved profiles would reorder rows.
+                self.profiler_snapshot = profilers.to_vec();
+            }
         }
+        if !self.opts.recovery {
+            return self.step_inner(cluster, ds, registry, profilers, metrics, cache, ranks);
+        }
+
+        // Recovery plane. Deaths become visible when the virtual clock
+        // passes the kill time, i.e. during the stage that overlapped it:
+        // check before the stage (deaths surfaced by a previous stage's
+        // collectives) and after it (deaths that happened mid-stage, whose
+        // output is therefore void).
+        let dead = self.newly_dead(cluster);
+        if !dead.is_empty() {
+            return self.recover(
+                cluster,
+                profilers,
+                metrics,
+                cache,
+                ranks,
+                &dead,
+                "rank loss detected before stage",
+            );
+        }
+        let ann_mark = self.annotations.len();
+        let phase_before = self.phase;
+        match self.step_inner(cluster, ds, registry, profilers, metrics, cache, ranks) {
+            Err(e) if e.is_stage_deadline() => {
+                // A blown strict stage deadline is a straggler symptom, not
+                // bad data: roll back and retry within the budget.
+                self.annotations.truncate(ann_mark);
+                self.discard_in_flight_exchange(None, metrics);
+                self.recover(
+                    cluster,
+                    profilers,
+                    metrics,
+                    cache,
+                    ranks,
+                    &[],
+                    "stage deadline exceeded",
+                )
+            }
+            Err(e) => Err(e),
+            Ok(outcome) => {
+                let dead = self.newly_dead(cluster);
+                if dead.is_empty() {
+                    // Boundary verified fault-free: checkpoint it. A stage
+                    // that overlapped a death never stores its own
+                    // checkpoint — the rollback below discards it first.
+                    if let Some(ord) = completed_ordinal(phase_before, self.phase) {
+                        self.store_recovery_checkpoint(ord, cluster, profilers, metrics, cache);
+                    }
+                    return Ok(outcome);
+                }
+                // The stage (possibly the gather itself) overlapped a
+                // permanent rank death: discard its output and roll back.
+                // Streamed sub-batches the doomed stage pushed through
+                // exchange channels are voided with it — the receiver never
+                // consumes a partial stream; the rows are replayed in full
+                // from the producer-side checkpoint on resume.
+                self.discard_in_flight_exchange(Some(&outcome), metrics);
+                if let StepOutcome::Done(done) = outcome {
+                    self.breakdown = done.breakdown;
+                    self.annotations = done.annotations;
+                }
+                self.annotations.truncate(ann_mark);
+                self.recover(
+                    cluster,
+                    profilers,
+                    metrics,
+                    cache,
+                    ranks,
+                    &dead,
+                    "rank loss detected after stage",
+                )
+            }
+        }
+    }
+
+    /// One stage of the pipeline, with no recovery interposition.
+    #[allow(clippy::too_many_arguments)]
+    fn step_inner(
+        &mut self,
+        cluster: &mut Cluster,
+        ds: &Datastore,
+        registry: &UdfRegistry,
+        profilers: &mut [UdfProfiler],
+        metrics: &MetricsRegistry,
+        cache: Option<&CacheManager>,
+        ranks: usize,
+    ) -> Result<StepOutcome, ExecError> {
         match self.phase {
             RunPhase::Pattern(i) => {
                 self.step_pattern(i, cluster, ds, metrics, cache, ranks)?;
@@ -534,12 +822,289 @@ impl PlanRun {
             }
             RunPhase::Gather => {
                 let outcome = self.step_gather(cluster, ds, metrics, cache, ranks)?;
-                Ok(StepOutcome::Done(outcome))
+                Ok(StepOutcome::Done(Box::new(outcome)))
             }
-            RunPhase::Done => {
-                Err(ExecError { message: "step called on a completed plan run".to_string() })
+            RunPhase::Done => Err(ExecError::msg("step called on a completed plan run")),
+        }
+    }
+
+    /// Ranks still live in the cluster whose host node the fault plane now
+    /// reports permanently dead.
+    fn newly_dead(&self, cluster: &Cluster) -> Vec<RankId> {
+        let Some(plane) = cluster.faults() else { return Vec::new() };
+        let t = cluster.elapsed();
+        let topo = cluster.topology();
+        (0..topo.total_ranks())
+            .map(RankId)
+            .filter(|&r| cluster.is_live(r) && plane.node_dead_at(topo.node_of(r), t))
+            .collect()
+    }
+
+    /// Void every streamed-exchange sub-batch the doomed stage put in
+    /// flight — both the untaken tally and any already-yielded
+    /// [`StepOutcome::BatchReady`] being discarded by the rollback — and
+    /// meter the loss. The bounded channels themselves are stage-local
+    /// ([`repartition_streamed`] drains them before returning), so
+    /// "discard" here is an accounting truth: those batches will be
+    /// re-produced from the checkpoint, never half-consumed downstream.
+    fn discard_in_flight_exchange(
+        &mut self,
+        discarded_outcome: Option<&StepOutcome>,
+        metrics: &MetricsRegistry,
+    ) {
+        let tally = std::mem::take(&mut self.exchange_tally);
+        let mut batches = tally.batches;
+        if let Some(StepOutcome::BatchReady { batches: b, .. }) = discarded_outcome {
+            batches += b;
+        }
+        if batches > 0 {
+            metrics.counter("ids_recovery_channel_batches_discarded_total").add(batches);
+        }
+    }
+
+    /// Retire `dead` ranks, re-plan their shards onto the least-loaded
+    /// survivors, and roll back to the last recovery checkpoint (or to
+    /// scratch when none exists) — all within the per-query budget.
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        &mut self,
+        cluster: &mut Cluster,
+        profilers: &mut [UdfProfiler],
+        metrics: &MetricsRegistry,
+        cache: Option<&CacheManager>,
+        ranks: usize,
+        dead: &[RankId],
+        reason: &str,
+    ) -> Result<StepOutcome, ExecError> {
+        let attempts = self.recovery.rollbacks + 1;
+        if attempts > self.opts.max_recoveries {
+            metrics.counter("ids_recovery_exhausted_total").inc();
+            return Err(ExecError::RecoveryExhausted {
+                attempts,
+                detail: format!(
+                    "{reason}; budget is {} rollbacks per query",
+                    self.opts.max_recoveries
+                ),
+            });
+        }
+        // Retire the dead ranks and permanently fence their cache node:
+        // checkpoints it owned must never serve a recovery read.
+        for &r in dead {
+            cluster.retire_rank(r);
+            self.recovery.retired_ranks.push(r.0);
+            metrics.counter("ids_recovery_ranks_lost_total").inc();
+            if let Some(cache) = cache {
+                cache.fail_node_permanently(cluster.topology().node_of(r));
             }
         }
+        if cluster.live_count() == 0 {
+            let rank = dead.first().map_or(0, |r| r.0);
+            return Err(ExecError::RankLost {
+                rank,
+                node: cluster.topology().node_of(RankId(rank)).0,
+                detail: "no live ranks remain to recover onto".to_string(),
+            });
+        }
+        // Re-plan: orphaned shards go to the least-loaded survivor (fewest
+        // owned shards, ties to the lowest rank id) — the same
+        // deterministic least-loaded rule the count-based rebalancer uses.
+        let mut owned = vec![0usize; ranks];
+        for s in 0..ranks {
+            let o = cluster.owner_of(s);
+            if cluster.is_live(o) {
+                owned[o.index()] += 1;
+            }
+        }
+        let mut moved = 0u32;
+        for s in 0..ranks {
+            if cluster.is_live(cluster.owner_of(s)) {
+                continue;
+            }
+            let Some(host) = cluster
+                .live_ranks()
+                .into_iter()
+                .min_by(|a, b| owned[a.index()].cmp(&owned[b.index()]).then(a.0.cmp(&b.0)))
+            else {
+                break; // unreachable: live_count() > 0 was checked above
+            };
+            cluster.assign_shard(s, host);
+            owned[host.index()] += 1;
+            moved += 1;
+        }
+        if moved > 0 {
+            self.recovery.replans += 1;
+            self.recovery.shards_moved += moved;
+            metrics.counter("ids_recovery_replans_total").inc();
+            metrics.counter("ids_recovery_shards_moved_total").add(moved as u64);
+        }
+        self.recovery.rollbacks += 1;
+        metrics.counter("ids_recovery_rollbacks_total").inc();
+        let ord = self.recovery_ordinal;
+        if ord < 0 {
+            // No checkpoint yet: restart from scratch on the survivors
+            // (scans re-read the datastore, so this needs no replica).
+            self.sets = None;
+            self.pre_filter_counts = Vec::new();
+            self.phase = RunPhase::Pattern(0);
+            for (p, snap) in profilers.iter_mut().zip(&self.profiler_snapshot) {
+                *p = snap.clone();
+            }
+            self.recovery.restarts += 1;
+            metrics.counter("ids_recovery_restarts_total").inc();
+        } else {
+            self.restore_recovery_checkpoint(ord, cluster, profilers, metrics, cache, ranks)?;
+        }
+        metrics.spans().record(
+            "recovery",
+            format!("{reason}: rolled back to ordinal {ord} ({} ranks retired)", dead.len()),
+            cluster.elapsed(),
+            cluster.elapsed(),
+        );
+        Ok(StepOutcome::Recovered { resumed_ordinal: ord, retired_ranks: dead.len() as u32 })
+    }
+
+    /// Cache object name for this run's recovery checkpoint at `ord`.
+    fn recovery_key(&self, ord: i64) -> String {
+        format!("rcov/{:016x}/{ord}", self.run_id)
+    }
+
+    /// Store a recovery checkpoint for the boundary `ord` that just
+    /// completed fault-free. Ephemeral cache tiers only — durability
+    /// against node loss comes from cache replication (rf ≥ 2), which the
+    /// rollback path verifies before trusting a checkpoint.
+    fn store_recovery_checkpoint(
+        &mut self,
+        ord: i64,
+        cluster: &mut Cluster,
+        profilers: &[UdfProfiler],
+        metrics: &MetricsRegistry,
+        cache: Option<&CacheManager>,
+    ) {
+        let Some(cache) = cache else { return };
+        if ord <= self.recovery_ordinal {
+            return; // the rollback target already covers this boundary
+        }
+        // Degraded intermediates are partial — recovery must not resume
+        // from them (same rule as the semantic-reuse store).
+        if !self.annotations.is_empty() {
+            return;
+        }
+        let Some(sets) = &self.sets else { return };
+        let key = self.recovery_key(ord);
+        let typed_sets: Vec<TypedSolutionSet> = sets
+            .iter()
+            .map(|s| TypedSolutionSet {
+                vars: s.vars().to_vec(),
+                rows: (0..s.len()).map(|i| s.row(i).iter().map(|t| t.raw()).collect()).collect(),
+            })
+            .collect();
+        let obj = IntermediateSolutions {
+            fingerprint: fnv1a(key.as_bytes()),
+            pre_filter_counts: self.pre_filter_counts.clone(),
+            sets: typed_sets,
+        };
+        let Some(writer) = cluster.live_ranks().into_iter().next() else { return };
+        let cost = cache.put_ephemeral(writer, &key, obj.encode());
+        cluster.charge_all(cost);
+        self.recovery_ordinal = ord;
+        self.profiler_snapshot = profilers.to_vec();
+        self.recovery.checkpoints_stored += 1;
+        self.recovery.checkpoint_times.push((ord, cluster.elapsed()));
+        metrics.counter("ids_recovery_checkpoints_total").inc();
+    }
+
+    /// Load the recovery checkpoint at `ord` back into the run. Requires a
+    /// replicated cache (rf ≥ 2): with a single replica the dead node may
+    /// have owned the only copy, so recovery refuses deterministically
+    /// with a typed error instead of sometimes succeeding by placement
+    /// luck.
+    fn restore_recovery_checkpoint(
+        &mut self,
+        ord: i64,
+        cluster: &mut Cluster,
+        profilers: &mut [UdfProfiler],
+        metrics: &MetricsRegistry,
+        cache: Option<&CacheManager>,
+        ranks: usize,
+    ) -> Result<(), ExecError> {
+        let Some(cache) = cache else {
+            return Err(ExecError::CheckpointLost {
+                ordinal: ord,
+                detail: "no cache attached to recover from".to_string(),
+            });
+        };
+        if cache.config().replication < 2 {
+            return Err(ExecError::CheckpointLost {
+                ordinal: ord,
+                detail: format!(
+                    "replication factor {} leaves no durable replica after a permanent node loss",
+                    cache.config().replication
+                ),
+            });
+        }
+        let Some(reader) = cluster.live_ranks().into_iter().next() else {
+            return Err(ExecError::CheckpointLost {
+                ordinal: ord,
+                detail: "no live rank left to read the checkpoint".to_string(),
+            });
+        };
+        let key = self.recovery_key(ord);
+        let (bytes, out) = match cache.get(reader, &key) {
+            Ok(Some(v)) => v,
+            Ok(None) => {
+                return Err(ExecError::CheckpointLost {
+                    ordinal: ord,
+                    detail: "checkpoint evicted or lost with its node".to_string(),
+                });
+            }
+            Err(e) => {
+                cluster.charge_all(e.spent_secs());
+                return Err(ExecError::CheckpointLost {
+                    ordinal: ord,
+                    detail: format!("cache read failed: {e}"),
+                });
+            }
+        };
+        cluster.charge_all(out.virtual_secs);
+        let obj = match IntermediateSolutions::decode(&bytes, fnv1a(key.as_bytes())) {
+            Ok(obj) => obj,
+            Err(e) => {
+                return Err(ExecError::CheckpointLost {
+                    ordinal: ord,
+                    detail: format!("checkpoint failed to decode: {e:?}"),
+                });
+            }
+        };
+        if obj.sets.len() != ranks || obj.pre_filter_counts.len() != ranks {
+            return Err(ExecError::CheckpointLost {
+                ordinal: ord,
+                detail: format!(
+                    "checkpoint shape mismatch: {} sets for {ranks} ranks",
+                    obj.sets.len()
+                ),
+            });
+        }
+        let mut sets = Vec::with_capacity(ranks);
+        let mut rowbuf: Vec<TermId> = Vec::new();
+        for ts in obj.sets {
+            let mut batch = SolutionBatch::empty(ts.vars.clone());
+            for row in &ts.rows {
+                rowbuf.clear();
+                rowbuf.extend(row.iter().copied().map(TermId));
+                batch.push_row(&rowbuf);
+            }
+            sets.push(batch);
+        }
+        let rows: u64 = sets.iter().map(|s| s.len() as u64).sum();
+        self.recovery.rows_restored += rows;
+        metrics.counter("ids_recovery_rows_restored_total").add(rows);
+        self.sets = Some(sets);
+        self.pre_filter_counts = obj.pre_filter_counts;
+        for (p, snap) in profilers.iter_mut().zip(&self.profiler_snapshot) {
+            *p = snap.clone();
+        }
+        self.phase = phase_after_ordinal(ord, &self.plan);
+        Ok(())
     }
 
     /// Non-terminal step result: [`StepOutcome::BatchReady`] when the stage
@@ -567,20 +1132,16 @@ impl PlanRun {
         // the concurrent service driver a misconfigured client must not
         // take the process down.
         if profilers.len() != ranks {
-            return Err(ExecError {
-                message: format!(
-                    "one profiler per rank required: {} profilers for {ranks} ranks",
-                    profilers.len()
-                ),
-            });
+            return Err(ExecError::msg(format!(
+                "one profiler per rank required: {} profilers for {ranks} ranks",
+                profilers.len()
+            )));
         }
         if ds.num_shards() != ranks {
-            return Err(ExecError {
-                message: format!(
-                    "datastore sharding must match the cluster: {} shards for {ranks} ranks",
-                    ds.num_shards()
-                ),
-            });
+            return Err(ExecError::msg(format!(
+                "datastore sharding must match the cluster: {} shards for {ranks} ranks",
+                ds.num_shards()
+            )));
         }
         self.started = true;
         self.t0 = cluster.elapsed();
@@ -635,19 +1196,7 @@ impl PlanRun {
                             self.sets = Some(sets);
                             self.pre_filter_counts = pre_counts;
                             self.resume_ordinal = ord;
-                            self.phase = match ord {
-                                0 => RunPhase::WhereFilter,
-                                1 if self.plan.stages.is_empty() => RunPhase::Gather,
-                                1 => RunPhase::Stage(0),
-                                n => {
-                                    let i = (n - 2) as usize;
-                                    if i + 1 < self.plan.stages.len() {
-                                        RunPhase::Stage(i + 1)
-                                    } else {
-                                        RunPhase::Gather
-                                    }
-                                }
-                            };
+                            self.phase = phase_after_ordinal(ord, &self.plan);
                             return Ok(());
                         }
                     }
@@ -840,6 +1389,7 @@ impl PlanRun {
                 "filter",
                 metrics,
                 &mut self.annotations,
+                &mut self.recovery,
             )?;
             let end = cluster.elapsed();
             self.breakdown.filter_secs += end - t - take_rebalance_delta(&mut self.breakdown);
@@ -882,6 +1432,7 @@ impl PlanRun {
                     "stage-filter",
                     metrics,
                     &mut self.annotations,
+                    &mut self.recovery,
                 )?;
                 let end = cluster.elapsed();
                 self.breakdown.filter_secs += end - t - take_rebalance_delta(&mut self.breakdown);
@@ -905,6 +1456,7 @@ impl PlanRun {
                     &mut self.breakdown,
                     metrics,
                     &mut self.annotations,
+                    &mut self.recovery,
                 )?;
                 let end = cluster.elapsed();
                 let spent = end - t - take_rebalance_delta(&mut self.breakdown);
@@ -953,8 +1505,8 @@ impl PlanRun {
         // ORDER BY runs before projection so the sort variable need not be
         // projected; DISTINCT and LIMIT run after, on the final shape.
         if let Some((var, descending)) = &plan.order_by {
-            let idx = gathered.var_index(var).ok_or_else(|| ExecError {
-                message: format!("ORDER BY variable ?{var} is never bound"),
+            let idx = gathered.var_index(var).ok_or_else(|| {
+                ExecError::msg(format!("ORDER BY variable ?{var} is never bound"))
             })?;
             let dict = ds.dictionary();
             let mut rows = gathered.take_rows();
@@ -975,9 +1527,7 @@ impl PlanRun {
             let cols: Vec<&str> = plan.select.iter().map(String::as_str).collect();
             for c in &cols {
                 if gathered.var_index(c).is_none() {
-                    return Err(ExecError {
-                        message: format!("projected variable ?{c} is never bound"),
-                    });
+                    return Err(ExecError::msg(format!("projected variable ?{c} is never bound")));
                 }
             }
             gathered = gops::project(&gathered, &cols);
@@ -1018,6 +1568,10 @@ impl PlanRun {
             breakdown: std::mem::take(&mut self.breakdown),
             pre_filter_counts: std::mem::take(&mut self.pre_filter_counts),
             annotations,
+            // Cloned, not taken: if a death surfaced during the gather the
+            // recovery wrapper discards this outcome and keeps accounting
+            // on the run.
+            recovery: self.recovery.clone(),
         })
     }
 }
@@ -1080,7 +1634,7 @@ pub fn execute_plan(
         if let StepOutcome::Done(outcome) =
             run.step(cluster, ds, registry, profilers, metrics, cache)?
         {
-            return Ok(outcome);
+            return Ok(*outcome);
         }
     }
 }
@@ -1270,8 +1824,15 @@ fn distributed_join(
         (l, r, bytes)
     };
 
-    // Charge the exchange.
+    // Charge the exchange. The byte matrix is indexed by *shard*; streamed
+    // channels connect *physical* ranks, so fold it through the ownership
+    // map first: a re-planned shard's traffic originates from (and lands
+    // on) its surviving owner, and a dead rank is never a channel endpoint
+    // — its in-flight batches are discarded with the stage and replayed
+    // from the producer-side checkpoint. With identity ownership the fold
+    // is a no-op (diagonal entries were already skipped by the cost model).
     let exchange = if opts.pipelined {
+        let matrix = fold_matrix_by_owner(cluster, &matrix, ranks);
         let xc = cluster.streamed_exchange_cost(
             &matrix,
             produce_start,
@@ -1332,6 +1893,28 @@ fn distributed_join(
     Ok(joined)
 }
 
+/// Fold a shard-indexed wire-byte matrix into a rank-indexed one through
+/// the cluster's shard-ownership map, dropping same-owner traffic (it
+/// never crosses the wire). Identity ownership reproduces the input minus
+/// its diagonal, which the streamed cost model ignores anyway.
+fn fold_matrix_by_owner(cluster: &Cluster, matrix: &[u64], ranks: usize) -> Vec<u64> {
+    let mut out = vec![0u64; ranks * ranks];
+    for s in 0..ranks {
+        let so = cluster.owner_of(s).index();
+        for d in 0..ranks {
+            let b = matrix[s * ranks + d];
+            if b == 0 {
+                continue;
+            }
+            let dof = cluster.owner_of(d).index();
+            if so != dof {
+                out[so * ranks + dof] += b;
+            }
+        }
+    }
+    out
+}
+
 /// Redistribute rows so equal join keys land on equal ranks.
 fn repartition_by_vars(
     sets: Vec<SolutionBatch>,
@@ -1344,8 +1927,8 @@ fn repartition_by_vars(
     let key_idx: Vec<usize> = vars
         .iter()
         .map(|v| {
-            sets[0].var_index(v).ok_or_else(|| ExecError {
-                message: format!("join key ?{v} missing from schema {schema:?}"),
+            sets[0].var_index(v).ok_or_else(|| {
+                ExecError::msg(format!("join key ?{v} missing from schema {schema:?}"))
             })
         })
         .collect::<Result<_, _>>()?;
@@ -1388,8 +1971,8 @@ fn repartition_streamed(
     let key_idx: Vec<usize> = vars
         .iter()
         .map(|v| {
-            sets[0].var_index(v).ok_or_else(|| ExecError {
-                message: format!("join key ?{v} missing from schema {schema:?}"),
+            sets[0].var_index(v).ok_or_else(|| {
+                ExecError::msg(format!("join key ?{v} missing from schema {schema:?}"))
             })
         })
         .collect::<Result<_, _>>()?;
@@ -1431,7 +2014,9 @@ fn repartition_streamed(
 }
 
 /// Push one sub-batch onto a channel, draining the receiver side first if
-/// the buffer is full — the push after a drain cannot fail.
+/// the buffer is full. A drained channel accepts the retry unless its
+/// capacity is zero; that degenerate configuration delivers the batch
+/// directly instead of panicking in the exchange hot path.
 fn channel_send(chan: &mut BatchChannel, out: &mut SolutionBatch, batch: SolutionBatch) {
     match chan.push(batch) {
         Ok(()) => {}
@@ -1439,7 +2024,9 @@ fn channel_send(chan: &mut BatchChannel, out: &mut SolutionBatch, batch: Solutio
             for b in chan.drain() {
                 out.append(b);
             }
-            chan.push(batch).expect("push into a drained channel cannot fail");
+            if let Err(batch) = chan.push(batch) {
+                out.append(batch);
+            }
         }
     }
 }
@@ -1567,6 +2154,40 @@ fn maybe_rebalance(
     }
 }
 
+/// The straggler-hedging policy for UDF stages, `None` when speculation
+/// is off.
+fn speculation_policy(opts: &ExecOptions) -> Option<SpeculationPolicy> {
+    opts.speculation.then(|| SpeculationPolicy {
+        threshold: opts.speculation_threshold,
+        ..SpeculationPolicy::default()
+    })
+}
+
+/// Fold one stage's speculation report into the run's recovery accounting
+/// and the `ids_speculation_*` metric family.
+fn note_speculation(
+    recovery: &mut RecoveryReport,
+    metrics: &MetricsRegistry,
+    spec: &SpeculationReport,
+) {
+    if spec.launched == 0 {
+        return;
+    }
+    recovery.spec_launched += spec.launched;
+    recovery.spec_wins += spec.wins;
+    recovery.spec_losses += spec.losses;
+    recovery.spec_saved_secs += spec.saved_secs;
+    if recovery.first_spec_win.is_none() {
+        recovery.first_spec_win = spec.first_win;
+    }
+    metrics.counter("ids_speculation_launched_total").add(spec.launched);
+    metrics.counter("ids_speculation_wins_total").add(spec.wins);
+    metrics.counter("ids_speculation_losses_total").add(spec.losses);
+    if spec.saved_secs > 0.0 {
+        metrics.histogram("ids_speculation_saved_secs").observe(spec.saved_secs);
+    }
+}
+
 /// Shared fault counters for a FILTER/APPLY stage, pre-resolved so worker
 /// closures bump atomics without touching the registry maps.
 struct StageFaultCtrs {
@@ -1685,6 +2306,7 @@ fn run_filter_stage(
     phase_name: &str,
     metrics: &MetricsRegistry,
     annotations: &mut Vec<ErrorAnnotation>,
+    recovery: &mut RecoveryReport,
 ) -> Result<Vec<SolutionBatch>, ExecError> {
     let solutions = maybe_rebalance(cluster, solutions, expr, profilers, opts, metrics);
     let dict = ds.dictionary().clone();
@@ -1707,124 +2329,127 @@ fn run_filter_stage(
 
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let stage_anns: Mutex<Vec<ErrorAnnotation>> = Mutex::new(Vec::new());
-    let results: Vec<(SolutionBatch, UdfProfiler, u64)> = cluster.execute(phase_name, |ctx| {
-        let r = ctx.rank().index();
-        set_current_rank(ctx.rank());
-        let input = &solutions[r];
-        let mut profiler = profilers[r].clone();
+    let policy = speculation_policy(opts);
+    let (results, spec): (Vec<(SolutionBatch, UdfProfiler, u64)>, _) = cluster
+        .execute_with_speculation(phase_name, policy.as_ref(), |ctx| {
+            let r = ctx.rank().index();
+            set_current_rank(ctx.rank());
+            let input = &solutions[r];
+            let mut profiler = profilers[r].clone();
 
-        // §2.4.3: per-rank conjunct reordering. Reordering itself must not
-        // panic; row evaluation below is individually contained.
-        let local_expr = if opts.reorder_conjuncts {
-            if let Expr::And(conjuncts) = expr {
-                let order = order_conjuncts(
-                    conjuncts,
-                    &profiler,
-                    |_| opts.udf_cost_prior,
-                    opts.udf_rejection_prior,
-                );
-                if order.iter().enumerate().any(|(pos, &i)| pos != i) {
-                    reordered_ctr.inc();
+            // §2.4.3: per-rank conjunct reordering. Reordering itself must not
+            // panic; row evaluation below is individually contained.
+            let local_expr = if opts.reorder_conjuncts {
+                if let Expr::And(conjuncts) = expr {
+                    let order = order_conjuncts(
+                        conjuncts,
+                        &profiler,
+                        |_| opts.udf_cost_prior,
+                        opts.udf_rejection_prior,
+                    );
+                    if order.iter().enumerate().any(|(pos, &i)| pos != i) {
+                        reordered_ctr.inc();
+                    } else {
+                        kept_ctr.inc();
+                    }
+                    ids_udf::reorder::reorder_and(conjuncts.clone(), &order)
                 } else {
-                    kept_ctr.inc();
+                    expr.clone()
                 }
-                ids_udf::reorder::reorder_and(conjuncts.clone(), &order)
             } else {
                 expr.clone()
-            }
-        } else {
-            expr.clone()
-        };
+            };
 
-        let mut kept = SolutionBatch::empty(input.vars().to_vec());
-        let mut evals = 0u64;
-        let mut spent = 0.0f64;
-        let mut deg = RankDegradation::default();
-        let mut rowbuf: Vec<TermId> = Vec::new();
-        let n_rows = input.len();
-        for i in 0..n_rows {
-            // Batch boundary: in columnar mode the engine dispatches the
-            // filter once per batch of rows, not once per row.
-            if opts.columnar && i % opts.batch_rows.max(1) == 0 {
-                let this_batch = (n_rows - i).min(opts.batch_rows.max(1));
-                batch_meter.batches.inc();
-                batch_meter.rows.observe(this_batch as f64);
-                ctx.charge(opts.batch_dispatch_secs);
-                spent += opts.batch_dispatch_secs;
-            }
-            // Per-rank stage deadline: stop evaluating once the budget is
-            // spent; the remaining rows are dropped (degrade) or fatal.
-            if spent > opts.stage_deadline_secs {
-                let remaining = (n_rows - i) as u64;
-                fault_ctrs.deadline_hits.inc();
-                fault_ctrs.dropped_rows.add(remaining);
-                if opts.degrade {
-                    deg.deadline_rows = remaining;
-                } else {
-                    lock_unpoisoned(&errors).push(format!(
-                        "rank {r} {phase_name} stage exceeded its {:.6}s deadline \
+            let mut kept = SolutionBatch::empty(input.vars().to_vec());
+            let mut evals = 0u64;
+            let mut spent = 0.0f64;
+            let mut deg = RankDegradation::default();
+            let mut rowbuf: Vec<TermId> = Vec::new();
+            let n_rows = input.len();
+            for i in 0..n_rows {
+                // Batch boundary: in columnar mode the engine dispatches the
+                // filter once per batch of rows, not once per row.
+                if opts.columnar && i % opts.batch_rows.max(1) == 0 {
+                    let this_batch = (n_rows - i).min(opts.batch_rows.max(1));
+                    batch_meter.batches.inc();
+                    batch_meter.rows.observe(this_batch as f64);
+                    ctx.charge(opts.batch_dispatch_secs);
+                    spent += opts.batch_dispatch_secs;
+                }
+                // Per-rank stage deadline: stop evaluating once the budget is
+                // spent; the remaining rows are dropped (degrade) or fatal.
+                if spent > opts.stage_deadline_secs {
+                    let remaining = (n_rows - i) as u64;
+                    fault_ctrs.deadline_hits.inc();
+                    fault_ctrs.dropped_rows.add(remaining);
+                    if opts.degrade {
+                        deg.deadline_rows = remaining;
+                    } else {
+                        lock_unpoisoned(&errors).push(format!(
+                            "rank {r} {phase_name} stage exceeded its {:.6}s deadline \
                          with {remaining} rows unprocessed",
-                        opts.stage_deadline_secs
-                    ));
+                            opts.stage_deadline_secs
+                        ));
+                    }
+                    break;
                 }
-                break;
+                input.copy_row(i, &mut rowbuf);
+                let bindings = RowBindings::new(input.vars(), &rowbuf, &dict);
+                let verdict = retry_row(
+                    opts,
+                    &fault_ctrs,
+                    |secs| {
+                        ctx.charge(secs);
+                        spent += secs;
+                    },
+                    || {
+                        let mut cx = EvalCtx::new(registry, &mut profiler);
+                        let out = local_expr.eval_bool(&bindings, &mut cx);
+                        (out, cx.charged_secs)
+                    },
+                );
+                match verdict {
+                    Ok((Ok(pass), charged)) => {
+                        let c = charged + eval_overhead;
+                        ctx.charge(c);
+                        spent += c;
+                        evals += 1;
+                        if pass {
+                            kept.push_row(&rowbuf);
+                        }
+                    }
+                    Ok((Err(e), charged)) => {
+                        ctx.charge(charged);
+                        spent += charged;
+                        if opts.degrade {
+                            fault_ctrs.dropped_rows.inc();
+                            deg.eval_rows += 1;
+                            deg.eval_first.get_or_insert_with(|| e.to_string());
+                        } else {
+                            lock_unpoisoned(&errors).push(e.to_string());
+                        }
+                    }
+                    Err(msg) => {
+                        if opts.degrade {
+                            fault_ctrs.dropped_rows.inc();
+                            deg.panic_rows += 1;
+                            deg.panic_first.get_or_insert(msg);
+                        } else {
+                            // Fail fast, like the pre-retry executor: record
+                            // the panic and stop this rank's work.
+                            lock_unpoisoned(&errors)
+                                .push(format!("rank {r} filter worker panicked: {msg}"));
+                            break;
+                        }
+                    }
+                }
             }
-            input.copy_row(i, &mut rowbuf);
-            let bindings = RowBindings::new(input.vars(), &rowbuf, &dict);
-            let verdict = retry_row(
-                opts,
-                &fault_ctrs,
-                |secs| {
-                    ctx.charge(secs);
-                    spent += secs;
-                },
-                || {
-                    let mut cx = EvalCtx::new(registry, &mut profiler);
-                    let out = local_expr.eval_bool(&bindings, &mut cx);
-                    (out, cx.charged_secs)
-                },
-            );
-            match verdict {
-                Ok((Ok(pass), charged)) => {
-                    let c = charged + eval_overhead;
-                    ctx.charge(c);
-                    spent += c;
-                    evals += 1;
-                    if pass {
-                        kept.push_row(&rowbuf);
-                    }
-                }
-                Ok((Err(e), charged)) => {
-                    ctx.charge(charged);
-                    spent += charged;
-                    if opts.degrade {
-                        fault_ctrs.dropped_rows.inc();
-                        deg.eval_rows += 1;
-                        deg.eval_first.get_or_insert_with(|| e.to_string());
-                    } else {
-                        lock_unpoisoned(&errors).push(e.to_string());
-                    }
-                }
-                Err(msg) => {
-                    if opts.degrade {
-                        fault_ctrs.dropped_rows.inc();
-                        deg.panic_rows += 1;
-                        deg.panic_first.get_or_insert(msg);
-                    } else {
-                        // Fail fast, like the pre-retry executor: record
-                        // the panic and stop this rank's work.
-                        lock_unpoisoned(&errors)
-                            .push(format!("rank {r} filter worker panicked: {msg}"));
-                        break;
-                    }
-                }
-            }
-        }
-        deg.flush(phase_name, r, opts.stage_deadline_secs, &stage_anns);
-        ctx.count("filter_evals", evals);
-        ctx.count("filter_kept", kept.len() as u64);
-        (kept, profiler, evals)
-    });
+            deg.flush(phase_name, r, opts.stage_deadline_secs, &stage_anns);
+            ctx.count("filter_evals", evals);
+            ctx.count("filter_kept", kept.len() as u64);
+            (kept, profiler, evals)
+        });
+    note_speculation(recovery, metrics, &spec);
     if !opts.pipelined {
         // BSP closes the stage with a barrier; pipelined mode leaves the
         // per-rank clocks skewed — the next stage's dependencies (its own
@@ -1834,7 +2459,7 @@ fn run_filter_stage(
 
     let errs = errors.into_inner().unwrap_or_else(PoisonError::into_inner);
     if let Some(first) = errs.first() {
-        return Err(ExecError { message: format!("{} ({} total failures)", first, errs.len()) });
+        return Err(ExecError::msg(format!("{} ({} total failures)", first, errs.len())));
     }
     annotations.extend(stage_anns.into_inner().unwrap_or_else(PoisonError::into_inner));
 
@@ -1863,6 +2488,7 @@ fn run_apply_stage(
     _breakdown: &mut StageBreakdown,
     metrics: &MetricsRegistry,
     annotations: &mut Vec<ErrorAnnotation>,
+    recovery: &mut RecoveryReport,
 ) -> Result<Vec<SolutionBatch>, ExecError> {
     // Re-balance using the UDF itself as the cost driver.
     let probe_expr = Expr::udf(udf.to_string(), vec![]);
@@ -1879,114 +2505,117 @@ fn run_apply_stage(
 
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let stage_anns: Mutex<Vec<ErrorAnnotation>> = Mutex::new(Vec::new());
-    let results: Vec<(SolutionBatch, UdfProfiler)> = cluster.execute(&stage_name, |ctx| {
-        let r = ctx.rank().index();
-        set_current_rank(ctx.rank());
-        let input = &solutions[r];
-        let mut profiler = profilers[r].clone();
+    let policy = speculation_policy(opts);
+    let (results, spec): (Vec<(SolutionBatch, UdfProfiler)>, _) =
+        cluster.execute_with_speculation(&stage_name, policy.as_ref(), |ctx| {
+            let r = ctx.rank().index();
+            set_current_rank(ctx.rank());
+            let input = &solutions[r];
+            let mut profiler = profilers[r].clone();
 
-        let mut vars = input.vars().to_vec();
-        vars.push(bind_as.to_string());
-        let mut out = SolutionBatch::empty(vars);
-        let mut spent = 0.0f64;
-        let mut deg = RankDegradation::default();
-        let mut rowbuf: Vec<TermId> = Vec::new();
-        // The call expression is identical for every row — build it once
-        // per rank instead of re-allocating it inside the hot loop.
-        let call = Expr::udf(udf.to_string(), args.to_vec());
-        let n_rows = input.len();
-        for i in 0..n_rows {
-            if opts.columnar && i % opts.batch_rows.max(1) == 0 {
-                let this_batch = (n_rows - i).min(opts.batch_rows.max(1));
-                batch_meter.batches.inc();
-                batch_meter.rows.observe(this_batch as f64);
-                ctx.charge(opts.batch_dispatch_secs);
-                spent += opts.batch_dispatch_secs;
-            }
-            if spent > opts.stage_deadline_secs {
-                let remaining = (n_rows - i) as u64;
-                fault_ctrs.deadline_hits.inc();
-                fault_ctrs.dropped_rows.add(remaining);
-                if opts.degrade {
-                    deg.deadline_rows = remaining;
-                } else {
-                    lock_unpoisoned(&errors).push(format!(
-                        "rank {r} {stage_name} stage exceeded its {:.6}s deadline \
+            let mut vars = input.vars().to_vec();
+            vars.push(bind_as.to_string());
+            let mut out = SolutionBatch::empty(vars);
+            let mut spent = 0.0f64;
+            let mut deg = RankDegradation::default();
+            let mut rowbuf: Vec<TermId> = Vec::new();
+            // The call expression is identical for every row — build it once
+            // per rank instead of re-allocating it inside the hot loop.
+            let call = Expr::udf(udf.to_string(), args.to_vec());
+            let n_rows = input.len();
+            for i in 0..n_rows {
+                if opts.columnar && i % opts.batch_rows.max(1) == 0 {
+                    let this_batch = (n_rows - i).min(opts.batch_rows.max(1));
+                    batch_meter.batches.inc();
+                    batch_meter.rows.observe(this_batch as f64);
+                    ctx.charge(opts.batch_dispatch_secs);
+                    spent += opts.batch_dispatch_secs;
+                }
+                if spent > opts.stage_deadline_secs {
+                    let remaining = (n_rows - i) as u64;
+                    fault_ctrs.deadline_hits.inc();
+                    fault_ctrs.dropped_rows.add(remaining);
+                    if opts.degrade {
+                        deg.deadline_rows = remaining;
+                    } else {
+                        lock_unpoisoned(&errors).push(format!(
+                            "rank {r} {stage_name} stage exceeded its {:.6}s deadline \
                          with {remaining} rows unprocessed",
-                        opts.stage_deadline_secs
-                    ));
+                            opts.stage_deadline_secs
+                        ));
+                    }
+                    break;
                 }
-                break;
-            }
-            input.copy_row(i, &mut rowbuf);
-            let bindings = RowBindings::new(input.vars(), &rowbuf, &dict);
-            let verdict = retry_row(
-                opts,
-                &fault_ctrs,
-                |secs| {
-                    ctx.charge(secs);
-                    spent += secs;
-                },
-                || {
-                    let mut cx = EvalCtx::new(registry, &mut profiler);
-                    let res = call.eval(&bindings, &mut cx);
-                    (res, cx.charged_secs)
-                },
-            );
-            match verdict {
-                Ok((Ok(value), charged)) => {
-                    let c = charged + eval_overhead;
-                    ctx.charge(c);
-                    spent += c;
-                    // Bind the output: encode into the dictionary so it
-                    // flows like any other term.
-                    let term = match value {
-                        ids_udf::UdfValue::F64(v) => ids_graph::Term::float(v),
-                        ids_udf::UdfValue::I64(v) => ids_graph::Term::Int(v),
-                        ids_udf::UdfValue::Str(s) => ids_graph::Term::str(s),
-                        ids_udf::UdfValue::Bool(b) => ids_graph::Term::Int(b as i64),
-                        ids_udf::UdfValue::Id(id) => {
-                            rowbuf.push(TermId(id));
-                            out.push_row(&rowbuf);
-                            continue;
+                input.copy_row(i, &mut rowbuf);
+                let bindings = RowBindings::new(input.vars(), &rowbuf, &dict);
+                let verdict = retry_row(
+                    opts,
+                    &fault_ctrs,
+                    |secs| {
+                        ctx.charge(secs);
+                        spent += secs;
+                    },
+                    || {
+                        let mut cx = EvalCtx::new(registry, &mut profiler);
+                        let res = call.eval(&bindings, &mut cx);
+                        (res, cx.charged_secs)
+                    },
+                );
+                match verdict {
+                    Ok((Ok(value), charged)) => {
+                        let c = charged + eval_overhead;
+                        ctx.charge(c);
+                        spent += c;
+                        // Bind the output: encode into the dictionary so it
+                        // flows like any other term.
+                        let term = match value {
+                            ids_udf::UdfValue::F64(v) => ids_graph::Term::float(v),
+                            ids_udf::UdfValue::I64(v) => ids_graph::Term::Int(v),
+                            ids_udf::UdfValue::Str(s) => ids_graph::Term::str(s),
+                            ids_udf::UdfValue::Bool(b) => ids_graph::Term::Int(b as i64),
+                            ids_udf::UdfValue::Id(id) => {
+                                rowbuf.push(TermId(id));
+                                out.push_row(&rowbuf);
+                                continue;
+                            }
+                            ids_udf::UdfValue::Null => {
+                                // Nulls drop the row (SPARQL error semantics).
+                                continue;
+                            }
+                        };
+                        let id = dict.encode(&term);
+                        rowbuf.push(id);
+                        out.push_row(&rowbuf);
+                    }
+                    Ok((Err(e), charged)) => {
+                        ctx.charge(charged);
+                        spent += charged;
+                        if opts.degrade {
+                            fault_ctrs.dropped_rows.inc();
+                            deg.eval_rows += 1;
+                            deg.eval_first.get_or_insert_with(|| e.to_string());
+                        } else {
+                            lock_unpoisoned(&errors).push(e.to_string());
                         }
-                        ids_udf::UdfValue::Null => {
-                            // Nulls drop the row (SPARQL error semantics).
-                            continue;
+                    }
+                    Err(msg) => {
+                        if opts.degrade {
+                            fault_ctrs.dropped_rows.inc();
+                            deg.panic_rows += 1;
+                            deg.panic_first.get_or_insert(msg);
+                        } else {
+                            lock_unpoisoned(&errors)
+                                .push(format!("rank {r} apply worker panicked: {msg}"));
+                            break;
                         }
-                    };
-                    let id = dict.encode(&term);
-                    rowbuf.push(id);
-                    out.push_row(&rowbuf);
-                }
-                Ok((Err(e), charged)) => {
-                    ctx.charge(charged);
-                    spent += charged;
-                    if opts.degrade {
-                        fault_ctrs.dropped_rows.inc();
-                        deg.eval_rows += 1;
-                        deg.eval_first.get_or_insert_with(|| e.to_string());
-                    } else {
-                        lock_unpoisoned(&errors).push(e.to_string());
                     }
                 }
-                Err(msg) => {
-                    if opts.degrade {
-                        fault_ctrs.dropped_rows.inc();
-                        deg.panic_rows += 1;
-                        deg.panic_first.get_or_insert(msg);
-                    } else {
-                        lock_unpoisoned(&errors)
-                            .push(format!("rank {r} apply worker panicked: {msg}"));
-                        break;
-                    }
-                }
             }
-        }
-        deg.flush(&stage_name, r, opts.stage_deadline_secs, &stage_anns);
-        ctx.count("apply_rows", out.len() as u64);
-        (out, profiler)
-    });
+            deg.flush(&stage_name, r, opts.stage_deadline_secs, &stage_anns);
+            ctx.count("apply_rows", out.len() as u64);
+            (out, profiler)
+        });
+    note_speculation(recovery, metrics, &spec);
     if !opts.pipelined {
         // Same stage-closing policy as run_filter_stage: barrier only in
         // BSP mode.
@@ -1995,7 +2624,7 @@ fn run_apply_stage(
 
     let errs = errors.into_inner().unwrap_or_else(PoisonError::into_inner);
     if let Some(first) = errs.first() {
-        return Err(ExecError { message: format!("{} ({} total failures)", first, errs.len()) });
+        return Err(ExecError::msg(format!("{} ({} total failures)", first, errs.len())));
     }
     annotations.extend(stage_anns.into_inner().unwrap_or_else(PoisonError::into_inner));
 

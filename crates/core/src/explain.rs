@@ -192,6 +192,7 @@ pub fn explain_with_metrics(
     render_fault_block(&mut out, snapshot);
     render_replication_block(&mut out, snapshot);
     render_service_block(&mut out, snapshot);
+    render_recovery_block(&mut out, snapshot);
     out
 }
 
@@ -377,6 +378,56 @@ fn render_replication_block(out: &mut String, snapshot: &MetricsSnapshot) {
     }
 }
 
+/// Append the query-survivability block when the recovery plane or the
+/// speculative re-execution machinery did anything: rollbacks to mid-query
+/// checkpoints, re-plans around retired ranks, scratch restarts, and the
+/// hedged-duplicate win/loss tally. Fault-free runs (and runs with
+/// `ExecOptions::recovery` off) render nothing here.
+fn render_recovery_block(out: &mut String, snapshot: &MetricsSnapshot) {
+    let rollbacks = snapshot.counter_sum("ids_recovery_rollbacks_total");
+    let replans = snapshot.counter_sum("ids_recovery_replans_total");
+    let restarts = snapshot.counter_sum("ids_recovery_restarts_total");
+    let exhausted = snapshot.counter_sum("ids_recovery_exhausted_total");
+    let launched = snapshot.counter_sum("ids_speculation_launched_total");
+    if rollbacks + replans + restarts + exhausted + launched == 0 {
+        return;
+    }
+
+    out.push_str("  recovery:\n");
+    if rollbacks + restarts > 0 {
+        let checkpoints = snapshot.counter_sum("ids_recovery_checkpoints_total");
+        let rows = snapshot.counter_sum("ids_recovery_rows_restored_total");
+        out.push_str(&format!(
+            "    rollbacks: {rollbacks} ({restarts} from scratch), \
+             {checkpoints} checkpoints stored, {rows} rows restored\n"
+        ));
+    }
+    if replans > 0 {
+        let ranks_lost = snapshot.counter_sum("ids_recovery_ranks_lost_total");
+        let moved = snapshot.counter_sum("ids_recovery_shards_moved_total");
+        out.push_str(&format!(
+            "    re-plans: {replans} around {ranks_lost} lost ranks, \
+             {moved} shards re-owned\n"
+        ));
+    }
+    if launched > 0 {
+        let wins = snapshot.counter_sum("ids_speculation_wins_total");
+        let losses = snapshot.counter_sum("ids_speculation_losses_total");
+        out.push_str(&format!(
+            "    speculation: {launched} hedges launched, {wins} won, {losses} lost"
+        ));
+        for (key, hist) in &snapshot.histograms {
+            if key.name == "ids_speculation_saved_secs" && hist.count > 0 {
+                out.push_str(&format!(", {:.6}s critical path saved", hist.sum));
+            }
+        }
+        out.push('\n');
+    }
+    if exhausted > 0 {
+        out.push_str(&format!("    budget: {exhausted} queries exhausted their recovery budget\n"));
+    }
+}
+
 /// Append the multi-tenant service block when the serve layer (or the
 /// engine's semantic-reuse checkpoints) recorded anything: per-tenant
 /// admission/queue/scheduling figures and the fingerprint hit/miss/store
@@ -501,6 +552,37 @@ mod tests {
         assert!(out.contains("bgp: 2 hits / 4 probes (50.0%)"), "{out}");
         assert!(out.contains("where: 0 hits / 0 probes (0.0%), 1 stores"), "{out}");
         assert!(out.contains("rows restored from cache: 80"), "{out}");
+    }
+
+    #[test]
+    fn recovery_block_renders_only_after_interventions() {
+        let reg = ids_obs::MetricsRegistry::new();
+        let mut out = String::new();
+        render_recovery_block(&mut out, &reg.snapshot());
+        assert!(out.is_empty(), "fault-free run adds no recovery block");
+
+        reg.counter("ids_recovery_rollbacks_total").add(2);
+        reg.counter("ids_recovery_restarts_total").add(1);
+        reg.counter("ids_recovery_checkpoints_total").add(5);
+        reg.counter("ids_recovery_rows_restored_total").add(120);
+        reg.counter("ids_recovery_replans_total").add(2);
+        reg.counter("ids_recovery_ranks_lost_total").add(2);
+        reg.counter("ids_recovery_shards_moved_total").add(6);
+        reg.counter("ids_speculation_launched_total").add(3);
+        reg.counter("ids_speculation_wins_total").add(2);
+        reg.counter("ids_speculation_losses_total").add(1);
+        reg.histogram("ids_speculation_saved_secs").observe(0.5);
+        reg.counter("ids_recovery_exhausted_total").add(1);
+        render_recovery_block(&mut out, &reg.snapshot());
+        assert!(out.contains("recovery:"), "{out}");
+        assert!(
+            out.contains("rollbacks: 2 (1 from scratch), 5 checkpoints stored, 120 rows restored"),
+            "{out}"
+        );
+        assert!(out.contains("re-plans: 2 around 2 lost ranks, 6 shards re-owned"), "{out}");
+        assert!(out.contains("speculation: 3 hedges launched, 2 won, 1 lost"), "{out}");
+        assert!(out.contains("0.500000s critical path saved"), "{out}");
+        assert!(out.contains("budget: 1 queries exhausted their recovery budget"), "{out}");
     }
 
     #[test]

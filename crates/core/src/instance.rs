@@ -242,7 +242,7 @@ impl IdsInstance {
             &self.metrics,
             self.cache.as_deref(),
         )
-        .map_err(|e| QueryError::Exec(e.to_string()))
+        .map_err(QueryError::Exec)
     }
 
     /// Everything *outside* the query text that determines an intermediate
@@ -326,7 +326,7 @@ impl IdsInstance {
             &self.metrics,
             self.cache.as_deref(),
         )
-        .map_err(|e| QueryError::Exec(e.to_string()))
+        .map_err(QueryError::Exec)
     }
 
     /// Parse, plan, and execute a query with semantic reuse checkpoints
@@ -335,18 +335,22 @@ impl IdsInstance {
         let mut run = self.prepare_run(iql_text, true)?;
         loop {
             if let StepOutcome::Done(outcome) = self.step_run(&mut run)? {
-                return Ok(outcome);
+                return Ok(*outcome);
             }
         }
     }
 }
 
-/// Any failure between IQL text and results.
+/// Any failure between IQL text and results. Execution failures keep
+/// their typed [`ExecError`](crate::engine::ExecError) payload so the
+/// service tier can distinguish
+/// (say) an exhausted recovery budget from an unbound variable without
+/// parsing message strings.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryError {
     Parse(String),
     Plan(String),
-    Exec(String),
+    Exec(engine::ExecError),
 }
 
 impl std::fmt::Display for QueryError {
@@ -354,7 +358,7 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::Parse(m) => write!(f, "parse: {m}"),
             QueryError::Plan(m) => write!(f, "plan: {m}"),
-            QueryError::Exec(m) => write!(f, "exec: {m}"),
+            QueryError::Exec(e) => write!(f, "exec: {e}"),
         }
     }
 }

@@ -38,8 +38,8 @@ pub mod workflow;
 
 pub use datastore::Datastore;
 pub use engine::{
-    DegradedKind, ErrorAnnotation, ExecOptions, PlanRun, QueryOutcome, ReuseCheckpoint, ReusePlan,
-    StageBreakdown, StepOutcome,
+    DegradedKind, ErrorAnnotation, ExecError, ExecOptions, PlanRun, QueryOutcome, RecoveryReport,
+    ReuseCheckpoint, ReusePlan, StageBreakdown, StepOutcome,
 };
-pub use instance::{IdsConfig, IdsInstance};
+pub use instance::{IdsConfig, IdsInstance, QueryError};
 pub use iql::ast::Query;

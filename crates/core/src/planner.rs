@@ -256,7 +256,17 @@ pub fn lower(query: &Query, ds: &Datastore) -> Result<PhysicalPlan, PlanError> {
     let mut patterns = Vec::with_capacity(lowered.len());
     let mut slots: Vec<Option<PhysicalPattern>> = lowered.into_iter().map(Some).collect();
     for i in order {
-        patterns.push(slots[i].take().expect("order is a permutation"));
+        // `order_patterns` returns a permutation of 0..n; degrade to a
+        // typed plan error instead of panicking the planner if that
+        // invariant ever breaks (an out-of-range or repeated index).
+        let Some(p) = slots.get_mut(i).and_then(Option::take) else {
+            return Err(PlanError {
+                message: format!(
+                    "pattern ordering is not a permutation: index {i} invalid or repeated"
+                ),
+            });
+        };
+        patterns.push(p);
     }
 
     let where_filter = if query.filters.is_empty() {

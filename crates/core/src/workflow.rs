@@ -174,6 +174,11 @@ pub fn register_workflow_udfs(
 ) {
     let scale = models.analytics_scale.max(0.0);
     let dtba_scale = models.dtba_scale.max(0.0);
+    // The only way `register_static` can fail is a duplicate name — i.e. a
+    // second install on the same registry. Keep the first registration and
+    // drop the duplicate instead of panicking mid-setup: the closures are
+    // deterministic functions of (target, models), so for a same-config
+    // re-install the outcome is identical either way.
 
     // --- sw_similarity -----------------------------------------------------
     let sw = models.sw;
@@ -192,7 +197,7 @@ pub fn register_workflow_udfs(
                 }
             }),
         )
-        .expect("sw_similarity registered once");
+        .ok();
 
     // --- pic50 ---------------------------------------------------------------
     let pic50 = models.pic50;
@@ -217,7 +222,7 @@ pub fn register_workflow_udfs(
                 UdfOutput::new(UdfValue::F64(p.pic50), p.virtual_secs * scale)
             }),
         )
-        .expect("pic50 registered once");
+        .ok();
 
     // --- dtba ---------------------------------------------------------------
     let dtba = models.dtba;
@@ -240,9 +245,14 @@ pub fn register_workflow_udfs(
                 let mut fault_cost = 0.0;
                 if let (Some(cache), Some(name)) = (&dtba_cache, &name) {
                     match cache.get(current_rank(), name) {
+                        // A cached pKd is exactly 8 little-endian bytes; any
+                        // other shape is a corrupt object and falls through
+                        // to recomputation like a miss.
                         Ok(Some((bytes, outcome))) if bytes.len() == 8 => {
-                            let pkd = f64::from_le_bytes(bytes[..].try_into().expect("8 bytes"));
-                            return UdfOutput::new(UdfValue::F64(pkd), outcome.virtual_secs);
+                            if let Ok(raw) = <[u8; 8]>::try_from(&bytes[..]) {
+                                let pkd = f64::from_le_bytes(raw);
+                                return UdfOutput::new(UdfValue::F64(pkd), outcome.virtual_secs);
+                            }
                         }
                         Ok(_) => {}
                         // Degraded cache (down node, exhausted retries):
@@ -268,7 +278,7 @@ pub fn register_workflow_udfs(
                 }
             }),
         )
-        .expect("dtba registered once");
+        .ok();
 
     // --- vina_docking --------------------------------------------------------
     let docking = models.docking;
@@ -314,7 +324,7 @@ pub fn register_workflow_udfs(
                 UdfOutput::new(UdfValue::F64(result.energy), cost)
             }),
         )
-        .expect("vina_docking registered once");
+        .ok();
 }
 
 /// Thresholds for the re-purposing query. `sw` is the Table 2

@@ -116,6 +116,19 @@ impl BatchChannel {
     pub fn drain(&mut self) -> impl Iterator<Item = SolutionBatch> + '_ {
         self.buf.drain(..)
     }
+
+    /// Discard every in-flight batch without delivering it, returning how
+    /// many batches were dropped. The lifetime `pushed_*` tallies keep the
+    /// discarded traffic (the bytes really crossed the wire before the
+    /// endpoint died); only the buffer is cleared. The recovery plane
+    /// calls this when a channel endpoint is retired mid-stage so the
+    /// receiver never consumes a partial stream — the rows are replayed
+    /// in full from the producer-side checkpoint instead.
+    pub fn discard(&mut self) -> usize {
+        let dropped = self.buf.len();
+        self.buf.clear();
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +180,22 @@ mod tests {
         assert_eq!(ch.capacity(), 1);
         ch.push(batch(&[9])).unwrap();
         assert!(ch.is_full());
+    }
+
+    #[test]
+    fn discard_drops_in_flight_batches_but_keeps_wire_accounting() {
+        let mut ch = BatchChannel::new(4);
+        ch.push(batch(&[1, 2])).unwrap();
+        ch.push(batch(&[3])).unwrap();
+        let bytes_before = ch.pushed_bytes();
+        assert_eq!(ch.discard(), 2, "both buffered batches dropped");
+        assert!(ch.is_empty());
+        assert_eq!(ch.pushed_batches(), 2, "lifetime tally survives the discard");
+        assert_eq!(ch.pushed_rows(), 3);
+        assert_eq!(ch.pushed_bytes(), bytes_before, "wire bytes already paid stay charged");
+        assert!(ch.pop().is_none(), "nothing half-consumed is deliverable");
+        ch.push(batch(&[7])).unwrap();
+        assert_eq!(ch.pop().unwrap().get(0, 0), Some(TermId(7)), "channel is reusable after");
     }
 
     #[test]

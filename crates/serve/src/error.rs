@@ -26,6 +26,13 @@ pub enum ServeError {
     DeadlineExceeded { tenant: String, deadline_secs: f64 },
     /// The engine reported an execution error.
     Exec(String),
+    /// The query burned through its mid-query recovery budget (repeated
+    /// permanent rank losses or blown stage deadlines). Retryable: the
+    /// dead ranks are retired, so a resubmission re-plans onto the
+    /// survivors from the start. `retry_after_secs` hints how long (in
+    /// virtual seconds) a client should back off while the fault storm
+    /// settles, mirroring the [`Self::Overloaded`] refusal shape.
+    RecoveryExhausted { tenant: String, attempts: u32, retry_after_secs: f64 },
     /// A scheduler invariant broke (a queue or tenant table mutated out
     /// from under a check). The service degrades to this typed error —
     /// metered via `ids_serve_internal_errors_total` — instead of
@@ -36,13 +43,20 @@ pub enum ServeError {
 impl ServeError {
     /// Whether resubmitting the same query later can succeed.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, ServeError::Overloaded { .. } | ServeError::DeadlineExceeded { .. })
+        matches!(
+            self,
+            ServeError::Overloaded { .. }
+                | ServeError::DeadlineExceeded { .. }
+                | ServeError::RecoveryExhausted { .. }
+        )
     }
 
-    /// The back-off hint for overload rejections (virtual seconds).
+    /// The back-off hint for overload and recovery-exhausted rejections
+    /// (virtual seconds).
     pub fn retry_after_secs(&self) -> Option<f64> {
         match self {
-            ServeError::Overloaded { retry_after_secs, .. } => Some(*retry_after_secs),
+            ServeError::Overloaded { retry_after_secs, .. }
+            | ServeError::RecoveryExhausted { retry_after_secs, .. } => Some(*retry_after_secs),
             _ => None,
         }
     }
@@ -62,6 +76,13 @@ impl std::fmt::Display for ServeError {
                 write!(f, "tenant {tenant:?} deadline of {deadline_secs}s exceeded")
             }
             ServeError::Exec(m) => write!(f, "exec: {m}"),
+            ServeError::RecoveryExhausted { tenant, attempts, retry_after_secs } => {
+                write!(
+                    f,
+                    "tenant {tenant:?} recovery budget exhausted after {attempts} rollbacks; \
+                     retry after {retry_after_secs:.3}s"
+                )
+            }
             ServeError::Internal(m) => {
                 write!(f, "internal scheduler invariant violated: {m}")
             }
@@ -89,6 +110,14 @@ mod tests {
         let internal = ServeError::Internal("queue drained mid-round".into());
         assert!(!internal.is_retryable(), "invariant breaks are not client-retryable");
         assert_eq!(internal.retry_after_secs(), None);
+        let rec = ServeError::RecoveryExhausted {
+            tenant: "a".into(),
+            attempts: 4,
+            retry_after_secs: 1.5,
+        };
+        assert!(rec.is_retryable(), "dead ranks are retired, so a resubmission can succeed");
+        assert_eq!(rec.retry_after_secs(), Some(1.5));
+        assert!(rec.to_string().contains("4 rollbacks") && rec.to_string().contains("1.500"));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! [`QueryService::trace_hash`].
 
 use crate::error::ServeError;
-use ids_core::{IdsInstance, PlanRun, QueryOutcome, StepOutcome};
+use ids_core::{ExecError, IdsInstance, PlanRun, QueryError, QueryOutcome, StepOutcome};
 use ids_simrt::rng::{fnv1a, hash_combine};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -388,6 +388,26 @@ impl QueryService {
                         .counter_with("ids_serve_channel_batches_total", "tenant", name.to_string())
                         .add(batches);
                 }
+                Ok(StepOutcome::Recovered { resumed_ordinal, retired_ranks }) => {
+                    // The engine rolled the run back around dead ranks (or
+                    // a blown deadline) and re-planned; the job stays
+                    // queued and resumes from the restored checkpoint.
+                    // Meter per tenant so noisy-neighbor fault exposure is
+                    // observable.
+                    let metrics = self.inst.metrics();
+                    metrics
+                        .counter_with("ids_serve_recoveries_total", "tenant", name.to_string())
+                        .inc();
+                    metrics
+                        .counter_with("ids_serve_retired_ranks_total", "tenant", name.to_string())
+                        .add(retired_ranks as u64);
+                    metrics.spans().record(
+                        "serve.recovery",
+                        format!("tenant {name} resumed from checkpoint ordinal {resumed_ordinal}"),
+                        ended_at,
+                        ended_at,
+                    );
+                }
                 Ok(StepOutcome::Done(outcome)) => {
                     // The front was stepped above; losing it now is a broken
                     // invariant — meter and yield instead of panicking.
@@ -402,7 +422,7 @@ impl QueryService {
                             .inc();
                         break;
                     };
-                    done.push(finish(&self.inst, name.to_string(), job, ended_at, Ok(outcome)));
+                    done.push(finish(&self.inst, name.to_string(), job, ended_at, Ok(*outcome)));
                 }
                 Err(e) => {
                     let Some(job) = tenant.queue.pop_front() else {
@@ -416,13 +436,34 @@ impl QueryService {
                             .inc();
                         break;
                     };
-                    done.push(finish(
-                        &self.inst,
-                        name.to_string(),
-                        job,
-                        ended_at,
-                        Err(ServeError::Exec(e.to_string())),
-                    ));
+                    // A blown recovery budget maps to the typed retryable
+                    // refusal: the dead ranks are already retired, so a
+                    // resubmission re-plans onto the survivors from the
+                    // start. The back-off hint mirrors the Overloaded
+                    // formula — one fair-share quantum per queued job —
+                    // and is fully deterministic.
+                    let err = match e {
+                        QueryError::Exec(ExecError::RecoveryExhausted { attempts, .. }) => {
+                            self.inst
+                                .metrics()
+                                .counter_with(
+                                    "ids_serve_recovery_exhausted_total",
+                                    "tenant",
+                                    name.to_string(),
+                                )
+                                .inc();
+                            let retry_after_secs = (tenant.queue.len() as f64 + 1.0)
+                                * self.cfg.quantum_secs
+                                / tenant.cfg.weight as f64;
+                            ServeError::RecoveryExhausted {
+                                tenant: name.to_string(),
+                                attempts,
+                                retry_after_secs,
+                            }
+                        }
+                        other => ServeError::Exec(other.to_string()),
+                    };
+                    done.push(finish(&self.inst, name.to_string(), job, ended_at, Err(err)));
                 }
             }
         }

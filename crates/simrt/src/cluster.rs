@@ -111,8 +111,54 @@ pub struct ExchangeCost {
 /// exact; above it batch size is scaled up so cost stays O(1) per byte.
 const MAX_BATCHES_PER_CHANNEL: u64 = 1024;
 
+/// When to hedge a straggling rank's remaining stage work onto another
+/// live rank, and what the duplicate costs to launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationPolicy {
+    /// Hedge a rank once its projected phase finish exceeds
+    /// `threshold ×` the median finish across working ranks (> 1).
+    pub threshold: f64,
+    /// Absolute lag floor: never hedge over gaps smaller than this.
+    pub min_lag_secs: f64,
+    /// Virtual seconds charged to dispatch the duplicate.
+    pub launch_overhead_secs: f64,
+}
+
+impl Default for SpeculationPolicy {
+    fn default() -> Self {
+        Self { threshold: 1.5, min_lag_secs: 1e-6, launch_overhead_secs: 0.0 }
+    }
+}
+
+/// What speculative re-execution did during one compute phase. Purely
+/// clock accounting: the data plane never sees the duplicates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpeculationReport {
+    /// Hedged duplicates launched.
+    pub launched: u64,
+    /// Duplicates that finished before the straggling original.
+    pub wins: u64,
+    /// Duplicates cancelled because the original finished first; their
+    /// host is still charged up to the cancellation time.
+    pub losses: u64,
+    /// Critical-path seconds recovered by winning duplicates.
+    pub saved_secs: f64,
+    /// The first winning duplicate this phase: `(host rank, win time)`.
+    /// Drives the chaos matrix's "spiteful" axis (kill the winner).
+    pub first_win: Option<(u32, f64)>,
+}
+
 /// A simulated cluster: topology + network model + per-rank clocks, plus a
 /// history of completed phases for post-hoc analysis.
+///
+/// Recovery additions: each rank is either **live** or permanently
+/// retired, and each *logical shard* (there are exactly `total_ranks`
+/// of them, fixed for the life of the job) has an **owner** — the
+/// physical rank that executes it. Owners start as the identity map;
+/// after a permanent rank loss the engine re-plans orphaned shards onto
+/// survivors. Shard identity (and therefore every data-plane decision:
+/// rng streams, hash placement, row order) follows the *shard* id, so
+/// re-owning shards never changes results — only whose clock pays.
 pub struct Cluster {
     topo: Topology,
     net: NetworkModel,
@@ -121,6 +167,10 @@ pub struct Cluster {
     seed: u64,
     phase_counter: u64,
     faults: Option<Arc<FaultPlane>>,
+    /// live[r]: rank r participates in phases and collectives.
+    live: Vec<bool>,
+    /// owners[s]: physical rank executing logical shard s.
+    owners: Vec<u32>,
 }
 
 impl Cluster {
@@ -136,6 +186,8 @@ impl Cluster {
             seed,
             phase_counter: 0,
             faults: None,
+            live: vec![true; n],
+            owners: (0..n as u32).collect(),
         }
     }
 
@@ -185,10 +237,62 @@ impl Cluster {
         }
     }
 
-    /// Maximum virtual time across ranks — the job's elapsed virtual
-    /// wall-clock so far.
+    /// Permanently retire `rank`: it stops participating in phases and
+    /// collectives and its clock freezes where it was. Shards it owns
+    /// keep their owner entry until the engine re-plans them via
+    /// [`Self::assign_shard`]. Irreversible — permanent node loss has
+    /// no recovery window.
+    pub fn retire_rank(&mut self, rank: RankId) {
+        if let Some(l) = self.live.get_mut(rank.0 as usize) {
+            *l = false;
+        }
+    }
+
+    /// Is `rank` still live (not permanently retired)?
+    pub fn is_live(&self, rank: RankId) -> bool {
+        self.live.get(rank.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Ranks still live, in rank order.
+    pub fn live_ranks(&self) -> Vec<RankId> {
+        (0..self.clocks.len() as u32).map(RankId).filter(|&r| self.is_live(r)).collect()
+    }
+
+    /// Number of live ranks.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Re-own logical shard `shard` to `owner` (must be live). Part of
+    /// the engine's re-planning after a permanent rank loss.
+    pub fn assign_shard(&mut self, shard: usize, owner: RankId) {
+        if let Some(o) = self.owners.get_mut(shard) {
+            *o = owner.0;
+        }
+    }
+
+    /// The physical rank currently executing logical shard `shard`.
+    pub fn owner_of(&self, shard: usize) -> RankId {
+        RankId(self.owners.get(shard).copied().unwrap_or(shard as u32))
+    }
+
+    /// Maximum virtual time across **live** ranks — the job's elapsed
+    /// virtual wall-clock so far. Retired ranks' frozen clocks no longer
+    /// bound progress (with everything dead, the frozen maximum is
+    /// reported so time stays monotone).
     pub fn elapsed(&self) -> f64 {
-        self.clocks.iter().copied().fold(0.0, f64::max)
+        let live_max = self
+            .clocks
+            .iter()
+            .zip(&self.live)
+            .filter(|&(_, &l)| l)
+            .map(|(&c, _)| c)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if live_max.is_finite() {
+            live_max.max(0.0)
+        } else {
+            self.clocks.iter().copied().fold(0.0, f64::max)
+        }
     }
 
     /// Per-rank virtual clocks (index = rank id).
@@ -219,15 +323,53 @@ impl Cluster {
             return;
         }
         let t = self.elapsed() + secs;
-        self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_live_clocks_to(t);
         self.sync_faults();
     }
 
-    /// Run a compute phase: every rank executes `f` with its own context,
-    /// in parallel. Returns per-rank results in rank order. No clock
-    /// synchronization happens here — follow with [`Self::barrier`] or
-    /// another collective to close the phase.
+    /// Advance every live rank's clock to `t`; retired clocks stay
+    /// frozen (a dead rank takes part in no further collectives).
+    fn sync_live_clocks_to(&mut self, t: f64) {
+        for (c, &l) in self.clocks.iter_mut().zip(&self.live) {
+            if l {
+                *c = t;
+            }
+        }
+    }
+
+    /// Run a compute phase: every logical shard executes `f` with its own
+    /// context, in parallel. Returns per-shard results in shard order. No
+    /// clock synchronization happens here — follow with [`Self::barrier`]
+    /// or another collective to close the phase.
+    ///
+    /// The context's `rank()` is the *shard* id, so every data-plane
+    /// decision (rng streams, hash placement) is a function of the shard
+    /// alone; the clock that pays for the work is the shard's current
+    /// **owner** (identity until a recovery re-plan moves shards off dead
+    /// ranks). A rank owning several shards executes them serially on its
+    /// own clock, dilated by its straggler factor.
     pub fn execute<T, F>(&mut self, name: &str, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        self.execute_with_speculation(name, None, f).0
+    }
+
+    /// [`Self::execute`] plus optional speculative re-execution: with a
+    /// policy, ranks whose projected phase finish lags the median past
+    /// the policy threshold get a hedged duplicate of their remaining
+    /// work on the least-loaded live rank. The first finisher wins (the
+    /// original wins exact ties), the loser's cost is still charged to
+    /// its host up to the cancellation instant, and the data plane is
+    /// untouched — speculation is pure virtual-clock arithmetic, so
+    /// results stay byte-identical with it on or off.
+    pub fn execute_with_speculation<T, F>(
+        &mut self,
+        name: &str,
+        policy: Option<&SpeculationPolicy>,
+        f: F,
+    ) -> (Vec<T>, SpeculationReport)
     where
         T: Send,
         F: Fn(&mut RankCtx) -> T + Sync,
@@ -236,18 +378,20 @@ impl Cluster {
         self.phase_counter += 1;
         let topo = self.topo;
         let seed = self.seed;
-        let starts: Vec<f64> = self.clocks.clone();
+        // Each shard starts at its owner's clock; with identity owners
+        // this is exactly the per-rank snapshot of the classic BSP model.
+        let starts: Vec<f64> = self.owners.iter().map(|&o| self.clocks[o as usize]).collect();
 
         let mut results: Vec<(f64, RankStats, T)> = Vec::with_capacity(starts.len());
         starts
             .par_iter()
             .enumerate()
-            .map(|(r, &start)| {
+            .map(|(s, &start)| {
                 let mut ctx = RankCtx {
-                    rank: RankId(r as u32),
+                    rank: RankId(s as u32),
                     topo,
                     clock: VirtualClock::at(start),
-                    rng: SplitMix64::new(seed, phase_id.wrapping_mul(0x1_0000_0001) ^ r as u64),
+                    rng: SplitMix64::new(seed, phase_id.wrapping_mul(0x1_0000_0001) ^ s as u64),
                     stats: RankStats::default(),
                 };
                 let out = f(&mut ctx);
@@ -255,19 +399,30 @@ impl Cluster {
             })
             .collect_into_vec(&mut results);
 
+        let n = self.clocks.len();
         let mut busy = Vec::with_capacity(results.len());
+        let mut owner_busy = vec![0.0; n];
         let mut totals = RankStats::default();
         let mut outs = Vec::with_capacity(results.len());
-        for (r, (end, stats, out)) in results.into_iter().enumerate() {
+        for (s, (end, stats, out)) in results.into_iter().enumerate() {
             // Straggler ranks (from the fault plane) run the same work,
-            // but their busy time is dilated by a constant factor.
-            let factor = self.faults.as_ref().map_or(1.0, |p| p.straggler_factor(RankId(r as u32)));
-            let b = (end - starts[r]) * factor;
+            // but their busy time is dilated by a constant factor — the
+            // factor of the *owner*, who actually runs the shard.
+            let o = self.owners[s] as usize;
+            let factor = self.faults.as_ref().map_or(1.0, |p| p.straggler_factor(RankId(o as u32)));
+            let b = (end - starts[s]) * factor;
             busy.push(b);
+            owner_busy[o] += b;
             totals.merge(&stats);
-            self.clocks[r] = starts[r] + b;
             outs.push(out);
         }
+        for (o, &b) in owner_busy.iter().enumerate() {
+            self.clocks[o] += b;
+        }
+        let spec = match policy {
+            Some(p) => self.speculate(p, &owner_busy),
+            None => SpeculationReport::default(),
+        };
         self.phases.push(PhaseStats {
             name: name.to_string(),
             busy: StatSummary::of(&busy),
@@ -275,14 +430,83 @@ impl Cluster {
             totals,
         });
         self.sync_faults();
-        outs
+        (outs, spec)
+    }
+
+    /// Hedge straggling ranks' remaining phase work onto the least-loaded
+    /// live ranks. Deterministic: stragglers are visited in rank order,
+    /// hosts chosen by `(projected finish, rank id)`, and ties between the
+    /// original and its duplicate go to the original.
+    fn speculate(&mut self, policy: &SpeculationPolicy, owner_busy: &[f64]) -> SpeculationReport {
+        let mut report = SpeculationReport::default();
+        // Snapshot every rank's projected finish *before* any hedging:
+        // straggler detection compares original finishes only, so a host
+        // charged for a losing copy never reads as a new straggler.
+        let orig_finish = self.clocks.clone();
+        // Median projected finish across live ranks that did work this
+        // phase — the baseline a straggler is measured against. (Lower
+        // middle of the sorted finishes: deterministic, no averaging.)
+        let mut finishes: Vec<f64> = (0..orig_finish.len())
+            .filter(|&r| self.live[r] && owner_busy[r] > 0.0)
+            .map(|r| orig_finish[r])
+            .collect();
+        if finishes.len() < 2 {
+            return report;
+        }
+        finishes.sort_by(f64::total_cmp);
+        let median = finishes[(finishes.len() - 1) / 2];
+        let factor =
+            |r: usize| self.faults.as_ref().map_or(1.0, |p| p.straggler_factor(RankId(r as u32)));
+
+        for o in 0..orig_finish.len() {
+            if !self.live[o] || owner_busy[o] <= 0.0 {
+                continue;
+            }
+            let finish = orig_finish[o];
+            let lag = finish - median;
+            if finish <= policy.threshold.max(1.0) * median || lag < policy.min_lag_secs {
+                continue;
+            }
+            // Host: the live rank (other than the straggler) projected to
+            // be free earliest; ties break to the lowest rank id.
+            let Some(h) = (0..self.clocks.len())
+                .filter(|&h| h != o && self.live[h])
+                .min_by(|&a, &b| self.clocks[a].total_cmp(&self.clocks[b]).then(a.cmp(&b)))
+            else {
+                continue;
+            };
+            // The duplicate starts once the lag is detectable (the median
+            // finish) and the host is free, then re-runs the straggler's
+            // remaining work at the host's own speed.
+            let remaining_undilated = lag / factor(o).max(1.0);
+            let copy_start = median.max(self.clocks[h]) + policy.launch_overhead_secs;
+            let copy_finish = copy_start + remaining_undilated * factor(h);
+            report.launched += 1;
+            if copy_finish < finish {
+                // Duplicate wins: the stage result is ready at the copy's
+                // finish; the original is cancelled there too.
+                report.wins += 1;
+                report.saved_secs += finish - copy_finish;
+                if report.first_win.is_none() {
+                    report.first_win = Some((h as u32, copy_finish));
+                }
+                self.clocks[o] = copy_finish;
+                self.clocks[h] = self.clocks[h].max(copy_finish);
+            } else {
+                // Original wins (ties included): the duplicate is cancelled
+                // at that instant, but its host honestly paid until then.
+                report.losses += 1;
+                self.clocks[h] = self.clocks[h].max(finish);
+            }
+        }
+        report
     }
 
     /// Barrier: every rank advances to the release time
     /// `max(clocks) + barrier_cost`. Returns the release time.
     pub fn barrier(&mut self) -> f64 {
         let t = self.elapsed() + self.net.barrier(self.topo.total_ranks()) * self.net_cost_mult();
-        self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_live_clocks_to(t);
         self.sync_faults();
         t
     }
@@ -297,7 +521,7 @@ impl Cluster {
         let result = op.reduce_f64(locals);
         let t =
             self.elapsed() + self.net.allreduce(self.topo.total_ranks(), 8) * self.net_cost_mult();
-        self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_live_clocks_to(t);
         self.sync_faults();
         result
     }
@@ -308,7 +532,7 @@ impl Cluster {
         let result = op.reduce_u64(locals);
         let t =
             self.elapsed() + self.net.allreduce(self.topo.total_ranks(), 8) * self.net_cost_mult();
-        self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_live_clocks_to(t);
         self.sync_faults();
         result
     }
@@ -319,7 +543,7 @@ impl Cluster {
     pub fn allgather_cost(&mut self, bytes_per_rank: u64) -> f64 {
         let t = self.elapsed()
             + self.net.allgather(self.topo.total_ranks(), bytes_per_rank) * self.net_cost_mult();
-        self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_live_clocks_to(t);
         self.sync_faults();
         t
     }
@@ -333,8 +557,8 @@ impl Cluster {
     /// Panics if `times.len() != total_ranks`.
     pub fn raise_clocks(&mut self, times: &[f64]) {
         assert_eq!(times.len(), self.clocks.len(), "one time per rank required");
-        for (c, &t) in self.clocks.iter_mut().zip(times) {
-            if t.is_finite() && t > *c {
+        for ((c, &t), &l) in self.clocks.iter_mut().zip(times).zip(&self.live) {
+            if l && t.is_finite() && t > *c {
                 *c = t;
             }
         }
@@ -499,7 +723,7 @@ impl Cluster {
         let max_send = send_bytes.iter().copied().max().unwrap_or(0);
         let t = self.elapsed()
             + self.net.alltoallv(self.topo.total_ranks(), max_send) * self.net_cost_mult();
-        self.clocks.iter_mut().for_each(|c| *c = t);
+        self.sync_live_clocks_to(t);
         self.sync_faults();
         t
     }
@@ -797,6 +1021,121 @@ mod tests {
             "the healthy channel must not wait for the unrelated crash: {}",
             out.all_ready[healthy[2]]
         );
+    }
+
+    #[test]
+    fn retired_ranks_freeze_and_stop_bounding_elapsed() {
+        let mut c = small();
+        c.execute("work", |ctx| ctx.charge(ctx.rank().0 as f64)); // rank 7 at 7.0
+        c.retire_rank(RankId(7));
+        assert!(!c.is_live(RankId(7)));
+        assert_eq!(c.live_count(), 7);
+        assert_eq!(c.elapsed(), 6.0, "dead rank no longer bounds elapsed");
+        let frozen = c.clocks()[7];
+        c.barrier();
+        assert_eq!(c.clocks()[7], frozen, "collectives leave dead clocks frozen");
+        assert!(c.clocks()[..7].iter().all(|&t| t >= 6.0));
+        c.charge_all(1.0);
+        assert_eq!(c.clocks()[7], frozen);
+        let mut times = vec![f64::INFINITY; 8];
+        times[7] = 1e9;
+        times[0] = c.clocks()[0] + 1.0;
+        c.raise_clocks(&times);
+        assert_eq!(c.clocks()[7], frozen, "raise_clocks skips dead ranks");
+    }
+
+    #[test]
+    fn reassigned_shards_run_on_the_new_owner_clock_with_same_results() {
+        // Baseline: identity owners.
+        let mut a = small();
+        let base = a.execute("w", |ctx| {
+            ctx.charge(1.0);
+            (ctx.rank().0, ctx.rng().next_u64())
+        });
+        // Same phase with shards 6,7 re-owned by rank 0: results (incl.
+        // the per-shard rng stream) are identical, only clocks move.
+        let mut b = small();
+        b.retire_rank(RankId(7));
+        b.assign_shard(6, RankId(0));
+        b.assign_shard(7, RankId(0));
+        assert_eq!(b.owner_of(6), RankId(0));
+        let moved = b.execute("w", |ctx| {
+            ctx.charge(1.0);
+            (ctx.rank().0, ctx.rng().next_u64())
+        });
+        assert_eq!(base, moved, "shard identity drives the data plane, not ownership");
+        assert!((b.clocks()[0] - 3.0).abs() < 1e-12, "rank 0 paid for 3 shards serially");
+        assert!((b.clocks()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speculation_charges_losing_hedges_honestly() {
+        // Rank 0 has genuinely more work (not dilation), so re-running the
+        // remainder elsewhere at the same speed finishes in a dead heat —
+        // and ties go to the original. The hedge still launches (the lag
+        // threshold fired) and its host is charged until cancellation.
+        let run = |policy: Option<SpeculationPolicy>| {
+            let mut c = Cluster::new(Topology::new(1, 4), NetworkModel::ideal(), 1);
+            let (out, rep) = c.execute_with_speculation("udf", policy.as_ref(), |ctx| {
+                ctx.charge(if ctx.rank().0 == 0 { 10.0 } else { 1.0 });
+                ctx.rank().0
+            });
+            (out, rep, c.clocks().to_vec())
+        };
+        let (out_off, rep_off, _) = run(None);
+        let (out_on, rep_on, clocks_on) = run(Some(SpeculationPolicy::default()));
+        assert_eq!(out_off, out_on, "speculation never touches the data plane");
+        assert_eq!(rep_off, SpeculationReport::default());
+        assert_eq!(rep_on.launched, 1);
+        assert_eq!(rep_on.wins, 0, "equal-speed re-run cannot beat the original");
+        assert_eq!(rep_on.losses, 1);
+        assert_eq!(rep_on.first_win, None);
+        assert!((clocks_on[0] - 10.0).abs() < 1e-9, "original still finishes at 10");
+        // Host rank 1 (lowest id among the least-loaded) paid until the
+        // original finished and the copy was cancelled.
+        assert!((clocks_on[1] - 10.0).abs() < 1e-9, "loser charged: {:?}", clocks_on);
+        assert!((clocks_on[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speculation_wins_when_the_original_is_dilated() {
+        use crate::faults::{FaultConfig, FaultPlane};
+        // Fraction 1.0 stragglers with slowdown 6: every rank is dilated,
+        // so hedge copies run at the same dilated speed and cannot win.
+        // Instead pin dilation to a subset via seeds: search a seed where
+        // rank 0 straggles and rank 1 does not.
+        let seed = (0..64)
+            .find(|&s| {
+                let p = FaultPlane::new(s, FaultConfig::stragglers_only(0.3, 6.0), 1, 4, 100.0);
+                p.straggler_factor(RankId(0)) > 1.0
+                    && (1..4).any(|r| p.straggler_factor(RankId(r)) == 1.0)
+            })
+            .expect("a seed with a mixed straggler set");
+        let mk = |policy: Option<SpeculationPolicy>| {
+            let mut c = Cluster::new(Topology::new(1, 4), NetworkModel::ideal(), 1);
+            c.attach_faults(Arc::new(FaultPlane::new(
+                seed,
+                FaultConfig::stragglers_only(0.3, 6.0),
+                1,
+                4,
+                100.0,
+            )));
+            let (out, rep) = c.execute_with_speculation("udf", policy.as_ref(), |ctx| {
+                ctx.charge(1.0);
+                ctx.rank().0
+            });
+            (out, rep, c.elapsed())
+        };
+        let (out_off, _, t_off) = mk(None);
+        let (out_on, rep, t_on) = mk(Some(SpeculationPolicy::default()));
+        assert_eq!(out_off, out_on);
+        assert!(rep.launched >= 1, "6x dilation past a 1.5x threshold must hedge");
+        assert!(rep.wins >= 1, "an undilated host beats a 6x straggler");
+        assert!(t_on < t_off, "winning hedges shorten the critical path: {t_on} vs {t_off}");
+        assert!(rep.saved_secs > 0.0);
+        // Determinism: same seed, same report.
+        let (_, rep2, _) = mk(Some(SpeculationPolicy::default()));
+        assert_eq!(rep, rep2);
     }
 
     #[test]

@@ -74,6 +74,21 @@ pub struct StragglerConfig {
     pub slowdown: f64,
 }
 
+/// Permanent node kills: crashes with **no recovery window**. Unlike
+/// [`CrashConfig`] windows — which end and let the node rejoin — a
+/// permanent kill takes the node (and every rank it hosts) out for the
+/// rest of the run. This is the fault class the query-level recovery
+/// plane exists for: masking cannot help, only rollback + re-planning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PermanentCrashConfig {
+    /// Mean virtual seconds until a node is permanently killed
+    /// (exponential draw per node; draws past the horizon never fire).
+    pub mean_time_to_kill_secs: f64,
+    /// Cap on how many nodes die permanently over the whole run — the
+    /// earliest draws win, so at least `nodes - max_kills` survive.
+    pub max_kills: u32,
+}
+
 /// Storage-integrity faults: silent corruption of resident cache copies
 /// (bit rot) and torn backing-store writes. Both are *detectable* —
 /// every object carries a CRC32 — so the contract is detect + repair,
@@ -101,6 +116,8 @@ pub struct FaultConfig {
     pub straggler: Option<StragglerConfig>,
     /// Storage integrity faults (bit rot, torn writes).
     pub storage: Option<StorageConfig>,
+    /// Permanent node kills (crash with no recovery window).
+    pub permanent: Option<PermanentCrashConfig>,
 }
 
 impl FaultConfig {
@@ -124,6 +141,7 @@ impl FaultConfig {
             }),
             straggler: Some(StragglerConfig { fraction: 0.25, slowdown: 3.0 }),
             storage: Some(StorageConfig { bit_rot_prob: 0.02, torn_write_prob: 0.01 }),
+            permanent: None,
         }
     }
 
@@ -153,6 +171,15 @@ impl FaultConfig {
     /// Only storage-integrity faults (bit rot + torn writes).
     pub fn storage_only(bit_rot_prob: f64, torn_write_prob: f64) -> Self {
         Self { storage: Some(StorageConfig { bit_rot_prob, torn_write_prob }), ..Self::default() }
+    }
+
+    /// Only permanent node kills: up to `max_kills` nodes die forever,
+    /// each at a seeded exponential time with the given mean.
+    pub fn permanent_only(mean_time_to_kill_secs: f64, max_kills: u32) -> Self {
+        Self {
+            permanent: Some(PermanentCrashConfig { mean_time_to_kill_secs, max_kills }),
+            ..Self::default()
+        }
     }
 }
 
@@ -293,6 +320,23 @@ fn exp_draw(rng: &mut SplitMix64, mean: f64) -> f64 {
     -mean * (1.0 - rng.next_f64()).ln()
 }
 
+/// Splice a permanent `[at, ∞)` down window into a sorted, disjoint
+/// window list: recoverable windows starting at or after the kill can
+/// never be observed (the node is already dead), and a window spanning
+/// the kill time is clipped so the list stays sorted and disjoint.
+fn insert_permanent_kill(windows: &mut Vec<(f64, f64)>, at: f64) {
+    if windows.iter().any(|&(s, e)| e == f64::INFINITY && s <= at) {
+        return; // already permanently dead by `at`
+    }
+    windows.retain(|&(s, _)| s < at);
+    if let Some(last) = windows.last_mut() {
+        if last.1 > at {
+            last.1 = at;
+        }
+    }
+    windows.push((at, f64::INFINITY));
+}
+
 impl FaultPlane {
     /// Build the schedule for `nodes` cache/FAM nodes and `ranks` ranks
     /// over `[0, horizon_secs)` of virtual time. Everything is a pure
@@ -311,6 +355,23 @@ impl FaultPlane {
                 }
             }
             crash_windows.push(windows);
+        }
+
+        if let Some(p) = cfg.permanent {
+            // Per-node exponential kill times; the earliest `max_kills`
+            // draws inside the horizon actually fire (ties by node id).
+            let mut kills: Vec<(f64, u32)> = (0..nodes)
+                .filter_map(|node| {
+                    let mut rng = SplitMix64::new(seed, 0x0DEA_D000 ^ node as u64);
+                    let t = exp_draw(&mut rng, p.mean_time_to_kill_secs);
+                    (t < horizon_secs).then_some((t, node))
+                })
+                .collect();
+            kills.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            kills.truncate(p.max_kills as usize);
+            for (t, node) in kills {
+                insert_permanent_kill(&mut crash_windows[node as usize], t);
+            }
         }
 
         let mut link_windows = Vec::new();
@@ -428,6 +489,40 @@ impl FaultPlane {
     /// The crash windows scheduled for `node` (for tests/reports).
     pub fn crash_windows(&self, node: NodeId) -> &[(f64, f64)] {
         self.crash_windows.get(node.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Schedule an explicit permanent kill of `node` at virtual time
+    /// `at_secs`. Requires `&mut self`, so tests and benches call it
+    /// while building the plane, before sharing it behind an `Arc` —
+    /// the schedule stays immutable once execution starts. Recoverable
+    /// windows at or past the kill are dropped and a spanning window is
+    /// clipped, keeping the list sorted and disjoint. A node already
+    /// dead by `at_secs` is left unchanged.
+    pub fn schedule_permanent_kill(&mut self, node: NodeId, at_secs: f64) {
+        if let Some(ws) = self.crash_windows.get_mut(node.0 as usize) {
+            insert_permanent_kill(ws, at_secs);
+        }
+    }
+
+    /// Is `node` permanently dead (inside a window that never ends) at
+    /// virtual time `t`? Unlike [`FaultPlane::node_down_at`] this never
+    /// flips back to false at later times.
+    pub fn node_dead_at(&self, node: NodeId, t: f64) -> bool {
+        self.crash_windows
+            .get(node.0 as usize)
+            .is_some_and(|ws| ws.iter().any(|&(s, e)| e == f64::INFINITY && t >= s))
+    }
+
+    /// Is `node` permanently dead at the current cursor?
+    pub fn node_dead(&self, node: NodeId) -> bool {
+        self.node_dead_at(node, self.now())
+    }
+
+    /// The virtual time at which `node` dies permanently, if ever.
+    pub fn kill_time(&self, node: NodeId) -> Option<f64> {
+        self.crash_windows
+            .get(node.0 as usize)
+            .and_then(|ws| ws.iter().find(|&&(_, e)| e == f64::INFINITY).map(|&(s, _)| s))
     }
 
     /// Push a virtual time past any crash window covering it on `node`:
@@ -730,6 +825,52 @@ mod tests {
             assert!(f == 1.0 || f == 2.5);
         }
         assert_eq!(p.metrics().gauge("ids_faults_straggler_ranks").get(), slow as i64);
+    }
+
+    #[test]
+    fn permanent_kills_are_seeded_capped_and_never_recover() {
+        let p = FaultPlane::new(17, FaultConfig::permanent_only(5.0, 2), 4, 16, 60.0);
+        let dead: Vec<u32> = (0..4).filter(|&n| p.node_dead_at(NodeId(n), 1e12)).collect();
+        assert!(!dead.is_empty() && dead.len() <= 2, "max_kills caps deaths, got {dead:?}");
+        for &n in &dead {
+            let at = p.kill_time(NodeId(n)).expect("dead node has a kill time");
+            assert!(!p.node_dead_at(NodeId(n), at - 1e-9), "alive before the kill");
+            assert!(p.node_dead_at(NodeId(n), at), "dead from the kill onward");
+            assert!(p.node_down_at(NodeId(n), at + 1e9), "permanent window covers all later t");
+            assert_eq!(p.delay_past_down(NodeId(n), at), f64::INFINITY, "events never clear");
+        }
+        let alive: Vec<u32> = (0..4).filter(|n| !dead.contains(n)).collect();
+        for &n in &alive {
+            assert_eq!(p.kill_time(NodeId(n)), None);
+            assert!(!p.node_dead_at(NodeId(n), 1e12));
+        }
+        // Same seed, same schedule.
+        let q = FaultPlane::new(17, FaultConfig::permanent_only(5.0, 2), 4, 16, 60.0);
+        for n in 0..4 {
+            assert_eq!(p.crash_windows(NodeId(n)), q.crash_windows(NodeId(n)));
+        }
+    }
+
+    #[test]
+    fn explicit_kill_splices_into_recoverable_windows() {
+        let mut p = plane(11);
+        let ws = p.crash_windows(NodeId(0)).to_vec();
+        let (s0, e0) = ws[0];
+        // Kill mid-way through the first recoverable window: it is
+        // clipped, every later window is dropped, and the permanent
+        // window takes over.
+        let at = (s0 + e0) / 2.0;
+        p.schedule_permanent_kill(NodeId(0), at);
+        let after = p.crash_windows(NodeId(0));
+        assert_eq!(after.last(), Some(&(at, f64::INFINITY)));
+        assert!(after.windows(2).all(|w| w[0].1 <= w[1].0), "sorted and disjoint");
+        assert!(after.iter().all(|&(s, _)| s <= at));
+        assert!(p.node_dead_at(NodeId(0), at) && !p.node_dead_at(NodeId(0), s0));
+        // Killing an already-dead node later is a no-op.
+        p.schedule_permanent_kill(NodeId(0), at + 5.0);
+        assert_eq!(p.kill_time(NodeId(0)), Some(at));
+        // Other nodes untouched.
+        assert!(!p.node_dead_at(NodeId(1), 1e12) || p.kill_time(NodeId(1)).is_some());
     }
 
     #[test]

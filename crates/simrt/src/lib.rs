@@ -33,9 +33,11 @@ pub mod topology;
 pub mod trace;
 
 pub use clock::VirtualClock;
-pub use cluster::{Cluster, ExchangeCost, RankCtx};
+pub use cluster::{Cluster, ExchangeCost, RankCtx, SpeculationPolicy, SpeculationReport};
 pub use collective::ReduceOp;
-pub use faults::{Deadline, FaultConfig, FaultPlane, LinkFactors, RetryPolicy};
+pub use faults::{
+    Deadline, FaultConfig, FaultPlane, LinkFactors, PermanentCrashConfig, RetryPolicy,
+};
 pub use net::NetworkModel;
 pub use stats::{PhaseStats, RankStats, StatSummary};
 pub use topology::{NodeId, RankId, Topology};

@@ -57,6 +57,7 @@ fn ms_chaos() -> FaultConfig {
         }),
         straggler: Some(StragglerConfig { fraction: 0.25, slowdown: 3.0 }),
         storage: Some(StorageConfig { bit_rot_prob: 0.02, torn_write_prob: 0.01 }),
+        permanent: None,
     }
 }
 

@@ -42,6 +42,7 @@ fn pipeline_chaos() -> FaultConfig {
         link: None,
         straggler: Some(StragglerConfig { fraction: 0.25, slowdown: 4.0 }),
         storage: None,
+        permanent: None,
     }
 }
 
