@@ -32,6 +32,17 @@ else
   exit 1
 fi
 
+echo "==> lint: retry-after hints constructed only via the shared Refusal helper"
+# Every refusal the service emits must carry a load-derived retry-after
+# hint computed in one place (crates/serve/src/error.rs — see DESIGN.md
+# 5j). Hand-built `retry_after_secs:` literals elsewhere would let shed
+# and overload paths drift apart.
+if grep -rn 'retry_after_secs:' --include='*.rs' crates tests examples src 2>/dev/null \
+    | grep -v 'crates/serve/src/error\.rs'; then
+  echo "error: retry_after_secs constructed outside crates/serve/src/error.rs — use Refusal::backoff" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -93,5 +104,16 @@ for seed in 1 2 3 4 5 6 7 8; do
     CHAOS_SEED=$seed CHAOS_CONCURRENCY=$clients cargo test --release --test chaos_concurrency -q
   done
 done
+
+echo "==> overload chaos matrix (tests/chaos_overload.rs, release)"
+for seed in 1 2 3 4 5 6 7 8; do
+  for mode in default burst; do
+    echo "---- CHAOS_SEED=$seed CHAOS_OVERLOAD=$mode"
+    CHAOS_SEED=$seed CHAOS_OVERLOAD=$mode cargo test --release --test chaos_overload -q
+  done
+done
+
+echo "==> ablation_overload smoke (asserts interactive p99/goodput within 2x of baseline under 4x overload, class-ordered shedding)"
+cargo run --release -p ids-bench --bin ablation_overload
 
 echo "CI OK"

@@ -128,7 +128,12 @@ fn run_cell(clients: usize, reuse: bool) -> Cell {
     let inst = launch();
     let mut svc = QueryService::new(
         inst,
-        ServeConfig { quantum_secs: 1.0e-5, reuse, max_in_flight: usize::MAX },
+        ServeConfig {
+            quantum_secs: 1.0e-5,
+            reuse,
+            max_in_flight: usize::MAX,
+            ..ServeConfig::default()
+        },
     );
     let pool = query_pool();
     let mut sessions = Vec::new();

@@ -146,6 +146,15 @@ impl IdsInstance {
         &self.cluster
     }
 
+    /// Mutable cluster access for membership changes driven from outside
+    /// the engine — the service tier's elastic scale-out/in re-owns
+    /// logical shards (`Cluster::rebalance_owners`) and charges reconfig
+    /// time here. Only safe between query steps: shard ownership must
+    /// not move while a compute phase is in flight.
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
     /// Per-rank profilers (read-only view).
     pub fn profilers(&self) -> &[UdfProfiler] {
         &self.profilers

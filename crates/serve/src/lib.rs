@@ -47,10 +47,26 @@
 //! assert!(done.iter().all(|c| c.result.as_ref().unwrap().solutions.len() == 4));
 //! ```
 
+//!
+//! Under overload the service degrades by SLO class instead of
+//! collapsing: [`TenantConfig`] carries an [`SloClass`]
+//! (`Interactive`/`Batch`/`BestEffort`) that orders and rate-scales each
+//! scheduler round, a hysteresis [`slo::ShedController`] refuses
+//! `BestEffort` then `Batch` admissions past a queue-occupancy high-water
+//! mark (typed, retryable [`ServeError::Shed`]), and an optional
+//! [`elastic::ElasticityController`] grows/shrinks the active node set
+//! under sustained queue pressure — reusing the cache's crash-recovery +
+//! anti-entropy machinery for joiners and the engine's shard re-owning
+//! for drains.
+
+pub mod elastic;
 pub mod error;
 pub mod service;
+pub mod slo;
 
-pub use error::ServeError;
+pub use elastic::{ElasticityConfig, ScaleDecision, ScaleEvent};
+pub use error::{Refusal, ServeError};
 pub use service::{
     Completed, QueryId, QueryService, ServeConfig, SessionId, SliceRecord, TenantConfig,
 };
+pub use slo::{ShedConfig, SloClass};

@@ -3,18 +3,38 @@
 //!
 //! One [`QueryService`] owns one [`IdsInstance`] and multiplexes many
 //! tenants over it. Queries are admitted into bounded per-tenant queues,
-//! then interleaved at *pipeline-stage granularity* by a weighted
-//! deficit-round-robin (WDRR) scheduler running on the instance's virtual
-//! clock: each scheduling slice steps one query's [`PlanRun`] through one
-//! BSP stage, charges the stage's virtual cost against the tenant's
-//! deficit, and moves on. Everything is single-threaded and seeded, so a
-//! given (seed, workload) pair replays byte-identically — including the
-//! scheduler's slice trace, which hashes to a stable digest via
-//! [`QueryService::trace_hash`].
+//! then interleaved at *pipeline-stage granularity* by a class-aware
+//! weighted deficit-round-robin (WDRR) scheduler running on the instance's
+//! virtual clock: each scheduling slice steps one query's [`PlanRun`]
+//! through one BSP stage, charges the stage's virtual cost against the
+//! tenant's deficit, and moves on. Everything is single-threaded and
+//! seeded, so a given (seed, workload) pair replays byte-identically —
+//! including the scheduler's slice trace, which hashes to a stable digest
+//! via [`QueryService::trace_hash`].
+//!
+//! Three overload-survivability mechanisms ride on top of the scheduler
+//! (see `crate::slo` and `crate::elastic` for the controllers):
+//!
+//! * each tenant's [`SloClass`] orders it within a round and scales its
+//!   deficit rate; a starving `Batch`/`BestEffort` tenant whose head
+//!   query ages past its promotion threshold is scheduled one class up
+//!   (**deadline-based promotion**), so low classes degrade to slower —
+//!   never to stuck;
+//! * past a queue-occupancy high-water mark the service **sheds load**,
+//!   refusing `BestEffort` admissions first and `Batch` next with typed
+//!   retryable [`ServeError::Shed`] errors, protecting `Interactive`
+//!   goodput instead of collapsing every class together;
+//! * sustained queue pressure **scales the active node set out** (and
+//!   sustained slack scales it back in), reusing the cache's crash
+//!   recovery + anti-entropy re-replication for joiners and the engine's
+//!   shard re-owning for drains.
 
-use crate::error::ServeError;
+use crate::elastic::{ElasticityController, ScaleDecision, ScaleEvent};
+use crate::error::{Refusal, ServeError};
+use crate::slo::{ShedConfig, ShedController, SloClass};
 use ids_core::{ExecError, IdsInstance, PlanRun, QueryError, QueryOutcome, StepOutcome};
 use ids_simrt::rng::{fnv1a, hash_combine};
+use ids_simrt::{NodeId, RankId};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Service-wide configuration.
@@ -26,13 +46,34 @@ pub struct ServeConfig {
     /// Enable semantic result reuse (plan-fragment checkpoints in the
     /// instance's attached cache). Off = every query executes cold.
     pub reuse: bool,
-    /// Global bound on queued queries across all tenants.
+    /// Global bound on queued queries across all tenants. Also the
+    /// denominator of the load-shedding occupancy signal.
     pub max_in_flight: usize,
+    /// Hysteresis thresholds for the load-shedding controller.
+    pub shed: ShedConfig,
+    /// Deadline-based promotion: a non-`Interactive` tenant whose head
+    /// query has aged past this fraction of its tenant deadline is
+    /// scheduled one class up for the round.
+    pub promote_deadline_frac: f64,
+    /// Promotion threshold (virtual seconds) for tenants without a
+    /// deadline.
+    pub promote_wait_secs: f64,
+    /// Elastic scale-out/in policy. `None` = fixed membership (every
+    /// cluster node active), the pre-elasticity behavior.
+    pub elasticity: Option<crate::elastic::ElasticityConfig>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { quantum_secs: 0.05, reuse: true, max_in_flight: 256 }
+        Self {
+            quantum_secs: 0.05,
+            reuse: true,
+            max_in_flight: 256,
+            shed: ShedConfig::default(),
+            promote_deadline_frac: 0.5,
+            promote_wait_secs: 1.0,
+            elasticity: None,
+        }
     }
 }
 
@@ -50,12 +91,22 @@ pub struct TenantConfig {
     /// Queries still queued or running past it are aborted with
     /// [`ServeError::DeadlineExceeded`].
     pub deadline_secs: Option<f64>,
+    /// SLO class: orders the tenant within each scheduler round, scales
+    /// its deficit rate, and decides when overload sheds its traffic.
+    pub class: SloClass,
 }
 
 impl TenantConfig {
-    /// A weight-1 tenant with an 8-deep queue and no deadline.
+    /// A weight-1 `Interactive` tenant with an 8-deep queue and no
+    /// deadline.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), weight: 1, max_queued: 8, deadline_secs: None }
+        Self {
+            name: name.into(),
+            weight: 1,
+            max_queued: 8,
+            deadline_secs: None,
+            class: SloClass::Interactive,
+        }
     }
 
     /// Set the fair-share weight.
@@ -73,6 +124,12 @@ impl TenantConfig {
     /// Set the per-query deadline.
     pub fn with_deadline(mut self, secs: f64) -> Self {
         self.deadline_secs = Some(secs);
+        self
+    }
+
+    /// Set the SLO class.
+    pub fn with_class(mut self, class: SloClass) -> Self {
+        self.class = class;
         self
     }
 }
@@ -107,6 +164,8 @@ pub struct SliceRecord {
 pub struct Completed {
     /// Owning tenant.
     pub tenant: String,
+    /// The tenant's SLO class at completion time.
+    pub class: SloClass,
     /// Session the query was submitted on.
     pub session: SessionId,
     /// The admitted query id.
@@ -153,13 +212,25 @@ pub struct QueryService {
     next_session: u64,
     next_query: u64,
     trace: Vec<SliceRecord>,
+    shed: ShedController,
+    elastic: Option<ElasticityController>,
+    scale_events: Vec<ScaleEvent>,
+    /// Admissions refused (shed or overloaded) since the last scheduler
+    /// round — demand the queue length cannot see because it was turned
+    /// away at the door. Folded into the elasticity pressure signal so
+    /// tight admission control does not starve scale-out of evidence.
+    refused_since_round: usize,
 }
 
 impl QueryService {
     /// Wrap an instance. The instance keeps its datastore, cache, faults,
-    /// and profilers — the service only adds multiplexing on top.
+    /// and profilers — the service only adds multiplexing on top. With
+    /// elasticity configured, the service starts at the policy's
+    /// `min_nodes`: the remaining cluster nodes are parked (shards
+    /// re-owned onto the active set, cache copies fenced) until queue
+    /// pressure scales them in.
     pub fn new(inst: IdsInstance, cfg: ServeConfig) -> Self {
-        Self {
+        let mut svc = Self {
             inst,
             cfg,
             tenants: BTreeMap::new(),
@@ -167,7 +238,26 @@ impl QueryService {
             next_session: 0,
             next_query: 0,
             trace: Vec::new(),
+            shed: ShedController::new(cfg.shed),
+            elastic: cfg.elasticity.map(ElasticityController::new),
+            scale_events: Vec::new(),
+            refused_since_round: 0,
+        };
+        if let Some(el) = &svc.elastic {
+            let active = el.active_nodes();
+            let topo = *svc.inst.cluster().topology();
+            // Park everything past the initial active set through the
+            // same fault-plane surface a crash uses.
+            if let Some(cache) = svc.inst.cache().cloned() {
+                for node in active..topo.nodes() {
+                    cache.fail_node(NodeId(node));
+                }
+            }
+            let ranks = svc.active_rank_set(active);
+            svc.inst.cluster_mut().rebalance_owners(&ranks);
+            svc.inst.metrics().gauge("ids_serve_active_nodes").set(active as i64);
         }
+        svc
     }
 
     /// Register a tenant (idempotent by name: re-registering replaces the
@@ -210,9 +300,9 @@ impl QueryService {
     }
 
     /// Submit a query on a session. Admission control runs here: unknown
-    /// or closed sessions, full queues, and parse/plan failures are all
-    /// refused with a typed error; admitted queries are parsed, planned,
-    /// and queued for the scheduler.
+    /// or closed sessions, shed SLO classes, full queues, and parse/plan
+    /// failures are all refused with a typed error; admitted queries are
+    /// parsed, planned, and queued for the scheduler.
     pub fn submit(&mut self, session: SessionId, iql: &str) -> Result<QueryId, ServeError> {
         let tenant_name = {
             let s = self.sessions.get(&session.0).ok_or(ServeError::UnknownSession(session.0))?;
@@ -226,16 +316,37 @@ impl QueryService {
             .tenants
             .get(&tenant_name)
             .ok_or_else(|| ServeError::UnknownTenant(tenant_name.clone()))?;
+        let class = tenant.cfg.class;
+        // Load shedding runs before the per-tenant queue bound: the
+        // controller observes the current occupancy and refuses sheddable
+        // classes past the high-water mark.
+        self.shed.observe(total_queued as f64 / self.cfg.max_in_flight.max(1) as f64);
+        if self.shed.sheds(class) {
+            let m = self.inst.metrics();
+            m.counter_with("ids_serve_shed_total", "class", class.label().to_string()).inc();
+            m.counter_with("ids_serve_shed_tenant_total", "tenant", tenant_name.clone()).inc();
+            let refusal = Refusal::backoff(
+                tenant_name,
+                total_queued,
+                self.cfg.quantum_secs,
+                tenant.cfg.weight * class.weight_mult(),
+            );
+            self.refused_since_round += 1;
+            return Err(ServeError::Shed { refusal, class });
+        }
         if tenant.queue.len() >= tenant.cfg.max_queued || total_queued >= self.cfg.max_in_flight {
-            // Deterministic back-off hint: one fair-share round per queued
-            // query ahead of this one.
-            let retry_after_secs = (tenant.queue.len() as f64 + 1.0) * self.cfg.quantum_secs
-                / tenant.cfg.weight as f64;
             self.inst
                 .metrics()
                 .counter_with("ids_serve_overloaded_total", "tenant", tenant_name.clone())
                 .inc();
-            return Err(ServeError::Overloaded { tenant: tenant_name, retry_after_secs });
+            let err = ServeError::Overloaded(Refusal::backoff(
+                tenant_name,
+                tenant.queue.len(),
+                self.cfg.quantum_secs,
+                tenant.cfg.weight,
+            ));
+            self.refused_since_round += 1;
+            return Err(err);
         }
         let run = match self.inst.prepare_run(iql, self.cfg.reuse) {
             Ok(run) => run,
@@ -250,13 +361,10 @@ impl QueryService {
         let id = QueryId(self.next_query);
         self.next_query += 1;
         let enqueued_at = self.inst.cluster().elapsed();
-        self.inst
-            .metrics()
-            .counter_with("ids_serve_admitted_total", "tenant", tenant_name.clone())
-            .inc();
-        self.inst
-            .metrics()
-            .gauge_with("ids_serve_queue_depth", "tenant", tenant_name.clone())
+        let m = self.inst.metrics();
+        m.counter_with("ids_serve_admitted_total", "tenant", tenant_name.clone()).inc();
+        m.counter_with("ids_serve_class_admitted_total", "class", class.label().to_string()).inc();
+        m.gauge_with("ids_serve_queue_depth", "tenant", tenant_name.clone())
             .set(tenant.queue.len() as i64 + 1);
         // Looked up immutably above; a miss here means the tenant table
         // mutated mid-submit. Degrade to a typed error instead of panicking
@@ -281,35 +389,114 @@ impl QueryService {
         Ok(id)
     }
 
-    /// Drive every queued query to completion under weighted deficit
-    /// round-robin and return the finished queries in completion order.
+    /// Drive every queued query to completion under class-aware weighted
+    /// deficit round-robin and return the finished queries in completion
+    /// order.
     ///
-    /// Each round visits tenants in name order; a tenant with queued work
-    /// earns `weight × quantum` virtual seconds of deficit and spends it
-    /// stepping its oldest query one pipeline stage at a time. Stage costs
-    /// come off the instance's virtual clock, so an expensive APPLY stage
-    /// exhausts the deficit quickly and yields to other tenants, while
-    /// cheap scans interleave tightly.
+    /// Each round visits SLO classes in priority order (`Interactive`,
+    /// `Batch`, `BestEffort`) and tenants in name order within a class; a
+    /// tenant with queued work earns `weight × class multiplier × quantum`
+    /// virtual seconds of deficit and spends it stepping its oldest query
+    /// one pipeline stage at a time. Stage costs come off the instance's
+    /// virtual clock, so an expensive APPLY stage exhausts the deficit
+    /// quickly and yields to other tenants, while cheap scans interleave
+    /// tightly. Every tenant with work is visited every round, so nonzero
+    /// weight guarantees progress — lower classes degrade to slower, not
+    /// to starved.
     pub fn run_until_idle(&mut self) -> Vec<Completed> {
         let mut done = Vec::new();
-        let names: Vec<String> = self.tenants.keys().cloned().collect();
         while self.tenants.values().any(|t| !t.queue.is_empty()) {
-            for name in &names {
-                self.run_tenant_round(name, &mut done);
-            }
+            self.round(&mut done);
         }
         done
     }
 
-    fn run_tenant_round(&mut self, name: &str, done: &mut Vec<Completed>) {
+    /// Run exactly one scheduler round (all classes, all tenants with
+    /// work) and return whatever completed. Open-loop drivers and the
+    /// retrying client use this to interleave scheduling with arrivals;
+    /// an idle round still updates the shedding and elasticity
+    /// controllers, so pressure signals decay while no work is queued.
+    pub fn run_round(&mut self) -> Vec<Completed> {
+        let mut done = Vec::new();
+        self.round(&mut done);
+        done
+    }
+
+    fn round(&mut self, done: &mut Vec<Completed>) {
+        let now = self.inst.cluster().elapsed();
+        // Bucket tenants by *effective* class: a non-Interactive tenant
+        // whose head query has aged past its promotion threshold runs one
+        // class up this round (deadline-based promotion), earning the
+        // higher class's deficit rate and position in the round.
+        let mut buckets: [Vec<(String, u32)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let inst = &self.inst;
+        let cfg = &self.cfg;
+        for (name, t) in self.tenants.iter_mut() {
+            if t.queue.is_empty() {
+                // WDRR: idle tenants don't bank credit.
+                t.deficit = 0.0;
+                continue;
+            }
+            let base = t.cfg.class;
+            let mut eff = base;
+            if base != SloClass::Interactive {
+                if let Some(job) = t.queue.front() {
+                    let age = now - job.enqueued_at;
+                    let promote = match t.cfg.deadline_secs {
+                        Some(d) => age > cfg.promote_deadline_frac * d,
+                        None => age > cfg.promote_wait_secs,
+                    };
+                    if promote {
+                        eff = base.promoted();
+                        inst.metrics()
+                            .counter_with(
+                                "ids_serve_promotions_total",
+                                "class",
+                                base.label().to_string(),
+                            )
+                            .inc();
+                    }
+                }
+            }
+            let slot = match eff {
+                SloClass::Interactive => 0,
+                SloClass::Batch => 1,
+                SloClass::BestEffort => 2,
+            };
+            buckets[slot].push((name.clone(), eff.weight_mult()));
+        }
+        for bucket in buckets {
+            for (name, class_mult) in bucket {
+                self.run_tenant_round(&name, class_mult, done);
+            }
+        }
+        // End-of-round controller updates: shedding hysteresis decays as
+        // the queue drains, and sustained pressure drives elasticity. The
+        // pressure signal is queue depth *plus* the admissions refused
+        // since the last round: under tight admission control the queue
+        // stays short precisely because demand is being turned away, and
+        // that refused demand is exactly the evidence scale-out needs.
+        let queued = self.queued();
+        self.shed.observe(queued as f64 / self.cfg.max_in_flight.max(1) as f64);
+        let pressure = queued + std::mem::take(&mut self.refused_since_round);
+        self.maybe_rescale(pressure);
+    }
+
+    fn run_tenant_round(&mut self, name: &str, class_mult: u32, done: &mut Vec<Completed>) {
         let Some(tenant) = self.tenants.get_mut(name) else { return };
         if tenant.queue.is_empty() {
             // WDRR: idle tenants don't bank credit.
             tenant.deficit = 0.0;
             return;
         }
-        tenant.deficit += tenant.cfg.weight as f64 * self.cfg.quantum_secs;
-        while tenant.deficit > 0.0 {
+        let class = tenant.cfg.class;
+        tenant.deficit += (tenant.cfg.weight * class_mult) as f64 * self.cfg.quantum_secs;
+        // Progress floor: even a tenant deep in deficit debt (one
+        // expensive stage can overdraw many quanta) steps at least once
+        // per round. Nonzero weight therefore guarantees per-round
+        // progress — low classes degrade to slower, never to starved.
+        let mut first_slice_of_round = true;
+        while std::mem::take(&mut first_slice_of_round) || tenant.deficit > 0.0 {
             let now = self.inst.cluster().elapsed();
             let Some(job) = tenant.queue.front_mut() else { break };
             // Deadline check happens on the scheduler clock, before the
@@ -342,6 +529,7 @@ impl QueryService {
                     done.push(finish(
                         &self.inst,
                         tenant_name.clone(),
+                        class,
                         job,
                         now,
                         Err(ServeError::DeadlineExceeded {
@@ -422,7 +610,14 @@ impl QueryService {
                             .inc();
                         break;
                     };
-                    done.push(finish(&self.inst, name.to_string(), job, ended_at, Ok(*outcome)));
+                    done.push(finish(
+                        &self.inst,
+                        name.to_string(),
+                        class,
+                        job,
+                        ended_at,
+                        Ok(*outcome),
+                    ));
                 }
                 Err(e) => {
                     let Some(job) = tenant.queue.pop_front() else {
@@ -439,9 +634,9 @@ impl QueryService {
                     // A blown recovery budget maps to the typed retryable
                     // refusal: the dead ranks are already retired, so a
                     // resubmission re-plans onto the survivors from the
-                    // start. The back-off hint mirrors the Overloaded
-                    // formula — one fair-share quantum per queued job —
-                    // and is fully deterministic.
+                    // start. The shared back-off formula lives on
+                    // `Refusal`, so the hint cannot drift from the
+                    // Overloaded/Shed shapes.
                     let err = match e {
                         QueryError::Exec(ExecError::RecoveryExhausted { attempts, .. }) => {
                             self.inst
@@ -452,21 +647,97 @@ impl QueryService {
                                     name.to_string(),
                                 )
                                 .inc();
-                            let retry_after_secs = (tenant.queue.len() as f64 + 1.0)
-                                * self.cfg.quantum_secs
-                                / tenant.cfg.weight as f64;
                             ServeError::RecoveryExhausted {
-                                tenant: name.to_string(),
+                                refusal: Refusal::backoff(
+                                    name,
+                                    tenant.queue.len(),
+                                    self.cfg.quantum_secs,
+                                    tenant.cfg.weight,
+                                ),
                                 attempts,
-                                retry_after_secs,
                             }
                         }
                         other => ServeError::Exec(other.to_string()),
                     };
-                    done.push(finish(&self.inst, name.to_string(), job, ended_at, Err(err)));
+                    done.push(finish(&self.inst, name.to_string(), class, job, ended_at, Err(err)));
                 }
             }
         }
+    }
+
+    /// Ranks hosted on the first `active_nodes` nodes that are still
+    /// cluster-live (permanently killed ranks stay excluded).
+    fn active_rank_set(&self, active_nodes: u32) -> Vec<RankId> {
+        let topo = *self.inst.cluster().topology();
+        let cluster = self.inst.cluster();
+        (0..active_nodes.min(topo.nodes()))
+            .flat_map(|n| topo.ranks_on(NodeId(n)))
+            .filter(|&r| cluster.is_live(r))
+            .collect()
+    }
+
+    fn maybe_rescale(&mut self, pressure: usize) {
+        let Some(el) = self.elastic.as_mut() else { return };
+        let active_ranks = self.inst.cluster().topology().ranks_per_node() * el.active_nodes();
+        let decision = el.observe(pressure, active_ranks as usize);
+        let after = el.active_nodes();
+        match decision {
+            ScaleDecision::Hold => {}
+            // Out activates node `after - 1`; In drains node `after` (the
+            // one just past the shrunken active set).
+            ScaleDecision::Out => self.apply_membership(decision, after - 1, after),
+            ScaleDecision::In => self.apply_membership(decision, after, after),
+        }
+    }
+
+    /// Apply one membership change through the existing fault machinery:
+    /// joiners rejoin the cache like a recovered crash and get
+    /// re-replicated by a forced anti-entropy pass; leavers are drained
+    /// by re-owning their shards onto the survivors (the dead-rank
+    /// re-planning path) before their cache copies are fenced.
+    fn apply_membership(&mut self, decision: ScaleDecision, node: u32, active_nodes: u32) {
+        let cache = self.inst.cache().cloned();
+        let m = self.inst.metrics();
+        match decision {
+            ScaleDecision::Out => {
+                if let Some(cache) = &cache {
+                    cache.recover_node(NodeId(node));
+                    // Re-replicate under-replicated objects onto the
+                    // (empty) joiner now, not lazily: the same forced
+                    // anti-entropy pass post-crash recovery uses.
+                    let report = cache.anti_entropy();
+                    m.counter("ids_serve_scale_rereplications_total").add(report.re_replicated);
+                }
+                m.counter("ids_serve_scale_out_total").inc();
+            }
+            ScaleDecision::In => {
+                m.counter("ids_serve_scale_in_total").inc();
+            }
+            ScaleDecision::Hold => return,
+        }
+        let ranks = self.active_rank_set(active_nodes);
+        let moved = self.inst.cluster_mut().rebalance_owners(&ranks);
+        if let (ScaleDecision::In, Some(cache)) = (decision, &cache) {
+            // Shards are off the leaver now; fencing its cache copies
+            // last keeps them readable during the drain.
+            cache.fail_node(NodeId(node));
+        }
+        let reconfig = self.cfg.elasticity.map_or(0.0, |e| e.reconfig_secs);
+        self.inst.cluster_mut().charge_all(reconfig);
+        let at_secs = self.inst.cluster().elapsed();
+        let m = self.inst.metrics();
+        m.counter("ids_serve_moved_shards_total").add(moved as u64);
+        m.gauge("ids_serve_active_nodes").set(active_nodes as i64);
+        m.spans().record(
+            "serve.rescale",
+            format!(
+                "{} node {node}: {active_nodes} active, {moved} shards re-owned",
+                if decision == ScaleDecision::Out { "scale-out onto" } else { "drain of" }
+            ),
+            at_secs,
+            at_secs,
+        );
+        self.scale_events.push(ScaleEvent { at_secs, decision, node, active_nodes });
     }
 
     /// The scheduler slice trace accumulated so far.
@@ -508,12 +779,38 @@ impl QueryService {
     pub fn queued(&self) -> usize {
         self.tenants.values().map(|t| t.queue.len()).sum()
     }
+
+    /// Per-tenant queue depths (registered tenants with empty queues
+    /// included), in name order.
+    pub fn queue_depths(&self) -> BTreeMap<String, usize> {
+        self.tenants.iter().map(|(n, t)| (n.clone(), t.queue.len())).collect()
+    }
+
+    /// Current (best_effort, batch) shedding state.
+    pub fn shed_state(&self) -> (bool, bool) {
+        self.shed.state()
+    }
+
+    /// Membership changes applied so far, in virtual-time order.
+    pub fn scale_events(&self) -> &[ScaleEvent] {
+        &self.scale_events
+    }
+
+    /// Nodes currently active (= the cluster's node count when
+    /// elasticity is off).
+    pub fn active_nodes(&self) -> u32 {
+        match &self.elastic {
+            Some(el) => el.active_nodes(),
+            None => self.inst.cluster().topology().nodes(),
+        }
+    }
 }
 
 /// Build the completion record and emit per-tenant service metrics.
 fn finish(
     inst: &IdsInstance,
     tenant: String,
+    class: SloClass,
     job: Job,
     finished_at: f64,
     result: Result<QueryOutcome, ServeError>,
@@ -525,11 +822,17 @@ fn finish(
         .observe(queue_wait_secs.max(0.0));
     m.histogram_with("ids_serve_latency_secs", "tenant", tenant.clone())
         .observe(latency_secs.max(0.0));
+    m.histogram_with("ids_serve_class_latency_secs", "class", class.label().to_string())
+        .observe(latency_secs.max(0.0));
     let counter =
         if result.is_ok() { "ids_serve_completed_total" } else { "ids_serve_failed_total" };
     m.counter_with(counter, "tenant", tenant.clone()).inc();
+    if result.is_ok() {
+        m.counter_with("ids_serve_class_completed_total", "class", class.label().to_string()).inc();
+    }
     Completed {
         tenant,
+        class,
         session: job.session,
         query: job.id,
         result,
@@ -543,6 +846,7 @@ fn finish(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::elastic::ElasticityConfig;
     use ids_cache::{BackingStore, CacheConfig, CacheManager};
     use ids_core::IdsConfig;
     use ids_graph::Term;
@@ -579,6 +883,38 @@ mod tests {
         inst
     }
 
+    /// A 4-node × 1-rank instance (elasticity scales whole nodes, so the
+    /// single-node laptop topology cannot exercise it).
+    fn multi_node_instance(seed: u64) -> IdsInstance {
+        let topo = Topology::new(4, 1);
+        let mut cfg = IdsConfig::laptop(topo.total_ranks(), seed);
+        cfg.topology = topo;
+        let mut inst = IdsInstance::launch(cfg);
+        let ds = inst.datastore();
+        for i in 0..20 {
+            ds.add_fact(
+                &Term::iri(format!("p:{i}")),
+                &Term::iri("rdf:type"),
+                &Term::iri("up:Protein"),
+            );
+        }
+        for c in 0..40 {
+            ds.add_fact(
+                &Term::iri(format!("c:{c}")),
+                &Term::iri("inhibits"),
+                &Term::iri(format!("p:{}", c % 20)),
+            );
+        }
+        ds.build_indexes();
+        inst.attach_cache(Arc::new(CacheManager::new(
+            topo,
+            NetworkModel::slingshot(),
+            CacheConfig::new(4, 16 << 20, 64 << 20).with_replication(2),
+            BackingStore::default_store(),
+        )));
+        inst
+    }
+
     fn service(seed: u64, with_cache: bool) -> QueryService {
         let mut svc = QueryService::new(demo_instance(seed, with_cache), ServeConfig::default());
         svc.register_tenant(TenantConfig::new("alice"));
@@ -605,9 +941,12 @@ mod tests {
         assert_eq!(by_id(qb).result.as_ref().unwrap().solutions.len(), 40);
         assert!(done.iter().all(|c| c.slices >= 2), "stage granularity: several slices each");
         assert!(done.iter().all(|c| c.latency_secs >= c.queue_wait_secs));
+        assert!(done.iter().all(|c| c.class == SloClass::Interactive), "default class");
         let snap = svc.instance().metrics_snapshot();
         assert_eq!(snap.counter("ids_serve_admitted_total", "alice"), 1);
         assert_eq!(snap.counter("ids_serve_completed_total", "bob"), 1);
+        assert_eq!(snap.counter("ids_serve_class_admitted_total", "interactive"), 2);
+        assert_eq!(snap.counter("ids_serve_class_completed_total", "interactive"), 2);
         assert!(snap.counter("ids_serve_slices_total", "alice") >= 2);
     }
 
@@ -648,11 +987,11 @@ mod tests {
         svc.submit(a, Q_PROTEINS).unwrap();
         svc.submit(a, Q_PROTEINS).unwrap();
         let err = svc.submit(a, Q_PROTEINS).unwrap_err();
-        let ServeError::Overloaded { tenant, retry_after_secs } = &err else {
+        let ServeError::Overloaded(refusal) = &err else {
             panic!("expected overload, got {err}");
         };
-        assert_eq!(tenant, "alice");
-        assert!(*retry_after_secs > 0.0);
+        assert_eq!(refusal.tenant, "alice");
+        assert!(refusal.retry_after_secs > 0.0);
         assert!(err.is_retryable());
         // Draining the queue makes room again.
         svc.run_until_idle();
@@ -689,6 +1028,201 @@ mod tests {
         // Weight 3 lets alice finish her backlog no later than bob.
         let finish_of = |t: &str| done.iter().rposition(|c| c.tenant == t).unwrap();
         assert!(finish_of("alice") <= finish_of("bob"));
+    }
+
+    #[test]
+    fn classes_order_rounds_and_scale_service_rates() {
+        // Same weight, different classes: the Interactive tenant's higher
+        // deficit rate and round position finish its backlog first even
+        // though the BestEffort tenant registered first alphabetically.
+        let mut svc = QueryService::new(
+            demo_instance(7, false),
+            ServeConfig { quantum_secs: 1.0e-5, ..ServeConfig::default() },
+        );
+        svc.register_tenant(TenantConfig::new("aa-scavenger").with_class(SloClass::BestEffort));
+        svc.register_tenant(TenantConfig::new("zz-human").with_class(SloClass::Interactive));
+        let s = svc.open_session("aa-scavenger").unwrap();
+        let h = svc.open_session("zz-human").unwrap();
+        for _ in 0..3 {
+            svc.submit(s, Q_JOIN).unwrap();
+            svc.submit(h, Q_JOIN).unwrap();
+        }
+        let done = svc.run_until_idle();
+        assert_eq!(done.len(), 6);
+        let finish_of = |t: &str| done.iter().rposition(|c| c.tenant == t).unwrap();
+        assert!(
+            finish_of("zz-human") < finish_of("aa-scavenger"),
+            "Interactive backlog completes first despite name order"
+        );
+        // Both made progress every round: the scavenger still completed.
+        assert_eq!(done.iter().filter(|c| c.class == SloClass::BestEffort).count(), 3);
+    }
+
+    #[test]
+    fn aged_best_effort_head_is_promoted() {
+        let mut svc = QueryService::new(
+            demo_instance(7, false),
+            ServeConfig {
+                quantum_secs: 1.0e-5,
+                promote_wait_secs: 1.0e-7,
+                ..ServeConfig::default()
+            },
+        );
+        svc.register_tenant(TenantConfig::new("batchy").with_class(SloClass::Batch));
+        let b = svc.open_session("batchy").unwrap();
+        svc.submit(b, Q_JOIN).unwrap();
+        // Age the queued head past the promotion threshold.
+        svc.instance_mut().cluster_mut().charge_all(1.0e-3);
+        let done = svc.run_until_idle();
+        assert_eq!(done.len(), 1);
+        let snap = svc.instance().metrics_snapshot();
+        assert!(
+            snap.counter("ids_serve_promotions_total", "batch") >= 1,
+            "aged Batch head ran in the Interactive pass"
+        );
+    }
+
+    #[test]
+    fn shedding_is_class_ordered_with_hysteresis() {
+        // Tiny global bound so a handful of queued queries saturates it.
+        let mut svc = QueryService::new(
+            demo_instance(7, false),
+            ServeConfig { max_in_flight: 4, ..ServeConfig::default() },
+        );
+        svc.register_tenant(
+            TenantConfig::new("human").with_class(SloClass::Interactive).with_max_queued(16),
+        );
+        svc.register_tenant(
+            TenantConfig::new("pipeline").with_class(SloClass::Batch).with_max_queued(16),
+        );
+        svc.register_tenant(
+            TenantConfig::new("scavenger").with_class(SloClass::BestEffort).with_max_queued(16),
+        );
+        let h = svc.open_session("human").unwrap();
+        let p = svc.open_session("pipeline").unwrap();
+        let s = svc.open_session("scavenger").unwrap();
+        // Occupancy 2/4 crosses the BestEffort enter mark (0.5) but not
+        // the Batch mark (0.75).
+        svc.submit(h, Q_PROTEINS).unwrap();
+        svc.submit(h, Q_PROTEINS).unwrap();
+        let err = svc.submit(s, Q_PROTEINS).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Shed { class: SloClass::BestEffort, .. }),
+            "BestEffort shed first: {err}"
+        );
+        assert!(err.is_retryable());
+        assert!(err.retry_after_secs().unwrap() > 0.0);
+        // Batch still admitted at this occupancy...
+        svc.submit(p, Q_PROTEINS).unwrap();
+        // ...until the queue grows past its own mark (4/4 ≥ 0.75).
+        svc.submit(h, Q_PROTEINS).unwrap();
+        let err = svc.submit(p, Q_PROTEINS).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Shed { class: SloClass::Batch, .. }),
+            "Batch sheds only past its higher mark: {err}"
+        );
+        // Interactive is never shed: at full occupancy its refusal is the
+        // plain queue-bound Overloaded, not a class shed.
+        let err = svc.submit(h, Q_PROTEINS).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded(_)), "never Shed for interactive: {err}");
+        assert_eq!(svc.shed_state(), (true, true));
+        // Draining drops occupancy to zero: hysteresis exits and both
+        // classes admit again.
+        svc.run_until_idle();
+        assert_eq!(svc.shed_state(), (false, false));
+        svc.submit(s, Q_PROTEINS).unwrap();
+        svc.submit(p, Q_PROTEINS).unwrap();
+        let snap = svc.instance().metrics_snapshot();
+        assert!(snap.counter("ids_serve_shed_total", "best_effort") >= 1);
+        assert!(snap.counter("ids_serve_shed_total", "batch") >= 1);
+        assert_eq!(snap.counter("ids_serve_shed_total", "interactive"), 0);
+    }
+
+    #[test]
+    fn elasticity_scales_out_under_pressure_and_back_in_when_idle() {
+        let mut svc = QueryService::new(
+            multi_node_instance(7),
+            ServeConfig {
+                quantum_secs: 1.0e-5,
+                elasticity: Some(ElasticityConfig {
+                    min_nodes: 1,
+                    max_nodes: 4,
+                    scale_out_queue_per_rank: 2.0,
+                    scale_in_queue_per_rank: 0.25,
+                    sustain_rounds: 2,
+                    cooldown_rounds: 1,
+                    reconfig_secs: 1.0e-6,
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        svc.register_tenant(TenantConfig::new("alice").with_max_queued(64));
+        assert_eq!(svc.active_nodes(), 1, "starts at the policy floor");
+        let a = svc.open_session("alice").unwrap();
+        for _ in 0..12 {
+            svc.submit(a, Q_JOIN).unwrap();
+        }
+        let done = svc.run_until_idle();
+        assert_eq!(done.len(), 12);
+        assert!(done.iter().all(|c| c.result.is_ok()));
+        let outs = svc.scale_events().iter().filter(|e| e.decision == ScaleDecision::Out).count();
+        assert!(outs >= 1, "sustained backlog scales out: {:?}", svc.scale_events());
+        // Idle rounds drain the pressure signal and shrink back toward
+        // the floor.
+        let grown = svc.active_nodes();
+        for _ in 0..32 {
+            svc.run_round();
+        }
+        assert!(svc.active_nodes() < grown, "sustained slack scales back in");
+        let snap = svc.instance().metrics_snapshot();
+        assert!(snap.counter_sum("ids_serve_scale_out_total") >= 1);
+        assert!(snap.counter_sum("ids_serve_scale_in_total") >= 1);
+        assert!(snap.counter_sum("ids_serve_moved_shards_total") >= 1);
+    }
+
+    #[test]
+    fn elasticity_is_invisible_in_results() {
+        // Same workload with and without elastic membership churn: the
+        // rows of every query are byte-identical, because shard identity
+        // (not ownership) drives the data plane.
+        let run = |elasticity: Option<ElasticityConfig>| {
+            let mut svc = QueryService::new(
+                multi_node_instance(7),
+                ServeConfig { quantum_secs: 1.0e-5, elasticity, ..ServeConfig::default() },
+            );
+            svc.register_tenant(TenantConfig::new("alice").with_max_queued(64));
+            let a = svc.open_session("alice").unwrap();
+            for _ in 0..8 {
+                svc.submit(a, Q_JOIN).unwrap();
+            }
+            let done = svc.run_until_idle();
+            let mut rows: Vec<Vec<Vec<u64>>> = done
+                .iter()
+                .map(|c| {
+                    c.result
+                        .as_ref()
+                        .unwrap()
+                        .solutions
+                        .rows()
+                        .iter()
+                        .map(|r| r.iter().map(|t| t.raw()).collect())
+                        .collect()
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+        let fixed = run(None);
+        let elastic = run(Some(ElasticityConfig {
+            min_nodes: 1,
+            max_nodes: 4,
+            scale_out_queue_per_rank: 1.0,
+            scale_in_queue_per_rank: 0.25,
+            sustain_rounds: 2,
+            cooldown_rounds: 1,
+            reconfig_secs: 1.0e-6,
+        }));
+        assert_eq!(fixed, elastic, "membership churn never changes results");
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! SLO classes and the graceful load-shedding controller.
+//!
+//! Under overload a naive scheduler collapses every tenant together: queues
+//! grow without bound, every query's latency blows past its deadline, and
+//! goodput goes to zero for everyone at once. This module implements the
+//! standard production answer — *degrade by class*:
+//!
+//! * every tenant carries an [`SloClass`] (`Interactive` / `Batch` /
+//!   `BestEffort`) that scales its fair-share rate and orders it in each
+//!   scheduler round;
+//! * a [`ShedController`] watches queue occupancy on the virtual clock and,
+//!   past a high-water mark, starts refusing `BestEffort` admissions with a
+//!   typed retryable error; if pressure keeps climbing it sheds `Batch`
+//!   too. `Interactive` work is never shed — it can still see per-tenant
+//!   `Overloaded` refusals from its own queue bound, but the shared
+//!   capacity is reserved for it;
+//! * both thresholds have **hysteresis** (separate enter/exit marks) so
+//!   the controller cannot flap admit/refuse on every submission around
+//!   the boundary.
+//!
+//! Everything is driven by queue occupancy — a pure function of the
+//! deterministic scheduler state — so shedding decisions replay
+//! byte-identically for a given (seed, workload) pair.
+
+/// Service-level-objective class of a tenant's traffic.
+///
+/// Ordering is priority order: `Interactive < Batch < BestEffort`, so
+/// sorting by class visits the most latency-sensitive work first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SloClass {
+    /// Human-in-the-loop exploration: protected under overload, never
+    /// shed, highest per-round service rate.
+    Interactive,
+    /// Throughput-oriented work with loose latency expectations; shed
+    /// only when shedding `BestEffort` alone cannot relieve pressure.
+    Batch,
+    /// Scavenger traffic: first to be refused when the service saturates.
+    BestEffort,
+}
+
+impl SloClass {
+    /// All classes in scheduling (priority) order.
+    pub const ALL: [SloClass; 3] = [SloClass::Interactive, SloClass::Batch, SloClass::BestEffort];
+
+    /// Stable label for metrics and JSON dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "interactive",
+            SloClass::Batch => "batch",
+            SloClass::BestEffort => "best_effort",
+        }
+    }
+
+    /// Multiplier applied to the tenant's WDRR weight: an `Interactive`
+    /// tenant earns 4× the per-round virtual time of an equal-weight
+    /// `BestEffort` tenant.
+    pub fn weight_mult(self) -> u32 {
+        match self {
+            SloClass::Interactive => 4,
+            SloClass::Batch => 2,
+            SloClass::BestEffort => 1,
+        }
+    }
+
+    /// The next class up in priority (promotion target). `Interactive`
+    /// promotes to itself.
+    pub fn promoted(self) -> SloClass {
+        match self {
+            SloClass::Interactive | SloClass::Batch => SloClass::Interactive,
+            SloClass::BestEffort => SloClass::Batch,
+        }
+    }
+}
+
+/// Hysteresis thresholds for the load-shedding controller, expressed as
+/// queue occupancy — total queued queries over the service's global
+/// `max_in_flight` bound.
+#[derive(Debug, Clone, Copy)]
+pub struct ShedConfig {
+    /// Occupancy at which `BestEffort` admissions start being refused.
+    pub best_effort_enter: f64,
+    /// Occupancy below which `BestEffort` admissions resume. Must be
+    /// `< best_effort_enter` for the hysteresis band to exist.
+    pub best_effort_exit: f64,
+    /// Occupancy at which `Batch` admissions start being refused too.
+    pub batch_enter: f64,
+    /// Occupancy below which `Batch` admissions resume.
+    pub batch_exit: f64,
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        Self { best_effort_enter: 0.5, best_effort_exit: 0.35, batch_enter: 0.75, batch_exit: 0.55 }
+    }
+}
+
+/// Class-ordered admission gate with hysteresis.
+///
+/// The controller maintains one boolean per sheddable class. Invariant
+/// (enforced on every observation): shedding `Batch` implies shedding
+/// `BestEffort`, so refusals are always class-ordered — `BestEffort`
+/// traffic is never admitted while `Batch` traffic is refused.
+#[derive(Debug, Clone)]
+pub struct ShedController {
+    cfg: ShedConfig,
+    shed_best_effort: bool,
+    shed_batch: bool,
+}
+
+impl ShedController {
+    /// A controller that admits everything until the first observation
+    /// crosses an enter threshold.
+    pub fn new(cfg: ShedConfig) -> Self {
+        Self { cfg, shed_best_effort: false, shed_batch: false }
+    }
+
+    /// Feed the current queue occupancy (`queued / max_in_flight`) and
+    /// update the hysteresis state. Returns `true` if any class toggled.
+    pub fn observe(&mut self, occupancy: f64) -> bool {
+        let before = (self.shed_best_effort, self.shed_batch);
+        // Batch first: BestEffort's exit is gated on Batch no longer
+        // being shed, and must see this observation's Batch state.
+        if self.shed_batch {
+            if occupancy < self.cfg.batch_exit {
+                self.shed_batch = false;
+            }
+        } else if occupancy >= self.cfg.batch_enter {
+            self.shed_batch = true;
+        }
+        if self.shed_best_effort {
+            if occupancy < self.cfg.best_effort_exit && !self.shed_batch {
+                self.shed_best_effort = false;
+            }
+        } else if occupancy >= self.cfg.best_effort_enter {
+            self.shed_best_effort = true;
+        }
+        // Class order: shedding Batch while admitting BestEffort would
+        // invert the priority ladder.
+        if self.shed_batch {
+            self.shed_best_effort = true;
+        }
+        before != (self.shed_best_effort, self.shed_batch)
+    }
+
+    /// Is this class currently being refused? `Interactive` is never shed.
+    pub fn sheds(&self, class: SloClass) -> bool {
+        match class {
+            SloClass::Interactive => false,
+            SloClass::Batch => self.shed_batch,
+            SloClass::BestEffort => self.shed_best_effort,
+        }
+    }
+
+    /// Current (best_effort, batch) shedding state, for introspection.
+    pub fn state(&self) -> (bool, bool) {
+        (self.shed_best_effort, self.shed_batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_order_and_labels() {
+        assert!(SloClass::Interactive < SloClass::Batch);
+        assert!(SloClass::Batch < SloClass::BestEffort);
+        assert_eq!(SloClass::ALL.map(SloClass::label), ["interactive", "batch", "best_effort"]);
+        assert!(SloClass::Interactive.weight_mult() > SloClass::Batch.weight_mult());
+        assert!(SloClass::Batch.weight_mult() > SloClass::BestEffort.weight_mult());
+        assert_eq!(SloClass::BestEffort.promoted(), SloClass::Batch);
+        assert_eq!(SloClass::Batch.promoted(), SloClass::Interactive);
+        assert_eq!(SloClass::Interactive.promoted(), SloClass::Interactive);
+    }
+
+    #[test]
+    fn hysteresis_bands_do_not_flap() {
+        let mut c = ShedController::new(ShedConfig::default());
+        assert!(!c.sheds(SloClass::BestEffort));
+        // Crossing enter starts shedding; dropping just below enter (but
+        // above exit) keeps shedding — the hysteresis band.
+        assert!(c.observe(0.55));
+        assert!(c.sheds(SloClass::BestEffort));
+        assert!(!c.observe(0.45), "inside the band: no toggle");
+        assert!(c.sheds(SloClass::BestEffort));
+        // Only falling below exit re-admits.
+        assert!(c.observe(0.30));
+        assert!(!c.sheds(SloClass::BestEffort));
+    }
+
+    #[test]
+    fn shedding_is_class_ordered() {
+        let mut c = ShedController::new(ShedConfig::default());
+        // Interactive is never shed, whatever the pressure.
+        c.observe(10.0);
+        assert!(!c.sheds(SloClass::Interactive));
+        assert!(c.sheds(SloClass::Batch) && c.sheds(SloClass::BestEffort));
+        // While Batch is shed, BestEffort cannot be re-admitted even if
+        // occupancy dips into its exit band.
+        let mut c = ShedController::new(ShedConfig {
+            best_effort_enter: 0.5,
+            best_effort_exit: 0.35,
+            batch_enter: 0.75,
+            batch_exit: 0.2,
+        });
+        c.observe(0.8);
+        assert_eq!(c.state(), (true, true));
+        c.observe(0.3); // below BE exit, above Batch exit
+        assert!(c.sheds(SloClass::BestEffort), "class order holds while Batch is shed");
+        c.observe(0.1);
+        assert_eq!(c.state(), (false, false));
+    }
+
+    #[test]
+    fn best_effort_sheds_before_batch() {
+        let mut c = ShedController::new(ShedConfig::default());
+        c.observe(0.6);
+        assert!(c.sheds(SloClass::BestEffort) && !c.sheds(SloClass::Batch));
+        c.observe(0.8);
+        assert!(c.sheds(SloClass::Batch) && c.sheds(SloClass::BestEffort));
+    }
+}

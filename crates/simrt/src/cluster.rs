@@ -276,6 +276,30 @@ impl Cluster {
         RankId(self.owners.get(shard).copied().unwrap_or(shard as u32))
     }
 
+    /// Re-own every logical shard across `active` (shard `s` goes to
+    /// `active[s % active.len()]`), returning how many shards moved.
+    /// This is the membership-change form of [`Self::assign_shard`]: the
+    /// service tier's elastic scale-out/in drains a leaving node (its
+    /// shards re-own onto the survivors) or spreads load onto a joiner
+    /// with one call. Shard identity — not ownership — drives rng/hash/
+    /// row-order streams, so a rebalance never changes results, only
+    /// whose clock pays for each shard. An empty `active` set is a no-op
+    /// (there is nowhere to move work to).
+    pub fn rebalance_owners(&mut self, active: &[RankId]) -> usize {
+        if active.is_empty() {
+            return 0;
+        }
+        let mut moved = 0;
+        for s in 0..self.owners.len() {
+            let target = active[s % active.len()];
+            if self.owners[s] != target.0 {
+                self.owners[s] = target.0;
+                moved += 1;
+            }
+        }
+        moved
+    }
+
     /// Maximum virtual time across **live** ranks — the job's elapsed
     /// virtual wall-clock so far. Retired ranks' frozen clocks no longer
     /// bound progress (with everything dead, the frozen maximum is
@@ -1066,6 +1090,38 @@ mod tests {
         assert_eq!(base, moved, "shard identity drives the data plane, not ownership");
         assert!((b.clocks()[0] - 3.0).abs() < 1e-12, "rank 0 paid for 3 shards serially");
         assert!((b.clocks()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebalance_owners_moves_work_without_changing_results() {
+        let mut a = small();
+        let base = a.execute("w", |ctx| {
+            ctx.charge(1.0);
+            (ctx.rank().0, ctx.rng().next_u64())
+        });
+        // Concentrate all 8 shards onto ranks {0, 1} — the elastic
+        // scale-in shape (nodes 1..4 drained).
+        let mut b = small();
+        let active = [RankId(0), RankId(1)];
+        assert_eq!(b.rebalance_owners(&active), 6, "six shards changed owners");
+        assert_eq!(b.rebalance_owners(&active), 0, "idempotent on re-application");
+        for s in 0..8 {
+            assert_eq!(b.owner_of(s), active[s % 2]);
+        }
+        let moved = b.execute("w", |ctx| {
+            ctx.charge(1.0);
+            (ctx.rank().0, ctx.rng().next_u64())
+        });
+        assert_eq!(base, moved, "rebalance is invisible in results");
+        assert!((b.clocks()[0] - 4.0).abs() < 1e-12, "each survivor pays for 4 shards");
+        assert!((b.clocks()[2] - 0.0).abs() < 1e-12, "drained ranks pay nothing");
+        // Scaling back out redistributes onto the full rank set.
+        let all: Vec<RankId> = (0..8).map(RankId).collect();
+        assert_eq!(b.rebalance_owners(&all), 6);
+        assert_eq!(b.rebalance_owners(&[]), 0, "empty active set is a no-op");
+        for s in 0..8 {
+            assert_eq!(b.owner_of(s), RankId(s as u32));
+        }
     }
 
     #[test]

@@ -14,9 +14,21 @@
 //!   selectivity thresholds cut predictable candidate bands, reproducing
 //!   Table 2's compound-count blow-up), inhibitor compounds with valid
 //!   SMILES, and assay edges.
+//! * [`traffic`] — deterministic open-loop production traffic: Poisson
+//!   arrivals × Zipf tenant popularity with SLO-class striping, for the
+//!   overload ablation and chaos suites.
+//! * [`client`] — service clients: a retrying submitter that honors
+//!   `retry_after` hints with capped back-off on the virtual clock, and
+//!   the open-loop driver that replays a [`traffic`] schedule.
 
+pub mod client;
 pub mod ncnpr;
 pub mod sources;
+pub mod traffic;
 
+pub use client::{
+    drive_open_loop, submit_with_retry, OpenLoopReport, RefusalEvent, RetryOutcome, RetryPolicy,
+};
 pub use ncnpr::{NcnprConfig, NcnprDataset};
 pub use sources::{SourceKind, SourceStats};
+pub use traffic::{class_of, generate, Arrival, TrafficConfig};

@@ -1,0 +1,196 @@
+//! Open-loop production-traffic generator: Poisson arrivals × Zipf
+//! tenant popularity on the virtual clock.
+//!
+//! Closed-loop drivers (submit, wait, submit again) self-throttle under
+//! overload and therefore cannot expose it: the arrival rate silently
+//! drops to the service rate. An honest overload story needs **open-loop**
+//! traffic — arrivals keep coming at the offered rate whether or not the
+//! service keeps up, exactly like production front-ends fanning in
+//! thousands of independent users. This module pre-computes such a
+//! schedule deterministically from a seed:
+//!
+//! * **arrival times** — a Poisson process (i.i.d. exponential
+//!   inter-arrival gaps with the configured mean);
+//! * **tenant mix** — Zipf-distributed popularity over `tenants`
+//!   simulated tenants, reproducing the heavy-tailed "a few hot
+//!   investigative sessions, a long tail of occasional users" shape that
+//!   exploratory science traffic exhibits;
+//! * **SLO classes** — assigned per tenant by striping the configured
+//!   class fractions across the tenant index, so the Zipf head is spread
+//!   over all three classes instead of concentrating in one.
+//!
+//! Everything derives from `SplitMix64` streams keyed off one seed, so a
+//! (config, seed) pair always generates the identical schedule — the
+//! foundation for the deterministic-shedding chaos contract.
+
+use ids_serve::SloClass;
+use ids_simrt::rng::SplitMix64;
+
+/// Shape of one open-loop traffic schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Simulated tenant population (1k–10k in the overload ablation).
+    pub tenants: usize,
+    /// Zipf skew exponent for tenant popularity (≈1.1 is typical for
+    /// user-session popularity; 0 = uniform).
+    pub zipf_s: f64,
+    /// Mean inter-arrival gap, virtual seconds. The offered load is
+    /// `1 / mean_interarrival_secs` queries per virtual second.
+    pub mean_interarrival_secs: f64,
+    /// Total arrivals to generate.
+    pub arrivals: usize,
+    /// Root seed for the arrival/tenant/query draws.
+    pub seed: u64,
+    /// Fraction of tenants in the `Interactive` class.
+    pub interactive_frac: f64,
+    /// Fraction of tenants in the `Batch` class (the remainder is
+    /// `BestEffort`).
+    pub batch_frac: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            tenants: 1000,
+            zipf_s: 1.1,
+            mean_interarrival_secs: 1.0e-3,
+            arrivals: 1000,
+            seed: 7,
+            interactive_frac: 0.2,
+            batch_frac: 0.3,
+        }
+    }
+}
+
+/// One generated arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival time, virtual seconds from the schedule's origin.
+    pub at_secs: f64,
+    /// Tenant index in `0..tenants` (Zipf-popular head at low indices).
+    pub tenant: usize,
+    /// Raw query draw; callers map it onto their pool with
+    /// `query_draw % pool.len()`.
+    pub query_draw: u64,
+}
+
+/// Granularity of the class striping: tenant `i`'s class is decided by
+/// the position of `i % STRIPE` within the configured fractions, which
+/// spreads every class across the Zipf popularity head.
+const STRIPE: usize = 20;
+
+/// The SLO class assigned to tenant index `i` under `cfg`'s fractions.
+/// Deterministic and schedule-independent, so services and drivers can
+/// recompute it without carrying a side table.
+pub fn class_of(cfg: &TrafficConfig, tenant: usize) -> SloClass {
+    let pos = ((tenant % STRIPE) as f64 + 0.5) / STRIPE as f64;
+    if pos < cfg.interactive_frac {
+        SloClass::Interactive
+    } else if pos < cfg.interactive_frac + cfg.batch_frac {
+        SloClass::Batch
+    } else {
+        SloClass::BestEffort
+    }
+}
+
+/// Generate the full arrival schedule, sorted by time.
+pub fn generate(cfg: &TrafficConfig) -> Vec<Arrival> {
+    let tenants = cfg.tenants.max(1);
+    // Zipf CDF over tenant ranks: weight(r) = 1 / (r+1)^s.
+    let mut cdf = Vec::with_capacity(tenants);
+    let mut acc = 0.0;
+    for r in 0..tenants {
+        acc += 1.0 / ((r + 1) as f64).powf(cfg.zipf_s);
+        cdf.push(acc);
+    }
+    let norm = acc;
+    let mut gaps = SplitMix64::new(cfg.seed, 0xA121);
+    let mut picks = SplitMix64::new(cfg.seed, 0xB212);
+    let mut queries = SplitMix64::new(cfg.seed, 0xC303);
+    let mut out = Vec::with_capacity(cfg.arrivals);
+    let mut t = 0.0;
+    for _ in 0..cfg.arrivals {
+        // Exponential inter-arrival gap: -ln(1 - u) has mean 1 for
+        // u ~ U[0, 1), and 1 - u is in (0, 1] so the log is finite.
+        t += -(1.0 - gaps.next_f64()).ln() * cfg.mean_interarrival_secs.max(0.0);
+        let u = picks.next_f64() * norm;
+        let tenant = cdf.partition_point(|&c| c < u).min(tenants - 1);
+        out.push(Arrival { at_secs: t, tenant, query_draw: queries.next_u64() });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_replay_deterministically() {
+        let cfg = TrafficConfig { arrivals: 500, ..TrafficConfig::default() };
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = generate(&TrafficConfig { seed: 8, ..cfg });
+        assert_ne!(generate(&cfg), other, "different seed ⇒ different schedule");
+    }
+
+    #[test]
+    fn interarrival_mean_matches_the_config() {
+        let cfg = TrafficConfig {
+            arrivals: 20_000,
+            mean_interarrival_secs: 2.0e-3,
+            ..TrafficConfig::default()
+        };
+        let arr = generate(&cfg);
+        let span = arr.last().unwrap().at_secs;
+        let mean = span / arr.len() as f64;
+        assert!(
+            (mean - cfg.mean_interarrival_secs).abs() < 0.1 * cfg.mean_interarrival_secs,
+            "empirical mean {mean} vs configured {}",
+            cfg.mean_interarrival_secs
+        );
+        // Times are sorted and strictly increasing (gaps are positive).
+        assert!(arr.windows(2).all(|w| w[0].at_secs < w[1].at_secs));
+    }
+
+    #[test]
+    fn tenant_mix_is_zipf_skewed() {
+        let cfg = TrafficConfig { tenants: 1000, arrivals: 20_000, ..TrafficConfig::default() };
+        let arr = generate(&cfg);
+        let mut counts = vec![0usize; cfg.tenants];
+        for a in &arr {
+            assert!(a.tenant < cfg.tenants);
+            counts[a.tenant] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        // Uniform traffic would put 1% on the first ten tenants; Zipf
+        // s=1.1 concentrates far more.
+        assert!(
+            head as f64 > 0.15 * arr.len() as f64,
+            "top-10 tenants carry only {head}/{} arrivals",
+            arr.len()
+        );
+        // …but the tail is not starved of traffic entirely.
+        let active = counts.iter().filter(|&&c| c > 0).count();
+        assert!(active > cfg.tenants / 4, "only {active} tenants ever arrived");
+    }
+
+    #[test]
+    fn class_stripes_match_the_fractions_across_the_head() {
+        let cfg = TrafficConfig::default(); // 20% / 30% / 50%
+        let n = 1000;
+        let mut by_class = [0usize; 3];
+        for i in 0..n {
+            match class_of(&cfg, i) {
+                SloClass::Interactive => by_class[0] += 1,
+                SloClass::Batch => by_class[1] += 1,
+                SloClass::BestEffort => by_class[2] += 1,
+            }
+        }
+        assert_eq!(by_class, [200, 300, 500]);
+        // Striping spreads classes across the Zipf head: the first 20
+        // (hottest) tenants already contain all three classes.
+        let head: Vec<SloClass> = (0..20).map(|i| class_of(&cfg, i)).collect();
+        assert!(head.contains(&SloClass::Interactive));
+        assert!(head.contains(&SloClass::Batch));
+        assert!(head.contains(&SloClass::BestEffort));
+    }
+}

@@ -163,7 +163,12 @@ fn run_concurrent(
     let inst = launch(faults);
     let mut svc = QueryService::new(
         inst,
-        ServeConfig { quantum_secs: 1.0e-5, reuse: true, max_in_flight: 1024 },
+        ServeConfig {
+            quantum_secs: 1.0e-5,
+            reuse: true,
+            max_in_flight: 1024,
+            ..ServeConfig::default()
+        },
     );
     let pool = query_pool();
     let mut texts = Vec::new();
