@@ -32,6 +32,19 @@ else
   exit 1
 fi
 
+echo "==> lint: tier occupancy/capacity mutated only inside the tier store"
+# The per-tier `used`/`capacity` accounting is the invariant every other
+# tiering property test leans on (occupancy never exceeds capacity, used
+# equals the sum of resident entry sizes — see DESIGN.md 5k). All
+# mutation goes through crates/cache/src/tier.rs; an assignment anywhere
+# else in the cache crate would let the counters drift from the entries.
+if grep -rnE '(\.used|\.capacity)[[:space:]]*[-+]?=([^=]|$)' \
+    --include='*.rs' crates/cache/src 2>/dev/null \
+    | grep -v 'crates/cache/src/tier\.rs'; then
+  echo "error: tier used/capacity mutated outside crates/cache/src/tier.rs — go through TierStore" >&2
+  exit 1
+fi
+
 echo "==> lint: retry-after hints constructed only via the shared Refusal helper"
 # Every refusal the service emits must carry a load-derived retry-after
 # hint computed in one place (crates/serve/src/error.rs — see DESIGN.md
@@ -113,7 +126,18 @@ for seed in 1 2 3 4 5 6 7 8; do
   done
 done
 
+echo "==> tier chaos matrix (tests/chaos_tiers.rs, release)"
+for seed in 1 2 3 4 5 6 7 8; do
+  for mode in default coldstart; do
+    echo "---- CHAOS_SEED=$seed CHAOS_TIERS=$mode"
+    CHAOS_SEED=$seed CHAOS_TIERS=$mode cargo test --release --test chaos_tiers -q
+  done
+done
+
 echo "==> ablation_overload smoke (asserts interactive p99/goodput within 2x of baseline under 4x overload, class-ordered shedding)"
 cargo run --release -p ids-bench --bin ablation_overload
+
+echo "==> ablation_cache_tiers smoke (asserts scan-resistant policies hold >=5x reuse at 4x DRAM, warm restart recovers >=80% hit rate)"
+cargo run --release -p ids-bench --bin ablation_cache_tiers
 
 echo "CI OK"

@@ -9,11 +9,26 @@
 //!    spills, and measure hit-rate and mean access cost per configuration.
 //! 3. **Placement policies** — local-first vs round-robin vs
 //!    capacity-weighted under a node-skewed access pattern.
+//!
+//! Plus experiment X11 (PR 9) — the tiered-store subsystem:
+//!
+//! 4. **Working-set sweep × eviction policy** — working sets of 1×/2×/4×/8×
+//!    DRAM against LRU, S3-FIFO, and TinyLFU. Misses recompute (~1 virtual
+//!    second of docking), so the reuse speedup over a cacheless run measures
+//!    how well each policy keeps the hot set resident. Scan-resistant
+//!    policies must hold a ≥5× speedup at 4× DRAM while LRU (the negative
+//!    control) thrashes below it.
+//! 5. **Warm restart** — crash and recover one of the two cache nodes, run
+//!    one anti-entropy pass, and require the post-crash hit rate to recover
+//!    to ≥80% of the pre-crash rate off the retained NVMe tier.
+//!
+//! Results land in `bench_results/tiers.json`.
 
 use bytes::Bytes;
 use ids_bench::reporting::{section, table};
-use ids_cache::{BackingStore, CacheConfig, CacheManager, PlacementPolicy, Tier};
-use ids_simrt::{NetworkModel, RankId, Topology};
+use ids_cache::{BackingStore, CacheConfig, CacheManager, EvictionKind, PlacementPolicy, Tier};
+use ids_simrt::{NetworkModel, NodeId, RankId, Topology};
+use std::fmt::Write as _;
 
 fn micro(v: f64) -> String {
     if v >= 1.0 {
@@ -166,4 +181,233 @@ fn main() {
     table(&["policy", "local hits", "remote hits", "mean access"], &rows);
     println!("\nshape check: local-first wins when computation stays where data was produced;");
     println!("the locality API lets schedulers recreate that advantage for other policies");
+
+    // ---- 4. X11: working-set sweep x eviction policy -----------------------
+    // 2 cache nodes x 4 MiB DRAM = 8 MiB DRAM total (32 x 256 KiB objects);
+    // the NVMe tier is provisioned as a narrow spill buffer (DRAM/4) so the
+    // sweep isolates eviction-policy behaviour rather than NVMe capacity.
+    // Objects are ephemeral docking outputs (no backing copy), so a full
+    // eviction really costs a recompute — the speedup over a cacheless run
+    // is pure reuse. The workload is the classic scan-resistance mix: a hot
+    // set re-docked constantly, interleaved with cold what-if scans over the
+    // rest of the working set.
+    section("X11: working-set sweep x eviction policy (8 MiB DRAM, 2 MiB NVMe spill buffer)");
+    let topo2 = Topology::new(2, 4);
+    let dram_node: u64 = 4 << 20;
+    let dram_total = dram_node * topo2.nodes() as u64;
+    let payload = Bytes::from(vec![3u8; OBJ_BYTES]);
+    let policies = [EvictionKind::Lru, EvictionKind::S3Fifo, EvictionKind::TinyLfu];
+    let mut rows = Vec::new();
+    let mut cells: Vec<(EvictionKind, u64, f64, f64)> = Vec::new();
+    for mult in [1u64, 2, 4, 8] {
+        let n = (mult * dram_total) as usize / OBJ_BYTES;
+        for ev in policies {
+            let c = CacheManager::new(
+                topo2,
+                NetworkModel::slingshot(),
+                CacheConfig::new(2, dram_node, dram_node / 4).with_eviction(ev),
+                BackingStore::default_store(),
+            );
+            // Produce the working set, then two warm-up passes to reach a
+            // steady-state residency mix before measuring two more.
+            for i in 0..n {
+                c.put_ephemeral(RankId((i % 8) as u32), &format!("ws/{i}"), payload.clone());
+            }
+            for _ in 0..2 {
+                tier_pass(&c, n, &payload);
+            }
+            c.reset_stats();
+            let (mut cost, mut accesses) = (0.0, 0u64);
+            for _ in 0..2 {
+                let (p_cost, p_accesses) = tier_pass(&c, n, &payload);
+                cost += p_cost;
+                accesses += p_accesses;
+            }
+            // A cacheless run recomputes every access.
+            let speedup = (accesses as f64 * RECOMPUTE_SECS) / cost;
+            let s = c.stats();
+            let hit_rate = s.cache_hits() as f64 / (s.cache_hits() + s.total_misses) as f64;
+            rows.push(vec![
+                format!("{}x DRAM ({n} objects)", mult),
+                ev.label().to_string(),
+                format!("{:.0}%", hit_rate * 100.0),
+                format!("{speedup:.1}x"),
+            ]);
+            cells.push((ev, mult, hit_rate, speedup));
+        }
+    }
+    table(&["working set", "eviction", "hit rate", "reuse speedup"], &rows);
+
+    // Acceptance: at 4x DRAM the scan-resistant policies keep a >=5x reuse
+    // speedup; LRU (recency only, no scan resistance, no admission duel)
+    // thrashes below it — the negative control.
+    let speedup_at = |ev: EvictionKind, mult: u64| {
+        cells
+            .iter()
+            .find(|(e, m, _, _)| *e == ev && *m == mult)
+            .map(|(_, _, _, s)| *s)
+            .expect("cell swept")
+    };
+    let lru4 = speedup_at(EvictionKind::Lru, 4);
+    let s3f4 = speedup_at(EvictionKind::S3Fifo, 4);
+    let tlfu4 = speedup_at(EvictionKind::TinyLfu, 4);
+    assert!(s3f4 >= 5.0, "S3-FIFO must keep a >=5x reuse speedup at 4x DRAM (got {s3f4:.1}x)");
+    assert!(tlfu4 >= 5.0, "TinyLFU must keep a >=5x reuse speedup at 4x DRAM (got {tlfu4:.1}x)");
+    assert!(
+        lru4 < 5.0 && lru4 < s3f4 && lru4 < tlfu4,
+        "LRU is the negative control: it must thrash at 4x DRAM \
+         (got {lru4:.1}x vs s3fifo {s3f4:.1}x / tinylfu {tlfu4:.1}x)"
+    );
+    println!("\nshape check: scan-resistant policies hold the hot set at 4x DRAM");
+    println!("(s3fifo {s3f4:.1}x, tinylfu {tlfu4:.1}x) while lru thrashes ({lru4:.1}x)");
+
+    // ---- 5. X11b: warm restart after a node crash --------------------------
+    section("X11b: warm restart — NVMe tier survives a node recovery");
+    let c = CacheManager::new(
+        topo2,
+        NetworkModel::slingshot(),
+        CacheConfig::new(2, dram_node, 4 * dram_node).with_eviction(EvictionKind::S3Fifo),
+        BackingStore::default_store(),
+    );
+    let n = (2 * dram_total) as usize / OBJ_BYTES; // 2x DRAM, fits in NVMe
+    for i in 0..n {
+        c.put_ephemeral(RankId((i % 8) as u32), &format!("ws/{i}"), payload.clone());
+    }
+    for _ in 0..2 {
+        tier_pass(&c, n, &payload);
+    }
+    c.reset_stats();
+    tier_pass(&c, n, &payload);
+    let pre = hit_rate_of(&c);
+    // Crash one of the two nodes and bring it back: DRAM lost, NVMe
+    // retained (unverified), then one anti-entropy pass re-verifies the
+    // retained entries and restores replication.
+    c.fail_node(NodeId(0));
+    c.recover_node(NodeId(0));
+    let retained = c.stats().warm_restart_retained;
+    c.anti_entropy();
+    c.reset_stats();
+    tier_pass(&c, n, &payload);
+    let post = hit_rate_of(&c);
+    let recovery = post / pre;
+    let inspection = c.inspect();
+    table(
+        &["phase", "hit rate"],
+        &[
+            vec!["pre-crash".into(), format!("{:.1}%", pre * 100.0)],
+            vec!["post-recovery (+1 anti-entropy pass)".into(), format!("{:.1}%", post * 100.0)],
+        ],
+    );
+    println!(
+        "\nwarm restart retained {retained} nvme entries; hit rate recovered to \
+         {:.0}% of pre-crash",
+        recovery * 100.0
+    );
+    assert!(retained > 0, "the crash must have found a populated NVMe tier to retain");
+    assert!(
+        recovery >= 0.8,
+        "warm restart must recover >=80% of the pre-crash hit rate within one \
+         anti-entropy pass (pre {pre:.3}, post {post:.3})"
+    );
+
+    write_json(&cells, pre, post, retained, &inspection.to_json())
+        .expect("write bench_results/tiers.json");
+    println!("\nresults written to bench_results/tiers.json");
+}
+
+/// 256 KiB: the docking-output object size used throughout X3/X11.
+const OBJ_BYTES: usize = 256 << 10;
+
+/// Virtual cost of recomputing a docking output on a cache miss.
+const RECOMPUTE_SECS: f64 = 1.0;
+
+/// The hot set: 24 objects (6 MiB), comfortably inside the 8 MiB DRAM
+/// plane and inside S3-FIFO's main queue / TinyLFU's protected residency.
+const HOT: usize = 24;
+
+/// Hot re-dockings per sub-round.
+const HOT_REPS: usize = 10;
+
+/// Cold what-if objects scanned between hot bursts — sized to overrun
+/// DRAM plus the NVMe spill buffer, so a recency-only policy evicts the
+/// entire hot set on every chunk while scan-resistant policies shed the
+/// scan instead.
+const CHUNK: usize = 48;
+
+/// One access pass over a working set of `n` objects: alternating
+/// sub-rounds of a hot burst (the first [`HOT`] objects, [`HOT_REPS`]
+/// rounds) and a cold-scan chunk, partitioned so the pass covers each
+/// cold object exactly once — the one-touch what-if scan that eviction
+/// policies must not let displace the hot set. A miss recomputes the
+/// docking output and re-stashes it ephemerally. Returns (virtual cost,
+/// accesses).
+fn tier_pass(c: &CacheManager, n: usize, payload: &Bytes) -> (f64, u64) {
+    let hot = HOT.min(n - 1);
+    let scan = n - hot;
+    let sub_rounds = scan.div_ceil(CHUNK).max(1);
+    let mut cost = 0.0;
+    let mut accesses = 0u64;
+    let mut access = |i: usize| {
+        let name = format!("ws/{i}");
+        let rank = RankId((i % 8) as u32);
+        accesses += 1;
+        match c.get(rank, &name).expect("no fault plane attached") {
+            Some((_, o)) => cost += o.virtual_secs,
+            None => cost += RECOMPUTE_SECS + c.put_ephemeral(rank, &name, payload.clone()),
+        }
+    };
+    for r in 0..sub_rounds {
+        for _ in 0..HOT_REPS {
+            for i in 0..hot {
+                access(i);
+            }
+        }
+        // Even partition of the cold set across the sub-rounds.
+        for i in (r * scan / sub_rounds)..((r + 1) * scan / sub_rounds) {
+            access(hot + i);
+        }
+    }
+    (cost, accesses)
+}
+
+/// Hit rate over every lookup, counting true misses (an ephemeral object
+/// fully evicted has no backing copy, so `CacheStats::hit_rate` alone
+/// would ignore exactly the misses this experiment is about).
+fn hit_rate_of(c: &CacheManager) -> f64 {
+    let s = c.stats();
+    s.cache_hits() as f64 / (s.cache_hits() + s.total_misses) as f64
+}
+
+/// Hand-rolled JSON dump (no serde_json in the vendored set).
+fn write_json(
+    cells: &[(EvictionKind, u64, f64, f64)],
+    pre: f64,
+    post: f64,
+    retained: u64,
+    inspection_json: &str,
+) -> std::io::Result<()> {
+    let mut j = String::new();
+    j.push_str("{\n  \"experiment\": \"ablation_cache_tiers\",\n");
+    j.push_str("  \"object_bytes\": 262144,\n  \"dram_total_bytes\": 8388608,\n");
+    j.push_str("  \"sweep\": [\n");
+    for (i, (ev, mult, hit_rate, speedup)) in cells.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"eviction\": \"{}\", \"working_set_x_dram\": {mult}, \
+             \"hit_rate\": {hit_rate:.6}, \"reuse_speedup\": {speedup:.3}}}",
+            ev.label(),
+        );
+        j.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(
+        j,
+        "  \"warm_restart\": {{\"pre_hit_rate\": {pre:.6}, \"post_hit_rate\": {post:.6}, \
+         \"recovered_fraction\": {:.6}, \"nvme_entries_retained\": {retained}}},",
+        post / pre
+    );
+    let _ = writeln!(j, "  \"final_inspection\": {inspection_json}");
+    j.push_str("}\n");
+    std::fs::create_dir_all("bench_results")?;
+    std::fs::write("bench_results/tiers.json", j)
 }

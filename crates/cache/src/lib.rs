@@ -13,9 +13,18 @@
 //!   for DAOS/Lustre; cache nodes can always re-populate from it after a
 //!   failure, so losing a cache node loses no data.
 //! * [`manager`] — the Cache Manager (§3.2): per-node DRAM tiers with NVMe
-//!   spill, LRU eviction, policy-driven placement, locality queries that
-//!   let schedulers co-locate computation with data, per-tier hit/miss
-//!   statistics, and node-failure handling.
+//!   spill, policy-driven placement, locality queries that let schedulers
+//!   co-locate computation with data, per-tier hit/miss statistics, and
+//!   node-failure handling.
+//! * [`tier`] — the tier stores behind the [`tier::TierEngine`] trait:
+//!   the single home of per-tier capacity/occupancy accounting, entry
+//!   checksums, and the warm-restart verified flag.
+//! * [`evict`] — eviction policies ([`evict::EvictionKind`]): LRU over an
+//!   ordered recency index, scan-resistant S3-FIFO, and TinyLFU.
+//! * [`admit`] — the count-min frequency sketch gating NVMe admission and
+//!   the TinyLFU eviction duel.
+//! * [`inspect`] — the cache inspector: per-tier occupancy and movement
+//!   counters rendered into EXPLAIN and dumped as JSON by the benches.
 //! * [`object`] — named cache objects addressed by name and content hash
 //!   (the TR-Cache object-ID scheme the paper describes).
 //! * [`policy`] — placement policies (local-first, round-robin,
@@ -24,20 +33,28 @@
 //!   format the service layer uses to share per-rank plan checkpoints
 //!   between clients (semantic result reuse).
 
+pub mod admit;
 pub mod backing;
 pub mod error;
+pub mod evict;
 pub mod fam;
+pub mod inspect;
 pub mod manager;
 pub mod object;
 pub mod policy;
+pub mod tier;
 pub mod typed;
 
+pub use admit::FrequencySketch;
 pub use backing::{BackingStore, VerifiedRead};
 pub use error::CacheError;
+pub use evict::EvictionKind;
 pub use fam::{FamError, FamLayer, FamRegionId};
+pub use inspect::{CacheInspection, TierInspection};
 pub use manager::{
     AntiEntropyReport, CacheConfig, CacheManager, CacheOutcome, CacheStats, FaultTolerance, Tier,
 };
 pub use object::{crc32, object_id, ObjectMeta};
 pub use policy::PlacementPolicy;
+pub use tier::{StoredEntry, TierEngine, TierKind, TierStore};
 pub use typed::{IntermediateSolutions, TypedError, TypedSolutionSet};

@@ -26,18 +26,22 @@
 //! copies, re-establishes the replication factor after a crash wiped a
 //! node, and rewrites torn backing-store objects from healthy replicas.
 
+use crate::admit::FrequencySketch;
 use crate::backing::BackingStore;
 use crate::error::CacheError;
+use crate::evict::EvictionKind;
+use crate::inspect::{CacheInspection, TierInspection};
 use crate::object::{crc32, object_id, ObjectMeta};
 use crate::policy::PlacementPolicy;
+use crate::tier::{StoredEntry, TierEngine, TierKind, TierStore};
 use bytes::Bytes;
 use ids_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use ids_simrt::faults::{Deadline, FaultPlane, LinkFactors, RetryPolicy};
-use ids_simrt::net::NetworkModel;
+use ids_simrt::net::{DeviceModel, NetworkModel};
 use ids_simrt::topology::{NodeId, RankId, Topology};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 
 /// Which tier served an access.
@@ -85,6 +89,16 @@ pub struct CacheStats {
     /// re-written, replication factor re-established, torn backing
     /// objects rewritten.
     pub repairs: u64,
+    /// NVMe→DRAM promotions on reuse.
+    #[serde(default)]
+    pub promotes: u64,
+    /// Spills or inserts skipped by the frequency-sketch admission
+    /// filter (one-hit wonders under tier pressure).
+    #[serde(default)]
+    pub admission_rejects: u64,
+    /// NVMe entries retained across node recoveries (warm restart).
+    #[serde(default)]
+    pub warm_restart_retained: u64,
 }
 
 impl CacheStats {
@@ -136,10 +150,23 @@ pub struct CacheConfig {
     pub nvme_capacity: u64,
     /// Placement policy for new objects.
     pub policy: PlacementPolicy,
-    /// NVMe access latency (seconds).
-    pub nvme_latency: f64,
-    /// NVMe bandwidth (bytes/second).
-    pub nvme_bandwidth: f64,
+    /// Per-tier device cost model: DRAM vs NVMe latency/bandwidth,
+    /// charged on every hit, spill, and promote.
+    #[serde(default)]
+    pub devices: DeviceModel,
+    /// Eviction policy run by every tier store.
+    #[serde(default)]
+    pub eviction: EvictionKind,
+    /// Retain NVMe contents across a node recovery (persistent media),
+    /// distrusted until lazily re-verified against their checksums.
+    /// When false both tiers are wiped, the historical behaviour.
+    #[serde(default = "default_true")]
+    pub warm_restart: bool,
+    /// Gate DRAM→NVMe spills behind the frequency-sketch admission
+    /// filter when the NVMe tier is under pressure, keeping one-hit
+    /// wonders from churning the disk tier.
+    #[serde(default = "default_true")]
+    pub nvme_admission: bool,
     /// Copies kept per object across distinct live nodes (k-way
     /// replication). 1 = the pre-replication behaviour.
     #[serde(default = "default_replication")]
@@ -154,21 +181,28 @@ fn default_replication() -> usize {
     1
 }
 
+fn default_true() -> bool {
+    true
+}
+
 fn default_anti_entropy_interval() -> f64 {
     1.0
 }
 
 impl CacheConfig {
-    /// Testbed-like defaults: local-first placement, NVMe at 100 µs / 3 GB/s,
-    /// no replication.
+    /// Testbed-like defaults: local-first placement, LRU eviction,
+    /// testbed device costs (NVMe at 100 µs / 3 GB/s), warm restart and
+    /// NVMe admission on, no replication.
     pub fn new(cache_nodes: usize, dram_capacity: u64, nvme_capacity: u64) -> Self {
         Self {
             cache_nodes,
             dram_capacity,
             nvme_capacity,
             policy: PlacementPolicy::LocalFirst,
-            nvme_latency: 1.0e-4,
-            nvme_bandwidth: 3.0e9,
+            devices: DeviceModel::testbed(),
+            eviction: EvictionKind::default(),
+            warm_restart: default_true(),
+            nvme_admission: default_true(),
             replication: default_replication(),
             anti_entropy_interval_secs: default_anti_entropy_interval(),
         }
@@ -177,6 +211,30 @@ impl CacheConfig {
     /// Set the replication factor (clamped to at least 1).
     pub fn with_replication(mut self, k: usize) -> Self {
         self.replication = k.max(1);
+        self
+    }
+
+    /// Select the eviction policy for every tier store.
+    pub fn with_eviction(mut self, kind: EvictionKind) -> Self {
+        self.eviction = kind;
+        self
+    }
+
+    /// Override the per-tier device cost model.
+    pub fn with_devices(mut self, devices: DeviceModel) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Enable or disable warm restart of the NVMe tier.
+    pub fn with_warm_restart(mut self, on: bool) -> Self {
+        self.warm_restart = on;
+        self
+    }
+
+    /// Enable or disable the NVMe admission filter.
+    pub fn with_nvme_admission(mut self, on: bool) -> Self {
+        self.nvme_admission = on;
         self
     }
 }
@@ -206,35 +264,12 @@ impl Default for FaultTolerance {
     }
 }
 
-struct Entry {
-    data: Bytes,
-    last_access: u64,
-    /// CRC32 recorded when the object was written; a copy whose bytes no
-    /// longer hash to this is corrupt and must never be served.
-    crc: u32,
-}
-
-struct TierState {
-    entries: HashMap<String, Entry>,
-    used: u64,
-}
-
-impl TierState {
-    fn new() -> Self {
-        Self { entries: HashMap::new(), used: 0 }
-    }
-
-    fn lru_victim(&self) -> Option<String> {
-        self.entries
-            .iter()
-            .min_by_key(|(name, e)| (e.last_access, (*name).clone()))
-            .map(|(name, _)| name.clone())
-    }
-}
-
 struct State {
-    dram: Vec<TierState>,
-    nvme: Vec<TierState>,
+    dram: Vec<TierStore>,
+    nvme: Vec<TierStore>,
+    /// Global frequency sketch feeding the admission filter and the
+    /// TinyLFU eviction duel; every lookup and store records into it.
+    sketch: FrequencySketch,
     clock: u64,
     placement_counter: u64,
     /// Nodes taken down explicitly via `fail_node`.
@@ -302,6 +337,15 @@ struct CacheMetrics {
     repairs_backing: Counter,
     anti_entropy_runs: Counter,
     scrubbed_objects: Counter,
+    victim_pops: Counter,
+    promotes: Counter,
+    promoted_bytes: Counter,
+    admission_rejects_dram: Counter,
+    admission_rejects_nvme: Counter,
+    warm_retained: Counter,
+    warm_verified: Counter,
+    spill_bytes: Histogram,
+    promote_bytes: Histogram,
 }
 
 impl CacheMetrics {
@@ -360,6 +404,23 @@ impl CacheMetrics {
             ),
             anti_entropy_runs: registry.counter("ids_cache_anti_entropy_runs_total"),
             scrubbed_objects: registry.counter("ids_cache_scrubbed_objects_total"),
+            victim_pops: registry.counter("ids_cache_victim_pops_total"),
+            promotes: registry.counter("ids_cache_promotes_total"),
+            promoted_bytes: registry.counter("ids_cache_promoted_bytes_total"),
+            admission_rejects_dram: registry.counter_with(
+                "ids_cache_admission_rejects_total",
+                "tier",
+                "dram",
+            ),
+            admission_rejects_nvme: registry.counter_with(
+                "ids_cache_admission_rejects_total",
+                "tier",
+                "nvme",
+            ),
+            warm_retained: registry.counter("ids_cache_warm_restart_retained_total"),
+            warm_verified: registry.counter("ids_cache_warm_restart_verified_total"),
+            spill_bytes: registry.histogram("ids_cache_spill_bytes"),
+            promote_bytes: registry.histogram("ids_cache_promote_bytes"),
             registry,
         }
     }
@@ -375,8 +436,8 @@ impl CacheMetrics {
     }
 
     fn update_sizes(&self, st: &State) {
-        self.size_dram.set(st.dram.iter().map(|t| t.used).sum::<u64>() as i64);
-        self.size_nvme.set(st.nvme.iter().map(|t| t.used).sum::<u64>() as i64);
+        self.size_dram.set(st.dram.iter().map(|t| t.used()).sum::<u64>() as i64);
+        self.size_nvme.set(st.nvme.iter().map(|t| t.used()).sum::<u64>() as i64);
     }
 }
 
@@ -430,8 +491,13 @@ impl CacheManager {
             )));
         }
         let state = State {
-            dram: (0..cfg.cache_nodes).map(|_| TierState::new()).collect(),
-            nvme: (0..cfg.cache_nodes).map(|_| TierState::new()).collect(),
+            dram: (0..cfg.cache_nodes)
+                .map(|_| TierStore::new(TierKind::Dram, cfg.dram_capacity, cfg.eviction))
+                .collect(),
+            nvme: (0..cfg.cache_nodes)
+                .map(|_| TierStore::new(TierKind::Nvme, cfg.nvme_capacity, cfg.eviction))
+                .collect(),
+            sketch: FrequencySketch::default(),
             clock: 0,
             placement_counter: 0,
             manual_down: vec![false; cfg.cache_nodes],
@@ -508,16 +574,16 @@ impl CacheManager {
         if self.topo.node_of(from) == node {
             self.net.intra_latency + bytes as f64 / self.net.intra_bandwidth
         } else {
-            self.net.inter_latency + bytes as f64 / self.net.inter_bandwidth
+            self.net.inter_cost(bytes)
         }
     }
 
     fn nvme_transfer(&self, from: RankId, node: NodeId, bytes: u64) -> f64 {
-        let device = self.cfg.nvme_latency + bytes as f64 / self.cfg.nvme_bandwidth;
+        let device = self.cfg.devices.nvme_cost(bytes);
         if self.topo.node_of(from) == node {
             device
         } else {
-            device + self.net.inter_latency + bytes as f64 / self.net.inter_bandwidth
+            device + self.net.inter_cost(bytes)
         }
     }
 
@@ -551,12 +617,26 @@ impl CacheManager {
         self.metrics.registry.spans().record("cache.node_down", format!("node {ni}"), now, now);
     }
 
-    /// A node rejoined: §3.2 — its DRAM/NVMe contents were lost in the
-    /// crash, so it comes back empty and re-populates on demand.
+    /// A node rejoined. DRAM is volatile and was lost in the crash, so
+    /// that tier always comes back empty. The NVMe tier is persistent
+    /// media: with [`CacheConfig::warm_restart`] on, its entries survive
+    /// but are distrusted — marked unverified until the integrity plane
+    /// re-checks each checksum, lazily on first read or in bulk at the
+    /// next anti-entropy scrub. With warm restart off both tiers are
+    /// wiped (the historical behaviour).
     fn on_node_up(&self, st: &mut State, ni: usize, now: f64) {
-        st.dram[ni] = TierState::new();
-        st.nvme[ni] = TierState::new();
-        // The node rejoined empty: surviving objects are under-replicated
+        st.dram[ni].clear();
+        if self.cfg.warm_restart {
+            let retained = st.nvme[ni].len() as u64;
+            if retained > 0 {
+                st.nvme[ni].mark_all_unverified();
+                self.stats.lock().warm_restart_retained += retained;
+                self.metrics.warm_retained.add(retained);
+            }
+        } else {
+            st.nvme[ni].clear();
+        }
+        // DRAM rejoined empty: surviving objects may be under-replicated
         // until the next anti-entropy pass restores the factor.
         st.recovery_pending = true;
         self.metrics.update_sizes(st);
@@ -582,15 +662,7 @@ impl CacheManager {
         st.dram
             .iter()
             .enumerate()
-            .map(
-                |(ni, t)| {
-                    if st.is_down(ni) {
-                        0
-                    } else {
-                        self.cfg.dram_capacity.saturating_sub(t.used)
-                    }
-                },
-            )
+            .map(|(ni, t)| if st.is_down(ni) { 0 } else { t.capacity().saturating_sub(t.used()) })
             .collect()
     }
 
@@ -658,20 +730,13 @@ impl CacheManager {
         Ok(())
     }
 
-    /// Satellite invariant: per-tier `used` must equal the sum of its
-    /// entries' sizes. Debug builds verify after every mutation batch.
-    fn debug_check_accounting(&self, st: &State) {
-        if cfg!(debug_assertions) {
-            for (kind, tiers) in [("dram", &st.dram), ("nvme", &st.nvme)] {
-                for (ni, t) in tiers.iter().enumerate() {
-                    let sum: u64 = t.entries.values().map(|e| e.data.len() as u64).sum();
-                    debug_assert_eq!(
-                        t.used, sum,
-                        "{kind} tier on node {ni}: used={} but entries sum to {sum}",
-                        t.used
-                    );
-                }
-            }
+    /// Tier invariant: per-tier `used` must equal the sum of its entries'
+    /// sizes and never exceed capacity. Debug builds assert after every
+    /// mutation batch; release builds self-heal drift (see
+    /// [`TierStore::check_accounting`]).
+    fn debug_check_accounting(&self, st: &mut State) {
+        for t in st.dram.iter_mut().chain(st.nvme.iter_mut()) {
+            t.check_accounting();
         }
     }
 
@@ -700,13 +765,10 @@ impl CacheManager {
         // (the new placement may land on a different node than a previous
         // put's, and a stale copy must never win the tier search).
         for ni in 0..self.cfg.cache_nodes {
-            if let Some(e) = st.dram[ni].entries.remove(name) {
-                st.dram[ni].used = st.dram[ni].used.saturating_sub(e.data.len() as u64);
-            }
-            if let Some(e) = st.nvme[ni].entries.remove(name) {
-                st.nvme[ni].used = st.nvme[ni].used.saturating_sub(e.data.len() as u64);
-            }
+            st.dram[ni].remove(name);
+            st.nvme[ni].remove(name);
         }
+        st.sketch.record(name);
         st.ever_cached.insert(name.to_string());
         // A durable overwrite upgrades a previously ephemeral name: the
         // backing copy written above is now authoritative.
@@ -717,12 +779,13 @@ impl CacheManager {
         let link = plane.as_ref().map_or(LinkFactors::NONE, |p| p.link_factors());
         for &node in &replicas {
             cost += self.dram_transfer(from, node, size) * link.cost_mult();
-            self.insert_dram(&mut st, node, name, data.clone(), crc);
+            let (_, spill_cost) = self.insert_dram(&mut st, node, name, data.clone(), crc);
+            cost += spill_cost;
         }
         if replicas.len() < self.cfg.replication {
             self.note_under_replicated(name, replicas.len());
         }
-        self.debug_check_accounting(&st);
+        self.debug_check_accounting(&mut st);
         cost
     }
 
@@ -749,24 +812,22 @@ impl CacheManager {
         st.clock += 1;
         // Same overwrite coherence as the durable path.
         for ni in 0..self.cfg.cache_nodes {
-            if let Some(e) = st.dram[ni].entries.remove(name) {
-                st.dram[ni].used = st.dram[ni].used.saturating_sub(e.data.len() as u64);
-            }
-            if let Some(e) = st.nvme[ni].entries.remove(name) {
-                st.nvme[ni].used = st.nvme[ni].used.saturating_sub(e.data.len() as u64);
-            }
+            st.dram[ni].remove(name);
+            st.nvme[ni].remove(name);
         }
+        st.sketch.record(name);
         st.ephemeral.insert(name.to_string());
         let replicas = self.place_live_replicas(&mut st, self.topo.node_of(from));
         let link = plane.as_ref().map_or(LinkFactors::NONE, |p| p.link_factors());
         for &node in &replicas {
             cost += self.dram_transfer(from, node, size) * link.cost_mult();
-            self.insert_dram(&mut st, node, name, data.clone(), crc);
+            let (_, spill_cost) = self.insert_dram(&mut st, node, name, data.clone(), crc);
+            cost += spill_cost;
         }
         if replicas.len() < self.cfg.replication {
             self.note_under_replicated(name, replicas.len());
         }
-        self.debug_check_accounting(&st);
+        self.debug_check_accounting(&mut st);
         cost
     }
 
@@ -784,69 +845,118 @@ impl CacheManager {
         );
     }
 
-    fn insert_dram(&self, st: &mut State, node: NodeId, name: &str, data: Bytes, crc: u32) {
+    /// Insert into a node's DRAM tier, spilling victims toward NVMe until
+    /// the object fits. Returns `(landed_in_dram, device_cost)` where the
+    /// cost covers every spill the insert forced (charged to whichever
+    /// operation triggered it). Objects too big for DRAM route straight
+    /// to NVMe and report `landed_in_dram = false`.
+    fn insert_dram(
+        &self,
+        st: &mut State,
+        node: NodeId,
+        name: &str,
+        data: Bytes,
+        crc: u32,
+    ) -> (bool, f64) {
         let size = data.len() as u64;
+        let ni = node.index();
         if size > self.cfg.dram_capacity {
             // Too big for DRAM entirely; go straight to NVMe if it fits.
-            if size <= self.cfg.nvme_capacity {
-                self.insert_nvme(st, node, name, data, crc);
-            }
-            return;
+            let (_, cost) = self.insert_nvme(st, node, name, data, crc);
+            return (false, cost);
         }
         let clock = st.clock;
-        let ni = node.index();
         // Remove any stale copy first (overwrite semantics).
-        if let Some(old) = st.dram[ni].entries.remove(name) {
-            st.dram[ni].used = st.dram[ni].used.saturating_sub(old.data.len() as u64);
+        st.dram[ni].remove(name);
+        // TinyLFU admission duel: under pressure a candidate only
+        // displaces the policy's victim when its sketch estimate is
+        // strictly higher — cold scan traffic never erodes a reused
+        // resident set. Rejected candidates still get NVMe residency.
+        if self.cfg.eviction == EvictionKind::TinyLfu && !st.dram[ni].fits(size) {
+            if let Some(victim) = st.dram[ni].peek_victim() {
+                if st.sketch.estimate(name) <= st.sketch.estimate(&victim) {
+                    self.stats.lock().admission_rejects += 1;
+                    self.metrics.admission_rejects_dram.inc();
+                    let (_, cost) = self.insert_nvme(st, node, name, data, crc);
+                    return (false, cost);
+                }
+            }
         }
-        // Evict LRU to NVMe until the object fits. The invariant is
-        // `used > 0 implies an entry`; if accounting ever drifts (a bug,
-        // not a fault), re-derive `used` and stop evicting rather than
-        // panicking under a concurrent driver.
-        while st.dram[ni].used + size > self.cfg.dram_capacity {
-            let Some(victim) = st.dram[ni].lru_victim() else {
-                st.dram[ni].used = st.dram[ni].entries.values().map(|e| e.data.len() as u64).sum();
-                break;
-            };
-            let Some(e) = st.dram[ni].entries.remove(&victim) else { break };
-            st.dram[ni].used = st.dram[ni].used.saturating_sub(e.data.len() as u64);
-            self.stats.lock().evictions_to_nvme += 1;
-            self.metrics.spills.inc();
-            self.metrics.evictions_dram.inc();
-            self.metrics.evicted_bytes_dram.add(e.data.len() as u64);
-            self.insert_nvme(st, node, &victim, e.data, e.crc);
+        let mut cost = 0.0;
+        while !st.dram[ni].fits(size) {
+            let Some((victim, e)) = st.dram[ni].pop_victim() else { break };
+            self.metrics.victim_pops.inc();
+            cost += self.spill_victim(st, node, &victim, e);
         }
-        st.dram[ni].used += size;
-        st.dram[ni].entries.insert(name.to_string(), Entry { data, last_access: clock, crc });
+        if !st.dram[ni].insert(name, data, crc, clock) {
+            self.metrics.update_sizes(st);
+            return (false, cost);
+        }
         self.metrics.inserts_dram.inc();
         self.metrics.update_sizes(st);
+        (true, cost)
     }
 
-    fn insert_nvme(&self, st: &mut State, node: NodeId, name: &str, data: Bytes, crc: u32) {
+    /// Handle one DRAM eviction victim: spill it to the same node's NVMe
+    /// tier unless the admission filter calls it a one-hit wonder while
+    /// NVMe is under pressure, in which case it is dropped outright (the
+    /// backing store stays authoritative). Returns the device cost of
+    /// the spill write (zero when dropped).
+    fn spill_victim(&self, st: &mut State, node: NodeId, victim: &str, e: StoredEntry) -> f64 {
+        let size = e.data.len() as u64;
+        let ni = node.index();
+        self.metrics.evictions_dram.inc();
+        self.metrics.evicted_bytes_dram.add(size);
+        if self.cfg.nvme_admission && !st.nvme[ni].fits(size) && !st.sketch.admit(victim) {
+            // Writing a one-hit wonder would force a disk eviction for
+            // nothing; skip the spill.
+            self.stats.lock().admission_rejects += 1;
+            self.metrics.admission_rejects_nvme.inc();
+            self.metrics.update_sizes(st);
+            return 0.0;
+        }
+        let (stored, cost) = self.insert_nvme(st, node, victim, e.data, e.crc);
+        if stored {
+            self.stats.lock().evictions_to_nvme += 1;
+            self.metrics.spills.inc();
+            self.metrics.spill_bytes.observe(size as f64);
+        }
+        cost
+    }
+
+    /// Insert into a node's NVMe tier, evicting (dropping) victims until
+    /// the object fits. Returns `(stored, device_cost)`; objects too big
+    /// for the tier are refused with zero cost — only the backing store
+    /// holds them.
+    fn insert_nvme(
+        &self,
+        st: &mut State,
+        node: NodeId,
+        name: &str,
+        data: Bytes,
+        crc: u32,
+    ) -> (bool, f64) {
         let size = data.len() as u64;
         if size > self.cfg.nvme_capacity {
-            return; // only the backing store holds it
+            return (false, 0.0);
         }
         let clock = st.clock;
         let ni = node.index();
-        if let Some(old) = st.nvme[ni].entries.remove(name) {
-            st.nvme[ni].used = st.nvme[ni].used.saturating_sub(old.data.len() as u64);
-        }
-        while st.nvme[ni].used + size > self.cfg.nvme_capacity {
-            let Some(victim) = st.nvme[ni].lru_victim() else {
-                st.nvme[ni].used = st.nvme[ni].entries.values().map(|e| e.data.len() as u64).sum();
-                break;
-            };
-            let Some(e) = st.nvme[ni].entries.remove(&victim) else { break };
-            st.nvme[ni].used = st.nvme[ni].used.saturating_sub(e.data.len() as u64);
+        st.nvme[ni].remove(name);
+        while !st.nvme[ni].fits(size) {
+            let Some((_victim, e)) = st.nvme[ni].pop_victim() else { break };
+            self.metrics.victim_pops.inc();
             self.stats.lock().evictions_dropped += 1;
             self.metrics.evictions_nvme.inc();
             self.metrics.evicted_bytes_nvme.add(e.data.len() as u64);
         }
-        st.nvme[ni].used += size;
-        st.nvme[ni].entries.insert(name.to_string(), Entry { data, last_access: clock, crc });
+        if !st.nvme[ni].insert(name, data, crc, clock) {
+            self.metrics.update_sizes(st);
+            return (false, 0.0);
+        }
         self.metrics.inserts_nvme.inc();
         self.metrics.update_sizes(st);
+        (true, self.cfg.devices.nvme_cost(size))
     }
 
     /// Store an object with a user-provided placement hint (§3.2: the
@@ -867,13 +977,10 @@ impl CacheManager {
         st.clock += 1;
         st.placement_counter += 1;
         for ni in 0..self.cfg.cache_nodes {
-            if let Some(e) = st.dram[ni].entries.remove(name) {
-                st.dram[ni].used = st.dram[ni].used.saturating_sub(e.data.len() as u64);
-            }
-            if let Some(e) = st.nvme[ni].entries.remove(name) {
-                st.nvme[ni].used = st.nvme[ni].used.saturating_sub(e.data.len() as u64);
-            }
+            st.dram[ni].remove(name);
+            st.nvme[ni].remove(name);
         }
+        st.sketch.record(name);
         st.ever_cached.insert(name.to_string());
         // Hinted primary, then capacity-weighted secondaries (most free
         // DRAM first, ties to the lowest index) up to the replication
@@ -891,12 +998,13 @@ impl CacheManager {
         }
         for &node in &replicas {
             cost += self.dram_transfer(from, node, size);
-            self.insert_dram(&mut st, node, name, data.clone(), crc);
+            let (_, spill_cost) = self.insert_dram(&mut st, node, name, data.clone(), crc);
+            cost += spill_cost;
         }
         if replicas.len() < self.cfg.replication {
             self.note_under_replicated(name, replicas.len());
         }
-        self.debug_check_accounting(&st);
+        self.debug_check_accounting(&mut st);
         cost
     }
 
@@ -920,13 +1028,11 @@ impl CacheManager {
             if st.is_down(ni) {
                 continue;
             }
-            if let Some(e) = st.dram[ni].entries.remove(name) {
-                st.dram[ni].used = st.dram[ni].used.saturating_sub(e.data.len() as u64);
+            if let Some(e) = st.dram[ni].remove(name) {
                 found = Some((ni, e.data, e.crc));
                 break;
             }
-            if let Some(e) = st.nvme[ni].entries.remove(name) {
-                st.nvme[ni].used = st.nvme[ni].used.saturating_sub(e.data.len() as u64);
+            if let Some(e) = st.nvme[ni].remove(name) {
                 found = Some((ni, e.data, e.crc));
                 break;
             }
@@ -934,13 +1040,10 @@ impl CacheManager {
         let (from_node, data, crc) = found?;
         let size = data.len() as u64;
         // Node-to-node transfer cost (inter-node unless already there).
-        let cost = if from_node == to.index() {
-            0.0
-        } else {
-            self.net.inter_latency + size as f64 / self.net.inter_bandwidth
-        };
-        self.insert_dram(&mut st, to, name, data, crc);
-        self.debug_check_accounting(&st);
+        let mut cost = if from_node == to.index() { 0.0 } else { self.net.inter_cost(size) };
+        let (_, spill_cost) = self.insert_dram(&mut st, to, name, data, crc);
+        cost += spill_cost;
+        self.debug_check_accounting(&mut st);
         Some(cost)
     }
 
@@ -950,7 +1053,7 @@ impl CacheManager {
     /// for empty payloads (nothing to rot).
     fn quarantine_if_rotted(&self, st: &mut State, ni: usize, dram: bool, name: &str) -> bool {
         let tier = if dram { &mut st.dram[ni] } else { &mut st.nvme[ni] };
-        let Some(e) = tier.entries.get(name) else { return false };
+        let Some(e) = tier.get(name) else { return false };
         if e.data.is_empty() {
             return false;
         }
@@ -959,8 +1062,9 @@ impl CacheManager {
         if crc32(&rotted) == e.crc {
             return false; // unreachable for a real CRC, kept for honesty
         }
-        let Some(removed) = tier.entries.remove(name) else { return false };
-        tier.used = tier.used.saturating_sub(removed.data.len() as u64);
+        if tier.remove(name).is_none() {
+            return false;
+        }
         self.stats.lock().corruptions_detected += 1;
         self.metrics.corruptions_cache.inc();
         self.metrics.quarantines.inc();
@@ -1006,6 +1110,7 @@ impl CacheManager {
         self.sync_with_plane(&mut st, plane_ref);
         st.clock += 1;
         let clock = st.clock;
+        st.sketch.record(name);
         let link = plane.as_ref().map_or(LinkFactors::NONE, |p| p.link_factors());
         let mut spent = 0.0f64;
 
@@ -1021,9 +1126,7 @@ impl CacheManager {
         // strict mode refuses to silently degrade past it.
         let fenced: Option<NodeId> = (0..self.cfg.cache_nodes)
             .find(|&ni| {
-                st.is_down(ni)
-                    && (st.dram[ni].entries.contains_key(name)
-                        || st.nvme[ni].entries.contains_key(name))
+                st.is_down(ni) && (st.dram[ni].contains(name) || st.nvme[ni].contains(name))
             })
             .map(|ni| NodeId(ni as u32));
 
@@ -1037,9 +1140,7 @@ impl CacheManager {
         // (data, crc, serving node, tier) once a healthy copy answers.
         let mut serve: Option<(Bytes, u32, usize, Tier)> = None;
         for &ni in &live_order {
-            let Some(size) = st.dram[ni].entries.get(name).map(|e| e.data.len() as u64) else {
-                continue;
-            };
+            let Some(size) = st.dram[ni].size_of(name) else { continue };
             let local = ni == my;
             let cost = self.dram_transfer(from, NodeId(ni as u32), size) * link.cost_mult();
             if !self.attempt_access(plane_ref, &ft, from, !local, cost, &mut spent, deadline)? {
@@ -1056,17 +1157,15 @@ impl CacheManager {
             }
             // The entry can only have vanished if the bit-rot probe above
             // quarantined-but-reported-clean; treat that as a failover.
-            let Some(e) = st.dram[ni].entries.get_mut(name) else { continue };
-            e.last_access = clock;
+            st.dram[ni].touch(name, clock);
+            let Some(e) = st.dram[ni].get(name) else { continue };
             let tier = if local { Tier::LocalDram } else { Tier::RemoteDram };
             serve = Some((e.data.clone(), e.crc, ni, tier));
             break;
         }
         if serve.is_none() {
             for &ni in &live_order {
-                let Some(size) = st.nvme[ni].entries.get(name).map(|e| e.data.len() as u64) else {
-                    continue;
-                };
+                let Some(size) = st.nvme[ni].size_of(name) else { continue };
                 let local = ni == my;
                 let cost = self.nvme_transfer(from, NodeId(ni as u32), size) * link.cost_mult();
                 if !self.attempt_access(plane_ref, &ft, from, !local, cost, &mut spent, deadline)? {
@@ -1079,8 +1178,13 @@ impl CacheManager {
                     quarantined.push(NodeId(ni as u32));
                     continue;
                 }
-                let Some(e) = st.nvme[ni].entries.get_mut(name) else { continue };
-                e.last_access = clock;
+                // A clean checked read re-verifies an entry retained
+                // across a warm restart.
+                if st.nvme[ni].mark_verified(name) {
+                    self.metrics.warm_verified.inc();
+                }
+                st.nvme[ni].touch(name, clock);
+                let Some(e) = st.nvme[ni].get(name) else { continue };
                 let tier = if local { Tier::LocalNvme } else { Tier::RemoteNvme };
                 serve = Some((e.data.clone(), e.crc, ni, tier));
                 break;
@@ -1108,21 +1212,38 @@ impl CacheManager {
             if failover {
                 self.metrics.failover_reads.inc();
             }
-            // Promote hot NVMe objects back to DRAM on the serving node.
-            if matches!(tier, Tier::LocalNvme | Tier::RemoteNvme) {
-                self.insert_dram(&mut st, NodeId(ni as u32), name, data.clone(), crc);
+            // Promote hot NVMe objects back to DRAM on the serving node —
+            // a true move: once the DRAM copy lands, the NVMe copy is
+            // released. The DRAM write and any cascaded spills are
+            // charged to this get.
+            let size = data.len() as u64;
+            if matches!(tier, Tier::LocalNvme | Tier::RemoteNvme) && size <= self.cfg.dram_capacity
+            {
+                let (landed, spill_cost) =
+                    self.insert_dram(&mut st, NodeId(ni as u32), name, data.clone(), crc);
+                spent += spill_cost;
+                if landed {
+                    st.nvme[ni].remove(name);
+                    spent += self.cfg.devices.dram_cost(size);
+                    self.stats.lock().promotes += 1;
+                    self.metrics.promotes.inc();
+                    self.metrics.promoted_bytes.add(size);
+                    self.metrics.promote_bytes.observe(size as f64);
+                    self.metrics.update_sizes(&st);
+                }
             }
             // Read-path repair: replicas quarantined above are restored
             // from this healthy copy, charged as node-to-node transfers.
             for &node in &quarantined {
                 if node.index() != ni {
-                    spent += self.net.inter_latency + data.len() as f64 / self.net.inter_bandwidth;
+                    spent += self.net.inter_cost(size);
                 }
-                self.insert_dram(&mut st, node, name, data.clone(), crc);
+                let (_, spill_cost) = self.insert_dram(&mut st, node, name, data.clone(), crc);
+                spent += spill_cost;
                 self.stats.lock().repairs += 1;
                 self.metrics.repairs_replicate.inc();
             }
-            self.debug_check_accounting(&st);
+            self.debug_check_accounting(&mut st);
             return Ok(Some((data, CacheOutcome { tier, virtual_secs: spent })));
         }
 
@@ -1193,12 +1314,13 @@ impl CacheManager {
                 let crc = crc32(&data);
                 let replicas = self.place_live_replicas(&mut st, my_node);
                 for &node in &replicas {
-                    self.insert_dram(&mut st, node, name, data.clone(), crc);
+                    let (_, spill_cost) = self.insert_dram(&mut st, node, name, data.clone(), crc);
+                    spent += spill_cost;
                 }
                 if !replicas.is_empty() {
                     st.ever_cached.insert(name.to_string());
                 }
-                self.debug_check_accounting(&st);
+                self.debug_check_accounting(&mut st);
                 Ok(Some((data, CacheOutcome { tier: Tier::Backing, virtual_secs: spent })))
             }
             None => {
@@ -1219,10 +1341,10 @@ impl CacheManager {
         // Down nodes never appear: their fenced entries cannot serve and
         // are lost on recovery, so reporting them would mislead schedulers.
         for ni in (0..self.cfg.cache_nodes).filter(|&ni| !st.is_down(ni)) {
-            if st.dram[ni].entries.contains_key(name) {
+            if st.dram[ni].contains(name) {
                 out.push((NodeId(ni as u32), Tier::LocalDram));
             }
-            if st.nvme[ni].entries.contains_key(name) {
+            if st.nvme[ni].contains(name) {
                 out.push((NodeId(ni as u32), Tier::LocalNvme));
             }
         }
@@ -1235,8 +1357,7 @@ impl CacheManager {
         let mut st = self.state.lock();
         self.sync_with_plane(&mut st, plane.as_deref());
         for ni in (0..self.cfg.cache_nodes).filter(|&ni| !st.is_down(ni)) {
-            if let Some(e) = st.dram[ni].entries.get(name).or_else(|| st.nvme[ni].entries.get(name))
-            {
+            if let Some(e) = st.dram[ni].get(name).or_else(|| st.nvme[ni].get(name)) {
                 return Some(ObjectMeta {
                     name: name.to_string(),
                     id: object_id(name),
@@ -1251,8 +1372,9 @@ impl CacheManager {
 
     /// Take a cache node down (idempotent). Its entries are *fenced* —
     /// skipped by every lookup — until [`Self::recover_node`], at which
-    /// point the crash semantics of §3.2 apply: DRAM/NVMe contents are
-    /// lost and re-populate from the backing store on demand.
+    /// point the crash semantics apply: DRAM contents are lost (volatile)
+    /// and re-populate on demand, while NVMe contents survive under
+    /// [`CacheConfig::warm_restart`], pending checksum re-verification.
     pub fn fail_node(&self, node: NodeId) {
         let plane = self.faults.lock().clone();
         let now = plane.as_ref().map_or(0.0, |p| p.now());
@@ -1267,9 +1389,11 @@ impl CacheManager {
         }
     }
 
-    /// Bring a manually failed node back (idempotent). The node rejoins
-    /// empty — its pre-failure contents were lost in the crash. A node
-    /// declared permanently dead never rejoins.
+    /// Bring a manually failed node back (idempotent). Its DRAM rejoins
+    /// empty (lost in the crash); its NVMe tier rejoins warm when
+    /// [`CacheConfig::warm_restart`] is on, every retained entry held
+    /// back until re-verified. A node declared permanently dead never
+    /// rejoins.
     pub fn recover_node(&self, node: NodeId) {
         let plane = self.faults.lock().clone();
         let now = plane.as_ref().map_or(0.0, |p| p.now());
@@ -1301,8 +1425,11 @@ impl CacheManager {
         }
         let was_down = st.is_down(ni);
         st.permanent_down[ni] = true;
-        st.dram[ni] = TierState::new();
-        st.nvme[ni] = TierState::new();
+        // Permanent death purges both tiers — warm restart never applies
+        // to a node that is gone for good.
+        st.dram[ni].clear();
+        st.nvme[ni].clear();
+        self.metrics.update_sizes(&st);
         st.recovery_pending = true;
         self.metrics.registry.counter("ids_cache_permanent_failures_total").inc();
         if !was_down {
@@ -1363,10 +1490,10 @@ impl CacheManager {
         //    streams, so scrubbing never perturbs read-path outcomes.
         for &ni in &live {
             let mut names: Vec<(String, bool)> = st.dram[ni]
-                .entries
-                .keys()
-                .map(|n| (n.clone(), true))
-                .chain(st.nvme[ni].entries.keys().map(|n| (n.clone(), false)))
+                .names_sorted()
+                .into_iter()
+                .map(|n| (n, true))
+                .chain(st.nvme[ni].names_sorted().into_iter().map(|n| (n, false)))
                 .collect();
             names.sort();
             for (name, dram) in names {
@@ -1376,6 +1503,10 @@ impl CacheManager {
                     && self.quarantine_if_rotted(st, ni, dram, &name)
                 {
                     report.corruptions += 1;
+                } else if !dram && st.nvme[ni].mark_verified(&name) {
+                    // The scrub's clean checksum pass re-admits an entry
+                    // retained across a warm restart.
+                    self.metrics.warm_verified.inc();
                 }
             }
         }
@@ -1384,22 +1515,21 @@ impl CacheManager {
         // healthy source copies.
         let cached: BTreeSet<String> = live
             .iter()
-            .flat_map(|&ni| st.dram[ni].entries.keys().chain(st.nvme[ni].entries.keys()).cloned())
+            .flat_map(|&ni| {
+                st.dram[ni].names_sorted().into_iter().chain(st.nvme[ni].names_sorted())
+            })
             .collect();
 
         for name in &cached {
             let holders: Vec<usize> = live
                 .iter()
                 .copied()
-                .filter(|&ni| {
-                    st.dram[ni].entries.contains_key(name) || st.nvme[ni].entries.contains_key(name)
-                })
+                .filter(|&ni| st.dram[ni].contains(name) || st.nvme[ni].contains(name))
                 .collect();
             let Some(&src) = holders.first() else { continue };
             let Some((data, crc)) = st.dram[src]
-                .entries
                 .get(name)
-                .or_else(|| st.nvme[src].entries.get(name))
+                .or_else(|| st.nvme[src].get(name))
                 .map(|e| (e.data.clone(), e.crc))
             else {
                 continue; // holder lost its copy between scans
@@ -1432,7 +1562,7 @@ impl CacheManager {
                 live.iter().copied().filter(|ni| !holders.contains(ni)).collect();
             dests.sort_by_key(|&ni| (std::cmp::Reverse(free[ni]), ni));
             for &dest in dests.iter().take(target - holders.len()) {
-                self.insert_dram(st, NodeId(dest as u32), name, data.clone(), crc);
+                let _ = self.insert_dram(st, NodeId(dest as u32), name, data.clone(), crc);
                 report.re_replicated += 1;
                 self.stats.lock().repairs += 1;
                 self.metrics.repairs_replicate.inc();
@@ -1456,15 +1586,52 @@ impl CacheManager {
     pub fn invalidate(&self, name: &str) {
         let mut st = self.state.lock();
         for ni in 0..self.cfg.cache_nodes {
-            if let Some(e) = st.dram[ni].entries.remove(name) {
-                st.dram[ni].used = st.dram[ni].used.saturating_sub(e.data.len() as u64);
-            }
-            if let Some(e) = st.nvme[ni].entries.remove(name) {
-                st.nvme[ni].used = st.nvme[ni].used.saturating_sub(e.data.len() as u64);
-            }
+            st.dram[ni].remove(name);
+            st.nvme[ni].remove(name);
         }
         self.metrics.update_sizes(&st);
-        self.debug_check_accounting(&st);
+        self.debug_check_accounting(&mut st);
+    }
+
+    /// Point-in-time cache inspector: per-node per-tier occupancy plus
+    /// the lifetime movement counters (spills, promotes, admission
+    /// rejects, warm-restart retention). Counters come from the metrics
+    /// registry, so [`Self::reset_stats`] does not zero them; occupancy
+    /// reflects the stores as of this call. Rendered into the EXPLAIN
+    /// `cache tiers:` block and dumped as JSON by the benches.
+    pub fn inspect(&self) -> CacheInspection {
+        let plane = self.faults.lock().clone();
+        let mut st = self.state.lock();
+        self.sync_with_plane(&mut st, plane.as_deref());
+        let mut tiers = Vec::new();
+        for stores in [&st.dram, &st.nvme] {
+            for (ni, t) in stores.iter().enumerate() {
+                tiers.push(TierInspection {
+                    node: ni,
+                    tier: t.kind().label().to_string(),
+                    capacity_bytes: t.capacity(),
+                    occupied_bytes: t.used(),
+                    entries: t.len() as u64,
+                    unverified: t.unverified(),
+                    victim_pops: t.victim_pops(),
+                });
+            }
+        }
+        drop(st);
+        let snap = self.metrics.registry.snapshot();
+        let hit = |tier: &str| snap.counter("ids_cache_lookup_hits_total", tier);
+        CacheInspection {
+            eviction: self.cfg.eviction,
+            tiers,
+            hits: [hit("local_dram"), hit("remote_dram"), hit("local_nvme"), hit("remote_nvme")],
+            backing_fetches: hit("backing"),
+            misses: snap.counter("ids_cache_lookup_misses_total", ""),
+            spills: snap.counter("ids_cache_spills_total", ""),
+            promotes: snap.counter("ids_cache_promotes_total", ""),
+            admission_rejects: snap.counter_sum("ids_cache_admission_rejects_total"),
+            warm_retained: snap.counter("ids_cache_warm_restart_retained_total", ""),
+            warm_verified: snap.counter("ids_cache_warm_restart_verified_total", ""),
+        }
     }
 }
 
@@ -1473,10 +1640,14 @@ mod tests {
     use super::*;
 
     fn cache(dram: u64, nvme: u64) -> CacheManager {
+        cache_cfg(CacheConfig::new(2, dram, nvme))
+    }
+
+    fn cache_cfg(cfg: CacheConfig) -> CacheManager {
         CacheManager::new(
             Topology::new(4, 2),
             NetworkModel::slingshot(),
-            CacheConfig::new(2, dram, nvme),
+            cfg,
             BackingStore::default_store(),
         )
     }
@@ -1607,8 +1778,9 @@ mod tests {
 
     #[test]
     fn total_eviction_falls_back_to_backing_and_repopulates() {
-        // Tiny tiers: everything cascades out.
-        let c = cache(1000, 1000);
+        // Tiny tiers: everything cascades out. Admission control is off
+        // so the spill cascade is unconditional, like the historical one.
+        let c = cache_cfg(CacheConfig::new(2, 1000, 1000).with_nvme_admission(false));
         c.put(RankId(0), "a", payload(900, 1));
         c.put(RankId(0), "b", payload(900, 2)); // a → nvme
         c.put(RankId(0), "c", payload(900, 3)); // b → nvme, a dropped
@@ -2311,5 +2483,131 @@ mod tests {
         }
         let stats = c.stats();
         assert!(stats.cache_hits() + stats.backing_fetches + stats.total_misses > 0);
+    }
+
+    #[test]
+    fn admission_filter_drops_cold_spills_under_nvme_pressure() {
+        let c = cache_cfg(CacheConfig::new(2, 1000, 1000));
+        c.put(RankId(0), "a", payload(900, 1));
+        c.get(RankId(0), "a").unwrap().unwrap(); // "a" is reused: sketch estimate ≥ 2
+        c.put(RankId(0), "b", payload(900, 2)); // "a" spills to NVMe (it fits)
+                                                // "b" would spill next, but NVMe is full and "b" was touched only
+                                                // once → the admission filter drops it instead of churning "a".
+        c.put(RankId(0), "c", payload(900, 3));
+        assert!(c.stats().admission_rejects >= 1);
+        assert!(c.metrics().snapshot().counter("ids_cache_admission_rejects_total", "nvme") >= 1);
+        // The reused object survived on disk; the one-hit wonder did not.
+        let (_, a) = c.get(RankId(0), "a").unwrap().unwrap();
+        assert_eq!(a.tier, Tier::LocalNvme, "reused object kept its NVMe copy");
+        let (_, b) = c.get(RankId(0), "b").unwrap().unwrap();
+        assert_eq!(b.tier, Tier::Backing, "the cold spill was dropped");
+    }
+
+    #[test]
+    fn warm_restart_retains_nvme_entries_after_recovery() {
+        let c = cache_cfg(CacheConfig::new(2, 1000, 1 << 20));
+        c.put(RankId(0), "a", payload(900, 1));
+        c.put(RankId(0), "b", payload(900, 2)); // "a" spills to node 0's NVMe
+        assert_eq!(c.locality("a"), vec![(NodeId(0), Tier::LocalNvme)]);
+
+        c.fail_node(NodeId(0));
+        c.recover_node(NodeId(0));
+        // DRAM was wiped (volatile); the NVMe tier survived the restart.
+        assert_eq!(c.stats().warm_restart_retained, 1);
+        let (_, a) = c.get(RankId(0), "a").unwrap().unwrap();
+        assert_eq!(a.tier, Tier::LocalNvme, "warm NVMe serves without backing traffic");
+        assert_eq!(c.stats().backing_fetches, 0);
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counter("ids_cache_warm_restart_retained_total", ""), 1);
+        assert_eq!(
+            snap.counter("ids_cache_warm_restart_verified_total", ""),
+            1,
+            "first clean read re-verified the retained entry"
+        );
+        // The DRAM casualty re-populates from backing as before.
+        let (_, b) = c.get(RankId(0), "b").unwrap().unwrap();
+        assert_eq!(b.tier, Tier::Backing);
+    }
+
+    #[test]
+    fn cold_restart_wipes_both_tiers_when_disabled() {
+        let c = cache_cfg(CacheConfig::new(2, 1000, 1 << 20).with_warm_restart(false));
+        c.put(RankId(0), "a", payload(900, 1));
+        c.put(RankId(0), "b", payload(900, 2)); // "a" spills to NVMe
+        c.fail_node(NodeId(0));
+        c.recover_node(NodeId(0));
+        assert_eq!(c.stats().warm_restart_retained, 0);
+        let (_, a) = c.get(RankId(0), "a").unwrap().unwrap();
+        assert_eq!(a.tier, Tier::Backing, "cold restart lost the NVMe copy");
+    }
+
+    #[test]
+    fn s3fifo_keeps_hot_set_resident_under_scan() {
+        // DRAM holds 4 objects. One hot object is re-referenced, then a
+        // 12-object sequential scan pours through.
+        let run = |eviction| {
+            let c = cache_cfg(CacheConfig::new(2, 4096, 1 << 20).with_eviction(eviction));
+            c.put(RankId(0), "hot", payload(1000, 1));
+            for _ in 0..4 {
+                c.get(RankId(0), "hot").unwrap().unwrap();
+            }
+            for i in 0..12 {
+                c.put(RankId(0), &format!("scan{i}"), payload(1000, 2));
+            }
+            let (_, out) = c.get(RankId(0), "hot").unwrap().unwrap();
+            out.tier
+        };
+        assert_eq!(
+            run(EvictionKind::S3Fifo),
+            Tier::LocalDram,
+            "scan traffic must not flush the S3-FIFO hot set"
+        );
+        assert_ne!(
+            run(EvictionKind::Lru),
+            Tier::LocalDram,
+            "LRU thrashes under the same scan (negative control)"
+        );
+    }
+
+    #[test]
+    fn tinylfu_admission_protects_dram_from_cold_inserts() {
+        let c = cache_cfg(CacheConfig::new(2, 2048, 1 << 20).with_eviction(EvictionKind::TinyLfu));
+        c.put(RankId(0), "hot1", payload(1000, 1));
+        c.put(RankId(0), "hot2", payload(1000, 2));
+        for _ in 0..3 {
+            c.get(RankId(0), "hot1").unwrap().unwrap();
+            c.get(RankId(0), "hot2").unwrap().unwrap();
+        }
+        // A cold insert (estimate 1) cannot displace a victim with
+        // estimate ≥ 4 — it lands on NVMe instead.
+        c.put(RankId(0), "cold", payload(1000, 3));
+        let (_, h) = c.get(RankId(0), "hot1").unwrap().unwrap();
+        assert_eq!(h.tier, Tier::LocalDram, "resident hot set untouched");
+        let (_, cold) = c.get(RankId(0), "cold").unwrap().unwrap();
+        assert_eq!(cold.tier, Tier::LocalNvme, "rejected candidate still cached on disk");
+        assert!(c.stats().admission_rejects >= 1);
+        assert!(c.metrics().snapshot().counter("ids_cache_admission_rejects_total", "dram") >= 1);
+    }
+
+    #[test]
+    fn inspector_reports_occupancy_and_movement() {
+        let c = cache(2048, 1 << 20);
+        c.put(RankId(0), "a", payload(1000, 1));
+        c.put(RankId(0), "b", payload(1000, 2));
+        c.put(RankId(0), "c", payload(1000, 3)); // spills "a"
+        c.get(RankId(0), "a").unwrap().unwrap(); // NVMe hit → promote
+        let insp = c.inspect();
+        assert_eq!(insp.tiers.len(), 4, "two nodes × two tiers");
+        assert!(insp.spills >= 1);
+        assert_eq!(insp.promotes, 1);
+        assert_eq!(insp.hits[2], 1, "one local-NVMe hit");
+        assert!(insp.tiers.iter().any(|t| t.victim_pops > 0));
+        assert!(insp.occupied("dram") > 0 && insp.occupied("dram") <= 2 * 2048);
+        assert!(insp.hit_rate() > 0.0);
+        let text = insp.render();
+        assert!(text.contains("eviction policy: lru"), "{text}");
+        assert!(text.contains("node 0 dram:"), "{text}");
+        let json = insp.to_json();
+        assert!(json.contains("\"spills\":") && json.contains("\"promotes\":1"), "{json}");
     }
 }

@@ -1,0 +1,343 @@
+//! The tier store: the single place where per-tier capacity and
+//! occupancy accounting lives.
+//!
+//! Every DRAM and NVMe tier in the cache manager is a [`TierStore`]
+//! behind the [`TierEngine`] trait. All byte accounting (`used`,
+//! `capacity`) is mutated *only* inside this module — a CI grep gate
+//! rejects occupancy arithmetic anywhere else in `crates/cache` — so
+//! the invariant `used == Σ entry sizes ≤ capacity` is enforceable in
+//! one place ([`TierStore::check_accounting`]) and the eviction policies
+//! (`evict.rs`) stay pure victim-choosers.
+//!
+//! Entries carry the CRC recorded at write time plus a `verified` flag
+//! used by warm restart: a node recovery wipes DRAM (volatile) but
+//! *retains* NVMe entries, marking them unverified until their first
+//! clean read or the next anti-entropy scrub re-checks the checksum.
+
+use crate::evict::{EvictionKind, PolicyState};
+use bytes::Bytes;
+
+/// Which hardware tier a store models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TierKind {
+    /// Volatile node DRAM: lost on crash.
+    Dram,
+    /// Locally attached NVMe: survives a node restart.
+    Nvme,
+}
+
+impl TierKind {
+    /// Stable lowercase label for metrics and dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            TierKind::Dram => "dram",
+            TierKind::Nvme => "nvme",
+        }
+    }
+}
+
+/// One resident cache entry.
+#[derive(Debug, Clone)]
+pub struct StoredEntry {
+    /// The object bytes.
+    pub data: Bytes,
+    /// CRC32 recorded at write time; serving requires a match.
+    pub crc: u32,
+    /// False for entries that survived a node restart on a persistent
+    /// tier and have not yet been re-verified against their checksum.
+    pub verified: bool,
+    /// Logical clock of the last access (recency metadata).
+    pub last_access: u64,
+}
+
+/// The storage-tier interface: capacity-accounted object residency with
+/// policy-driven victim selection. The cache manager drives spill and
+/// promote *between* engines; an engine only answers for one tier on
+/// one node.
+pub trait TierEngine {
+    /// Which hardware tier this engine models.
+    fn kind(&self) -> TierKind;
+    /// Configured capacity in bytes.
+    fn capacity(&self) -> u64;
+    /// Bytes currently resident.
+    fn used(&self) -> u64;
+    /// Number of resident entries.
+    fn len(&self) -> usize;
+    /// True when nothing is resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Would an entry of `size` bytes fit without eviction?
+    fn fits(&self, size: u64) -> bool;
+    /// Is `name` resident?
+    fn contains(&self, name: &str) -> bool;
+    /// Insert an entry, replacing any previous copy of `name`. The entry
+    /// must fit ([`TierEngine::fits`] after removing the old copy); the
+    /// caller makes room first via [`TierEngine::pop_victim`]. Returns
+    /// false (and stores nothing) when it cannot fit even alone.
+    fn insert(&mut self, name: &str, data: Bytes, crc: u32, now: u64) -> bool;
+    /// Remove and return `name`'s entry.
+    fn remove(&mut self, name: &str) -> Option<StoredEntry>;
+    /// Evict the policy's chosen victim and return it.
+    fn pop_victim(&mut self) -> Option<(String, StoredEntry)>;
+    /// Record an access (policy recency/frequency + entry stamp).
+    fn touch(&mut self, name: &str, now: u64);
+    /// Drop every entry (crash wipe).
+    fn clear(&mut self);
+}
+
+/// The concrete tier store used for every DRAM/NVMe tier.
+#[derive(Debug)]
+pub struct TierStore {
+    kind: TierKind,
+    capacity: u64,
+    used: u64,
+    entries: std::collections::HashMap<String, StoredEntry>,
+    policy: PolicyState,
+    /// Victims popped over this store's lifetime (satellite metering for
+    /// the ordered-index eviction path).
+    victim_pops: u64,
+}
+
+impl TierStore {
+    /// An empty store of `capacity` bytes running `eviction`.
+    pub fn new(kind: TierKind, capacity: u64, eviction: EvictionKind) -> Self {
+        Self {
+            kind,
+            capacity,
+            used: 0,
+            entries: std::collections::HashMap::new(),
+            policy: PolicyState::new(eviction),
+            victim_pops: 0,
+        }
+    }
+
+    /// Immutable view of `name`'s entry.
+    pub fn get(&self, name: &str) -> Option<&StoredEntry> {
+        self.entries.get(name)
+    }
+
+    /// Size in bytes of `name`'s entry, if resident.
+    pub fn size_of(&self, name: &str) -> Option<u64> {
+        self.entries.get(name).map(|e| e.data.len() as u64)
+    }
+
+    /// Resident names in sorted order (deterministic iteration for
+    /// anti-entropy and inspection).
+    pub fn names_sorted(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Mark `name` as checksum-verified (clean read or scrub).
+    /// Returns true when the entry existed and was previously unverified.
+    pub fn mark_verified(&mut self, name: &str) -> bool {
+        match self.entries.get_mut(name) {
+            Some(e) if !e.verified => {
+                e.verified = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Warm restart: keep every entry but drop its verified status, so
+    /// the integrity plane re-checks each one lazily before trusting it.
+    pub fn mark_all_unverified(&mut self) -> u64 {
+        let mut n = 0;
+        for e in self.entries.values_mut() {
+            if e.verified {
+                e.verified = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Entries awaiting re-verification.
+    pub fn unverified(&self) -> u64 {
+        self.entries.values().filter(|e| !e.verified).count() as u64
+    }
+
+    /// Victims popped over this store's lifetime.
+    pub fn victim_pops(&self) -> u64 {
+        self.victim_pops
+    }
+
+    /// The name the policy would evict next, without evicting it (the
+    /// TinyLFU admission duel compares candidate vs victim frequency
+    /// before deciding whether to displace anything).
+    pub fn peek_victim(&self) -> Option<String> {
+        self.policy.peek_victim().map(|n| n.to_string())
+    }
+
+    /// Sum of entry sizes — `used` recomputed from first principles.
+    fn recompute_used(&self) -> u64 {
+        self.entries.values().map(|e| e.data.len() as u64).sum()
+    }
+
+    /// Accounting invariant: `used` equals the sum of entry sizes and
+    /// never exceeds capacity. Debug builds assert after every mutation
+    /// batch; release builds self-heal drift instead of panicking.
+    pub fn check_accounting(&mut self) {
+        let sum = self.recompute_used();
+        debug_assert_eq!(
+            self.used,
+            sum,
+            "{} tier: used={} but entries sum to {sum}",
+            self.kind.label(),
+            self.used
+        );
+        debug_assert!(
+            self.used <= self.capacity,
+            "{} tier: used {} exceeds capacity {}",
+            self.kind.label(),
+            self.used,
+            self.capacity
+        );
+        if self.used != sum {
+            self.used = sum;
+        }
+    }
+}
+
+impl TierEngine for TierStore {
+    fn kind(&self) -> TierKind {
+        self.kind
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn fits(&self, size: u64) -> bool {
+        self.used + size <= self.capacity
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    fn insert(&mut self, name: &str, data: Bytes, crc: u32, now: u64) -> bool {
+        let size = data.len() as u64;
+        if size > self.capacity {
+            return false;
+        }
+        if let Some(old) = self.entries.remove(name) {
+            self.used = self.used.saturating_sub(old.data.len() as u64);
+            self.policy.on_remove(name);
+        }
+        if !self.fits(size) {
+            // The caller failed to make room; refuse rather than bust the
+            // cap. (The manager's eviction loop prevents this.)
+            return false;
+        }
+        self.used += size;
+        self.entries
+            .insert(name.to_string(), StoredEntry { data, crc, verified: true, last_access: now });
+        self.policy.on_insert(name, now);
+        true
+    }
+
+    fn remove(&mut self, name: &str) -> Option<StoredEntry> {
+        let e = self.entries.remove(name)?;
+        self.used = self.used.saturating_sub(e.data.len() as u64);
+        self.policy.on_remove(name);
+        Some(e)
+    }
+
+    fn pop_victim(&mut self) -> Option<(String, StoredEntry)> {
+        loop {
+            let name = self.policy.pop_victim()?;
+            // Policy state may lag the entry map (lazy removal); skip
+            // names no longer resident.
+            let Some(e) = self.entries.remove(&name) else { continue };
+            self.used = self.used.saturating_sub(e.data.len() as u64);
+            self.victim_pops += 1;
+            return Some((name, e));
+        }
+    }
+
+    fn touch(&mut self, name: &str, now: u64) {
+        if let Some(e) = self.entries.get_mut(name) {
+            e.last_access = now;
+            self.policy.on_access(name, now);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+        self.policy.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize, tag: u8) -> Bytes {
+        Bytes::from(vec![tag; n])
+    }
+
+    #[test]
+    fn insert_remove_keeps_exact_accounting() {
+        let mut t = TierStore::new(TierKind::Dram, 1000, EvictionKind::Lru);
+        assert!(t.insert("a", payload(400, 1), 7, 1));
+        assert!(t.insert("b", payload(400, 2), 8, 2));
+        assert_eq!(t.used(), 800);
+        assert!(!t.fits(400));
+        // Overwrite replaces, not adds.
+        assert!(t.insert("a", payload(100, 3), 9, 3));
+        assert_eq!(t.used(), 500);
+        assert_eq!(t.remove("b").map(|e| e.data.len()), Some(400));
+        assert_eq!(t.used(), 100);
+        t.check_accounting();
+    }
+
+    #[test]
+    fn insert_refuses_rather_than_busting_the_cap() {
+        let mut t = TierStore::new(TierKind::Nvme, 100, EvictionKind::Lru);
+        assert!(!t.insert("big", payload(200, 1), 0, 1), "oversized alone");
+        assert!(t.insert("a", payload(80, 1), 0, 1));
+        assert!(!t.insert("b", payload(50, 2), 0, 2), "no room and no eviction ran");
+        assert_eq!(t.used(), 80);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lru_victims_come_out_in_recency_order() {
+        let mut t = TierStore::new(TierKind::Dram, 10_000, EvictionKind::Lru);
+        t.insert("a", payload(10, 1), 0, 1);
+        t.insert("b", payload(10, 2), 0, 2);
+        t.insert("c", payload(10, 3), 0, 3);
+        t.touch("a", 4); // refresh a → b is now the LRU
+        let (v1, _) = t.pop_victim().unwrap();
+        assert_eq!(v1, "b");
+        let (v2, _) = t.pop_victim().unwrap();
+        assert_eq!(v2, "c");
+        assert_eq!(t.victim_pops(), 2);
+    }
+
+    #[test]
+    fn warm_restart_marks_unverified_then_reverifies() {
+        let mut t = TierStore::new(TierKind::Nvme, 1000, EvictionKind::Lru);
+        t.insert("x", payload(10, 1), 0, 1);
+        t.insert("y", payload(10, 2), 0, 2);
+        assert_eq!(t.unverified(), 0);
+        assert_eq!(t.mark_all_unverified(), 2);
+        assert_eq!(t.unverified(), 2);
+        assert!(t.mark_verified("x"));
+        assert!(!t.mark_verified("x"), "already verified");
+        assert_eq!(t.unverified(), 1);
+    }
+}

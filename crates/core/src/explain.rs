@@ -193,6 +193,7 @@ pub fn explain_with_metrics(
     render_replication_block(&mut out, snapshot);
     render_service_block(&mut out, snapshot);
     render_recovery_block(&mut out, snapshot);
+    render_cache_tiers_block(&mut out, snapshot);
     out
 }
 
@@ -428,6 +429,45 @@ fn render_recovery_block(out: &mut String, snapshot: &MetricsSnapshot) {
     }
 }
 
+/// Append the cache-tier block when the tiered store actually moved
+/// data between tiers: DRAM→NVMe spills, promote-on-reuse, admission
+/// rejects, and warm-restart retention. Runs that never hit tier
+/// pressure (everything fits in DRAM, no restarts) render nothing here,
+/// so pressure-free EXPLAIN output is unchanged.
+fn render_cache_tiers_block(out: &mut String, snapshot: &MetricsSnapshot) {
+    let spills = snapshot.counter("ids_cache_spills_total", "");
+    let promotes = snapshot.counter("ids_cache_promotes_total", "");
+    let rejects = snapshot.counter_sum("ids_cache_admission_rejects_total");
+    let retained = snapshot.counter("ids_cache_warm_restart_retained_total", "");
+    if spills + promotes + rejects + retained == 0 {
+        return;
+    }
+
+    out.push_str("  cache tiers:\n");
+    let dram = snapshot.gauge("ids_cache_size_bytes", "dram");
+    let nvme = snapshot.gauge("ids_cache_size_bytes", "nvme");
+    out.push_str(&format!("    resident: {dram} bytes dram, {nvme} bytes nvme\n"));
+    let evicted_dram = snapshot.counter("ids_cache_evictions_total", "dram");
+    out.push_str(&format!(
+        "    movement: {spills} spills to nvme ({evicted_dram} dram evictions), \
+         {promotes} promotes on reuse\n"
+    ));
+    if rejects > 0 {
+        let dram_rejects = snapshot.counter("ids_cache_admission_rejects_total", "dram");
+        let nvme_rejects = snapshot.counter("ids_cache_admission_rejects_total", "nvme");
+        out.push_str(&format!(
+            "    admission: {rejects} one-hit wonders rejected \
+             ({dram_rejects} at dram, {nvme_rejects} at nvme)\n"
+        ));
+    }
+    if retained > 0 {
+        let verified = snapshot.counter("ids_cache_warm_restart_verified_total", "");
+        out.push_str(&format!(
+            "    warm restart: {retained} nvme entries retained, {verified} re-verified\n"
+        ));
+    }
+}
+
 /// Append the multi-tenant service block when the serve layer (or the
 /// engine's semantic-reuse checkpoints) recorded anything: per-tenant
 /// admission/queue/scheduling figures and the fingerprint hit/miss/store
@@ -583,6 +623,32 @@ mod tests {
         assert!(out.contains("speculation: 3 hedges launched, 2 won, 1 lost"), "{out}");
         assert!(out.contains("0.500000s critical path saved"), "{out}");
         assert!(out.contains("budget: 1 queries exhausted their recovery budget"), "{out}");
+    }
+
+    #[test]
+    fn cache_tiers_block_renders_only_under_tier_pressure() {
+        let reg = ids_obs::MetricsRegistry::new();
+        let mut out = String::new();
+        render_cache_tiers_block(&mut out, &reg.snapshot());
+        assert!(out.is_empty(), "pressure-free run adds no cache-tier block");
+
+        reg.counter("ids_cache_spills_total").add(4);
+        reg.counter_with("ids_cache_evictions_total", "tier", "dram").add(5);
+        reg.counter("ids_cache_promotes_total").add(2);
+        reg.counter_with("ids_cache_admission_rejects_total", "tier", "nvme").add(1);
+        reg.counter("ids_cache_warm_restart_retained_total").add(3);
+        reg.counter("ids_cache_warm_restart_verified_total").add(1);
+        reg.gauge_with("ids_cache_size_bytes", "tier", "dram").set(600);
+        reg.gauge_with("ids_cache_size_bytes", "tier", "nvme").set(2000);
+        render_cache_tiers_block(&mut out, &reg.snapshot());
+        assert!(out.contains("cache tiers:"), "{out}");
+        assert!(out.contains("resident: 600 bytes dram, 2000 bytes nvme"), "{out}");
+        assert!(out.contains("4 spills to nvme (5 dram evictions), 2 promotes on reuse"), "{out}");
+        assert!(
+            out.contains("admission: 1 one-hit wonders rejected (0 at dram, 1 at nvme)"),
+            "{out}"
+        );
+        assert!(out.contains("warm restart: 3 nvme entries retained, 1 re-verified"), "{out}");
     }
 
     #[test]

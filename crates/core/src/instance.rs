@@ -200,6 +200,13 @@ impl IdsInstance {
         self.metrics_snapshot().render_prometheus()
     }
 
+    /// Point-in-time tier inspection of the attached cache: per-node
+    /// DRAM/NVMe occupancy plus spill/promote/admission/warm-restart
+    /// tallies. `None` when no cache is attached.
+    pub fn cache_inspection(&self) -> Option<ids_cache::CacheInspection> {
+        self.cache.as_ref().map(|c| c.inspect())
+    }
+
     /// Execution options (mutable so benches can flip ablation knobs).
     pub fn exec_options_mut(&mut self) -> &mut ExecOptions {
         &mut self.config.exec

@@ -124,6 +124,16 @@ impl MetricsSnapshot {
         self.counters.iter().filter(|(k, _)| k.name == name).map(|(_, v)| *v).sum()
     }
 
+    /// Gauge value, or 0 when the series does not exist — e.g. the
+    /// per-tier `ids_cache_size_bytes` residency gauges.
+    pub fn gauge(&self, name: &str, label_value: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k.name == name && k.label_value == label_value)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
     /// What happened since `earlier`: counters and histogram counts are
     /// subtracted (saturating), gauges and spans keep `self`'s state.
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {

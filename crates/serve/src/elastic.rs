@@ -11,8 +11,10 @@
 //! parallel code path:
 //!
 //! * **scale-out (join)** — the joining node's cache is brought back via
-//!   `CacheManager::recover_node` (it rejoins empty, exactly like a crash
-//!   recovery) and a forced anti-entropy pass re-replicates
+//!   `CacheManager::recover_node` (DRAM rejoins empty exactly like a
+//!   crash recovery; with `CacheConfig::warm_restart` the node's NVMe
+//!   tier rejoins warm, entries quarantined until re-verified) and a
+//!   forced anti-entropy pass re-replicates
 //!   under-replicated objects onto it (the PR 3 integrity pass); logical
 //!   shards are then rebalanced across the enlarged active rank set with
 //!   `Cluster::rebalance_owners`.

@@ -804,6 +804,14 @@ impl QueryService {
             None => self.inst.cluster().topology().nodes(),
         }
     }
+
+    /// The cache inspector's debug surface: per-tier occupancy and
+    /// movement counters of the instance's attached cache, rendered as
+    /// the same multi-line text EXPLAIN's `cache tiers:` block uses.
+    /// `None` when the instance runs cacheless.
+    pub fn debug_cache_tiers(&self) -> Option<String> {
+        self.inst.cache_inspection().map(|i| i.render())
+    }
 }
 
 /// Build the completion record and emit per-tenant service metrics.
@@ -924,6 +932,17 @@ mod tests {
 
     const Q_PROTEINS: &str = "SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }";
     const Q_JOIN: &str = "SELECT ?c ?p WHERE { ?c <inhibits> ?p . ?p <rdf:type> <up:Protein> . }";
+
+    #[test]
+    fn debug_cache_tiers_reflects_the_attached_cache() {
+        let svc = service(7, false);
+        assert!(svc.debug_cache_tiers().is_none(), "cacheless instance has no tier surface");
+
+        let svc = service(7, true);
+        let text = svc.debug_cache_tiers().expect("cache attached");
+        assert!(text.contains("eviction policy: lru"), "{text}");
+        assert!(text.contains("node 0 dram: 0/"), "{text}");
+    }
 
     #[test]
     fn sessions_admit_and_complete_queries() {

@@ -11,7 +11,7 @@
 use crate::clock::VirtualClock;
 use crate::collective::ReduceOp;
 use crate::faults::FaultPlane;
-use crate::net::NetworkModel;
+use crate::net::{DeviceModel, NetworkModel};
 use crate::rng::SplitMix64;
 use crate::stats::{PhaseStats, RankStats, StatSummary};
 use crate::topology::{NodeId, RankId, Topology};
@@ -162,6 +162,7 @@ pub struct SpeculationReport {
 pub struct Cluster {
     topo: Topology,
     net: NetworkModel,
+    devices: DeviceModel,
     clocks: Vec<f64>,
     phases: Vec<PhaseStats>,
     seed: u64,
@@ -181,6 +182,7 @@ impl Cluster {
         Self {
             topo,
             net,
+            devices: DeviceModel::testbed(),
             clocks: vec![0.0; n],
             phases: Vec::new(),
             seed,
@@ -205,6 +207,17 @@ impl Cluster {
     /// The network cost model in force.
     pub fn network(&self) -> &NetworkModel {
         &self.net
+    }
+
+    /// The per-tier storage-device cost model in force.
+    pub fn devices(&self) -> &DeviceModel {
+        &self.devices
+    }
+
+    /// Replace the storage-device cost model (builder style).
+    pub fn with_devices(mut self, devices: DeviceModel) -> Self {
+        self.devices = devices;
+        self
     }
 
     /// The root seed.

@@ -38,7 +38,7 @@ pub use collective::ReduceOp;
 pub use faults::{
     Deadline, FaultConfig, FaultPlane, LinkFactors, PermanentCrashConfig, RetryPolicy,
 };
-pub use net::NetworkModel;
+pub use net::{DeviceModel, NetworkModel};
 pub use stats::{PhaseStats, RankStats, StatSummary};
 pub use topology::{NodeId, RankId, Topology};
 pub use trace::phase_trace_hash;

@@ -63,6 +63,12 @@ impl NetworkModel {
         }
     }
 
+    /// Transfer cost over the inter-node fabric only (no device term):
+    /// the network leg of a remote tier access.
+    pub fn inter_cost(&self, bytes: u64) -> f64 {
+        self.inter_latency + bytes as f64 / self.inter_bandwidth
+    }
+
     /// Cost of moving `bytes` from `src` to `dst` point-to-point.
     pub fn p2p(&self, topo: &Topology, src: RankId, dst: RankId, bytes: u64) -> f64 {
         if src == dst {
@@ -117,9 +123,81 @@ impl NetworkModel {
     }
 }
 
+/// Per-tier storage-device cost parameters for the nodes of the
+/// simulated cluster: DRAM and locally attached NVMe, each an α–β
+/// (latency + bytes/bandwidth) model like the fabric. The cache manager
+/// charges these on every tier hit, spill, and promote; a remote access
+/// additionally pays the [`NetworkModel`] inter-node leg.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// DRAM access latency (seconds).
+    pub dram_latency: f64,
+    /// DRAM bandwidth (bytes/second).
+    pub dram_bandwidth: f64,
+    /// NVMe access latency (seconds).
+    pub nvme_latency: f64,
+    /// NVMe bandwidth (bytes/second).
+    pub nvme_bandwidth: f64,
+}
+
+impl Default for DeviceModel {
+    fn default() -> Self {
+        Self::testbed()
+    }
+}
+
+impl DeviceModel {
+    /// Testbed-like defaults matching the paper's cache cluster: DRAM at
+    /// 200 ns / 80 GB/s (the shared-memory path), NVMe at 100 µs / 3 GB/s
+    /// (datacenter TLC flash).
+    pub fn testbed() -> Self {
+        Self {
+            dram_latency: 2.0e-7,
+            dram_bandwidth: 80.0e9,
+            nvme_latency: 1.0e-4,
+            nvme_bandwidth: 3.0e9,
+        }
+    }
+
+    /// Zero-cost devices, to isolate fabric effects in ablations.
+    pub fn ideal() -> Self {
+        Self {
+            dram_latency: 0.0,
+            dram_bandwidth: f64::INFINITY,
+            nvme_latency: 0.0,
+            nvme_bandwidth: f64::INFINITY,
+        }
+    }
+
+    /// Cost of reading or writing `bytes` in DRAM.
+    pub fn dram_cost(&self, bytes: u64) -> f64 {
+        self.dram_latency + bytes as f64 / self.dram_bandwidth
+    }
+
+    /// Cost of reading or writing `bytes` on the local NVMe device.
+    pub fn nvme_cost(&self, bytes: u64) -> f64 {
+        self.nvme_latency + bytes as f64 / self.nvme_bandwidth
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn device_tiers_are_ordered() {
+        let d = DeviceModel::testbed();
+        let b = 1 << 20;
+        assert!(d.dram_cost(b) < d.nvme_cost(b), "DRAM must beat NVMe");
+        let n = NetworkModel::slingshot();
+        assert!(
+            d.dram_cost(b) + n.inter_cost(b) < d.nvme_cost(b),
+            "remote DRAM must beat local NVMe on the testbed numbers"
+        );
+        let ideal = DeviceModel::ideal();
+        assert_eq!(ideal.dram_cost(b), 0.0);
+        assert_eq!(ideal.nvme_cost(b), 0.0);
+    }
 
     #[test]
     fn p2p_self_is_free() {
