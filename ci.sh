@@ -25,7 +25,7 @@ if awk '
   /#\[cfg\(test\)\]/ { in_tests = 1 }
   !in_tests && (/\.unwrap\(\)/ || /\.expect\(/) { print FILENAME ":" FNR ": " $0; bad = 1 }
   END { exit bad }
-' crates/core/src/*.rs crates/cache/src/*.rs; then
+' crates/core/src/*.rs crates/core/src/iql/*.rs crates/cache/src/*.rs; then
   :
 else
   echo "error: bare unwrap()/expect( in non-test core/cache code — return a typed error instead" >&2
@@ -133,6 +133,17 @@ for seed in 1 2 3 4 5 6 7 8; do
     CHAOS_SEED=$seed CHAOS_TIERS=$mode cargo test --release --test chaos_tiers -q
   done
 done
+
+echo "==> adaptive chaos matrix (tests/chaos_adaptive.rs, release)"
+for seed in 1 2 3 4 5 6 7 8; do
+  for mode in default aggressive; do
+    echo "---- CHAOS_SEED=$seed CHAOS_ADAPTIVE=$mode"
+    CHAOS_SEED=$seed CHAOS_ADAPTIVE=$mode cargo test --release --test chaos_adaptive -q
+  done
+done
+
+echo "==> ablation_adaptive smoke (asserts byte-identical results, adaptive >= 1.3x on NDV skew, replan on correlation, within 2% on uniform)"
+cargo run --release -p ids-bench --bin ablation_adaptive
 
 echo "==> ablation_overload smoke (asserts interactive p99/goodput within 2x of baseline under 4x overload, class-ordered shedding)"
 cargo run --release -p ids-bench --bin ablation_overload

@@ -19,7 +19,7 @@
 
 use crate::binding::RowBindings;
 use crate::datastore::Datastore;
-use crate::planner::{PhysicalPlan, PhysicalStage};
+use crate::planner::{PhysicalPattern, PhysicalPlan, PhysicalStage};
 use ids_cache::{CacheManager, IntermediateSolutions, TypedSolutionSet};
 use ids_graph::ops as gops;
 use ids_graph::{BatchChannel, SolutionBatch, SolutionSet, TermId};
@@ -156,6 +156,24 @@ pub struct ExecOptions {
     /// query with [`ExecError::RecoveryExhausted`] so fault storms shed
     /// load instead of looping.
     pub max_recoveries: u32,
+    /// Adaptive mid-query re-optimization (default `false`): at each
+    /// pattern-join boundary the engine compares the observed intermediate
+    /// row count against the cost model's prediction
+    /// (`PhysicalPlan::est_rows_after`); when they diverge past
+    /// [`Self::replan_ratio`] in either direction and at least two
+    /// patterns remain, the remaining patterns are re-planned from the
+    /// live intermediate (greedy cost-based, seeded with the *observed*
+    /// rows). Results are byte-identical either way: the gather
+    /// canonicalizes column and row order, making the output a pure
+    /// function of the solution multiset rather than the join order.
+    pub adaptive: bool,
+    /// Estimate-vs-actual divergence ratio (`max(a/e, e/a)`) past which a
+    /// re-plan triggers.
+    pub replan_ratio: f64,
+    /// Noise floor: boundaries where both observed and estimated rows sit
+    /// below this count never trigger a re-plan (tiny intermediates make
+    /// ratios meaningless and re-planning pointless).
+    pub replan_min_rows: u64,
     /// Speculative re-execution of stragglers (default `false`): after each
     /// UDF stage's compute phase, ranks whose virtual finish lags the stage
     /// median past [`Self::speculation_threshold`] get a hedged duplicate
@@ -192,6 +210,9 @@ impl Default for ExecOptions {
             exchange_channel_capacity: 8,
             recovery: false,
             max_recoveries: 3,
+            adaptive: false,
+            replan_ratio: 4.0,
+            replan_min_rows: 64,
             speculation: false,
             speculation_threshold: 1.5,
         }
@@ -302,6 +323,10 @@ pub struct QueryOutcome {
     /// speculation accounting (all-zero for a fault-free run with
     /// recovery and speculation off).
     pub recovery: RecoveryReport,
+    /// Adaptive-planner activity: estimate-vs-actual checks at stage
+    /// boundaries (recorded in static mode too) and mid-query re-plans
+    /// (adaptive mode only).
+    pub adaptive: AdaptiveReport,
 }
 
 impl QueryOutcome {
@@ -430,6 +455,41 @@ impl RecoveryReport {
     }
 }
 
+/// What the adaptive planner observed and did during one query. The
+/// estimate-vs-actual boundaries are recorded unconditionally (they feed
+/// EXPLAIN's `estimated vs actual` block and cost nothing); re-plans only
+/// happen with [`ExecOptions::adaptive`] on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdaptiveReport {
+    /// Stage boundaries where observed rows were compared to the
+    /// estimate.
+    pub checks: u32,
+    /// Mid-query re-plans that actually changed the remaining join order.
+    pub replans: u32,
+    /// `(operator label, estimated rows, observed rows)` per boundary, in
+    /// execution order (a boundary repeats if recovery rolled back over
+    /// it).
+    pub boundaries: Vec<(String, u64, u64)>,
+}
+
+impl AdaptiveReport {
+    /// Worst estimate-vs-actual divergence ratio seen (1.0 = perfect).
+    pub fn worst_divergence(&self) -> f64 {
+        self.boundaries
+            .iter()
+            .map(|&(_, est, actual)| divergence_ratio(est, actual))
+            .fold(1.0, f64::max)
+    }
+}
+
+/// Symmetric divergence between an estimated and an observed row count:
+/// `max(a/e, e/a)` with both sides floored at one row. 1.0 = exact.
+fn divergence_ratio(est: u64, actual: u64) -> f64 {
+    let e = est.max(1) as f64;
+    let a = actual.max(1) as f64;
+    (a / e).max(e / a)
+}
+
 /// Record a finished operator stage into the observability registry: one
 /// sample in the per-stage duration histogram plus a virtual-clock span.
 fn record_stage(
@@ -550,6 +610,19 @@ pub enum StepOutcome {
         /// Ranks permanently retired by this recovery.
         retired_ranks: u32,
     },
+    /// The adaptive planner re-ordered the remaining patterns after an
+    /// estimate-vs-actual divergence at a pattern boundary. More stages
+    /// remain; call `step` again. A scheduler can treat this like
+    /// [`Self::Pending`] — the yield exists so the service tier can meter
+    /// re-plans per tenant. Results are unaffected: the gather
+    /// canonicalizes output independent of join order.
+    Replanned {
+        /// Pattern boundary (index into the plan) whose observed
+        /// cardinality triggered the re-plan.
+        at_pattern: u32,
+        /// How many remaining patterns changed position.
+        reordered: u32,
+    },
     /// The query finished. Boxed: a completed outcome carries the full
     /// solution set and would otherwise dwarf the per-stage variants.
     Done(Box<QueryOutcome>),
@@ -600,6 +673,11 @@ pub struct PlanRun {
     profiler_snapshot: Vec<UdfProfiler>,
     /// Recovery-plane activity, cloned into the outcome at the gather.
     recovery: RecoveryReport,
+    /// Adaptive-planner activity, cloned into the outcome at the gather.
+    adaptive: AdaptiveReport,
+    /// A re-plan performed by the stage just stepped, drained by
+    /// [`Self::stage_outcome`] into [`StepOutcome::Replanned`].
+    pending_replan: Option<(u32, u32)>,
 }
 
 /// Aggregate of one stage's streamed exchanges (pipelined mode).
@@ -669,6 +747,8 @@ impl PlanRun {
             recovery_ordinal: -1,
             profiler_snapshot: Vec::new(),
             recovery: RecoveryReport::default(),
+            adaptive: AdaptiveReport::default(),
+            pending_replan: None,
         }
     }
 
@@ -1107,16 +1187,85 @@ impl PlanRun {
         Ok(())
     }
 
-    /// Non-terminal step result: [`StepOutcome::BatchReady`] when the stage
-    /// just stepped streamed batches over exchange channels, else
-    /// [`StepOutcome::Pending`]. Drains the per-stage tally either way.
+    /// Non-terminal step result: [`StepOutcome::Replanned`] when the stage
+    /// just stepped triggered a mid-query re-plan,
+    /// [`StepOutcome::BatchReady`] when it streamed batches over exchange
+    /// channels, else [`StepOutcome::Pending`]. Drains the per-stage tally
+    /// either way (a re-planning stage still moved its exchange data).
     fn stage_outcome(&mut self) -> StepOutcome {
         let tally = std::mem::take(&mut self.exchange_tally);
+        if let Some((at_pattern, reordered)) = self.pending_replan.take() {
+            return StepOutcome::Replanned { at_pattern, reordered };
+        }
         if self.opts.pipelined && tally.batches > 0 {
             StepOutcome::BatchReady { channels: tally.channels, batches: tally.batches }
         } else {
             StepOutcome::Pending
         }
+    }
+
+    /// Record one estimate-vs-actual boundary: gauges for EXPLAIN's
+    /// `estimated vs actual` block (set unconditionally — observability is
+    /// mode-independent) plus the run's [`AdaptiveReport`].
+    fn note_boundary(&mut self, label: String, est: u64, actual: u64, metrics: &MetricsRegistry) {
+        let clamp = |v: u64| v.min(i64::MAX as u64) as i64;
+        metrics.gauge_with("ids_adaptive_est_rows", "op", label.clone()).set(clamp(est));
+        metrics.gauge_with("ids_adaptive_actual_rows", "op", label.clone()).set(clamp(actual));
+        metrics.counter("ids_adaptive_checks_total").inc();
+        self.adaptive.checks += 1;
+        self.adaptive.boundaries.push((label, est, actual));
+    }
+
+    /// Mid-query re-optimization at pattern boundary `i`: re-order the
+    /// remaining patterns with the greedy cost model seeded by the
+    /// *observed* intermediate, and refresh the plan's suffix estimates so
+    /// later divergence checks measure against the corrected predictions.
+    /// Counts as a re-plan (and yields [`StepOutcome::Replanned`]) only
+    /// when the order actually changed.
+    fn replan_from(
+        &mut self,
+        i: usize,
+        observed: u64,
+        ratio: f64,
+        metrics: &MetricsRegistry,
+        now: f64,
+    ) {
+        let (order, rows_after) = crate::cost::replan_suffix(&self.plan.patterns, i + 1, observed);
+        let reordered = order.iter().enumerate().filter(|&(k, &idx)| idx != i + 1 + k).count();
+        // Refresh suffix estimates either way: the observed seed is
+        // strictly better information than the plan-time prediction.
+        for (k, &r) in rows_after.iter().enumerate() {
+            if let Some(slot) = self.plan.est_rows_after.get_mut(i + 1 + k) {
+                *slot = r.max(0.0) as u64;
+            }
+        }
+        if reordered == 0 {
+            return;
+        }
+        // Permute the suffix in place (order is a permutation of
+        // i+1..n by construction; a malformed one degrades to no-op).
+        let mut slots: Vec<Option<PhysicalPattern>> =
+            self.plan.patterns.drain(i + 1..).map(Some).collect();
+        let mut suffix = Vec::with_capacity(slots.len());
+        for &idx in &order {
+            if let Some(p) = slots.get_mut(idx - i - 1).and_then(Option::take) {
+                suffix.push(p);
+            }
+        }
+        suffix.extend(slots.into_iter().flatten());
+        self.plan.patterns.extend(suffix);
+        self.adaptive.replans += 1;
+        metrics.counter("ids_adaptive_replans_total").inc();
+        metrics.spans().record(
+            "replan",
+            format!(
+                "pattern{i}: observed {observed} rows diverged {ratio:.1}x; \
+                 reordered {reordered} remaining patterns"
+            ),
+            now,
+            now,
+        );
+        self.pending_replan = Some((i as u32, reordered as u32));
     }
 
     fn begin(
@@ -1343,6 +1492,21 @@ impl PlanRun {
                 });
             }
         }
+        // Estimate-vs-actual at the pattern boundary (static mode records
+        // it too — EXPLAIN reads the gauges); adaptive mode additionally
+        // re-plans the remaining patterns when the divergence is past the
+        // configured ratio and re-ordering can still matter (≥ 2 patterns
+        // left).
+        let observed: u64 =
+            self.sets.as_ref().map_or(0, |s| s.iter().map(|b| b.len() as u64).sum());
+        let est = self.plan.est_rows_after.get(i).copied().unwrap_or(0);
+        self.note_boundary(format!("pattern{i}"), est, observed, metrics);
+        if self.opts.adaptive && i + 2 < self.plan.patterns.len() {
+            let ratio = divergence_ratio(est, observed);
+            if observed.max(est) >= self.opts.replan_min_rows && ratio > self.opts.replan_ratio {
+                self.replan_from(i, observed, ratio, metrics, cluster.elapsed());
+            }
+        }
         if i + 1 < self.plan.patterns.len() {
             self.phase = RunPhase::Pattern(i + 1);
         } else {
@@ -1397,6 +1561,8 @@ impl PlanRun {
             record_stage(metrics, "filter", t, end, format!("{kept} rows kept"));
             anti_entropy_tick(cache, metrics, end);
             self.sets = Some(filtered);
+            let est_where = self.plan.est_where_rows;
+            self.note_boundary("where".to_string(), est_where, kept as u64, metrics);
             self.maybe_store(1, cluster, metrics, cache);
         }
         self.phase =
@@ -1502,6 +1668,30 @@ impl PlanRun {
         // result set is final-sized and ORDER BY/project/distinct operate
         // on whole rows anyway.
         let mut gathered = gops::merge_batches(solutions).to_set();
+        // Canonicalize before any result-shaping (DESIGN.md §5l): the BGP
+        // join order is an optimizer choice — and under adaptive
+        // re-planning can change mid-query — while the solution *multiset*
+        // is order-independent. Fixing the column order lexicographically
+        // and sorting rows by term id makes everything downstream (the
+        // stable ORDER BY re-sort, SELECT projection, DISTINCT's
+        // first-occurrence rule, LIMIT's prefix) a pure function of that
+        // multiset, so static and adaptive plans return byte-identical
+        // results.
+        let canon: Vec<String> = {
+            let mut c = gathered.vars().to_vec();
+            c.sort_unstable();
+            c
+        };
+        if gathered.vars() != canon.as_slice() {
+            let cols: Vec<&str> = canon.iter().map(String::as_str).collect();
+            gathered = gops::project(&gathered, &cols);
+        }
+        {
+            let vars = gathered.vars().to_vec();
+            let mut rows = gathered.take_rows();
+            rows.sort_unstable();
+            gathered = SolutionSet::new(vars, rows);
+        }
         // ORDER BY runs before projection so the sort variable need not be
         // projected; DISTINCT and LIMIT run after, on the final shape.
         if let Some((var, descending)) = &plan.order_by {
@@ -1572,6 +1762,7 @@ impl PlanRun {
             // recovery wrapper discards this outcome and keeps accounting
             // on the run.
             recovery: self.recovery.clone(),
+            adaptive: self.adaptive.clone(),
         })
     }
 }

@@ -66,6 +66,17 @@ pub fn explain(plan: &PhysicalPlan, profiler: &UdfProfiler) -> String {
         ));
     }
 
+    // Cost-model predictions for the same boundaries the engine checks at
+    // run time (`ids_adaptive_*` gauges render under "estimated vs actual"
+    // in `explain_with_metrics` once a query has executed).
+    if let Some(&after_joins) = plan.est_rows_after.last() {
+        out.push_str(&format!("    est. rows: ~{after_joins} after joins"));
+        if plan.where_filter.is_some() {
+            out.push_str(&format!(", ~{} after WHERE", plan.est_where_rows));
+        }
+        out.push('\n');
+    }
+
     if let Some(Expr::And(conjuncts)) = &plan.where_filter {
         out.push_str("  filter (profile-ordered conjuncts):\n");
         let order = order_conjuncts(conjuncts, profiler, |_| 0.5, 0.5);
@@ -187,6 +198,7 @@ pub fn explain_with_metrics(
         ));
     }
 
+    render_adaptive_block(&mut out, snapshot);
     render_columnar_block(&mut out, snapshot);
     render_exchange_block(&mut out, snapshot);
     render_fault_block(&mut out, snapshot);
@@ -195,6 +207,44 @@ pub fn explain_with_metrics(
     render_recovery_block(&mut out, snapshot);
     render_cache_tiers_block(&mut out, snapshot);
     out
+}
+
+/// Append the adaptive-planning block when any stage-boundary cardinality
+/// check has fired: per-operator *estimated vs actual* row counts from the
+/// most recent run (gauges, so they reflect the latest boundary crossing)
+/// plus the mid-query re-optimization tally. Instances that have executed
+/// nothing render nothing here, keeping baseline EXPLAIN output unchanged.
+fn render_adaptive_block(out: &mut String, snapshot: &MetricsSnapshot) {
+    let checks = snapshot.counter("ids_adaptive_checks_total", "");
+    if checks == 0 {
+        return;
+    }
+    out.push_str("  adaptive (estimated vs actual, latest run):\n");
+    let actual = snapshot.gauge_series("ids_adaptive_actual_rows");
+    let mut rows: Vec<(&str, i64, i64)> = snapshot
+        .gauge_series("ids_adaptive_est_rows")
+        .into_iter()
+        .map(|(label, est)| {
+            let act = actual.iter().find(|(l, _)| *l == label).map_or(0, |&(_, v)| v);
+            (label, est, act)
+        })
+        .collect();
+    // Pattern boundaries in join order first (numerically, so pattern10
+    // sorts after pattern9), then the WHERE boundary.
+    rows.sort_by_key(|&(label, _, _)| {
+        label.strip_prefix("pattern").and_then(|n| n.parse::<u64>().ok()).map_or((1, 0), |n| (0, n))
+    });
+    for (label, est, act) in rows {
+        let (e, a) = (est.max(1) as f64, act.max(1) as f64);
+        let ratio = (a / e).max(e / a);
+        out.push_str(&format!(
+            "    {label}: est {est} rows, actual {act} (x{ratio:.1} divergence)\n"
+        ));
+    }
+    let replans = snapshot.counter("ids_adaptive_replans_total", "");
+    out.push_str(&format!(
+        "    re-optimizations: {replans} re-plans over {checks} boundary checks\n"
+    ));
 }
 
 /// Append the columnar execution block when any batch counter has fired:
@@ -711,6 +761,34 @@ mod tests {
         );
         assert!(out.contains("backpressure stalls: 1 senders, mean 0.002000s"), "{out}");
         assert!(out.contains("buffered high-water: mean 4.0 batches, max 5 batches"), "{out}");
+    }
+
+    #[test]
+    fn adaptive_block_renders_only_after_boundary_checks() {
+        let reg = ids_obs::MetricsRegistry::new();
+        let mut out = String::new();
+        render_adaptive_block(&mut out, &reg.snapshot());
+        assert!(out.is_empty(), "never-executed instance adds no adaptive block");
+
+        reg.gauge_with("ids_adaptive_est_rows", "op", "pattern0").set(100);
+        reg.gauge_with("ids_adaptive_actual_rows", "op", "pattern0").set(100);
+        reg.gauge_with("ids_adaptive_est_rows", "op", "pattern1").set(50);
+        reg.gauge_with("ids_adaptive_actual_rows", "op", "pattern1").set(400);
+        reg.gauge_with("ids_adaptive_est_rows", "op", "where").set(10);
+        reg.gauge_with("ids_adaptive_actual_rows", "op", "where").set(12);
+        reg.counter("ids_adaptive_checks_total").add(3);
+        reg.counter("ids_adaptive_replans_total").add(1);
+        render_adaptive_block(&mut out, &reg.snapshot());
+        assert!(out.contains("adaptive (estimated vs actual"), "{out}");
+        assert!(out.contains("pattern0: est 100 rows, actual 100 (x1.0 divergence)"), "{out}");
+        assert!(out.contains("pattern1: est 50 rows, actual 400 (x8.0 divergence)"), "{out}");
+        assert!(out.contains("where: est 10 rows, actual 12 (x1.2 divergence)"), "{out}");
+        assert!(out.contains("re-optimizations: 1 re-plans over 3 boundary checks"), "{out}");
+        // Pattern boundaries render in join order, WHERE last.
+        let p0 = out.find("pattern0:").unwrap();
+        let p1 = out.find("pattern1:").unwrap();
+        let w = out.find("where:").unwrap();
+        assert!(p0 < p1 && p1 < w, "{out}");
     }
 
     #[test]

@@ -14,13 +14,15 @@ use crate::engine::{
     self, ExecOptions, PlanRun, QueryOutcome, ReuseCheckpoint, ReusePlan, StepOutcome,
 };
 use crate::iql::{self, FragmentSpec};
-use crate::planner;
+use crate::planner::{self, PhysicalPlan};
+use crate::stats::StatsCatalog;
 use ids_cache::CacheManager;
 use ids_models::ModelRepository;
 use ids_obs::{MetricsRegistry, MetricsSnapshot};
 use ids_simrt::rng::fnv1a;
 use ids_simrt::{Cluster, FaultPlane, NetworkModel, Topology};
 use ids_udf::{UdfProfiler, UdfRegistry};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Instance configuration.
@@ -70,6 +72,10 @@ pub struct IdsInstance {
     cache: Option<Arc<CacheManager>>,
     faults: Option<Arc<FaultPlane>>,
     metrics: MetricsRegistry,
+    /// Cached statistics catalog for cost-based planning, keyed on the
+    /// datastore's triple count at collection time so ingest invalidates
+    /// it. Interior mutability keeps `explain`/`prepare_run` `&self`.
+    stats: Mutex<Option<(usize, Arc<StatsCatalog>)>>,
 }
 
 impl IdsInstance {
@@ -87,6 +93,7 @@ impl IdsInstance {
             cache: None,
             faults: None,
             metrics: MetricsRegistry::new(),
+            stats: Mutex::new(None),
         }
     }
 
@@ -219,6 +226,47 @@ impl IdsInstance {
         self.cluster.reset_clocks();
     }
 
+    /// The statistics catalog for cost-based planning. The expensive part
+    /// (one scan pass over every shard) is cached and re-collected only
+    /// when the datastore's triple count changes; UDF cost/selectivity
+    /// profiles are re-attached fresh on every call so the planner always
+    /// prices WHERE conjuncts from the latest observed behaviour.
+    pub fn stats_catalog(&self) -> Arc<StatsCatalog> {
+        let triples = self.datastore.triple_count();
+        let base = {
+            let mut guard = self.stats.lock();
+            match guard.as_ref() {
+                Some((n, cat)) if *n == triples => cat.clone(),
+                _ => {
+                    let cat = Arc::new(StatsCatalog::collect(&self.datastore));
+                    *guard = Some((triples, cat.clone()));
+                    cat
+                }
+            }
+        };
+        let mut merged = UdfProfiler::new();
+        for p in &self.profilers {
+            merged.merge(p);
+        }
+        // Live profilers plus anything harvested back from the `ids-obs`
+        // gauges (e.g. profiles exported by an earlier snapshot or by a
+        // peer sharing this registry). The two sources can overlap, which
+        // may double counts — harmless, because the cost model reads only
+        // per-call ratios (mean cost, rejection rate), not raw totals.
+        let mut cat = (*base).clone().with_udf_profiles(merged);
+        cat.harvest_udf_profiles(&self.metrics.snapshot());
+        Arc::new(cat)
+    }
+
+    /// Plan an already-parsed query. With `exec.adaptive` set the planner
+    /// runs cost-based join ordering against [`IdsInstance::stats_catalog`];
+    /// otherwise it keeps the static cheapest-first heuristic.
+    fn plan_query(&self, parsed: &iql::ast::Query) -> Result<PhysicalPlan, QueryError> {
+        let stats = if self.config.exec.adaptive { Some(self.stats_catalog()) } else { None };
+        planner::lower_with_stats(parsed, &self.datastore, stats.as_deref(), Some(&self.metrics))
+            .map_err(|e| QueryError::Plan(e.to_string()))
+    }
+
     /// EXPLAIN: parse and plan a query, rendering the physical plan with
     /// cost annotations from the instance's aggregated profiles plus the
     /// live metric snapshot — operator timings, cache hit ratio, and
@@ -229,8 +277,7 @@ impl IdsInstance {
         // Snapshot before planning so EXPLAIN reports what queries have
         // done, not its own planner bookkeeping.
         let snapshot = self.metrics_snapshot();
-        let plan = planner::lower_with_metrics(&parsed, &self.datastore, Some(&self.metrics))
-            .map_err(|e| QueryError::Plan(e.to_string()))?;
+        let plan = self.plan_query(&parsed)?;
         let mut merged = UdfProfiler::new();
         for p in &self.profilers {
             merged.merge(p);
@@ -246,8 +293,7 @@ impl IdsInstance {
 
     /// Execute an already-parsed query.
     pub fn query_parsed(&mut self, parsed: &iql::ast::Query) -> Result<QueryOutcome, QueryError> {
-        let plan = planner::lower_with_metrics(parsed, &self.datastore, Some(&self.metrics))
-            .map_err(|e| QueryError::Plan(e.to_string()))?;
+        let plan = self.plan_query(parsed)?;
         engine::execute_plan(
             &mut self.cluster,
             &self.datastore,
@@ -288,8 +334,7 @@ impl IdsInstance {
     /// share intermediate results.
     pub fn prepare_run(&self, iql_text: &str, reuse: bool) -> Result<PlanRun, QueryError> {
         let parsed = iql::parse_query(iql_text).map_err(|e| QueryError::Parse(e.to_string()))?;
-        let plan = planner::lower_with_metrics(&parsed, &self.datastore, Some(&self.metrics))
-            .map_err(|e| QueryError::Plan(e.to_string()))?;
+        let plan = self.plan_query(&parsed)?;
         let reuse_plan = if reuse && self.cache.is_some() {
             let salt = self.reuse_salt();
             let mut rp = ReusePlan {
@@ -416,6 +461,35 @@ mod tests {
         let out = inst.query("SELECT ?p WHERE { ?p <rdf:type> <up:Protein> . }").unwrap();
         assert_eq!(out.solutions.len(), 20);
         assert!(out.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn adaptive_planning_matches_static_results() {
+        let raw = |out: &QueryOutcome| -> Vec<Vec<u64>> {
+            out.solutions.rows().iter().map(|r| r.iter().map(|t| t.raw()).collect()).collect()
+        };
+        let q = "SELECT ?c ?p ?l WHERE { ?c <inhibits> ?p . ?p <rdf:type> <up:Protein> . ?p <up:len> ?l . }";
+        let mut stat = demo_instance();
+        let stat_out = stat.query(q).unwrap();
+        let mut adap = demo_instance();
+        adap.exec_options_mut().adaptive = true;
+        let adap_out = adap.query(q).unwrap();
+        assert_eq!(raw(&stat_out), raw(&adap_out), "adaptive planning changed result bytes");
+        assert!(adap_out.adaptive.checks >= 1, "adaptive run recorded no boundary checks");
+        let snap = adap.metrics_snapshot();
+        assert!(snap.counter_sum("ids_planner_cost_based_plans_total") >= 1);
+        // The statistics catalog is cached until ingest changes the store.
+        let c1 = adap.stats_catalog();
+        let c2 = adap.stats_catalog();
+        assert_eq!(c1.total_triples(), c2.total_triples());
+        adap.datastore().add_fact(
+            &Term::iri("p:new"),
+            &Term::iri("rdf:type"),
+            &Term::iri("up:Protein"),
+        );
+        adap.datastore().build_indexes();
+        let c3 = adap.stats_catalog();
+        assert_eq!(c3.total_triples(), c1.total_triples() + 1, "ingest must refresh the catalog");
     }
 
     #[test]

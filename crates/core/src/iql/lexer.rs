@@ -167,7 +167,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 if end == start {
                     return Err(LexError { message: "empty variable name".into(), pos: i });
                 }
-                let name = std::str::from_utf8(&b[start..end]).expect("ASCII ident");
+                // `ident_end` only advances over ASCII alphanumerics, so
+                // the slice is valid UTF-8; surface a typed error anyway
+                // rather than trusting that invariant with a panic.
+                let name = std::str::from_utf8(&b[start..end])
+                    .map_err(|_| LexError { message: "non-UTF8 variable name".into(), pos: i })?;
                 out.push(Spanned { token: Token::Var(name.to_string()), pos: i });
                 i = end;
             }
@@ -224,7 +228,8 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                         j += 1;
                     }
                 }
-                let text = std::str::from_utf8(&b[start..j]).expect("ASCII number");
+                let text = std::str::from_utf8(&b[start..j])
+                    .map_err(|_| LexError { message: "non-UTF8 number".into(), pos: start })?;
                 let token =
                     if is_float {
                         Token::Float(text.parse().map_err(|e| LexError {
@@ -242,7 +247,8 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
             }
             _ if c.is_ascii_alphabetic() || c == b'_' => {
                 let end = ident_end(b, i);
-                let word = std::str::from_utf8(&b[i..end]).expect("ASCII ident");
+                let word = std::str::from_utf8(&b[i..end])
+                    .map_err(|_| LexError { message: "non-UTF8 identifier".into(), pos: i })?;
                 let token = match word.to_ascii_uppercase().as_str() {
                     "SELECT" => Token::Select,
                     "WHERE" => Token::Where,

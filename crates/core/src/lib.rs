@@ -28,12 +28,14 @@
 //!   cache, §4).
 
 pub mod binding;
+pub mod cost;
 pub mod datastore;
 pub mod engine;
 pub mod explain;
 pub mod instance;
 pub mod iql;
 pub mod planner;
+pub mod stats;
 pub mod workflow;
 
 pub use datastore::Datastore;
@@ -43,3 +45,4 @@ pub use engine::{
 };
 pub use instance::{IdsConfig, IdsInstance, QueryError};
 pub use iql::ast::Query;
+pub use stats::StatsCatalog;

@@ -9,8 +9,10 @@
 //! re-balancing — happen at execution time in [`crate::engine`], because
 //! they depend on each rank's live profiling data (§2.4).
 
+use crate::cost;
 use crate::datastore::Datastore;
 use crate::iql::ast::{CmpOpAst, ExprAst, Query, StageAst, TermAst, TriplePatternAst};
+use crate::stats::StatsCatalog;
 use ids_graph::{Term, TriplePattern};
 use ids_obs::MetricsRegistry;
 use ids_udf::expr::CmpOp;
@@ -42,8 +44,20 @@ pub struct PhysicalPattern {
     /// True when a ground term is absent from the dictionary — the pattern
     /// can match nothing.
     pub impossible: bool,
-    /// Estimated global cardinality (used for join ordering).
+    /// Estimated global cardinality (used for join ordering), summed over
+    /// shards with saturating arithmetic so huge synthetic datasets
+    /// cannot overflow into a tiny (wrongly "cheap") estimate.
     pub est_cardinality: usize,
+    /// Estimated distinct values per position (subject / predicate /
+    /// object), read by the [`crate::cost`] model for join-size
+    /// estimates. Populated from the statistics catalog's KMV sketches
+    /// when one is supplied; otherwise defaults to `est_cardinality`
+    /// (the all-distinct worst case, under which the cost model degrades
+    /// to the cardinality heuristic). Only meaningful for positions
+    /// holding a variable.
+    pub ndv_s: f64,
+    pub ndv_p: f64,
+    pub ndv_o: f64,
 }
 
 impl PhysicalPattern {
@@ -80,6 +94,16 @@ pub struct PhysicalPlan {
     pub order_by: Option<(String, bool)>,
     /// Row limit.
     pub limit: Option<usize>,
+    /// Cost-model prediction of the intermediate size after joining
+    /// patterns `0..=i` (entry `i`), saturated to `u64`. The engine
+    /// compares these against observed counts at each stage boundary —
+    /// feeding both the EXPLAIN `estimated vs actual` block and the
+    /// adaptive re-planning trigger.
+    pub est_rows_after: Vec<u64>,
+    /// Predicted rows surviving the WHERE filter, priced from historical
+    /// UDF selectivity profiles (equals the final BGP estimate when the
+    /// query has no filter).
+    pub est_where_rows: u64,
 }
 
 impl PhysicalPlan {
@@ -132,14 +156,59 @@ fn lower_term(t: &TermAst, ds: &Datastore) -> (Option<ids_graph::TermId>, Option
     }
 }
 
-fn lower_pattern(p: &TriplePatternAst, ds: &Datastore) -> PhysicalPattern {
+fn lower_pattern(
+    p: &TriplePatternAst,
+    ds: &Datastore,
+    stats: Option<&StatsCatalog>,
+) -> PhysicalPattern {
     let (s_id, var_s, imp_s) = lower_term(&p.s, ds);
     let (p_id, var_p, imp_p) = lower_term(&p.p, ds);
     let (o_id, var_o, imp_o) = lower_term(&p.o, ds);
     let impossible = imp_s || imp_p || imp_o;
     let pattern = TriplePattern::new(s_id, p_id, o_id);
-    let est_cardinality = if impossible { 0 } else { ds.count_all(&pattern) };
-    PhysicalPattern { pattern, var_s, var_p, var_o, impossible, est_cardinality }
+    // Saturating per-shard sum: a synthetic store holding more matches
+    // than `usize::MAX` must clamp, never wrap to a "cheap" estimate.
+    let est_cardinality = if impossible {
+        0
+    } else {
+        (0..ds.num_shards())
+            .map(|shard| ds.count_shard(shard, &pattern))
+            .fold(0usize, usize::saturating_add)
+    };
+    // NDV per position: catalog sketches when available (zero-NDV — an
+    // unseen predicate — falls back to the cardinality default), else
+    // the all-distinct worst case. The cost model clamps these to
+    // `[1, est_cardinality]`, so an over-wide per-predicate sketch on a
+    // narrowed pattern stays sane.
+    let default_ndv = est_cardinality as f64;
+    let (mut ndv_s, mut ndv_p, mut ndv_o) = (default_ndv, default_ndv, default_ndv);
+    if let Some(cat) = stats {
+        if !impossible {
+            let s = cat.subject_ndv(pattern.p);
+            let o = cat.object_ndv(pattern.p);
+            let pr = cat.predicate_ndv();
+            if s > 0.0 {
+                ndv_s = s;
+            }
+            if o > 0.0 {
+                ndv_o = o;
+            }
+            if pr > 0.0 {
+                ndv_p = pr;
+            }
+        }
+    }
+    PhysicalPattern {
+        pattern,
+        var_s,
+        var_p,
+        var_o,
+        impossible,
+        est_cardinality,
+        ndv_s,
+        ndv_p,
+        ndv_o,
+    }
 }
 
 fn lower_cmp(op: CmpOpAst) -> CmpOp {
@@ -188,6 +257,16 @@ pub fn lower_expr(e: &ExprAst, ds: &Datastore) -> Result<Expr, PlanError> {
 /// then repeatedly take the cheapest pattern sharing a variable with the
 /// bound set (falling back to the global cheapest when the query graph is
 /// disconnected).
+///
+/// **Tie-breaking is part of the planner contract**: equal-cardinality
+/// patterns order by their *source position* — `(est_cardinality, index)`
+/// ascending — made explicit in the sort key below rather than relying on
+/// sort stability. Downstream identities hang off the chosen order (reuse
+/// fingerprint salts, exchange partition keys, checkpoint ordinals), so
+/// the tie-break must be deterministic and documented: two textually
+/// identical queries must produce byte-identical plans, and a future
+/// switch to an unstable sort must not silently reshuffle equal-cost
+/// patterns.
 pub fn order_patterns(patterns: &[PhysicalPattern]) -> Vec<usize> {
     let n = patterns.len();
     if n == 0 {
@@ -197,8 +276,9 @@ pub fn order_patterns(patterns: &[PhysicalPattern]) -> Vec<usize> {
     let mut order = Vec::with_capacity(n);
     let mut bound: Vec<String> = Vec::new();
 
-    // Seed: globally cheapest.
-    remaining.sort_by_key(|&i| patterns[i].est_cardinality);
+    // Seed: globally cheapest; ties break on source index (explicitly —
+    // see the doc comment).
+    remaining.sort_by_key(|&i| (patterns[i].est_cardinality, i));
     let first = remaining.remove(0);
     for v in patterns[first].variables() {
         bound.push(v.to_string());
@@ -230,7 +310,24 @@ pub fn lower_with_metrics(
     ds: &Datastore,
     metrics: Option<&MetricsRegistry>,
 ) -> Result<PhysicalPlan, PlanError> {
-    let plan = lower(query, ds)?;
+    lower_with_stats(query, ds, None, metrics)
+}
+
+/// Lower a full query, optionally consulting a statistics catalog. With a
+/// catalog, join ordering switches from the cardinality-greedy heuristic
+/// to the [`crate::cost`] model (exact DP up to
+/// [`cost::DP_MAX_PATTERNS`] patterns, greedy cost-based beyond) and
+/// per-pattern NDVs come from the catalog's KMV sketches; without one the
+/// static heuristic is used unchanged. Either way the plan carries the
+/// cost model's per-operator row predictions (`est_rows_after`,
+/// `est_where_rows`) for the engine's estimate-vs-actual accounting.
+pub fn lower_with_stats(
+    query: &Query,
+    ds: &Datastore,
+    stats: Option<&StatsCatalog>,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<PhysicalPlan, PlanError> {
+    let plan = lower_impl(query, ds, stats)?;
     if let Some(m) = metrics {
         m.counter("ids_planner_plans_total").inc();
         m.counter("ids_planner_patterns_total").add(plan.patterns.len() as u64);
@@ -240,19 +337,31 @@ pub fn lower_with_metrics(
             m.counter("ids_planner_filter_conjuncts_total").add(cs.len() as u64);
         }
         m.counter("ids_planner_stages_total").add(plan.stages.len() as u64);
+        if stats.is_some() {
+            m.counter("ids_planner_cost_based_plans_total").inc();
+        }
     }
     Ok(plan)
 }
 
-/// Lower a full query to a physical plan.
+/// Lower a full query to a physical plan (static heuristic ordering).
 pub fn lower(query: &Query, ds: &Datastore) -> Result<PhysicalPlan, PlanError> {
+    lower_impl(query, ds, None)
+}
+
+fn lower_impl(
+    query: &Query,
+    ds: &Datastore,
+    stats: Option<&StatsCatalog>,
+) -> Result<PhysicalPlan, PlanError> {
     if query.patterns.is_empty() && !query.filters.is_empty() {
         // FILTER with no bindings is legal (constant filters) but useless;
         // allow it — the engine evaluates against an empty row.
     }
     let lowered: Vec<PhysicalPattern> =
-        query.patterns.iter().map(|p| lower_pattern(p, ds)).collect();
-    let order = order_patterns(&lowered);
+        query.patterns.iter().map(|p| lower_pattern(p, ds, stats)).collect();
+    let order =
+        if stats.is_some() { cost::choose_order(&lowered) } else { order_patterns(&lowered) };
     let mut patterns = Vec::with_capacity(lowered.len());
     let mut slots: Vec<Option<PhysicalPattern>> = lowered.into_iter().map(Some).collect();
     for i in order {
@@ -300,6 +409,20 @@ pub fn lower(query: &Query, ds: &Datastore) -> Result<PhysicalPlan, PlanError> {
         })
         .collect::<Result<Vec<_>, PlanError>>()?;
 
+    // Per-operator row predictions over the *final* order (saturating
+    // f64 → u64 casts).
+    let identity: Vec<usize> = (0..patterns.len()).collect();
+    let (_, rows_after) = cost::order_cost(&patterns, &identity, None);
+    let est_rows_after: Vec<u64> = rows_after.iter().map(|&r| r.max(0.0) as u64).collect();
+    let bgp_rows = match rows_after.last() {
+        Some(&r) => r,
+        None => 1.0, // pattern-less query: filters run once against the empty row
+    };
+    let empty_profiles = ids_udf::UdfProfiler::new();
+    let udf_profiles = stats.map_or(&empty_profiles, |s| s.udf_profiles());
+    let est_where_rows =
+        cost::estimate_where_rows(bgp_rows, where_filter.as_ref(), udf_profiles).max(0.0) as u64;
+
     Ok(PhysicalPlan {
         distinct: query.distinct,
         patterns,
@@ -308,6 +431,8 @@ pub fn lower(query: &Query, ds: &Datastore) -> Result<PhysicalPlan, PlanError> {
         select: query.select.clone(),
         order_by: query.order_by.as_ref().map(|o| (o.var.clone(), o.descending)),
         limit: query.limit,
+        est_rows_after,
+        est_where_rows,
     })
 }
 
@@ -398,6 +523,62 @@ mod tests {
         let v2 = plan.patterns[2].variables();
         assert!(v1.iter().any(|v| v2.contains(v)), "{v1:?} vs {v2:?}");
         assert_eq!(plan.patterns[1].est_cardinality, 10, "cheapest connected continuation");
+    }
+
+    #[test]
+    fn equal_cardinality_ties_break_by_source_index() {
+        let ds = demo_ds();
+        // Two independent predicates with identical cardinality (10 each).
+        for i in 0..10 {
+            ds.add_fact(&Term::iri(format!("a:{i}")), &Term::iri("eq:one"), &Term::Int(i));
+            ds.add_fact(&Term::iri(format!("b:{i}")), &Term::iri("eq:two"), &Term::Int(i));
+        }
+        ds.build_indexes();
+        // Both source orders: the tie must break on source position, so
+        // whichever pattern is written first is planned first.
+        let fwd = lower(
+            &parse_query("SELECT ?a WHERE { ?a <eq:one> ?x . ?b <eq:two> ?y . }").unwrap(),
+            &ds,
+        )
+        .unwrap();
+        assert!(fwd.patterns[0].variables().contains(&"a"), "first-written pattern leads");
+        let rev = lower(
+            &parse_query("SELECT ?a WHERE { ?b <eq:two> ?y . ?a <eq:one> ?x . }").unwrap(),
+            &ds,
+        )
+        .unwrap();
+        assert!(rev.patterns[0].variables().contains(&"b"), "first-written pattern leads");
+        // And the same query twice produces the same order (determinism).
+        let again = lower(
+            &parse_query("SELECT ?a WHERE { ?a <eq:one> ?x . ?b <eq:two> ?y . }").unwrap(),
+            &ds,
+        )
+        .unwrap();
+        let order = |p: &PhysicalPlan| {
+            p.patterns.iter().map(|q| q.variables().join(",")).collect::<Vec<_>>()
+        };
+        assert_eq!(order(&fwd), order(&again));
+    }
+
+    #[test]
+    fn stats_backed_lowering_populates_ndv_and_estimates() {
+        let ds = demo_ds();
+        let cat = crate::stats::StatsCatalog::collect(&ds);
+        let q = parse_query(
+            "SELECT ?p ?c WHERE { ?p <rdf:type> <up:Protein> . ?c <chembl:inhibits> ?p . }",
+        )
+        .unwrap();
+        let plan = lower_with_stats(&q, &ds, Some(&cat), None).unwrap();
+        assert_eq!(plan.est_rows_after.len(), 2);
+        // type (50 rows, 50 distinct subjects) then inhibits (200 rows,
+        // 50 distinct objects): estimate ≈ 50·200/max(50, ndv_o) = 200.
+        assert!(plan.est_rows_after[1] > 0, "join estimate must be populated");
+        let first = &plan.patterns[0];
+        assert!(first.ndv_s > 0.0 && first.ndv_o > 0.0);
+        // Static lowering still fills estimates (worst-case NDVs).
+        let static_plan = lower(&q, &ds).unwrap();
+        assert_eq!(static_plan.est_rows_after.len(), 2);
+        assert_eq!(static_plan.est_where_rows, static_plan.est_rows_after[1]);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`batch`] — columnar solution batches (per-variable `u32`/`u64`
 //!   term-id columns + null bitmaps) with exact wire-size accounting; the
 //!   engine's hot-path representation.
+//! * [`sketch`] — KMV (bottom-k) distinct-value sketches over term ids,
+//!   feeding the planner's join-key NDV statistics.
 //! * [`ops`] — shard-local relational operators: pattern scan, hash join,
 //!   merge (union), project, distinct — the "set-theoretic" operators of
 //!   the paper's unified query engine.
@@ -26,6 +28,7 @@ pub mod channel;
 pub mod dict;
 pub mod ntriples;
 pub mod ops;
+pub mod sketch;
 pub mod solution;
 pub mod store;
 pub mod term;
@@ -37,6 +40,7 @@ pub use batch::SolutionBatch;
 pub use channel::BatchChannel;
 pub use dict::Dictionary;
 pub use ntriples::{parse_ntriples, write_ntriples};
+pub use sketch::KmvSketch;
 pub use solution::SolutionSet;
 pub use store::{PartitionedStore, ShardStats, TriplePattern};
 pub use term::{Term, TermId};

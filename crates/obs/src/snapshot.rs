@@ -134,6 +134,17 @@ impl MetricsSnapshot {
             .unwrap_or(0)
     }
 
+    /// Every series of a gauge, as `(label value, value)` pairs in label
+    /// order — e.g. all `ids_adaptive_actual_rows{op=...}` operators.
+    /// Empty when the gauge never fired.
+    pub fn gauge_series(&self, name: &str) -> Vec<(&str, i64)> {
+        self.gauges
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(k, v)| (k.label_value.as_str(), *v))
+            .collect()
+    }
+
     /// What happened since `earlier`: counters and histogram counts are
     /// subtracted (saturating), gauges and spans keep `self`'s state.
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
@@ -317,6 +328,20 @@ mod tests {
         let d = reg.snapshot().delta(&before);
         assert_eq!(d.counter("ids_cache_lookup_hits_total", "local_dram"), 5);
         assert_eq!(d.counter("ids_cache_lookup_hits_total", "local_nvme"), 0);
+    }
+
+    #[test]
+    fn gauge_series_lists_all_label_values_in_order() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_with("ids_adaptive_actual_rows", "op", "pattern1").set(120);
+        reg.gauge_with("ids_adaptive_actual_rows", "op", "pattern0").set(40);
+        reg.gauge_with("ids_adaptive_est_rows", "op", "pattern0").set(35);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.gauge_series("ids_adaptive_actual_rows"),
+            vec![("pattern0", 40), ("pattern1", 120)]
+        );
+        assert!(snap.gauge_series("ids_never_set").is_empty());
     }
 
     #[test]

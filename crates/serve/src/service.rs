@@ -576,6 +576,26 @@ impl QueryService {
                         .counter_with("ids_serve_channel_batches_total", "tenant", name.to_string())
                         .add(batches);
                 }
+                Ok(StepOutcome::Replanned { at_pattern, reordered }) => {
+                    // The adaptive planner re-ordered the job's remaining
+                    // patterns mid-query; the run stays queued and the next
+                    // slice executes the corrected order. Meter per tenant
+                    // so re-plan churn shows up alongside the scheduler's
+                    // fairness accounting.
+                    let metrics = self.inst.metrics();
+                    metrics
+                        .counter_with("ids_serve_replans_total", "tenant", name.to_string())
+                        .inc();
+                    metrics.spans().record(
+                        "serve.replan",
+                        format!(
+                            "tenant {name} re-planned {reordered} patterns \
+                             after pattern{at_pattern}"
+                        ),
+                        ended_at,
+                        ended_at,
+                    );
+                }
                 Ok(StepOutcome::Recovered { resumed_ordinal, retired_ranks }) => {
                     // The engine rolled the run back around dead ranks (or
                     // a blown deadline) and re-planned; the job stays

@@ -135,6 +135,45 @@ impl UdfProfiler {
                 .set(mean_us.round() as i64);
         }
     }
+
+    /// Inverse of [`Self::export_metrics`]: rebuild a profiler from the
+    /// gauges a previous export left in an `ids-obs` snapshot. This is
+    /// how the statistics layer harvests *historical* cost/selectivity
+    /// profiles — an instance can prime its cost model from observability
+    /// data (e.g. a scraped registry from an earlier run) without
+    /// sharing live profiler state. `scope` must match the exporting
+    /// scope (`""` for the merged view, `"r3"` for rank 3).
+    ///
+    /// Mean cost survives the round trip at microsecond granularity
+    /// (the export's resolution); per-call totals are reconstructed as
+    /// `calls × mean`.
+    pub fn harvest_metrics(snapshot: &ids_obs::MetricsSnapshot, scope: &str) -> Self {
+        let mut out = Self::new();
+        let strip = |label: &str| -> Option<String> {
+            if scope.is_empty() {
+                (!label.contains('/')).then(|| label.to_string())
+            } else {
+                label.strip_prefix(&format!("{scope}/")).map(str::to_string)
+            }
+        };
+        for (key, value) in &snapshot.gauges {
+            let Some(udf) = strip(&key.label_value) else { continue };
+            let p = out.profiles.entry(udf).or_default();
+            match key.name {
+                "ids_udf_profile_calls" => p.calls = (*value).max(0) as u64,
+                "ids_udf_profile_rejections" => p.rejections = (*value).max(0) as u64,
+                "ids_udf_profile_mean_cost_us" => p.total_secs = (*value).max(0) as f64 / 1.0e6,
+                _ => {}
+            }
+        }
+        // The cost gauge carried the *mean*; scale to a total now that
+        // calls are known, and drop series that never ran.
+        out.profiles.retain(|_, p| p.calls > 0);
+        for p in out.profiles.values_mut() {
+            p.total_secs *= p.calls as f64;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +255,27 @@ mod tests {
         assert_eq!(gauge("ids_udf_profile_rejections", "sw"), 1);
         assert_eq!(gauge("ids_udf_profile_mean_cost_us", "sw"), 3000);
         assert_eq!(gauge("ids_udf_profile_calls", "r0/sw"), 2);
+    }
+
+    #[test]
+    fn harvest_round_trips_export() {
+        let mut p = UdfProfiler::new();
+        p.record_call("sw", 0.002);
+        p.record_call("sw", 0.004);
+        p.record_rejection("sw");
+        p.record_call("dock", 40.0);
+        let reg = MetricsRegistry::new();
+        p.export_metrics(&reg, "");
+        p.export_metrics(&reg, "r1"); // scoped series must not bleed into ""
+        let harvested = UdfProfiler::harvest_metrics(&reg.snapshot(), "");
+        let sw = harvested.get("sw").unwrap();
+        assert_eq!(sw.calls, 2);
+        assert_eq!(sw.rejections, 1);
+        assert!((sw.mean_cost().unwrap() - 0.003).abs() < 1e-9);
+        assert!((harvested.estimated_cost("dock", 0.0) - 40.0).abs() < 1e-6);
+        let scoped = UdfProfiler::harvest_metrics(&reg.snapshot(), "r1");
+        assert_eq!(scoped.get("sw").unwrap().calls, 2);
+        assert!(UdfProfiler::harvest_metrics(&reg.snapshot(), "r9").names().is_empty());
     }
 
     #[test]

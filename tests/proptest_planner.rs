@@ -1,0 +1,144 @@
+//! Property-based tests over the cost-based join planner (DESIGN.md §5l):
+//! every produced order is a valid permutation, the exhaustive DP never
+//! loses to the greedy fallback within its width, connected queries never
+//! pick up cross products, and re-planned suffixes stay well-formed.
+
+use ids::core::cost::{
+    choose_order, order_cost, order_patterns_dp, order_patterns_greedy_cost, replan_suffix,
+    DP_MAX_PATTERNS,
+};
+use ids::core::planner::PhysicalPattern;
+use ids::graph::TriplePattern;
+use proptest::prelude::*;
+
+/// Small shared variable pool so generated patterns actually join.
+const VARS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// One position's variable slot: `0..VARS.len()` picks a pool variable,
+/// `VARS.len()` leaves the position ground (~20% of draws).
+fn slot(i: usize) -> Option<String> {
+    VARS.get(i).map(|v| v.to_string())
+}
+
+fn arb_pattern() -> impl Strategy<Value = PhysicalPattern> {
+    (0usize..=VARS.len(), 0usize..=VARS.len(), 1usize..5_000, 0.01f64..1.0, 0.01f64..1.0).prop_map(
+        |(vs, vo, card, fs, fo)| PhysicalPattern {
+            pattern: TriplePattern::new(None, None, None),
+            var_s: slot(vs),
+            var_p: None,
+            var_o: slot(vo),
+            impossible: false,
+            est_cardinality: card,
+            ndv_s: (fs * card as f64).max(1.0),
+            ndv_p: 1.0,
+            ndv_o: (fo * card as f64).max(1.0),
+        },
+    )
+}
+
+fn arb_patterns(max: usize) -> impl Strategy<Value = Vec<PhysicalPattern>> {
+    proptest::collection::vec(arb_pattern(), 1..max + 1)
+}
+
+fn vars(p: &PhysicalPattern) -> Vec<&str> {
+    [p.var_s.as_deref(), p.var_p.as_deref(), p.var_o.as_deref()].into_iter().flatten().collect()
+}
+
+fn share_var(a: &PhysicalPattern, b: &PhysicalPattern) -> bool {
+    vars(a).iter().any(|v| vars(b).contains(v))
+}
+
+/// Whether the variable-sharing graph over `patterns` is connected
+/// (a single pattern counts as connected).
+fn join_graph_connected(patterns: &[PhysicalPattern]) -> bool {
+    let n = patterns.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(i) = stack.pop() {
+        for j in 0..n {
+            if !seen[j] && share_var(&patterns[i], &patterns[j]) {
+                seen[j] = true;
+                stack.push(j);
+            }
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+#[track_caller]
+fn assert_permutation(order: &[usize], lo: usize, hi: usize) {
+    let mut sorted = order.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (lo..hi).collect::<Vec<_>>(), "not a permutation: {order:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every order the planner can produce — DP, greedy, or the
+    /// width-dispatching `choose_order` — is a valid permutation.
+    #[test]
+    fn orders_are_permutations(patterns in arb_patterns(10)) {
+        let n = patterns.len();
+        assert_permutation(&choose_order(&patterns), 0, n);
+        if let Some(dp) = order_patterns_dp(&patterns) {
+            assert_permutation(&dp, 0, n);
+        }
+        let all: Vec<usize> = (0..n).collect();
+        assert_permutation(&order_patterns_greedy_cost(&patterns, &all, None), 0, n);
+    }
+
+    /// The exhaustive DP never costs more than the greedy heuristic inside
+    /// its width: greedy's order is itself a legal connected-first order,
+    /// so the DP must find it (or something cheaper).
+    #[test]
+    fn dp_never_loses_to_greedy(patterns in arb_patterns(DP_MAX_PATTERNS)) {
+        let dp = order_patterns_dp(&patterns).expect("within DP width");
+        let all: Vec<usize> = (0..patterns.len()).collect();
+        let greedy = order_patterns_greedy_cost(&patterns, &all, None);
+        let (dp_cost, _) = order_cost(&patterns, &dp, None);
+        let (greedy_cost, _) = order_cost(&patterns, &greedy, None);
+        prop_assert!(
+            dp_cost <= greedy_cost,
+            "dp {dp_cost} > greedy {greedy_cost} (dp {dp:?}, greedy {greedy:?})"
+        );
+    }
+
+    /// When the join graph is connected, both DP and greedy keep every
+    /// step connected to the already-bound prefix — no cross products.
+    #[test]
+    fn connected_inputs_get_connected_orders(patterns in arb_patterns(DP_MAX_PATTERNS)) {
+        if !join_graph_connected(&patterns) {
+            return; // skip disconnected draws: no connected order exists
+        }
+        let all: Vec<usize> = (0..patterns.len()).collect();
+        for order in [
+            order_patterns_dp(&patterns).expect("within DP width"),
+            order_patterns_greedy_cost(&patterns, &all, None),
+        ] {
+            for (step, &i) in order.iter().enumerate().skip(1) {
+                let connected =
+                    order[..step].iter().any(|&j| share_var(&patterns[i], &patterns[j]));
+                prop_assert!(connected, "step {step} of {order:?} introduces a cross product");
+            }
+        }
+    }
+
+    /// Re-planned suffixes are permutations of exactly the remaining
+    /// indices, with finite non-negative row estimates per step.
+    #[test]
+    fn replan_suffix_is_well_formed(
+        patterns in arb_patterns(DP_MAX_PATTERNS),
+        prefix_frac in 0.0f64..1.0,
+        observed in 0u64..100_000,
+    ) {
+        let prefix_len = ((patterns.len() as f64) * prefix_frac) as usize;
+        let (order, rows) = replan_suffix(&patterns, prefix_len, observed);
+        assert_permutation(&order, prefix_len, patterns.len());
+        prop_assert_eq!(rows.len(), order.len());
+        for r in rows {
+            prop_assert!(r.is_finite() && r >= 0.0, "bad row estimate {r}");
+        }
+    }
+}
